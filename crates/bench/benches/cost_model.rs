@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the roofline cost model and function
+//! assembly: these run on every batch arrival (the §3.2 online procedure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liger_model::{assemble, BatchShape, CostModel, LayerOp, ModelConfig, profile_decomposition};
+
+fn bench_gemm_pricing(c: &mut Criterion) {
+    let cm = CostModel::v100_node();
+    c.bench_function("cost/gemm_time", |b| {
+        b.iter(|| cm.gemm_time(std::hint::black_box(128), 7168, 28672))
+    });
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let cm = CostModel::v100_node();
+    let mut g = c.benchmark_group("cost/assemble");
+    for model in [ModelConfig::opt_30b(), ModelConfig::glm_130b()] {
+        g.bench_function(&model.name, |b| {
+            b.iter(|| assemble(&cm, &model, BatchShape::prefill(2, 64), 4).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_decomposition_profile(c: &mut Criterion) {
+    let cm = CostModel::v100_node();
+    let op = LayerOp::AllReduce { bytes: 2 << 20, ranks: 4 };
+    c.bench_function("cost/profile_decomposition_f16", |b| {
+        b.iter(|| profile_decomposition(&cm, &op, 16))
+    });
+}
+
+criterion_group!(benches, bench_gemm_pricing, bench_assembly, bench_decomposition_profile);
+criterion_main!(benches);

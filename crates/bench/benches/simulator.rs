@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the discrete-event engine: raw event
+//! throughput for kernel chains, cross-stream overlap and collectives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use liger_gpu_sim::prelude::*;
+
+struct Chain {
+    kernels: usize,
+    devices: usize,
+}
+
+impl Driver for Chain {
+    fn start(&mut self, sim: &mut Simulation) {
+        for d in 0..self.devices {
+            for i in 0..self.kernels {
+                let stream = StreamId::new(DeviceId(d), i % 2);
+                let spec = if i % 3 == 0 {
+                    KernelSpec::comm("m", SimDuration::from_micros(10))
+                } else {
+                    KernelSpec::compute("c", SimDuration::from_micros(25))
+                };
+                sim.launch(HostId(d), stream, spec);
+            }
+        }
+    }
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+fn sim(devices: usize) -> Simulation {
+    Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), devices)
+        .build()
+        .unwrap()
+}
+
+fn bench_kernel_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/kernel_chain");
+    for kernels in [100usize, 1000] {
+        g.throughput(Throughput::Elements(kernels as u64));
+        g.bench_function(format!("{kernels}_kernels_1gpu"), |b| {
+            b.iter_batched(
+                || sim(1),
+                |mut s| {
+                    s.run_to_completion(&mut Chain { kernels, devices: 1 });
+                    s.kernels_completed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+struct AllReduces {
+    count: usize,
+    devices: usize,
+}
+
+impl Driver for AllReduces {
+    fn start(&mut self, sim: &mut Simulation) {
+        for _ in 0..self.count {
+            let group = sim.new_collective(self.devices);
+            for d in 0..self.devices {
+                let spec = KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(group);
+                sim.launch(HostId(d), StreamId::new(DeviceId(d), 1), spec);
+            }
+        }
+    }
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/collectives");
+    for devices in [2usize, 4] {
+        g.throughput(Throughput::Elements(200));
+        g.bench_function(format!("200_allreduces_{devices}gpu"), |b| {
+            b.iter_batched(
+                || sim(devices),
+                |mut s| {
+                    s.run_to_completion(&mut AllReduces { count: 200, devices });
+                    s.kernels_completed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_chain, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **Ablation** — contention-factor anticipation (§3.5).
+//!
+//! Compares Liger with the profiled contention factor against Liger
+//! scheduling with factor 1.0 (no anticipation). Without anticipation the
+//! secondary subset is packed against optimistic durations; contention
+//! stretches it past the primary window, the next round's primary overlaps
+//! leftover same-class kernels, and the resulting same-class contention is
+//! the paper's "scheduling failure". Visible as worse tail latency for the
+//! primary batches.
+//!
+//! Flags: `--requests N` (default 300).
+
+use liger_bench::{default_requests, intra_capacity, sweep, EngineKind, Node, Table};
+use liger_core::LigerConfig;
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::PrefillTraceConfig;
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::glm_130b();
+    let node = Node::A100;
+    let batch = 4;
+
+    let cap = intra_capacity(&model, node, 4, BatchShape::prefill(batch, 72));
+    let rates = [cap * 0.9, cap * 1.1, cap * 1.3];
+    let profiled = node.contention_factor();
+    let engines = [
+        EngineKind::Liger(LigerConfig::default().with_contention_factor(profiled)),
+        EngineKind::Liger(LigerConfig::default().with_contention_factor(1.0)),
+    ];
+    let points = sweep(&engines, &rates, &model, node, 4, |rate| {
+        PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
+    });
+
+    println!("Ablation: contention anticipation — GLM-130B, A100 node, batch {batch}");
+    println!("(profiled factor {profiled:.3} vs disabled = 1.0)");
+    let mut t = Table::new(&["factor", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
+    for (i, p) in points.iter().enumerate() {
+        let label = if i < rates.len() { format!("{profiled:.2}") } else { "1.00 (off)".into() };
+        t.row(&[
+            label,
+            format!("{:.1}", p.rate),
+            format!("{:.1}", p.avg_latency_ms),
+            format!("{:.1}", p.p99_latency_ms),
+            format!("{:.1}", p.throughput),
+        ]);
+    }
+    println!("{}", t.render());
+}

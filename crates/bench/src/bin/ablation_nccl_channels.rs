@@ -1,0 +1,50 @@
+//! **Ablation** — NCCL channel allocation (§3.5's mitigation).
+//!
+//! Sweeps the communication kernels' channel count. Few channels cannot
+//! saturate the link (slow collectives); many channels steal SMs from
+//! concurrent compute (higher contention). The paper pins
+//! `NCCL_MAX_NCHANNELS=3`; this ablation shows why.
+
+use liger_bench::{default_requests, intra_capacity, run_serving, EngineKind, Node, Table};
+use liger_collectives::NcclConfig;
+use liger_core::LigerConfig;
+use liger_gpu_sim::DeviceSpec;
+use liger_model::{profile_contention, BatchShape, ModelConfig};
+use liger_serving::PrefillTraceConfig;
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::opt_30b();
+    let node = Node::V100;
+    let batch = 2;
+    let cap = intra_capacity(&model, node, 4, BatchShape::prefill(batch, 72));
+    let rate = cap * 1.3; // saturated: overlap quality decides throughput
+
+    println!("Ablation: NCCL channel count — OPT-30B, V100 node, batch {batch}, saturated");
+    let mut t = Table::new(&["channels", "profiled factor", "avg lat (ms)", "throughput (req/s)"]);
+    for channels in [1u32, 2, 3, 8, 16] {
+        let nccl = NcclConfig::default().with_channels(channels);
+        let factor = profile_contention(&DeviceSpec::v100_16gb(), &nccl).factor();
+        let kind = EngineKind::Liger(LigerConfig::default().with_contention_factor(factor));
+        // Rebuild the cost model with this channel config by overriding the
+        // node's NCCL settings through a custom run.
+        let cost = node.cost_model().with_nccl(nccl);
+        let mut sim = node.simulation(4, false);
+        let mut engine = liger_core::LigerEngine::new(model.clone(), cost, 4, match kind {
+            EngineKind::Liger(c) => c,
+            _ => unreachable!(),
+        })
+        .unwrap();
+        let trace = PrefillTraceConfig::paper(requests, batch, rate, 42).generate();
+        let m = liger_serving::serve(&mut sim, &mut engine, trace);
+        t.row(&[
+            channels.to_string(),
+            format!("{factor:.3}"),
+            format!("{:.1}", m.avg_latency().as_millis_f64()),
+            format!("{:.1}", m.throughput()),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = run_serving; // re-exported path exercised elsewhere
+    println!("Expectation: 2-3 channels saturate bandwidth with minimal SM theft (the paper's NCCL_MAX_NCHANNELS=3).");
+}

@@ -1,0 +1,45 @@
+//! **Ablation** — processing-list capacity (§3.3's "fixed number of tasks").
+//!
+//! Sweeps the number of batches Liger schedules concurrently. One slot
+//! degenerates to intra-op (no interleaving partner); two already captures
+//! most of the gain when communication < compute; more slots help when the
+//! communication share is large and windows need several donors.
+//!
+//! Flags: `--requests N` (default 300).
+
+use liger_bench::{default_requests, intra_capacity, sweep, EngineKind, Node, Table};
+use liger_core::LigerConfig;
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::PrefillTraceConfig;
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::glm_130b();
+    let node = Node::A100;
+    let batch = 4;
+    let factor = node.contention_factor();
+    let cap = intra_capacity(&model, node, 4, BatchShape::prefill(batch, 72));
+    let rates = [cap * 1.3, cap * 1.6];
+
+    println!("Ablation: processing-list slots — GLM-130B, A100 node, batch {batch}, saturated");
+    let mut t = Table::new(&["slots", "rate (req/s)", "avg lat (ms)", "throughput (req/s)"]);
+    for slots in [1usize, 2, 3, 4, 8] {
+        let engines = [EngineKind::Liger(LigerConfig {
+            processing_slots: slots,
+            ..LigerConfig::default().with_contention_factor(factor)
+        })];
+        let points = sweep(&engines, &rates, &model, node, 4, |rate| {
+            PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
+        });
+        for p in &points {
+            t.row(&[
+                slots.to_string(),
+                format!("{:.1}", p.rate),
+                format!("{:.1}", p.avg_latency_ms),
+                format!("{:.1}", p.throughput),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Expectation: slots=1 collapses to Intra-Op throughput; gains saturate after a few slots.");
+}

@@ -1,0 +1,49 @@
+//! **Ablation** — pure inter-stream synchronization (§3.4's rejected arm).
+//!
+//! Liger driven by inter-stream events only: every round of the processing
+//! list is planned and launched up front. The flood of queued kernels
+//! triggers the communication-dispatch lag of §2.3.1 (firmware prioritizes
+//! the deep compute backlog), which is exactly why the paper rejects this
+//! design in favor of hybrid synchronization.
+//!
+//! Flags: `--requests N` (default 300).
+
+use liger_bench::{default_requests, intra_capacity, rate_grid, sweep, EngineKind, Node, Table};
+use liger_core::{LigerConfig, SyncMode};
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::PrefillTraceConfig;
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::opt_30b();
+    let node = Node::V100;
+    let batch = 2;
+    let factor = node.contention_factor();
+    let cap = intra_capacity(&model, node, 4, BatchShape::prefill(batch, 72));
+    let rates = rate_grid(cap);
+
+    let engines = [
+        EngineKind::Liger(LigerConfig::default().with_contention_factor(factor)),
+        EngineKind::Liger(
+            LigerConfig::default()
+                .with_contention_factor(factor)
+                .with_sync_mode(SyncMode::InterStream),
+        ),
+    ];
+    let points = sweep(&engines, &rates, &model, node, 4, |rate| {
+        PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
+    });
+
+    println!("Ablation: hybrid vs pure inter-stream sync — OPT-30B, V100 node, batch {batch}");
+    let mut t = Table::new(&["sync", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
+    for p in &points {
+        t.row(&[
+            p.engine.to_string(),
+            format!("{:.1}", p.rate),
+            format!("{:.1}", p.avg_latency_ms),
+            format!("{:.1}", p.p99_latency_ms),
+            format!("{:.1}", p.throughput),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,65 @@
+//! **Figure 4** — Kernel-duration distributions.
+//!
+//! (a) Normalized kernel durations across model sizes (8B–175B): as models
+//! grow, a few kernels dominate the iteration. (b) Durations across input
+//! sizes for one model. We report, per configuration: kernel count, the
+//! share of total time taken by the top 10% longest kernels, and the
+//! max/median duration ratio — the "widely-varied kernel duration"
+//! statistics that motivate runtime decomposition (§2.3.3).
+
+use liger_bench::{Node, Table};
+use liger_model::{assemble, BatchShape, ModelConfig};
+
+fn spread_stats(durs_ns: &mut [u64]) -> (usize, f64, f64) {
+    durs_ns.sort_unstable();
+    let n = durs_ns.len();
+    let total: u64 = durs_ns.iter().sum();
+    let top = n.div_ceil(10);
+    let top_share: u64 = durs_ns[n - top..].iter().sum();
+    let median = durs_ns[n / 2].max(1);
+    let max = *durs_ns.last().unwrap();
+    (n, top_share as f64 / total as f64, max as f64 / median as f64)
+}
+
+fn main() {
+    let node = Node::V100;
+    let cm = node.cost_model();
+
+    println!("Figure 4(a): kernel durations across models (tp=4, batch 2 x seq 64, V100 node)");
+    let mut t = Table::new(&["model", "kernels/iter", "top-10% share", "max/median"]);
+    for model in [
+        ModelConfig::gpt_8b(),
+        ModelConfig::opt_30b(),
+        ModelConfig::opt_66b(),
+        ModelConfig::glm_130b(),
+        ModelConfig::gpt_175b(),
+    ] {
+        let mut durs: Vec<u64> = assemble(&cm, &model, BatchShape::prefill(2, 64), 4)
+            .iter()
+            .map(|o| o.duration.as_nanos())
+            .collect();
+        let (n, share, ratio) = spread_stats(&mut durs);
+        t.row(&[model.name.clone(), n.to_string(), format!("{:.1}%", share * 100.0), format!("{ratio:.1}x")]);
+    }
+    println!("{}", t.render());
+
+    println!("Figure 4(b): kernel durations across input sizes (OPT-30B, tp=4)");
+    let mut t = Table::new(&["batch x seq", "kernels/iter", "top-10% share", "max/median", "mean kernel (us)"]);
+    for (batch, seq) in [(2u32, 16u32), (2, 64), (2, 128), (8, 64), (8, 128)] {
+        let mut durs: Vec<u64> = assemble(&cm, &ModelConfig::opt_30b(), BatchShape::prefill(batch, seq), 4)
+            .iter()
+            .map(|o| o.duration.as_nanos())
+            .collect();
+        let mean_us = durs.iter().sum::<u64>() as f64 / durs.len() as f64 / 1e3;
+        let (n, share, ratio) = spread_stats(&mut durs);
+        t.row(&[
+            format!("{batch} x {seq}"),
+            n.to_string(),
+            format!("{:.1}%", share * 100.0),
+            format!("{ratio:.1}x"),
+            format!("{mean_us:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper: larger models concentrate time in fewer kernels; durations vary with input size.");
+}

@@ -1,0 +1,58 @@
+//! **Figure 11** — Generative (incremental sampling) tasks.
+//!
+//! One decode iteration per job with a KV cache: batch 32, starting
+//! sequence length 16 (§4.3). Four panels as in the paper: OPT-30B/V100,
+//! OPT-30B/A100, OPT-66B/A100, GLM-130B/A100. Paper reference: throughput
+//! gains over Intra-Op up to 1.08x / 1.29x / 1.23x / 1.13x — weaker than
+//! prefill because decode communicates relatively less.
+//!
+//! Flags: `--requests N` (default 300).
+
+use liger_bench::{default_requests, intra_capacity, rate_grid, sweep, EngineKind, Node, Table};
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::{ArrivalProcess, DecodeTraceConfig};
+
+fn main() {
+    let requests = default_requests();
+    let panels = [
+        (ModelConfig::opt_30b(), Node::V100),
+        (ModelConfig::opt_30b(), Node::A100),
+        (ModelConfig::opt_66b(), Node::A100),
+        (ModelConfig::glm_130b(), Node::A100),
+    ];
+
+    for (model, node) in panels {
+        let shape = BatchShape::decode(32, 16);
+        let cap = intra_capacity(&model, node, 4, shape);
+        let rates = rate_grid(cap);
+        let engines = EngineKind::paper_lineup(node);
+        let points = sweep(&engines, &rates, &model, node, 4, |rate| {
+            DecodeTraceConfig {
+                count: requests,
+                batch: 32,
+                context: 16,
+                arrivals: ArrivalProcess::Constant { rate },
+            }
+            .generate()
+        });
+
+        liger_bench::harness::maybe_write_csv(&format!("fig11_{}_{}", model.name, node.label()), &points);
+        println!("Figure 11 panel: {} on {} node, decode batch 32 @ context 16", model.name, node.label());
+        let mut t = Table::new(&["engine", "rate (it/s)", "avg lat (ms)", "throughput (it/s)"]);
+        for p in &points {
+            t.row(&[
+                p.engine.to_string(),
+                format!("{:.1}", p.rate),
+                format!("{:.2}", p.avg_latency_ms),
+                format!("{:.1}", p.throughput),
+            ]);
+        }
+        println!("{}", t.render());
+        let sat = |name: &str| points.iter().filter(|p| p.engine == name).map(|p| p.throughput).fold(0.0, f64::max);
+        println!(
+            "  Liger vs Intra-Op saturated throughput: x{:.2}\n",
+            sat("Liger") / sat("Intra-Op")
+        );
+    }
+    println!("Paper: x1.08 / x1.29 / x1.23 / x1.13; improvements are weaker than for prefill.");
+}

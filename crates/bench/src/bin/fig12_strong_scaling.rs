@@ -1,0 +1,45 @@
+//! **Figure 12** — Strong scaling of serving OPT-30B on 1/2/4 A100 GPUs.
+//!
+//! Latency and throughput points selected as the arrival rate increases,
+//! for Liger / Intra-Op / Inter-Op at each device count. Paper findings:
+//! Liger improves with device count, beats Intra-Op on throughput and
+//! Inter-Op on latency, and is least pronounced at 2 GPUs (lower
+//! communication ratio).
+//!
+//! Flags: `--requests N` (default 300).
+
+use liger_bench::{default_requests, intra_capacity, sweep, EngineKind, Node, Table};
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::PrefillTraceConfig;
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::opt_30b();
+    let node = Node::A100;
+    let batch = 4;
+
+    for world in [1usize, 2, 4] {
+        let cap = intra_capacity(&model, node, world, BatchShape::prefill(batch, 72));
+        let rates: Vec<f64> = [0.5, 0.9, 1.2].iter().map(|f| f * cap).collect();
+        let engines = [
+            EngineKind::liger_default(node),
+            EngineKind::IntraOp,
+            EngineKind::InterOp,
+        ];
+        let points = sweep(&engines, &rates, &model, node, world, |rate| {
+            PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
+        });
+        println!("Figure 12: OPT-30B on {world} A100 GPU(s), batch {batch}");
+        let mut t = Table::new(&["engine", "rate (req/s)", "avg lat (ms)", "throughput (req/s)"]);
+        for p in &points {
+            t.row(&[
+                p.engine.to_string(),
+                format!("{:.1}", p.rate),
+                format!("{:.1}", p.avg_latency_ms),
+                format!("{:.1}", p.throughput),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("Paper: Liger scales with GPUs; beats Intra-Op throughput and Inter-Op latency; 2-GPU effect is weakest.");
+}

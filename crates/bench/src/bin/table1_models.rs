@@ -1,0 +1,24 @@
+//! **Table 1** — Model specifications.
+//!
+//! Prints the evaluated models with the geometry of the paper's Table 1
+//! plus the derived weight footprint computed by `liger-model`.
+
+use liger_bench::Table;
+use liger_model::ModelConfig;
+
+fn main() {
+    let mut t = Table::new(&["Name", "Parameters", "Layers", "Heads", "Hidden Size", "Prec.", "Weights"]);
+    for m in ModelConfig::zoo() {
+        t.row(&[
+            m.name.clone(),
+            format!("{:.1}B", m.param_count() as f64 / 1e9),
+            m.layers.to_string(),
+            m.heads.to_string(),
+            m.hidden.to_string(),
+            if m.dtype_bytes == 2 { "FP16".into() } else { format!("{}B", m.dtype_bytes) },
+            format!("{:.0}GB", m.weight_bytes() as f64 / 1e9),
+        ]);
+    }
+    println!("Table 1: model specifications");
+    println!("{}", t.render());
+}

@@ -1,0 +1,192 @@
+//! Collective algorithm selection (ring vs. tree).
+//!
+//! NCCL picks between a bandwidth-optimal **ring** (cost `≈ α + 2(n−1)/n ·
+//! B/bw`, latency grows linearly with ring length) and a latency-optimal
+//! **tree** (`≈ α·⌈log₂ n⌉ + 2·B/(bw·η)`, shallower critical path but a
+//! small bandwidth penalty `η`) based on message size. The crossover
+//! matters to Liger's runtime decomposition: small chunks of a decomposed
+//! all-reduce are latency-bound, and the tree keeps the per-chunk overhead
+//! flat as the division factor grows.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::SimDuration;
+
+use crate::cost::CollectiveKind;
+use crate::nccl::NcclConfig;
+use crate::topology::Topology;
+
+/// Which collective algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveAlgorithm {
+    /// Bandwidth-optimal ring (the default of [`crate::collective_time`]).
+    Ring,
+    /// Latency-optimal binary tree.
+    Tree,
+    /// Pick whichever is faster for the given size (NCCL's behavior).
+    Auto,
+}
+
+/// Tree bandwidth efficiency relative to the ring (NCCL's tree moves data
+/// up and down a binary tree; its sustained bandwidth is slightly lower).
+const TREE_BW_EFFICIENCY: f64 = 0.85;
+
+/// Per-hop latency of one tree level, relative to the topology's base
+/// latency (a tree level is one neighbor exchange; the ring's base latency
+/// covers the full ring setup).
+const TREE_HOP_FRACTION: f64 = 0.5;
+
+/// Duration of an `n`-rank collective of `bytes` under an explicit
+/// algorithm choice.
+pub fn collective_time_with(
+    algo: CollectiveAlgorithm,
+    kind: CollectiveKind,
+    bytes: u64,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> SimDuration {
+    if n <= 1 {
+        return SimDuration::ZERO;
+    }
+    match algo {
+        CollectiveAlgorithm::Ring => crate::cost::collective_time(kind, bytes, n, topo, nccl),
+        CollectiveAlgorithm::Tree => tree_time(kind, bytes, n, topo, nccl),
+        CollectiveAlgorithm::Auto => crate::cost::collective_time(kind, bytes, n, topo, nccl)
+            .min(tree_time(kind, bytes, n, topo, nccl)),
+    }
+}
+
+/// The algorithm [`CollectiveAlgorithm::Auto`] would select.
+pub fn auto_choice(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> CollectiveAlgorithm {
+    let ring = crate::cost::collective_time(kind, bytes, n, topo, nccl);
+    let tree = tree_time(kind, bytes, n, topo, nccl);
+    if tree < ring {
+        CollectiveAlgorithm::Tree
+    } else {
+        CollectiveAlgorithm::Ring
+    }
+}
+
+fn tree_time(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+    debug_assert!(n >= 2);
+    if kind == CollectiveKind::SendRecv {
+        // Point-to-point has no tree form.
+        return crate::cost::collective_time(kind, bytes, n, topo, nccl);
+    }
+    let depth = (n as f64).log2().ceil().max(1.0);
+    let bw = match kind {
+        CollectiveKind::SendRecv => topo.p2p_bw,
+        _ => topo.allreduce_bus_bw,
+    } * nccl.bandwidth_fraction()
+        * TREE_BW_EFFICIENCY;
+    // An all-reduce tree is a reduce followed by a broadcast: 2 passes.
+    let passes = match kind {
+        CollectiveKind::AllReduce => 2.0,
+        CollectiveKind::ReduceScatter | CollectiveKind::AllGather => 1.0,
+        CollectiveKind::SendRecv => unreachable!(),
+    };
+    let latency = topo.base_latency.scale(TREE_HOP_FRACTION * depth * passes);
+    let transfer = passes * bytes as f64 / bw;
+    latency + SimDuration::from_secs_f64(transfer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, NcclConfig) {
+        (Topology::v100_nvlink(), NcclConfig::liger_tuned())
+    }
+
+    #[test]
+    fn tree_wins_for_small_messages_at_scale() {
+        // At 4 ranks the ring's short chain wins everywhere (which is why
+        // single-node NCCL overwhelmingly runs rings); the tree's log-depth
+        // latency pays off for small messages at larger rank counts.
+        let (topo, nccl) = setup();
+        let small = 16 * 1024;
+        assert_eq!(
+            auto_choice(CollectiveKind::AllReduce, small, 16, &topo, &nccl),
+            CollectiveAlgorithm::Tree,
+            "small messages are latency-bound at 16 ranks"
+        );
+        assert_eq!(
+            auto_choice(CollectiveKind::AllReduce, small, 4, &topo, &nccl),
+            CollectiveAlgorithm::Ring,
+            "a 4-rank ring chain is already short"
+        );
+    }
+
+    #[test]
+    fn ring_wins_for_large_messages() {
+        let (topo, nccl) = setup();
+        let large = 64 << 20;
+        assert_eq!(
+            auto_choice(CollectiveKind::AllReduce, large, 4, &topo, &nccl),
+            CollectiveAlgorithm::Ring,
+            "large messages are bandwidth-bound"
+        );
+    }
+
+    #[test]
+    fn auto_is_the_min_of_both() {
+        let (topo, nccl) = setup();
+        for bytes in [1u64 << 12, 1 << 16, 1 << 20, 1 << 24] {
+            let ring = collective_time_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+            let tree = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+            let auto = collective_time_with(CollectiveAlgorithm::Auto, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+            assert_eq!(auto, ring.min(tree), "bytes={bytes}");
+        }
+    }
+
+    #[test]
+    fn tree_latency_grows_logarithmically() {
+        let (topo, nccl) = setup();
+        let tiny = 1024;
+        let t2 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 2, &topo, &nccl);
+        let t4 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 4, &topo, &nccl);
+        let t8 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 8, &topo, &nccl);
+        // Depth 1 -> 2 -> 3: latency term grows by equal steps.
+        let d1 = t4.as_nanos() as i64 - t2.as_nanos() as i64;
+        let d2 = t8.as_nanos() as i64 - t4.as_nanos() as i64;
+        assert!(d1 > 0 && d2 > 0);
+        assert!((d1 - d2).abs() <= d1 / 4, "non-logarithmic growth: {d1} then {d2}");
+    }
+
+    #[test]
+    fn sendrecv_has_no_tree_form() {
+        let (topo, nccl) = setup();
+        let ring = collective_time_with(CollectiveAlgorithm::Ring, CollectiveKind::SendRecv, 1 << 20, 2, &topo, &nccl);
+        let tree = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::SendRecv, 1 << 20, 2, &topo, &nccl);
+        assert_eq!(ring, tree);
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let (topo, nccl) = setup();
+        for algo in [CollectiveAlgorithm::Ring, CollectiveAlgorithm::Tree, CollectiveAlgorithm::Auto] {
+            assert_eq!(
+                collective_time_with(algo, CollectiveKind::AllReduce, 1 << 20, 1, &topo, &nccl),
+                SimDuration::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_chunks_prefer_tree_at_scale() {
+        // A 2MB all-reduce split 16 ways produces 128KB chunks — small
+        // enough that at 16 ranks Auto switches to the tree, capping the
+        // per-chunk latency overhead of deep decomposition.
+        let (topo, nccl) = setup();
+        let whole = 2u64 << 20;
+        assert_eq!(
+            auto_choice(CollectiveKind::AllReduce, whole, 16, &topo, &nccl),
+            CollectiveAlgorithm::Ring
+        );
+        assert_eq!(
+            auto_choice(CollectiveKind::AllReduce, whole / 16, 16, &topo, &nccl),
+            CollectiveAlgorithm::Tree
+        );
+    }
+}

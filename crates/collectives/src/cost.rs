@@ -1,0 +1,195 @@
+//! Analytic cost model for collective operations.
+//!
+//! Ring all-reduce over `n` ranks moves `2(n−1)/n × bytes` per rank, so with
+//! the measured *bus bandwidth* `B` (the quantity `nccl-tests` reports and
+//! the paper quotes: 32.75 GB/s on the V100 node, 14.88 GB/s on the A100
+//! node) the transfer takes `2(n−1)/n × bytes / (B × f)` where `f` is the
+//! bandwidth fraction achievable under the current [`NcclConfig`], plus a
+//! fixed base latency per launched collective.
+
+use liger_gpu_sim::SimDuration;
+
+use crate::nccl::NcclConfig;
+use crate::topology::Topology;
+
+/// The collective operations the transformer workloads need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CollectiveKind {
+    /// Ring all-reduce (tensor-parallel synchronization).
+    AllReduce,
+    /// Reduce-scatter (half of an all-reduce).
+    ReduceScatter,
+    /// All-gather (the other half).
+    AllGather,
+    /// Point-to-point transfer between two ranks (pipeline stage boundary).
+    SendRecv,
+}
+
+impl CollectiveKind {
+    /// Bytes moved per rank, as a multiple of the payload size, for an
+    /// `n`-rank ring.
+    pub fn traffic_factor(self, n: usize) -> f64 {
+        let n = n.max(2) as f64;
+        match self {
+            CollectiveKind::AllReduce => 2.0 * (n - 1.0) / n,
+            CollectiveKind::ReduceScatter | CollectiveKind::AllGather => (n - 1.0) / n,
+            CollectiveKind::SendRecv => 1.0,
+        }
+    }
+
+    /// Kernel-name prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "nccl_allreduce",
+            CollectiveKind::ReduceScatter => "nccl_reduce_scatter",
+            CollectiveKind::AllGather => "nccl_allgather",
+            CollectiveKind::SendRecv => "nccl_sendrecv",
+        }
+    }
+}
+
+/// No-load duration of a collective moving `bytes` across `n` ranks.
+pub fn collective_time(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+    debug_assert!(n >= 1);
+    if n <= 1 {
+        return SimDuration::ZERO; // degenerate single-rank "collective"
+    }
+    let bw = match kind {
+        CollectiveKind::SendRecv => topo.p2p_bw,
+        _ => topo.allreduce_bus_bw,
+    } * nccl.bandwidth_fraction();
+    let transfer = kind.traffic_factor(n) * bytes as f64 / bw;
+    // Ring latency chains through every rank: (n-1) hops, normalized so a
+    // 4-rank ring costs exactly the topology's calibrated base latency.
+    let latency = match kind {
+        CollectiveKind::SendRecv => topo.base_latency,
+        _ => topo.base_latency.scale((n as f64 - 1.0) / 3.0),
+    };
+    latency + SimDuration::from_secs_f64(transfer)
+}
+
+/// Duration of one chunk when a collective is equally decomposed into
+/// `parts` pieces: each chunk moves `bytes/parts` and pays the base latency
+/// again. This is the §3.6 all-reduce decomposition profile.
+pub fn chunk_time(
+    kind: CollectiveKind,
+    bytes: u64,
+    parts: u32,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> SimDuration {
+    let parts = parts.max(1) as u64;
+    collective_time(kind, bytes.div_ceil(parts), n, topo, nccl)
+}
+
+/// Total duration of a fully decomposed collective (`parts` sequential
+/// chunks). Always ≥ the undivided time; the gap is the decomposition
+/// overhead the runtime weighs against finer overlap.
+pub fn decomposed_total_time(
+    kind: CollectiveKind,
+    bytes: u64,
+    parts: u32,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> SimDuration {
+    chunk_time(kind, bytes, parts, n, topo, nccl) * parts.max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_factors() {
+        assert!((CollectiveKind::AllReduce.traffic_factor(4) - 1.5).abs() < 1e-12);
+        assert!((CollectiveKind::ReduceScatter.traffic_factor(4) - 0.75).abs() < 1e-12);
+        assert!((CollectiveKind::AllGather.traffic_factor(2) - 0.5).abs() < 1e-12);
+        assert!((CollectiveKind::SendRecv.traffic_factor(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_time_hand_check() {
+        // 10 GB/s bus, 1us latency, 4 ranks, 10 MB payload, saturating NCCL:
+        // 1.5 * 10e6 / 10e9 = 1.5ms + 1us.
+        let topo = Topology::test_topology();
+        let nccl = NcclConfig::default();
+        let t = collective_time(CollectiveKind::AllReduce, 10_000_000, 4, &topo, &nccl);
+        assert_eq!(t, SimDuration::from_micros(1501));
+    }
+
+    #[test]
+    fn paper_v100_allreduce_magnitude() {
+        // OPT-30B layer activation: batch 2 x seq 64 x hidden 7168 x fp16
+        // = 1.83 MB; the paper-scale sanity check from DESIGN.md: ~88us.
+        let topo = Topology::v100_nvlink();
+        let nccl = NcclConfig::liger_tuned();
+        let bytes = 2 * 64 * 7168 * 2;
+        let t = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+        let us = t.as_micros_f64();
+        assert!((80.0..100.0).contains(&us), "V100 all-reduce {us:.1}us out of expected band");
+    }
+
+    #[test]
+    fn pcie_is_slower_than_nvlink() {
+        let nccl = NcclConfig::default();
+        let bytes = 1 << 20;
+        let nv = collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::v100_nvlink(), &nccl);
+        let pcie = collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::a100_pcie(), &nccl);
+        assert!(pcie > nv);
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let t = collective_time(
+            CollectiveKind::AllReduce,
+            1 << 20,
+            1,
+            &Topology::test_topology(),
+            &NcclConfig::default(),
+        );
+        assert_eq!(t, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fewer_channels_below_saturation_slow_transfers() {
+        let topo = Topology::test_topology();
+        let one = NcclConfig::default().with_channels(1);
+        let many = NcclConfig::default();
+        let bytes = 10 << 20;
+        let slow = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &one);
+        let fast = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &many);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn decomposition_overhead_is_latency_bound() {
+        let topo = Topology::test_topology();
+        let nccl = NcclConfig::default();
+        let bytes = 8 << 20;
+        let whole = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+        for parts in [2u32, 4, 8, 16] {
+            let total = decomposed_total_time(CollectiveKind::AllReduce, bytes, parts, 4, &topo, &nccl);
+            assert!(total >= whole, "decomposed total must not beat the whole");
+            // Overhead equals the extra (parts-1) base latencies, up to
+            // per-chunk nanosecond rounding in either direction.
+            let overhead = (total - whole).as_nanos() as i64;
+            let expect = (topo.base_latency * (parts as u64 - 1)).as_nanos() as i64;
+            let slack = parts as i64 + 1;
+            assert!(
+                (overhead - expect).abs() <= slack,
+                "parts={parts}: overhead {overhead}ns vs expected {expect}ns"
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_cover_the_payload() {
+        // parts chunks of ceil(bytes/parts) always cover bytes.
+        let bytes: u64 = 1_000_003;
+        for parts in 1u32..=16 {
+            assert!(bytes.div_ceil(parts as u64) * parts as u64 >= bytes);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # liger-collectives
+//!
+//! Interconnect topology and NCCL-like collective communication for the
+//! Liger reproduction: cost model (ring all-reduce bus-bandwidth
+//! formulation, point-to-point transfers), channel/resource configuration
+//! (`NCCL_MAX_NCHANNELS` / `NCCL_NTHREADS` analogs from the paper's §3.5
+//! contention mitigation), and planning helpers that instantiate collectives
+//! as rendezvous-synchronized kernels on the [`liger_gpu_sim`] simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod cost;
+pub mod nccl;
+pub mod plan;
+pub mod topology;
+
+pub use algorithm::{auto_choice, collective_time_with, CollectiveAlgorithm};
+pub use cost::{chunk_time, collective_time, decomposed_total_time, CollectiveKind};
+pub use nccl::NcclConfig;
+pub use plan::CollectivePlan;
+pub use topology::{InterconnectKind, Topology};

@@ -1,0 +1,132 @@
+//! NCCL-style resource configuration for communication kernels.
+//!
+//! NCCL collectives run as ordinary CUDA kernels whose grid size is the
+//! *channel* count; each channel occupies one CUDA block and a slice of SM
+//! time. The paper observes (§3.5) that NCCL allocates redundant blocks by
+//! default and that a few channels already saturate the node's bandwidth, so
+//! Liger pins `NCCL_MAX_NCHANNELS=3` (artifact appendix) to shrink the
+//! compute footprint of communication.
+//!
+//! [`NcclConfig`] models exactly that: a channel count which (a) caps the
+//! achievable fraction of the link bandwidth and (b) determines the `blocks`
+//! footprint of the generated communication kernels (and thereby the
+//! contention they impose on concurrent compute via the channel-sensitive
+//! term in `ContentionParams`).
+
+use serde::{Deserialize, Serialize};
+
+/// Channel/thread configuration of the communication library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NcclConfig {
+    /// Number of channels (CUDA blocks) per collective kernel
+    /// (`NCCL_MAX_NCHANNELS`).
+    pub channels: u32,
+    /// Threads per channel (`NCCL_NTHREADS`); only influences the
+    /// per-channel bandwidth capability.
+    pub threads_per_channel: u32,
+    /// Fraction of the link bandwidth a single channel can drive. With the
+    /// default 0.4, two channels reach 80% and three saturate the link,
+    /// matching the paper's observation that "less blocks are enough to
+    /// saturate the peak bandwidth".
+    pub per_channel_bw_fraction: f64,
+}
+
+impl Default for NcclConfig {
+    /// NCCL's out-of-the-box behavior: generous channel allocation.
+    fn default() -> Self {
+        NcclConfig {
+            channels: 16,
+            threads_per_channel: 512,
+            per_channel_bw_fraction: 0.4,
+        }
+    }
+}
+
+impl NcclConfig {
+    /// The tuned configuration from the paper's artifact
+    /// (`NCCL_MAX_NCHANNELS=3`, reduced `NCCL_NTHREADS`).
+    pub fn liger_tuned() -> NcclConfig {
+        NcclConfig {
+            channels: 3,
+            threads_per_channel: 256,
+            per_channel_bw_fraction: 0.4,
+        }
+    }
+
+    /// Config with an explicit channel count.
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels.max(1);
+        self
+    }
+
+    /// Fraction of the peak link bandwidth achievable with this
+    /// configuration (saturates at 1.0).
+    pub fn bandwidth_fraction(&self) -> f64 {
+        // Thread starvation halves a channel's capability below 128 threads.
+        let thread_scale = if self.threads_per_channel >= 128 { 1.0 } else { 0.5 };
+        (self.channels as f64 * self.per_channel_bw_fraction * thread_scale).min(1.0)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be >= 1".into());
+        }
+        if self.threads_per_channel == 0 {
+            return Err("threads_per_channel must be >= 1".into());
+        }
+        if !(self.per_channel_bw_fraction.is_finite() && self.per_channel_bw_fraction > 0.0) {
+            return Err("per_channel_bw_fraction must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_saturates_link() {
+        let c = NcclConfig::default();
+        assert_eq!(c.channels, 16);
+        assert!((c.bandwidth_fraction() - 1.0).abs() < 1e-12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn tuned_config_still_saturates_with_fewer_blocks() {
+        let c = NcclConfig::liger_tuned();
+        assert_eq!(c.channels, 3);
+        assert!((c.bandwidth_fraction() - 1.0).abs() < 1e-12, "3 channels x 0.4 saturate");
+        assert!(c.channels < NcclConfig::default().channels);
+    }
+
+    #[test]
+    fn single_channel_cannot_saturate() {
+        let c = NcclConfig::default().with_channels(1);
+        assert!((c.bandwidth_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_threads_halve_channel_capability() {
+        let c = NcclConfig {
+            channels: 2,
+            threads_per_channel: 64,
+            per_channel_bw_fraction: 0.4,
+        };
+        assert!((c.bandwidth_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NcclConfig { channels: 0, ..Default::default() }.validate().is_err());
+        assert!(NcclConfig { threads_per_channel: 0, ..Default::default() }.validate().is_err());
+        assert!(
+            NcclConfig { per_channel_bw_fraction: 0.0, ..Default::default() }
+                .validate()
+                .is_err()
+        );
+        assert_eq!(NcclConfig::default().with_channels(0).channels, 1);
+    }
+}

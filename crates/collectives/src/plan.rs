@@ -1,0 +1,174 @@
+//! Instantiating collectives as simulator kernels.
+//!
+//! A [`CollectivePlan`] describes one logical collective (kind, payload,
+//! participating ranks). [`CollectivePlan::kernel_specs`] turns it into one
+//! communication [`KernelSpec`] per rank, all bound to a fresh rendezvous
+//! group, ready to be launched by whatever engine is driving the simulation.
+
+use liger_gpu_sim::{DeviceId, KernelSpec, SimDuration, Simulation};
+
+use crate::cost::{chunk_time, collective_time, CollectiveKind};
+use crate::nccl::NcclConfig;
+use crate::topology::Topology;
+
+/// One logical collective operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectivePlan {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Payload bytes (per rank, pre-reduction).
+    pub bytes: u64,
+    /// Participating devices.
+    pub ranks: Vec<DeviceId>,
+}
+
+impl CollectivePlan {
+    /// An all-reduce across `ranks`.
+    pub fn allreduce(bytes: u64, ranks: Vec<DeviceId>) -> CollectivePlan {
+        CollectivePlan { kind: CollectiveKind::AllReduce, bytes, ranks }
+    }
+
+    /// A point-to-point transfer from `src` to `dst`.
+    pub fn send_recv(bytes: u64, src: DeviceId, dst: DeviceId) -> CollectivePlan {
+        CollectivePlan {
+            kind: CollectiveKind::SendRecv,
+            bytes,
+            ranks: vec![src, dst],
+        }
+    }
+
+    /// No-load duration of this collective.
+    pub fn duration(&self, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+        collective_time(self.kind, self.bytes, self.ranks.len(), topo, nccl)
+    }
+
+    /// Splits the plan into `parts` equal chunks (runtime decomposition of
+    /// §3.6). Each chunk is itself a full collective over the same ranks.
+    pub fn chunked(&self, parts: u32) -> Vec<CollectivePlan> {
+        let parts = parts.max(1);
+        let chunk_bytes = self.bytes.div_ceil(parts as u64);
+        (0..parts)
+            .map(|_| CollectivePlan {
+                kind: self.kind,
+                bytes: chunk_bytes,
+                ranks: self.ranks.clone(),
+            })
+            .collect()
+    }
+
+    /// Duration of one chunk under a `parts`-way decomposition.
+    pub fn chunk_duration(&self, parts: u32, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+        chunk_time(self.kind, self.bytes, parts, self.ranks.len(), topo, nccl)
+    }
+
+    /// Allocates a rendezvous group in `sim` and builds the per-rank kernel
+    /// specs. The caller launches each spec on its rank's stream of choice.
+    pub fn kernel_specs(
+        &self,
+        sim: &mut Simulation,
+        topo: &Topology,
+        nccl: &NcclConfig,
+        tag: u64,
+    ) -> Vec<(DeviceId, KernelSpec)> {
+        let work = self.duration(topo, nccl);
+        let group = sim.new_collective(self.ranks.len());
+        self.ranks
+            .iter()
+            .map(|&rank| {
+                let spec = KernelSpec::comm(self.kind.name(), work)
+                    .with_blocks(nccl.channels)
+                    .with_collective(group)
+                    .with_tag(tag);
+                (rank, spec)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, Driver, HostId, HostSpec, KernelClass, SimTime, StreamId, Wake};
+
+    fn ranks(n: usize) -> Vec<DeviceId> {
+        (0..n).map(DeviceId).collect()
+    }
+
+    #[test]
+    fn chunking_covers_payload_and_preserves_ranks() {
+        let plan = CollectivePlan::allreduce(1_000_003, ranks(4));
+        let chunks = plan.chunked(8);
+        assert_eq!(chunks.len(), 8);
+        let total: u64 = chunks.iter().map(|c| c.bytes).sum();
+        assert!(total >= plan.bytes);
+        for c in &chunks {
+            assert_eq!(c.ranks, plan.ranks);
+            assert_eq!(c.kind, plan.kind);
+        }
+    }
+
+    #[test]
+    fn chunk_duration_matches_cost_model() {
+        let plan = CollectivePlan::allreduce(8 << 20, ranks(4));
+        let topo = Topology::test_topology();
+        let nccl = NcclConfig::default();
+        assert_eq!(plan.chunk_duration(8, &topo, &nccl), chunk_time(CollectiveKind::AllReduce, 8 << 20, 8, 4, &topo, &nccl));
+        assert_eq!(plan.chunk_duration(1, &topo, &nccl), plan.duration(&topo, &nccl));
+    }
+
+    #[test]
+    fn send_recv_is_pairwise() {
+        let p = CollectivePlan::send_recv(1 << 20, DeviceId(1), DeviceId(2));
+        assert_eq!(p.ranks.len(), 2);
+        assert_eq!(p.kind, CollectiveKind::SendRecv);
+    }
+
+    /// End-to-end: instantiate an all-reduce on a 4-GPU sim and check all
+    /// ranks execute it simultaneously for the cost-model duration.
+    #[test]
+    fn allreduce_executes_on_the_simulator() {
+        struct D {
+            plan: CollectivePlan,
+            topo: Topology,
+            nccl: NcclConfig,
+        }
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                let specs = self.plan.kernel_specs(sim, &self.topo, &self.nccl, 7);
+                for (rank, spec) in specs {
+                    sim.launch(HostId(rank.0), StreamId::new(rank, 1), spec);
+                }
+            }
+            fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+        }
+
+        let topo = Topology::test_topology();
+        let nccl = NcclConfig::liger_tuned();
+        let plan = CollectivePlan::allreduce(10 << 20, ranks(4));
+        let expected = plan.duration(&topo, &nccl);
+
+        let mut sim = Simulation::builder()
+            .devices(DeviceSpec::test_device(), 4)
+            .capture_trace(true)
+            .build()
+            .unwrap();
+        // Instant hosts so the rendezvous is not skewed by launch overhead.
+        let mut hosts: Vec<HostSpec> = Vec::new();
+        for _ in 0..4 {
+            hosts.push(HostSpec::instant());
+        }
+        drop(hosts); // builder hosts already created; override not needed for timing below
+        let mut drv = D { plan, topo, nccl };
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let evs: Vec<_> = trace.of_class(KernelClass::Comm).collect();
+        assert_eq!(evs.len(), 4);
+        let start = evs.iter().map(|e| e.started_at).max().unwrap();
+        for e in &evs {
+            assert_eq!(e.started_at, start, "all ranks start together");
+            assert_eq!(e.ended_at, start + expected, "duration follows the cost model");
+            assert_eq!(e.tag, 7);
+        }
+        assert!(start > SimTime::ZERO, "launch overhead staggers rendezvous arrival");
+    }
+}

@@ -1,0 +1,116 @@
+//! Interconnect topology of the multi-GPU node.
+//!
+//! The paper evaluates two node flavors (Fig. 1): GPUs joined by a direct
+//! link (NVLink) and GPUs communicating through the PCIe switch. What the
+//! cost model needs from the topology is the achievable *bus bandwidth* of
+//! ring collectives (taken from the paper's own `nccl-tests` measurements),
+//! the point-to-point bandwidth, and the base latency of starting a
+//! collective.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::SimDuration;
+
+/// The physical interconnect flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterconnectKind {
+    /// Direct GPU-to-GPU links (NVLink / Infinity Fabric).
+    NvLink,
+    /// Communication through the PCIe switch.
+    PciE,
+}
+
+/// Interconnect description of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Flavor of the links.
+    pub kind: InterconnectKind,
+    /// Peak all-reduce *bus* bandwidth in bytes/s, as reported by
+    /// `nccl-tests` (busbw = algbw × 2(n−1)/n).
+    pub allreduce_bus_bw: f64,
+    /// Peak point-to-point bandwidth in bytes/s (pipeline stage transfers).
+    pub p2p_bw: f64,
+    /// Fixed startup latency of one collective operation (ring setup,
+    /// protocol switch), paid once per launched collective kernel — this is
+    /// what makes over-decomposing collectives progressively less free.
+    pub base_latency: SimDuration,
+}
+
+impl Topology {
+    /// The paper's V100 node: 4× Tesla V100 with first-generation NVLink;
+    /// `nccl-tests` peak all-reduce bandwidth 32.75 GB/s (§4.1).
+    pub fn v100_nvlink() -> Topology {
+        Topology {
+            kind: InterconnectKind::NvLink,
+            allreduce_bus_bw: 32.75e9,
+            p2p_bw: 22e9, // one NVLink1 brick pair
+            base_latency: SimDuration::from_micros(2),
+        }
+    }
+
+    /// The paper's A100 node: 4× A100 communicating over the PCIe switch;
+    /// `nccl-tests` peak all-reduce bandwidth 14.88 GB/s (§4.1).
+    pub fn a100_pcie() -> Topology {
+        Topology {
+            kind: InterconnectKind::PciE,
+            allreduce_bus_bw: 14.88e9,
+            p2p_bw: 12e9, // PCIe gen4 x16 effective
+            base_latency: SimDuration::from_micros(5),
+        }
+    }
+
+    /// A round-numbers topology for unit tests: 10 GB/s bus bandwidth,
+    /// 10 GB/s p2p and 1 µs base latency.
+    pub fn test_topology() -> Topology {
+        Topology {
+            kind: InterconnectKind::NvLink,
+            allreduce_bus_bw: 10e9,
+            p2p_bw: 10e9,
+            base_latency: SimDuration::from_micros(1),
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.allreduce_bus_bw.is_finite() && self.allreduce_bus_bw > 0.0) {
+            return Err("allreduce_bus_bw must be positive".into());
+        }
+        if !(self.p2p_bw.is_finite() && self.p2p_bw > 0.0) {
+            return Err("p2p_bw must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_numbers() {
+        let v = Topology::v100_nvlink();
+        assert_eq!(v.kind, InterconnectKind::NvLink);
+        assert!((v.allreduce_bus_bw - 32.75e9).abs() < 1.0);
+        let a = Topology::a100_pcie();
+        assert_eq!(a.kind, InterconnectKind::PciE);
+        assert!((a.allreduce_bus_bw - 14.88e9).abs() < 1.0);
+        assert!(a.base_latency > v.base_latency, "PCIe collectives start slower");
+    }
+
+    #[test]
+    fn presets_validate() {
+        Topology::v100_nvlink().validate().unwrap();
+        Topology::a100_pcie().validate().unwrap();
+        Topology::test_topology().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut t = Topology::test_topology();
+        t.allreduce_bus_bw = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = Topology::test_topology();
+        t.p2p_bw = f64::NAN;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Liger runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How rounds are synchronized and launched (§3.4, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// The paper's hybrid approach: a CUDA event *before* the switch kernel
+    /// notifies the CPU to pre-launch the next round's subsets (hiding the
+    /// kernel launch overhead under the still-running kernel); a second
+    /// event *after* it gates execution via inter-stream synchronization
+    /// with no CPU involvement.
+    Hybrid,
+    /// Pure CPU–GPU synchronization: the host blocks until every kernel of
+    /// the round has terminated on every GPU, then launches the next round
+    /// (communication subset first). Exposes the multi-GPU launch overhead
+    /// the paper measures at > 20 µs (Fig. 13's ablation arm).
+    CpuGpu,
+    /// Pure inter-stream synchronization: every round of the current
+    /// processing list is planned and launched up front, gated only by
+    /// inter-stream events. Floods the launch queues, which delays
+    /// communication-kernel dispatch (§2.3.1's lag problem; ablation arm).
+    InterStream,
+}
+
+/// Configuration of the Liger engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LigerConfig {
+    /// Synchronization approach.
+    pub sync_mode: SyncMode,
+    /// The contention factor applied to secondary-subset durations when
+    /// packing them into the primary window (§3.5). The paper uses 1.10 on
+    /// the V100 node and 1.15 on the A100 node; obtain it with
+    /// [`liger_model::profile_contention`] or set it explicitly.
+    pub contention_factor: f64,
+    /// Division factor `F` for runtime kernel decomposition (§3.6, Fig. 14).
+    /// The paper's default is 8.
+    pub division_factor: u32,
+    /// Fixed size of the processing list (§3.3): how many batches are
+    /// scheduled concurrently; further batches wait in the queue.
+    pub processing_slots: usize,
+    /// Enables runtime kernel decomposition (disable for the ablation).
+    pub enable_decomposition: bool,
+    /// Online contention-factor adaptation (extension beyond the paper's
+    /// static §3.5 factor): the engine compares each round's secondary-
+    /// stream completion against the primary window and nudges the factor
+    /// up on overruns / down when persistently slack.
+    pub adaptive_factor: bool,
+}
+
+impl Default for LigerConfig {
+    fn default() -> Self {
+        LigerConfig {
+            sync_mode: SyncMode::Hybrid,
+            contention_factor: 1.15,
+            division_factor: 8,
+            processing_slots: 4,
+            enable_decomposition: true,
+            adaptive_factor: false,
+        }
+    }
+}
+
+impl LigerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.contention_factor.is_finite() && self.contention_factor >= 1.0) {
+            return Err(format!("contention_factor must be >= 1.0, got {}", self.contention_factor));
+        }
+        if self.division_factor == 0 {
+            return Err("division_factor must be >= 1".into());
+        }
+        if self.processing_slots < 1 {
+            return Err("processing_slots must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Sets the sync mode.
+    pub fn with_sync_mode(mut self, mode: SyncMode) -> Self {
+        self.sync_mode = mode;
+        self
+    }
+
+    /// Sets the contention factor.
+    pub fn with_contention_factor(mut self, f: f64) -> Self {
+        self.contention_factor = f;
+        self
+    }
+
+    /// Sets the division factor.
+    pub fn with_division_factor(mut self, f: u32) -> Self {
+        self.division_factor = f.max(1);
+        self
+    }
+
+    /// Enables online contention-factor adaptation.
+    pub fn with_adaptive_factor(mut self, on: bool) -> Self {
+        self.adaptive_factor = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = LigerConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.sync_mode, SyncMode::Hybrid);
+        assert_eq!(c.division_factor, 8, "the paper's default division factor");
+        assert!(c.enable_decomposition);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(LigerConfig { contention_factor: 0.9, ..Default::default() }.validate().is_err());
+        assert!(LigerConfig { contention_factor: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(LigerConfig { division_factor: 0, ..Default::default() }.validate().is_err());
+        assert!(LigerConfig { processing_slots: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let c = LigerConfig::default()
+            .with_sync_mode(SyncMode::CpuGpu)
+            .with_contention_factor(1.1)
+            .with_division_factor(16);
+        assert_eq!(c.sync_mode, SyncMode::CpuGpu);
+        assert!((c.contention_factor - 1.1).abs() < 1e-12);
+        assert_eq!(c.division_factor, 16);
+        assert_eq!(LigerConfig::default().with_division_factor(0).division_factor, 1);
+    }
+}

@@ -1,0 +1,862 @@
+//! The Liger runtime engine (§3).
+//!
+//! Implements interleaved parallelism on the simulated multi-GPU node: the
+//! engine keeps a waiting queue and a fixed-size processing list of
+//! assembled `FuncVec`s (§3.3), repeatedly plans scheduling rounds with
+//! [`plan_round`] (Algorithm 1 + contention anticipation + runtime
+//! decomposition) and launches each round's two subsets onto two streams of
+//! every device:
+//!
+//! * **stream 0** carries primary subsets (the earliest batch's runs),
+//! * **stream 1** carries secondary subsets (opposite-class kernels from
+//!   subsequent batches).
+//!
+//! With `CUDA_DEVICE_MAX_CONNECTIONS = 2` each stream owns a hardware
+//! queue, so the two subsets execute concurrently and the interleaving is
+//! exactly the paper's Fig. 6 timeline. Round-to-round coordination follows
+//! the configured [`SyncMode`].
+
+use std::collections::VecDeque;
+
+use liger_collectives::NcclConfig;
+use liger_gpu_sim::{DeviceId, EventId, HostId, KernelClass, SimTime, Simulation, StreamId, Wake};
+use liger_model::{CostModel, ModelConfig};
+use liger_parallelism::check_divisibility;
+use liger_parallelism::launch::{batch_working_set_bytes, compute_spec, comm_specs, EngineMemory};
+use liger_serving::{InferenceEngine, Request};
+
+use crate::config::{LigerConfig, SyncMode};
+use crate::funcvec::FuncVec;
+use crate::scheduler::{plan_round, LaunchItem, PlanParams, RoundPlan};
+
+/// Wake tokens with this bit set are engine control-flow (round events);
+/// tokens without it are batch completion notifications. The serving
+/// runner's namespace uses bit 63, so bit 62 is free for the engine.
+const CONTROL: u64 = 1 << 62;
+
+/// Control-token sub-kinds (bits 56..58 within the CONTROL namespace).
+const KIND_SHIFT: u64 = 56;
+const KIND_MASK: u64 = 0b11 << KIND_SHIFT;
+const KIND_E1: u64 = 0;
+const KIND_PRI_END: u64 = 1 << KIND_SHIFT;
+const KIND_SEC_END: u64 = 2 << KIND_SHIFT;
+
+fn control_token(kind: u64, round: u64) -> u64 {
+    debug_assert!(round < 1 << 56);
+    CONTROL | kind | round
+}
+
+/// Stream indices used by the engine.
+const PRIMARY_STREAM: usize = 0;
+const SECONDARY_STREAM: usize = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Nothing scheduled; next submit starts a round immediately.
+    Idle,
+    /// Hybrid mode: a round is in flight, its E1 callback pending.
+    Hybrid,
+    /// CPU–GPU mode: blocking syncs outstanding for the current round.
+    CpuGpuWait { remaining: u32 },
+    /// Inter-stream mode: everything launched; completions outstanding.
+    Flood { outstanding: u32 },
+}
+
+/// The Liger serving engine.
+pub struct LigerEngine {
+    cfg: ModelConfig,
+    cost: CostModel,
+    config: LigerConfig,
+    devices: Vec<DeviceId>,
+    nccl: NcclConfig,
+    waiting: VecDeque<FuncVec>,
+    processing: VecDeque<FuncVec>,
+    round: u64,
+    prev_e2: Option<Vec<EventId>>,
+    phase: Phase,
+    completed: Vec<(u64, SimTime)>,
+    /// Rounds planned so far (exposed for tests/diagnostics).
+    rounds_planned: u64,
+    /// Live contention factor (may drift from the configured one when
+    /// adaptation is enabled).
+    factor: f64,
+    /// Per-round (primary end, secondary end) observations for adaptation,
+    /// keyed by round number; windows in nanoseconds.
+    observations: std::collections::HashMap<u64, RoundObs>,
+    /// Count of adaptation decisions taken (diagnostics).
+    adaptations: u64,
+    memory: EngineMemory,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RoundObs {
+    window_ns: u64,
+    primary_end: Option<SimTime>,
+    secondary_end: Option<SimTime>,
+}
+
+impl LigerEngine {
+    /// Creates the engine over devices `0..world` with the given config.
+    pub fn new(cfg: ModelConfig, cost: CostModel, world: usize, config: LigerConfig) -> Result<LigerEngine, String> {
+        check_divisibility(&cfg, world as u32)?;
+        config.validate()?;
+        let nccl = cost.nccl;
+        Ok(LigerEngine {
+            cfg,
+            cost,
+            config,
+            devices: (0..world).map(DeviceId).collect(),
+            nccl,
+            waiting: VecDeque::new(),
+            processing: VecDeque::new(),
+            round: 0,
+            prev_e2: None,
+            phase: Phase::Idle,
+            completed: Vec::new(),
+            rounds_planned: 0,
+            factor: config.contention_factor,
+            observations: std::collections::HashMap::new(),
+            adaptations: 0,
+            memory: EngineMemory::new(),
+        })
+    }
+
+    /// Tensor-parallel degree / device count.
+    pub fn world(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of scheduling rounds planned so far.
+    pub fn rounds_planned(&self) -> u64 {
+        self.rounds_planned
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LigerConfig {
+        &self.config
+    }
+
+    /// The contention factor currently in effect (drifts from the
+    /// configured value when adaptation is on).
+    pub fn current_factor(&self) -> f64 {
+        self.factor
+    }
+
+    fn params(&self) -> PlanParams {
+        PlanParams {
+            contention_factor: self.factor,
+            division_factor: self.config.division_factor,
+            enable_decomposition: self.config.enable_decomposition,
+        }
+    }
+
+    /// Feeds one round's (primary end, secondary end) pair into the online
+    /// factor adaptation: overruns push the factor up multiplicatively;
+    /// a clean round relaxes it slowly toward 1.0.
+    fn adapt_factor(&mut self, obs: RoundObs) {
+        let (Some(pri), Some(sec)) = (obs.primary_end, obs.secondary_end) else { return };
+        if obs.window_ns == 0 {
+            return;
+        }
+        let overrun = sec.saturating_since(pri).as_nanos() as f64 / obs.window_ns as f64;
+        self.adaptations += 1;
+        if overrun > 0.01 {
+            self.factor = (self.factor * (1.0 + overrun.min(0.5))).min(2.0);
+        } else {
+            self.factor = (self.factor * 0.998).max(1.0);
+        }
+    }
+
+    fn record_observation(&mut self, round: u64, kind: u64, at: SimTime) {
+        let obs = self.observations.entry(round).or_default();
+        match kind {
+            KIND_PRI_END => obs.primary_end = Some(at),
+            KIND_SEC_END => obs.secondary_end = Some(at),
+            _ => unreachable!("not an observation kind"),
+        }
+        if obs.primary_end.is_some() && obs.secondary_end.is_some() {
+            let obs = self.observations.remove(&round).unwrap();
+            self.adapt_factor(obs);
+        }
+    }
+
+    /// Purges fully scheduled batches and admits waiting batches up to the
+    /// processing-list capacity (§3.3's update_list()). Working sets are
+    /// allocated at admission — the processing list, not the waiting queue,
+    /// is what occupies device memory.
+    fn update_list(&mut self, sim: &mut Simulation) {
+        self.processing.retain(|v| !v.is_empty());
+        while self.processing.len() < self.config.processing_slots {
+            let Some(v) = self.waiting.pop_front() else { break };
+            let devices = self.devices.clone();
+            self.memory.batch_submitted(
+                sim,
+                &devices,
+                v.batch_id,
+                batch_working_set_bytes(&self.cfg, v.shape, self.devices.len() as u32),
+            );
+            self.processing.push_back(v);
+        }
+    }
+
+    /// Plans and launches the next round; returns false when idle.
+    fn advance(&mut self, sim: &mut Simulation) -> bool {
+        self.update_list(sim);
+        let params = self.params();
+        let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else {
+            self.phase = Phase::Idle;
+            return false;
+        };
+        self.rounds_planned += 1;
+        match self.config.sync_mode {
+            SyncMode::Hybrid => {
+                self.launch_round(sim, &plan, true);
+                self.phase = Phase::Hybrid;
+            }
+            SyncMode::CpuGpu => {
+                self.launch_round(sim, &plan, false);
+                // Block every host on both streams having drained.
+                let mut remaining = 0;
+                for &d in &self.devices.clone() {
+                    for stream in [PRIMARY_STREAM, SECONDARY_STREAM] {
+                        let ev = sim.record_event(HostId(d.0), StreamId::new(d, stream));
+                        sim.host_sync(HostId(d.0), ev, control_token(KIND_E1, self.round));
+                        remaining += 1;
+                    }
+                }
+                self.phase = Phase::CpuGpuWait { remaining };
+            }
+            SyncMode::InterStream => unreachable!("flood mode plans in flood()"),
+        }
+        true
+    }
+
+    /// Inter-stream mode: plan and launch every possible round up front.
+    fn flood(&mut self, sim: &mut Simulation) {
+        let mut outstanding = 0u32;
+        loop {
+            self.update_list(sim);
+            let params = self.params();
+            let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else { break };
+            self.rounds_planned += 1;
+            outstanding += self.launch_round(sim, &plan, false);
+        }
+        self.phase = if outstanding > 0 { Phase::Flood { outstanding } } else { Phase::Idle };
+    }
+
+    /// Launches one round's subsets. When `hybrid_events` is set, inserts
+    /// the E1 (CPU notification) and E2 (inter-stream gate) events of §3.4.
+    /// Returns the number of batch-completion notifications registered.
+    fn launch_round(&mut self, sim: &mut Simulation, plan: &RoundPlan, hybrid_events: bool) -> u32 {
+        let round = self.round;
+        self.round += 1;
+        let mut completions = 0;
+
+        // The secondary stream is gated on the *previous* round's E2; grab
+        // it before launch_primary records this round's.
+        let gate = self.prev_e2.take();
+
+        // The communication subset is launched first (§3.4): its rendezvous
+        // benefits most from reaching the devices early.
+        let comm_is_primary = plan.primary_class == KernelClass::Comm;
+        if comm_is_primary {
+            completions += self.launch_primary(sim, plan, round, hybrid_events);
+            completions += self.launch_secondary(sim, plan, gate.as_deref());
+        } else {
+            completions += self.launch_secondary(sim, plan, gate.as_deref());
+            completions += self.launch_primary(sim, plan, round, hybrid_events);
+        }
+        completions
+    }
+
+    /// Launches the primary subset on stream 0 of every device, with the
+    /// hybrid E1/E2 events when requested.
+    fn launch_primary(&mut self, sim: &mut Simulation, plan: &RoundPlan, round: u64, hybrid_events: bool) -> u32 {
+        let devices = self.devices.clone();
+        let mut completions = 0;
+
+        // Cross-stream dependency: if the primary batch previously ran in a
+        // secondary subset (stream 1), its stream-0 run must wait for that.
+        if let Some(primary_item) = plan.primary.first() {
+            if let Some(v) = self.find_batch(primary_item.batch) {
+                if v.1 == Some(SECONDARY_STREAM) {
+                    if let Some(deps) = v.2 {
+                        for (i, &d) in devices.iter().enumerate() {
+                            sim.stream_wait(HostId(d.0), StreamId::new(d, PRIMARY_STREAM), deps[i]);
+                        }
+                    }
+                }
+            }
+        }
+
+        let n = plan.primary.len();
+        for (idx, item) in plan.primary.iter().enumerate() {
+            // E1 sits immediately before the kernel whose successor switches
+            // type (the run's last kernel).
+            if hybrid_events && idx == n - 1 {
+                let e1 = sim.record_event(HostId(devices[0].0), StreamId::new(devices[0], PRIMARY_STREAM));
+                sim.notify_on_event(e1, HostId(devices[0].0), control_token(KIND_E1, round));
+            }
+            self.launch_item(sim, item, PRIMARY_STREAM);
+            if item.completes_batch {
+                self.notify_batch_done(sim, item.batch, PRIMARY_STREAM);
+                completions += 1;
+            }
+        }
+
+        // E2 after the run's last kernel, one per device: the next round's
+        // secondary stream waits on it. Hybrid mode uses it as the
+        // CPU-free inter-stream gate; the other modes still chain rounds on
+        // it so they cannot slide over each other.
+        let e2: Vec<EventId> = devices
+            .iter()
+            .map(|&d| sim.record_event(HostId(d.0), StreamId::new(d, PRIMARY_STREAM)))
+            .collect();
+        if self.config.adaptive_factor && !plan.secondary.is_empty() {
+            // Observe the primary window's end for factor adaptation
+            // (rounds without a secondary subset have nothing to compare).
+            sim.notify_on_event(e2[0], HostId(devices[0].0), control_token(KIND_PRI_END, round));
+            self.observations.entry(round).or_default().window_ns = plan.window.as_nanos();
+        }
+        self.prev_e2 = Some(e2);
+
+        // Track the primary batch's stream for later rounds.
+        if let Some(item) = plan.primary.first() {
+            let id = item.batch;
+            if let Some(v) = self.processing.iter_mut().find(|v| v.batch_id == id) {
+                v.last_stream = Some(PRIMARY_STREAM);
+            }
+        }
+        completions
+    }
+
+    /// Launches the secondary subset on stream 1 of every device, gated on
+    /// the previous round's E2.
+    fn launch_secondary(&mut self, sim: &mut Simulation, plan: &RoundPlan, gate: Option<&[EventId]>) -> u32 {
+        if plan.secondary.is_empty() {
+            return 0;
+        }
+        let devices = self.devices.clone();
+        if let Some(prev) = gate {
+            for (i, &d) in devices.iter().enumerate() {
+                sim.stream_wait(HostId(d.0), StreamId::new(d, SECONDARY_STREAM), prev[i]);
+            }
+        }
+        let mut completions = 0;
+        for item in &plan.secondary {
+            self.launch_item(sim, item, SECONDARY_STREAM);
+            if item.completes_batch {
+                self.notify_batch_done(sim, item.batch, SECONDARY_STREAM);
+                completions += 1;
+            }
+        }
+        // One dependency event per device covers every secondary batch of
+        // this round: if any of them is promoted to primary later, its
+        // stream-0 run waits on these.
+        let deps: Vec<EventId> = devices
+            .iter()
+            .map(|&d| sim.record_event(HostId(d.0), StreamId::new(d, SECONDARY_STREAM)))
+            .collect();
+        if self.config.adaptive_factor {
+            let round = self.round.saturating_sub(1);
+            sim.notify_on_event(deps[0], HostId(devices[0].0), control_token(KIND_SEC_END, round));
+        }
+        for item in &plan.secondary {
+            if let Some(v) = self.processing.iter_mut().find(|v| v.batch_id == item.batch) {
+                v.last_stream = Some(SECONDARY_STREAM);
+                v.dep_events = Some(deps.clone());
+            }
+        }
+        completions
+    }
+
+    /// Launches one item on `stream` of every device (compute: one kernel
+    /// per device; comm: a rendezvous collective across all devices).
+    fn launch_item(&mut self, sim: &mut Simulation, item: &LaunchItem, stream: usize) {
+        let devices = &self.devices;
+        match item.op.class() {
+            KernelClass::Compute => {
+                for &d in devices {
+                    sim.launch(HostId(d.0), StreamId::new(d, stream), compute_spec(&item.op, item.batch));
+                }
+            }
+            KernelClass::Comm => {
+                if devices.len() < 2 {
+                    return; // degenerate single-device deployment
+                }
+                let specs = comm_specs(sim, &item.op, devices, &self.nccl, item.batch);
+                for (d, spec) in specs {
+                    sim.launch(HostId(d.0), StreamId::new(d, stream), spec);
+                }
+            }
+        }
+    }
+
+    fn notify_batch_done(&mut self, sim: &mut Simulation, batch: u64, stream: usize) {
+        let d0 = self.devices[0];
+        let ev = sim.record_event(HostId(d0.0), StreamId::new(d0, stream));
+        sim.notify_on_event(ev, HostId(d0.0), batch);
+    }
+
+    /// Looks a batch up in the processing list, returning
+    /// `(batch_id, last_stream, dep_events)`.
+    #[allow(clippy::type_complexity)]
+    fn find_batch(&self, id: u64) -> Option<(u64, Option<usize>, Option<&Vec<EventId>>)> {
+        self.processing
+            .iter()
+            .find(|v| v.batch_id == id)
+            .map(|v| (v.batch_id, v.last_stream, v.dep_events.as_ref()))
+    }
+}
+
+impl InferenceEngine for LigerEngine {
+    fn name(&self) -> &'static str {
+        match self.config.sync_mode {
+            SyncMode::Hybrid => "Liger",
+            SyncMode::CpuGpu => "Liger(CPU-GPU sync)",
+            SyncMode::InterStream => "Liger(inter-stream only)",
+        }
+    }
+
+    fn submit(&mut self, request: Request, sim: &mut Simulation) {
+        let world = self.world() as u32;
+        let devices = self.devices.clone();
+        self.memory.ensure_weights(sim, &devices, self.cfg.weight_bytes() / world as u64);
+        let v = FuncVec::assemble(
+            request.id,
+            request.shape,
+            request.arrival,
+            &self.cost,
+            &self.cfg,
+            self.world() as u32,
+        );
+        self.waiting.push_back(v);
+        if self.phase == Phase::Idle {
+            match self.config.sync_mode {
+                SyncMode::InterStream => self.flood(sim),
+                _ => {
+                    self.advance(sim);
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+        match wake {
+            Wake::EventFired { token, fired_at, .. } if token & CONTROL == 0 => {
+                // Batch completion.
+                self.memory.batch_completed(sim, token);
+                self.completed.push((token, fired_at));
+                if let Phase::Flood { outstanding } = self.phase {
+                    let left = outstanding.saturating_sub(1);
+                    if left == 0 {
+                        self.phase = Phase::Idle;
+                        if !self.waiting.is_empty() {
+                            self.flood(sim);
+                        }
+                    } else {
+                        self.phase = Phase::Flood { outstanding: left };
+                    }
+                }
+            }
+            Wake::EventFired { token, fired_at, .. } => match token & KIND_MASK {
+                KIND_E1 => {
+                    // E1: pre-launch the next round while the switch kernel
+                    // still runs.
+                    if self.phase == Phase::Hybrid {
+                        self.advance(sim);
+                    }
+                }
+                kind @ (KIND_PRI_END | KIND_SEC_END) => {
+                    let round = token & !(CONTROL | KIND_MASK);
+                    self.record_observation(round, kind, fired_at);
+                }
+                _ => unreachable!("unknown control-token kind"),
+            },
+            Wake::HostSynced { .. } => {
+                if let Phase::CpuGpuWait { remaining } = self.phase {
+                    let left = remaining.saturating_sub(1);
+                    if left == 0 {
+                        self.advance(sim);
+                    } else {
+                        self.phase = Phase::CpuGpuWait { remaining: left };
+                    }
+                }
+            }
+            Wake::Timer { .. } => {}
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, HostSpec, SimDuration, SimTime};
+    use liger_model::BatchShape;
+    use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
+    use liger_serving::{serve, ArrivalProcess, PrefillTraceConfig, Request};
+
+    /// A mid-size model whose kernels comfortably dominate host overheads:
+    /// hidden 4096 gives ~18% communication share at tp=2 on the V100 node.
+    pub(super) fn chunky() -> ModelConfig {
+        ModelConfig {
+            name: "Chunky-Test".into(),
+            layers: 4,
+            heads: 8,
+            hidden: 4096,
+            vocab: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    pub(super) fn v100_sim(n: usize) -> Simulation {
+        let mut b = Simulation::builder()
+            .devices(DeviceSpec::v100_16gb(), n)
+            .capture_trace(true);
+        for r in 0..n {
+            b = b.host(HostSpec::mpi_rank(r));
+        }
+        b.build().unwrap()
+    }
+
+    fn trace(count: usize, rate: f64, seq: u32) -> Vec<Request> {
+        PrefillTraceConfig {
+            count,
+            batch: 2,
+            seq_min: seq,
+            seq_max: seq,
+            arrivals: ArrivalProcess::Constant { rate },
+            seed: 0,
+        }
+        .generate()
+    }
+
+    fn liger(world: usize, config: LigerConfig) -> LigerEngine {
+        LigerEngine::new(chunky(), CostModel::v100_node(), world, config).unwrap()
+    }
+
+    fn v100_factor() -> f64 {
+        // The profiled V100 contention factor (§4.2 reports 1.1).
+        liger_model::profile_contention(&DeviceSpec::v100_16gb(), &liger_collectives::NcclConfig::liger_tuned())
+            .factor()
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(LigerEngine::new(chunky(), CostModel::v100_node(), 3, LigerConfig::default()).is_err());
+        let e = liger(2, LigerConfig::default());
+        assert_eq!(e.world(), 2);
+        assert_eq!(e.name(), "Liger");
+        assert_eq!(
+            liger(2, LigerConfig::default().with_sync_mode(SyncMode::CpuGpu)).name(),
+            "Liger(CPU-GPU sync)"
+        );
+        let bad = LigerConfig { contention_factor: 0.5, ..LigerConfig::default() };
+        assert!(LigerEngine::new(chunky(), CostModel::v100_node(), 2, bad).is_err());
+    }
+
+    #[test]
+    fn all_requests_complete_in_every_sync_mode() {
+        for mode in [SyncMode::Hybrid, SyncMode::CpuGpu, SyncMode::InterStream] {
+            let mut engine = liger(2, LigerConfig::default().with_sync_mode(mode));
+            let metrics = serve(&mut v100_sim(2), &mut engine, trace(25, 400.0, 64));
+            assert_eq!(metrics.completed(), 25, "mode {mode:?} lost requests");
+            assert!(engine.rounds_planned() > 25, "each batch takes many rounds");
+        }
+    }
+
+    #[test]
+    fn degenerates_to_intra_op_at_low_rate() {
+        // Paper §3.1: "when requests arrive at a low rate, the interleaved
+        // parallelism degenerates to the intra-operator approach".
+        let t = trace(4, 2.0, 64); // 500ms gaps: no two batches ever coexist
+        let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+        let lm = serve(&mut v100_sim(2), &mut lg, t.clone());
+        let mut intra = IntraOpEngine::new(chunky(), CostModel::v100_node(), 2).unwrap();
+        let im = serve(&mut v100_sim(2), &mut intra, t);
+        let (l, i) = (lm.avg_latency().as_secs_f64(), im.avg_latency().as_secs_f64());
+        assert!(
+            (l - i).abs() / i < 0.05,
+            "solo Liger latency {l:.6}s should match intra-op {i:.6}s"
+        );
+    }
+
+    #[test]
+    fn saturated_throughput_beats_intra_op_with_no_worse_latency_headroom() {
+        // The headline: under load Liger overlaps batches and lifts
+        // throughput above intra-op (paper: x1.15 V100 avg, x1.34 4-device).
+        let t = trace(40, 1e5, 64); // effectively simultaneous arrivals
+        let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+        let lm = serve(&mut v100_sim(2), &mut lg, t.clone());
+        let mut intra = IntraOpEngine::new(chunky(), CostModel::v100_node(), 2).unwrap();
+        let im = serve(&mut v100_sim(2), &mut intra, t);
+        assert_eq!(lm.completed(), 40);
+        let gain = lm.throughput() / im.throughput();
+        assert!(gain > 1.05, "Liger throughput gain over Intra-Op only x{gain:.3}");
+        assert!(gain < 1.6, "gain x{gain:.3} exceeds the physical comm-share bound");
+    }
+
+    #[test]
+    fn latency_beats_inter_op_before_saturation() {
+        // Moderate rate below Liger's capacity: Liger keeps intra-op-like
+        // latency while the pipeline pays full-model latency per request.
+        let t = trace(20, 150.0, 64);
+        let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+        let lm = serve(&mut v100_sim(2), &mut lg, t.clone());
+        let mut inter = InterOpEngine::new(chunky(), CostModel::v100_node(), 2, PipelineFlavor::Measured).unwrap();
+        let im = serve(&mut v100_sim(2), &mut inter, t);
+        assert!(
+            lm.avg_latency() < im.avg_latency(),
+            "Liger latency {} should beat Inter-Op {}",
+            lm.avg_latency(),
+            im.avg_latency()
+        );
+    }
+
+    #[test]
+    fn interleaving_manufactures_cross_class_overlap() {
+        let t = trace(10, 1e5, 64);
+        let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+        let mut sim = v100_sim(2);
+        serve(&mut sim, &mut lg, t);
+        let trace = sim.take_trace().unwrap();
+        let overlap = trace.overlap_time(DeviceId(0));
+        assert!(
+            overlap > SimDuration::from_micros(100),
+            "expected substantial compute/comm overlap, got {overlap}"
+        );
+    }
+
+    #[test]
+    fn principle_one_primary_latency_is_protected() {
+        // The first batch's latency under heavy load stays within the
+        // cross-class contention factor of its solo latency.
+        let solo = {
+            let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+            let m = serve(&mut v100_sim(2), &mut lg, trace(1, 1.0, 64));
+            m.avg_latency().as_secs_f64()
+        };
+        let loaded = {
+            let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+            let m = serve(&mut v100_sim(2), &mut lg, trace(12, 1e5, 64));
+            m.completions().iter().find(|c| c.id == 0).unwrap().latency().as_secs_f64()
+        };
+        let ratio = loaded / solo;
+        assert!(
+            ratio < 1.30,
+            "first batch slowed x{ratio:.3} under load; Principle 1 violated"
+        );
+        assert!(ratio >= 0.999, "the loaded run cannot be faster than solo");
+    }
+
+    #[test]
+    fn hybrid_sync_beats_cpu_gpu_sync() {
+        // Fig. 13: pre-launching hides the multi-GPU launch overhead.
+        let t = trace(25, 1e5, 32);
+        let mut hybrid = liger(4, LigerConfig::default().with_contention_factor(v100_factor()));
+        let hm = serve(&mut v100_sim(4), &mut hybrid, t.clone());
+        let mut cpu = liger(
+            4,
+            LigerConfig::default()
+                .with_contention_factor(v100_factor())
+                .with_sync_mode(SyncMode::CpuGpu),
+        );
+        let cm = serve(&mut v100_sim(4), &mut cpu, t);
+        assert!(
+            hm.throughput() > cm.throughput(),
+            "hybrid throughput {:.1} should beat CPU-GPU {:.1}",
+            hm.throughput(),
+            cm.throughput()
+        );
+        assert!(
+            hm.avg_latency() < cm.avg_latency(),
+            "hybrid latency {} should beat CPU-GPU {}",
+            hm.avg_latency(),
+            cm.avg_latency()
+        );
+    }
+
+    #[test]
+    fn decomposition_improves_packing() {
+        // Fig. 14 direction: a larger division factor packs windows more
+        // precisely; disabling decomposition must not beat enabling it.
+        let t = trace(30, 1e5, 64);
+        let run = |cfg: LigerConfig| {
+            let mut lg = liger(2, cfg.with_contention_factor(v100_factor()));
+            serve(&mut v100_sim(2), &mut lg, t.clone()).throughput()
+        };
+        let off = run(LigerConfig { enable_decomposition: false, ..LigerConfig::default() });
+        let on8 = run(LigerConfig::default().with_division_factor(8));
+        assert!(
+            on8 >= off * 0.999,
+            "decomposition on ({on8:.1}/s) must not lose to off ({off:.1}/s)"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut lg = liger(2, LigerConfig::default());
+            let m = serve(&mut v100_sim(2), &mut lg, trace(15, 500.0, 48));
+            let mut v: Vec<(u64, SimTime)> = m.completions().iter().map(|c| (c.id, c.finished)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn decode_workload_is_served() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request::new(i, BatchShape::decode(8, 16), SimTime::from_micros(100 * i)))
+            .collect();
+        let mut lg = liger(2, LigerConfig::default());
+        let m = serve(&mut v100_sim(2), &mut lg, reqs);
+        assert_eq!(m.completed(), 10);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, HostSpec};
+    use liger_serving::{serve, ArrivalProcess, PrefillTraceConfig};
+
+    fn chunky() -> ModelConfig {
+        ModelConfig {
+            name: "Chunky-Test".into(),
+            layers: 4,
+            heads: 8,
+            hidden: 4096,
+            vocab: 4096,
+            dtype_bytes: 2,
+        }
+    }
+
+    fn v100_sim(n: usize) -> Simulation {
+        let mut b = Simulation::builder().devices(DeviceSpec::v100_16gb(), n);
+        for r in 0..n {
+            b = b.host(HostSpec::mpi_rank(r));
+        }
+        b.build().unwrap()
+    }
+
+    fn loaded_trace(n: usize) -> Vec<liger_serving::Request> {
+        PrefillTraceConfig {
+            count: n,
+            batch: 2,
+            seq_min: 64,
+            seq_max: 64,
+            arrivals: ArrivalProcess::Constant { rate: 1e5 },
+            seed: 0,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn adaptation_policy_reacts_to_overruns_and_relaxes_when_clean() {
+        // Logic-level check of the policy itself: an observed overrun must
+        // raise the factor multiplicatively (clamped at 2.0); clean rounds
+        // relax it slowly toward 1.0 and never below.
+        let mut e = LigerEngine::new(
+            chunky(),
+            CostModel::v100_node(),
+            2,
+            LigerConfig::default().with_contention_factor(1.0).with_adaptive_factor(true),
+        )
+        .unwrap();
+        // 20% overrun: secondary ends 200us past a 1ms window.
+        e.adapt_factor(RoundObs {
+            window_ns: 1_000_000,
+            primary_end: Some(SimTime::from_micros(1000)),
+            secondary_end: Some(SimTime::from_micros(1200)),
+        });
+        let grown = e.current_factor();
+        assert!((1.15..=1.25).contains(&grown), "20% overrun grew factor to {grown}");
+        // Repeated giant overruns saturate at the clamp.
+        for _ in 0..20 {
+            e.adapt_factor(RoundObs {
+                window_ns: 1_000_000,
+                primary_end: Some(SimTime::from_micros(1000)),
+                secondary_end: Some(SimTime::from_micros(2000)),
+            });
+        }
+        assert_eq!(e.current_factor(), 2.0);
+        // Clean rounds relax slowly and never cross 1.0.
+        for _ in 0..10_000 {
+            e.adapt_factor(RoundObs {
+                window_ns: 1_000_000,
+                primary_end: Some(SimTime::from_micros(1000)),
+                secondary_end: Some(SimTime::from_micros(900)),
+            });
+        }
+        assert_eq!(e.current_factor(), 1.0);
+        // Incomplete observations are ignored.
+        e.adapt_factor(RoundObs { window_ns: 0, primary_end: Some(SimTime::ZERO), secondary_end: Some(SimTime::ZERO) });
+        e.adapt_factor(RoundObs { window_ns: 10, primary_end: None, secondary_end: Some(SimTime::ZERO) });
+        assert_eq!(e.current_factor(), 1.0);
+    }
+
+    #[test]
+    fn adaptation_observes_rounds_end_to_end() {
+        // Integration-level: observations flow through the event plumbing
+        // (pairs complete, decisions are taken) and the live factor stays
+        // within its clamps. Whether it moves depends on whether windows
+        // actually overrun — on the paper's symmetric testbeds they rarely
+        // do, which is §4.2's own observation.
+        let cfg = LigerConfig::default()
+            .with_contention_factor(1.0)
+            .with_adaptive_factor(true);
+        let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
+        let m = serve(&mut v100_sim(2), &mut e, loaded_trace(25));
+        assert_eq!(m.completed(), 25);
+        assert!(e.adaptations > 0, "no observation pair ever completed");
+        assert!((1.0..=2.0).contains(&e.current_factor()));
+    }
+
+    #[test]
+    fn overestimated_factor_relaxes_on_a_frictionless_device() {
+        let mut frictionless = DeviceSpec::test_device();
+        frictionless.mem_capacity = 16 << 30; // hold the chunky model's weights
+        let mut sim = Simulation::builder().devices(frictionless, 2).build().unwrap();
+        let cfg = LigerConfig::default()
+            .with_contention_factor(1.4)
+            .with_adaptive_factor(true);
+        let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
+        let m = serve(&mut sim, &mut e, loaded_trace(25));
+        assert_eq!(m.completed(), 25);
+        assert!(
+            e.current_factor() < 1.4,
+            "factor should relax from 1.4, stayed at {}",
+            e.current_factor()
+        );
+        assert!(e.current_factor() >= 1.0);
+    }
+
+    #[test]
+    fn static_factor_never_drifts() {
+        let cfg = LigerConfig::default().with_contention_factor(1.23);
+        let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
+        let m = serve(&mut v100_sim(2), &mut e, loaded_trace(20));
+        assert_eq!(m.completed(), 20);
+        assert_eq!(e.current_factor(), 1.23);
+    }
+
+    #[test]
+    fn adaptation_does_not_leak_observations() {
+        let cfg = LigerConfig::default()
+            .with_contention_factor(1.1)
+            .with_adaptive_factor(true);
+        let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
+        serve(&mut v100_sim(2), &mut e, loaded_trace(30));
+        assert!(
+            e.observations.len() < 16,
+            "observation map leaked {} entries",
+            e.observations.len()
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for Algorithm 1 (`plan_round`): the scheduling invariants
+//! the paper's Principles 1–3 demand, over randomized processing lists.
+
+use std::collections::VecDeque;
+
+use liger_core::{plan_round, FuncVec, PlanParams};
+use liger_gpu_sim::{KernelClass, SimDuration, SimTime};
+use liger_model::{BatchShape, CostModel, GemmKind, LayerOp, PlacedOp, PricedOp};
+use proptest::prelude::*;
+
+/// A randomized op: class + duration in microseconds.
+fn op_strategy() -> impl Strategy<Value = PricedOp> {
+    (any::<bool>(), 1u64..2000).prop_map(|(compute, us)| {
+        let (op, dur) = if compute {
+            (
+                LayerOp::Gemm { m: 128, k: 4096, n: 8192, kind: GemmKind::Fc1 },
+                SimDuration::from_micros(us),
+            )
+        } else {
+            (LayerOp::AllReduce { bytes: 4 << 20, ranks: 4 }, SimDuration::from_micros(us))
+        };
+        PricedOp { placed: PlacedOp { layer: 0, op }, duration: dur }
+    })
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<PricedOp>> {
+    prop::collection::vec(op_strategy(), 1..30)
+}
+
+fn list_strategy() -> impl Strategy<Value = Vec<Vec<PricedOp>>> {
+    prop::collection::vec(batch_strategy(), 1..6)
+}
+
+fn build_list(batches: &[Vec<PricedOp>]) -> VecDeque<FuncVec> {
+    batches
+        .iter()
+        .enumerate()
+        .map(|(i, ops)| FuncVec::from_ops(i as u64, BatchShape::prefill(1, 16), SimTime::ZERO, ops.clone()))
+        .collect()
+}
+
+fn params(factor: f64, df: u32) -> PlanParams {
+    PlanParams {
+        contention_factor: factor,
+        division_factor: df,
+        enable_decomposition: df > 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The primary subset is one maximal same-class run from batch 0 and its
+    /// window equals the run's duration sum.
+    #[test]
+    fn primary_is_a_single_class_run(batches in list_strategy(), factor in 1.0f64..1.5) {
+        let mut q = build_list(&batches);
+        let cm = CostModel::v100_node();
+        let plan = plan_round(&mut q, &params(factor, 8), &cm).unwrap();
+        prop_assert!(!plan.primary.is_empty());
+        let class = plan.primary_class;
+        let mut window = SimDuration::ZERO;
+        for item in &plan.primary {
+            prop_assert_eq!(item.batch, 0, "primary kernels come from the earliest batch");
+            prop_assert_eq!(item.op.class(), class);
+            window += item.op.duration;
+        }
+        prop_assert_eq!(window, plan.window);
+    }
+
+    /// Principle 1: the secondary subset's durations, scaled by the
+    /// contention factor, never exceed the primary window; all secondary
+    /// kernels are of the opposite class and from subsequent batches.
+    #[test]
+    fn secondary_fits_scaled_window(batches in list_strategy(), factor in 1.0f64..1.5) {
+        let mut q = build_list(&batches);
+        let cm = CostModel::v100_node();
+        let plan = plan_round(&mut q, &params(factor, 8), &cm).unwrap();
+        let mut scaled = 0u64;
+        for item in &plan.secondary {
+            prop_assert!(item.batch > 0, "secondary never draws from the primary batch");
+            prop_assert_eq!(item.op.class(), plan.primary_class.opposite());
+            scaled += item.op.duration.scale(factor).as_nanos();
+        }
+        // Allow one nanosecond of rounding per secondary item.
+        prop_assert!(
+            scaled <= plan.window.as_nanos() + plan.secondary.len() as u64,
+            "scaled secondary {}ns exceeds window {}ns",
+            scaled,
+            plan.window.as_nanos()
+        );
+    }
+
+    /// Work conservation: planning rounds to exhaustion emits every kernel
+    /// exactly once, with decomposition conserving split payloads.
+    #[test]
+    fn rounds_conserve_work(batches in list_strategy(), factor in 1.0f64..1.3, df in 1u32..12) {
+        let cm = CostModel::v100_node();
+        let mut q = build_list(&batches);
+        // Total nominal "payload": GEMM column count + all-reduce bytes per batch.
+        let payload = |ops: &[PricedOp]| -> u64 {
+            ops.iter()
+                .map(|o| match o.placed.op {
+                    LayerOp::Gemm { n, .. } => n,
+                    LayerOp::AllReduce { bytes, .. } => bytes,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let total_before: u64 = batches.iter().map(|b| payload(b)).sum();
+        let mut emitted = 0u64;
+        let mut rounds = 0usize;
+        while let Some(plan) = plan_round(&mut q, &params(factor, df), &cm) {
+            for item in plan.primary.iter().chain(&plan.secondary) {
+                emitted += payload(std::slice::from_ref(&item.op));
+            }
+            q.retain(|v| !v.is_empty());
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "planner failed to terminate");
+        }
+        prop_assert_eq!(emitted, total_before, "split payloads must be conserved");
+    }
+
+    /// Per-batch FIFO: concatenating a batch's kernels across rounds yields
+    /// its original op order (modulo decomposition splitting a head into
+    /// pieces that still appear in order).
+    #[test]
+    fn per_batch_order_is_preserved(batches in list_strategy(), factor in 1.0f64..1.3) {
+        let cm = CostModel::v100_node();
+        let mut q = build_list(&batches);
+        let mut seen: Vec<Vec<KernelClass>> = vec![Vec::new(); batches.len()];
+        while let Some(plan) = plan_round(&mut q, &params(factor, 1), &cm) {
+            for item in plan.primary.iter().chain(&plan.secondary) {
+                seen[item.batch as usize].push(item.op.class());
+            }
+            q.retain(|v| !v.is_empty());
+        }
+        for (i, ops) in batches.iter().enumerate() {
+            let expect: Vec<KernelClass> = ops.iter().map(|o| o.class()).collect();
+            prop_assert_eq!(&seen[i], &expect, "batch {} reordered", i);
+        }
+    }
+
+    /// A higher contention factor never packs more secondary work into the
+    /// same round (monotonicity of the anticipation).
+    #[test]
+    fn factor_monotonically_shrinks_secondary(batches in list_strategy()) {
+        let cm = CostModel::v100_node();
+        let mut q1 = build_list(&batches);
+        let mut q2 = build_list(&batches);
+        let p1 = plan_round(&mut q1, &params(1.0, 1), &cm).unwrap();
+        let p2 = plan_round(&mut q2, &params(1.4, 1), &cm).unwrap();
+        let sum = |plan: &liger_core::RoundPlan| -> u64 {
+            plan.secondary.iter().map(|i| i.op.duration.as_nanos()).sum()
+        };
+        prop_assert!(sum(&p2) <= sum(&p1));
+    }
+}

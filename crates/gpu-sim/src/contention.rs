@@ -1,0 +1,236 @@
+//! Hardware resource contention model.
+//!
+//! The paper (§2.3.2, citing Rashidi et al., ISCA'21) identifies two sources
+//! of interference between concurrently executing kernels: compute units
+//! (communication kernels also run CUDA blocks for reduction and network
+//! driving) and memory bandwidth (both classes read/write HBM). The
+//! simulator models this as *rate sharing*: every running kernel progresses
+//! through its nominal work at a rate ≤ 1, where the rate depends on what
+//! else is running on the same device. Whenever the running set changes, the
+//! remaining work of every affected kernel is re-priced and its completion
+//! re-scheduled.
+//!
+//! The model is deliberately behavioral rather than microarchitectural: it
+//! reproduces the phenomena Liger's scheduler must handle — slow kernels
+//! when compute and communication overlap, severe degradation when two
+//! compute kernels overlap (a *scheduling failure* in the paper's terms) —
+//! with a handful of parameters that play the role of the paper's profiled
+//! contention factors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelClass;
+
+/// Per-device contention parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionParams {
+    /// Slowdown applied to a *compute* kernel while ≥1 communication kernel
+    /// runs concurrently on the same device, at the reference channel count
+    /// ([`ContentionParams::reference_channels`]). ≥ 1.0.
+    pub compute_vs_comm: f64,
+    /// Slowdown applied to a *communication* kernel while ≥1 compute kernel
+    /// runs concurrently on the same device. ≥ 1.0.
+    pub comm_vs_compute: f64,
+    /// Extra multiplicative penalty (on top of equal SM sharing) when `n ≥ 2`
+    /// compute kernels overlap. Equal sharing already contributes a factor
+    /// of `n`; this models cache thrash and occupancy loss beyond that.
+    pub compute_self_penalty: f64,
+    /// Extra multiplicative penalty (on top of bandwidth sharing) when `n ≥ 2`
+    /// communication kernels overlap on the same device.
+    pub comm_self_penalty: f64,
+    /// Channel count at which `compute_vs_comm` was profiled. A communication
+    /// kernel running with more channels steals proportionally more SMs from
+    /// concurrent compute; fewer channels steal less. This is the knob behind
+    /// the paper's `NCCL_MAX_NCHANNELS` mitigation (§3.5).
+    pub reference_channels: u32,
+    /// Fraction of the compute-vs-comm slowdown that scales with the channel
+    /// count (the rest is memory-bandwidth interference and does not).
+    pub channel_sensitivity: f64,
+}
+
+impl Default for ContentionParams {
+    fn default() -> Self {
+        // Mid-range defaults between the paper's V100 (1.10) and A100 (1.15)
+        // contention factors.
+        ContentionParams {
+            compute_vs_comm: 1.12,
+            comm_vs_compute: 1.18,
+            compute_self_penalty: 1.15,
+            comm_self_penalty: 1.05,
+            reference_channels: 2,
+            channel_sensitivity: 0.6,
+        }
+    }
+}
+
+impl ContentionParams {
+    /// A frictionless model: overlapping kernels never slow each other down
+    /// (same-class sharing still applies). Useful for unit tests and the
+    /// contention ablation.
+    pub fn frictionless() -> Self {
+        ContentionParams {
+            compute_vs_comm: 1.0,
+            comm_vs_compute: 1.0,
+            compute_self_penalty: 1.0,
+            comm_self_penalty: 1.0,
+            reference_channels: 2,
+            channel_sensitivity: 0.0,
+        }
+    }
+
+    /// Validates parameter ranges, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64); 4] = [
+            ("compute_vs_comm", self.compute_vs_comm),
+            ("comm_vs_compute", self.comm_vs_compute),
+            ("compute_self_penalty", self.compute_self_penalty),
+            ("comm_self_penalty", self.comm_self_penalty),
+        ];
+        for (name, v) in checks {
+            if !v.is_finite() || v < 1.0 {
+                return Err(format!("contention parameter {name} must be finite and >= 1.0, got {v}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.channel_sensitivity) {
+            return Err(format!(
+                "channel_sensitivity must be in [0,1], got {}",
+                self.channel_sensitivity
+            ));
+        }
+        if self.reference_channels == 0 {
+            return Err("reference_channels must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Slowdown (≥ 1.0) experienced by a kernel of class `class`, given the
+    /// concurrent load on its device:
+    ///
+    /// * `n_compute` / `n_comm`: number of running kernels of each class
+    ///   **including** the kernel being priced;
+    /// * `comm_channels`: total communication blocks currently running on the
+    ///   device (drives the channel-scaled share of compute interference).
+    pub fn slowdown(&self, class: KernelClass, n_compute: u32, n_comm: u32, comm_channels: u32) -> f64 {
+        match class {
+            KernelClass::Compute => {
+                debug_assert!(n_compute >= 1);
+                // Equal SM sharing among concurrent compute kernels …
+                let mut f = n_compute as f64;
+                // … plus an extra penalty beyond perfect sharing.
+                if n_compute >= 2 {
+                    f *= self.compute_self_penalty;
+                }
+                if n_comm >= 1 {
+                    f *= self.cross_factor_for_compute(comm_channels);
+                }
+                f
+            }
+            KernelClass::Comm => {
+                debug_assert!(n_comm >= 1);
+                // Bandwidth sharing among concurrent communication kernels …
+                let mut f = n_comm as f64;
+                if n_comm >= 2 {
+                    f *= self.comm_self_penalty;
+                }
+                if n_compute >= 1 {
+                    f *= self.comm_vs_compute;
+                }
+                f
+            }
+        }
+    }
+
+    /// Compute-side cross-class factor at a given total running channel count.
+    ///
+    /// `factor = 1 + (compute_vs_comm - 1) * ((1 - s) + s * channels / ref)`
+    /// so that at the reference channel count the profiled factor is
+    /// recovered exactly, and reducing channels (NCCL mitigation) reduces the
+    /// interference proportionally to `channel_sensitivity`.
+    pub fn cross_factor_for_compute(&self, comm_channels: u32) -> f64 {
+        let base = self.compute_vs_comm - 1.0;
+        let s = self.channel_sensitivity;
+        let ratio = comm_channels.max(1) as f64 / self.reference_channels as f64;
+        1.0 + base * ((1.0 - s) + s * ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ContentionParams {
+        ContentionParams::default()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        p().validate().unwrap();
+        ContentionParams::frictionless().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut bad = p();
+        bad.compute_vs_comm = 0.9;
+        assert!(bad.validate().is_err());
+        let mut bad = p();
+        bad.channel_sensitivity = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = p();
+        bad.reference_channels = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = p();
+        bad.comm_vs_compute = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn solo_kernels_run_at_full_rate() {
+        assert_eq!(p().slowdown(KernelClass::Compute, 1, 0, 0), 1.0);
+        assert_eq!(p().slowdown(KernelClass::Comm, 0, 1, 2), 1.0);
+    }
+
+    #[test]
+    fn cross_class_overlap_applies_profiled_factor() {
+        let params = p();
+        let f = params.slowdown(KernelClass::Compute, 1, 1, params.reference_channels);
+        assert!((f - params.compute_vs_comm).abs() < 1e-12);
+        let g = params.slowdown(KernelClass::Comm, 1, 1, params.reference_channels);
+        assert!((g - params.comm_vs_compute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_class_overlap_is_much_worse_than_cross_class() {
+        let params = p();
+        let same = params.slowdown(KernelClass::Compute, 2, 0, 0);
+        let cross = params.slowdown(KernelClass::Compute, 1, 1, 2);
+        assert!(same > cross, "compute-compute ({same}) should exceed compute-comm ({cross})");
+        assert!(same >= 2.0);
+    }
+
+    #[test]
+    fn more_channels_more_compute_interference() {
+        let params = p();
+        let lo = params.cross_factor_for_compute(1);
+        let mid = params.cross_factor_for_compute(params.reference_channels);
+        let hi = params.cross_factor_for_compute(16);
+        assert!(lo < mid && mid < hi);
+        assert!((mid - params.compute_vs_comm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frictionless_never_slows_cross_class() {
+        let f = ContentionParams::frictionless();
+        assert_eq!(f.slowdown(KernelClass::Compute, 1, 3, 48), 1.0);
+        assert_eq!(f.slowdown(KernelClass::Comm, 3, 1, 2), 1.0);
+        // same-class sharing still applies
+        assert_eq!(f.slowdown(KernelClass::Compute, 2, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn comm_self_sharing_scales_with_population() {
+        let params = p();
+        let two = params.slowdown(KernelClass::Comm, 0, 2, 4);
+        assert!((two - 2.0 * params.comm_self_penalty).abs() < 1e-12);
+    }
+}

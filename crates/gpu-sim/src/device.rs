@@ -1,0 +1,174 @@
+//! Device (GPU) descriptions and hardware presets.
+//!
+//! A [`DeviceSpec`] captures the static capabilities the cost model and the
+//! device scheduler need: SM count, peak FP16 throughput, memory bandwidth,
+//! the number of hardware launch queues (the `CUDA_DEVICE_MAX_CONNECTIONS`
+//! analog) and the contention parameters. Presets for the paper's two
+//! testbeds (V100-16GB NVLink node, A100-80GB PCIe node) live here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::contention::ContentionParams;
+
+/// Static description of one simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak dense FP16 throughput in FLOP/s (tensor cores).
+    pub peak_flops_fp16: f64,
+    /// Peak HBM bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Number of hardware launch queues ("connections"). Streams are mapped
+    /// onto hardware queues round-robin; ops sharing a hardware queue execute
+    /// strictly serially, which is why the paper pins
+    /// `CUDA_DEVICE_MAX_CONNECTIONS=2` — one queue for the primary subset,
+    /// one for the secondary.
+    pub connections: usize,
+    /// Contention model parameters for this device.
+    pub contention: ContentionParams,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla V100 (16 GB, SXM2): 80 SMs, 112 TFLOP/s FP16 tensor,
+    /// 900 GB/s HBM2. Contention factor 1.10 per the paper's §4.2.
+    pub fn v100_16gb() -> DeviceSpec {
+        DeviceSpec {
+            name: "V100-16GB".to_string(),
+            sm_count: 80,
+            peak_flops_fp16: 112e12,
+            mem_bw: 900e9,
+            mem_capacity: 16 * (1 << 30),
+            connections: 2,
+            contention: ContentionParams {
+                compute_vs_comm: 1.10,
+                comm_vs_compute: 1.14,
+                compute_self_penalty: 1.15,
+                comm_self_penalty: 1.05,
+                reference_channels: 2,
+                channel_sensitivity: 0.6,
+            },
+        }
+    }
+
+    /// NVIDIA A100 (80 GB, PCIe): 108 SMs, 312 TFLOP/s FP16 tensor,
+    /// ~1.9 TB/s HBM2e. Contention factor 1.15 per the paper's §4.2 (the
+    /// PCIe interconnect makes contention on the host bridge worse even
+    /// though the device has more compute).
+    pub fn a100_80gb() -> DeviceSpec {
+        DeviceSpec {
+            name: "A100-80GB".to_string(),
+            sm_count: 108,
+            peak_flops_fp16: 312e12,
+            mem_bw: 1.9e12,
+            mem_capacity: 80 * (1 << 30),
+            connections: 2,
+            contention: ContentionParams {
+                compute_vs_comm: 1.15,
+                comm_vs_compute: 1.20,
+                compute_self_penalty: 1.15,
+                comm_self_penalty: 1.08,
+                reference_channels: 2,
+                channel_sensitivity: 0.6,
+            },
+        }
+    }
+
+    /// A tiny, fast, frictionless device for unit tests: round numbers so
+    /// hand-computed timings are exact.
+    pub fn test_device() -> DeviceSpec {
+        DeviceSpec {
+            name: "TestGPU".to_string(),
+            sm_count: 4,
+            peak_flops_fp16: 1e12,
+            mem_bw: 1e11,
+            mem_capacity: 1 << 30,
+            connections: 2,
+            contention: ContentionParams::frictionless(),
+        }
+    }
+
+    /// Overrides the number of hardware launch queues.
+    pub fn with_connections(mut self, connections: usize) -> Self {
+        self.connections = connections.max(1);
+        self
+    }
+
+    /// Overrides the contention parameters.
+    pub fn with_contention(mut self, contention: ContentionParams) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sm_count == 0 {
+            return Err(format!("{}: sm_count must be >= 1", self.name));
+        }
+        if !(self.peak_flops_fp16.is_finite() && self.peak_flops_fp16 > 0.0) {
+            return Err(format!("{}: peak_flops_fp16 must be positive", self.name));
+        }
+        if !(self.mem_bw.is_finite() && self.mem_bw > 0.0) {
+            return Err(format!("{}: mem_bw must be positive", self.name));
+        }
+        if self.connections == 0 {
+            return Err(format!("{}: connections must be >= 1", self.name));
+        }
+        self.contention.validate().map_err(|e| format!("{}: {e}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DeviceSpec::v100_16gb().validate().unwrap();
+        DeviceSpec::a100_80gb().validate().unwrap();
+        DeviceSpec::test_device().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_headline_numbers() {
+        let v = DeviceSpec::v100_16gb();
+        assert_eq!(v.sm_count, 80);
+        assert_eq!(v.connections, 2);
+        assert!((v.contention.compute_vs_comm - 1.10).abs() < 1e-12);
+
+        let a = DeviceSpec::a100_80gb();
+        assert!(a.peak_flops_fp16 > v.peak_flops_fp16);
+        assert!(a.mem_capacity > v.mem_capacity);
+        assert!((a.contention.compute_vs_comm - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let d = DeviceSpec::test_device().with_connections(0);
+        assert_eq!(d.connections, 1, "zero connections clamps to one");
+        let d = DeviceSpec::test_device().with_connections(8);
+        assert_eq!(d.connections, 8);
+        let d = DeviceSpec::test_device().with_contention(ContentionParams::default());
+        assert_eq!(d.contention, ContentionParams::default());
+    }
+
+    #[test]
+    fn validation_catches_degenerate_specs() {
+        let mut d = DeviceSpec::test_device();
+        d.sm_count = 0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::test_device();
+        d.peak_flops_fp16 = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::test_device();
+        d.mem_bw = f64::INFINITY;
+        assert!(d.validate().is_err());
+        let mut d = DeviceSpec::test_device();
+        d.connections = 0;
+        assert!(d.validate().is_err());
+    }
+}

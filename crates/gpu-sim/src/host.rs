@@ -1,0 +1,108 @@
+//! Host (CPU) thread model.
+//!
+//! Each simulated host thread issues commands to its GPU serially, paying a
+//! per-command launch overhead — the cost the paper's hybrid synchronization
+//! hides by pre-launching while a kernel is still running (§3.4). Hosts also
+//! model the *inconsistent launching time between GPUs* and *PCIe
+//! contention* effects the paper measures in §4.5: a per-host wake jitter is
+//! added whenever a blocking CPU–GPU synchronization completes, so that a
+//! multi-GPU sync costs noticeably more than the ~5 µs null-kernel launch
+//! latency (the paper reports > 20 µs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Static description of one host thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Time the host CPU is busy per kernel launch (enqueue) call.
+    pub launch_overhead: SimDuration,
+    /// Time the host CPU is busy per event record / stream-wait call.
+    /// CUDA events are much cheaper than kernel launches.
+    pub event_overhead: SimDuration,
+    /// Latency from a GPU event trigger to the host observing it (driver
+    /// callback / `cudaEventSynchronize` return path).
+    pub sync_latency: SimDuration,
+    /// Additional deterministic jitter applied when a *blocking* CPU–GPU
+    /// synchronization completes on this host. Ranks are staggered to model
+    /// inconsistent launch times across GPUs plus PCIe root-complex
+    /// contention; the effective multi-GPU sync cost is the max over ranks.
+    pub wake_jitter: SimDuration,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        HostSpec {
+            launch_overhead: SimDuration::from_micros(5),
+            event_overhead: SimDuration::from_nanos(800),
+            sync_latency: SimDuration::from_micros(2),
+            wake_jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl HostSpec {
+    /// The default host spec for rank `rank` of `n` ranks on a shared PCIe
+    /// complex: launch overhead 5 µs, sync latency 2 µs and a wake jitter
+    /// staggered by rank (rank r waits an extra `r * 4` µs), so a full
+    /// 4-rank blocking sync costs ≈ 2 + 12 + relaunch ≈ > 20 µs end to end,
+    /// matching the paper's §4.5 measurement.
+    pub fn mpi_rank(rank: usize) -> HostSpec {
+        HostSpec {
+            wake_jitter: SimDuration::from_micros(4) * rank as u64,
+            ..HostSpec::default()
+        }
+    }
+
+    /// An idealized host with zero overheads, for unit tests where kernel
+    /// timing must be exact.
+    pub fn instant() -> HostSpec {
+        HostSpec {
+            launch_overhead: SimDuration::ZERO,
+            event_overhead: SimDuration::ZERO,
+            sync_latency: SimDuration::ZERO,
+            wake_jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Overrides the launch overhead.
+    pub fn with_launch_overhead(mut self, d: SimDuration) -> Self {
+        self.launch_overhead = d;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_null_kernel_latency() {
+        let h = HostSpec::default();
+        assert_eq!(h.launch_overhead, SimDuration::from_micros(5));
+        assert!(h.event_overhead < h.launch_overhead);
+    }
+
+    #[test]
+    fn ranks_are_staggered() {
+        let h0 = HostSpec::mpi_rank(0);
+        let h3 = HostSpec::mpi_rank(3);
+        assert_eq!(h0.wake_jitter, SimDuration::ZERO);
+        assert_eq!(h3.wake_jitter, SimDuration::from_micros(12));
+        // Max cross-rank blocking sync cost exceeds 20us when relaunch is
+        // included: jitter (12) + sync latency (2) + one launch (5) = 19us,
+        // plus the second subset's launches pushes past 20us.
+        let total = h3.wake_jitter + h3.sync_latency + h3.launch_overhead * 2;
+        assert!(total > SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn instant_host_is_free() {
+        let h = HostSpec::instant();
+        assert!(h.launch_overhead.is_zero());
+        assert!(h.event_overhead.is_zero());
+        assert!(h.sync_latency.is_zero());
+        assert!(h.wake_jitter.is_zero());
+    }
+}

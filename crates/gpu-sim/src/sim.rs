@@ -1,0 +1,1671 @@
+//! The discrete-event simulation engine.
+//!
+//! # Execution model
+//!
+//! * **Streams and hardware queues.** Hosts enqueue operations (kernel
+//!   launches, event records, event waits) onto per-device *streams*. A
+//!   device exposes a fixed number of *hardware launch queues* (the
+//!   `CUDA_DEVICE_MAX_CONNECTIONS` analog); stream `s` maps to queue
+//!   `s % connections`. Operations within one hardware queue execute
+//!   strictly serially and in FIFO order — concurrency on a device exists
+//!   only *across* hardware queues. This is the mechanism that makes kernel
+//!   placement decisions (which subset goes to which stream) matter, exactly
+//!   as on real NVIDIA hardware.
+//!
+//! * **Rate-sharing contention.** Every running kernel progresses through
+//!   its nominal work at a rate `1/slowdown`, where the slowdown is computed
+//!   by [`ContentionParams`](crate::contention::ContentionParams) from the
+//!   set of kernels concurrently running on the device. Any change to the
+//!   running set re-prices affected kernels and re-schedules their
+//!   completions.
+//!
+//! * **Collective rendezvous.** A kernel carrying a [`CollectiveId`] blocks
+//!   at the head of its hardware queue until *all* members of the collective
+//!   have reached the heads of theirs; the collective then progresses at the
+//!   minimum of its members' local rates and completes simultaneously on all
+//!   devices. This reproduces the launch-skew sensitivity of NCCL
+//!   collectives that motivates the paper's hybrid synchronization.
+//!
+//! * **Hosts.** Host threads execute their command queues serially, paying
+//!   per-command overheads ([`HostSpec`]); blocking synchronizations park the
+//!   host until the awaited event fires and add a per-rank wake jitter.
+//!
+//! * **Driver.** All policy (what to launch when) lives outside the
+//!   simulator in a [`Driver`] implementation, which is woken by timers,
+//!   event callbacks and completed blocking syncs.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::device::DeviceSpec;
+use crate::host::HostSpec;
+use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
+use crate::kernel::{KernelClass, KernelSpec};
+use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
+use crate::stats::DeviceStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// Reasons the simulation wakes the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A timer registered with [`Simulation::set_timer`] fired.
+    Timer {
+        /// Token supplied at registration.
+        token: u64,
+    },
+    /// An event registered with [`Simulation::notify_on_event`] fired.
+    /// Delivered `sync_latency` after the GPU-side trigger; `fired_at` is the
+    /// exact GPU-side trigger time (use it for metrics).
+    EventFired {
+        /// The event that fired.
+        event: EventId,
+        /// Token supplied at registration.
+        token: u64,
+        /// GPU-side trigger instant.
+        fired_at: SimTime,
+    },
+    /// A blocking host synchronization ([`Simulation::host_sync`]) completed;
+    /// the host is idle again.
+    HostSynced {
+        /// The host that was blocked.
+        host: HostId,
+        /// The event that was awaited.
+        event: EventId,
+        /// Token supplied at registration.
+        token: u64,
+        /// GPU-side trigger instant of the awaited event.
+        fired_at: SimTime,
+    },
+}
+
+/// Driver of a simulation: owns all scheduling policy.
+pub trait Driver {
+    /// Called once before the event loop starts. Submit initial work and
+    /// timers here.
+    fn start(&mut self, sim: &mut Simulation) {
+        let _ = sim;
+    }
+
+    /// Called whenever a registered wake condition is met.
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation);
+}
+
+// ---------------------------------------------------------------------------
+// Internal runtime state
+// ---------------------------------------------------------------------------
+
+/// An operation queued on a device hardware queue.
+#[derive(Debug)]
+enum StreamOp {
+    Kernel(Box<KernelSpec>, KernelId),
+    Record(EventId),
+    Wait(EventId),
+}
+
+#[derive(Debug)]
+struct QueuedOp {
+    op: StreamOp,
+    stream: usize,
+    enqueued_at: SimTime,
+}
+
+/// State of a hardware queue's head operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadState {
+    /// Head has not begun (or queue empty).
+    Idle,
+    /// Head is a Wait op blocked on an untriggered event.
+    WaitingEvent,
+    /// Head is a comm kernel paying the dispatch-lag penalty before it may
+    /// begin (left-over scheduling policy model).
+    LagWait { gen: u64 },
+    /// Head is a collective kernel waiting for its peers.
+    WaitingPeers,
+    /// Head is a kernel currently executing. For plain kernels `slot` indexes
+    /// the device's run table; for collective members it is `usize::MAX` and
+    /// progress is tracked by the collective.
+    Running { slot: usize },
+}
+
+#[derive(Debug)]
+struct QueueRt {
+    ops: VecDeque<QueuedOp>,
+    head: HeadState,
+    lag_gen: u64,
+}
+
+/// A plain (non-collective) kernel in flight.
+#[derive(Debug)]
+struct RunSlot {
+    kernel: KernelId,
+    queue: usize,
+    class: KernelClass,
+    blocks: u32,
+    remaining: f64, // nominal ns of work left
+    rate: f64,      // progress in nominal ns per wall ns
+    settled_at: SimTime,
+    started_at: SimTime,
+    gen: u64,
+    live: bool,
+}
+
+#[derive(Debug)]
+struct DeviceRt {
+    spec: DeviceSpec,
+    queues: Vec<QueueRt>,
+    run: Vec<RunSlot>,
+    free_slots: Vec<usize>,
+    n_compute: u32,
+    n_comm: u32,
+    comm_channels: u32,
+    /// Indices of currently *running* collectives with a member on this
+    /// device. Kept small and current so settling/repricing is O(active),
+    /// not O(all collectives ever created).
+    active_colls: Vec<usize>,
+    stats: DeviceStats,
+}
+
+impl DeviceRt {
+    fn slowdown(&self, class: KernelClass) -> f64 {
+        self.spec
+            .contention
+            .slowdown(class, self.n_compute, self.n_comm, self.comm_channels)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollState {
+    Gathering,
+    Running,
+    Done,
+}
+
+#[derive(Debug)]
+struct CollectiveRt {
+    size: usize,
+    /// (device, queue) of members that have arrived at their queue heads.
+    members: Vec<(usize, usize)>,
+    /// Kernel metadata captured from the first member (all members carry the
+    /// same nominal work by construction).
+    work: f64,
+    remaining: f64,
+    rate: f64,
+    settled_at: SimTime,
+    started_at: SimTime,
+    gen: u64,
+    state: CollState,
+}
+
+#[derive(Debug)]
+enum HostOp {
+    Enqueue { stream: StreamId, op: StreamOp },
+    Sync { event: EventId, token: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostState {
+    Idle,
+    /// Busy executing the op at the front of the queue; completion scheduled.
+    Busy,
+    /// Parked on a blocking sync for the event at the front of the queue.
+    Blocked,
+}
+
+#[derive(Debug)]
+struct HostRt {
+    spec: HostSpec,
+    ops: VecDeque<HostOp>,
+    state: HostState,
+}
+
+#[derive(Debug, Default)]
+struct EventRt {
+    fired_at: Option<SimTime>,
+    /// Hardware queues blocked on this event: (device, queue).
+    queue_waiters: Vec<(usize, usize)>,
+    /// Hosts parked on this event.
+    host_waiters: Vec<usize>,
+    /// Driver callbacks: (token, latency-reference host).
+    callbacks: Vec<(u64, usize)>,
+}
+
+#[derive(Debug)]
+enum Pending {
+    HostReady { host: usize },
+    KernelDone { device: usize, slot: usize, gen: u64 },
+    CollectiveDone { coll: usize, gen: u64 },
+    CommLagDone { device: usize, queue: usize, gen: u64 },
+    Timer { token: u64 },
+    DriverWake { wake: Wake },
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    pending: Pending,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+/// Builder for [`Simulation`].
+#[derive(Debug, Default)]
+pub struct SimulationBuilder {
+    devices: Vec<DeviceSpec>,
+    hosts: Vec<HostSpec>,
+    streams_per_device: usize,
+    capture_trace: bool,
+}
+
+impl SimulationBuilder {
+    /// Starts an empty builder (no devices, 4 streams per device).
+    pub fn new() -> Self {
+        SimulationBuilder {
+            devices: Vec::new(),
+            hosts: Vec::new(),
+            streams_per_device: 4,
+            capture_trace: false,
+        }
+    }
+
+    /// Adds `count` identical devices.
+    pub fn devices(mut self, spec: DeviceSpec, count: usize) -> Self {
+        for _ in 0..count {
+            self.devices.push(spec.clone());
+        }
+        self
+    }
+
+    /// Adds one device.
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Adds one host thread.
+    pub fn host(mut self, spec: HostSpec) -> Self {
+        self.hosts.push(spec);
+        self
+    }
+
+    /// Number of streams created per device (default 4).
+    pub fn streams_per_device(mut self, n: usize) -> Self {
+        self.streams_per_device = n.max(1);
+        self
+    }
+
+    /// Enables execution trace capture.
+    pub fn capture_trace(mut self, on: bool) -> Self {
+        self.capture_trace = on;
+        self
+    }
+
+    /// Builds the simulation. If no hosts were added, one MPI-style rank per
+    /// device is created ([`HostSpec::mpi_rank`]).
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid spec.
+    pub fn build(mut self) -> Result<Simulation, String> {
+        if self.devices.is_empty() {
+            return Err("simulation requires at least one device".to_string());
+        }
+        for d in &self.devices {
+            d.validate()?;
+        }
+        if self.hosts.is_empty() {
+            self.hosts = (0..self.devices.len()).map(HostSpec::mpi_rank).collect();
+        }
+        let streams = self.streams_per_device;
+        let devices: Vec<DeviceRt> = self
+            .devices
+            .into_iter()
+            .map(|spec| {
+                let nq = spec.connections.min(streams);
+                DeviceRt {
+                    spec,
+                    queues: (0..nq)
+                        .map(|_| QueueRt {
+                            ops: VecDeque::new(),
+                            head: HeadState::Idle,
+                            lag_gen: 0,
+                        })
+                        .collect(),
+                    run: Vec::new(),
+                    free_slots: Vec::new(),
+                    n_compute: 0,
+                    n_comm: 0,
+                    comm_channels: 0,
+                    active_colls: Vec::new(),
+                    stats: DeviceStats::default(),
+                }
+            })
+            .collect();
+        let hosts: Vec<HostRt> = self
+            .hosts
+            .into_iter()
+            .map(|spec| HostRt {
+                spec,
+                ops: VecDeque::new(),
+                state: HostState::Idle,
+            })
+            .collect();
+        let memory = MemoryTracker::new(devices.iter().map(|d: &DeviceRt| d.spec.mem_capacity).collect());
+        Ok(Simulation {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            devices,
+            hosts,
+            events: Vec::new(),
+            collectives: Vec::new(),
+            streams_per_device: streams,
+            next_kernel: 0,
+            next_timer: 0,
+            wakes: VecDeque::new(),
+            stop: false,
+            trace: if self.capture_trace { Some(Trace::new()) } else { None },
+            kernels_completed: 0,
+            kernels_launched: 0,
+            memory,
+        })
+    }
+}
+
+/// The discrete-event multi-GPU simulation.
+pub struct Simulation {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    devices: Vec<DeviceRt>,
+    hosts: Vec<HostRt>,
+    events: Vec<EventRt>,
+    collectives: Vec<CollectiveRt>,
+    streams_per_device: usize,
+    next_kernel: u64,
+    next_timer: u64,
+    wakes: VecDeque<Wake>,
+    stop: bool,
+    trace: Option<Trace>,
+    kernels_completed: u64,
+    kernels_launched: u64,
+    memory: MemoryTracker,
+}
+
+impl Simulation {
+    /// Starts a builder.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of devices in the node.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of host threads.
+    #[inline]
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Streams available per device.
+    #[inline]
+    pub fn streams_per_device(&self) -> usize {
+        self.streams_per_device
+    }
+
+    /// Device specification.
+    pub fn device_spec(&self, d: DeviceId) -> &DeviceSpec {
+        &self.devices[d.0].spec
+    }
+
+    /// Per-device utilization statistics.
+    pub fn device_stats(&self, d: DeviceId) -> &DeviceStats {
+        &self.devices[d.0].stats
+    }
+
+    /// Total kernels launched (enqueued on devices) so far.
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Total kernels completed so far.
+    pub fn kernels_completed(&self) -> u64 {
+        self.kernels_completed
+    }
+
+    /// The captured execution trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the captured execution trace out of the simulation.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// When `ev` has fired, its GPU-side trigger time.
+    pub fn event_fired(&self, ev: EventId) -> Option<SimTime> {
+        self.events[ev.0 as usize].fired_at
+    }
+
+    /// Requests the event loop to stop after the current wake drains.
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+
+    // -- device memory ---------------------------------------------------------
+
+    /// Allocates `bytes` of device memory (weights, activations, KV cache).
+    /// Fails when the device's capacity would be exceeded — the constraint
+    /// that forces model partitioning in the first place.
+    pub fn alloc_memory(&mut self, device: DeviceId, bytes: u64, label: &'static str) -> Result<AllocationId, OutOfMemory> {
+        self.memory.alloc(device, bytes, label)
+    }
+
+    /// Frees a device-memory allocation (idempotent).
+    pub fn free_memory(&mut self, id: AllocationId) {
+        self.memory.free(id);
+    }
+
+    /// Bytes currently allocated on `device`.
+    pub fn memory_in_use(&self, device: DeviceId) -> u64 {
+        self.memory.in_use(device)
+    }
+
+    /// Peak bytes ever allocated on `device`.
+    pub fn memory_peak(&self, device: DeviceId) -> u64 {
+        self.memory.peak(device)
+    }
+
+    // -- driver-facing API ---------------------------------------------------
+
+    /// Registers a timer firing at `at` (clamped to `now`); the driver is
+    /// woken with [`Wake::Timer`] carrying `token`.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = at.max(self.now);
+        self.push(at, Pending::Timer { token });
+        id
+    }
+
+    /// Allocates a fresh CUDA-like event (not yet recorded anywhere).
+    pub fn new_event(&mut self) -> EventId {
+        let id = EventId(self.events.len() as u64);
+        self.events.push(EventRt::default());
+        id
+    }
+
+    /// Allocates a collective rendezvous group expecting `size` member
+    /// kernels (one per participating device).
+    pub fn new_collective(&mut self, size: usize) -> CollectiveId {
+        assert!(size >= 1, "collective size must be >= 1");
+        let id = CollectiveId(self.collectives.len() as u64);
+        self.collectives.push(CollectiveRt {
+            size,
+            members: Vec::with_capacity(size),
+            work: 0.0,
+            remaining: 0.0,
+            rate: 1.0,
+            settled_at: SimTime::ZERO,
+            started_at: SimTime::ZERO,
+            gen: 0,
+            state: CollState::Gathering,
+        });
+        id
+    }
+
+    /// Asks host `host` to launch `spec` onto `stream`. The host pays its
+    /// launch overhead; the kernel is enqueued on the stream's hardware queue
+    /// when the overhead elapses. Returns the kernel's id immediately.
+    pub fn launch(&mut self, host: HostId, stream: StreamId, spec: KernelSpec) -> KernelId {
+        assert!(stream.device.0 < self.devices.len(), "unknown device {stream:?}");
+        assert!(stream.index < self.streams_per_device, "stream index {} out of range", stream.index);
+        if let Some(cid) = spec.collective {
+            let coll = &self.collectives[cid.0 as usize];
+            assert!(
+                coll.members.len() < coll.size || coll.state == CollState::Gathering,
+                "collective {cid} already complete"
+            );
+        }
+        let id = KernelId(self.next_kernel);
+        self.next_kernel += 1;
+        self.host_push(host.0, HostOp::Enqueue { stream, op: StreamOp::Kernel(Box::new(spec), id) });
+        id
+    }
+
+    /// Asks host `host` to record a fresh event on `stream`; the event fires
+    /// when every operation previously enqueued on that stream's hardware
+    /// queue has completed.
+    pub fn record_event(&mut self, host: HostId, stream: StreamId) -> EventId {
+        let ev = self.new_event();
+        self.host_push(host.0, HostOp::Enqueue { stream, op: StreamOp::Record(ev) });
+        ev
+    }
+
+    /// Asks host `host` to make `stream` wait for `ev` (inter-stream
+    /// synchronization, `cudaStreamWaitEvent`): operations enqueued on the
+    /// stream after this call do not begin until `ev` has fired. No CPU
+    /// involvement at execution time.
+    pub fn stream_wait(&mut self, host: HostId, stream: StreamId, ev: EventId) {
+        self.host_push(host.0, HostOp::Enqueue { stream, op: StreamOp::Wait(ev) });
+    }
+
+    /// Parks host `host` until `ev` fires (CPU–GPU synchronization,
+    /// `cudaEventSynchronize`). The driver is woken with [`Wake::HostSynced`]
+    /// once the host resumes (after sync latency + per-rank wake jitter).
+    pub fn host_sync(&mut self, host: HostId, ev: EventId, token: u64) {
+        self.host_push(host.0, HostOp::Sync { event: ev, token });
+    }
+
+    /// Registers a driver callback on `ev`: when the event fires, the driver
+    /// is woken with [`Wake::EventFired`] after host `latency_host`'s sync
+    /// latency (modelling the driver thread observing the completion).
+    pub fn notify_on_event(&mut self, ev: EventId, latency_host: HostId, token: u64) {
+        let e = &mut self.events[ev.0 as usize];
+        if let Some(fired_at) = e.fired_at {
+            let latency = self.hosts[latency_host.0].spec.sync_latency;
+            let at = self.now.max(fired_at) + latency;
+            self.push(at, Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at } });
+        } else {
+            e.callbacks.push((token, latency_host.0));
+        }
+    }
+
+    // -- event loop -----------------------------------------------------------
+
+    /// Runs the simulation until the event heap drains, `deadline` passes, or
+    /// the driver requests a stop. Returns the final simulated time.
+    pub fn run(&mut self, driver: &mut dyn Driver, deadline: SimTime) -> SimTime {
+        driver.start(self);
+        self.drain_wakes(driver);
+        while !self.stop {
+            let Some(Reverse(entry)) = self.heap.pop() else { break };
+            if entry.at > deadline {
+                self.now = deadline;
+                break;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.dispatch(entry.pending);
+            self.drain_wakes(driver);
+        }
+        self.now
+    }
+
+    /// [`Simulation::run`] with no deadline.
+    pub fn run_to_completion(&mut self, driver: &mut dyn Driver) -> SimTime {
+        self.run(driver, SimTime::MAX)
+    }
+
+    fn drain_wakes(&mut self, driver: &mut dyn Driver) {
+        while let Some(w) = self.wakes.pop_front() {
+            driver.on_wake(w, self);
+            if self.stop {
+                break;
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, pending }));
+    }
+
+    fn dispatch(&mut self, pending: Pending) {
+        match pending {
+            Pending::HostReady { host } => self.host_ready(host),
+            Pending::KernelDone { device, slot, gen } => self.kernel_done(device, slot, gen),
+            Pending::CollectiveDone { coll, gen } => self.collective_done(coll, gen),
+            Pending::CommLagDone { device, queue, gen } => self.comm_lag_done(device, queue, gen),
+            Pending::Timer { token } => self.wakes.push_back(Wake::Timer { token }),
+            Pending::DriverWake { wake } => self.wakes.push_back(wake),
+        }
+    }
+
+    // -- host machinery --------------------------------------------------------
+
+    fn host_push(&mut self, host: usize, op: HostOp) {
+        assert!(host < self.hosts.len(), "unknown host {host}");
+        self.hosts[host].ops.push_back(op);
+        if self.hosts[host].state == HostState::Idle {
+            self.host_begin_next(host);
+        }
+    }
+
+    /// Begins executing the op at the front of `host`'s queue (which must be
+    /// idle and non-empty).
+    fn host_begin_next(&mut self, host: usize) {
+        let h = &mut self.hosts[host];
+        let Some(front) = h.ops.front() else {
+            h.state = HostState::Idle;
+            return;
+        };
+        match front {
+            HostOp::Enqueue { op, .. } => {
+                let cost = match op {
+                    StreamOp::Kernel(..) => h.spec.launch_overhead,
+                    StreamOp::Record(_) | StreamOp::Wait(_) => h.spec.event_overhead,
+                };
+                h.state = HostState::Busy;
+                let at = self.now + cost;
+                self.push(at, Pending::HostReady { host });
+            }
+            HostOp::Sync { event, .. } => {
+                let ev = &self.events[event.0 as usize];
+                if ev.fired_at.is_some() {
+                    // The event already fired: no cross-GPU wake skew was
+                    // involved, only the driver-call latency applies.
+                    h.state = HostState::Busy;
+                    let at = self.now + h.spec.sync_latency;
+                    self.push(at, Pending::HostReady { host });
+                } else {
+                    h.state = HostState::Blocked;
+                    self.events[event.0 as usize].host_waiters.push(host);
+                }
+            }
+        }
+    }
+
+    /// The front op's overhead elapsed: apply its effect and move on.
+    fn host_ready(&mut self, host: usize) {
+        let op = self.hosts[host].ops.pop_front().expect("host ready with empty queue");
+        self.hosts[host].state = HostState::Idle;
+        match op {
+            HostOp::Enqueue { stream, op } => {
+                self.device_enqueue(stream, op);
+            }
+            HostOp::Sync { event, token } => {
+                let fired_at = self.events[event.0 as usize]
+                    .fired_at
+                    .expect("blocking sync resumed before event fired");
+                self.wakes.push_back(Wake::HostSynced {
+                    host: HostId(host),
+                    event,
+                    token,
+                    fired_at,
+                });
+            }
+        }
+        if self.hosts[host].state == HostState::Idle && !self.hosts[host].ops.is_empty() {
+            self.host_begin_next(host);
+        }
+    }
+
+    // -- device machinery -------------------------------------------------------
+
+    fn queue_of(&self, device: usize, stream: usize) -> usize {
+        stream % self.devices[device].queues.len()
+    }
+
+    fn device_enqueue(&mut self, stream: StreamId, op: StreamOp) {
+        let d = stream.device.0;
+        let q = self.queue_of(d, stream.index);
+        if matches!(op, StreamOp::Kernel(..)) {
+            self.kernels_launched += 1;
+        }
+        self.devices[d].queues[q].ops.push_back(QueuedOp {
+            op,
+            stream: stream.index,
+            enqueued_at: self.now,
+        });
+        self.poll_queue(d, q);
+    }
+
+    /// Advances a hardware queue: completes records, resolves waits, begins
+    /// kernels. Loops because records/waits complete instantly.
+    fn poll_queue(&mut self, d: usize, q: usize) {
+        loop {
+            if self.devices[d].queues[q].head != HeadState::Idle {
+                return; // head already in flight
+            }
+            let Some(front) = self.devices[d].queues[q].ops.front() else { return };
+            match &front.op {
+                StreamOp::Record(ev) => {
+                    let ev = *ev;
+                    self.devices[d].queues[q].ops.pop_front();
+                    self.trigger_event(ev);
+                }
+                StreamOp::Wait(ev) => {
+                    let ev = *ev;
+                    if self.events[ev.0 as usize].fired_at.is_some() {
+                        self.devices[d].queues[q].ops.pop_front();
+                    } else {
+                        self.devices[d].queues[q].head = HeadState::WaitingEvent;
+                        self.events[ev.0 as usize].queue_waiters.push((d, q));
+                        return;
+                    }
+                }
+                StreamOp::Kernel(spec, _) => {
+                    // Dispatch-lag model (left-over scheduling policy): a
+                    // communication kernel that becomes ready while the
+                    // device's queues are deeply backed up is delayed before
+                    // it can begin, because firmware prioritizes compute.
+                    if spec.class == KernelClass::Comm {
+                        let lag = self.comm_dispatch_lag(d, q);
+                        if !lag.is_zero() {
+                            let g = &mut self.devices[d].queues[q];
+                            g.lag_gen += 1;
+                            let gen = g.lag_gen;
+                            g.head = HeadState::LagWait { gen };
+                            let at = self.now + lag;
+                            self.push(at, Pending::CommLagDone { device: d, queue: q, gen });
+                            return;
+                        }
+                    }
+                    self.begin_kernel(d, q);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Lag charged to a comm kernel beginning while the *other* hardware
+    /// queues of its device are deeply backed up with work the firmware will
+    /// prioritize. Zero in normal operation; grows once the foreign backlog
+    /// exceeds `COMM_LAG_FREE_OPS` (models §2.3.1's communication-kernel
+    /// execution lag under kernel flooding, which the hybrid synchronization
+    /// avoids by launching incrementally). Work queued *behind* the kernel
+    /// in its own queue cannot delay it and is excluded.
+    fn comm_dispatch_lag(&self, d: usize, own_queue: usize) -> SimDuration {
+        const COMM_LAG_FREE_OPS: usize = 24;
+        const LAG_PER_OP_NS: u64 = 400;
+        let foreign: usize = self.devices[d]
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| q != own_queue)
+            .map(|(_, q)| q.ops.len())
+            .sum();
+        let backlog = foreign.saturating_sub(COMM_LAG_FREE_OPS);
+        SimDuration::from_nanos(backlog as u64 * LAG_PER_OP_NS)
+    }
+
+    fn comm_lag_done(&mut self, d: usize, q: usize, gen: u64) {
+        match self.devices[d].queues[q].head {
+            HeadState::LagWait { gen: g } if g == gen => {
+                self.devices[d].queues[q].head = HeadState::Idle;
+                self.begin_kernel(d, q);
+            }
+            _ => {} // stale
+        }
+    }
+
+    /// Begins the kernel at the head of queue `q` (plain or collective).
+    fn begin_kernel(&mut self, d: usize, q: usize) {
+        let front = self.devices[d].queues[q].ops.front().expect("begin_kernel on empty queue");
+        let StreamOp::Kernel(spec, _kid) = &front.op else {
+            panic!("begin_kernel on non-kernel head")
+        };
+        let class = spec.class;
+        let blocks = spec.blocks;
+        let work = spec.work.as_nanos() as f64;
+        let collective = spec.collective;
+
+        match collective {
+            None => {
+                self.settle_device(d);
+                let dev = &mut self.devices[d];
+                let slot = dev.free_slots.pop().unwrap_or_else(|| {
+                    dev.run.push(RunSlot {
+                        kernel: KernelId(0),
+                        queue: 0,
+                        class: KernelClass::Compute,
+                        blocks: 0,
+                        remaining: 0.0,
+                        rate: 1.0,
+                        settled_at: SimTime::ZERO,
+                        started_at: SimTime::ZERO,
+                        gen: 0,
+                        live: false,
+                    });
+                    dev.run.len() - 1
+                });
+                let StreamOp::Kernel(spec, kid) = &dev.queues[q].ops.front().unwrap().op else {
+                    unreachable!()
+                };
+                let s = &mut dev.run[slot];
+                s.kernel = *kid;
+                s.queue = q;
+                s.class = spec.class;
+                s.blocks = spec.blocks;
+                s.remaining = work;
+                s.rate = 1.0;
+                s.settled_at = self.now;
+                s.started_at = self.now;
+                s.gen += 1;
+                s.live = true;
+                dev.queues[q].head = HeadState::Running { slot };
+                self.apply_class_delta(d, class, blocks, 1);
+                self.reprice_device(d);
+            }
+            Some(cid) => {
+                let ci = cid.0 as usize;
+                let coll = &mut self.collectives[ci];
+                assert_eq!(coll.state, CollState::Gathering, "kernel joined a non-gathering collective {cid}");
+                coll.members.push((d, q));
+                if coll.work == 0.0 {
+                    coll.work = work;
+                    coll.remaining = work;
+                }
+                self.devices[d].queues[q].head = HeadState::WaitingPeers;
+                if self.collectives[ci].members.len() == self.collectives[ci].size {
+                    self.start_collective(ci, class, blocks);
+                }
+            }
+        }
+    }
+
+    fn start_collective(&mut self, ci: usize, class: KernelClass, blocks: u32) {
+        let members: Vec<(usize, usize)> = self.collectives[ci].members.clone();
+        for &(d, _q) in &members {
+            self.settle_device(d);
+        }
+        for &(d, q) in &members {
+            self.devices[d].queues[q].head = HeadState::Running { slot: usize::MAX };
+            self.devices[d].active_colls.push(ci);
+            self.apply_class_delta(d, class, blocks, 1);
+        }
+        let coll = &mut self.collectives[ci];
+        coll.state = CollState::Running;
+        coll.settled_at = self.now;
+        coll.started_at = self.now;
+        coll.gen += 1;
+        for &(d, _) in &members {
+            self.reprice_device(d);
+        }
+        // reprice_device re-prices collectives touching each device, which
+        // includes this one; nothing more to do.
+    }
+
+    /// Updates running-population counters and utilization stats on a device.
+    fn apply_class_delta(&mut self, d: usize, class: KernelClass, blocks: u32, delta: i32) {
+        let now = self.now;
+        let dev = &mut self.devices[d];
+        dev.stats.account_transition(now, dev.n_compute, dev.n_comm);
+        match class {
+            KernelClass::Compute => {
+                dev.n_compute = (dev.n_compute as i64 + delta as i64) as u32;
+            }
+            KernelClass::Comm => {
+                dev.n_comm = (dev.n_comm as i64 + delta as i64) as u32;
+                let ch = blocks as i64 * delta as i64;
+                dev.comm_channels = (dev.comm_channels as i64 + ch).max(0) as u32;
+            }
+        }
+    }
+
+    /// Charges elapsed progress (at current rates) to every plain kernel on
+    /// `d` and every collective with a member on `d`.
+    fn settle_device(&mut self, d: usize) {
+        let now = self.now;
+        for slot in self.devices[d].run.iter_mut() {
+            if slot.live {
+                let elapsed = now.saturating_since(slot.settled_at).as_nanos() as f64;
+                if elapsed > 0.0 {
+                    slot.remaining = (slot.remaining - elapsed * slot.rate).max(0.0);
+                    slot.settled_at = now;
+                }
+            }
+        }
+        // Split borrow: take the active list out while settling.
+        let active = std::mem::take(&mut self.devices[d].active_colls);
+        for &ci in &active {
+            let coll = &mut self.collectives[ci];
+            if coll.state == CollState::Running {
+                let elapsed = now.saturating_since(coll.settled_at).as_nanos() as f64;
+                if elapsed > 0.0 {
+                    coll.remaining = (coll.remaining - elapsed * coll.rate).max(0.0);
+                    coll.settled_at = now;
+                }
+            }
+        }
+        self.devices[d].active_colls = active;
+    }
+
+    /// Recomputes rates and reschedules completions for everything running on
+    /// `d` (and collectives touching `d`). Callers must have settled first.
+    fn reprice_device(&mut self, d: usize) {
+        let now = self.now;
+        let mut to_push: Vec<(SimTime, Pending)> = Vec::new();
+        {
+            let dev = &mut self.devices[d];
+            for (i, slot) in dev.run.iter_mut().enumerate() {
+                if !slot.live {
+                    continue;
+                }
+                let rate = 1.0 / dev.spec.contention.slowdown(slot.class, dev.n_compute, dev.n_comm, dev.comm_channels);
+                slot.rate = rate;
+                slot.gen += 1;
+                let dur = (slot.remaining / rate).ceil() as u64;
+                to_push.push((now + SimDuration::from_nanos(dur), Pending::KernelDone { device: d, slot: i, gen: slot.gen }));
+            }
+        }
+        // Collectives: rate = min over member devices of local comm rate.
+        let mut coll_updates: Vec<(usize, f64)> = Vec::new();
+        for &ci in &self.devices[d].active_colls {
+            let coll = &self.collectives[ci];
+            if coll.state == CollState::Running {
+                let mut rate = f64::INFINITY;
+                for &(md, _) in &coll.members {
+                    let dev = &self.devices[md];
+                    let r = 1.0 / dev.slowdown(KernelClass::Comm);
+                    rate = rate.min(r);
+                }
+                coll_updates.push((ci, rate));
+            }
+        }
+        for (ci, rate) in coll_updates {
+            // Settle on the collective's own clock before changing its rate:
+            // settle_device(d) already settled it if it touches d (it does).
+            let coll = &mut self.collectives[ci];
+            coll.rate = rate;
+            coll.gen += 1;
+            let dur = (coll.remaining / rate).ceil() as u64;
+            to_push.push((now + SimDuration::from_nanos(dur), Pending::CollectiveDone { coll: ci, gen: coll.gen }));
+        }
+        for (at, p) in to_push {
+            self.push(at, p);
+        }
+    }
+
+    fn kernel_done(&mut self, d: usize, slot: usize, gen: u64) {
+        {
+            let s = &self.devices[d].run[slot];
+            if !s.live || s.gen != gen {
+                return; // stale completion
+            }
+        }
+        self.settle_device(d);
+        let (queue, class, blocks, kernel, started_at) = {
+            let s = &self.devices[d].run[slot];
+            debug_assert!(s.remaining <= 1.0, "kernel completing with {} ns of work left", s.remaining);
+            (s.queue, s.class, s.blocks, s.kernel, s.started_at)
+        };
+        self.devices[d].run[slot].live = false;
+        self.devices[d].free_slots.push(slot);
+        self.apply_class_delta(d, class, blocks, -1);
+        self.finish_queue_head(d, queue, kernel, class, started_at);
+        self.reprice_device(d);
+        self.poll_queue(d, queue);
+    }
+
+    fn collective_done(&mut self, ci: usize, gen: u64) {
+        {
+            let c = &self.collectives[ci];
+            if c.state != CollState::Running || c.gen != gen {
+                return; // stale
+            }
+        }
+        let members = self.collectives[ci].members.clone();
+        let started_at = self.collectives[ci].started_at;
+        for &(d, _) in &members {
+            self.settle_device(d);
+        }
+        self.collectives[ci].state = CollState::Done;
+        for &(d, _) in &members {
+            self.devices[d].active_colls.retain(|&c| c != ci);
+        }
+        for &(d, q) in &members {
+            // Capture kernel identity from the queue head before popping.
+            let (kernel, class, blocks) = match &self.devices[d].queues[q].ops.front().expect("collective member queue empty").op {
+                StreamOp::Kernel(spec, kid) => (*kid, spec.class, spec.blocks),
+                _ => panic!("collective member head is not a kernel"),
+            };
+            self.apply_class_delta(d, class, blocks, -1);
+            self.finish_queue_head(d, q, kernel, class, started_at);
+        }
+        for &(d, _) in &members {
+            self.reprice_device(d);
+        }
+        for &(d, q) in &members {
+            self.poll_queue(d, q);
+        }
+    }
+
+    /// Pops the completed kernel off its queue, records trace/stat entries.
+    fn finish_queue_head(&mut self, d: usize, q: usize, kernel: KernelId, class: KernelClass, started_at: SimTime) {
+        let popped = self.devices[d].queues[q].ops.pop_front().expect("finishing empty queue");
+        let (name, tag, stream) = match popped.op {
+            StreamOp::Kernel(spec, kid) => {
+                debug_assert_eq!(kid, kernel);
+                (spec.name, spec.tag, popped.stream)
+            }
+            _ => panic!("queue head changed under a running kernel"),
+        };
+        self.devices[d].queues[q].head = HeadState::Idle;
+        self.kernels_completed += 1;
+        self.devices[d].stats.account_kernel(class, self.now.saturating_since(started_at));
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                kernel,
+                name,
+                class,
+                tag,
+                device: DeviceId(d),
+                stream,
+                enqueued_at: popped.enqueued_at,
+                started_at,
+                ended_at: self.now,
+            });
+        }
+    }
+
+    fn trigger_event(&mut self, ev: EventId) {
+        let now = self.now;
+        let e = &mut self.events[ev.0 as usize];
+        if e.fired_at.is_some() {
+            return; // idempotent
+        }
+        e.fired_at = Some(now);
+        let queue_waiters = std::mem::take(&mut e.queue_waiters);
+        let host_waiters = std::mem::take(&mut e.host_waiters);
+        let callbacks = std::mem::take(&mut e.callbacks);
+        for (d, q) in queue_waiters {
+            if self.devices[d].queues[q].head == HeadState::WaitingEvent {
+                // Re-check: the head wait op must still reference this event.
+                if let Some(QueuedOp { op: StreamOp::Wait(w), .. }) = self.devices[d].queues[q].ops.front() {
+                    if *w == ev {
+                        self.devices[d].queues[q].ops.pop_front();
+                        self.devices[d].queues[q].head = HeadState::Idle;
+                        self.poll_queue(d, q);
+                    }
+                }
+            }
+        }
+        for h in host_waiters {
+            if self.hosts[h].state == HostState::Blocked {
+                let spec = &self.hosts[h].spec;
+                let at = now + spec.sync_latency + spec.wake_jitter;
+                self.hosts[h].state = HostState::Busy;
+                self.push(at, Pending::HostReady { host: h });
+            }
+        }
+        for (token, lat_host) in callbacks {
+            let latency = self.hosts[lat_host].spec.sync_latency;
+            let at = now + latency;
+            self.push(at, Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at: now } });
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("devices", &self.devices.len())
+            .field("hosts", &self.hosts.len())
+            .field("pending_events", &self.heap.len())
+            .field("kernels_launched", &self.kernels_launched)
+            .field("kernels_completed", &self.kernels_completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A scriptable driver: a start closure plus a wake log.
+    struct Script<F: FnMut(&mut Simulation), G: FnMut(Wake, &mut Simulation)> {
+        on_start: F,
+        on_wake: G,
+    }
+
+    impl<F: FnMut(&mut Simulation), G: FnMut(Wake, &mut Simulation)> Driver for Script<F, G> {
+        fn start(&mut self, sim: &mut Simulation) {
+            (self.on_start)(sim);
+        }
+        fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+            (self.on_wake)(wake, sim);
+        }
+    }
+
+    fn script<F: FnMut(&mut Simulation)>(f: F) -> Script<F, impl FnMut(Wake, &mut Simulation)> {
+        Script { on_start: f, on_wake: |_, _| {} }
+    }
+
+    fn test_sim(devices: usize) -> Simulation {
+        Simulation::builder()
+            .devices(DeviceSpec::test_device(), devices)
+            .streams_per_device(4)
+            .capture_trace(true)
+            .build()
+            .map(|mut s| {
+                // Instant hosts: timing assertions stay exact.
+                for h in &mut s.hosts {
+                    h.spec = HostSpec::instant();
+                }
+                s
+            })
+            .unwrap()
+    }
+
+    fn s(d: usize, i: usize) -> StreamId {
+        StreamId::new(DeviceId(d), i)
+    }
+
+    #[test]
+    fn single_kernel_runs_for_its_work() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(100)));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(100));
+        assert_eq!(sim.kernels_completed(), 1);
+        assert_eq!(sim.kernels_launched(), 1);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize_fifo() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            for i in 0..3 {
+                sim.launch(
+                    HostId(0),
+                    s(0, 0),
+                    KernelSpec::compute(format!("k{i}"), SimDuration::from_micros(10)).with_tag(i),
+                );
+            }
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(30));
+        let trace = sim.take_trace().unwrap();
+        let evs = trace.events();
+        assert_eq!(evs.len(), 3);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.tag, i as u64, "completion order is FIFO");
+            assert_eq!(e.started_at, SimTime::from_micros(10 * i as u64));
+        }
+    }
+
+    #[test]
+    fn streams_sharing_a_hardware_queue_serialize() {
+        // connections = 2; streams 0 and 2 map to queue 0, stream 1 to queue 1.
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("q0a", SimDuration::from_micros(100)).with_tag(0));
+            sim.launch(HostId(0), s(0, 2), KernelSpec::compute("q0b", SimDuration::from_micros(100)).with_tag(2));
+            sim.launch(HostId(0), s(0, 1), KernelSpec::compute("q1", SimDuration::from_micros(100)).with_tag(1));
+        });
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let find = |tag: u64| trace.events().iter().find(|e| e.tag == tag).unwrap().clone();
+        let (a, b, c) = (find(0), find(2), find(1));
+        // a (stream0) and c (stream1) start together; equal-share slows both 2x.
+        assert_eq!(a.started_at, SimTime::ZERO);
+        assert_eq!(c.started_at, SimTime::ZERO);
+        assert_eq!(a.ended_at, SimTime::from_micros(200));
+        assert_eq!(c.ended_at, SimTime::from_micros(200));
+        // b shares queue 0 with a: begins only after a completes.
+        assert_eq!(b.started_at, SimTime::from_micros(200));
+        assert_eq!(b.ended_at, SimTime::from_micros(300));
+    }
+
+    #[test]
+    fn cross_class_overlap_runs_concurrently_when_frictionless() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)));
+            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(80)));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(100), "full overlap: makespan = max");
+        let trace = sim.take_trace().unwrap();
+        assert_eq!(trace.overlap_time(DeviceId(0)), SimDuration::from_micros(80));
+    }
+
+    #[test]
+    fn contention_stretches_overlapping_kernels() {
+        // compute_vs_comm = 1.5 (insensitive to channels), comm_vs_compute = 2.0.
+        let contention = ContentionParams {
+            compute_vs_comm: 1.5,
+            comm_vs_compute: 2.0,
+            compute_self_penalty: 1.0,
+            comm_self_penalty: 1.0,
+            reference_channels: 2,
+            channel_sensitivity: 0.0,
+        };
+        let dev = DeviceSpec::test_device().with_contention(contention);
+        let mut sim = Simulation::builder().device(dev).host(HostSpec::instant()).capture_trace(true).build().unwrap();
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1));
+            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2));
+        });
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let find = |tag: u64| trace.events().iter().find(|e| e.tag == tag).unwrap().clone();
+        // Compute at rate 2/3 while comm runs; comm at rate 1/2 while compute runs.
+        // Compute finishes first: 100us work / (2/3) = 150us.
+        assert_eq!(find(1).ended_at, SimTime::from_micros(150));
+        // Comm: 75us of work done by t=150 (rate 1/2), then full rate: +25us.
+        assert_eq!(find(2).ended_at, SimTime::from_micros(175));
+    }
+
+    #[test]
+    fn staggered_overlap_retimes_the_running_kernel() {
+        let contention = ContentionParams {
+            compute_vs_comm: 1.5,
+            comm_vs_compute: 2.0,
+            compute_self_penalty: 1.0,
+            comm_self_penalty: 1.0,
+            reference_channels: 2,
+            channel_sensitivity: 0.0,
+        };
+        let dev = DeviceSpec::test_device().with_contention(contention);
+        let mut sim = Simulation::builder().device(dev).host(HostSpec::instant()).capture_trace(true).build().unwrap();
+        struct D;
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                sim.launch(HostId(0), s2(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1));
+                sim.set_timer(SimTime::from_micros(50), 1);
+            }
+            fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+                if matches!(wake, Wake::Timer { token: 1 }) {
+                    sim.launch(HostId(0), s2(0, 1), KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2));
+                }
+            }
+        }
+        fn s2(d: usize, i: usize) -> StreamId {
+            StreamId::new(DeviceId(d), i)
+        }
+        sim.run_to_completion(&mut D);
+        let trace = sim.take_trace().unwrap();
+        let find = |tag: u64| trace.events().iter().find(|e| e.tag == tag).unwrap().clone();
+        // Compute: 50us solo (50 work left), then rate 2/3 => +75us => ends 125us.
+        assert_eq!(find(1).ended_at, SimTime::from_micros(125));
+        // Comm from 50: rate 1/2 for 75us => 37.5 done; then full rate for 62.5.
+        assert_eq!(find(2).ended_at, SimTime::from_nanos(187_500));
+    }
+
+    #[test]
+    fn stream_wait_event_gates_execution() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(100)).with_tag(1));
+            let ev = sim.record_event(HostId(0), s(0, 0));
+            sim.stream_wait(HostId(0), s(0, 1), ev);
+            sim.launch(HostId(0), s(0, 1), KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(110));
+        let trace = sim.take_trace().unwrap();
+        let b = trace.events().iter().find(|e| e.tag == 2).unwrap();
+        assert_eq!(b.started_at, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn wait_on_already_fired_event_is_free() {
+        let mut sim = test_sim(1);
+        struct D;
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                let st = StreamId::new(DeviceId(0), 0);
+                sim.launch(HostId(0), st, KernelSpec::compute("a", SimDuration::from_micros(10)));
+                let ev = sim.record_event(HostId(0), st);
+                sim.notify_on_event(ev, HostId(0), 7);
+            }
+            fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+                if let Wake::EventFired { event, token: 7, .. } = wake {
+                    // Event already fired: the wait resolves instantly.
+                    sim.stream_wait(HostId(0), StreamId::new(DeviceId(0), 1), event);
+                    sim.launch(
+                        HostId(0),
+                        StreamId::new(DeviceId(0), 1),
+                        KernelSpec::compute("b", SimDuration::from_micros(5)).with_tag(2),
+                    );
+                }
+            }
+        }
+        sim.run_to_completion(&mut D);
+        let trace = sim.take_trace().unwrap();
+        let b = trace.events().iter().find(|e| e.tag == 2).unwrap();
+        assert_eq!(b.started_at, SimTime::from_micros(10), "no extra delay past the callback");
+    }
+
+    #[test]
+    fn host_launch_overhead_delays_enqueue() {
+        let host = HostSpec::instant().with_launch_overhead(SimDuration::from_micros(5));
+        let mut sim = Simulation::builder()
+            .device(DeviceSpec::test_device())
+            .host(host)
+            .capture_trace(true)
+            .build()
+            .unwrap();
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(10)).with_tag(1));
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let find = |tag: u64| trace.events().iter().find(|e| e.tag == tag).unwrap().clone();
+        assert_eq!(find(1).started_at, SimTime::from_micros(5), "first launch pays 5us");
+        assert_eq!(find(1).ended_at, SimTime::from_micros(15));
+        // Second kernel enqueued at 10us, runs after the first.
+        assert_eq!(find(2).enqueued_at, SimTime::from_micros(10));
+        assert_eq!(find(2).started_at, SimTime::from_micros(15));
+        assert_eq!(end, SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn host_sync_wakes_with_jitter() {
+        let host = HostSpec {
+            launch_overhead: SimDuration::ZERO,
+            event_overhead: SimDuration::ZERO,
+            sync_latency: SimDuration::from_micros(2),
+            wake_jitter: SimDuration::from_micros(3),
+        };
+        let mut sim = Simulation::builder()
+            .device(DeviceSpec::test_device())
+            .host(host)
+            .build()
+            .unwrap();
+        let log: Rc<RefCell<Vec<(Wake, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                let st = StreamId::new(DeviceId(0), 0);
+                sim.launch(HostId(0), st, KernelSpec::compute("a", SimDuration::from_micros(10)));
+                let ev = sim.record_event(HostId(0), st);
+                sim.host_sync(HostId(0), ev, 9);
+            },
+            on_wake: move |w: Wake, sim: &mut Simulation| {
+                log2.borrow_mut().push((w, sim.now()));
+            },
+        };
+        sim.run_to_completion(&mut drv);
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        let (wake, at) = log[0];
+        match wake {
+            Wake::HostSynced { host, token, fired_at, .. } => {
+                assert_eq!(host, HostId(0));
+                assert_eq!(token, 9);
+                assert_eq!(fired_at, SimTime::from_micros(10), "GPU-side trigger time is exact");
+            }
+            w => panic!("unexpected wake {w:?}"),
+        }
+        assert_eq!(at, SimTime::from_micros(15), "wake delayed by sync latency + jitter");
+    }
+
+    #[test]
+    fn notify_on_event_reports_fired_at() {
+        let host = HostSpec {
+            sync_latency: SimDuration::from_micros(2),
+            ..HostSpec::instant()
+        };
+        let mut sim = Simulation::builder().device(DeviceSpec::test_device()).host(host).build().unwrap();
+        let log: Rc<RefCell<Vec<(Wake, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                let st = StreamId::new(DeviceId(0), 0);
+                sim.launch(HostId(0), st, KernelSpec::compute("a", SimDuration::from_micros(10)));
+                let ev = sim.record_event(HostId(0), st);
+                sim.notify_on_event(ev, HostId(0), 4);
+            },
+            on_wake: move |w: Wake, sim: &mut Simulation| {
+                log2.borrow_mut().push((w, sim.now()));
+            },
+        };
+        sim.run_to_completion(&mut drv);
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        match log[0] {
+            (Wake::EventFired { token: 4, fired_at, .. }, at) => {
+                assert_eq!(fired_at, SimTime::from_micros(10));
+                assert_eq!(at, SimTime::from_micros(12));
+            }
+            ref w => panic!("unexpected wake {w:?}"),
+        }
+    }
+
+    #[test]
+    fn collective_waits_for_all_ranks_and_completes_simultaneously() {
+        let mut sim = test_sim(2);
+        struct D;
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                let c = sim.new_collective(2);
+                sim.launch(
+                    HostId(0),
+                    StreamId::new(DeviceId(0), 1),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c).with_tag(0),
+                );
+                // Rank 1 arrives 30us late.
+                sim.set_timer(SimTime::from_micros(30), 100 + c.0);
+            }
+            fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+                if let Wake::Timer { token } = wake {
+                    let c = CollectiveId(token - 100);
+                    sim.launch(
+                        HostId(1),
+                        StreamId::new(DeviceId(1), 1),
+                        KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c).with_tag(1),
+                    );
+                }
+            }
+        }
+        let end = sim.run_to_completion(&mut D);
+        assert_eq!(end, SimTime::from_micros(80), "starts at the latest rank (30us) + 50us");
+        let trace = sim.take_trace().unwrap();
+        for e in trace.events() {
+            assert_eq!(e.started_at, SimTime::from_micros(30));
+            assert_eq!(e.ended_at, SimTime::from_micros(80));
+        }
+    }
+
+    #[test]
+    fn collective_rate_is_min_over_member_devices() {
+        // Device 0 also runs a compute kernel; comm there is slowed 2x.
+        let contention = ContentionParams {
+            compute_vs_comm: 1.0,
+            comm_vs_compute: 2.0,
+            compute_self_penalty: 1.0,
+            comm_self_penalty: 1.0,
+            reference_channels: 2,
+            channel_sensitivity: 0.0,
+        };
+        let dev = DeviceSpec::test_device().with_contention(contention);
+        let mut sim = Simulation::builder()
+            .devices(dev, 2)
+            .host(HostSpec::instant())
+            .host(HostSpec::instant())
+            .capture_trace(true)
+            .build()
+            .unwrap();
+        let mut drv = script(|sim: &mut Simulation| {
+            // Long compute on device 0 keeps the collective slowed throughout.
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(500)).with_tag(9));
+            let c = sim.new_collective(2);
+            for d in 0..2 {
+                sim.launch(
+                    HostId(d),
+                    s(d, 1),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c),
+                );
+            }
+        });
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let ar: Vec<_> = trace.events().iter().filter(|e| e.class == KernelClass::Comm).collect();
+        assert_eq!(ar.len(), 2);
+        for e in &ar {
+            assert_eq!(e.started_at, SimTime::ZERO);
+            // min rate = 1/2 (device 0's comm_vs_compute) => 100us wall.
+            assert_eq!(e.ended_at, SimTime::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn comm_dispatch_lag_under_backlog() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            for i in 0..30 {
+                sim.launch(HostId(0), s(0, 0), KernelSpec::compute(format!("c{i}"), SimDuration::from_micros(100)));
+            }
+            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77));
+        });
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let m = trace.events().iter().find(|e| e.tag == 77).unwrap();
+        // foreign backlog = 30 compute ops - 24 free = 6 * 400ns = 2.4us lag.
+        assert_eq!(m.started_at, SimTime::from_nanos(2_400));
+    }
+
+    #[test]
+    fn comm_starts_immediately_without_backlog() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)));
+            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77));
+        });
+        sim.run_to_completion(&mut drv);
+        let trace = sim.take_trace().unwrap();
+        let m = trace.events().iter().find(|e| e.tag == 77).unwrap();
+        assert_eq!(m.started_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadline_stops_the_clock() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)));
+        });
+        let end = sim.run(&mut drv, SimTime::from_micros(50));
+        assert_eq!(end, SimTime::from_micros(50));
+        assert_eq!(sim.kernels_completed(), 0);
+    }
+
+    #[test]
+    fn request_stop_halts_immediately() {
+        let mut sim = test_sim(1);
+        struct D;
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                sim.set_timer(SimTime::from_micros(10), 0);
+                sim.set_timer(SimTime::from_micros(20), 1);
+            }
+            fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+                if matches!(wake, Wake::Timer { token: 0 }) {
+                    sim.request_stop();
+                }
+            }
+        }
+        let end = sim.run_to_completion(&mut D);
+        assert_eq!(end, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn stats_account_busy_time_and_ratio() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)));
+            let ev = sim.record_event(HostId(0), s(0, 0));
+            sim.stream_wait(HostId(0), s(0, 1), ev);
+            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(50)));
+        });
+        sim.run_to_completion(&mut drv);
+        let st = sim.device_stats(DeviceId(0));
+        assert_eq!(st.busy_compute, SimDuration::from_micros(100));
+        assert_eq!(st.busy_comm, SimDuration::from_micros(50));
+        assert_eq!(st.busy_overlap, SimDuration::ZERO);
+        assert!((st.comm_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(st.kernels_total(), 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut sim = test_sim(2);
+            let mut drv = script(|sim: &mut Simulation| {
+                for d in 0..2 {
+                    for i in 0..5u64 {
+                        sim.launch(
+                            HostId(d),
+                            s(d, (i % 2) as usize),
+                            KernelSpec::compute(format!("k{d}{i}"), SimDuration::from_micros(10 + i)).with_tag(i),
+                        );
+                    }
+                }
+                let c = sim.new_collective(2);
+                for d in 0..2 {
+                    sim.launch(HostId(d), s(d, 1), KernelSpec::comm("ar", SimDuration::from_micros(30)).with_collective(c));
+                }
+            });
+            sim.run_to_completion(&mut drv);
+            let t = sim.take_trace().unwrap();
+            t.events()
+                .iter()
+                .map(|e| (e.name.to_string(), e.device, e.started_at, e.ended_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_fired_query() {
+        let mut sim = test_sim(1);
+        struct D {
+            ev: Option<EventId>,
+        }
+        impl Driver for D {
+            fn start(&mut self, sim: &mut Simulation) {
+                let st = StreamId::new(DeviceId(0), 0);
+                sim.launch(HostId(0), st, KernelSpec::compute("a", SimDuration::from_micros(10)));
+                self.ev = Some(sim.record_event(HostId(0), st));
+            }
+            fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+        }
+        let mut d = D { ev: None };
+        sim.run_to_completion(&mut d);
+        assert_eq!(sim.event_fired(d.ev.unwrap()), Some(SimTime::from_micros(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn launch_to_unknown_device_panics() {
+        let mut sim = test_sim(1);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(5, 0), KernelSpec::compute("a", SimDuration::from_micros(1)));
+        });
+        sim.run_to_completion(&mut drv);
+    }
+
+    #[test]
+    fn builder_rejects_empty_node() {
+        assert!(Simulation::builder().build().is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-device utilization statistics.
+//!
+//! The simulator accounts, per device, the wall time during which at least
+//! one compute kernel (resp. at least one communication kernel) was
+//! executing, plus aggregate kernel counts and execution time by class.
+//! These feed the utilization/communication-ratio numbers quoted in the
+//! paper's Fig. 3 analysis and the efficiency discussions in §4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelClass;
+use crate::time::{SimDuration, SimTime};
+
+/// Utilization counters for one device.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Wall time with ≥1 compute kernel running.
+    pub busy_compute: SimDuration,
+    /// Wall time with ≥1 communication kernel running.
+    pub busy_comm: SimDuration,
+    /// Wall time with ≥1 kernel of each class running simultaneously.
+    pub busy_overlap: SimDuration,
+    /// Completed kernels by class.
+    pub kernels_compute: u64,
+    /// Completed communication kernels.
+    pub kernels_comm: u64,
+    /// Summed wall execution time of completed compute kernels.
+    pub exec_compute: SimDuration,
+    /// Summed wall execution time of completed communication kernels.
+    pub exec_comm: SimDuration,
+    /// Timestamp of the last population transition.
+    last_transition: SimTime,
+}
+
+impl DeviceStats {
+    /// Called *before* the running population changes, with the population
+    /// that held since the last transition.
+    pub(crate) fn account_transition(&mut self, now: SimTime, n_compute: u32, n_comm: u32) {
+        let span = now.saturating_since(self.last_transition);
+        if !span.is_zero() {
+            if n_compute > 0 {
+                self.busy_compute += span;
+            }
+            if n_comm > 0 {
+                self.busy_comm += span;
+            }
+            if n_compute > 0 && n_comm > 0 {
+                self.busy_overlap += span;
+            }
+        }
+        self.last_transition = now;
+    }
+
+    /// Called when a kernel completes.
+    pub(crate) fn account_kernel(&mut self, class: KernelClass, wall: SimDuration) {
+        match class {
+            KernelClass::Compute => {
+                self.kernels_compute += 1;
+                self.exec_compute += wall;
+            }
+            KernelClass::Comm => {
+                self.kernels_comm += 1;
+                self.exec_comm += wall;
+            }
+        }
+    }
+
+    /// Total completed kernels.
+    pub fn kernels_total(&self) -> u64 {
+        self.kernels_compute + self.kernels_comm
+    }
+
+    /// Fraction of busy (compute ∪ comm) time spent with communication
+    /// active, `busy_comm / (busy_compute + busy_comm - busy_overlap)`.
+    pub fn comm_ratio(&self) -> f64 {
+        let union = self.busy_compute.as_nanos() + self.busy_comm.as_nanos() - self.busy_overlap.as_nanos();
+        if union == 0 {
+            return 0.0;
+        }
+        self.busy_comm.as_nanos() as f64 / union as f64
+    }
+
+    /// Fraction of `horizon` during which compute was active.
+    pub fn compute_utilization(&self, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.busy_compute.as_nanos() as f64 / horizon.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_accumulate_by_class() {
+        let mut s = DeviceStats::default();
+        // [0,10us): compute only
+        s.account_transition(SimTime::from_micros(10), 1, 0);
+        // [10,15us): compute + comm
+        s.account_transition(SimTime::from_micros(15), 1, 1);
+        // [15,20us): idle
+        s.account_transition(SimTime::from_micros(20), 0, 0);
+        assert_eq!(s.busy_compute, SimDuration::from_micros(15));
+        assert_eq!(s.busy_comm, SimDuration::from_micros(5));
+        assert_eq!(s.busy_overlap, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn kernel_accounting() {
+        let mut s = DeviceStats::default();
+        s.account_kernel(KernelClass::Compute, SimDuration::from_micros(100));
+        s.account_kernel(KernelClass::Comm, SimDuration::from_micros(40));
+        s.account_kernel(KernelClass::Comm, SimDuration::from_micros(60));
+        assert_eq!(s.kernels_total(), 3);
+        assert_eq!(s.kernels_compute, 1);
+        assert_eq!(s.kernels_comm, 2);
+        assert_eq!(s.exec_compute, SimDuration::from_micros(100));
+        assert_eq!(s.exec_comm, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn comm_ratio_matches_hand_computation() {
+        let mut s = DeviceStats::default();
+        s.account_transition(SimTime::from_micros(80), 1, 0); // 80us compute
+        s.account_transition(SimTime::from_micros(100), 0, 1); // 20us comm
+        s.account_transition(SimTime::from_micros(100), 0, 0);
+        // union = 100us, comm = 20us
+        assert!((s.comm_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DeviceStats::default();
+        assert_eq!(s.comm_ratio(), 0.0);
+        assert_eq!(s.compute_utilization(SimDuration::from_micros(10)), 0.0);
+        assert_eq!(s.compute_utilization(SimDuration::ZERO), 0.0);
+        assert_eq!(s.kernels_total(), 0);
+    }
+}

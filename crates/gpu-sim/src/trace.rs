@@ -1,0 +1,357 @@
+//! Execution trace capture and Chrome-trace export.
+//!
+//! When enabled on the [`SimulationBuilder`](crate::SimulationBuilder), the
+//! simulator records one [`TraceEvent`] per completed kernel. Traces drive
+//! the overlap assertions in the test suite and can be exported to the
+//! Chrome `chrome://tracing` / Perfetto JSON array format for visual
+//! inspection of interleaving schedules.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::ids::{DeviceId, KernelId};
+use crate::kernel::KernelClass;
+use crate::time::{SimDuration, SimTime};
+
+/// One completed kernel execution.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Kernel identity.
+    pub kernel: KernelId,
+    /// Kernel name.
+    pub name: Arc<str>,
+    /// Computation or communication.
+    pub class: KernelClass,
+    /// User correlation tag (batch id, …).
+    pub tag: u64,
+    /// Device the kernel ran on.
+    pub device: DeviceId,
+    /// Stream it was launched to.
+    pub stream: usize,
+    /// When the op landed on the device queue.
+    pub enqueued_at: SimTime,
+    /// When execution began (collectives: when all peers arrived).
+    pub started_at: SimTime,
+    /// When execution completed.
+    pub ended_at: SimTime,
+}
+
+impl TraceEvent {
+    /// Wall-clock execution span.
+    pub fn duration(&self) -> SimDuration {
+        self.ended_at.saturating_since(self.started_at)
+    }
+
+    /// Time spent queued before execution began.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.started_at.saturating_since(self.enqueued_at)
+    }
+
+    /// True when the two events overlap in time (open intervals).
+    pub fn overlaps(&self, other: &TraceEvent) -> bool {
+        self.started_at < other.ended_at && other.started_at < self.ended_at
+    }
+}
+
+/// A captured execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event (events arrive in completion order).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events, in completion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that ran on `device`.
+    pub fn on_device(&self, device: DeviceId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.device == device)
+    }
+
+    /// Events of a given class.
+    pub fn of_class(&self, class: KernelClass) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.class == class)
+    }
+
+    /// Events carrying a given tag.
+    pub fn with_tag(&self, tag: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Total wall time during which, on `device`, at least one compute kernel
+    /// and at least one comm kernel were executing simultaneously. This is
+    /// the overlap the interleaved parallelism manufactures.
+    pub fn overlap_time(&self, device: DeviceId) -> SimDuration {
+        // Sweep-line over start/end boundaries.
+        let mut bounds: Vec<(SimTime, KernelClass, i32)> = Vec::new();
+        for e in self.on_device(device) {
+            bounds.push((e.started_at, e.class, 1));
+            bounds.push((e.ended_at, e.class, -1));
+        }
+        bounds.sort_by_key(|&(t, _, delta)| (t, delta)); // ends before starts at ties
+        let (mut nc, mut nm) = (0i32, 0i32);
+        let mut overlap = 0u64;
+        let mut last = SimTime::ZERO;
+        for (t, class, delta) in bounds {
+            if nc > 0 && nm > 0 {
+                overlap += t.saturating_since(last).as_nanos();
+            }
+            last = t;
+            match class {
+                KernelClass::Compute => nc += delta,
+                KernelClass::Comm => nm += delta,
+            }
+        }
+        SimDuration::from_nanos(overlap)
+    }
+
+    /// Renders a fixed-width ASCII timeline over `[from, to)`: one lane per
+    /// (device, stream), `#` for compute, `=` for communication, `.` for
+    /// idle, `*` where both classes ran within one column. Handy for
+    /// eyeballing interleaving schedules in a terminal or in docs:
+    ///
+    /// ```text
+    /// gpu0.s0 |######====######====|
+    /// gpu0.s1 |....====....====....|
+    /// ```
+    pub fn render_ascii(&self, width: usize, from: SimTime, to: SimTime) -> String {
+        use std::collections::BTreeMap;
+        let width = width.max(1);
+        let span = to.saturating_since(from).as_nanos().max(1);
+        // (device, stream) -> per-column class presence bitmask (1 = compute, 2 = comm).
+        let mut lanes: BTreeMap<(usize, usize), Vec<u8>> = BTreeMap::new();
+        for e in &self.events {
+            let lane = lanes.entry((e.device.0, e.stream)).or_insert_with(|| vec![0u8; width]);
+            if e.ended_at <= from || e.started_at >= to {
+                continue;
+            }
+            let s = e.started_at.max(from).saturating_since(from).as_nanos();
+            let t = e.ended_at.min(to).saturating_since(from).as_nanos();
+            let c0 = (s as u128 * width as u128 / span as u128) as usize;
+            let c1 = ((t as u128 * width as u128).div_ceil(span as u128) as usize).min(width);
+            let bit = match e.class {
+                KernelClass::Compute => 1u8,
+                KernelClass::Comm => 2u8,
+            };
+            for cell in &mut lane[c0..c1.max(c0 + 1).min(width)] {
+                *cell |= bit;
+            }
+        }
+        let mut out = String::new();
+        for ((device, stream), cells) in lanes {
+            let _ = write!(out, "gpu{device}.s{stream} |");
+            for c in cells {
+                out.push(match c {
+                    0 => '.',
+                    1 => '#',
+                    2 => '=',
+                    _ => '*',
+                });
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Serializes to the Chrome trace-event JSON array format. Written by
+    /// hand to avoid a JSON dependency; the format is a plain array of
+    /// `{"name","cat","ph":"X","ts","dur","pid","tid"}` objects with
+    /// timestamps in microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 128 + 2);
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"tag\":{},\"kernel\":{}}}}}",
+                escape_json(&e.name),
+                e.class.label(),
+                e.started_at.as_micros_f64(),
+                e.duration().as_micros_f64(),
+                e.device.0,
+                e.stream,
+                e.tag,
+                e.kernel.0,
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(device: usize, class: KernelClass, start_us: u64, end_us: u64, tag: u64) -> TraceEvent {
+        TraceEvent {
+            kernel: KernelId(0),
+            name: "k".into(),
+            class,
+            tag,
+            device: DeviceId(device),
+            stream: 0,
+            enqueued_at: SimTime::from_micros(start_us.saturating_sub(1)),
+            started_at: SimTime::from_micros(start_us),
+            ended_at: SimTime::from_micros(end_us),
+        }
+    }
+
+    #[test]
+    fn duration_and_delay() {
+        let e = ev(0, KernelClass::Compute, 10, 25, 0);
+        assert_eq!(e.duration(), SimDuration::from_micros(15));
+        assert_eq!(e.queue_delay(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = ev(0, KernelClass::Compute, 0, 10, 0);
+        let b = ev(0, KernelClass::Comm, 5, 15, 0);
+        let c = ev(0, KernelClass::Comm, 10, 20, 0);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    fn filters() {
+        let mut t = Trace::new();
+        t.push(ev(0, KernelClass::Compute, 0, 10, 7));
+        t.push(ev(1, KernelClass::Comm, 0, 10, 7));
+        t.push(ev(0, KernelClass::Comm, 10, 20, 8));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.on_device(DeviceId(0)).count(), 2);
+        assert_eq!(t.of_class(KernelClass::Comm).count(), 2);
+        assert_eq!(t.with_tag(7).count(), 2);
+    }
+
+    #[test]
+    fn overlap_time_cross_class_only() {
+        let mut t = Trace::new();
+        // compute 0..10, comm 5..15 on device 0 => overlap 5us
+        t.push(ev(0, KernelClass::Compute, 0, 10, 0));
+        t.push(ev(0, KernelClass::Comm, 5, 15, 0));
+        // two compute kernels overlapping is NOT cross-class overlap
+        t.push(ev(0, KernelClass::Compute, 20, 30, 0));
+        t.push(ev(0, KernelClass::Compute, 25, 35, 0));
+        assert_eq!(t.overlap_time(DeviceId(0)), SimDuration::from_micros(5));
+        // other device unaffected
+        assert_eq!(t.overlap_time(DeviceId(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = Trace::new();
+        t.push(ev(0, KernelClass::Compute, 0, 10, 3));
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"compute\""));
+        assert!(json.contains("\"tag\":3"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}
+
+#[cfg(test)]
+mod ascii_tests {
+    use super::*;
+
+    fn ev(device: usize, stream: usize, class: KernelClass, start_us: u64, end_us: u64) -> TraceEvent {
+        TraceEvent {
+            kernel: KernelId(0),
+            name: "k".into(),
+            class,
+            tag: 0,
+            device: DeviceId(device),
+            stream,
+            enqueued_at: SimTime::from_micros(start_us),
+            started_at: SimTime::from_micros(start_us),
+            ended_at: SimTime::from_micros(end_us),
+        }
+    }
+
+    #[test]
+    fn renders_lanes_with_class_glyphs() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, KernelClass::Compute, 0, 50));
+        t.push(ev(0, 1, KernelClass::Comm, 50, 100));
+        let s = t.render_ascii(10, SimTime::ZERO, SimTime::from_micros(100));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "gpu0.s0 |#####.....|");
+        assert_eq!(lines[1], "gpu0.s1 |.....=====|");
+    }
+
+    #[test]
+    fn overlap_marks_star() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, KernelClass::Compute, 0, 100));
+        t.push(ev(0, 0, KernelClass::Comm, 0, 100));
+        let s = t.render_ascii(4, SimTime::ZERO, SimTime::from_micros(100));
+        assert_eq!(s.lines().next().unwrap(), "gpu0.s0 |****|");
+    }
+
+    #[test]
+    fn events_outside_the_window_are_ignored() {
+        let mut t = Trace::new();
+        t.push(ev(1, 0, KernelClass::Compute, 200, 300));
+        let s = t.render_ascii(5, SimTime::ZERO, SimTime::from_micros(100));
+        assert_eq!(s.lines().next().unwrap(), "gpu1.s0 |.....|");
+    }
+
+    #[test]
+    fn degenerate_width_and_span_do_not_panic() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, KernelClass::Compute, 0, 1));
+        let s = t.render_ascii(0, SimTime::ZERO, SimTime::ZERO);
+        assert!(s.contains("gpu0.s0"));
+    }
+}

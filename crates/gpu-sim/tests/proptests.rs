@@ -1,0 +1,205 @@
+//! Property tests for the discrete-event engine: conservation, ordering and
+//! rendezvous invariants over randomized launch plans.
+
+use liger_gpu_sim::prelude::*;
+use proptest::prelude::*;
+
+/// One step of a randomized launch plan.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// A plain kernel on one device/stream.
+    Single { device: usize, stream: usize, compute: bool, work_us: u64 },
+    /// A collective across all devices, on the given stream index everywhere.
+    Collective { stream: usize, work_us: u64 },
+}
+
+fn plan_strategy(devices: usize) -> impl Strategy<Value = Vec<PlanOp>> {
+    let single = (0..devices, 0usize..4, any::<bool>(), 1u64..500).prop_map(|(device, stream, compute, work_us)| {
+        PlanOp::Single { device, stream, compute, work_us }
+    });
+    let coll = (0usize..4, 1u64..500).prop_map(|(stream, work_us)| PlanOp::Collective { stream, work_us });
+    prop::collection::vec(prop_oneof![4 => single, 1 => coll], 1..60)
+}
+
+struct PlanDriver {
+    plan: Vec<PlanOp>,
+    devices: usize,
+}
+
+impl Driver for PlanDriver {
+    fn start(&mut self, sim: &mut Simulation) {
+        for (i, op) in self.plan.iter().enumerate() {
+            let tag = i as u64;
+            match *op {
+                PlanOp::Single { device, stream, compute, work_us } => {
+                    let work = SimDuration::from_micros(work_us);
+                    let spec = if compute {
+                        KernelSpec::compute(format!("c{i}"), work)
+                    } else {
+                        KernelSpec::comm(format!("m{i}"), work)
+                    };
+                    sim.launch(HostId(device), StreamId::new(DeviceId(device), stream), spec.with_tag(tag));
+                }
+                PlanOp::Collective { stream, work_us } => {
+                    let c = sim.new_collective(self.devices);
+                    for d in 0..self.devices {
+                        let spec = KernelSpec::comm(format!("ar{i}"), SimDuration::from_micros(work_us))
+                            .with_collective(c)
+                            .with_tag(tag);
+                        sim.launch(HostId(d), StreamId::new(DeviceId(d), stream), spec);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+fn run_plan(plan: &[PlanOp], devices: usize, contention: bool) -> (Simulation, Trace) {
+    let spec = if contention {
+        DeviceSpec::v100_16gb()
+    } else {
+        DeviceSpec::test_device()
+    };
+    let mut sim = Simulation::builder()
+        .devices(spec, devices)
+        .capture_trace(true)
+        .build()
+        .unwrap();
+    let mut drv = PlanDriver { plan: plan.to_vec(), devices };
+    sim.run_to_completion(&mut drv);
+    let trace = sim.take_trace().unwrap();
+    (sim, trace)
+}
+
+fn expected_kernels(plan: &[PlanOp], devices: usize) -> u64 {
+    plan.iter()
+        .map(|op| match op {
+            PlanOp::Single { .. } => 1,
+            PlanOp::Collective { .. } => devices as u64,
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every launched kernel eventually completes, exactly once.
+    #[test]
+    fn no_kernel_is_lost(plan in plan_strategy(3)) {
+        let (sim, trace) = run_plan(&plan, 3, true);
+        let expect = expected_kernels(&plan, 3);
+        prop_assert_eq!(sim.kernels_launched(), expect);
+        prop_assert_eq!(sim.kernels_completed(), expect);
+        prop_assert_eq!(trace.len() as u64, expect);
+    }
+
+    /// Kernels never start before they are enqueued, and never end before
+    /// they start (with nonzero work).
+    #[test]
+    fn causality(plan in plan_strategy(2)) {
+        let (_, trace) = run_plan(&plan, 2, true);
+        for e in trace.events() {
+            prop_assert!(e.started_at >= e.enqueued_at, "{e:?} started before enqueue");
+            prop_assert!(e.ended_at > e.started_at, "{e:?} zero/negative span");
+        }
+    }
+
+    /// Within one hardware queue (stream % connections), execution intervals
+    /// are disjoint and ordered by launch order.
+    #[test]
+    fn hardware_queue_serialization(plan in plan_strategy(2)) {
+        let (sim, trace) = run_plan(&plan, 2, true);
+        for d in 0..2 {
+            let connections = sim.device_spec(DeviceId(d)).connections;
+            for q in 0..connections {
+                let mut evs: Vec<_> = trace
+                    .on_device(DeviceId(d))
+                    .filter(|e| e.stream % connections == q)
+                    .collect();
+                evs.sort_by_key(|e| e.enqueued_at);
+                for w in evs.windows(2) {
+                    prop_assert!(
+                        w[1].started_at >= w[0].ended_at,
+                        "queue {q} on device {d} overlapped: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    /// All members of a collective start and end at the same instant.
+    #[test]
+    fn collectives_are_synchronous(plan in plan_strategy(3)) {
+        let (_, trace) = run_plan(&plan, 3, true);
+        for (i, op) in plan.iter().enumerate() {
+            if matches!(op, PlanOp::Collective { .. }) {
+                let members: Vec<_> = trace.with_tag(i as u64).collect();
+                prop_assert_eq!(members.len(), 3);
+                for m in &members {
+                    prop_assert_eq!(m.started_at, members[0].started_at);
+                    prop_assert_eq!(m.ended_at, members[0].ended_at);
+                }
+            }
+        }
+    }
+
+    /// Contention only ever stretches kernels: wall duration >= nominal work.
+    #[test]
+    fn contention_never_speeds_up(plan in plan_strategy(2)) {
+        let (_, trace) = run_plan(&plan, 2, true);
+        for (i, op) in plan.iter().enumerate() {
+            let work_us = match *op {
+                PlanOp::Single { work_us, .. } => work_us,
+                PlanOp::Collective { work_us, .. } => work_us,
+            };
+            for e in trace.with_tag(i as u64) {
+                prop_assert!(
+                    e.duration() >= SimDuration::from_micros(work_us),
+                    "kernel {i} ran faster than its work: {} < {}us",
+                    e.duration(),
+                    work_us
+                );
+            }
+        }
+    }
+
+    /// The same plan always produces the identical trace (determinism).
+    #[test]
+    fn deterministic_replay(plan in plan_strategy(3)) {
+        let (_, t1) = run_plan(&plan, 3, true);
+        let (_, t2) = run_plan(&plan, 3, true);
+        prop_assert_eq!(t1.len(), t2.len());
+        for (a, b) in t1.events().iter().zip(t2.events()) {
+            prop_assert_eq!(a.kernel, b.kernel);
+            prop_assert_eq!(a.started_at, b.started_at);
+            prop_assert_eq!(a.ended_at, b.ended_at);
+            prop_assert_eq!(a.device, b.device);
+        }
+    }
+
+    /// Makespan is at least the critical path of any single hardware queue
+    /// under no contention (frictionless device, works only).
+    #[test]
+    fn makespan_lower_bound(plan in plan_strategy(2)) {
+        let (sim, trace) = run_plan(&plan, 2, false);
+        let end = trace.events().iter().map(|e| e.ended_at).max().unwrap_or(SimTime::ZERO);
+        // Per (device, queue) sum of nominal works is a lower bound.
+        for d in 0..2 {
+            let connections = sim.device_spec(DeviceId(d)).connections;
+            for q in 0..connections {
+                let total: SimDuration = trace
+                    .on_device(DeviceId(d))
+                    .filter(|e| e.stream % connections == q)
+                    .map(|e| e.duration())
+                    .sum();
+                // Durations are wall times; under frictionless contention a
+                // queue's wall occupancy cannot exceed the makespan.
+                prop_assert!(end.as_nanos() >= total.as_nanos().saturating_sub(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Pricing op sequences into duration-annotated lists.
+//!
+//! This is the model-side half of the paper's *function assembly* (§3.2):
+//! for a batch shape, produce the ordered list of kernels with "details such
+//! as the kernel duration, the kernel type, the batch size, and the sequence
+//! length" attached. `liger-core` wraps these into its `FuncVec`s; the
+//! baseline engines launch them directly.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::{KernelClass, SimDuration};
+
+use crate::config::ModelConfig;
+use crate::cost::CostModel;
+use crate::layers::{model_ops, PlacedOp};
+use crate::workload::BatchShape;
+
+/// One op with its offline-profiled no-load duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PricedOp {
+    /// The op and its layer.
+    pub placed: PlacedOp,
+    /// No-load duration from the cost model (the profile table entry).
+    pub duration: SimDuration,
+}
+
+impl PricedOp {
+    /// Kernel class shortcut.
+    pub fn class(&self) -> KernelClass {
+        self.placed.op.class()
+    }
+}
+
+/// Prices every op in `ops` under `cm`.
+pub fn price_ops(cm: &CostModel, ops: &[PlacedOp]) -> Vec<PricedOp> {
+    ops.iter()
+        .map(|&placed| PricedOp { placed, duration: cm.op_time(&placed.op) })
+        .collect()
+}
+
+/// Prices the full per-device kernel list of one inference iteration at
+/// tensor-parallel degree `tp`.
+pub fn assemble(cm: &CostModel, cfg: &ModelConfig, shape: BatchShape, tp: u32) -> Vec<PricedOp> {
+    price_ops(cm, &model_ops(cfg, shape, tp))
+}
+
+/// Splits a priced sequence's total duration by kernel class:
+/// `(compute_total, comm_total)`.
+pub fn class_totals(ops: &[PricedOp]) -> (SimDuration, SimDuration) {
+    let mut compute = SimDuration::ZERO;
+    let mut comm = SimDuration::ZERO;
+    for op in ops {
+        match op.class() {
+            KernelClass::Compute => compute += op.duration,
+            KernelClass::Comm => comm += op.duration,
+        }
+    }
+    (compute, comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembled_sequence_is_fully_priced() {
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::tiny_test();
+        let ops = assemble(&cm, &cfg, BatchShape::prefill(2, 16), 2);
+        assert!(!ops.is_empty());
+        for op in &ops {
+            assert!(op.duration > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn class_totals_add_up() {
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::tiny_test();
+        let ops = assemble(&cm, &cfg, BatchShape::prefill(2, 16), 2);
+        let (compute, comm) = class_totals(&ops);
+        let total: SimDuration = ops.iter().map(|o| o.duration).sum();
+        assert_eq!(compute + comm, total);
+        assert!(comm > SimDuration::ZERO, "tp=2 must communicate");
+        assert!(compute > comm);
+    }
+
+    #[test]
+    fn fig3_communication_ratios() {
+        // The paper's Fig. 3 case study: at tp=4 the communication share of
+        // an intra-op iteration is ~20.7% for OPT-30B on the V100/NVLink
+        // node and ~47.1% for GLM-130B on the A100/PCIe node.
+        let shape = BatchShape::prefill(2, 64);
+
+        let v = CostModel::v100_node();
+        let ops = assemble(&v, &ModelConfig::opt_30b(), shape, 4);
+        let (compute, comm) = class_totals(&ops);
+        let ratio = comm.as_secs_f64() / (compute + comm).as_secs_f64();
+        assert!((0.14..0.28).contains(&ratio), "OPT-30B/V100 comm ratio {ratio:.3}");
+
+        let a = CostModel::a100_node();
+        let ops = assemble(&a, &ModelConfig::glm_130b(), shape, 4);
+        let (compute, comm) = class_totals(&ops);
+        let ratio = comm.as_secs_f64() / (compute + comm).as_secs_f64();
+        assert!((0.38..0.56).contains(&ratio), "GLM-130B/A100 comm ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn decode_iteration_is_cheaper_than_prefill() {
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::opt_30b();
+        let prefill: SimDuration = assemble(&cm, &cfg, BatchShape::prefill(2, 64), 4)
+            .iter()
+            .map(|o| o.duration)
+            .sum();
+        let decode: SimDuration = assemble(&cm, &cfg, BatchShape::decode(2, 64), 4)
+            .iter()
+            .map(|o| o.duration)
+            .sum();
+        assert!(decode < prefill);
+    }
+
+    #[test]
+    fn decode_comm_share_is_smaller() {
+        // §4.3: generative tasks have lower computational intensity and
+        // relatively less communication, leaving Liger less room.
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::opt_30b();
+        let share = |shape| {
+            let ops = assemble(&cm, &cfg, shape, 4);
+            let (compute, comm) = class_totals(&ops);
+            comm.as_secs_f64() / (compute + comm).as_secs_f64()
+        };
+        assert!(share(BatchShape::decode(32, 16)) < share(BatchShape::prefill(2, 64)));
+    }
+}

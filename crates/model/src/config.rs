@@ -1,0 +1,200 @@
+//! Model configurations and the model zoo (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name (e.g. `"OPT-30B"`).
+    pub name: String,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Hidden size.
+    pub hidden: u32,
+    /// Vocabulary size (embedding / LM head width).
+    pub vocab: u32,
+    /// Bytes per parameter/activation element (2 = FP16, Table 1's "Prec.").
+    pub dtype_bytes: u32,
+}
+
+impl ModelConfig {
+    /// OPT-30B: 48 layers, 56 heads, hidden 7168, FP16 (Table 1: 60 GB).
+    pub fn opt_30b() -> ModelConfig {
+        ModelConfig {
+            name: "OPT-30B".into(),
+            layers: 48,
+            heads: 56,
+            hidden: 7168,
+            vocab: 50272,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// OPT-66B: 64 layers, 72 heads, hidden 9216, FP16 (Table 1: 132 GB).
+    pub fn opt_66b() -> ModelConfig {
+        ModelConfig {
+            name: "OPT-66B".into(),
+            layers: 64,
+            heads: 72,
+            hidden: 9216,
+            vocab: 50272,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// GLM-130B: 70 layers, 96 heads, hidden 12288, FP16 (Table 1: 260 GB).
+    /// The paper notes it shares GPT-3's layer setup.
+    pub fn glm_130b() -> ModelConfig {
+        ModelConfig {
+            name: "GLM-130B".into(),
+            layers: 70,
+            heads: 96,
+            hidden: 12288,
+            vocab: 150528,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// GPT-8B-class model (Fig. 4's small end).
+    pub fn gpt_8b() -> ModelConfig {
+        ModelConfig {
+            name: "GPT-8B".into(),
+            layers: 32,
+            heads: 32,
+            hidden: 4096,
+            vocab: 50272,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// GPT-175B-class model (Fig. 4's large end; GPT-3 geometry).
+    pub fn gpt_175b() -> ModelConfig {
+        ModelConfig {
+            name: "GPT-175B".into(),
+            layers: 96,
+            heads: 96,
+            hidden: 12288,
+            vocab: 50272,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// A tiny model for fast unit tests.
+    pub fn tiny_test() -> ModelConfig {
+        ModelConfig {
+            name: "Tiny-Test".into(),
+            layers: 4,
+            heads: 8,
+            hidden: 512,
+            vocab: 1024,
+            dtype_bytes: 2,
+        }
+    }
+
+    /// The paper's evaluation zoo (Table 1).
+    pub fn zoo() -> Vec<ModelConfig> {
+        vec![Self::opt_30b(), Self::opt_66b(), Self::glm_130b()]
+    }
+
+    /// Head dimension (`hidden / heads`).
+    pub fn head_dim(&self) -> u32 {
+        self.hidden / self.heads
+    }
+
+    /// FFN inner width (4 × hidden, the GPT/OPT/GLM convention).
+    pub fn ffn_hidden(&self) -> u32 {
+        4 * self.hidden
+    }
+
+    /// Approximate parameter count: `12 L H²` for the blocks plus `V·H` for
+    /// the tied embedding / LM head.
+    pub fn param_count(&self) -> u64 {
+        let h = self.hidden as u64;
+        12 * self.layers as u64 * h * h + self.vocab as u64 * h
+    }
+
+    /// Total weight bytes at the configured precision.
+    pub fn weight_bytes(&self) -> u64 {
+        self.param_count() * self.dtype_bytes as u64
+    }
+
+    /// Returns a copy with a reduced layer count. Used by the paper's Fig. 3
+    /// strong-scaling study, which shrinks models to fit on fewer devices —
+    /// "reducing layer number will not impact the computational and
+    /// communication features" since all layers are identical.
+    pub fn with_layers(&self, layers: u32) -> ModelConfig {
+        ModelConfig { layers: layers.max(1), name: format!("{}@{}L", self.name, layers.max(1)), ..self.clone() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers == 0 || self.heads == 0 || self.hidden == 0 {
+            return Err(format!("{}: layers/heads/hidden must be non-zero", self.name));
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(format!("{}: hidden ({}) must divide evenly by heads ({})", self.name, self.hidden, self.heads));
+        }
+        if self.dtype_bytes == 0 {
+            return Err(format!("{}: dtype_bytes must be non-zero", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_validates() {
+        for m in ModelConfig::zoo() {
+            m.validate().unwrap();
+        }
+        ModelConfig::tiny_test().validate().unwrap();
+        ModelConfig::gpt_8b().validate().unwrap();
+        ModelConfig::gpt_175b().validate().unwrap();
+    }
+
+    #[test]
+    fn table1_weight_sizes() {
+        // Table 1: OPT-30B = 60 GB, OPT-66B = 132 GB, GLM-130B = 260 GB.
+        let gb = |b: u64| b as f64 / 1e9;
+        let opt30 = gb(ModelConfig::opt_30b().weight_bytes());
+        assert!((55.0..66.0).contains(&opt30), "OPT-30B weights {opt30:.1} GB");
+        let opt66 = gb(ModelConfig::opt_66b().weight_bytes());
+        assert!((125.0..140.0).contains(&opt66), "OPT-66B weights {opt66:.1} GB");
+        let glm = gb(ModelConfig::glm_130b().weight_bytes());
+        assert!((250.0..275.0).contains(&glm), "GLM-130B weights {glm:.1} GB");
+    }
+
+    #[test]
+    fn derived_dimensions() {
+        let m = ModelConfig::opt_30b();
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.ffn_hidden(), 4 * 7168);
+    }
+
+    #[test]
+    fn layer_reduction_keeps_geometry() {
+        let m = ModelConfig::glm_130b().with_layers(18);
+        assert_eq!(m.layers, 18);
+        assert_eq!(m.hidden, 12288);
+        assert!(m.name.contains("@18L"));
+        assert_eq!(ModelConfig::tiny_test().with_layers(0).layers, 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut m = ModelConfig::tiny_test();
+        m.heads = 7; // 512 % 7 != 0
+        assert!(m.validate().is_err());
+        let mut m = ModelConfig::tiny_test();
+        m.layers = 0;
+        assert!(m.validate().is_err());
+        let mut m = ModelConfig::tiny_test();
+        m.dtype_bytes = 0;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Kernel decomposition (§3.6).
+//!
+//! Liger breaks lengthy kernels — GEMMs and collectives — into fine-grained
+//! pieces with equal total capability so the scheduler can match computation
+//! and communication windows precisely. Decomposition strategies are decided
+//! offline (this module profiles them); at runtime the scheduler carves off
+//! the largest piece that fits the remaining overlap window.
+//!
+//! For GEMMs two axes exist (Fig. 9):
+//!
+//! * **Vertical** — split the weight matrix's output columns `n`. The
+//!   activation matrix `A` keeps its (already skinny) row count, so compute
+//!   intensity is preserved; `A` is re-read per piece but `A` is the small
+//!   matrix. This is the strategy Liger uses.
+//! * **Horizontal** — split the activation rows `m`. The paper shows this is
+//!   much worse: `A` is already skinny, and slicing `m` collapses tensor-core
+//!   efficiency so the pieces' accumulated duration far exceeds the whole.
+//!
+//! All-reduces decompose into equal chunks, each paying the collective base
+//! latency again.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::SimDuration;
+
+use crate::cost::CostModel;
+use crate::ops::LayerOp;
+
+/// GEMM decomposition axis (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmSplitAxis {
+    /// Split output columns `n` (the good strategy).
+    Vertical,
+    /// Split activation rows `m` (the bad strategy, kept for the ablation).
+    Horizontal,
+}
+
+/// Splits `op` into a head piece of `num/den` of its size and a tail with
+/// the remainder, along the op's preferred axis (vertical for GEMMs, payload
+/// bytes for all-reduces). Returns `None` when the op is indivisible, or
+/// when the fraction would produce an empty head or tail.
+pub fn split_op(op: &LayerOp, num: u32, den: u32) -> Option<(LayerOp, LayerOp)> {
+    split_op_axis(op, num, den, GemmSplitAxis::Vertical)
+}
+
+/// [`split_op`] with an explicit GEMM axis.
+pub fn split_op_axis(op: &LayerOp, num: u32, den: u32, axis: GemmSplitAxis) -> Option<(LayerOp, LayerOp)> {
+    if num == 0 || den == 0 || num >= den {
+        return None;
+    }
+    match *op {
+        LayerOp::Gemm { m, k, n, kind } => match axis {
+            GemmSplitAxis::Vertical => {
+                let n1 = n * num as u64 / den as u64;
+                if n1 == 0 || n1 == n {
+                    return None;
+                }
+                Some((
+                    LayerOp::Gemm { m, k, n: n1, kind },
+                    LayerOp::Gemm { m, k, n: n - n1, kind },
+                ))
+            }
+            GemmSplitAxis::Horizontal => {
+                let m1 = m * num as u64 / den as u64;
+                if m1 == 0 || m1 == m {
+                    return None;
+                }
+                Some((
+                    LayerOp::Gemm { m: m1, k, n, kind },
+                    LayerOp::Gemm { m: m - m1, k, n, kind },
+                ))
+            }
+        },
+        LayerOp::AllReduce { bytes, ranks } => {
+            let b1 = bytes * num as u64 / den as u64;
+            if b1 == 0 || b1 == bytes {
+                return None;
+            }
+            Some((
+                LayerOp::AllReduce { bytes: b1, ranks },
+                LayerOp::AllReduce { bytes: bytes - b1, ranks },
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Splits `op` into `parts` equal pieces along its preferred axis. Ops that
+/// cannot be decomposed are returned whole.
+pub fn equal_split(op: &LayerOp, parts: u32) -> Vec<LayerOp> {
+    equal_split_axis(op, parts, GemmSplitAxis::Vertical)
+}
+
+/// [`equal_split`] with an explicit GEMM axis.
+pub fn equal_split_axis(op: &LayerOp, parts: u32, axis: GemmSplitAxis) -> Vec<LayerOp> {
+    let parts = parts.max(1);
+    if parts == 1 || !op.decomposable() {
+        return vec![*op];
+    }
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut rest = *op;
+    for i in 0..parts - 1 {
+        // Carve 1/(parts-i) of the remainder so all pieces end up equal.
+        match split_op_axis(&rest, 1, parts - i, axis) {
+            Some((head, tail)) => {
+                out.push(head);
+                rest = tail;
+            }
+            None => break, // remainder too small to keep splitting
+        }
+    }
+    out.push(rest);
+    out
+}
+
+/// The offline decomposition profile of one op at division factor `factor`:
+/// durations of pieces sized `j/factor` for `j = 1..=factor` (§3.6: "we
+/// profile durations for divisions ranging from 1/8 to 7/8").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecompositionProfile {
+    /// Division factor `F`.
+    pub factor: u32,
+    /// `piece_time[j-1]` = no-load duration of a `j/F` piece.
+    pub piece_times: Vec<SimDuration>,
+}
+
+impl DecompositionProfile {
+    /// Largest `j` (in `1..factor`) whose `j/F` piece fits in `window`;
+    /// `None` when even the smallest piece does not fit.
+    pub fn largest_fitting(&self, window: SimDuration) -> Option<u32> {
+        (1..self.factor)
+            .rev()
+            .find(|&j| self.piece_times[(j - 1) as usize] <= window)
+    }
+}
+
+/// Profiles the decomposition of `op` under `cm` (no-load durations of all
+/// fractional pieces).
+pub fn profile_decomposition(cm: &CostModel, op: &LayerOp, factor: u32) -> DecompositionProfile {
+    let factor = factor.max(1);
+    let piece_times = (1..=factor)
+        .map(|j| match split_op(op, j, factor) {
+            Some((head, _)) => cm.op_time(&head),
+            None if j == factor => cm.op_time(op),
+            None => cm.op_time(op), // indivisible: every "piece" is the whole
+        })
+        .collect();
+    DecompositionProfile { factor, piece_times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::GemmKind;
+
+    fn gemm(m: u64, k: u64, n: u64) -> LayerOp {
+        LayerOp::Gemm { m, k, n, kind: GemmKind::Fc1 }
+    }
+
+    #[test]
+    fn split_gemm_vertical_partitions_n() {
+        let (head, tail) = split_op(&gemm(128, 512, 1024), 1, 4).unwrap();
+        match (head, tail) {
+            (LayerOp::Gemm { n: n1, m: m1, .. }, LayerOp::Gemm { n: n2, m: m2, .. }) => {
+                assert_eq!(n1, 256);
+                assert_eq!(n2, 768);
+                assert_eq!(m1, 128);
+                assert_eq!(m2, 128);
+            }
+            _ => panic!("wrong op kinds"),
+        }
+    }
+
+    #[test]
+    fn split_gemm_horizontal_partitions_m() {
+        let (head, tail) = split_op_axis(&gemm(128, 512, 1024), 1, 2, GemmSplitAxis::Horizontal).unwrap();
+        match (head, tail) {
+            (LayerOp::Gemm { m: m1, n: n1, .. }, LayerOp::Gemm { m: m2, n: n2, .. }) => {
+                assert_eq!((m1, m2), (64, 64));
+                assert_eq!((n1, n2), (1024, 1024));
+            }
+            _ => panic!("wrong op kinds"),
+        }
+    }
+
+    #[test]
+    fn split_allreduce_partitions_bytes() {
+        let ar = LayerOp::AllReduce { bytes: 1000, ranks: 4 };
+        let (head, tail) = split_op(&ar, 3, 8).unwrap();
+        match (head, tail) {
+            (LayerOp::AllReduce { bytes: b1, ranks: r1 }, LayerOp::AllReduce { bytes: b2, ranks: r2 }) => {
+                assert_eq!(b1, 375);
+                assert_eq!(b2, 625);
+                assert_eq!(r1, 4);
+                assert_eq!(r2, 4);
+            }
+            _ => panic!("wrong op kinds"),
+        }
+    }
+
+    #[test]
+    fn degenerate_splits_rejected() {
+        assert!(split_op(&gemm(128, 512, 1024), 0, 8).is_none());
+        assert!(split_op(&gemm(128, 512, 1024), 8, 8).is_none());
+        assert!(split_op(&gemm(128, 512, 1024), 9, 8).is_none());
+        assert!(split_op(&LayerOp::LayerNorm { rows: 1, hidden: 1 }, 1, 2).is_none());
+        // n too small to split 1/8.
+        assert!(split_op(&gemm(128, 512, 7), 1, 8).is_none());
+    }
+
+    #[test]
+    fn equal_split_conserves_work() {
+        let op = gemm(128, 512, 1024);
+        for parts in [1u32, 2, 4, 8, 16] {
+            let pieces = equal_split(&op, parts);
+            let total_n: u64 = pieces
+                .iter()
+                .map(|p| match p {
+                    LayerOp::Gemm { n, .. } => *n,
+                    _ => panic!(),
+                })
+                .sum();
+            assert_eq!(total_n, 1024, "parts={parts}");
+            assert_eq!(pieces.len(), parts as usize);
+        }
+        let ar = LayerOp::AllReduce { bytes: 999, ranks: 4 };
+        let pieces = equal_split(&ar, 8);
+        let total: u64 = pieces
+            .iter()
+            .map(|p| match p {
+                LayerOp::AllReduce { bytes, .. } => *bytes,
+                _ => panic!(),
+            })
+            .sum();
+        assert_eq!(total, 999);
+    }
+
+    #[test]
+    fn equal_split_pieces_are_balanced() {
+        let pieces = equal_split(&gemm(128, 512, 1000), 8);
+        let ns: Vec<u64> = pieces
+            .iter()
+            .map(|p| match p {
+                LayerOp::Gemm { n, .. } => *n,
+                _ => panic!(),
+            })
+            .collect();
+        let (min, max) = (ns.iter().min().unwrap(), ns.iter().max().unwrap());
+        assert!(max - min <= 1, "pieces {ns:?} not balanced");
+    }
+
+    #[test]
+    fn indivisible_ops_return_whole() {
+        let ln = LayerOp::LayerNorm { rows: 128, hidden: 512 };
+        assert_eq!(equal_split(&ln, 8), vec![ln]);
+    }
+
+    #[test]
+    fn vertical_beats_horizontal_in_total_time() {
+        // Fig. 9 as a decomposition-level property.
+        let cm = CostModel::v100_node();
+        let op = gemm(128, 7168, 7168);
+        let sum = |axis| -> SimDuration {
+            equal_split_axis(&op, 8, axis).iter().map(|p| cm.op_time(p)).sum()
+        };
+        assert!(sum(GemmSplitAxis::Vertical) < sum(GemmSplitAxis::Horizontal));
+    }
+
+    #[test]
+    fn profile_is_monotone_and_fits_are_correct() {
+        let cm = CostModel::v100_node();
+        let op = gemm(128, 7168, 7168);
+        let prof = profile_decomposition(&cm, &op, 8);
+        assert_eq!(prof.piece_times.len(), 8);
+        for w in prof.piece_times.windows(2) {
+            assert!(w[0] <= w[1], "piece durations must grow with fraction");
+        }
+        // The full piece equals the whole op.
+        assert_eq!(prof.piece_times[7], cm.op_time(&op));
+        // largest_fitting picks the biggest piece under the window.
+        let window = prof.piece_times[4]; // 5/8 piece duration
+        assert_eq!(prof.largest_fitting(window), Some(5));
+        assert_eq!(prof.largest_fitting(SimDuration::ZERO), None);
+        assert_eq!(prof.largest_fitting(SimDuration::MAX), Some(7));
+    }
+
+    #[test]
+    fn allreduce_profile_includes_latency_per_chunk() {
+        let cm = CostModel::v100_node();
+        let ar = LayerOp::AllReduce { bytes: 8 << 20, ranks: 4 };
+        let prof = profile_decomposition(&cm, &ar, 8);
+        let whole = cm.op_time(&ar);
+        // 8 pieces each pay the base latency: summed pieces exceed the whole.
+        let total: SimDuration = (0..8).map(|_| prof.piece_times[0]).sum();
+        assert!(total > whole);
+    }
+}

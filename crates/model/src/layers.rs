@@ -1,0 +1,230 @@
+//! Building the kernel sequence of a transformer forward pass.
+//!
+//! [`layer_ops`] emits the per-device op list of one transformer block under
+//! a given tensor-parallel degree, in execution order; [`model_ops`] chains
+//! all layers plus the final norm and LM head. The sequences follow
+//! Megatron-LM's partitioning (the paper's Intra-Op baseline): QKV and FC1
+//! are column-parallel, the attention output projection and FC2 are
+//! row-parallel, and each block synchronizes with **two all-reduces** —
+//! after the attention projection and after FC2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::ops::{GemmKind, LayerOp};
+use crate::workload::{BatchShape, Phase};
+
+/// One op with its position in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedOp {
+    /// Layer index (`u32::MAX` for the head/final ops).
+    pub layer: u32,
+    /// The op.
+    pub op: LayerOp,
+}
+
+/// Marker layer index for post-block ops (final norm, LM head).
+pub const HEAD_LAYER: u32 = u32::MAX;
+
+/// Ops of one transformer block on one device, at tensor-parallel degree
+/// `tp`. `tp = 1` yields the sequence a pipeline stage executes.
+pub fn layer_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32, layer: u32) -> Vec<PlacedOp> {
+    assert!(tp >= 1, "tensor-parallel degree must be >= 1");
+    assert_eq!(cfg.heads % tp, 0, "{}: heads ({}) must divide by tp ({tp})", cfg.name, cfg.heads);
+    let tp64 = tp as u64;
+    let h = cfg.hidden as u64;
+    let ffn = cfg.ffn_hidden() as u64;
+    let rows = shape.rows();
+    let heads_local = (cfg.heads / tp) as u64;
+    let (q_len, kv_len) = match shape.phase {
+        Phase::Prefill { seq_len } => (seq_len as u64, seq_len as u64),
+        Phase::Decode { context } => (1, context as u64 + 1),
+    };
+    let dtype = cfg.dtype_bytes as u64;
+    let ar_bytes = rows * h * dtype;
+
+    let mut ops = Vec::with_capacity(12);
+    let mut push = |op: LayerOp| ops.push(PlacedOp { layer, op });
+
+    // -- attention half ------------------------------------------------------
+    push(LayerOp::LayerNorm { rows, hidden: h });
+    push(LayerOp::Gemm { m: rows, k: h, n: 3 * h / tp64, kind: GemmKind::Qkv });
+    push(LayerOp::Attention {
+        batch: shape.batch as u64,
+        heads: heads_local,
+        q_len,
+        kv_len,
+        head_dim: cfg.head_dim() as u64,
+    });
+    push(LayerOp::Gemm { m: rows, k: h / tp64, n: h, kind: GemmKind::AttnOut });
+    if tp > 1 {
+        push(LayerOp::AllReduce { bytes: ar_bytes, ranks: tp });
+    }
+    push(LayerOp::Residual { rows, hidden: h });
+
+    // -- MLP half --------------------------------------------------------------
+    push(LayerOp::LayerNorm { rows, hidden: h });
+    push(LayerOp::Gemm { m: rows, k: h, n: ffn / tp64, kind: GemmKind::Fc1 });
+    push(LayerOp::Gelu { rows, width: ffn / tp64 });
+    push(LayerOp::Gemm { m: rows, k: ffn / tp64, n: h, kind: GemmKind::Fc2 });
+    if tp > 1 {
+        push(LayerOp::AllReduce { bytes: ar_bytes, ranks: tp });
+    }
+    push(LayerOp::Residual { rows, hidden: h });
+
+    ops
+}
+
+/// Ops of the full model on one device at tensor-parallel degree `tp`:
+/// `layers` blocks, final layer norm, and the (column-parallel) LM head.
+pub fn model_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32) -> Vec<PlacedOp> {
+    let mut ops = Vec::with_capacity(cfg.layers as usize * 12 + 2);
+    for layer in 0..cfg.layers {
+        ops.extend(layer_ops(cfg, shape, tp, layer));
+    }
+    let h = cfg.hidden as u64;
+    let rows = shape.rows();
+    ops.push(PlacedOp { layer: HEAD_LAYER, op: LayerOp::LayerNorm { rows, hidden: h } });
+    ops.push(PlacedOp {
+        layer: HEAD_LAYER,
+        op: LayerOp::Gemm { m: rows, k: h, n: cfg.vocab as u64 / tp as u64, kind: GemmKind::LmHead },
+    });
+    ops
+}
+
+/// Ops of one *pipeline stage* covering layers `[lo, hi)` at `tp = 1`
+/// (Inter-Op baseline). The final stage appends the head ops.
+pub fn stage_ops(cfg: &ModelConfig, shape: BatchShape, lo: u32, hi: u32) -> Vec<PlacedOp> {
+    assert!(lo < hi && hi <= cfg.layers, "invalid stage range [{lo},{hi}) of {}", cfg.layers);
+    let mut ops = Vec::new();
+    for layer in lo..hi {
+        ops.extend(layer_ops(cfg, shape, 1, layer));
+    }
+    if hi == cfg.layers {
+        let h = cfg.hidden as u64;
+        let rows = shape.rows();
+        ops.push(PlacedOp { layer: HEAD_LAYER, op: LayerOp::LayerNorm { rows, hidden: h } });
+        ops.push(PlacedOp {
+            layer: HEAD_LAYER,
+            op: LayerOp::Gemm { m: rows, k: h, n: cfg.vocab as u64, kind: GemmKind::LmHead },
+        });
+    }
+    ops
+}
+
+/// Bytes of the activation tensor handed between pipeline stages.
+pub fn stage_boundary_bytes(cfg: &ModelConfig, shape: BatchShape) -> u64 {
+    shape.rows() * cfg.hidden as u64 * cfg.dtype_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::KernelClass;
+
+    fn count_allreduces(ops: &[PlacedOp]) -> usize {
+        ops.iter().filter(|p| matches!(p.op, LayerOp::AllReduce { .. })).count()
+    }
+
+    #[test]
+    fn megatron_layer_has_two_allreduces() {
+        let cfg = ModelConfig::opt_30b();
+        let ops = layer_ops(&cfg, BatchShape::prefill(2, 64), 4, 0);
+        assert_eq!(count_allreduces(&ops), 2, "two all-reduce synchronizations per layer (§4.1)");
+    }
+
+    #[test]
+    fn single_device_layer_has_no_comm() {
+        let cfg = ModelConfig::opt_30b();
+        let ops = layer_ops(&cfg, BatchShape::prefill(2, 64), 1, 0);
+        assert_eq!(count_allreduces(&ops), 0);
+        assert!(ops.iter().all(|p| p.op.class() == KernelClass::Compute));
+    }
+
+    #[test]
+    fn tp_divides_gemm_widths() {
+        let cfg = ModelConfig::opt_30b();
+        let full = layer_ops(&cfg, BatchShape::prefill(2, 64), 1, 0);
+        let quarter = layer_ops(&cfg, BatchShape::prefill(2, 64), 4, 0);
+        let qkv = |ops: &[PlacedOp]| {
+            ops.iter()
+                .find_map(|p| match p.op {
+                    LayerOp::Gemm { n, kind: GemmKind::Qkv, .. } => Some(n),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(qkv(&full), 3 * 7168);
+        assert_eq!(qkv(&quarter), 3 * 7168 / 4);
+        // Row-parallel FC2 divides k instead of n.
+        let fc2 = |ops: &[PlacedOp]| {
+            ops.iter()
+                .find_map(|p| match p.op {
+                    LayerOp::Gemm { k, n, kind: GemmKind::Fc2, .. } => Some((k, n)),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(fc2(&full), (4 * 7168, 7168));
+        assert_eq!(fc2(&quarter), (7168, 7168));
+    }
+
+    #[test]
+    fn decode_uses_kv_cache_span() {
+        let cfg = ModelConfig::opt_30b();
+        let ops = layer_ops(&cfg, BatchShape::decode(32, 100), 4, 0);
+        let attn = ops
+            .iter()
+            .find_map(|p| match p.op {
+                LayerOp::Attention { q_len, kv_len, .. } => Some((q_len, kv_len)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(attn, (1, 101));
+    }
+
+    #[test]
+    fn model_ops_cover_all_layers_plus_head() {
+        let cfg = ModelConfig::tiny_test();
+        let ops = model_ops(&cfg, BatchShape::prefill(2, 16), 2);
+        let per_layer = layer_ops(&cfg, BatchShape::prefill(2, 16), 2, 0).len();
+        assert_eq!(ops.len(), cfg.layers as usize * per_layer + 2);
+        assert!(ops.iter().any(|p| p.layer == HEAD_LAYER));
+        for l in 0..cfg.layers {
+            assert!(ops.iter().any(|p| p.layer == l));
+        }
+    }
+
+    #[test]
+    fn stage_ops_partition_the_model() {
+        let cfg = ModelConfig::tiny_test();
+        let shape = BatchShape::prefill(2, 16);
+        let s0 = stage_ops(&cfg, shape, 0, 2);
+        let s1 = stage_ops(&cfg, shape, 2, 4);
+        assert_eq!(count_allreduces(&s0), 0, "pipeline stages run tp=1");
+        // Only the final stage carries the head.
+        assert!(!s0.iter().any(|p| p.layer == HEAD_LAYER));
+        assert!(s1.iter().any(|p| p.layer == HEAD_LAYER));
+    }
+
+    #[test]
+    fn boundary_bytes() {
+        let cfg = ModelConfig::opt_30b();
+        assert_eq!(stage_boundary_bytes(&cfg, BatchShape::prefill(2, 64)), 128 * 7168 * 2);
+        assert_eq!(stage_boundary_bytes(&cfg, BatchShape::decode(32, 50)), 32 * 7168 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn tp_must_divide_heads() {
+        let cfg = ModelConfig::tiny_test(); // 8 heads
+        layer_ops(&cfg, BatchShape::prefill(1, 8), 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stage range")]
+    fn stage_range_is_checked() {
+        let cfg = ModelConfig::tiny_test();
+        stage_ops(&cfg, BatchShape::prefill(1, 8), 2, 9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Device-memory accounting: weights, KV cache, activations.
+//!
+//! Used to validate that a model/parallelism/batch combination actually fits
+//! the node the paper ran it on — e.g. OPT-30B (60 GB of FP16 weights) only
+//! fits the 4×16 GB V100 node when partitioned four ways.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::workload::BatchShape;
+
+/// Memory footprint breakdown for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Weight bytes resident on this device.
+    pub weights: u64,
+    /// KV-cache bytes for one in-flight batch at the given context length.
+    pub kv_cache: u64,
+    /// Peak activation workspace bytes for one in-flight batch.
+    pub activations: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.kv_cache + self.activations
+    }
+}
+
+/// Per-device footprint when the model is partitioned `ways` ways (either
+/// tensor-parallel shards or pipeline stages — both divide weights evenly),
+/// serving `in_flight` concurrent batches of `shape` with KV spans of
+/// `max_context` tokens.
+pub fn device_footprint(
+    cfg: &ModelConfig,
+    ways: u32,
+    shape: BatchShape,
+    max_context: u32,
+    in_flight: u32,
+) -> MemoryFootprint {
+    let ways = ways.max(1) as u64;
+    let dtype = cfg.dtype_bytes as u64;
+    let h = cfg.hidden as u64;
+    let weights = cfg.weight_bytes() / ways;
+    // K and V per token per layer: 2 × hidden, sharded by `ways`.
+    let kv_per_seq = 2 * cfg.layers as u64 * h * dtype * max_context as u64 / ways;
+    let kv_cache = kv_per_seq * shape.batch as u64 * in_flight as u64;
+    // Workspace: a handful of rows×(4H) tensors.
+    let activations = 6 * shape.rows() * 4 * h * dtype / ways * in_flight as u64;
+    MemoryFootprint { weights, kv_cache, activations }
+}
+
+/// Whether the configuration fits in `capacity` bytes per device.
+pub fn fits(cfg: &ModelConfig, ways: u32, shape: BatchShape, max_context: u32, in_flight: u32, capacity: u64) -> bool {
+    device_footprint(cfg, ways, shape, max_context, in_flight).total() <= capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn opt30b_fits_4x_v100_but_not_one() {
+        let cfg = ModelConfig::opt_30b();
+        let shape = BatchShape::prefill(8, 128);
+        let cap = DeviceSpec::v100_16gb().mem_capacity;
+        assert!(fits(&cfg, 4, shape, 128, 4, cap), "paper serves OPT-30B on 4 V100s");
+        assert!(!fits(&cfg, 1, shape, 128, 1, cap), "60 GB of weights cannot fit one 16 GB card");
+    }
+
+    #[test]
+    fn glm130b_fits_4x_a100_80gb() {
+        let cfg = ModelConfig::glm_130b();
+        let shape = BatchShape::prefill(8, 128);
+        let cap = DeviceSpec::a100_80gb().mem_capacity;
+        assert!(fits(&cfg, 4, shape, 128, 4, cap));
+        assert!(!fits(&cfg, 2, shape, 128, 1, cap), "260 GB / 2 exceeds 80 GB");
+    }
+
+    #[test]
+    fn kv_cache_grows_with_context_and_batch() {
+        let cfg = ModelConfig::opt_30b();
+        let a = device_footprint(&cfg, 4, BatchShape::decode(8, 16), 16, 1);
+        let b = device_footprint(&cfg, 4, BatchShape::decode(8, 512), 512, 1);
+        let c = device_footprint(&cfg, 4, BatchShape::decode(32, 16), 16, 1);
+        assert!(b.kv_cache > a.kv_cache);
+        assert!(c.kv_cache > a.kv_cache);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn footprint_total_adds_up() {
+        let f = MemoryFootprint { weights: 10, kv_cache: 20, activations: 30 };
+        assert_eq!(f.total(), 60);
+    }
+
+    #[test]
+    fn more_ways_smaller_share() {
+        let cfg = ModelConfig::opt_66b();
+        let shape = BatchShape::prefill(2, 64);
+        let one = device_footprint(&cfg, 1, shape, 64, 1);
+        let four = device_footprint(&cfg, 4, shape, 64, 1);
+        assert!(four.weights * 4 <= one.weights + 4);
+        assert!(four.total() < one.total());
+    }
+}

@@ -1,0 +1,228 @@
+//! The logical operations (kernels) of a transformer layer.
+//!
+//! A [`LayerOp`] is a shape-carrying description of one kernel. The cost
+//! model prices it; the parallelism engines and Liger's function assembly
+//! turn priced ops into simulator [`KernelSpec`](liger_gpu_sim::KernelSpec)s.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::KernelClass;
+
+/// Which GEMM of the transformer block (they partition differently under
+/// Megatron-style tensor parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmKind {
+    /// Fused QKV projection — column-parallel (output width divides).
+    Qkv,
+    /// Attention output projection — row-parallel (reduction dim divides).
+    AttnOut,
+    /// First MLP GEMM — column-parallel.
+    Fc1,
+    /// Second MLP GEMM — row-parallel.
+    Fc2,
+    /// LM head projection over the vocabulary — column-parallel.
+    LmHead,
+}
+
+impl GemmKind {
+    /// Short kernel-name fragment.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmKind::Qkv => "gemm_qkv",
+            GemmKind::AttnOut => "gemm_attn_out",
+            GemmKind::Fc1 => "gemm_fc1",
+            GemmKind::Fc2 => "gemm_fc2",
+            GemmKind::LmHead => "gemm_lm_head",
+        }
+    }
+
+    /// True when Megatron splits this GEMM along its output columns
+    /// (column-parallel); false for row-parallel GEMMs.
+    pub fn column_parallel(self) -> bool {
+        matches!(self, GemmKind::Qkv | GemmKind::Fc1 | GemmKind::LmHead)
+    }
+}
+
+/// One logical kernel with its shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerOp {
+    /// Row-wise layer normalization over `rows × hidden` activations.
+    LayerNorm {
+        /// Token rows.
+        rows: u64,
+        /// Hidden width.
+        hidden: u64,
+    },
+    /// Dense GEMM `[m×k] · [k×n]`.
+    Gemm {
+        /// Rows (batch × tokens).
+        m: u64,
+        /// Reduction depth.
+        k: u64,
+        /// Output width.
+        n: u64,
+        /// Which projection this is.
+        kind: GemmKind,
+    },
+    /// Scaled-dot-product attention (QKᵀ, softmax, ·V fused): `batch`
+    /// sequences, `heads` local heads, `q_len` queries attending over
+    /// `kv_len` keys of width `head_dim`.
+    Attention {
+        /// Sequences.
+        batch: u64,
+        /// Heads on this device (heads / tp).
+        heads: u64,
+        /// Query tokens this iteration.
+        q_len: u64,
+        /// Attended span (includes KV cache in decode).
+        kv_len: u64,
+        /// Per-head width.
+        head_dim: u64,
+    },
+    /// GELU over `rows × width` activations.
+    Gelu {
+        /// Token rows.
+        rows: u64,
+        /// Activation width.
+        width: u64,
+    },
+    /// Residual add over `rows × hidden`.
+    Residual {
+        /// Token rows.
+        rows: u64,
+        /// Hidden width.
+        hidden: u64,
+    },
+    /// Ring all-reduce over the tensor-parallel group.
+    AllReduce {
+        /// Payload bytes.
+        bytes: u64,
+        /// Group size.
+        ranks: u32,
+    },
+    /// Point-to-point activation transfer (pipeline stage boundary).
+    P2p {
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+impl LayerOp {
+    /// Computation or communication.
+    pub fn class(&self) -> KernelClass {
+        match self {
+            LayerOp::AllReduce { .. } | LayerOp::P2p { .. } => KernelClass::Comm,
+            _ => KernelClass::Compute,
+        }
+    }
+
+    /// Kernel name for traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerOp::LayerNorm { .. } => "layernorm",
+            LayerOp::Gemm { kind, .. } => kind.name(),
+            LayerOp::Attention { .. } => "attention",
+            LayerOp::Gelu { .. } => "gelu",
+            LayerOp::Residual { .. } => "residual_add",
+            LayerOp::AllReduce { .. } => "nccl_allreduce",
+            LayerOp::P2p { .. } => "nccl_sendrecv",
+        }
+    }
+
+    /// Floating-point operations of the kernel.
+    pub fn flops(&self) -> u64 {
+        match *self {
+            LayerOp::Gemm { m, k, n, .. } => 2 * m * k * n,
+            LayerOp::Attention { batch, heads, q_len, kv_len, head_dim } => {
+                // QK^T and attn·V, 2 FLOPs per MAC each.
+                2 * 2 * batch * heads * q_len * kv_len * head_dim
+            }
+            LayerOp::LayerNorm { rows, hidden } => 8 * rows * hidden,
+            LayerOp::Gelu { rows, width } => 10 * rows * width,
+            LayerOp::Residual { rows, hidden } => rows * hidden,
+            LayerOp::AllReduce { .. } | LayerOp::P2p { .. } => 0,
+        }
+    }
+
+    /// Bytes of memory traffic (weights + activations), at `dtype_bytes` per
+    /// element. Communication ops report their payload.
+    pub fn bytes(&self, dtype_bytes: u64) -> u64 {
+        match *self {
+            LayerOp::Gemm { m, k, n, .. } => dtype_bytes * (m * k + k * n + m * n),
+            LayerOp::Attention { batch, heads, q_len, kv_len, head_dim } => {
+                // Read K,V (the cache in decode), read Q, write scores + out.
+                let kv = 2 * batch * heads * kv_len * head_dim;
+                let q = batch * heads * q_len * head_dim;
+                let scores = batch * heads * q_len * kv_len;
+                let out = batch * heads * q_len * head_dim;
+                dtype_bytes * (kv + q + scores + out)
+            }
+            LayerOp::LayerNorm { rows, hidden } => dtype_bytes * 3 * rows * hidden,
+            LayerOp::Gelu { rows, width } => dtype_bytes * 2 * rows * width,
+            LayerOp::Residual { rows, hidden } => dtype_bytes * 3 * rows * hidden,
+            LayerOp::AllReduce { bytes, .. } => bytes,
+            LayerOp::P2p { bytes } => bytes,
+        }
+    }
+
+    /// True for the long kernels the runtime may decompose at runtime
+    /// (§3.6: "giant kernels … primarily include collective communication
+    /// kernels and GEMM kernels").
+    pub fn decomposable(&self) -> bool {
+        matches!(self, LayerOp::Gemm { .. } | LayerOp::AllReduce { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(LayerOp::AllReduce { bytes: 1, ranks: 4 }.class(), KernelClass::Comm);
+        assert_eq!(LayerOp::P2p { bytes: 1 }.class(), KernelClass::Comm);
+        assert_eq!(
+            LayerOp::Gemm { m: 1, k: 1, n: 1, kind: GemmKind::Qkv }.class(),
+            KernelClass::Compute
+        );
+        assert_eq!(LayerOp::LayerNorm { rows: 1, hidden: 1 }.class(), KernelClass::Compute);
+    }
+
+    #[test]
+    fn gemm_flops_and_bytes() {
+        let g = LayerOp::Gemm { m: 4, k: 8, n: 16, kind: GemmKind::Fc1 };
+        assert_eq!(g.flops(), 2 * 4 * 8 * 16);
+        assert_eq!(g.bytes(2), 2 * (32 + 128 + 64));
+    }
+
+    #[test]
+    fn attention_scales_with_kv_len() {
+        let short = LayerOp::Attention { batch: 2, heads: 8, q_len: 1, kv_len: 16, head_dim: 64 };
+        let long = LayerOp::Attention { batch: 2, heads: 8, q_len: 1, kv_len: 512, head_dim: 64 };
+        assert!(long.flops() > short.flops());
+        assert!(long.bytes(2) > short.bytes(2), "KV cache reads grow with context");
+    }
+
+    #[test]
+    fn partition_axes() {
+        assert!(GemmKind::Qkv.column_parallel());
+        assert!(GemmKind::Fc1.column_parallel());
+        assert!(GemmKind::LmHead.column_parallel());
+        assert!(!GemmKind::AttnOut.column_parallel());
+        assert!(!GemmKind::Fc2.column_parallel());
+    }
+
+    #[test]
+    fn decomposable_ops() {
+        assert!(LayerOp::Gemm { m: 1, k: 1, n: 1, kind: GemmKind::Qkv }.decomposable());
+        assert!(LayerOp::AllReduce { bytes: 1, ranks: 4 }.decomposable());
+        assert!(!LayerOp::LayerNorm { rows: 1, hidden: 1 }.decomposable());
+        assert!(!LayerOp::Attention { batch: 1, heads: 1, q_len: 1, kv_len: 1, head_dim: 1 }.decomposable());
+    }
+
+    #[test]
+    fn comm_ops_have_no_flops() {
+        assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.flops(), 0);
+        assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.bytes(2), 1024);
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline profiling (§3.5's preprocessing procedure).
+//!
+//! Before deployment, Liger runs an offline pass that (a) collects no-load
+//! kernel durations and (b) measures *contention factors* by executing
+//! representative kernel pairs concurrently and comparing wall time against
+//! the no-load baseline. This module performs that measurement against the
+//! simulator — exactly the way the real system profiles against hardware —
+//! rather than reading the simulator's contention parameters directly, so a
+//! different substrate (or a future real-GPU backend) can be profiled with
+//! the same code.
+
+use serde::{Deserialize, Serialize};
+
+use liger_collectives::NcclConfig;
+use liger_gpu_sim::{
+    DeviceId, DeviceSpec, Driver, HostId, HostSpec, KernelSpec, SimDuration, Simulation, StreamId, Wake,
+};
+
+/// Measured contention factors for one device type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionProfile {
+    /// Wall/no-load ratio of a compute kernel fully overlapped by
+    /// communication.
+    pub compute_slowdown: f64,
+    /// Wall/no-load ratio of a communication kernel fully overlapped by
+    /// compute.
+    pub comm_slowdown: f64,
+}
+
+impl ContentionProfile {
+    /// The single scheduling factor Liger feeds into Algorithm 1: the worst
+    /// of the two directions (the paper's V100 node uses 1.1, the A100 node
+    /// 1.15; this measurement reproduces those magnitudes).
+    pub fn factor(&self) -> f64 {
+        self.compute_slowdown.max(self.comm_slowdown)
+    }
+}
+
+struct PairDriver {
+    long: KernelSpec,
+    short: KernelSpec,
+}
+
+impl Driver for PairDriver {
+    fn start(&mut self, sim: &mut Simulation) {
+        let d = DeviceId(0);
+        sim.launch(HostId(0), StreamId::new(d, 0), self.long.clone());
+        sim.launch(HostId(0), StreamId::new(d, 1), self.short.clone());
+    }
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+/// Runs `short` fully overlapped by `long` on a single `spec` device and
+/// returns the short kernel's wall/no-load stretch.
+fn measure_stretch(spec: &DeviceSpec, long: KernelSpec, short: KernelSpec) -> f64 {
+    let short_work = short.work;
+    let mut sim = Simulation::builder()
+        .device(spec.clone())
+        .host(HostSpec::instant())
+        .capture_trace(true)
+        .build()
+        .expect("valid device spec");
+    let mut drv = PairDriver { long, short: short.clone() };
+    sim.run_to_completion(&mut drv);
+    let trace = sim.take_trace().expect("trace enabled");
+    let ev = trace
+        .events()
+        .iter()
+        .find(|e| e.tag == 1)
+        .expect("short kernel completed");
+    ev.duration().as_nanos() as f64 / short_work.as_nanos() as f64
+}
+
+/// Profiles the contention factors of a device by concurrent execution of a
+/// long GEMM-like kernel with a short collective-like kernel (and vice
+/// versa), mirroring the paper's "concurrent profiling of these kernels".
+pub fn profile_contention(spec: &DeviceSpec, nccl: &NcclConfig) -> ContentionProfile {
+    let long = SimDuration::from_millis(20);
+    let short = SimDuration::from_millis(1);
+    // Short compute under long communication.
+    let compute_slowdown = measure_stretch(
+        spec,
+        KernelSpec::comm("profile_allreduce", long).with_blocks(nccl.channels).with_tag(0),
+        KernelSpec::compute("profile_gemm", short).with_tag(1),
+    );
+    // Short communication under long compute.
+    let comm_slowdown = measure_stretch(
+        spec,
+        KernelSpec::compute("profile_gemm", long).with_tag(0),
+        KernelSpec::comm("profile_allreduce", short).with_blocks(nccl.channels).with_tag(1),
+    );
+    ContentionProfile { compute_slowdown, comm_slowdown }
+}
+
+/// No-load duration check: runs a kernel solo and returns its wall time.
+/// Used by tests to confirm the simulator honors profiled durations.
+pub fn measure_solo(spec: &DeviceSpec, kernel: KernelSpec) -> SimDuration {
+    let mut sim = Simulation::builder()
+        .device(spec.clone())
+        .host(HostSpec::instant())
+        .capture_trace(true)
+        .build()
+        .expect("valid device spec");
+    struct Solo(Option<KernelSpec>);
+    impl Driver for Solo {
+        fn start(&mut self, sim: &mut Simulation) {
+            let k = self.0.take().expect("driver started twice");
+            sim.launch(HostId(0), StreamId::new(DeviceId(0), 0), k);
+        }
+        fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+    }
+    let mut drv = Solo(Some(kernel));
+    sim.run_to_completion(&mut drv);
+    let trace = sim.take_trace().expect("trace enabled");
+    assert_eq!(trace.events().len(), 1, "solo run must execute exactly one kernel");
+    trace.events()[0].duration()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_factors_match_paper_magnitudes() {
+        let nccl = NcclConfig::liger_tuned();
+        let v100 = profile_contention(&DeviceSpec::v100_16gb(), &nccl);
+        let a100 = profile_contention(&DeviceSpec::a100_80gb(), &nccl);
+        // Paper §4.2: scheduling factor 1.1 on the V100 node, 1.15 on A100.
+        assert!((1.05..=1.20).contains(&v100.factor()), "V100 factor {}", v100.factor());
+        assert!((1.10..=1.30).contains(&a100.factor()), "A100 factor {}", a100.factor());
+        assert!(a100.factor() > v100.factor(), "A100 contends harder (paper's counterintuitive note)");
+    }
+
+    #[test]
+    fn frictionless_device_profiles_to_one() {
+        let p = profile_contention(&DeviceSpec::test_device(), &NcclConfig::liger_tuned());
+        assert!((p.compute_slowdown - 1.0).abs() < 1e-9);
+        assert!((p.comm_slowdown - 1.0).abs() < 1e-9);
+        assert!((p.factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_reduction_lowers_compute_slowdown() {
+        let spec = DeviceSpec::a100_80gb();
+        let few = profile_contention(&spec, &NcclConfig::liger_tuned());
+        let many = profile_contention(&spec, &NcclConfig::default());
+        assert!(
+            few.compute_slowdown < many.compute_slowdown,
+            "NCCL_MAX_NCHANNELS mitigation: {} !< {}",
+            few.compute_slowdown,
+            many.compute_slowdown
+        );
+    }
+
+    #[test]
+    fn solo_measurement_equals_nominal_work() {
+        let spec = DeviceSpec::v100_16gb();
+        let work = SimDuration::from_micros(500);
+        let wall = measure_solo(&spec, KernelSpec::compute("g", work));
+        assert_eq!(wall, work);
+    }
+}

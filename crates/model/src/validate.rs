@@ -1,0 +1,290 @@
+//! Structural validation of kernel sequences.
+//!
+//! [`validate_sequence`] checks that an op list is a well-formed
+//! Megatron-partitioned transformer forward pass: every GEMM's reduction
+//! width matches the tensor feeding it, attention geometry is consistent
+//! with the model and the tensor-parallel degree, all-reduce payloads equal
+//! the activation tensor they synchronize, and per-layer op order follows
+//! the canonical block structure. It is written independently of
+//! [`crate::layers`] (an articulation of the *rules*, not a re-run of the
+//! generator), so it serves as a test oracle for generated sequences and a
+//! safety net for hand-built or decomposed ones.
+
+use crate::config::ModelConfig;
+use crate::ops::{GemmKind, LayerOp};
+use crate::workload::{BatchShape, Phase};
+use crate::layers::{PlacedOp, HEAD_LAYER};
+
+/// Validates a per-device op sequence at tensor-parallel degree `tp`.
+///
+/// Decomposed sequences (where a GEMM or all-reduce appears as several
+/// column/payload pieces) are accepted: pieces of one logical op must be
+/// contiguous and their widths/payloads must sum to the logical op's.
+pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[PlacedOp]) -> Result<(), String> {
+    cfg.validate()?;
+    shape.validate()?;
+    if tp == 0 || !cfg.heads.is_multiple_of(tp) {
+        return Err(format!("invalid tensor-parallel degree {tp} for {} heads", cfg.heads));
+    }
+    let tp64 = tp as u64;
+    let h = cfg.hidden as u64;
+    let ffn = cfg.ffn_hidden() as u64;
+    let rows = shape.rows();
+    let dtype = cfg.dtype_bytes as u64;
+    let (q_len, kv_len) = match shape.phase {
+        Phase::Prefill { seq_len } => (seq_len as u64, seq_len as u64),
+        Phase::Decode { context } => (1, context as u64 + 1),
+    };
+
+    let mut i = 0usize;
+
+    // Consumes contiguous pieces of one logical GEMM and checks the sum.
+    let eat_gemm = |i: &mut usize, ops: &[PlacedOp], kind: GemmKind, m: u64, k: u64, n_total: u64, layer: u32| -> Result<(), String> {
+        let mut n_sum = 0u64;
+        let mut pieces = 0;
+        while let Some(PlacedOp { op: LayerOp::Gemm { m: gm, k: gk, n, kind: gkind }, layer: glayer }) = ops.get(*i) {
+            if *gkind != kind || *glayer != layer {
+                break;
+            }
+            if kind.column_parallel() {
+                if (*gm, *gk) != (m, k) {
+                    return Err(format!("layer {layer} {kind:?}: piece has m,k = {gm},{gk}, expected {m},{k}"));
+                }
+                n_sum += n;
+            } else {
+                // Row-parallel GEMMs split k; n stays whole per piece.
+                if (*gm, *n) != (m, n_total) {
+                    return Err(format!("layer {layer} {kind:?}: piece has m,n = {gm},{n}, expected {m},{n_total}"));
+                }
+                n_sum += gk;
+            }
+            pieces += 1;
+            *i += 1;
+        }
+        if pieces == 0 {
+            return Err(format!("layer {layer}: expected {kind:?} GEMM at op {i:?}"));
+        }
+        let expected = if kind.column_parallel() { n_total } else { k };
+        if n_sum != expected {
+            return Err(format!(
+                "layer {layer} {kind:?}: pieces cover {n_sum} of {expected} along the split axis"
+            ));
+        }
+        Ok(())
+    };
+
+    let eat_allreduce = |i: &mut usize, ops: &[PlacedOp], layer: u32| -> Result<(), String> {
+        if tp == 1 {
+            return Ok(()); // single device: no synchronization emitted
+        }
+        let expect_bytes = rows * h * dtype;
+        let mut sum = 0u64;
+        let mut pieces = 0;
+        while let Some(PlacedOp { op: LayerOp::AllReduce { bytes, ranks }, layer: glayer }) = ops.get(*i) {
+            if *glayer != layer {
+                break;
+            }
+            if *ranks != tp {
+                return Err(format!("layer {layer}: all-reduce spans {ranks} ranks, expected {tp}"));
+            }
+            sum += bytes;
+            pieces += 1;
+            *i += 1;
+        }
+        if pieces == 0 {
+            return Err(format!("layer {layer}: missing all-reduce"));
+        }
+        if sum != expect_bytes {
+            return Err(format!(
+                "layer {layer}: all-reduce pieces move {sum} bytes, expected {expect_bytes}"
+            ));
+        }
+        Ok(())
+    };
+
+    let eat = |i: &mut usize, ops: &[PlacedOp], what: &str, layer: u32, pred: &dyn Fn(&LayerOp) -> Result<(), String>| -> Result<(), String> {
+        match ops.get(*i) {
+            Some(p) if p.layer == layer => {
+                pred(&p.op).map_err(|e| format!("layer {layer}: {e}"))?;
+                *i += 1;
+                Ok(())
+            }
+            other => Err(format!("layer {layer}: expected {what}, found {other:?}")),
+        }
+    };
+
+    let ln = |op: &LayerOp| -> Result<(), String> {
+        match *op {
+            LayerOp::LayerNorm { rows: r, hidden: hh } if r == rows && hh == h => Ok(()),
+            ref other => Err(format!("expected layernorm[{rows}x{h}], got {other:?}")),
+        }
+    };
+    let residual = |op: &LayerOp| -> Result<(), String> {
+        match *op {
+            LayerOp::Residual { rows: r, hidden: hh } if r == rows && hh == h => Ok(()),
+            ref other => Err(format!("expected residual[{rows}x{h}], got {other:?}")),
+        }
+    };
+
+    for layer in 0..cfg.layers {
+        eat(&mut i, ops, "layernorm", layer, &ln)?;
+        eat_gemm(&mut i, ops, GemmKind::Qkv, rows, h, 3 * h / tp64, layer)?;
+        eat(&mut i, ops, "attention", layer, &|op| match *op {
+            LayerOp::Attention { batch, heads, q_len: q, kv_len: kv, head_dim }
+                if batch == shape.batch as u64
+                    && heads == (cfg.heads / tp) as u64
+                    && q == q_len
+                    && kv == kv_len
+                    && head_dim == cfg.head_dim() as u64 =>
+            {
+                Ok(())
+            }
+            ref other => Err(format!("malformed attention {other:?}")),
+        })?;
+        eat_gemm(&mut i, ops, GemmKind::AttnOut, rows, h / tp64, h, layer)?;
+        eat_allreduce(&mut i, ops, layer)?;
+        eat(&mut i, ops, "residual", layer, &residual)?;
+        eat(&mut i, ops, "layernorm", layer, &ln)?;
+        eat_gemm(&mut i, ops, GemmKind::Fc1, rows, h, ffn / tp64, layer)?;
+        eat(&mut i, ops, "gelu", layer, &|op| match *op {
+            LayerOp::Gelu { rows: r, width } if r == rows && width == ffn / tp64 => Ok(()),
+            ref other => Err(format!("malformed gelu {other:?}")),
+        })?;
+        eat_gemm(&mut i, ops, GemmKind::Fc2, rows, ffn / tp64, h, layer)?;
+        eat_allreduce(&mut i, ops, layer)?;
+        eat(&mut i, ops, "residual", layer, &residual)?;
+    }
+
+    // Head: final norm + LM projection.
+    eat(&mut i, ops, "final layernorm", HEAD_LAYER, &ln)?;
+    eat_gemm(&mut i, ops, GemmKind::LmHead, rows, h, cfg.vocab as u64 / tp64, HEAD_LAYER)?;
+
+    if i != ops.len() {
+        return Err(format!("{} trailing ops after the head", ops.len() - i));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::model_ops;
+    use crate::decompose::{equal_split, split_op};
+    use crate::ops::LayerOp;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::tiny_test()
+    }
+
+    #[test]
+    fn generated_sequences_validate_for_all_degrees_and_phases() {
+        for model in [ModelConfig::tiny_test(), ModelConfig::opt_30b()] {
+            for tp in [1u32, 2, 4, 8] {
+                if model.heads % tp != 0 {
+                    continue;
+                }
+                for shape in [BatchShape::prefill(2, 64), BatchShape::decode(32, 16)] {
+                    let ops = model_ops(&model, shape, tp);
+                    validate_sequence(&model, shape, tp, &ops)
+                        .unwrap_or_else(|e| panic!("{} tp={tp} {shape:?}: {e}", model.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_gemms_still_validate() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        // Split the first FC1 GEMM into 4 contiguous column pieces.
+        let pos = ops
+            .iter()
+            .position(|p| matches!(p.op, LayerOp::Gemm { kind: GemmKind::Fc1, .. }))
+            .unwrap();
+        let layer = ops[pos].layer;
+        let pieces = equal_split(&ops[pos].op, 4);
+        ops.splice(pos..=pos, pieces.into_iter().map(|op| PlacedOp { layer, op }));
+        validate_sequence(&cfg(), shape, 2, &ops).unwrap();
+    }
+
+    #[test]
+    fn decomposed_allreduces_still_validate() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        let pos = ops.iter().position(|p| matches!(p.op, LayerOp::AllReduce { .. })).unwrap();
+        let layer = ops[pos].layer;
+        let (a, b) = split_op(&ops[pos].op, 3, 8).unwrap();
+        ops.splice(pos..=pos, [PlacedOp { layer, op: a }, PlacedOp { layer, op: b }]);
+        validate_sequence(&cfg(), shape, 2, &ops).unwrap();
+    }
+
+    #[test]
+    fn missing_allreduce_is_caught() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        let pos = ops.iter().position(|p| matches!(p.op, LayerOp::AllReduce { .. })).unwrap();
+        ops.remove(pos);
+        let err = validate_sequence(&cfg(), shape, 2, &ops).unwrap_err();
+        assert!(err.contains("all-reduce") || err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn wrong_gemm_width_is_caught() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        for p in &mut ops {
+            if let LayerOp::Gemm { ref mut n, kind: GemmKind::Qkv, .. } = p.op {
+                *n -= 1; // shave one column off a QKV shard
+                break;
+            }
+        }
+        let err = validate_sequence(&cfg(), shape, 2, &ops).unwrap_err();
+        assert!(err.contains("Qkv"), "{err}");
+    }
+
+    #[test]
+    fn wrong_allreduce_payload_is_caught() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        for p in &mut ops {
+            if let LayerOp::AllReduce { ref mut bytes, .. } = p.op {
+                *bytes += 1;
+                break;
+            }
+        }
+        let err = validate_sequence(&cfg(), shape, 2, &ops).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn truncated_sequence_is_caught() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        ops.pop();
+        assert!(validate_sequence(&cfg(), shape, 2, &ops).is_err());
+    }
+
+    #[test]
+    fn trailing_ops_are_caught() {
+        let shape = BatchShape::prefill(2, 32);
+        let mut ops = model_ops(&cfg(), shape, 2);
+        // Duplicate the final LM-head piece: absorbed as an extra piece
+        // whose widths no longer sum to the vocabulary shard.
+        ops.push(*ops.last().unwrap());
+        let err = validate_sequence(&cfg(), shape, 2, &ops).unwrap_err();
+        assert!(err.contains("pieces cover") || err.contains("trailing"), "{err}");
+        // A trailing op of a different kind is reported as trailing.
+        let mut ops = model_ops(&cfg(), shape, 2);
+        ops.push(PlacedOp { layer: HEAD_LAYER, op: LayerOp::Gelu { rows: 1, width: 1 } });
+        let err = validate_sequence(&cfg(), shape, 2, &ops).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn bad_degree_is_rejected() {
+        let shape = BatchShape::prefill(2, 32);
+        let ops = model_ops(&cfg(), shape, 2);
+        assert!(validate_sequence(&cfg(), shape, 3, &ops).is_err());
+        assert!(validate_sequence(&cfg(), shape, 0, &ops).is_err());
+    }
+}

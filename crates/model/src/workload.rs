@@ -1,0 +1,109 @@
+//! Inference phases and batch shapes.
+//!
+//! The paper distinguishes *general tasks* (§4.2: one full forward pass over
+//! the prompt, what generative serving calls the conditioning/prefill phase)
+//! from *generative tasks* (§4.3: the incremental sampling phase, one token
+//! per iteration with a KV cache).
+
+use serde::{Deserialize, Serialize};
+
+/// The execution phase of one inference iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Full forward pass over `seq_len` prompt tokens per sequence.
+    Prefill {
+        /// Prompt length.
+        seq_len: u32,
+    },
+    /// One-token decode step with a KV cache of `context` tokens.
+    Decode {
+        /// Tokens already cached (attention span).
+        context: u32,
+    },
+}
+
+impl Phase {
+    /// Tokens processed per sequence this iteration.
+    pub fn tokens(self) -> u32 {
+        match self {
+            Phase::Prefill { seq_len } => seq_len,
+            Phase::Decode { .. } => 1,
+        }
+    }
+
+    /// The key/value span attended over.
+    pub fn kv_len(self) -> u32 {
+        match self {
+            Phase::Prefill { seq_len } => seq_len,
+            Phase::Decode { context } => context + 1,
+        }
+    }
+}
+
+/// Shape of one batched inference iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BatchShape {
+    /// Sequences in the batch.
+    pub batch: u32,
+    /// Phase (prefill vs. decode).
+    pub phase: Phase,
+}
+
+impl BatchShape {
+    /// A prefill iteration.
+    pub fn prefill(batch: u32, seq_len: u32) -> BatchShape {
+        BatchShape { batch, phase: Phase::Prefill { seq_len } }
+    }
+
+    /// A decode iteration.
+    pub fn decode(batch: u32, context: u32) -> BatchShape {
+        BatchShape { batch, phase: Phase::Decode { context } }
+    }
+
+    /// The GEMM row dimension `m = batch × tokens`: the quantity that drives
+    /// compute efficiency (skinny GEMMs are inefficient — Fig. 9).
+    pub fn rows(&self) -> u64 {
+        self.batch as u64 * self.phase.tokens() as u64
+    }
+
+    /// Validates the shape.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch == 0 {
+            return Err("batch must be >= 1".into());
+        }
+        if self.phase.tokens() == 0 {
+            return Err("seq_len must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_rows() {
+        let b = BatchShape::prefill(2, 64);
+        assert_eq!(b.rows(), 128);
+        assert_eq!(b.phase.tokens(), 64);
+        assert_eq!(b.phase.kv_len(), 64);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn decode_rows() {
+        let b = BatchShape::decode(32, 16);
+        assert_eq!(b.rows(), 32);
+        assert_eq!(b.phase.tokens(), 1);
+        assert_eq!(b.phase.kv_len(), 17, "cached context plus the new token");
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BatchShape::prefill(0, 16).validate().is_err());
+        assert!(BatchShape::prefill(2, 0).validate().is_err());
+        assert!(BatchShape::decode(1, 0).validate().is_ok(), "empty context is legal");
+    }
+}

@@ -1,0 +1,22 @@
+//! # liger-parallelism
+//!
+//! The baseline parallelism engines the paper compares Liger against
+//! (§4.1): **Intra-Op** (Megatron-LM tensor parallelism with two
+//! all-reduces per layer, batches strictly serialized), **Inter-Op** (equal
+//! pipeline stages with one point-to-point transfer per boundary) and
+//! **Inter-Th** (the theoretical pipeline that runs intra-op's partitioned
+//! kernels sequentially per stage). All three implement
+//! [`liger_serving::InferenceEngine`] and run on the simulated multi-GPU
+//! node.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod intra_op;
+pub mod inter_op;
+pub mod launch;
+pub mod partition;
+
+pub use inter_op::{InterOpEngine, PipelineFlavor};
+pub use intra_op::IntraOpEngine;
+pub use partition::{check_divisibility, inter_th_expand, stage_ranges};

@@ -1,0 +1,151 @@
+//! Model partitioning helpers: pipeline stage ranges and the Inter-Th
+//! kernel expansion.
+
+use liger_model::{LayerOp, ModelConfig, PlacedOp};
+
+/// Splits `layers` into `stages` contiguous, maximally balanced ranges.
+/// Earlier stages take the remainder (matching GPipe-style equal staging).
+pub fn stage_ranges(layers: u32, stages: u32) -> Vec<(u32, u32)> {
+    assert!(stages >= 1, "need at least one stage");
+    assert!(layers >= stages, "cannot spread {layers} layers over {stages} stages");
+    let base = layers / stages;
+    let extra = layers % stages;
+    let mut out = Vec::with_capacity(stages as usize);
+    let mut lo = 0;
+    for s in 0..stages {
+        let len = base + u32::from(s < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Expands a stage op list into the *theoretical inter-operator* form
+/// (the paper's Inter-Th baseline): every GEMM is replaced by the `parts`
+/// partitioned kernels the intra-op approach would run — column-parallel
+/// GEMMs split their output width, row-parallel GEMMs split their reduction
+/// depth — executed sequentially on the stage's single device. Whether this
+/// helps or hurts depends purely on the kernel implementation's shape
+/// efficiency, which is exactly the effect the paper observes in
+/// Fig. 10(j)(k).
+pub fn inter_th_expand(ops: &[PlacedOp], parts: u32) -> Vec<PlacedOp> {
+    assert!(parts >= 1);
+    let mut out = Vec::with_capacity(ops.len() * parts as usize);
+    for placed in ops {
+        match placed.op {
+            LayerOp::Gemm { m, k, n, kind } if parts > 1 => {
+                for _ in 0..parts {
+                    let op = if kind.column_parallel() {
+                        LayerOp::Gemm { m, k, n: n / parts as u64, kind }
+                    } else {
+                        LayerOp::Gemm { m, k: k / parts as u64, n, kind }
+                    };
+                    out.push(PlacedOp { layer: placed.layer, op });
+                }
+            }
+            _ => out.push(*placed),
+        }
+    }
+    out
+}
+
+/// Sanity check that a model/engine combination is well-formed.
+pub fn check_divisibility(cfg: &ModelConfig, tp: u32) -> Result<(), String> {
+    cfg.validate()?;
+    if tp == 0 {
+        return Err("parallel degree must be >= 1".into());
+    }
+    if !cfg.heads.is_multiple_of(tp) {
+        return Err(format!("{}: heads ({}) not divisible by degree {tp}", cfg.name, cfg.heads));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_model::{stage_ops, BatchShape, GemmKind};
+
+    #[test]
+    fn balanced_ranges() {
+        assert_eq!(stage_ranges(48, 4), vec![(0, 12), (12, 24), (24, 36), (36, 48)]);
+        assert_eq!(stage_ranges(70, 4), vec![(0, 18), (18, 36), (36, 53), (53, 70)]);
+        assert_eq!(stage_ranges(5, 1), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for (layers, stages) in [(48u32, 4u32), (64, 4), (70, 4), (7, 3), (12, 5)] {
+            let ranges = stage_ranges(layers, stages);
+            assert_eq!(ranges.len(), stages as usize);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, layers);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let (min, max) = ranges
+                .iter()
+                .map(|(lo, hi)| hi - lo)
+                .fold((u32::MAX, 0), |(mn, mx), l| (mn.min(l), mx.max(l)));
+            assert!(max - min <= 1, "balanced within one layer");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn too_many_stages_panics() {
+        stage_ranges(2, 4);
+    }
+
+    #[test]
+    fn inter_th_expansion_multiplies_gemms() {
+        let cfg = ModelConfig::opt_30b();
+        let ops = stage_ops(&cfg, BatchShape::prefill(2, 64), 0, 1);
+        let gemms = ops.iter().filter(|p| matches!(p.op, LayerOp::Gemm { .. })).count();
+        let expanded = inter_th_expand(&ops, 4);
+        let egemms = expanded.iter().filter(|p| matches!(p.op, LayerOp::Gemm { .. })).count();
+        assert_eq!(egemms, gemms * 4);
+        assert_eq!(
+            expanded.len(),
+            ops.len() - gemms + gemms * 4,
+            "non-GEMM ops are untouched"
+        );
+    }
+
+    #[test]
+    fn inter_th_partitions_along_megatron_axes() {
+        let ops = vec![
+            PlacedOp { layer: 0, op: LayerOp::Gemm { m: 128, k: 7168, n: 21504, kind: GemmKind::Qkv } },
+            PlacedOp { layer: 0, op: LayerOp::Gemm { m: 128, k: 28672, n: 7168, kind: GemmKind::Fc2 } },
+        ];
+        let out = inter_th_expand(&ops, 4);
+        match out[0].op {
+            LayerOp::Gemm { n, k, .. } => {
+                assert_eq!(n, 21504 / 4, "column-parallel splits n");
+                assert_eq!(k, 7168);
+            }
+            _ => panic!(),
+        }
+        match out[4].op {
+            LayerOp::Gemm { n, k, .. } => {
+                assert_eq!(k, 28672 / 4, "row-parallel splits k");
+                assert_eq!(n, 7168);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn expansion_with_one_part_is_identity() {
+        let cfg = ModelConfig::tiny_test();
+        let ops = stage_ops(&cfg, BatchShape::prefill(2, 16), 0, 2);
+        assert_eq!(inter_th_expand(&ops, 1), ops);
+    }
+
+    #[test]
+    fn divisibility_check() {
+        assert!(check_divisibility(&ModelConfig::opt_30b(), 4).is_ok());
+        assert!(check_divisibility(&ModelConfig::opt_30b(), 0).is_err());
+        assert!(check_divisibility(&ModelConfig::opt_30b(), 3).is_err(), "56 heads % 3 != 0");
+    }
+}

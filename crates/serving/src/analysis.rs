@@ -1,0 +1,135 @@
+//! Analytic queueing cross-checks.
+//!
+//! The Intra-Op baseline is *exactly* a FIFO single-server queue: batches
+//! are served one at a time and the service time of a batch is its
+//! iteration time (a deterministic function of its sequence length). That
+//! makes classic queueing theory an independent oracle for the whole
+//! simulation stack: under Poisson arrivals, the mean wait must follow the
+//! Pollaczek–Khinchine formula
+//!
+//! ```text
+//! W_q = λ·E[S²] / (2·(1 − ρ)),   ρ = λ·E[S]
+//! ```
+//!
+//! and under constant (deterministic) arrivals below capacity the wait term
+//! all but vanishes. The integration test `tests/queueing_validation.rs`
+//! holds the simulator to these predictions.
+
+use liger_model::{assemble, BatchShape, CostModel, ModelConfig};
+
+/// First and second moments of the per-batch service time (seconds), over
+/// a uniform sequence-length distribution `seq_min..=seq_max` — the
+/// workload of the paper's §4.2 traces.
+pub fn service_moments(
+    cm: &CostModel,
+    cfg: &ModelConfig,
+    batch: u32,
+    seq_min: u32,
+    seq_max: u32,
+    world: u32,
+) -> (f64, f64) {
+    assert!(seq_min >= 1 && seq_min <= seq_max, "bad sequence range");
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    let count = (seq_max - seq_min + 1) as f64;
+    for seq in seq_min..=seq_max {
+        let ops = assemble(cm, cfg, BatchShape::prefill(batch, seq), world);
+        let s: f64 = ops.iter().map(|o| o.duration.as_secs_f64()).sum();
+        mean += s / count;
+        second += s * s / count;
+    }
+    (mean, second)
+}
+
+/// Server utilization `ρ = λ·E[S]`.
+pub fn utilization(lambda: f64, mean_service: f64) -> f64 {
+    lambda * mean_service
+}
+
+/// Mean queueing delay (seconds) of an M/G/1 queue (Pollaczek–Khinchine).
+/// Returns `f64::INFINITY` at or beyond saturation.
+pub fn mg1_wait(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    let rho = utilization(lambda, mean_service);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    lambda * second_moment / (2.0 * (1.0 - rho))
+}
+
+/// Mean end-to-end latency (seconds) of an M/G/1 queue: wait + service.
+pub fn mg1_latency(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    mg1_wait(lambda, mean_service, second_moment) + mean_service
+}
+
+/// Mean queueing delay (seconds) of a D/G/1 queue approximated by the
+/// Krämer–Langenbach-Belz heuristic: constant arrivals remove the arrival
+/// variability, leaving only the service-time variance term.
+pub fn dg1_wait(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    let rho = utilization(lambda, mean_service);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    let var = (second_moment - mean_service * mean_service).max(0.0);
+    let cs2 = var / (mean_service * mean_service);
+    // G/G/1 Kingman with ca² = 0, scaled by the KLB correction for
+    // deterministic arrivals.
+    let kingman = rho / (1.0 - rho) * (cs2 / 2.0) * mean_service;
+    let g = (-2.0 * (1.0 - rho) * (1.0 - cs2.min(1.0)).powi(2) / (3.0 * rho * (cs2 + 1.0).max(1e-9))).exp();
+    kingman * g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_are_positive_and_ordered() {
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::tiny_test();
+        let (mean, second) = service_moments(&cm, &cfg, 2, 16, 128, 2);
+        assert!(mean > 0.0);
+        assert!(second >= mean * mean, "E[S^2] >= E[S]^2 always");
+        // A fixed-length workload has zero variance.
+        let (m2, s2) = service_moments(&cm, &cfg, 2, 64, 64, 2);
+        assert!((s2 - m2 * m2).abs() / (m2 * m2) < 1e-12);
+    }
+
+    #[test]
+    fn longer_sequences_cost_more() {
+        let cm = CostModel::v100_node();
+        let cfg = ModelConfig::tiny_test();
+        let (short, _) = service_moments(&cm, &cfg, 2, 16, 16, 2);
+        let (long, _) = service_moments(&cm, &cfg, 2, 128, 128, 2);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn pk_formula_basics() {
+        // Deterministic service S=1s, lambda=0.5: rho=0.5,
+        // Wq = 0.5*1/(2*0.5) = 0.5s.
+        let w = mg1_wait(0.5, 1.0, 1.0);
+        assert!((w - 0.5).abs() < 1e-12);
+        assert_eq!(mg1_wait(1.0, 1.0, 1.0), f64::INFINITY);
+        assert_eq!(mg1_wait(2.0, 1.0, 1.0), f64::INFINITY);
+        assert!((mg1_latency(0.5, 1.0, 1.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dg1_wait_vanishes_for_deterministic_service() {
+        // Constant arrivals + constant service: no queueing below capacity.
+        assert!(dg1_wait(0.9, 1.0, 1.0) < 1e-9);
+        assert_eq!(dg1_wait(1.1, 1.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn poisson_waits_dominate_constant_arrival_waits() {
+        // Same service distribution: removing arrival variability can only
+        // shrink the queue.
+        let (mean, second) = (0.04f64, 0.0018f64);
+        for lambda in [5.0, 10.0, 20.0] {
+            if utilization(lambda, mean) < 1.0 {
+                assert!(dg1_wait(lambda, mean, second) <= mg1_wait(lambda, mean, second) + 1e-12);
+            }
+        }
+    }
+}

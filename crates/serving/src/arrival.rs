@@ -1,0 +1,316 @@
+//! Arrival processes and trace generation.
+//!
+//! The paper sweeps a *constant* request arrival rate (§4.2: "we use a
+//! constant request rate instead of a fluctuated request rate") over
+//! randomly generated traces with sequence lengths in `[16, 128]`. A Poisson
+//! process is provided as well for the beyond-paper ablation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::SimTime;
+use liger_model::BatchShape;
+
+use crate::request::Request;
+
+/// Inter-arrival law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals at `rate` jobs/second (the paper's setting).
+    Constant {
+        /// Jobs per second.
+        rate: f64,
+    },
+    /// Memoryless arrivals at `rate` jobs/second (ablation).
+    Poisson {
+        /// Jobs per second.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The mean rate in jobs/second.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Constant { rate } | ArrivalProcess::Poisson { rate } => rate,
+        }
+    }
+
+    /// Generates `n` arrival instants starting at t = 0.
+    pub fn arrival_times(&self, n: usize, seed: u64) -> Vec<SimTime> {
+        let rate = self.rate();
+        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
+        match *self {
+            ArrivalProcess::Constant { .. } => {
+                let gap = 1.0 / rate;
+                (0..n).map(|i| SimTime::from_secs_f64(i as f64 * gap)).collect()
+            }
+            ArrivalProcess::Poisson { .. } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut t = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        t += -u.ln() / rate;
+                        SimTime::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Workload description for the general (prefill) tasks of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefillTraceConfig {
+    /// Number of jobs.
+    pub count: usize,
+    /// Batch size packed per job.
+    pub batch: u32,
+    /// Minimum sequence length (inclusive).
+    pub seq_min: u32,
+    /// Maximum sequence length (inclusive).
+    pub seq_max: u32,
+    /// Arrival law.
+    pub arrivals: ArrivalProcess,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PrefillTraceConfig {
+    /// The paper's §4.2 setup: sequence lengths 16–128, given batch size.
+    pub fn paper(count: usize, batch: u32, rate: f64, seed: u64) -> PrefillTraceConfig {
+        PrefillTraceConfig {
+            count,
+            batch,
+            seq_min: 16,
+            seq_max: 128,
+            arrivals: ArrivalProcess::Constant { rate },
+            seed,
+        }
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.seq_min >= 1 && self.seq_min <= self.seq_max, "bad sequence range");
+        let times = self.arrivals.arrival_times(self.count, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let seq = rng.gen_range(self.seq_min..=self.seq_max);
+                Request::new(i as u64, BatchShape::prefill(self.batch, seq), arrival)
+            })
+            .collect()
+    }
+}
+
+/// A production-like prompt-length distribution (beyond the paper's uniform
+/// 16–128): lognormal lengths clipped to a range, mimicking the heavy right
+/// tail of conversational traces like ShareGPT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LognormalTraceConfig {
+    /// Number of jobs.
+    pub count: usize,
+    /// Batch size packed per job.
+    pub batch: u32,
+    /// Median sequence length (the lognormal's scale).
+    pub median_seq: f64,
+    /// Log-space standard deviation (the tail's heaviness; ~0.8 matches
+    /// conversational traces).
+    pub sigma: f64,
+    /// Clip range for sequence lengths.
+    pub seq_min: u32,
+    /// Upper clip.
+    pub seq_max: u32,
+    /// Arrival law.
+    pub arrivals: ArrivalProcess,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LognormalTraceConfig {
+    /// A ShareGPT-flavored default: median 64 tokens, sigma 0.8, clipped to
+    /// 16–512.
+    pub fn sharegpt_like(count: usize, batch: u32, rate: f64, seed: u64) -> LognormalTraceConfig {
+        LognormalTraceConfig {
+            count,
+            batch,
+            median_seq: 64.0,
+            sigma: 0.8,
+            seq_min: 16,
+            seq_max: 512,
+            arrivals: ArrivalProcess::Poisson { rate },
+            seed,
+        }
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Vec<Request> {
+        assert!(self.seq_min >= 1 && self.seq_min <= self.seq_max, "bad clip range");
+        assert!(self.median_seq > 0.0 && self.sigma >= 0.0, "bad lognormal parameters");
+        let times = self.arrivals.arrival_times(self.count, self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0010_ca10);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                // Box-Muller from two uniforms keeps us on rand's stable API.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let seq = (self.median_seq * (self.sigma * z).exp()).round() as i64;
+                let seq = seq.clamp(self.seq_min as i64, self.seq_max as i64) as u32;
+                Request::new(i as u64, BatchShape::prefill(self.batch, seq), arrival)
+            })
+            .collect()
+    }
+}
+
+/// Workload description for the generative (decode) tasks of §4.3: constant
+/// single-token iterations at a fixed context, batch 32, starting length 16.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecodeTraceConfig {
+    /// Number of decode iterations (jobs).
+    pub count: usize,
+    /// Batch size (the paper uses 32).
+    pub batch: u32,
+    /// KV context length at the sampled iteration (the paper starts at 16).
+    pub context: u32,
+    /// Arrival law.
+    pub arrivals: ArrivalProcess,
+}
+
+impl DecodeTraceConfig {
+    /// The paper's §4.3 setup.
+    pub fn paper(count: usize, rate: f64) -> DecodeTraceConfig {
+        DecodeTraceConfig {
+            count,
+            batch: 32,
+            context: 16,
+            arrivals: ArrivalProcess::Constant { rate },
+        }
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Vec<Request> {
+        let times = self.arrivals.arrival_times(self.count, 0);
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| Request::new(i as u64, BatchShape::decode(self.batch, self.context), arrival))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_arrivals_are_evenly_spaced() {
+        let times = ArrivalProcess::Constant { rate: 100.0 }.arrival_times(5, 0);
+        assert_eq!(times.len(), 5);
+        assert_eq!(times[0], SimTime::ZERO);
+        for (i, t) in times.iter().enumerate() {
+            assert_eq!(*t, SimTime::from_millis(10 * i as u64));
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing_with_roughly_right_mean() {
+        let rate = 50.0;
+        let times = ArrivalProcess::Poisson { rate }.arrival_times(2000, 42);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let span = times.last().unwrap().as_secs_f64();
+        let measured = 2000.0 / span;
+        assert!((measured - rate).abs() / rate < 0.15, "measured rate {measured:.1}");
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let a = ArrivalProcess::Poisson { rate: 10.0 }.arrival_times(50, 7);
+        let b = ArrivalProcess::Poisson { rate: 10.0 }.arrival_times(50, 7);
+        let c = ArrivalProcess::Poisson { rate: 10.0 }.arrival_times(50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prefill_trace_respects_bounds() {
+        let cfg = PrefillTraceConfig::paper(300, 4, 20.0, 1);
+        let trace = cfg.generate();
+        assert_eq!(trace.len(), 300);
+        let mut seen_min = u32::MAX;
+        let mut seen_max = 0;
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.shape.batch, 4);
+            let seq = match r.shape.phase {
+                liger_model::Phase::Prefill { seq_len } => seq_len,
+                _ => panic!("prefill trace produced a decode job"),
+            };
+            assert!((16..=128).contains(&seq));
+            seen_min = seen_min.min(seq);
+            seen_max = seen_max.max(seq);
+        }
+        // With 300 draws the full range should be visited broadly.
+        assert!(seen_min < 32 && seen_max > 112, "range [{seen_min},{seen_max}] too narrow");
+    }
+
+    #[test]
+    fn decode_trace_shape() {
+        let trace = DecodeTraceConfig::paper(10, 5.0).generate();
+        assert_eq!(trace.len(), 10);
+        for r in &trace {
+            assert_eq!(r.shape.batch, 32);
+            assert!(matches!(r.shape.phase, liger_model::Phase::Decode { context: 16 }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::Constant { rate: 0.0 }.arrival_times(1, 0);
+    }
+
+    #[test]
+    fn lognormal_trace_is_clipped_heavy_tailed_and_deterministic() {
+        let cfg = LognormalTraceConfig::sharegpt_like(2000, 2, 50.0, 9);
+        let trace = cfg.generate();
+        assert_eq!(trace.len(), 2000);
+        let seqs: Vec<u32> = trace
+            .iter()
+            .map(|r| match r.shape.phase {
+                liger_model::Phase::Prefill { seq_len } => seq_len,
+                _ => panic!("lognormal trace must be prefill"),
+            })
+            .collect();
+        assert!(seqs.iter().all(|&s| (16..=512).contains(&s)));
+        // Median near the configured median.
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!((45.0..90.0).contains(&median), "median {median}");
+        // Heavy right tail: p95 well above 2x the median.
+        let p95 = sorted[(sorted.len() as f64 * 0.95) as usize] as f64;
+        assert!(p95 > 2.0 * median, "p95 {p95} vs median {median}");
+        // Determinism.
+        assert_eq!(
+            cfg.generate().iter().map(|r| r.shape).collect::<Vec<_>>(),
+            trace.iter().map(|r| r.shape).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad lognormal parameters")]
+    fn lognormal_rejects_bad_params() {
+        let mut cfg = LognormalTraceConfig::sharegpt_like(1, 1, 1.0, 0);
+        cfg.median_seq = 0.0;
+        cfg.generate();
+    }
+}

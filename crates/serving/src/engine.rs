@@ -1,0 +1,44 @@
+//! The engine abstraction every parallelism strategy implements.
+//!
+//! An [`InferenceEngine`] runs *inside* a simulation, driven by the
+//! [`ServingRunner`](crate::runner::ServingRunner): the runner delivers
+//! arriving requests and routes simulator wakes; the engine launches kernels
+//! and reports completed requests.
+
+use liger_gpu_sim::{SimTime, Simulation, Wake};
+
+use crate::request::Request;
+
+/// Wake-token namespace split between the runner and engines: tokens with
+/// the top bit set belong to the runner (arrival timers); everything below
+/// is engine-private.
+pub const RUNNER_TOKEN_BASE: u64 = 1 << 63;
+
+/// A distributed inference engine (Intra-Op, Inter-Op, Inter-Th, or Liger).
+pub trait InferenceEngine {
+    /// Engine name for reports (e.g. `"Liger"`, `"Intra-Op"`).
+    fn name(&self) -> &'static str;
+
+    /// A new request arrived (called at its arrival instant, inside the
+    /// simulation). The engine queues or launches it.
+    fn submit(&mut self, request: Request, sim: &mut Simulation);
+
+    /// A simulator wake addressed to the engine (token below
+    /// [`RUNNER_TOKEN_BASE`]).
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation);
+
+    /// Requests that finished since the last drain: `(request id, GPU-side
+    /// completion instant)`.
+    fn drain_completions(&mut self) -> Vec<(u64, SimTime)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_namespace_leaves_room() {
+        assert!(RUNNER_TOKEN_BASE > u32::MAX as u64);
+        assert_eq!(RUNNER_TOKEN_BASE & (RUNNER_TOKEN_BASE - 1), 0, "base is a power of two");
+    }
+}

@@ -1,0 +1,29 @@
+//! # liger-serving
+//!
+//! The serving layer of the Liger reproduction: batched requests, the
+//! paper's workload generators (random prefill traces with sequence lengths
+//! 16–128 and decode traces at batch 32), constant/Poisson arrival
+//! processes, the latency/throughput metrics of §4.1, and an
+//! engine-agnostic runner that serves a trace through any
+//! [`InferenceEngine`] on the simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod arrival;
+pub mod batcher;
+pub mod engine;
+pub mod generation;
+pub mod metrics;
+pub mod request;
+pub mod runner;
+
+pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
+pub use arrival::{ArrivalProcess, DecodeTraceConfig, LognormalTraceConfig, PrefillTraceConfig};
+pub use batcher::{serve_queries, Batcher, BatcherConfig, PackedBatch, Query, QueryRunner};
+pub use generation::{serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner};
+pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
+pub use metrics::ServingMetrics;
+pub use request::{Completion, Request};
+pub use runner::{serve, ServingRunner};

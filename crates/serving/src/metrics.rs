@@ -1,0 +1,174 @@
+//! Serving metrics: the paper's latency and throughput definitions (§4.1).
+//!
+//! * **Latency** of a job = completion − arrival = pending time + CUDA
+//!   execution time.
+//! * **Throughput** = jobs completed per second of serving time.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::{SimDuration, SimTime};
+
+use crate::request::Completion;
+
+/// Aggregated results of one serving run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    completions: Vec<Completion>,
+}
+
+impl ServingMetrics {
+    /// Empty metrics.
+    pub fn new() -> ServingMetrics {
+        ServingMetrics::default()
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, c: Completion) {
+        self.completions.push(c);
+    }
+
+    /// Number of completed jobs.
+    pub fn completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// All completions (arrival order not guaranteed).
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Mean end-to-end latency.
+    pub fn avg_latency(&self) -> SimDuration {
+        if self.completions.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.completions.iter().map(|c| c.latency().as_nanos() as u128).sum();
+        SimDuration::from_nanos((total / self.completions.len() as u128) as u64)
+    }
+
+    /// Latency percentile (`p` in `[0, 100]`), nearest-rank.
+    pub fn latency_percentile(&self, p: f64) -> SimDuration {
+        if self.completions.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut lats: Vec<SimDuration> = self.completions.iter().map(|c| c.latency()).collect();
+        lats.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+        lats[rank - 1]
+    }
+
+    /// Throughput in jobs/second: completed jobs over the span from the
+    /// first arrival to the last completion.
+    pub fn throughput(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let first = self.completions.iter().map(|c| c.arrival).min().unwrap_or(SimTime::ZERO);
+        let last = self.completions.iter().map(|c| c.finished).max().unwrap_or(SimTime::ZERO);
+        let span = last.saturating_since(first).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.completions.len() as f64 / span
+    }
+
+    /// Mean pending-free execution estimate is not recoverable from
+    /// completions alone; instead expose max latency for saturation checks.
+    pub fn max_latency(&self) -> SimDuration {
+        self.completions.iter().map(|c| c.latency()).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// SLO attainment: fraction of jobs whose end-to-end latency met
+    /// `deadline` (the AlpaServe-style metric for latency-critical serving).
+    pub fn slo_attainment(&self, deadline: SimDuration) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        let met = self.completions.iter().filter(|c| c.latency() <= deadline).count();
+        met as f64 / self.completions.len() as f64
+    }
+
+    /// Goodput: jobs per second that met `deadline` (throughput × SLO
+    /// attainment).
+    pub fn goodput(&self, deadline: SimDuration) -> f64 {
+        self.throughput() * self.slo_attainment(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(id: u64, arrive_ms: u64, finish_ms: u64) -> Completion {
+        Completion {
+            id,
+            arrival: SimTime::from_millis(arrive_ms),
+            finished: SimTime::from_millis(finish_ms),
+        }
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ServingMetrics::new();
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.avg_latency(), SimDuration::ZERO);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.latency_percentile(99.0), SimDuration::ZERO);
+        assert_eq!(m.max_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn average_latency() {
+        let mut m = ServingMetrics::new();
+        m.record(c(0, 0, 10)); // 10ms
+        m.record(c(1, 5, 35)); // 30ms
+        assert_eq!(m.avg_latency(), SimDuration::from_millis(20));
+        assert_eq!(m.max_latency(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn throughput_spans_first_arrival_to_last_finish() {
+        let mut m = ServingMetrics::new();
+        m.record(c(0, 0, 100));
+        m.record(c(1, 50, 200));
+        m.record(c(2, 100, 300));
+        m.record(c(3, 150, 400));
+        // 4 jobs over 400ms = 10 jobs/s.
+        assert!((m.throughput() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = ServingMetrics::new();
+        for i in 1..=100u64 {
+            m.record(c(i, 0, i)); // latencies 1..=100 ms
+        }
+        assert_eq!(m.latency_percentile(50.0), SimDuration::from_millis(50));
+        assert_eq!(m.latency_percentile(99.0), SimDuration::from_millis(99));
+        assert_eq!(m.latency_percentile(100.0), SimDuration::from_millis(100));
+        assert_eq!(m.latency_percentile(0.0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn slo_attainment_and_goodput() {
+        let mut m = ServingMetrics::new();
+        m.record(c(0, 0, 10));   // 10ms
+        m.record(c(1, 0, 20));   // 20ms
+        m.record(c(2, 0, 100));  // 100ms
+        m.record(c(3, 0, 200));  // 200ms -> horizon 200ms, thr = 20/s
+        assert!((m.slo_attainment(SimDuration::from_millis(20)) - 0.5).abs() < 1e-12);
+        assert!((m.slo_attainment(SimDuration::from_millis(1000)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.slo_attainment(SimDuration::ZERO), 0.0);
+        assert!((m.goodput(SimDuration::from_millis(20)) - 10.0).abs() < 1e-9);
+        assert_eq!(ServingMetrics::new().slo_attainment(SimDuration::MAX), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let mut m = ServingMetrics::new();
+        m.record(c(0, 0, 7));
+        assert_eq!(m.latency_percentile(-5.0), SimDuration::from_millis(7));
+        assert_eq!(m.latency_percentile(200.0), SimDuration::from_millis(7));
+    }
+}

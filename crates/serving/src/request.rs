@@ -1,0 +1,71 @@
+//! Requests: the unit of serving.
+//!
+//! Following the paper's evaluation setup (§4.1), the serving system packs
+//! user queries into fixed-size batches before handing them to the runtime;
+//! each [`Request`] here is one such batched job. Latency is measured from
+//! arrival to completion and therefore includes pending time; throughput is
+//! jobs completed per second.
+
+use serde::{Deserialize, Serialize};
+
+use liger_gpu_sim::SimTime;
+use liger_model::BatchShape;
+
+/// One batched inference job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonically increasing id (also the arrival order).
+    pub id: u64,
+    /// Batch/sequence shape of the job.
+    pub shape: BatchShape,
+    /// Arrival instant.
+    pub arrival: SimTime,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(id: u64, shape: BatchShape, arrival: SimTime) -> Request {
+        Request { id, shape, arrival }
+    }
+}
+
+/// A completed job: pairs the request with its completion instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request id.
+    pub id: u64,
+    /// When it arrived.
+    pub arrival: SimTime,
+    /// When its last kernel finished on the GPUs.
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// End-to-end latency (pending + execution), the paper's latency metric.
+    pub fn latency(&self) -> liger_gpu_sim::SimDuration {
+        self.finished.saturating_since(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::SimDuration;
+
+    #[test]
+    fn latency_includes_pending_time() {
+        let c = Completion {
+            id: 0,
+            arrival: SimTime::from_micros(100),
+            finished: SimTime::from_micros(350),
+        };
+        assert_eq!(c.latency(), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn request_construction() {
+        let r = Request::new(7, BatchShape::prefill(2, 64), SimTime::from_millis(1));
+        assert_eq!(r.id, 7);
+        assert_eq!(r.shape.batch, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! The serving runner: feeds a request trace into an engine running on the
+//! simulator and collects metrics.
+
+use liger_gpu_sim::{Driver, Simulation, Wake};
+
+use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
+use crate::metrics::ServingMetrics;
+use crate::request::{Completion, Request};
+
+/// Drives one serving experiment: arrival timers → engine submissions →
+/// completion collection → stop when the whole trace has been served.
+pub struct ServingRunner<'a, E: InferenceEngine + ?Sized> {
+    engine: &'a mut E,
+    requests: Vec<Request>,
+    metrics: ServingMetrics,
+    outstanding: usize,
+}
+
+impl<'a, E: InferenceEngine + ?Sized> ServingRunner<'a, E> {
+    /// Creates a runner over `requests` (any order; they are indexed by id).
+    pub fn new(engine: &'a mut E, requests: Vec<Request>) -> Self {
+        let outstanding = requests.len();
+        ServingRunner {
+            engine,
+            requests,
+            metrics: ServingMetrics::new(),
+            outstanding,
+        }
+    }
+
+    /// The collected metrics (complete once the simulation has stopped).
+    pub fn into_metrics(self) -> ServingMetrics {
+        self.metrics
+    }
+
+    fn collect(&mut self, sim: &mut Simulation) {
+        for (id, finished) in self.engine.drain_completions() {
+            let arrival = self.requests[id as usize].arrival;
+            self.metrics.record(Completion { id, arrival, finished });
+            self.outstanding = self.outstanding.saturating_sub(1);
+        }
+        if self.outstanding == 0 {
+            sim.request_stop();
+        }
+    }
+}
+
+impl<E: InferenceEngine + ?Sized> Driver for ServingRunner<'_, E> {
+    fn start(&mut self, sim: &mut Simulation) {
+        assert!(
+            self.requests.len() < RUNNER_TOKEN_BASE as usize,
+            "request count overflows the runner token namespace"
+        );
+        if self.requests.is_empty() {
+            sim.request_stop();
+            return;
+        }
+        for (i, r) in self.requests.iter().enumerate() {
+            debug_assert_eq!(r.id as usize, i, "request ids must be dense arrival indices");
+            sim.set_timer(r.arrival, RUNNER_TOKEN_BASE | r.id);
+        }
+    }
+
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+        match wake {
+            Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
+                let id = (token & !RUNNER_TOKEN_BASE) as usize;
+                let request = self.requests[id];
+                self.engine.submit(request, sim);
+            }
+            other => self.engine.on_wake(other, sim),
+        }
+        self.collect(sim);
+    }
+}
+
+/// Serves `requests` with `engine` on `sim`; returns the metrics.
+pub fn serve<E: InferenceEngine + ?Sized>(sim: &mut Simulation, engine: &mut E, requests: Vec<Request>) -> ServingMetrics {
+    let mut runner = ServingRunner::new(engine, requests);
+    sim.run_to_completion(&mut runner);
+    runner.into_metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceId, DeviceSpec, EventId, HostId, HostSpec, KernelSpec, SimDuration, SimTime, StreamId};
+    use liger_model::BatchShape;
+
+    /// A trivial engine: each request is one 10us kernel on device 0.
+    struct OneKernelEngine {
+        pending: Vec<(EventId, u64)>,
+        done: Vec<(u64, SimTime)>,
+    }
+
+    impl OneKernelEngine {
+        fn new() -> Self {
+            OneKernelEngine { pending: Vec::new(), done: Vec::new() }
+        }
+    }
+
+    impl InferenceEngine for OneKernelEngine {
+        fn name(&self) -> &'static str {
+            "one-kernel"
+        }
+        fn submit(&mut self, request: Request, sim: &mut Simulation) {
+            let stream = StreamId::new(DeviceId(0), 0);
+            sim.launch(
+                HostId(0),
+                stream,
+                KernelSpec::compute("job", SimDuration::from_micros(10)).with_tag(request.id),
+            );
+            let ev = sim.record_event(HostId(0), stream);
+            sim.notify_on_event(ev, HostId(0), request.id);
+            self.pending.push((ev, request.id));
+        }
+        fn on_wake(&mut self, wake: Wake, _: &mut Simulation) {
+            if let Wake::EventFired { token, fired_at, .. } = wake {
+                self.done.push((token, fired_at));
+            }
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+            std::mem::take(&mut self.done)
+        }
+    }
+
+    fn sim() -> Simulation {
+        Simulation::builder()
+            .device(DeviceSpec::test_device())
+            .host(HostSpec::instant())
+            .build()
+            .unwrap()
+    }
+
+    fn trace(n: usize, gap_us: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request::new(i as u64, BatchShape::prefill(1, 16), SimTime::from_micros(gap_us * i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let mut engine = OneKernelEngine::new();
+        let metrics = serve(&mut sim(), &mut engine, trace(20, 100));
+        assert_eq!(metrics.completed(), 20);
+    }
+
+    #[test]
+    fn latency_at_low_rate_equals_service_time() {
+        let mut engine = OneKernelEngine::new();
+        // 100us gaps >> 10us service: no queueing.
+        let metrics = serve(&mut sim(), &mut engine, trace(10, 100));
+        assert_eq!(metrics.avg_latency(), SimDuration::from_micros(10));
+        assert_eq!(metrics.max_latency(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn overload_builds_queueing_delay() {
+        let mut engine = OneKernelEngine::new();
+        // 5us gaps < 10us service: the queue grows linearly.
+        let metrics = serve(&mut sim(), &mut engine, trace(50, 5));
+        assert!(metrics.avg_latency() > SimDuration::from_micros(50));
+        // Throughput saturates at the service rate (1 / 10us = 100k/s).
+        let thr = metrics.throughput();
+        assert!((thr - 100_000.0).abs() / 100_000.0 < 0.05, "throughput {thr}");
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut engine = OneKernelEngine::new();
+        let metrics = serve(&mut sim(), &mut engine, Vec::new());
+        assert_eq!(metrics.completed(), 0);
+    }
+
+    #[test]
+    fn completions_map_back_to_arrivals() {
+        let mut engine = OneKernelEngine::new();
+        let reqs = trace(5, 50);
+        let metrics = serve(&mut sim(), &mut engine, reqs.clone());
+        for c in metrics.completions() {
+            assert_eq!(c.arrival, reqs[c.id as usize].arrival);
+            assert!(c.finished > c.arrival);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Deployment planning: for each model in the zoo, find the feasible
+//! (node, parallel degree) placements by memory capacity, then estimate
+//! their serving characteristics with the cost model — the kind of
+//! back-of-envelope a platform team runs before reserving hardware.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use liger::model::{device_footprint, fits};
+use liger::prelude::*;
+
+fn main() {
+    let nodes = [("V100-16GB", DeviceSpec::v100_16gb(), CostModel::v100_node()),
+                 ("A100-80GB", DeviceSpec::a100_80gb(), CostModel::a100_node())];
+    let shape = BatchShape::prefill(4, 128);
+
+    for model in ModelConfig::zoo() {
+        println!("{} ({:.0} GB weights):", model.name, model.weight_bytes() as f64 / 1e9);
+        for (label, dev, cost) in &nodes {
+            for ways in [1u32, 2, 4] {
+                if model.heads % ways != 0 {
+                    continue;
+                }
+                let ok = fits(&model, ways, shape, 512, 4, dev.mem_capacity);
+                if !ok {
+                    let f = device_footprint(&model, ways, shape, 512, 4);
+                    println!("  {label} x{ways}: does NOT fit ({:.0} GB needed per device)", f.total() as f64 / 1e9);
+                    continue;
+                }
+                let ops = assemble(cost, &model, shape, ways);
+                let (compute, comm) = class_totals(&ops);
+                let iter = compute + comm;
+                let comm_pct = 100.0 * comm.as_secs_f64() / iter.as_secs_f64();
+                // Liger's ceiling: communication hidden behind other batches.
+                let liger_ceiling = 1.0 / compute.as_secs_f64();
+                println!(
+                    "  {label} x{ways}: fits; iter {iter}, comm {comm_pct:.0}%, Intra-Op cap {:.1}/s, Liger ceiling {liger_ceiling:.1}/s",
+                    1.0 / iter.as_secs_f64(),
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Generative serving scenario (the paper's §4.3 workload): a chatbot
+//! decoding one token per iteration with a KV cache, batch 32 — measure
+//! per-token latency and iteration throughput as the request rate grows.
+//!
+//! ```sh
+//! cargo run --release --example generative_chatbot
+//! ```
+
+use liger::prelude::*;
+
+fn main() {
+    let cfg = ModelConfig::opt_66b();
+    let cost = CostModel::a100_node();
+    let world = 4;
+    let factor = profile_contention(&DeviceSpec::a100_80gb(), &NcclConfig::liger_tuned()).factor();
+
+    // Memory check: does OPT-66B + KV cache fit the node?
+    let shape = BatchShape::decode(32, 512);
+    let fits = liger::model::fits(&cfg, world as u32, shape, 512, 4, DeviceSpec::a100_80gb().mem_capacity);
+    println!("OPT-66B decode @ context 512, batch 32, 4-way: fits 4x A100-80GB: {fits}");
+    assert!(fits);
+
+    for rate in [20.0, 40.0, 60.0] {
+        let mut sim = Simulation::builder().devices(DeviceSpec::a100_80gb(), world).build().unwrap();
+        let mut engine = LigerEngine::new(
+            cfg.clone(),
+            cost.clone(),
+            world,
+            LigerConfig::default().with_contention_factor(factor),
+        )
+        .unwrap();
+        let trace = DecodeTraceConfig {
+            count: 200,
+            batch: 32,
+            context: 16,
+            arrivals: ArrivalProcess::Constant { rate },
+        }
+        .generate();
+        let m = serve(&mut sim, &mut engine, trace);
+        println!(
+            "rate {rate:>5.1} it/s: per-token latency {} (p99 {}), {:.1} iterations/s = {:.0} tokens/s",
+            m.avg_latency(),
+            m.latency_percentile(99.0),
+            m.throughput(),
+            m.throughput() * 32.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The full serving stack of the paper's Fig. 5: individual user queries
+//! flow through the batching frontend into the Liger runtime. Shows how
+//! the batcher's max-wait knob trades per-query latency against batching
+//! efficiency (padding waste included).
+//!
+//! ```sh
+//! cargo run --release --example query_frontend
+//! ```
+
+use liger::prelude::*;
+use liger::serving::{serve_queries, BatcherConfig, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let world = 4;
+    let cfg = ModelConfig::opt_30b();
+    let cost = CostModel::v100_node();
+    let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
+
+    // 400 queries at ~80 queries/s with uniform 16-128 token prompts.
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<Query> = (0..400)
+        .map(|i| Query {
+            id: i,
+            seq_len: rng.gen_range(16..=128),
+            arrival: SimTime::from_secs_f64(i as f64 / 80.0),
+        })
+        .collect();
+
+    for wait_ms in [1u64, 5, 20] {
+        let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap();
+        let mut engine = LigerEngine::new(
+            cfg.clone(),
+            cost.clone(),
+            world,
+            LigerConfig::default().with_contention_factor(factor),
+        )
+        .unwrap();
+        let batcher = BatcherConfig {
+            max_batch: 8,
+            max_wait: SimDuration::from_millis(wait_ms),
+        };
+        let m = serve_queries(&mut sim, &mut engine, batcher, queries.clone());
+        println!(
+            "max_wait {wait_ms:>2}ms: avg query latency {} | p99 {} | {:.1} queries/s",
+            m.avg_latency(),
+            m.latency_percentile(99.0),
+            m.throughput()
+        );
+    }
+    println!("Longer batching windows amortize iterations but add queueing latency per query.");
+}

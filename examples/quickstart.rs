@@ -1,0 +1,47 @@
+//! Quickstart: serve a random workload with Liger on a simulated 4×V100
+//! node and print latency/throughput.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use liger::prelude::*;
+
+fn main() {
+    // 1. Describe the node: the paper's V100 testbed (4 GPUs, NVLink).
+    let world = 4;
+    let mut sim = Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), world)
+        .capture_trace(true)
+        .build()
+        .expect("valid node");
+
+    // 2. Offline preprocessing (§3.5): profile the contention factor once.
+    let profile = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned());
+    println!(
+        "profiled contention: compute x{:.3}, comm x{:.3} -> scheduling factor {:.3}",
+        profile.compute_slowdown,
+        profile.comm_slowdown,
+        profile.factor()
+    );
+
+    // 3. Build the Liger engine for OPT-30B at tensor-parallel degree 4.
+    let config = LigerConfig::default().with_contention_factor(profile.factor());
+    let mut engine = LigerEngine::new(ModelConfig::opt_30b(), CostModel::v100_node(), world, config)
+        .expect("OPT-30B fits 4 V100s");
+
+    // 4. Serve 100 batched jobs (batch 2, seq 16-128) arriving at 20 req/s.
+    let trace = PrefillTraceConfig::paper(100, 2, 20.0, 42).generate();
+    let metrics = serve(&mut sim, &mut engine, trace);
+
+    println!("served      : {} requests", metrics.completed());
+    println!("avg latency : {}", metrics.avg_latency());
+    println!("p99 latency : {}", metrics.latency_percentile(99.0));
+    println!("throughput  : {:.1} req/s", metrics.throughput());
+
+    // 5. Inspect the manufactured compute/communication overlap.
+    let trace = sim.take_trace().expect("trace enabled");
+    for d in 0..world {
+        println!("gpu{d} cross-class overlap: {}", trace.overlap_time(DeviceId(d)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Compare Liger against the Intra-Op / Inter-Op / Inter-Th baselines on
+//! the same workload — a miniature of the paper's Fig. 10.
+//!
+//! ```sh
+//! cargo run --release --example serving_comparison
+//! ```
+
+use liger::prelude::*;
+
+fn run(label: &str, engine: &mut dyn InferenceEngine, rate: f64) {
+    let mut sim = Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), 4)
+        .build()
+        .unwrap();
+    let trace = PrefillTraceConfig::paper(150, 2, rate, 42).generate();
+    let m = serve(&mut sim, engine, trace);
+    println!(
+        "  {label:<10} avg latency {:>9}  p99 {:>9}  throughput {:>6.1} req/s",
+        m.avg_latency().to_string(),
+        m.latency_percentile(99.0).to_string(),
+        m.throughput()
+    );
+}
+
+fn main() {
+    let cfg = ModelConfig::opt_30b();
+    let cost = CostModel::v100_node();
+    let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
+
+    for rate in [10.0, 20.0, 26.0] {
+        println!("arrival rate {rate:.0} req/s:");
+        let mut liger = LigerEngine::new(
+            cfg.clone(),
+            cost.clone(),
+            4,
+            LigerConfig::default().with_contention_factor(factor),
+        )
+        .unwrap();
+        run("Liger", &mut liger, rate);
+        let mut intra = IntraOpEngine::new(cfg.clone(), cost.clone(), 4).unwrap();
+        run("Intra-Op", &mut intra, rate);
+        let mut inter = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
+        run("Inter-Op", &mut inter, rate);
+        let mut inter_th = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Theoretical).unwrap();
+        run("Inter-Th", &mut inter_th, rate);
+        println!();
+    }
+    println!("Liger keeps Intra-Op's latency while pushing throughput past it; the pipelines pay full-model latency.");
+}

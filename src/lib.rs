@@ -1,0 +1,76 @@
+//! # Liger — interleaved parallelism for distributed large-model inference
+//!
+//! A production-quality Rust reproduction of *Liger: Interleaving Intra- and
+//! Inter-Operator Parallelism for Distributed Large Model Inference*
+//! (PPoPP '24), built on a deterministic discrete-event simulator of a
+//! multi-GPU node (no CUDA required).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `liger-gpu-sim` | discrete-event multi-GPU simulator: streams, hardware launch queues, events, hosts, contention, collective rendezvous |
+//! | [`collectives`] | `liger-collectives` | interconnect topology + NCCL-like collective cost model and planning |
+//! | [`model`] | `liger-model` | transformer model zoo (Table 1), kernel sequences, roofline cost model, decomposition, memory accounting, offline profiling |
+//! | [`parallelism`] | `liger-parallelism` | the Intra-Op / Inter-Op / Inter-Th baseline engines |
+//! | [`serving`] | `liger-serving` | requests, arrival processes, metrics, the serving runner |
+//! | [`runtime`] | `liger-core` | the Liger runtime: function assembly, Algorithm 1, hybrid synchronization, contention anticipation, runtime decomposition |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use liger::prelude::*;
+//!
+//! // The paper's V100 node: 4 GPUs, NVLink, one MPI rank per GPU.
+//! let node_cost = CostModel::v100_node();
+//! let mut sim = Simulation::builder()
+//!     .devices(DeviceSpec::v100_16gb(), 4)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Liger with the offline-profiled contention factor.
+//! let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
+//! let config = LigerConfig::default().with_contention_factor(factor);
+//! let mut engine = LigerEngine::new(ModelConfig::opt_30b(), node_cost, 4, config).unwrap();
+//!
+//! // Serve a small random trace (batch 2, seq 16-128) at 20 jobs/s.
+//! let trace = PrefillTraceConfig::paper(20, 2, 20.0, 42).generate();
+//! let metrics = serve(&mut sim, &mut engine, trace);
+//! assert_eq!(metrics.completed(), 20);
+//! println!("avg latency {} at {:.1} req/s", metrics.avg_latency(), metrics.throughput());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The discrete-event multi-GPU simulator (`liger-gpu-sim`).
+pub use liger_gpu_sim as sim;
+
+/// Interconnect topology and collectives (`liger-collectives`).
+pub use liger_collectives as collectives;
+
+/// Transformer workload model (`liger-model`).
+pub use liger_model as model;
+
+/// Baseline parallelism engines (`liger-parallelism`).
+pub use liger_parallelism as parallelism;
+
+/// Serving layer (`liger-serving`).
+pub use liger_serving as serving;
+
+/// The Liger runtime (`liger-core`).
+pub use liger_core as runtime;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use liger_collectives::{CollectiveKind, CollectivePlan, NcclConfig, Topology};
+    pub use liger_core::{LigerConfig, LigerEngine, SyncMode};
+    pub use liger_gpu_sim::prelude::*;
+    pub use liger_model::{
+        assemble, class_totals, profile_contention, BatchShape, CostModel, ModelConfig, Phase,
+    };
+    pub use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
+    pub use liger_serving::{
+        serve, ArrivalProcess, DecodeTraceConfig, InferenceEngine, PrefillTraceConfig, Request, ServingMetrics,
+    };
+}

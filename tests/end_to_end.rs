@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the paper's qualitative results on a
+//! layer-reduced OPT-30B (geometry intact, faster to simulate).
+
+use liger::prelude::*;
+
+fn model() -> ModelConfig {
+    ModelConfig::opt_30b().with_layers(8)
+}
+
+fn v100_sim(world: usize, trace: bool) -> Simulation {
+    Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), world)
+        .capture_trace(trace)
+        .build()
+        .unwrap()
+}
+
+fn factor() -> f64 {
+    profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor()
+}
+
+fn run_engine(kind: &str, rate: f64, count: usize) -> ServingMetrics {
+    let cfg = model();
+    let cost = CostModel::v100_node();
+    let trace = PrefillTraceConfig::paper(count, 2, rate, 42).generate();
+    let mut sim = v100_sim(4, false);
+    match kind {
+        "liger" => {
+            let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+            serve(&mut sim, &mut e, trace)
+        }
+        "intra" => {
+            let mut e = IntraOpEngine::new(cfg, cost, 4).unwrap();
+            serve(&mut sim, &mut e, trace)
+        }
+        "inter" => {
+            let mut e = InterOpEngine::new(cfg, cost, 4, PipelineFlavor::Measured).unwrap();
+            serve(&mut sim, &mut e, trace)
+        }
+        "inter_th" => {
+            let mut e = InterOpEngine::new(cfg, cost, 4, PipelineFlavor::Theoretical).unwrap();
+            serve(&mut sim, &mut e, trace)
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// The capacity of the intra-op baseline for this reduced model, used to
+/// position load points.
+fn intra_cap() -> f64 {
+    let cm = CostModel::v100_node();
+    let ops = assemble(&cm, &model(), BatchShape::prefill(2, 72), 4);
+    let (compute, comm) = class_totals(&ops);
+    1.0 / (compute + comm).as_secs_f64()
+}
+
+#[test]
+fn every_engine_serves_the_whole_trace() {
+    let rate = intra_cap() * 0.8;
+    for kind in ["liger", "intra", "inter", "inter_th"] {
+        let m = run_engine(kind, rate, 40);
+        assert_eq!(m.completed(), 40, "{kind} lost requests");
+        assert!(m.avg_latency() > SimDuration::ZERO);
+    }
+}
+
+#[test]
+fn liger_matches_intra_latency_at_low_rate() {
+    let rate = intra_cap() * 0.3;
+    let l = run_engine("liger", rate, 20).avg_latency().as_secs_f64();
+    let i = run_engine("intra", rate, 20).avg_latency().as_secs_f64();
+    assert!((l - i).abs() / i < 0.05, "liger {l:.4}s vs intra {i:.4}s");
+}
+
+#[test]
+fn liger_beats_intra_throughput_and_inter_latency_under_load() {
+    let rate = intra_cap() * 1.5;
+    let liger = run_engine("liger", rate, 60);
+    let intra = run_engine("intra", rate, 60);
+    let inter = run_engine("inter", rate, 60);
+    assert!(
+        liger.throughput() > intra.throughput() * 1.05,
+        "liger {:.1}/s vs intra {:.1}/s",
+        liger.throughput(),
+        intra.throughput()
+    );
+    assert!(
+        liger.avg_latency() < inter.avg_latency(),
+        "liger {} vs inter {}",
+        liger.avg_latency(),
+        inter.avg_latency()
+    );
+}
+
+#[test]
+fn pipeline_latency_is_full_model_latency() {
+    // At a trickle, inter-op latency ≈ single-device full-model time, which
+    // is roughly world× the intra-op latency minus communication effects.
+    let rate = intra_cap() * 0.2;
+    let intra = run_engine("intra", rate, 10).avg_latency().as_secs_f64();
+    let inter = run_engine("inter", rate, 10).avg_latency().as_secs_f64();
+    let ratio = inter / intra;
+    assert!((2.0..5.0).contains(&ratio), "inter/intra latency ratio {ratio:.2}");
+}
+
+#[test]
+fn serving_metrics_are_deterministic_across_runs() {
+    let rate = intra_cap();
+    for kind in ["liger", "intra", "inter"] {
+        let a = run_engine(kind, rate, 25);
+        let b = run_engine(kind, rate, 25);
+        assert_eq!(a.avg_latency(), b.avg_latency(), "{kind} latency nondeterministic");
+        assert_eq!(a.throughput(), b.throughput(), "{kind} throughput nondeterministic");
+    }
+}
+
+#[test]
+fn liger_trace_has_no_lost_kernels_and_synchronous_collectives() {
+    let cfg = model();
+    let cost = CostModel::v100_node();
+    let mut sim = v100_sim(4, true);
+    let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+    let trace_in = PrefillTraceConfig::paper(12, 2, 1e4, 7).generate();
+    let m = serve(&mut sim, &mut e, trace_in);
+    assert_eq!(m.completed(), 12);
+    assert_eq!(sim.kernels_launched(), sim.kernels_completed());
+
+    let trace = sim.take_trace().unwrap();
+    // Collectives: kernels sharing (name, start) across devices end together.
+    use std::collections::HashMap;
+    let mut groups: HashMap<(u64, SimTime), Vec<SimTime>> = HashMap::new();
+    for e in trace.of_class(KernelClass::Comm) {
+        groups.entry((e.tag, e.started_at)).or_default().push(e.ended_at);
+    }
+    for ((tag, start), ends) in groups {
+        for e in &ends {
+            assert_eq!(*e, ends[0], "collective of batch {tag} starting {start} ended raggedly");
+        }
+    }
+}
+
+#[test]
+fn liger_first_batch_keeps_priority_under_burst() {
+    // Principle 1 at the integration level: a burst of 8 batches arriving
+    // together may slow batch 0 only by cross-class contention.
+    let solo = {
+        let m = run_engine("liger", 1.0, 1);
+        m.avg_latency().as_secs_f64()
+    };
+    let cfg = model();
+    let cost = CostModel::v100_node();
+    let mut sim = v100_sim(4, false);
+    let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+    let trace = PrefillTraceConfig::paper(8, 2, 1e6, 42).generate();
+    let m = serve(&mut sim, &mut e, trace);
+    let first = m.completions().iter().find(|c| c.id == 0).unwrap().latency().as_secs_f64();
+    assert!(first / solo < 1.35, "burst slowed the first batch x{:.2}", first / solo);
+}

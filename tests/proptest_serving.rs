@@ -1,0 +1,125 @@
+//! Property tests across the whole stack: any sane workload is served
+//! completely, deterministically and with physically consistent metrics by
+//! every engine.
+
+use liger::prelude::*;
+use proptest::prelude::*;
+
+fn tiny() -> ModelConfig {
+    ModelConfig {
+        name: "PT-Tiny".into(),
+        layers: 3,
+        heads: 8,
+        hidden: 1024,
+        vocab: 2048,
+        dtype_bytes: 2,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    count: usize,
+    batch: u32,
+    rate: f64,
+    seed: u64,
+    poisson: bool,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (2usize..25, 1u32..9, 10.0f64..5000.0, any::<u64>(), any::<bool>()).prop_map(
+        |(count, batch, rate, seed, poisson)| Workload { count, batch, rate, seed, poisson },
+    )
+}
+
+fn trace_of(w: &Workload) -> Vec<Request> {
+    PrefillTraceConfig {
+        count: w.count,
+        batch: w.batch,
+        seq_min: 16,
+        seq_max: 128,
+        arrivals: if w.poisson {
+            ArrivalProcess::Poisson { rate: w.rate }
+        } else {
+            ArrivalProcess::Constant { rate: w.rate }
+        },
+        seed: w.seed,
+    }
+    .generate()
+}
+
+fn engines(world: usize) -> Vec<(&'static str, Box<dyn InferenceEngine>)> {
+    let cfg = tiny();
+    let cost = CostModel::v100_node();
+    vec![
+        (
+            "liger",
+            Box::new(
+                LigerEngine::new(cfg.clone(), cost.clone(), world, LigerConfig::default()).unwrap(),
+            ) as Box<dyn InferenceEngine>,
+        ),
+        ("intra", Box::new(IntraOpEngine::new(cfg.clone(), cost.clone(), world).unwrap())),
+        (
+            "inter",
+            Box::new(InterOpEngine::new(cfg, cost, world, PipelineFlavor::Measured).unwrap()),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_engine_serves_any_workload(w in workload()) {
+        for (name, mut engine) in engines(2) {
+            let mut sim = Simulation::builder()
+                .devices(DeviceSpec::v100_16gb(), 2)
+                .build()
+                .unwrap();
+            let m = serve(&mut sim, engine.as_mut(), trace_of(&w));
+            prop_assert_eq!(m.completed(), w.count, "{} lost requests on {:?}", name, w);
+            // Physical consistency: completion after arrival; latency at
+            // least one kernel's worth; throughput bounded by arrival+1 job.
+            for c in m.completions() {
+                prop_assert!(c.finished > c.arrival);
+            }
+            prop_assert!(m.max_latency() >= m.latency_percentile(50.0));
+            prop_assert!(m.avg_latency() <= m.max_latency());
+        }
+    }
+
+    #[test]
+    fn liger_sync_modes_all_complete(w in workload()) {
+        for mode in [SyncMode::Hybrid, SyncMode::CpuGpu, SyncMode::InterStream] {
+            let mut sim = Simulation::builder()
+                .devices(DeviceSpec::v100_16gb(), 2)
+                .build()
+                .unwrap();
+            let mut e = LigerEngine::new(
+                tiny(),
+                CostModel::v100_node(),
+                2,
+                LigerConfig::default().with_sync_mode(mode),
+            )
+            .unwrap();
+            let m = serve(&mut sim, &mut e, trace_of(&w));
+            prop_assert_eq!(m.completed(), w.count, "{:?} lost requests on {:?}", mode, w);
+        }
+    }
+
+    #[test]
+    fn division_factors_preserve_completeness(w in workload(), df in 1u32..20) {
+        let mut sim = Simulation::builder()
+            .devices(DeviceSpec::v100_16gb(), 2)
+            .build()
+            .unwrap();
+        let mut e = LigerEngine::new(
+            tiny(),
+            CostModel::v100_node(),
+            2,
+            LigerConfig::default().with_division_factor(df),
+        )
+        .unwrap();
+        let m = serve(&mut sim, &mut e, trace_of(&w));
+        prop_assert_eq!(m.completed(), w.count);
+    }
+}

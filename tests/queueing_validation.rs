@@ -1,0 +1,83 @@
+//! Validation of the simulation stack against classic queueing theory.
+//!
+//! The Intra-Op engine is a FIFO single-server queue whose service times
+//! are the per-batch iteration times, so its simulated latencies must agree
+//! with M/G/1 (Poisson arrivals, Pollaczek–Khinchine) and approach pure
+//! service time under constant arrivals below capacity. This pins the whole
+//! stack — cost model, launch plumbing, rendezvous, metrics — to an
+//! independent analytic oracle.
+
+use liger::prelude::*;
+use liger::serving::{mg1_latency, service_moments, utilization};
+
+fn model() -> ModelConfig {
+    ModelConfig::opt_30b().with_layers(8)
+}
+
+fn run_intra(arrivals: ArrivalProcess, count: usize) -> ServingMetrics {
+    let cfg = model();
+    let cost = CostModel::v100_node();
+    let mut sim = Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), 4)
+        .build()
+        .unwrap();
+    let mut engine = IntraOpEngine::new(cfg, cost, 4).unwrap();
+    let trace = PrefillTraceConfig {
+        count,
+        batch: 2,
+        seq_min: 16,
+        seq_max: 128,
+        arrivals,
+        seed: 11,
+    }
+    .generate();
+    serve(&mut sim, &mut engine, trace)
+}
+
+#[test]
+fn poisson_latency_matches_pollaczek_khinchine() {
+    let cm = CostModel::v100_node();
+    let (mean, second) = service_moments(&cm, &model(), 2, 16, 128, 4);
+    // Drive at 60% utilization.
+    let lambda = 0.6 / mean;
+    assert!(utilization(lambda, mean) < 0.7);
+    let predicted = mg1_latency(lambda, mean, second);
+
+    let metrics = run_intra(ArrivalProcess::Poisson { rate: lambda }, 1500);
+    let simulated = metrics.avg_latency().as_secs_f64();
+    let err = (simulated - predicted).abs() / predicted;
+    assert!(
+        err < 0.15,
+        "M/G/1 mismatch: simulated {simulated:.4}s vs predicted {predicted:.4}s ({:.1}% off)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn constant_arrivals_below_capacity_carry_little_wait() {
+    let cm = CostModel::v100_node();
+    let (mean, _) = service_moments(&cm, &model(), 2, 16, 128, 4);
+    let lambda = 0.5 / mean;
+    let metrics = run_intra(ArrivalProcess::Constant { rate: lambda }, 400);
+    let simulated = metrics.avg_latency().as_secs_f64();
+    // Mostly pure service: within 2x of E[S] (occasional long-seq pileups).
+    assert!(
+        simulated < 2.0 * mean,
+        "D/G/1 at rho=0.5 should sit near E[S]={mean:.4}s, got {simulated:.4}s"
+    );
+    assert!(simulated >= 0.9 * mean, "latency cannot undercut the mean service time");
+}
+
+#[test]
+fn saturation_matches_service_rate() {
+    let cm = CostModel::v100_node();
+    let (mean, _) = service_moments(&cm, &model(), 2, 16, 128, 4);
+    let metrics = run_intra(ArrivalProcess::Constant { rate: 3.0 / mean }, 400);
+    let thr = metrics.throughput();
+    let capacity = 1.0 / mean;
+    let err = (thr - capacity).abs() / capacity;
+    assert!(
+        err < 0.08,
+        "saturated throughput {thr:.2}/s should match 1/E[S] = {capacity:.2}/s"
+    );
+}
