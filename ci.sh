@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable anywhere: formatting, then a fully offline
+# release build and test run. The workspace has zero external crate
+# dependencies, so CARGO_NET_OFFLINE=true must always succeed — any change
+# that reintroduces a network-resolved dependency fails here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace
+
+echo "==> cargo test -q (offline)"
+cargo test -q --workspace
+
+echo "ci.sh: all checks passed"

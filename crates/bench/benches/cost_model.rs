@@ -1,34 +1,23 @@
-//! Criterion micro-benchmarks of the roofline cost model and function
-//! assembly: these run on every batch arrival (the §3.2 online procedure).
+//! Micro-benchmarks of the roofline cost model and function assembly:
+//! these run on every batch arrival (the §3.2 online procedure).
+//!
+//! Plain `std::time::Instant` harness binary (`harness = false`); run with
+//! `cargo bench --bench cost_model`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use liger_model::{assemble, BatchShape, CostModel, LayerOp, ModelConfig, profile_decomposition};
+use liger_bench::micro::{bench, black_box};
+use liger_model::{assemble, profile_decomposition, BatchShape, CostModel, LayerOp, ModelConfig};
 
-fn bench_gemm_pricing(c: &mut Criterion) {
+fn main() {
     let cm = CostModel::v100_node();
-    c.bench_function("cost/gemm_time", |b| {
-        b.iter(|| cm.gemm_time(std::hint::black_box(128), 7168, 28672))
-    });
-}
 
-fn bench_assembly(c: &mut Criterion) {
-    let cm = CostModel::v100_node();
-    let mut g = c.benchmark_group("cost/assemble");
+    bench("cost/gemm_time", || cm.gemm_time(black_box(128), 7168, 28672));
+
     for model in [ModelConfig::opt_30b(), ModelConfig::glm_130b()] {
-        g.bench_function(&model.name, |b| {
-            b.iter(|| assemble(&cm, &model, BatchShape::prefill(2, 64), 4).len())
+        bench(&format!("cost/assemble/{}", model.name), || {
+            assemble(&cm, black_box(&model), BatchShape::prefill(2, 64), 4).len()
         });
     }
-    g.finish();
-}
 
-fn bench_decomposition_profile(c: &mut Criterion) {
-    let cm = CostModel::v100_node();
     let op = LayerOp::AllReduce { bytes: 2 << 20, ranks: 4 };
-    c.bench_function("cost/profile_decomposition_f16", |b| {
-        b.iter(|| profile_decomposition(&cm, &op, 16))
-    });
+    bench("cost/profile_decomposition_f16", || profile_decomposition(&cm, black_box(&op), 16));
 }
-
-criterion_group!(benches, bench_gemm_pricing, bench_assembly, bench_decomposition_profile);
-criterion_main!(benches);

@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks of Algorithm 1 (`plan_round`): the per-round
+//! Micro-benchmarks of Algorithm 1 (`plan_round`): the per-round
 //! scheduling cost Liger pays on the critical path at every E1 callback.
+//!
+//! Plain `std::time::Instant` harness binary (`harness = false`); run with
+//! `cargo bench --bench scheduler`.
 
 use std::collections::VecDeque;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use liger_bench::micro::{bench, black_box};
 use liger_core::{plan_round, FuncVec, PlanParams};
 use liger_gpu_sim::SimTime;
 use liger_model::{BatchShape, CostModel, ModelConfig};
@@ -18,46 +21,45 @@ fn processing_list(batches: usize) -> VecDeque<FuncVec> {
         .collect()
 }
 
-fn bench_plan_round(c: &mut Criterion) {
+fn main() {
     let cm = CostModel::v100_node();
-    let mut g = c.benchmark_group("scheduler/plan_round");
     for batches in [1usize, 2, 4, 8] {
         for (label, params) in [
-            ("plain", PlanParams { contention_factor: 1.1, division_factor: 1, enable_decomposition: false }),
-            ("decomp8", PlanParams { contention_factor: 1.1, division_factor: 8, enable_decomposition: true }),
+            (
+                "plain",
+                PlanParams {
+                    contention_factor: 1.1,
+                    division_factor: 1,
+                    enable_decomposition: false,
+                },
+            ),
+            (
+                "decomp8",
+                PlanParams {
+                    contention_factor: 1.1,
+                    division_factor: 8,
+                    enable_decomposition: true,
+                },
+            ),
         ] {
-            g.bench_function(format!("{batches}_batches_{label}"), |b| {
-                b.iter_batched(
-                    || processing_list(batches),
-                    |mut q| plan_round(&mut q, &params, &cm),
-                    BatchSize::SmallInput,
-                )
+            bench(&format!("scheduler/plan_round/{batches}_batches_{label}"), || {
+                let mut q = processing_list(black_box(batches));
+                plan_round(&mut q, &params, &cm)
             });
         }
     }
-    g.finish();
-}
 
-fn bench_full_batch_drain(c: &mut Criterion) {
     // Scheduling an entire OPT-30B batch to exhaustion: the total planning
     // work per request.
-    let cm = CostModel::v100_node();
-    let params = PlanParams { contention_factor: 1.1, division_factor: 8, enable_decomposition: true };
-    c.bench_function("scheduler/drain_opt30b_batch", |b| {
-        b.iter_batched(
-            || processing_list(2),
-            |mut q| {
-                let mut rounds = 0u32;
-                while plan_round(&mut q, &params, &cm).is_some() {
-                    rounds += 1;
-                    q.retain(|v| !v.is_empty());
-                }
-                rounds
-            },
-            BatchSize::SmallInput,
-        )
+    let params =
+        PlanParams { contention_factor: 1.1, division_factor: 8, enable_decomposition: true };
+    bench("scheduler/drain_opt30b_batch", || {
+        let mut q = processing_list(black_box(2));
+        let mut rounds = 0u32;
+        while plan_round(&mut q, &params, &cm).is_some() {
+            rounds += 1;
+            q.retain(|v| !v.is_empty());
+        }
+        rounds
     });
 }
-
-criterion_group!(benches, bench_plan_round, bench_full_batch_drain);
-criterion_main!(benches);

@@ -1,28 +1,22 @@
-//! Criterion end-to-end benchmarks: wall-clock cost of simulating a full
-//! serving run per engine (also a regression guard on simulator
-//! performance, which bounds how large the fig10-style sweeps can go).
+//! End-to-end benchmarks: wall-clock cost of simulating a full serving run
+//! per engine (also a regression guard on simulator performance, which
+//! bounds how large the fig10-style sweeps can go).
+//!
+//! Plain `std::time::Instant` harness binary (`harness = false`); run with
+//! `cargo bench --bench serving_engines`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use liger_bench::micro::{bench, black_box};
 use liger_bench::{run_serving, EngineKind, Node};
 use liger_model::ModelConfig;
 use liger_serving::PrefillTraceConfig;
 
-fn bench_serving(c: &mut Criterion) {
+fn main() {
     let model = ModelConfig::opt_30b();
     let node = Node::V100;
-    let mut g = c.benchmark_group("serving/opt30b_40req");
-    g.sample_size(10);
     for kind in [EngineKind::liger_default(node), EngineKind::IntraOp, EngineKind::InterOp] {
-        g.bench_function(kind.label(), |b| {
-            b.iter_batched(
-                || PrefillTraceConfig::paper(40, 2, 25.0, 42).generate(),
-                |trace| run_serving(&kind, &model, node, 4, trace).completed(),
-                BatchSize::SmallInput,
-            )
+        bench(&format!("serving/opt30b_40req/{}", kind.label()), || {
+            let trace = PrefillTraceConfig::paper(40, 2, 25.0, 42).generate();
+            run_serving(black_box(&kind), &model, node, 4, trace).completed()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_serving);
-criterion_main!(benches);

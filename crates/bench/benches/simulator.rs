@@ -1,7 +1,10 @@
-//! Criterion micro-benchmarks of the discrete-event engine: raw event
-//! throughput for kernel chains, cross-stream overlap and collectives.
+//! Micro-benchmarks of the discrete-event engine: raw event throughput for
+//! kernel chains, cross-stream overlap and collectives.
+//!
+//! Plain `std::time::Instant` harness binary (`harness = false`); run with
+//! `cargo bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use liger_bench::micro::{bench, black_box};
 use liger_gpu_sim::prelude::*;
 
 struct Chain {
@@ -26,31 +29,6 @@ impl Driver for Chain {
     fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
 }
 
-fn sim(devices: usize) -> Simulation {
-    Simulation::builder()
-        .devices(DeviceSpec::v100_16gb(), devices)
-        .build()
-        .unwrap()
-}
-
-fn bench_kernel_chain(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator/kernel_chain");
-    for kernels in [100usize, 1000] {
-        g.throughput(Throughput::Elements(kernels as u64));
-        g.bench_function(format!("{kernels}_kernels_1gpu"), |b| {
-            b.iter_batched(
-                || sim(1),
-                |mut s| {
-                    s.run_to_completion(&mut Chain { kernels, devices: 1 });
-                    s.kernels_completed()
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
-}
-
 struct AllReduces {
     count: usize,
     devices: usize,
@@ -61,7 +39,8 @@ impl Driver for AllReduces {
         for _ in 0..self.count {
             let group = sim.new_collective(self.devices);
             for d in 0..self.devices {
-                let spec = KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(group);
+                let spec =
+                    KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(group);
                 sim.launch(HostId(d), StreamId::new(DeviceId(d), 1), spec);
             }
         }
@@ -69,23 +48,23 @@ impl Driver for AllReduces {
     fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator/collectives");
-    for devices in [2usize, 4] {
-        g.throughput(Throughput::Elements(200));
-        g.bench_function(format!("200_allreduces_{devices}gpu"), |b| {
-            b.iter_batched(
-                || sim(devices),
-                |mut s| {
-                    s.run_to_completion(&mut AllReduces { count: 200, devices });
-                    s.kernels_completed()
-                },
-                BatchSize::SmallInput,
-            )
-        });
-    }
-    g.finish();
+fn sim(devices: usize) -> Simulation {
+    Simulation::builder().devices(DeviceSpec::v100_16gb(), devices).build().unwrap()
 }
 
-criterion_group!(benches, bench_kernel_chain, bench_collectives);
-criterion_main!(benches);
+fn main() {
+    for kernels in [100usize, 1000] {
+        bench(&format!("simulator/kernel_chain/{kernels}_kernels_1gpu"), || {
+            let mut s = sim(1);
+            s.run_to_completion(&mut Chain { kernels: black_box(kernels), devices: 1 });
+            s.kernels_completed()
+        });
+    }
+    for devices in [2usize, 4] {
+        bench(&format!("simulator/collectives/200_allreduces_{devices}gpu"), || {
+            let mut s = sim(devices);
+            s.run_to_completion(&mut AllReduces { count: 200, devices: black_box(devices) });
+            s.kernels_completed()
+        });
+    }
+}

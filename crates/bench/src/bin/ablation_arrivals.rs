@@ -19,7 +19,14 @@ fn main() {
     let cap = intra_capacity(&model, node, 4, BatchShape::prefill(batch, 72));
 
     println!("Ablation: constant vs Poisson arrivals — OPT-30B, V100 node, batch {batch}");
-    let mut t = Table::new(&["engine", "arrivals", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput"]);
+    let mut t = Table::new(&[
+        "engine",
+        "arrivals",
+        "rate (req/s)",
+        "avg lat (ms)",
+        "p99 lat (ms)",
+        "throughput",
+    ]);
     for kind in [EngineKind::liger_default(node), EngineKind::IntraOp] {
         for frac in [0.8, 1.0] {
             let rate = cap * frac;

@@ -34,7 +34,13 @@ fn main() {
 
     println!("Ablation: contention anticipation — GLM-130B, A100 node, batch {batch}");
     println!("(profiled factor {profiled:.3} vs disabled = 1.0)");
-    let mut t = Table::new(&["factor", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
+    let mut t = Table::new(&[
+        "factor",
+        "rate (req/s)",
+        "avg lat (ms)",
+        "p99 lat (ms)",
+        "throughput (req/s)",
+    ]);
     for (i, p) in points.iter().enumerate() {
         let label = if i < rates.len() { format!("{profiled:.2}") } else { "1.00 (off)".into() };
         t.row(&[

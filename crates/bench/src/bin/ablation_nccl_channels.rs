@@ -30,10 +30,15 @@ fn main() {
         // node's NCCL settings through a custom run.
         let cost = node.cost_model().with_nccl(nccl);
         let mut sim = node.simulation(4, false);
-        let mut engine = liger_core::LigerEngine::new(model.clone(), cost, 4, match kind {
-            EngineKind::Liger(c) => c,
-            _ => unreachable!(),
-        })
+        let mut engine = liger_core::LigerEngine::new(
+            model.clone(),
+            cost,
+            4,
+            match kind {
+                EngineKind::Liger(c) => c,
+                _ => unreachable!(),
+            },
+        )
         .unwrap();
         let trace = PrefillTraceConfig::paper(requests, batch, rate, 42).generate();
         let m = liger_serving::serve(&mut sim, &mut engine, trace);

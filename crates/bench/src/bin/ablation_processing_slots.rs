@@ -41,5 +41,7 @@ fn main() {
         }
     }
     println!("{}", t.render());
-    println!("Expectation: slots=1 collapses to Intra-Op throughput; gains saturate after a few slots.");
+    println!(
+        "Expectation: slots=1 collapses to Intra-Op throughput; gains saturate after a few slots."
+    );
 }

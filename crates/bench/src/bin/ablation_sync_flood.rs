@@ -35,7 +35,8 @@ fn main() {
     });
 
     println!("Ablation: hybrid vs pure inter-stream sync — OPT-30B, V100 node, batch {batch}");
-    let mut t = Table::new(&["sync", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
+    let mut t =
+        Table::new(&["sync", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
     for p in &points {
         t.row(&[
             p.engine.to_string(),

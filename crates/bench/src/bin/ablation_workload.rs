@@ -18,7 +18,14 @@ fn main() {
     let node = Node::V100;
 
     println!("Ablation: heavy-tailed (ShareGPT-like) workload — OPT-30B, V100 node, batch 2, Poisson arrivals");
-    let mut t = Table::new(&["engine", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "SLO-200ms", "throughput"]);
+    let mut t = Table::new(&[
+        "engine",
+        "rate (req/s)",
+        "avg lat (ms)",
+        "p99 lat (ms)",
+        "SLO-200ms",
+        "throughput",
+    ]);
     for rate in [8.0f64, 12.0, 16.0] {
         for kind in [EngineKind::liger_default(node), EngineKind::IntraOp, EngineKind::InterOp] {
             let trace = LognormalTraceConfig::sharegpt_like(requests, 2, rate, 42).generate();

@@ -39,17 +39,29 @@ fn main() {
             .map(|o| o.duration.as_nanos())
             .collect();
         let (n, share, ratio) = spread_stats(&mut durs);
-        t.row(&[model.name.clone(), n.to_string(), format!("{:.1}%", share * 100.0), format!("{ratio:.1}x")]);
+        t.row(&[
+            model.name.clone(),
+            n.to_string(),
+            format!("{:.1}%", share * 100.0),
+            format!("{ratio:.1}x"),
+        ]);
     }
     println!("{}", t.render());
 
     println!("Figure 4(b): kernel durations across input sizes (OPT-30B, tp=4)");
-    let mut t = Table::new(&["batch x seq", "kernels/iter", "top-10% share", "max/median", "mean kernel (us)"]);
+    let mut t = Table::new(&[
+        "batch x seq",
+        "kernels/iter",
+        "top-10% share",
+        "max/median",
+        "mean kernel (us)",
+    ]);
     for (batch, seq) in [(2u32, 16u32), (2, 64), (2, 128), (8, 64), (8, 128)] {
-        let mut durs: Vec<u64> = assemble(&cm, &ModelConfig::opt_30b(), BatchShape::prefill(batch, seq), 4)
-            .iter()
-            .map(|o| o.duration.as_nanos())
-            .collect();
+        let mut durs: Vec<u64> =
+            assemble(&cm, &ModelConfig::opt_30b(), BatchShape::prefill(batch, seq), 4)
+                .iter()
+                .map(|o| o.duration.as_nanos())
+                .collect();
         let mean_us = durs.iter().sum::<u64>() as f64 / durs.len() as f64 / 1e3;
         let (n, share, ratio) = spread_stats(&mut durs);
         t.row(&[
@@ -61,5 +73,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Paper: larger models concentrate time in fewer kernels; durations vary with input size.");
+    println!(
+        "Paper: larger models concentrate time in fewer kernels; durations vary with input size."
+    );
 }

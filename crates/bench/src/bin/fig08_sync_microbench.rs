@@ -128,5 +128,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Paper §4.5: a null-kernel launch is ~5us, but a multi-GPU blocking sync exceeds 20us.");
+    println!(
+        "Paper §4.5: a null-kernel launch is ~5us, but a multi-GPU blocking sync exceeds 20us."
+    );
 }

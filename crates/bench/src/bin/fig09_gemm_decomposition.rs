@@ -15,7 +15,13 @@ fn main() {
     let cfg = ModelConfig::opt_30b();
     let ops = layer_ops(&cfg, BatchShape::prefill(2, 64), 4, 0);
 
-    let mut t = Table::new(&["GEMM", "shape (m,k,n)", "whole (us)", "vertical/8 (us)", "horizontal/8 (us)"]);
+    let mut t = Table::new(&[
+        "GEMM",
+        "shape (m,k,n)",
+        "whole (us)",
+        "vertical/8 (us)",
+        "horizontal/8 (us)",
+    ]);
     for placed in &ops {
         let LayerOp::Gemm { m, k, n, kind } = placed.op else { continue };
         let whole = cm.op_time(&placed.op);

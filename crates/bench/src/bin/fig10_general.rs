@@ -11,7 +11,10 @@
 //! Flags: `--requests N` (default 300; paper uses 2000), `--quick` (batch 2
 //! only), `--panel "MODEL/NODE"` filter (e.g. `--panel OPT-30B/V100`).
 
-use liger_bench::{arg_flag, arg_value, default_requests, intra_capacity, rate_grid, sweep, EngineKind, Node, Table};
+use liger_bench::{
+    arg_flag, arg_value, default_requests, intra_capacity, rate_grid, sweep, EngineKind, Node,
+    Table,
+};
 use liger_model::{BatchShape, ModelConfig};
 use liger_serving::PrefillTraceConfig;
 
@@ -35,8 +38,20 @@ fn main() {
         (ModelConfig::glm_130b(), Node::A100),
     ];
 
-    let mut agg_v100 = Agg { liger_thr: vec![], intra_thr: vec![], liger_lat: vec![], inter_lat: vec![], interth_lat: vec![] };
-    let mut agg_a100 = Agg { liger_thr: vec![], intra_thr: vec![], liger_lat: vec![], inter_lat: vec![], interth_lat: vec![] };
+    let mut agg_v100 = Agg {
+        liger_thr: vec![],
+        intra_thr: vec![],
+        liger_lat: vec![],
+        inter_lat: vec![],
+        interth_lat: vec![],
+    };
+    let mut agg_a100 = Agg {
+        liger_thr: vec![],
+        intra_thr: vec![],
+        liger_lat: vec![],
+        inter_lat: vec![],
+        interth_lat: vec![],
+    };
 
     for (model, node) in &panels {
         let panel_name = format!("{}/{}", model.name, node.label());
@@ -54,13 +69,23 @@ fn main() {
             let points = sweep(&engines, &rates, model, *node, 4, |rate| {
                 PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
             });
-            liger_bench::harness::maybe_write_csv(
-                &format!("fig10_{}_{}_b{batch}", model.name.replace('/', "-"), node.label()),
-                &points,
-            );
+            let export_name =
+                format!("fig10_{}_{}_b{batch}", model.name.replace('/', "-"), node.label());
+            liger_bench::harness::maybe_write_csv(&export_name, &points);
+            liger_bench::harness::maybe_write_json(&export_name, &points);
 
-            println!("Figure 10 panel: {} on {} node, batch {batch} ({requests} requests/point)", model.name, node.label());
-            let mut t = Table::new(&["engine", "rate (req/s)", "avg lat (ms)", "p99 lat (ms)", "throughput (req/s)"]);
+            println!(
+                "Figure 10 panel: {} on {} node, batch {batch} ({requests} requests/point)",
+                model.name,
+                node.label()
+            );
+            let mut t = Table::new(&[
+                "engine",
+                "rate (req/s)",
+                "avg lat (ms)",
+                "p99 lat (ms)",
+                "throughput (req/s)",
+            ]);
             for p in &points {
                 t.row(&[
                     p.engine.to_string(),
@@ -100,19 +125,10 @@ fn main() {
         if agg.liger_thr.is_empty() {
             continue;
         }
-        let gain: f64 = agg
-            .liger_thr
-            .iter()
-            .zip(&agg.intra_thr)
-            .map(|(l, i)| l / i)
-            .sum::<f64>()
+        let gain: f64 = agg.liger_thr.iter().zip(&agg.intra_thr).map(|(l, i)| l / i).sum::<f64>()
             / agg.liger_thr.len() as f64;
         let red = |base: &Vec<f64>| -> f64 {
-            agg.liger_lat
-                .iter()
-                .zip(base)
-                .map(|(l, b)| 1.0 - l / b)
-                .sum::<f64>()
+            agg.liger_lat.iter().zip(base).map(|(l, b)| 1.0 - l / b).sum::<f64>()
                 / base.len() as f64
         };
         println!(

@@ -36,8 +36,14 @@ fn main() {
             .generate()
         });
 
-        liger_bench::harness::maybe_write_csv(&format!("fig11_{}_{}", model.name, node.label()), &points);
-        println!("Figure 11 panel: {} on {} node, decode batch 32 @ context 16", model.name, node.label());
+        let export_name = format!("fig11_{}_{}", model.name, node.label());
+        liger_bench::harness::maybe_write_csv(&export_name, &points);
+        liger_bench::harness::maybe_write_json(&export_name, &points);
+        println!(
+            "Figure 11 panel: {} on {} node, decode batch 32 @ context 16",
+            model.name,
+            node.label()
+        );
         let mut t = Table::new(&["engine", "rate (it/s)", "avg lat (ms)", "throughput (it/s)"]);
         for p in &points {
             t.row(&[
@@ -48,7 +54,9 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
-        let sat = |name: &str| points.iter().filter(|p| p.engine == name).map(|p| p.throughput).fold(0.0, f64::max);
+        let sat = |name: &str| {
+            points.iter().filter(|p| p.engine == name).map(|p| p.throughput).fold(0.0, f64::max)
+        };
         println!(
             "  Liger vs Intra-Op saturated throughput: x{:.2}\n",
             sat("Liger") / sat("Intra-Op")

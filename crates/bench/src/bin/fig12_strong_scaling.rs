@@ -21,11 +21,7 @@ fn main() {
     for world in [1usize, 2, 4] {
         let cap = intra_capacity(&model, node, world, BatchShape::prefill(batch, 72));
         let rates: Vec<f64> = [0.5, 0.9, 1.2].iter().map(|f| f * cap).collect();
-        let engines = [
-            EngineKind::liger_default(node),
-            EngineKind::IntraOp,
-            EngineKind::InterOp,
-        ];
+        let engines = [EngineKind::liger_default(node), EngineKind::IntraOp, EngineKind::InterOp];
         let points = sweep(&engines, &rates, &model, node, world, |rate| {
             PrefillTraceConfig::paper(requests, batch, rate, 42).generate()
         });

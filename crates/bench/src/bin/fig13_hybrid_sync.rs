@@ -25,9 +25,7 @@ fn main() {
     let engines = [
         EngineKind::Liger(LigerConfig::default().with_contention_factor(factor)),
         EngineKind::Liger(
-            LigerConfig::default()
-                .with_contention_factor(factor)
-                .with_sync_mode(SyncMode::CpuGpu),
+            LigerConfig::default().with_contention_factor(factor).with_sync_mode(SyncMode::CpuGpu),
         ),
     ];
     let points = sweep(&engines, &rates, &model, node, 4, |rate| {
@@ -35,6 +33,7 @@ fn main() {
     });
 
     liger_bench::harness::maybe_write_csv("fig13_hybrid_sync", &points);
+    liger_bench::harness::maybe_write_json("fig13_hybrid_sync", &points);
     println!("Figure 13: hybrid vs CPU-GPU synchronization — OPT-30B, V100 node, batch 2");
     let mut t = Table::new(&["sync", "rate (req/s)", "avg lat (ms)", "throughput (req/s)"]);
     for p in &points {
@@ -46,7 +45,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    let sat = |name: &str| points.iter().filter(|p| p.engine == name).map(|p| p.throughput).fold(0.0, f64::max);
+    let sat = |name: &str| {
+        points.iter().filter(|p| p.engine == name).map(|p| p.throughput).fold(0.0, f64::max)
+    };
     println!(
         "Hybrid/CPU-GPU saturated-throughput ratio: x{:.3}",
         sat("Liger") / sat("Liger(CPU-GPU)")

@@ -24,7 +24,8 @@ fn main() {
     let rates = [cap * 1.05, cap * 1.4];
 
     println!("Figure 14: division factor sweep — OPT-30B, V100 node, batch 2");
-    let mut t = Table::new(&["division factor", "rate (req/s)", "avg lat (ms)", "throughput (req/s)"]);
+    let mut t =
+        Table::new(&["division factor", "rate (req/s)", "avg lat (ms)", "throughput (req/s)"]);
     for df in [2u32, 4, 8, 16] {
         let engines = [EngineKind::Liger(
             LigerConfig::default().with_contention_factor(factor).with_division_factor(df),

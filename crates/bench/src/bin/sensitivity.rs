@@ -22,7 +22,13 @@ fn run(cost: &CostModel, node: Node, rate: f64, requests: usize) -> (f64, f64, f
     let factor = node.contention_factor();
 
     let mut sim = node.simulation(4, false);
-    let mut liger = LigerEngine::new(model.clone(), cost.clone(), 4, LigerConfig::default().with_contention_factor(factor)).unwrap();
+    let mut liger = LigerEngine::new(
+        model.clone(),
+        cost.clone(),
+        4,
+        LigerConfig::default().with_contention_factor(factor),
+    )
+    .unwrap();
     let lm = serve(&mut sim, &mut liger, trace.clone());
 
     let mut sim = node.simulation(4, false);
@@ -54,7 +60,12 @@ fn main() {
             cost.params.n_droop *= d_scale;
             // Saturate relative to the *perturbed* capacity so every cell
             // sits at the same operating point.
-            let ops = liger_model::assemble(&cost, &ModelConfig::opt_30b(), BatchShape::prefill(2, 72), 4);
+            let ops = liger_model::assemble(
+                &cost,
+                &ModelConfig::opt_30b(),
+                BatchShape::prefill(2, 72),
+                4,
+            );
             let (c, m) = liger_model::class_totals(&ops);
             let cap = 1.0 / (c + m).as_secs_f64();
             let (gain, liger_lat, inter_lat) = run(&cost, node, cap * 1.4, requests);

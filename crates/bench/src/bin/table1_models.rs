@@ -7,7 +7,8 @@ use liger_bench::Table;
 use liger_model::ModelConfig;
 
 fn main() {
-    let mut t = Table::new(&["Name", "Parameters", "Layers", "Heads", "Hidden Size", "Prec.", "Weights"]);
+    let mut t =
+        Table::new(&["Name", "Parameters", "Layers", "Heads", "Hidden Size", "Prec.", "Weights"]);
     for m in ModelConfig::zoo() {
         t.row(&[
             m.name.clone(),

@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use liger_collectives::{NcclConfig, Topology};
 use liger_core::{LigerConfig, LigerEngine, SyncMode};
+use liger_gpu_sim::json::{JsonArray, JsonObject, ToJson};
 use liger_gpu_sim::{DeviceSpec, HostSpec, Simulation};
 use liger_model::{profile_contention, CostModel, ModelConfig};
 use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
@@ -123,11 +124,13 @@ pub fn run_serving(
     let mut sim = node.simulation(world, false);
     match kind {
         EngineKind::Liger(config) => {
-            let mut e = LigerEngine::new(model.clone(), cost, world, *config).expect("valid Liger setup");
+            let mut e =
+                LigerEngine::new(model.clone(), cost, world, *config).expect("valid Liger setup");
             serve(&mut sim, &mut e, requests)
         }
         EngineKind::IntraOp => {
-            let mut e = IntraOpEngine::new(model.clone(), cost, world).expect("valid intra-op setup");
+            let mut e =
+                IntraOpEngine::new(model.clone(), cost, world).expect("valid intra-op setup");
             serve(&mut sim, &mut e, requests)
         }
         EngineKind::InterOp => {
@@ -158,9 +161,14 @@ pub struct ExperimentPoint {
     pub throughput: f64,
 }
 
-/// Runs `engines × rates` serving sweeps in parallel (one crossbeam-scoped
-/// thread per point, bounded by the host's parallelism) and returns points
-/// in deterministic `(engine, rate)` order.
+/// Runs `engines × rates` serving sweeps in parallel and returns points in
+/// deterministic `(engine, rate)` order.
+///
+/// Std-only work-queue parallelism: `std::thread::scope` workers (bounded
+/// by the host's parallelism) claim job indices from a shared atomic
+/// counter and report measurements back over a `std::sync::mpsc` channel.
+/// Dynamic claiming keeps all workers busy even when points have very
+/// different costs (high-rate points simulate far more queueing).
 pub fn sweep<F>(
     engines: &[EngineKind],
     rates: &[f64],
@@ -172,33 +180,47 @@ pub fn sweep<F>(
 where
     F: Fn(f64) -> Vec<Request> + Sync,
 {
-    let jobs: Vec<(usize, usize)> = (0..engines.len())
-        .flat_map(|e| (0..rates.len()).map(move |r| (e, r)))
-        .collect();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let jobs: Vec<(usize, usize)> =
+        (0..engines.len()).flat_map(|e| (0..rates.len()).map(move |r| (e, r))).collect();
     let mut results: Vec<Option<ExperimentPoint>> = vec![None; jobs.len()];
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = jobs.len().div_ceil(threads).max(1);
-    crossbeam::scope(|scope| {
-        for (slot_chunk, job_chunk) in results.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
+    let next_job = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ExperimentPoint)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_job = &next_job;
+            let jobs = &jobs;
             let make_trace = &make_trace;
-            scope.spawn(move |_| {
-                for (slot, &(e, r)) in slot_chunk.iter_mut().zip(job_chunk) {
-                    let kind = &engines[e];
-                    let rate = rates[r];
-                    let metrics = run_serving(kind, model, node, world, make_trace(rate));
-                    *slot = Some(ExperimentPoint {
-                        engine: kind.label(),
-                        rate,
-                        avg_latency_ms: metrics.avg_latency().as_millis_f64(),
-                        p99_latency_ms: metrics.latency_percentile(99.0).as_millis_f64(),
-                        throughput: metrics.throughput(),
-                    });
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(&(e, r)) = jobs.get(i) else { break };
+                let kind = &engines[e];
+                let rate = rates[r];
+                let metrics = run_serving(kind, model, node, world, make_trace(rate));
+                let point = ExperimentPoint {
+                    engine: kind.label(),
+                    rate,
+                    avg_latency_ms: metrics.avg_latency().as_millis_f64(),
+                    p99_latency_ms: metrics.latency_percentile(99.0).as_millis_f64(),
+                    throughput: metrics.throughput(),
+                };
+                if tx.send((i, point)).is_err() {
+                    break;
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+        drop(tx);
+        for (i, point) in rx {
+            results[i] = Some(point);
+        }
+    });
 
     results.into_iter().map(|p| p.expect("all points measured")).collect()
 }
@@ -213,10 +235,7 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Appends one row (must match the header width).
@@ -257,7 +276,12 @@ impl Table {
 /// Analytic serving capacity (jobs/s) of the Intra-Op baseline for one
 /// job shape: the reciprocal of the serialized kernel-sum iteration time.
 /// Used to center arrival-rate sweeps on each panel's interesting region.
-pub fn intra_capacity(model: &ModelConfig, node: Node, world: usize, shape: liger_model::BatchShape) -> f64 {
+pub fn intra_capacity(
+    model: &ModelConfig,
+    node: Node,
+    world: usize,
+    shape: liger_model::BatchShape,
+) -> f64 {
     let cm = node.cost_model();
     let ops = liger_model::assemble(&cm, model, shape, world as u32);
     let (compute, comm) = liger_model::class_totals(&ops);
@@ -276,7 +300,8 @@ pub fn maybe_write_csv(name: &str, points: &[ExperimentPoint]) {
     if !arg_flag("csv") {
         return;
     }
-    let mut out = String::from("engine,rate_req_s,avg_latency_ms,p99_latency_ms,throughput_req_s\n");
+    let mut out =
+        String::from("engine,rate_req_s,avg_latency_ms,p99_latency_ms,throughput_req_s\n");
     for p in points {
         let _ = writeln!(
             out,
@@ -286,6 +311,41 @@ pub fn maybe_write_csv(name: &str, points: &[ExperimentPoint]) {
     }
     let _ = std::fs::create_dir_all("results");
     let path = format!("results/{name}.csv");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+impl ToJson for ExperimentPoint {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field("engine", &self.engine)
+            .field("rate_req_s", &self.rate)
+            .field("avg_latency_ms", &self.avg_latency_ms)
+            .field("p99_latency_ms", &self.p99_latency_ms)
+            .field("throughput_req_s", &self.throughput);
+        obj.end();
+    }
+}
+
+/// Writes sweep points as JSON to `results/<name>.json` when `--json` was
+/// passed (same data as [`maybe_write_csv`], machine-readable).
+pub fn maybe_write_json(name: &str, points: &[ExperimentPoint]) {
+    if !arg_flag("json") {
+        return;
+    }
+    let mut out = String::new();
+    {
+        let mut arr = JsonArray::begin(&mut out);
+        for p in points {
+            arr.item(p);
+        }
+        arr.end();
+    }
+    out.push('\n');
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
     match std::fs::write(&path, out) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

@@ -1,0 +1,151 @@
+//! Minimal `std::time::Instant` micro-benchmark loop.
+//!
+//! Replaces criterion for the `benches/` binaries. Each benchmark is a
+//! plain binary (`harness = false`) that calls [`bench`] a few times and
+//! prints one line per benchmark: median / mean / min time per iteration.
+//!
+//! Methodology: after a short warm-up, iterations are run in batches sized
+//! so one batch takes roughly a millisecond, each batch is timed as a
+//! whole, and per-iteration times are derived from the batch time. The
+//! median over batches is the headline number — it is robust against a
+//! stray descheduling blip in a way the mean is not.
+//!
+//! Environment knobs:
+//! - `LIGER_BENCH_SAMPLES` — number of timed batches (default 30).
+//! - `LIGER_BENCH_FILTER` — run only benchmarks whose name contains this
+//!   substring (mirrors `cargo bench <filter>` ergonomics).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's collected timings.
+pub struct Report {
+    /// Benchmark name as passed to [`bench`].
+    pub name: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest observed batch, per iteration.
+    pub min: Duration,
+    /// Iterations per timed batch.
+    pub batch: u64,
+    /// Number of timed batches.
+    pub samples: u64,
+}
+
+impl Report {
+    fn print(&self) {
+        println!(
+            "{:<40} median {:>12}  mean {:>12}  min {:>12}  ({} iters x {} samples)",
+            self.name,
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            fmt_duration(self.min),
+            self.batch,
+            self.samples,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn samples_from_env() -> u64 {
+    std::env::var("LIGER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(30)
+}
+
+fn name_filtered_out(name: &str) -> bool {
+    // Accept a filter either from the env var or as the first non-flag CLI
+    // argument, so `cargo bench --bench simulator -- deep` keeps working.
+    let cli = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+    match std::env::var("LIGER_BENCH_FILTER").ok().or(cli) {
+        Some(f) => !name.contains(&f),
+        None => false,
+    }
+}
+
+/// Times `f`, prints one summary line, and returns the [`Report`].
+///
+/// The return value of `f` is passed through [`black_box`] so the work
+/// cannot be optimized away; `f` should itself `black_box` its inputs.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Option<Report> {
+    if name_filtered_out(name) {
+        return None;
+    }
+    // Warm-up and batch sizing: run single iterations until ~20ms of work
+    // (or 50 iterations) has accumulated, then size batches to ~1ms.
+    let warmup_budget = Duration::from_millis(20);
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < warmup_budget && warmup_iters < 50 {
+        black_box(f());
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+    let batch = (1_000_000 / per_iter).clamp(1, 10_000) as u64;
+
+    let samples = samples_from_env();
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() / batch as u128);
+    }
+    per_iter_ns.sort_unstable();
+
+    let as_dur = |ns: u128| Duration::from_nanos(ns.min(u64::MAX as u128) as u64);
+    let report = Report {
+        name: name.to_string(),
+        median: as_dur(per_iter_ns[per_iter_ns.len() / 2]),
+        mean: as_dur(per_iter_ns.iter().sum::<u128>() / per_iter_ns.len() as u128),
+        min: as_dur(per_iter_ns[0]),
+        batch,
+        samples,
+    };
+    report.print();
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_timings() {
+        std::env::set_var("LIGER_BENCH_SAMPLES", "5");
+        // Neutralize any `cargo test <filter>` CLI arg, which would
+        // otherwise be picked up as a benchmark-name filter.
+        std::env::set_var("LIGER_BENCH_FILTER", "");
+        let report = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+        .expect("no filter set");
+        std::env::remove_var("LIGER_BENCH_SAMPLES");
+        std::env::remove_var("LIGER_BENCH_FILTER");
+        assert_eq!(report.samples, 5);
+        assert!(report.min <= report.median);
+        assert!(report.median.as_nanos() > 0);
+    }
+}

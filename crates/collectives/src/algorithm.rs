@@ -8,8 +8,6 @@
 //! all-reduce are latency-bound, and the tree keeps the per-chunk overhead
 //! flat as the division factor grows.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::SimDuration;
 
 use crate::cost::CollectiveKind;
@@ -17,7 +15,7 @@ use crate::nccl::NcclConfig;
 use crate::topology::Topology;
 
 /// Which collective algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveAlgorithm {
     /// Bandwidth-optimal ring (the default of [`crate::collective_time`]).
     Ring,
@@ -58,7 +56,13 @@ pub fn collective_time_with(
 }
 
 /// The algorithm [`CollectiveAlgorithm::Auto`] would select.
-pub fn auto_choice(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> CollectiveAlgorithm {
+pub fn auto_choice(
+    kind: CollectiveKind,
+    bytes: u64,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> CollectiveAlgorithm {
     let ring = crate::cost::collective_time(kind, bytes, n, topo, nccl);
     let tree = tree_time(kind, bytes, n, topo, nccl);
     if tree < ring {
@@ -68,7 +72,13 @@ pub fn auto_choice(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, 
     }
 }
 
-fn tree_time(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+fn tree_time(
+    kind: CollectiveKind,
+    bytes: u64,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> SimDuration {
     debug_assert!(n >= 2);
     if kind == CollectiveKind::SendRecv {
         // Point-to-point has no tree form.
@@ -133,9 +143,30 @@ mod tests {
     fn auto_is_the_min_of_both() {
         let (topo, nccl) = setup();
         for bytes in [1u64 << 12, 1 << 16, 1 << 20, 1 << 24] {
-            let ring = collective_time_with(CollectiveAlgorithm::Ring, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
-            let tree = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
-            let auto = collective_time_with(CollectiveAlgorithm::Auto, CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
+            let ring = collective_time_with(
+                CollectiveAlgorithm::Ring,
+                CollectiveKind::AllReduce,
+                bytes,
+                4,
+                &topo,
+                &nccl,
+            );
+            let tree = collective_time_with(
+                CollectiveAlgorithm::Tree,
+                CollectiveKind::AllReduce,
+                bytes,
+                4,
+                &topo,
+                &nccl,
+            );
+            let auto = collective_time_with(
+                CollectiveAlgorithm::Auto,
+                CollectiveKind::AllReduce,
+                bytes,
+                4,
+                &topo,
+                &nccl,
+            );
             assert_eq!(auto, ring.min(tree), "bytes={bytes}");
         }
     }
@@ -144,9 +175,30 @@ mod tests {
     fn tree_latency_grows_logarithmically() {
         let (topo, nccl) = setup();
         let tiny = 1024;
-        let t2 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 2, &topo, &nccl);
-        let t4 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 4, &topo, &nccl);
-        let t8 = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::AllReduce, tiny, 8, &topo, &nccl);
+        let t2 = collective_time_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::AllReduce,
+            tiny,
+            2,
+            &topo,
+            &nccl,
+        );
+        let t4 = collective_time_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::AllReduce,
+            tiny,
+            4,
+            &topo,
+            &nccl,
+        );
+        let t8 = collective_time_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::AllReduce,
+            tiny,
+            8,
+            &topo,
+            &nccl,
+        );
         // Depth 1 -> 2 -> 3: latency term grows by equal steps.
         let d1 = t4.as_nanos() as i64 - t2.as_nanos() as i64;
         let d2 = t8.as_nanos() as i64 - t4.as_nanos() as i64;
@@ -157,15 +209,31 @@ mod tests {
     #[test]
     fn sendrecv_has_no_tree_form() {
         let (topo, nccl) = setup();
-        let ring = collective_time_with(CollectiveAlgorithm::Ring, CollectiveKind::SendRecv, 1 << 20, 2, &topo, &nccl);
-        let tree = collective_time_with(CollectiveAlgorithm::Tree, CollectiveKind::SendRecv, 1 << 20, 2, &topo, &nccl);
+        let ring = collective_time_with(
+            CollectiveAlgorithm::Ring,
+            CollectiveKind::SendRecv,
+            1 << 20,
+            2,
+            &topo,
+            &nccl,
+        );
+        let tree = collective_time_with(
+            CollectiveAlgorithm::Tree,
+            CollectiveKind::SendRecv,
+            1 << 20,
+            2,
+            &topo,
+            &nccl,
+        );
         assert_eq!(ring, tree);
     }
 
     #[test]
     fn single_rank_is_free() {
         let (topo, nccl) = setup();
-        for algo in [CollectiveAlgorithm::Ring, CollectiveAlgorithm::Tree, CollectiveAlgorithm::Auto] {
+        for algo in
+            [CollectiveAlgorithm::Ring, CollectiveAlgorithm::Tree, CollectiveAlgorithm::Auto]
+        {
             assert_eq!(
                 collective_time_with(algo, CollectiveKind::AllReduce, 1 << 20, 1, &topo, &nccl),
                 SimDuration::ZERO
@@ -188,5 +256,17 @@ mod tests {
             auto_choice(CollectiveKind::AllReduce, whole / 16, 16, &topo, &nccl),
             CollectiveAlgorithm::Tree
         );
+    }
+}
+
+/// Algorithms serialize as lowercase tags.
+impl liger_gpu_sim::ToJson for CollectiveAlgorithm {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            CollectiveAlgorithm::Ring => "ring",
+            CollectiveAlgorithm::Tree => "tree",
+            CollectiveAlgorithm::Auto => "auto",
+        };
+        tag.write_json(out);
     }
 }

@@ -13,7 +13,7 @@ use crate::nccl::NcclConfig;
 use crate::topology::Topology;
 
 /// The collective operations the transformer workloads need.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
     /// Ring all-reduce (tensor-parallel synchronization).
     AllReduce,
@@ -49,7 +49,13 @@ impl CollectiveKind {
 }
 
 /// No-load duration of a collective moving `bytes` across `n` ranks.
-pub fn collective_time(kind: CollectiveKind, bytes: u64, n: usize, topo: &Topology, nccl: &NcclConfig) -> SimDuration {
+pub fn collective_time(
+    kind: CollectiveKind,
+    bytes: u64,
+    n: usize,
+    topo: &Topology,
+    nccl: &NcclConfig,
+) -> SimDuration {
     debug_assert!(n >= 1);
     if n <= 1 {
         return SimDuration::ZERO; // degenerate single-rank "collective"
@@ -135,8 +141,10 @@ mod tests {
     fn pcie_is_slower_than_nvlink() {
         let nccl = NcclConfig::default();
         let bytes = 1 << 20;
-        let nv = collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::v100_nvlink(), &nccl);
-        let pcie = collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::a100_pcie(), &nccl);
+        let nv =
+            collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::v100_nvlink(), &nccl);
+        let pcie =
+            collective_time(CollectiveKind::AllReduce, bytes, 4, &Topology::a100_pcie(), &nccl);
         assert!(pcie > nv);
     }
 
@@ -170,7 +178,8 @@ mod tests {
         let bytes = 8 << 20;
         let whole = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
         for parts in [2u32, 4, 8, 16] {
-            let total = decomposed_total_time(CollectiveKind::AllReduce, bytes, parts, 4, &topo, &nccl);
+            let total =
+                decomposed_total_time(CollectiveKind::AllReduce, bytes, parts, 4, &topo, &nccl);
             assert!(total >= whole, "decomposed total must not beat the whole");
             // Overhead equals the extra (parts-1) base latencies, up to
             // per-chunk nanosecond rounding in either direction.
@@ -191,5 +200,18 @@ mod tests {
         for parts in 1u32..=16 {
             assert!(bytes.div_ceil(parts as u64) * parts as u64 >= bytes);
         }
+    }
+}
+
+/// Collective kinds serialize as snake_case tags.
+impl liger_gpu_sim::ToJson for CollectiveKind {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::SendRecv => "send_recv",
+        };
+        tag.write_json(out);
     }
 }

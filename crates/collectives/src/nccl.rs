@@ -13,10 +13,8 @@
 //! contention they impose on concurrent compute via the channel-sensitive
 //! term in `ContentionParams`).
 
-use serde::{Deserialize, Serialize};
-
 /// Channel/thread configuration of the communication library.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NcclConfig {
     /// Number of channels (CUDA blocks) per collective kernel
     /// (`NCCL_MAX_NCHANNELS`).
@@ -34,11 +32,7 @@ pub struct NcclConfig {
 impl Default for NcclConfig {
     /// NCCL's out-of-the-box behavior: generous channel allocation.
     fn default() -> Self {
-        NcclConfig {
-            channels: 16,
-            threads_per_channel: 512,
-            per_channel_bw_fraction: 0.4,
-        }
+        NcclConfig { channels: 16, threads_per_channel: 512, per_channel_bw_fraction: 0.4 }
     }
 }
 
@@ -46,11 +40,7 @@ impl NcclConfig {
     /// The tuned configuration from the paper's artifact
     /// (`NCCL_MAX_NCHANNELS=3`, reduced `NCCL_NTHREADS`).
     pub fn liger_tuned() -> NcclConfig {
-        NcclConfig {
-            channels: 3,
-            threads_per_channel: 256,
-            per_channel_bw_fraction: 0.4,
-        }
+        NcclConfig { channels: 3, threads_per_channel: 256, per_channel_bw_fraction: 0.4 }
     }
 
     /// Config with an explicit channel count.
@@ -110,11 +100,7 @@ mod tests {
 
     #[test]
     fn starved_threads_halve_channel_capability() {
-        let c = NcclConfig {
-            channels: 2,
-            threads_per_channel: 64,
-            per_channel_bw_fraction: 0.4,
-        };
+        let c = NcclConfig { channels: 2, threads_per_channel: 64, per_channel_bw_fraction: 0.4 };
         assert!((c.bandwidth_fraction() - 0.4).abs() < 1e-12);
     }
 
@@ -122,11 +108,19 @@ mod tests {
     fn validation() {
         assert!(NcclConfig { channels: 0, ..Default::default() }.validate().is_err());
         assert!(NcclConfig { threads_per_channel: 0, ..Default::default() }.validate().is_err());
-        assert!(
-            NcclConfig { per_channel_bw_fraction: 0.0, ..Default::default() }
-                .validate()
-                .is_err()
-        );
+        assert!(NcclConfig { per_channel_bw_fraction: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
         assert_eq!(NcclConfig::default().with_channels(0).channels, 1);
+    }
+}
+
+impl liger_gpu_sim::ToJson for NcclConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("channels", &self.channels)
+            .field("threads_per_channel", &self.threads_per_channel)
+            .field("per_channel_bw_fraction", &self.per_channel_bw_fraction);
+        obj.end();
     }
 }

@@ -30,11 +30,7 @@ impl CollectivePlan {
 
     /// A point-to-point transfer from `src` to `dst`.
     pub fn send_recv(bytes: u64, src: DeviceId, dst: DeviceId) -> CollectivePlan {
-        CollectivePlan {
-            kind: CollectiveKind::SendRecv,
-            bytes,
-            ranks: vec![src, dst],
-        }
+        CollectivePlan { kind: CollectiveKind::SendRecv, bytes, ranks: vec![src, dst] }
     }
 
     /// No-load duration of this collective.
@@ -88,7 +84,9 @@ impl CollectivePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liger_gpu_sim::{DeviceSpec, Driver, HostId, HostSpec, KernelClass, SimTime, StreamId, Wake};
+    use liger_gpu_sim::{
+        DeviceSpec, Driver, HostId, HostSpec, KernelClass, SimTime, StreamId, Wake,
+    };
 
     fn ranks(n: usize) -> Vec<DeviceId> {
         (0..n).map(DeviceId).collect()
@@ -112,7 +110,10 @@ mod tests {
         let plan = CollectivePlan::allreduce(8 << 20, ranks(4));
         let topo = Topology::test_topology();
         let nccl = NcclConfig::default();
-        assert_eq!(plan.chunk_duration(8, &topo, &nccl), chunk_time(CollectiveKind::AllReduce, 8 << 20, 8, 4, &topo, &nccl));
+        assert_eq!(
+            plan.chunk_duration(8, &topo, &nccl),
+            chunk_time(CollectiveKind::AllReduce, 8 << 20, 8, 4, &topo, &nccl)
+        );
         assert_eq!(plan.chunk_duration(1, &topo, &nccl), plan.duration(&topo, &nccl));
     }
 

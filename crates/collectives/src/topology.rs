@@ -7,12 +7,10 @@
 //! the point-to-point bandwidth, and the base latency of starting a
 //! collective.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::SimDuration;
 
 /// The physical interconnect flavor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InterconnectKind {
     /// Direct GPU-to-GPU links (NVLink / Infinity Fabric).
     NvLink,
@@ -21,7 +19,7 @@ pub enum InterconnectKind {
 }
 
 /// Interconnect description of one node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Flavor of the links.
     pub kind: InterconnectKind,
@@ -112,5 +110,26 @@ mod tests {
         let mut t = Topology::test_topology();
         t.p2p_bw = f64::NAN;
         assert!(t.validate().is_err());
+    }
+}
+
+impl liger_gpu_sim::ToJson for InterconnectKind {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            InterconnectKind::NvLink => "nvlink",
+            InterconnectKind::PciE => "pcie",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for Topology {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("kind", &self.kind)
+            .field("allreduce_bus_bw", &self.allreduce_bus_bw)
+            .field("p2p_bw", &self.p2p_bw)
+            .field("base_latency", &self.base_latency);
+        obj.end();
     }
 }

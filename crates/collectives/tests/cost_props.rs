@@ -1,71 +1,99 @@
 //! Property tests for the collective cost model: monotonicity and
 //! algorithm-selection invariants over the parameter space.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
 
 use liger_collectives::{
     auto_choice, chunk_time, collective_time, collective_time_with, decomposed_total_time,
     CollectiveAlgorithm, CollectiveKind, NcclConfig, Topology,
 };
-use proptest::prelude::*;
+use liger_gpu_sim::testkit::{check, Gen};
 
-fn topo_strategy() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        Just(Topology::v100_nvlink()),
-        Just(Topology::a100_pcie()),
-        Just(Topology::test_topology()),
-    ]
+fn gen_topo(g: &mut Gen) -> Topology {
+    match g.usize_in(0, 3) {
+        0 => Topology::v100_nvlink(),
+        1 => Topology::a100_pcie(),
+        _ => Topology::test_topology(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Cost grows with payload for every kind/algorithm/topology.
-    #[test]
-    fn cost_is_monotone_in_bytes(topo in topo_strategy(), bytes in 1u64..1 << 28, n in 2usize..16) {
+/// Cost grows with payload for every kind/algorithm/topology.
+#[test]
+fn cost_is_monotone_in_bytes() {
+    check("cost_is_monotone_in_bytes", 128, |g| {
+        let topo = gen_topo(g);
+        let bytes = g.u64_in(1, 1 << 28);
+        let n = g.usize_in(2, 16);
         let nccl = NcclConfig::liger_tuned();
-        for kind in [CollectiveKind::AllReduce, CollectiveKind::ReduceScatter, CollectiveKind::AllGather, CollectiveKind::SendRecv] {
-            for algo in [CollectiveAlgorithm::Ring, CollectiveAlgorithm::Tree, CollectiveAlgorithm::Auto] {
+        for kind in [
+            CollectiveKind::AllReduce,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllGather,
+            CollectiveKind::SendRecv,
+        ] {
+            for algo in
+                [CollectiveAlgorithm::Ring, CollectiveAlgorithm::Tree, CollectiveAlgorithm::Auto]
+            {
                 let small = collective_time_with(algo, kind, bytes, n, &topo, &nccl);
                 let large = collective_time_with(algo, kind, bytes * 2, n, &topo, &nccl);
-                prop_assert!(large >= small, "{:?}/{:?} shrank with payload", kind, algo);
+                assert!(large >= small, "{:?}/{:?} shrank with payload", kind, algo);
             }
         }
-    }
+    });
+}
 
-    /// Auto never loses to either fixed algorithm.
-    #[test]
-    fn auto_is_optimal(topo in topo_strategy(), bytes in 1u64..1 << 26, n in 2usize..16) {
+/// Auto never loses to either fixed algorithm.
+#[test]
+fn auto_is_optimal() {
+    check("auto_is_optimal", 128, |g| {
+        let topo = gen_topo(g);
+        let bytes = g.u64_in(1, 1 << 26);
+        let n = g.usize_in(2, 16);
         let nccl = NcclConfig::default();
         let kind = CollectiveKind::AllReduce;
         let auto = collective_time_with(CollectiveAlgorithm::Auto, kind, bytes, n, &topo, &nccl);
         let ring = collective_time_with(CollectiveAlgorithm::Ring, kind, bytes, n, &topo, &nccl);
         let tree = collective_time_with(CollectiveAlgorithm::Tree, kind, bytes, n, &topo, &nccl);
-        prop_assert!(auto <= ring && auto <= tree);
+        assert!(auto <= ring && auto <= tree);
         // And the reported choice matches the cheaper side.
         let choice = auto_choice(kind, bytes, n, &topo, &nccl);
         let chosen = collective_time_with(choice, kind, bytes, n, &topo, &nccl);
-        prop_assert_eq!(chosen, auto);
-    }
+        assert_eq!(chosen, auto);
+    });
+}
 
-    /// Chunked execution never beats the whole transfer (up to rounding),
-    /// and a single chunk never exceeds the whole.
-    #[test]
-    fn chunking_overhead_is_latency_bounded(topo in topo_strategy(), bytes in 1024u64..1 << 26, parts in 2u32..32, n in 2usize..9) {
+/// Chunked execution never beats the whole transfer (up to rounding),
+/// and a single chunk never exceeds the whole.
+#[test]
+fn chunking_overhead_is_latency_bounded() {
+    check("chunking_overhead_is_latency_bounded", 128, |g| {
+        let topo = gen_topo(g);
+        let bytes = g.u64_in(1024, 1 << 26);
+        let parts = g.u32_in(2, 32);
+        let n = g.usize_in(2, 9);
         let nccl = NcclConfig::liger_tuned();
         let kind = CollectiveKind::AllReduce;
         let whole = collective_time(kind, bytes, n, &topo, &nccl);
         let total = decomposed_total_time(kind, bytes, parts, n, &topo, &nccl);
-        prop_assert!(total.as_nanos() + parts as u64 >= whole.as_nanos(), "chunking beat the whole transfer");
+        assert!(
+            total.as_nanos() + parts as u64 >= whole.as_nanos(),
+            "chunking beat the whole transfer"
+        );
         let chunk = chunk_time(kind, bytes, parts, n, &topo, &nccl);
-        prop_assert!(chunk <= whole, "one chunk cannot exceed the whole");
-    }
+        assert!(chunk <= whole, "one chunk cannot exceed the whole");
+    });
+}
 
-    /// More ranks means more traffic per ring all-reduce byte.
-    #[test]
-    fn ring_traffic_grows_with_ranks(bytes in 1u64 << 16..1 << 24) {
+/// More ranks means more traffic per ring all-reduce byte.
+#[test]
+fn ring_traffic_grows_with_ranks() {
+    check("ring_traffic_grows_with_ranks", 128, |g| {
+        let bytes = g.u64_in(1 << 16, 1 << 24);
         let topo = Topology::test_topology();
         let nccl = NcclConfig::default();
         let t4 = collective_time(CollectiveKind::AllReduce, bytes, 4, &topo, &nccl);
         let t8 = collective_time(CollectiveKind::AllReduce, bytes, 8, &topo, &nccl);
-        prop_assert!(t8 > t4);
-    }
+        assert!(t8 > t4);
+    });
 }

@@ -1,9 +1,7 @@
 //! Liger runtime configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How rounds are synchronized and launched (§3.4, Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncMode {
     /// The paper's hybrid approach: a CUDA event *before* the switch kernel
     /// notifies the CPU to pre-launch the next round's subsets (hiding the
@@ -24,7 +22,7 @@ pub enum SyncMode {
 }
 
 /// Configuration of the Liger engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LigerConfig {
     /// Synchronization approach.
     pub sync_mode: SyncMode,
@@ -65,7 +63,10 @@ impl LigerConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.contention_factor.is_finite() && self.contention_factor >= 1.0) {
-            return Err(format!("contention_factor must be >= 1.0, got {}", self.contention_factor));
+            return Err(format!(
+                "contention_factor must be >= 1.0, got {}",
+                self.contention_factor
+            ));
         }
         if self.division_factor == 0 {
             return Err("division_factor must be >= 1".into());
@@ -117,7 +118,9 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         assert!(LigerConfig { contention_factor: 0.9, ..Default::default() }.validate().is_err());
-        assert!(LigerConfig { contention_factor: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(LigerConfig { contention_factor: f64::NAN, ..Default::default() }
+            .validate()
+            .is_err());
         assert!(LigerConfig { division_factor: 0, ..Default::default() }.validate().is_err());
         assert!(LigerConfig { processing_slots: 0, ..Default::default() }.validate().is_err());
     }
@@ -132,5 +135,30 @@ mod tests {
         assert!((c.contention_factor - 1.1).abs() < 1e-12);
         assert_eq!(c.division_factor, 16);
         assert_eq!(LigerConfig::default().with_division_factor(0).division_factor, 1);
+    }
+}
+
+/// Sync modes serialize as snake_case tags.
+impl liger_gpu_sim::ToJson for SyncMode {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            SyncMode::Hybrid => "hybrid",
+            SyncMode::CpuGpu => "cpu_gpu",
+            SyncMode::InterStream => "inter_stream",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for LigerConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("sync_mode", &self.sync_mode)
+            .field("contention_factor", &self.contention_factor)
+            .field("division_factor", &self.division_factor)
+            .field("processing_slots", &self.processing_slots)
+            .field("enable_decomposition", &self.enable_decomposition)
+            .field("adaptive_factor", &self.adaptive_factor);
+        obj.end();
     }
 }

@@ -22,7 +22,7 @@ use liger_collectives::NcclConfig;
 use liger_gpu_sim::{DeviceId, EventId, HostId, KernelClass, SimTime, Simulation, StreamId, Wake};
 use liger_model::{CostModel, ModelConfig};
 use liger_parallelism::check_divisibility;
-use liger_parallelism::launch::{batch_working_set_bytes, compute_spec, comm_specs, EngineMemory};
+use liger_parallelism::launch::{batch_working_set_bytes, comm_specs, compute_spec, EngineMemory};
 use liger_serving::{InferenceEngine, Request};
 
 use crate::config::{LigerConfig, SyncMode};
@@ -97,7 +97,12 @@ struct RoundObs {
 
 impl LigerEngine {
     /// Creates the engine over devices `0..world` with the given config.
-    pub fn new(cfg: ModelConfig, cost: CostModel, world: usize, config: LigerConfig) -> Result<LigerEngine, String> {
+    pub fn new(
+        cfg: ModelConfig,
+        cost: CostModel,
+        world: usize,
+        config: LigerConfig,
+    ) -> Result<LigerEngine, String> {
         check_divisibility(&cfg, world as u32)?;
         config.validate()?;
         let nccl = cost.nccl;
@@ -271,7 +276,13 @@ impl LigerEngine {
 
     /// Launches the primary subset on stream 0 of every device, with the
     /// hybrid E1/E2 events when requested.
-    fn launch_primary(&mut self, sim: &mut Simulation, plan: &RoundPlan, round: u64, hybrid_events: bool) -> u32 {
+    fn launch_primary(
+        &mut self,
+        sim: &mut Simulation,
+        plan: &RoundPlan,
+        round: u64,
+        hybrid_events: bool,
+    ) -> u32 {
         let devices = self.devices.clone();
         let mut completions = 0;
 
@@ -294,7 +305,8 @@ impl LigerEngine {
             // E1 sits immediately before the kernel whose successor switches
             // type (the run's last kernel).
             if hybrid_events && idx == n - 1 {
-                let e1 = sim.record_event(HostId(devices[0].0), StreamId::new(devices[0], PRIMARY_STREAM));
+                let e1 = sim
+                    .record_event(HostId(devices[0].0), StreamId::new(devices[0], PRIMARY_STREAM));
                 sim.notify_on_event(e1, HostId(devices[0].0), control_token(KIND_E1, round));
             }
             self.launch_item(sim, item, PRIMARY_STREAM);
@@ -332,7 +344,12 @@ impl LigerEngine {
 
     /// Launches the secondary subset on stream 1 of every device, gated on
     /// the previous round's E2.
-    fn launch_secondary(&mut self, sim: &mut Simulation, plan: &RoundPlan, gate: Option<&[EventId]>) -> u32 {
+    fn launch_secondary(
+        &mut self,
+        sim: &mut Simulation,
+        plan: &RoundPlan,
+        gate: Option<&[EventId]>,
+    ) -> u32 {
         if plan.secondary.is_empty() {
             return 0;
         }
@@ -377,7 +394,11 @@ impl LigerEngine {
         match item.op.class() {
             KernelClass::Compute => {
                 for &d in devices {
-                    sim.launch(HostId(d.0), StreamId::new(d, stream), compute_spec(&item.op, item.batch));
+                    sim.launch(
+                        HostId(d.0),
+                        StreamId::new(d, stream),
+                        compute_spec(&item.op, item.batch),
+                    );
                 }
             }
             KernelClass::Comm => {
@@ -514,9 +535,7 @@ mod tests {
     }
 
     pub(super) fn v100_sim(n: usize) -> Simulation {
-        let mut b = Simulation::builder()
-            .devices(DeviceSpec::v100_16gb(), n)
-            .capture_trace(true);
+        let mut b = Simulation::builder().devices(DeviceSpec::v100_16gb(), n).capture_trace(true);
         for r in 0..n {
             b = b.host(HostSpec::mpi_rank(r));
         }
@@ -541,13 +560,18 @@ mod tests {
 
     fn v100_factor() -> f64 {
         // The profiled V100 contention factor (§4.2 reports 1.1).
-        liger_model::profile_contention(&DeviceSpec::v100_16gb(), &liger_collectives::NcclConfig::liger_tuned())
-            .factor()
+        liger_model::profile_contention(
+            &DeviceSpec::v100_16gb(),
+            &liger_collectives::NcclConfig::liger_tuned(),
+        )
+        .factor()
     }
 
     #[test]
     fn construction_checks() {
-        assert!(LigerEngine::new(chunky(), CostModel::v100_node(), 3, LigerConfig::default()).is_err());
+        assert!(
+            LigerEngine::new(chunky(), CostModel::v100_node(), 3, LigerConfig::default()).is_err()
+        );
         let e = liger(2, LigerConfig::default());
         assert_eq!(e.world(), 2);
         assert_eq!(e.name(), "Liger");
@@ -607,7 +631,9 @@ mod tests {
         let t = trace(20, 150.0, 64);
         let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
         let lm = serve(&mut v100_sim(2), &mut lg, t.clone());
-        let mut inter = InterOpEngine::new(chunky(), CostModel::v100_node(), 2, PipelineFlavor::Measured).unwrap();
+        let mut inter =
+            InterOpEngine::new(chunky(), CostModel::v100_node(), 2, PipelineFlavor::Measured)
+                .unwrap();
         let im = serve(&mut v100_sim(2), &mut inter, t);
         assert!(
             lm.avg_latency() < im.avg_latency(),
@@ -646,10 +672,7 @@ mod tests {
             m.completions().iter().find(|c| c.id == 0).unwrap().latency().as_secs_f64()
         };
         let ratio = loaded / solo;
-        assert!(
-            ratio < 1.30,
-            "first batch slowed x{ratio:.3} under load; Principle 1 violated"
-        );
+        assert!(ratio < 1.30, "first batch slowed x{ratio:.3} under load; Principle 1 violated");
         assert!(ratio >= 0.999, "the loaded run cannot be faster than solo");
     }
 
@@ -702,7 +725,8 @@ mod tests {
         let run = || {
             let mut lg = liger(2, LigerConfig::default());
             let m = serve(&mut v100_sim(2), &mut lg, trace(15, 500.0, 48));
-            let mut v: Vec<(u64, SimTime)> = m.completions().iter().map(|c| (c.id, c.finished)).collect();
+            let mut v: Vec<(u64, SimTime)> =
+                m.completions().iter().map(|c| (c.id, c.finished)).collect();
             v.sort_unstable();
             v
         };
@@ -796,8 +820,16 @@ mod adaptive_tests {
         }
         assert_eq!(e.current_factor(), 1.0);
         // Incomplete observations are ignored.
-        e.adapt_factor(RoundObs { window_ns: 0, primary_end: Some(SimTime::ZERO), secondary_end: Some(SimTime::ZERO) });
-        e.adapt_factor(RoundObs { window_ns: 10, primary_end: None, secondary_end: Some(SimTime::ZERO) });
+        e.adapt_factor(RoundObs {
+            window_ns: 0,
+            primary_end: Some(SimTime::ZERO),
+            secondary_end: Some(SimTime::ZERO),
+        });
+        e.adapt_factor(RoundObs {
+            window_ns: 10,
+            primary_end: None,
+            secondary_end: Some(SimTime::ZERO),
+        });
         assert_eq!(e.current_factor(), 1.0);
     }
 
@@ -808,9 +840,7 @@ mod adaptive_tests {
         // within its clamps. Whether it moves depends on whether windows
         // actually overrun — on the paper's symmetric testbeds they rarely
         // do, which is §4.2's own observation.
-        let cfg = LigerConfig::default()
-            .with_contention_factor(1.0)
-            .with_adaptive_factor(true);
+        let cfg = LigerConfig::default().with_contention_factor(1.0).with_adaptive_factor(true);
         let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
         let m = serve(&mut v100_sim(2), &mut e, loaded_trace(25));
         assert_eq!(m.completed(), 25);
@@ -823,9 +853,7 @@ mod adaptive_tests {
         let mut frictionless = DeviceSpec::test_device();
         frictionless.mem_capacity = 16 << 30; // hold the chunky model's weights
         let mut sim = Simulation::builder().devices(frictionless, 2).build().unwrap();
-        let cfg = LigerConfig::default()
-            .with_contention_factor(1.4)
-            .with_adaptive_factor(true);
+        let cfg = LigerConfig::default().with_contention_factor(1.4).with_adaptive_factor(true);
         let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
         let m = serve(&mut sim, &mut e, loaded_trace(25));
         assert_eq!(m.completed(), 25);
@@ -848,9 +876,7 @@ mod adaptive_tests {
 
     #[test]
     fn adaptation_does_not_leak_observations() {
-        let cfg = LigerConfig::default()
-            .with_contention_factor(1.1)
-            .with_adaptive_factor(true);
+        let cfg = LigerConfig::default().with_contention_factor(1.1).with_adaptive_factor(true);
         let mut e = LigerEngine::new(chunky(), CostModel::v100_node(), 2, cfg).unwrap();
         serve(&mut v100_sim(2), &mut e, loaded_trace(30));
         assert!(

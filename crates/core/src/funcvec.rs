@@ -33,7 +33,14 @@ pub struct FuncVec {
 
 impl FuncVec {
     /// Assembles the function list for a batch (the §3.2 online procedure).
-    pub fn assemble(batch_id: u64, shape: BatchShape, arrived: SimTime, cm: &CostModel, cfg: &ModelConfig, tp: u32) -> FuncVec {
+    pub fn assemble(
+        batch_id: u64,
+        shape: BatchShape,
+        arrived: SimTime,
+        cm: &CostModel,
+        cfg: &ModelConfig,
+        tp: u32,
+    ) -> FuncVec {
         #[cfg(debug_assertions)]
         {
             // Structural oracle: the generated sequence must be a well-formed
@@ -54,15 +61,13 @@ impl FuncVec {
     }
 
     /// Builds a FuncVec from an explicit op list (tests, custom workloads).
-    pub fn from_ops(batch_id: u64, shape: BatchShape, arrived: SimTime, ops: Vec<PricedOp>) -> FuncVec {
-        FuncVec {
-            batch_id,
-            shape,
-            arrived,
-            ops: ops.into(),
-            last_stream: None,
-            dep_events: None,
-        }
+    pub fn from_ops(
+        batch_id: u64,
+        shape: BatchShape,
+        arrived: SimTime,
+        ops: Vec<PricedOp>,
+    ) -> FuncVec {
+        FuncVec { batch_id, shape, arrived, ops: ops.into(), last_stream: None, dep_events: None }
     }
 
     /// Remaining kernels.
@@ -111,11 +116,7 @@ impl FuncVec {
         let Some(class) = self.next_class() else {
             return SimDuration::ZERO;
         };
-        self.ops
-            .iter()
-            .take_while(|op| op.class() == class)
-            .map(|op| op.duration)
-            .sum()
+        self.ops.iter().take_while(|op| op.class() == class).map(|op| op.duration).sum()
     }
 }
 
@@ -143,7 +144,8 @@ mod tests {
     fn assemble_builds_the_full_model_list() {
         let cm = CostModel::v100_node();
         let cfg = ModelConfig::tiny_test();
-        let v = FuncVec::assemble(3, BatchShape::prefill(2, 16), SimTime::from_millis(1), &cm, &cfg, 2);
+        let v =
+            FuncVec::assemble(3, BatchShape::prefill(2, 16), SimTime::from_millis(1), &cm, &cfg, 2);
         assert_eq!(v.batch_id, 3);
         assert!(!v.is_empty());
         assert_eq!(v.len(), liger_model::model_ops(&cfg, BatchShape::prefill(2, 16), 2).len());

@@ -89,7 +89,11 @@ pub struct PlanParams {
 /// batch). Pops scheduled kernels from the `FuncVec`s; decomposed remainders
 /// are pushed back at their batch's front. Returns `None` when the
 /// processing list is empty.
-pub fn plan_round(processing: &mut VecDeque<FuncVec>, params: &PlanParams, cm: &CostModel) -> Option<RoundPlan> {
+pub fn plan_round(
+    processing: &mut VecDeque<FuncVec>,
+    params: &PlanParams,
+    cm: &CostModel,
+) -> Option<RoundPlan> {
     debug_assert!(params.contention_factor >= 1.0);
     let primary_batch = processing.front_mut()?;
     let primary_id = primary_batch.batch_id;
@@ -130,7 +134,10 @@ pub fn plan_round(processing: &mut VecDeque<FuncVec>, params: &PlanParams, cm: &
                 continue;
             }
             // Too long to fit whole: try to carve a fractional piece (§3.6).
-            if params.enable_decomposition && params.division_factor > 1 && head.op_ref().decomposable() {
+            if params.enable_decomposition
+                && params.division_factor > 1
+                && head.op_ref().decomposable()
+            {
                 if let Some(item) = carve_piece(v, remaining, params, cm) {
                     secondary.push(item);
                 }
@@ -149,7 +156,12 @@ pub fn plan_round(processing: &mut VecDeque<FuncVec>, params: &PlanParams, cm: &
 
 /// Finds the largest `j/F` piece of `v`'s head whose *scaled* duration fits
 /// `remaining`; pops the head, pushes the tail back, and returns the piece.
-fn carve_piece(v: &mut FuncVec, remaining: SimDuration, params: &PlanParams, cm: &CostModel) -> Option<LaunchItem> {
+fn carve_piece(
+    v: &mut FuncVec,
+    remaining: SimDuration,
+    params: &PlanParams,
+    cm: &CostModel,
+) -> Option<LaunchItem> {
     let head = *v.peek()?;
     let f = params.division_factor;
     for j in (1..f).rev() {
@@ -165,7 +177,10 @@ fn carve_piece(v: &mut FuncVec, remaining: SimDuration, params: &PlanParams, cm:
             });
             return Some(LaunchItem {
                 batch: v.batch_id,
-                op: PricedOp { placed: liger_model::PlacedOp { layer: head.placed.layer, op: piece }, duration: piece_dur },
+                op: PricedOp {
+                    placed: liger_model::PlacedOp { layer: head.placed.layer, op: piece },
+                    duration: piece_dur,
+                },
                 // The tail was pushed back, so this never completes a batch.
                 completes_batch: false,
             });
@@ -193,7 +208,10 @@ mod tests {
 
     fn compute(us: u64) -> PricedOp {
         PricedOp {
-            placed: PlacedOp { layer: 0, op: LayerOp::Gemm { m: 128, k: 4096, n: 4096, kind: GemmKind::Fc1 } },
+            placed: PlacedOp {
+                layer: 0,
+                op: LayerOp::Gemm { m: 128, k: 4096, n: 4096, kind: GemmKind::Fc1 },
+            },
             duration: SimDuration::from_micros(us),
         }
     }
@@ -210,11 +228,7 @@ mod tests {
     }
 
     fn params() -> PlanParams {
-        PlanParams {
-            contention_factor: 1.0,
-            division_factor: 1,
-            enable_decomposition: false,
-        }
+        PlanParams { contention_factor: 1.0, division_factor: 1, enable_decomposition: false }
     }
 
     fn cm() -> CostModel {
@@ -293,7 +307,8 @@ mod tests {
         };
         // Unscaled: 3 kernels fit. Scaled by 1.2 (36us each): only 2 fit.
         let mut q = mk();
-        let p = plan_round(&mut q, &PlanParams { contention_factor: 1.2, ..params() }, &cm()).unwrap();
+        let p =
+            plan_round(&mut q, &PlanParams { contention_factor: 1.2, ..params() }, &cm()).unwrap();
         assert_eq!(p.secondary.len(), 2);
         // Invariant: scaled secondary total never exceeds the window.
         let scaled: u64 = p.secondary.iter().map(|i| i.op.duration.scale(1.2).as_nanos()).sum();
@@ -306,8 +321,8 @@ mod tests {
         // later batches are not consulted.
         let mut q = VecDeque::from([
             fv(0, vec![compute(50), comm(1)]),
-            fv(1, vec![comm(60)]),  // does not fit
-            fv(2, vec![comm(10)]),  // would fit, but packing already stopped
+            fv(1, vec![comm(60)]), // does not fit
+            fv(2, vec![comm(10)]), // would fit, but packing already stopped
         ]);
         let plan = plan_round(&mut q, &params(), &cm()).unwrap();
         assert!(plan.secondary.is_empty());
@@ -320,13 +335,15 @@ mod tests {
         let cm = cm();
         // A real all-reduce op so the cost model can price pieces.
         let whole = LayerOp::AllReduce { bytes: 16 << 20, ranks: 4 };
-        let whole_priced = PricedOp { placed: PlacedOp { layer: 0, op: whole }, duration: cm.op_time(&whole) };
+        let whole_priced =
+            PricedOp { placed: PlacedOp { layer: 0, op: whole }, duration: cm.op_time(&whole) };
         let window_op = compute(whole_priced.duration.as_nanos() / 1000 / 2); // ~half the AR
         let mut q = VecDeque::from([
             fv(0, vec![window_op, comm(1)]),
             fv(1, vec![whole_priced, compute(1)]),
         ]);
-        let p = PlanParams { contention_factor: 1.0, division_factor: 8, enable_decomposition: true };
+        let p =
+            PlanParams { contention_factor: 1.0, division_factor: 8, enable_decomposition: true };
         let plan = plan_round(&mut q, &p, &cm).unwrap();
         assert_eq!(plan.secondary.len(), 1, "a piece was carved");
         let piece = &plan.secondary[0];
@@ -348,11 +365,9 @@ mod tests {
     fn decomposition_disabled_leaves_long_kernels_whole() {
         let cm = cm();
         let whole = LayerOp::AllReduce { bytes: 16 << 20, ranks: 4 };
-        let whole_priced = PricedOp { placed: PlacedOp { layer: 0, op: whole }, duration: cm.op_time(&whole) };
-        let mut q = VecDeque::from([
-            fv(0, vec![compute(100), comm(1)]),
-            fv(1, vec![whole_priced]),
-        ]);
+        let whole_priced =
+            PricedOp { placed: PlacedOp { layer: 0, op: whole }, duration: cm.op_time(&whole) };
+        let mut q = VecDeque::from([fv(0, vec![compute(100), comm(1)]), fv(1, vec![whole_priced])]);
         let plan = plan_round(&mut q, &params(), &cm).unwrap();
         assert!(plan.secondary.is_empty());
         assert_eq!(q[1].len(), 1);

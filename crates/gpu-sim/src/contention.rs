@@ -17,12 +17,10 @@
 //! with a handful of parameters that play the role of the paper's profiled
 //! contention factors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::kernel::KernelClass;
 
 /// Per-device contention parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionParams {
     /// Slowdown applied to a *compute* kernel while ≥1 communication kernel
     /// runs concurrently on the same device, at the reference channel count
@@ -88,7 +86,9 @@ impl ContentionParams {
         ];
         for (name, v) in checks {
             if !v.is_finite() || v < 1.0 {
-                return Err(format!("contention parameter {name} must be finite and >= 1.0, got {v}"));
+                return Err(format!(
+                    "contention parameter {name} must be finite and >= 1.0, got {v}"
+                ));
             }
         }
         if !(0.0..=1.0).contains(&self.channel_sensitivity) {
@@ -110,7 +110,13 @@ impl ContentionParams {
     ///   **including** the kernel being priced;
     /// * `comm_channels`: total communication blocks currently running on the
     ///   device (drives the channel-scaled share of compute interference).
-    pub fn slowdown(&self, class: KernelClass, n_compute: u32, n_comm: u32, comm_channels: u32) -> f64 {
+    pub fn slowdown(
+        &self,
+        class: KernelClass,
+        n_compute: u32,
+        n_comm: u32,
+        comm_channels: u32,
+    ) -> f64 {
         match class {
             KernelClass::Compute => {
                 debug_assert!(n_compute >= 1);
@@ -232,5 +238,18 @@ mod tests {
         let params = p();
         let two = params.slowdown(KernelClass::Comm, 0, 2, 4);
         assert!((two - 2.0 * params.comm_self_penalty).abs() < 1e-12);
+    }
+}
+
+impl crate::json::ToJson for ContentionParams {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("compute_vs_comm", &self.compute_vs_comm)
+            .field("comm_vs_compute", &self.comm_vs_compute)
+            .field("compute_self_penalty", &self.compute_self_penalty)
+            .field("comm_self_penalty", &self.comm_self_penalty)
+            .field("reference_channels", &self.reference_channels)
+            .field("channel_sensitivity", &self.channel_sensitivity);
+        obj.end();
     }
 }

@@ -6,12 +6,10 @@
 //! analog) and the contention parameters. Presets for the paper's two
 //! testbeds (V100-16GB NVLink node, A100-80GB PCIe node) live here.
 
-use serde::{Deserialize, Serialize};
-
 use crate::contention::ContentionParams;
 
 /// Static description of one simulated GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable device name.
     pub name: String,
@@ -170,5 +168,19 @@ mod tests {
         let mut d = DeviceSpec::test_device();
         d.connections = 0;
         assert!(d.validate().is_err());
+    }
+}
+
+impl crate::json::ToJson for DeviceSpec {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("name", &self.name)
+            .field("sm_count", &self.sm_count)
+            .field("peak_flops_fp16", &self.peak_flops_fp16)
+            .field("mem_bw", &self.mem_bw)
+            .field("mem_capacity", &self.mem_capacity)
+            .field("connections", &self.connections)
+            .field("contention", &self.contention);
+        obj.end();
     }
 }

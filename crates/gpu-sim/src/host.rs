@@ -9,12 +9,10 @@
 //! multi-GPU sync costs noticeably more than the ~5 µs null-kernel launch
 //! latency (the paper reports > 20 µs).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Static description of one host thread.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostSpec {
     /// Time the host CPU is busy per kernel launch (enqueue) call.
     pub launch_overhead: SimDuration,
@@ -49,10 +47,7 @@ impl HostSpec {
     /// 4-rank blocking sync costs ≈ 2 + 12 + relaunch ≈ > 20 µs end to end,
     /// matching the paper's §4.5 measurement.
     pub fn mpi_rank(rank: usize) -> HostSpec {
-        HostSpec {
-            wake_jitter: SimDuration::from_micros(4) * rank as u64,
-            ..HostSpec::default()
-        }
+        HostSpec { wake_jitter: SimDuration::from_micros(4) * rank as u64, ..HostSpec::default() }
     }
 
     /// An idealized host with zero overheads, for unit tests where kernel
@@ -104,5 +99,16 @@ mod tests {
         assert!(h.event_overhead.is_zero());
         assert!(h.sync_latency.is_zero());
         assert!(h.wake_jitter.is_zero());
+    }
+}
+
+impl crate::json::ToJson for HostSpec {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("launch_overhead", &self.launch_overhead)
+            .field("event_overhead", &self.event_overhead)
+            .field("sync_latency", &self.sync_latency)
+            .field("wake_jitter", &self.wake_jitter);
+        obj.end();
     }
 }

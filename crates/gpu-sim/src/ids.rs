@@ -6,20 +6,18 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a GPU device within the simulated node (dense index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 /// Identifies a host (CPU) thread. In an MPI-style deployment there is one
 /// host thread per device (one rank per GPU), which is how the builder sets
 /// things up by default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub usize);
 
 /// Identifies a CUDA-like stream on a specific device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StreamId {
     /// Owning device.
     pub device: DeviceId,
@@ -36,19 +34,19 @@ impl StreamId {
 }
 
 /// Identifies a launched kernel instance (globally unique per simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KernelId(pub u64);
 
 /// Identifies a CUDA-like event (globally unique per simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u64);
 
 /// Identifies a collective operation (rendezvous group) spanning devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CollectiveId(pub u64);
 
 /// Identifies a driver timer registered with [`crate::Simulation::set_timer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub u64);
 
 impl fmt::Display for DeviceId {
@@ -105,5 +103,32 @@ mod tests {
     fn ids_are_ordered() {
         assert!(KernelId(1) < KernelId(2));
         assert!(DeviceId(0) < DeviceId(1));
+    }
+}
+
+/// Identifiers serialize as their raw index/handle numbers; streams as a
+/// `{device, index}` pair.
+mod json_impls {
+    use super::*;
+    use crate::json::{JsonObject, ToJson};
+
+    macro_rules! id_to_json {
+        ($($t:ty),*) => {
+            $(impl ToJson for $t {
+                fn write_json(&self, out: &mut String) {
+                    self.0.write_json(out);
+                }
+            })*
+        };
+    }
+
+    id_to_json!(DeviceId, HostId, KernelId, EventId, CollectiveId, TimerId);
+
+    impl ToJson for StreamId {
+        fn write_json(&self, out: &mut String) {
+            let mut obj = JsonObject::begin(out);
+            obj.field("device", &self.device).field("index", &self.index);
+            obj.end();
+        }
     }
 }

@@ -1,0 +1,245 @@
+//! Minimal hand-rolled JSON writing.
+//!
+//! The workspace carries no serialization crates, so every exporter (the
+//! Chrome-trace writer in [`crate::trace`], the benchmark result dumps in
+//! `liger-bench`) renders JSON through this module instead: a [`ToJson`]
+//! trait for values plus tiny [`JsonObject`] / [`JsonArray`] builders that
+//! write straight into a `String`. Output is plain standards-compliant
+//! JSON; the formats of existing exports (Chrome trace events, sweep
+//! results) are unchanged from the serde era.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A value that can render itself as a JSON fragment.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Renders to a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        })*
+    };
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let _ = write!(out, "{self}");
+        } else {
+            // JSON has no NaN/Inf; null is the least-surprising stand-in.
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        out.push_str(&escape(self));
+        out.push('"');
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        let mut arr = JsonArray::begin(out);
+        for v in self {
+            arr.item(v);
+        }
+        arr.end();
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+/// Incremental writer for one JSON object.
+pub struct JsonObject<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonObject<'a> {
+    /// Opens an object (writes `{`).
+    pub fn begin(out: &'a mut String) -> JsonObject<'a> {
+        out.push('{');
+        JsonObject { out, first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        self.out.push_str(&escape(name));
+        self.out.push_str("\":");
+    }
+
+    /// Writes one `"name": value` member.
+    pub fn field(&mut self, name: &str, value: &dyn ToJson) -> &mut Self {
+        self.key(name);
+        value.write_json(self.out);
+        self
+    }
+
+    /// Writes one member whose value is rendered by `f` (for custom
+    /// formatting such as fixed-precision floats).
+    pub fn field_with(&mut self, name: &str, f: impl FnOnce(&mut String)) -> &mut Self {
+        self.key(name);
+        f(self.out);
+        self
+    }
+
+    /// Closes the object (writes `}`).
+    pub fn end(self) {
+        self.out.push('}');
+    }
+}
+
+/// Incremental writer for one JSON array.
+pub struct JsonArray<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonArray<'a> {
+    /// Opens an array (writes `[`).
+    pub fn begin(out: &'a mut String) -> JsonArray<'a> {
+        out.push('[');
+        JsonArray { out, first: true }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Appends one element.
+    pub fn item(&mut self, value: &dyn ToJson) -> &mut Self {
+        self.sep();
+        value.write_json(self.out);
+        self
+    }
+
+    /// Appends one element rendered by `f`.
+    pub fn item_with(&mut self, f: impl FnOnce(&mut String)) -> &mut Self {
+        self.sep();
+        f(self.out);
+        self
+    }
+
+    /// Closes the array (writes `]`).
+    pub fn end(self) {
+        self.out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("hi\"".to_json(), "\"hi\\\"\"");
+        assert_eq!(Some(7u32).to_json(), "7");
+        assert_eq!(None::<u32>.to_json(), "null");
+    }
+
+    #[test]
+    fn collections_and_objects() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        let mut out = String::new();
+        let mut o = JsonObject::begin(&mut out);
+        o.field("name", &"x").field("n", &2u32).field_with("ts", |s| {
+            let _ = write!(s, "{:.3}", 1.25);
+        });
+        o.end();
+        assert_eq!(out, "{\"name\":\"x\",\"n\":2,\"ts\":1.250}");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        let mut out = String::new();
+        JsonObject::begin(&mut out).end();
+        JsonArray::begin(&mut out).end();
+        assert_eq!(out, "{}[]");
+    }
+}

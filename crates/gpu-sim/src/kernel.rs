@@ -19,7 +19,7 @@ use crate::time::SimDuration;
 /// class contend for the same resource and serialize or slow down badly when
 /// overlapped; kernels of different classes overlap with only a mild
 /// contention penalty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelClass {
     /// Computation kernel (GEMM, layernorm, softmax, GELU, attention, …).
     Compute,
@@ -133,9 +133,8 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let k = KernelSpec::compute("gemm", SimDuration::from_micros(100))
-            .with_blocks(80)
-            .with_tag(42);
+        let k =
+            KernelSpec::compute("gemm", SimDuration::from_micros(100)).with_blocks(80).with_tag(42);
         assert_eq!(k.class, KernelClass::Compute);
         assert_eq!(k.work, SimDuration::from_micros(100));
         assert_eq!(k.blocks, 80);
@@ -159,5 +158,12 @@ mod tests {
     fn zero_blocks_is_clamped() {
         let k = KernelSpec::comm("ar", SimDuration::from_nanos(10)).with_blocks(0);
         assert_eq!(k.blocks, 1);
+    }
+}
+
+/// Kernel classes serialize as their trace labels (`"compute"` / `"comm"`).
+impl crate::json::ToJson for KernelClass {
+    fn write_json(&self, out: &mut String) {
+        self.label().write_json(out);
     }
 }

@@ -56,10 +56,13 @@ pub mod contention;
 pub mod device;
 pub mod host;
 pub mod ids;
+pub mod json;
 pub mod kernel;
 pub mod memory;
+pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod testkit;
 pub mod time;
 pub mod trace;
 
@@ -67,8 +70,10 @@ pub use contention::ContentionParams;
 pub use device::DeviceSpec;
 pub use host::HostSpec;
 pub use ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
+pub use json::ToJson;
 pub use kernel::{KernelClass, KernelSpec};
 pub use memory::{AllocationId, MemoryTracker, OutOfMemory};
+pub use rng::Rng;
 pub use sim::{Driver, Simulation, SimulationBuilder, Wake};
 pub use stats::DeviceStats;
 pub use time::{SimDuration, SimTime};
@@ -80,8 +85,10 @@ pub mod prelude {
     pub use crate::device::DeviceSpec;
     pub use crate::host::HostSpec;
     pub use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
+    pub use crate::json::ToJson;
     pub use crate::kernel::{KernelClass, KernelSpec};
     pub use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
+    pub use crate::rng::Rng;
     pub use crate::sim::{Driver, Simulation, SimulationBuilder, Wake};
     pub use crate::stats::DeviceStats;
     pub use crate::time::{SimDuration, SimTime};

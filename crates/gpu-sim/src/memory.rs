@@ -9,12 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::DeviceId;
 
 /// Handle to a live allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllocationId(pub u64);
 
 /// Why an allocation failed.
@@ -65,16 +63,16 @@ impl MemoryTracker {
     /// Creates a tracker for devices with the given capacities (bytes).
     pub fn new(capacities: Vec<u64>) -> MemoryTracker {
         let n = capacities.len();
-        MemoryTracker {
-            capacities,
-            in_use: vec![0; n],
-            peak: vec![0; n],
-            allocations: Vec::new(),
-        }
+        MemoryTracker { capacities, in_use: vec![0; n], peak: vec![0; n], allocations: Vec::new() }
     }
 
     /// Allocates `bytes` on `device`; fails when capacity would be exceeded.
-    pub fn alloc(&mut self, device: DeviceId, bytes: u64, label: &'static str) -> Result<AllocationId, OutOfMemory> {
+    pub fn alloc(
+        &mut self,
+        device: DeviceId,
+        bytes: u64,
+        label: &'static str,
+    ) -> Result<AllocationId, OutOfMemory> {
         let d = device.0;
         assert!(d < self.capacities.len(), "unknown device {device}");
         let in_use = self.in_use[d];
@@ -198,5 +196,11 @@ mod tests {
     fn unknown_device_panics() {
         let mut t = tracker();
         let _ = t.alloc(DeviceId(7), 1, "x");
+    }
+}
+
+impl crate::json::ToJson for AllocationId {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
     }
 }

@@ -43,8 +43,8 @@ use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, Ti
 use crate::kernel::{KernelClass, KernelSpec};
 use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
 use crate::stats::DeviceStats;
-use crate::trace::{Trace, TraceEvent};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
 
 /// Reasons the simulation wakes the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,9 +168,7 @@ struct DeviceRt {
 
 impl DeviceRt {
     fn slowdown(&self, class: KernelClass) -> f64 {
-        self.spec
-            .contention
-            .slowdown(class, self.n_compute, self.n_comm, self.comm_channels)
+        self.spec.contention.slowdown(class, self.n_compute, self.n_comm, self.comm_channels)
     }
 }
 
@@ -362,13 +360,10 @@ impl SimulationBuilder {
         let hosts: Vec<HostRt> = self
             .hosts
             .into_iter()
-            .map(|spec| HostRt {
-                spec,
-                ops: VecDeque::new(),
-                state: HostState::Idle,
-            })
+            .map(|spec| HostRt { spec, ops: VecDeque::new(), state: HostState::Idle })
             .collect();
-        let memory = MemoryTracker::new(devices.iter().map(|d: &DeviceRt| d.spec.mem_capacity).collect());
+        let memory =
+            MemoryTracker::new(devices.iter().map(|d: &DeviceRt| d.spec.mem_capacity).collect());
         Ok(Simulation {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
@@ -485,7 +480,12 @@ impl Simulation {
     /// Allocates `bytes` of device memory (weights, activations, KV cache).
     /// Fails when the device's capacity would be exceeded — the constraint
     /// that forces model partitioning in the first place.
-    pub fn alloc_memory(&mut self, device: DeviceId, bytes: u64, label: &'static str) -> Result<AllocationId, OutOfMemory> {
+    pub fn alloc_memory(
+        &mut self,
+        device: DeviceId,
+        bytes: u64,
+        label: &'static str,
+    ) -> Result<AllocationId, OutOfMemory> {
         self.memory.alloc(device, bytes, label)
     }
 
@@ -547,7 +547,11 @@ impl Simulation {
     /// when the overhead elapses. Returns the kernel's id immediately.
     pub fn launch(&mut self, host: HostId, stream: StreamId, spec: KernelSpec) -> KernelId {
         assert!(stream.device.0 < self.devices.len(), "unknown device {stream:?}");
-        assert!(stream.index < self.streams_per_device, "stream index {} out of range", stream.index);
+        assert!(
+            stream.index < self.streams_per_device,
+            "stream index {} out of range",
+            stream.index
+        );
         if let Some(cid) = spec.collective {
             let coll = &self.collectives[cid.0 as usize];
             assert!(
@@ -557,7 +561,10 @@ impl Simulation {
         }
         let id = KernelId(self.next_kernel);
         self.next_kernel += 1;
-        self.host_push(host.0, HostOp::Enqueue { stream, op: StreamOp::Kernel(Box::new(spec), id) });
+        self.host_push(
+            host.0,
+            HostOp::Enqueue { stream, op: StreamOp::Kernel(Box::new(spec), id) },
+        );
         id
     }
 
@@ -593,7 +600,10 @@ impl Simulation {
         if let Some(fired_at) = e.fired_at {
             let latency = self.hosts[latency_host.0].spec.sync_latency;
             let at = self.now.max(fired_at) + latency;
-            self.push(at, Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at } });
+            self.push(
+                at,
+                Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at } },
+            );
         } else {
             e.callbacks.push((token, latency_host.0));
         }
@@ -870,7 +880,11 @@ impl Simulation {
             Some(cid) => {
                 let ci = cid.0 as usize;
                 let coll = &mut self.collectives[ci];
-                assert_eq!(coll.state, CollState::Gathering, "kernel joined a non-gathering collective {cid}");
+                assert_eq!(
+                    coll.state,
+                    CollState::Gathering,
+                    "kernel joined a non-gathering collective {cid}"
+                );
                 coll.members.push((d, q));
                 if coll.work == 0.0 {
                     coll.work = work;
@@ -962,11 +976,20 @@ impl Simulation {
                 if !slot.live {
                     continue;
                 }
-                let rate = 1.0 / dev.spec.contention.slowdown(slot.class, dev.n_compute, dev.n_comm, dev.comm_channels);
+                let rate = 1.0
+                    / dev.spec.contention.slowdown(
+                        slot.class,
+                        dev.n_compute,
+                        dev.n_comm,
+                        dev.comm_channels,
+                    );
                 slot.rate = rate;
                 slot.gen += 1;
                 let dur = (slot.remaining / rate).ceil() as u64;
-                to_push.push((now + SimDuration::from_nanos(dur), Pending::KernelDone { device: d, slot: i, gen: slot.gen }));
+                to_push.push((
+                    now + SimDuration::from_nanos(dur),
+                    Pending::KernelDone { device: d, slot: i, gen: slot.gen },
+                ));
             }
         }
         // Collectives: rate = min over member devices of local comm rate.
@@ -990,7 +1013,10 @@ impl Simulation {
             coll.rate = rate;
             coll.gen += 1;
             let dur = (coll.remaining / rate).ceil() as u64;
-            to_push.push((now + SimDuration::from_nanos(dur), Pending::CollectiveDone { coll: ci, gen: coll.gen }));
+            to_push.push((
+                now + SimDuration::from_nanos(dur),
+                Pending::CollectiveDone { coll: ci, gen: coll.gen },
+            ));
         }
         for (at, p) in to_push {
             self.push(at, p);
@@ -1007,7 +1033,11 @@ impl Simulation {
         self.settle_device(d);
         let (queue, class, blocks, kernel, started_at) = {
             let s = &self.devices[d].run[slot];
-            debug_assert!(s.remaining <= 1.0, "kernel completing with {} ns of work left", s.remaining);
+            debug_assert!(
+                s.remaining <= 1.0,
+                "kernel completing with {} ns of work left",
+                s.remaining
+            );
             (s.queue, s.class, s.blocks, s.kernel, s.started_at)
         };
         self.devices[d].run[slot].live = false;
@@ -1036,7 +1066,12 @@ impl Simulation {
         }
         for &(d, q) in &members {
             // Capture kernel identity from the queue head before popping.
-            let (kernel, class, blocks) = match &self.devices[d].queues[q].ops.front().expect("collective member queue empty").op {
+            let (kernel, class, blocks) = match &self.devices[d].queues[q]
+                .ops
+                .front()
+                .expect("collective member queue empty")
+                .op
+            {
                 StreamOp::Kernel(spec, kid) => (*kid, spec.class, spec.blocks),
                 _ => panic!("collective member head is not a kernel"),
             };
@@ -1052,7 +1087,14 @@ impl Simulation {
     }
 
     /// Pops the completed kernel off its queue, records trace/stat entries.
-    fn finish_queue_head(&mut self, d: usize, q: usize, kernel: KernelId, class: KernelClass, started_at: SimTime) {
+    fn finish_queue_head(
+        &mut self,
+        d: usize,
+        q: usize,
+        kernel: KernelId,
+        class: KernelClass,
+        started_at: SimTime,
+    ) {
         let popped = self.devices[d].queues[q].ops.pop_front().expect("finishing empty queue");
         let (name, tag, stream) = match popped.op {
             StreamOp::Kernel(spec, kid) => {
@@ -1092,7 +1134,9 @@ impl Simulation {
         for (d, q) in queue_waiters {
             if self.devices[d].queues[q].head == HeadState::WaitingEvent {
                 // Re-check: the head wait op must still reference this event.
-                if let Some(QueuedOp { op: StreamOp::Wait(w), .. }) = self.devices[d].queues[q].ops.front() {
+                if let Some(QueuedOp { op: StreamOp::Wait(w), .. }) =
+                    self.devices[d].queues[q].ops.front()
+                {
                     if *w == ev {
                         self.devices[d].queues[q].ops.pop_front();
                         self.devices[d].queues[q].head = HeadState::Idle;
@@ -1112,7 +1156,10 @@ impl Simulation {
         for (token, lat_host) in callbacks {
             let latency = self.hosts[lat_host].spec.sync_latency;
             let at = now + latency;
-            self.push(at, Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at: now } });
+            self.push(
+                at,
+                Pending::DriverWake { wake: Wake::EventFired { event: ev, token, fired_at: now } },
+            );
         }
     }
 }
@@ -1216,9 +1263,21 @@ mod tests {
         // connections = 2; streams 0 and 2 map to queue 0, stream 1 to queue 1.
         let mut sim = test_sim(1);
         let mut drv = script(|sim: &mut Simulation| {
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("q0a", SimDuration::from_micros(100)).with_tag(0));
-            sim.launch(HostId(0), s(0, 2), KernelSpec::compute("q0b", SimDuration::from_micros(100)).with_tag(2));
-            sim.launch(HostId(0), s(0, 1), KernelSpec::compute("q1", SimDuration::from_micros(100)).with_tag(1));
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("q0a", SimDuration::from_micros(100)).with_tag(0),
+            );
+            sim.launch(
+                HostId(0),
+                s(0, 2),
+                KernelSpec::compute("q0b", SimDuration::from_micros(100)).with_tag(2),
+            );
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::compute("q1", SimDuration::from_micros(100)).with_tag(1),
+            );
         });
         sim.run_to_completion(&mut drv);
         let trace = sim.take_trace().unwrap();
@@ -1259,10 +1318,23 @@ mod tests {
             channel_sensitivity: 0.0,
         };
         let dev = DeviceSpec::test_device().with_contention(contention);
-        let mut sim = Simulation::builder().device(dev).host(HostSpec::instant()).capture_trace(true).build().unwrap();
+        let mut sim = Simulation::builder()
+            .device(dev)
+            .host(HostSpec::instant())
+            .capture_trace(true)
+            .build()
+            .unwrap();
         let mut drv = script(|sim: &mut Simulation| {
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1));
-            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2));
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1),
+            );
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2),
+            );
         });
         sim.run_to_completion(&mut drv);
         let trace = sim.take_trace().unwrap();
@@ -1285,16 +1357,29 @@ mod tests {
             channel_sensitivity: 0.0,
         };
         let dev = DeviceSpec::test_device().with_contention(contention);
-        let mut sim = Simulation::builder().device(dev).host(HostSpec::instant()).capture_trace(true).build().unwrap();
+        let mut sim = Simulation::builder()
+            .device(dev)
+            .host(HostSpec::instant())
+            .capture_trace(true)
+            .build()
+            .unwrap();
         struct D;
         impl Driver for D {
             fn start(&mut self, sim: &mut Simulation) {
-                sim.launch(HostId(0), s2(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1));
+                sim.launch(
+                    HostId(0),
+                    s2(0, 0),
+                    KernelSpec::compute("c", SimDuration::from_micros(100)).with_tag(1),
+                );
                 sim.set_timer(SimTime::from_micros(50), 1);
             }
             fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
                 if matches!(wake, Wake::Timer { token: 1 }) {
-                    sim.launch(HostId(0), s2(0, 1), KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2));
+                    sim.launch(
+                        HostId(0),
+                        s2(0, 1),
+                        KernelSpec::comm("m", SimDuration::from_micros(100)).with_tag(2),
+                    );
                 }
             }
         }
@@ -1314,10 +1399,18 @@ mod tests {
     fn stream_wait_event_gates_execution() {
         let mut sim = test_sim(1);
         let mut drv = script(|sim: &mut Simulation| {
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(100)).with_tag(1));
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("a", SimDuration::from_micros(100)).with_tag(1),
+            );
             let ev = sim.record_event(HostId(0), s(0, 0));
             sim.stream_wait(HostId(0), s(0, 1), ev);
-            sim.launch(HostId(0), s(0, 1), KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2));
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2),
+            );
         });
         let end = sim.run_to_completion(&mut drv);
         assert_eq!(end, SimTime::from_micros(110));
@@ -1365,8 +1458,16 @@ mod tests {
             .build()
             .unwrap();
         let mut drv = script(|sim: &mut Simulation| {
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(10)).with_tag(1));
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2));
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("a", SimDuration::from_micros(10)).with_tag(1),
+            );
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2),
+            );
         });
         let end = sim.run_to_completion(&mut drv);
         let trace = sim.take_trace().unwrap();
@@ -1387,11 +1488,8 @@ mod tests {
             sync_latency: SimDuration::from_micros(2),
             wake_jitter: SimDuration::from_micros(3),
         };
-        let mut sim = Simulation::builder()
-            .device(DeviceSpec::test_device())
-            .host(host)
-            .build()
-            .unwrap();
+        let mut sim =
+            Simulation::builder().device(DeviceSpec::test_device()).host(host).build().unwrap();
         let log: Rc<RefCell<Vec<(Wake, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
         let log2 = log.clone();
         let mut drv = Script {
@@ -1422,11 +1520,9 @@ mod tests {
 
     #[test]
     fn notify_on_event_reports_fired_at() {
-        let host = HostSpec {
-            sync_latency: SimDuration::from_micros(2),
-            ..HostSpec::instant()
-        };
-        let mut sim = Simulation::builder().device(DeviceSpec::test_device()).host(host).build().unwrap();
+        let host = HostSpec { sync_latency: SimDuration::from_micros(2), ..HostSpec::instant() };
+        let mut sim =
+            Simulation::builder().device(DeviceSpec::test_device()).host(host).build().unwrap();
         let log: Rc<RefCell<Vec<(Wake, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
         let log2 = log.clone();
         let mut drv = Script {
@@ -1462,7 +1558,9 @@ mod tests {
                 sim.launch(
                     HostId(0),
                     StreamId::new(DeviceId(0), 1),
-                    KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c).with_tag(0),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50))
+                        .with_collective(c)
+                        .with_tag(0),
                 );
                 // Rank 1 arrives 30us late.
                 sim.set_timer(SimTime::from_micros(30), 100 + c.0);
@@ -1473,7 +1571,9 @@ mod tests {
                     sim.launch(
                         HostId(1),
                         StreamId::new(DeviceId(1), 1),
-                        KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c).with_tag(1),
+                        KernelSpec::comm("ar", SimDuration::from_micros(50))
+                            .with_collective(c)
+                            .with_tag(1),
                     );
                 }
             }
@@ -1508,7 +1608,11 @@ mod tests {
             .unwrap();
         let mut drv = script(|sim: &mut Simulation| {
             // Long compute on device 0 keeps the collective slowed throughout.
-            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(500)).with_tag(9));
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("c", SimDuration::from_micros(500)).with_tag(9),
+            );
             let c = sim.new_collective(2);
             for d in 0..2 {
                 sim.launch(
@@ -1534,9 +1638,17 @@ mod tests {
         let mut sim = test_sim(1);
         let mut drv = script(|sim: &mut Simulation| {
             for i in 0..30 {
-                sim.launch(HostId(0), s(0, 0), KernelSpec::compute(format!("c{i}"), SimDuration::from_micros(100)));
+                sim.launch(
+                    HostId(0),
+                    s(0, 0),
+                    KernelSpec::compute(format!("c{i}"), SimDuration::from_micros(100)),
+                );
             }
-            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77));
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77),
+            );
         });
         sim.run_to_completion(&mut drv);
         let trace = sim.take_trace().unwrap();
@@ -1550,7 +1662,11 @@ mod tests {
         let mut sim = test_sim(1);
         let mut drv = script(|sim: &mut Simulation| {
             sim.launch(HostId(0), s(0, 0), KernelSpec::compute("c", SimDuration::from_micros(100)));
-            sim.launch(HostId(0), s(0, 1), KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77));
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::comm("m", SimDuration::from_micros(10)).with_tag(77),
+            );
         });
         sim.run_to_completion(&mut drv);
         let trace = sim.take_trace().unwrap();
@@ -1616,13 +1732,21 @@ mod tests {
                         sim.launch(
                             HostId(d),
                             s(d, (i % 2) as usize),
-                            KernelSpec::compute(format!("k{d}{i}"), SimDuration::from_micros(10 + i)).with_tag(i),
+                            KernelSpec::compute(
+                                format!("k{d}{i}"),
+                                SimDuration::from_micros(10 + i),
+                            )
+                            .with_tag(i),
                         );
                     }
                 }
                 let c = sim.new_collective(2);
                 for d in 0..2 {
-                    sim.launch(HostId(d), s(d, 1), KernelSpec::comm("ar", SimDuration::from_micros(30)).with_collective(c));
+                    sim.launch(
+                        HostId(d),
+                        s(d, 1),
+                        KernelSpec::comm("ar", SimDuration::from_micros(30)).with_collective(c),
+                    );
                 }
             });
             sim.run_to_completion(&mut drv);

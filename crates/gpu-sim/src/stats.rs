@@ -6,13 +6,11 @@
 //! These feed the utilization/communication-ratio numbers quoted in the
 //! paper's Fig. 3 analysis and the efficiency discussions in §4.
 
-use serde::{Deserialize, Serialize};
-
 use crate::kernel::KernelClass;
 use crate::time::{SimDuration, SimTime};
 
 /// Utilization counters for one device.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DeviceStats {
     /// Wall time with ≥1 compute kernel running.
     pub busy_compute: SimDuration,
@@ -73,7 +71,8 @@ impl DeviceStats {
     /// Fraction of busy (compute ∪ comm) time spent with communication
     /// active, `busy_comm / (busy_compute + busy_comm - busy_overlap)`.
     pub fn comm_ratio(&self) -> f64 {
-        let union = self.busy_compute.as_nanos() + self.busy_comm.as_nanos() - self.busy_overlap.as_nanos();
+        let union =
+            self.busy_compute.as_nanos() + self.busy_comm.as_nanos() - self.busy_overlap.as_nanos();
         if union == 0 {
             return 0.0;
         }
@@ -137,5 +136,19 @@ mod tests {
         assert_eq!(s.compute_utilization(SimDuration::from_micros(10)), 0.0);
         assert_eq!(s.compute_utilization(SimDuration::ZERO), 0.0);
         assert_eq!(s.kernels_total(), 0);
+    }
+}
+
+impl crate::json::ToJson for DeviceStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("busy_compute", &self.busy_compute)
+            .field("busy_comm", &self.busy_comm)
+            .field("busy_overlap", &self.busy_overlap)
+            .field("kernels_compute", &self.kernels_compute)
+            .field("kernels_comm", &self.kernels_comm)
+            .field("exec_compute", &self.exec_compute)
+            .field("exec_comm", &self.exec_comm);
+        obj.end();
     }
 }

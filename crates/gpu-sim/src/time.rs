@@ -10,14 +10,12 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulated clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -157,7 +155,10 @@ impl SimDuration {
     /// durations are inflated by a profiled slowdown before fit-checking.
     #[inline]
     pub fn scale(self, factor: f64) -> SimDuration {
-        debug_assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        debug_assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -324,7 +325,10 @@ mod tests {
         let late = SimTime::from_micros(5);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_micros(4));
-        assert_eq!(SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(10)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_nanos(3).saturating_sub(SimDuration::from_nanos(10)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -351,5 +355,19 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.00us");
         assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
         assert_eq!(format!("{}", SimDuration::from_millis(12_000)), "12.000s");
+    }
+}
+
+/// Times and durations serialize as raw nanosecond counts.
+impl crate::json::ToJson for SimTime {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+/// See [`SimTime`]'s impl: raw nanoseconds.
+impl crate::json::ToJson for SimDuration {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
     }
 }

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use crate::ids::{DeviceId, KernelId};
+use crate::json::{JsonArray, JsonObject, ToJson};
 use crate::kernel::KernelClass;
 use crate::time::{SimDuration, SimTime};
 
@@ -175,50 +176,44 @@ impl Trace {
         out
     }
 
-    /// Serializes to the Chrome trace-event JSON array format. Written by
-    /// hand to avoid a JSON dependency; the format is a plain array of
-    /// `{"name","cat","ph":"X","ts","dur","pid","tid"}` objects with
-    /// timestamps in microseconds.
+    /// Serializes to the Chrome trace-event JSON array format through the
+    /// internal [`crate::json`] writer (no JSON dependency); the format is
+    /// a plain array of `{"name","cat","ph":"X","ts","dur","pid","tid"}`
+    /// objects with timestamps in microseconds, unchanged across the move
+    /// off serde.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 128 + 2);
-        out.push('[');
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"tag\":{},\"kernel\":{}}}}}",
-                escape_json(&e.name),
-                e.class.label(),
-                e.started_at.as_micros_f64(),
-                e.duration().as_micros_f64(),
-                e.device.0,
-                e.stream,
-                e.tag,
-                e.kernel.0,
-            );
+        let mut arr = JsonArray::begin(&mut out);
+        for e in &self.events {
+            arr.item(e);
         }
-        out.push(']');
+        arr.end();
         out
     }
 }
 
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+/// Renders one event as a Chrome trace-event object.
+impl ToJson for TraceEvent {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field("name", &&*self.name)
+            .field("cat", &self.class.label())
+            .field("ph", &"X")
+            .field_with("ts", |s| {
+                let _ = write!(s, "{:.3}", self.started_at.as_micros_f64());
+            })
+            .field_with("dur", |s| {
+                let _ = write!(s, "{:.3}", self.duration().as_micros_f64());
+            })
+            .field("pid", &self.device.0)
+            .field("tid", &self.stream)
+            .field_with("args", |s| {
+                let mut args = JsonObject::begin(s);
+                args.field("tag", &self.tag).field("kernel", &self.kernel.0);
+                args.end();
+            });
+        obj.end();
     }
-    out
 }
 
 #[cfg(test)]
@@ -294,9 +289,12 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    fn event_names_are_escaped() {
+        let mut t = Trace::new();
+        let mut e = ev(0, KernelClass::Compute, 0, 10, 0);
+        e.name = "ge\"mm".into();
+        t.push(e);
+        assert!(t.to_chrome_json().contains("\"name\":\"ge\\\"mm\""));
     }
 }
 
@@ -304,7 +302,13 @@ mod tests {
 mod ascii_tests {
     use super::*;
 
-    fn ev(device: usize, stream: usize, class: KernelClass, start_us: u64, end_us: u64) -> TraceEvent {
+    fn ev(
+        device: usize,
+        stream: usize,
+        class: KernelClass,
+        start_us: u64,
+        end_us: u64,
+    ) -> TraceEvent {
         TraceEvent {
             kernel: KernelId(0),
             name: "k".into(),

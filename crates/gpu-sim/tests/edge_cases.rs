@@ -19,9 +19,8 @@ impl<F: FnMut(&mut Simulation), G: FnMut(Wake, &mut Simulation)> Driver for Scri
 }
 
 fn sim(devices: usize) -> Simulation {
-    let mut b = Simulation::builder()
-        .devices(DeviceSpec::test_device(), devices)
-        .capture_trace(true);
+    let mut b =
+        Simulation::builder().devices(DeviceSpec::test_device(), devices).capture_trace(true);
     for _ in 0..devices {
         b = b.host(HostSpec::instant());
     }
@@ -90,7 +89,8 @@ fn many_streams_share_hardware_queues_round_robin() {
                 sim.launch(
                     HostId(0),
                     StreamId::new(DeviceId(0), stream),
-                    KernelSpec::compute(format!("k{stream}"), SimDuration::from_micros(10)).with_tag(stream as u64),
+                    KernelSpec::compute(format!("k{stream}"), SimDuration::from_micros(10))
+                        .with_tag(stream as u64),
                 );
             }
         },
@@ -101,7 +101,8 @@ fn many_streams_share_hardware_queues_round_robin() {
     // slowing concurrent pairs 2x: 0-20us pair one, 20-40us pair two.
     assert_eq!(end, SimTime::from_micros(40));
     let trace = s.take_trace().unwrap();
-    let starts: Vec<(u64, SimTime)> = trace.events().iter().map(|e| (e.tag, e.started_at)).collect();
+    let starts: Vec<(u64, SimTime)> =
+        trace.events().iter().map(|e| (e.tag, e.started_at)).collect();
     for (tag, start) in starts {
         match tag {
             0 | 1 => assert_eq!(start, SimTime::ZERO),
@@ -131,7 +132,9 @@ fn collective_after_lag_still_rendezvouses() {
                 sim.launch(
                     HostId(d),
                     StreamId::new(DeviceId(d), 1),
-                    KernelSpec::comm("ar", SimDuration::from_micros(30)).with_collective(c).with_tag(9),
+                    KernelSpec::comm("ar", SimDuration::from_micros(30))
+                        .with_collective(c)
+                        .with_tag(9),
                 );
             }
         },
@@ -142,7 +145,10 @@ fn collective_after_lag_still_rendezvouses() {
     let ar: Vec<_> = trace.events().iter().filter(|e| e.tag == 9).collect();
     assert_eq!(ar.len(), 2);
     assert_eq!(ar[0].started_at, ar[1].started_at);
-    assert!(ar[0].started_at >= SimTime::from_nanos((40 - 24) * 400), "lag must delay the rendezvous");
+    assert!(
+        ar[0].started_at >= SimTime::from_nanos((40 - 24) * 400),
+        "lag must delay the rendezvous"
+    );
     assert_eq!(ar[0].ended_at, ar[1].ended_at);
 }
 

@@ -1,8 +1,11 @@
 //! Property tests for the discrete-event engine: conservation, ordering and
 //! rendezvous invariants over randomized launch plans.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
 
 use liger_gpu_sim::prelude::*;
-use proptest::prelude::*;
+use liger_gpu_sim::testkit::{check, Gen};
 
 /// One step of a randomized launch plan.
 #[derive(Debug, Clone)]
@@ -13,12 +16,20 @@ enum PlanOp {
     Collective { stream: usize, work_us: u64 },
 }
 
-fn plan_strategy(devices: usize) -> impl Strategy<Value = Vec<PlanOp>> {
-    let single = (0..devices, 0usize..4, any::<bool>(), 1u64..500).prop_map(|(device, stream, compute, work_us)| {
-        PlanOp::Single { device, stream, compute, work_us }
-    });
-    let coll = (0usize..4, 1u64..500).prop_map(|(stream, work_us)| PlanOp::Collective { stream, work_us });
-    prop::collection::vec(prop_oneof![4 => single, 1 => coll], 1..60)
+/// 1–59 ops, singles four times as likely as collectives.
+fn gen_plan(g: &mut Gen, devices: usize) -> Vec<PlanOp> {
+    g.vec_of(1, 60, |g| {
+        if g.usize_in(0, 5) < 4 {
+            PlanOp::Single {
+                device: g.usize_in(0, devices),
+                stream: g.usize_in(0, 4),
+                compute: g.bool(),
+                work_us: g.u64_in(1, 500),
+            }
+        } else {
+            PlanOp::Collective { stream: g.usize_in(0, 4), work_us: g.u64_in(1, 500) }
+        }
+    })
 }
 
 struct PlanDriver {
@@ -38,14 +49,19 @@ impl Driver for PlanDriver {
                     } else {
                         KernelSpec::comm(format!("m{i}"), work)
                     };
-                    sim.launch(HostId(device), StreamId::new(DeviceId(device), stream), spec.with_tag(tag));
+                    sim.launch(
+                        HostId(device),
+                        StreamId::new(DeviceId(device), stream),
+                        spec.with_tag(tag),
+                    );
                 }
                 PlanOp::Collective { stream, work_us } => {
                     let c = sim.new_collective(self.devices);
                     for d in 0..self.devices {
-                        let spec = KernelSpec::comm(format!("ar{i}"), SimDuration::from_micros(work_us))
-                            .with_collective(c)
-                            .with_tag(tag);
+                        let spec =
+                            KernelSpec::comm(format!("ar{i}"), SimDuration::from_micros(work_us))
+                                .with_collective(c)
+                                .with_tag(tag);
                         sim.launch(HostId(d), StreamId::new(DeviceId(d), stream), spec);
                     }
                 }
@@ -57,16 +73,8 @@ impl Driver for PlanDriver {
 }
 
 fn run_plan(plan: &[PlanOp], devices: usize, contention: bool) -> (Simulation, Trace) {
-    let spec = if contention {
-        DeviceSpec::v100_16gb()
-    } else {
-        DeviceSpec::test_device()
-    };
-    let mut sim = Simulation::builder()
-        .devices(spec, devices)
-        .capture_trace(true)
-        .build()
-        .unwrap();
+    let spec = if contention { DeviceSpec::v100_16gb() } else { DeviceSpec::test_device() };
+    let mut sim = Simulation::builder().devices(spec, devices).capture_trace(true).build().unwrap();
     let mut drv = PlanDriver { plan: plan.to_vec(), devices };
     sim.run_to_completion(&mut drv);
     let trace = sim.take_trace().unwrap();
@@ -82,45 +90,48 @@ fn expected_kernels(plan: &[PlanOp], devices: usize) -> u64 {
         .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every launched kernel eventually completes, exactly once.
-    #[test]
-    fn no_kernel_is_lost(plan in plan_strategy(3)) {
+/// Every launched kernel eventually completes, exactly once.
+#[test]
+fn no_kernel_is_lost() {
+    check("no_kernel_is_lost", 64, |g| {
+        let plan = gen_plan(g, 3);
         let (sim, trace) = run_plan(&plan, 3, true);
         let expect = expected_kernels(&plan, 3);
-        prop_assert_eq!(sim.kernels_launched(), expect);
-        prop_assert_eq!(sim.kernels_completed(), expect);
-        prop_assert_eq!(trace.len() as u64, expect);
-    }
+        assert_eq!(sim.kernels_launched(), expect);
+        assert_eq!(sim.kernels_completed(), expect);
+        assert_eq!(trace.len() as u64, expect);
+    });
+}
 
-    /// Kernels never start before they are enqueued, and never end before
-    /// they start (with nonzero work).
-    #[test]
-    fn causality(plan in plan_strategy(2)) {
+/// Kernels never start before they are enqueued, and never end before they
+/// start (with nonzero work).
+#[test]
+fn causality() {
+    check("causality", 64, |g| {
+        let plan = gen_plan(g, 2);
         let (_, trace) = run_plan(&plan, 2, true);
         for e in trace.events() {
-            prop_assert!(e.started_at >= e.enqueued_at, "{e:?} started before enqueue");
-            prop_assert!(e.ended_at > e.started_at, "{e:?} zero/negative span");
+            assert!(e.started_at >= e.enqueued_at, "{e:?} started before enqueue");
+            assert!(e.ended_at > e.started_at, "{e:?} zero/negative span");
         }
-    }
+    });
+}
 
-    /// Within one hardware queue (stream % connections), execution intervals
-    /// are disjoint and ordered by launch order.
-    #[test]
-    fn hardware_queue_serialization(plan in plan_strategy(2)) {
+/// Within one hardware queue (stream % connections), execution intervals
+/// are disjoint and ordered by launch order.
+#[test]
+fn hardware_queue_serialization() {
+    check("hardware_queue_serialization", 64, |g| {
+        let plan = gen_plan(g, 2);
         let (sim, trace) = run_plan(&plan, 2, true);
         for d in 0..2 {
             let connections = sim.device_spec(DeviceId(d)).connections;
             for q in 0..connections {
-                let mut evs: Vec<_> = trace
-                    .on_device(DeviceId(d))
-                    .filter(|e| e.stream % connections == q)
-                    .collect();
+                let mut evs: Vec<_> =
+                    trace.on_device(DeviceId(d)).filter(|e| e.stream % connections == q).collect();
                 evs.sort_by_key(|e| e.enqueued_at);
                 for w in evs.windows(2) {
-                    prop_assert!(
+                    assert!(
                         w[1].started_at >= w[0].ended_at,
                         "queue {q} on device {d} overlapped: {:?} then {:?}",
                         w[0],
@@ -129,27 +140,33 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// All members of a collective start and end at the same instant.
-    #[test]
-    fn collectives_are_synchronous(plan in plan_strategy(3)) {
+/// All members of a collective start and end at the same instant.
+#[test]
+fn collectives_are_synchronous() {
+    check("collectives_are_synchronous", 64, |g| {
+        let plan = gen_plan(g, 3);
         let (_, trace) = run_plan(&plan, 3, true);
         for (i, op) in plan.iter().enumerate() {
             if matches!(op, PlanOp::Collective { .. }) {
                 let members: Vec<_> = trace.with_tag(i as u64).collect();
-                prop_assert_eq!(members.len(), 3);
+                assert_eq!(members.len(), 3);
                 for m in &members {
-                    prop_assert_eq!(m.started_at, members[0].started_at);
-                    prop_assert_eq!(m.ended_at, members[0].ended_at);
+                    assert_eq!(m.started_at, members[0].started_at);
+                    assert_eq!(m.ended_at, members[0].ended_at);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Contention only ever stretches kernels: wall duration >= nominal work.
-    #[test]
-    fn contention_never_speeds_up(plan in plan_strategy(2)) {
+/// Contention only ever stretches kernels: wall duration >= nominal work.
+#[test]
+fn contention_never_speeds_up() {
+    check("contention_never_speeds_up", 64, |g| {
+        let plan = gen_plan(g, 2);
         let (_, trace) = run_plan(&plan, 2, true);
         for (i, op) in plan.iter().enumerate() {
             let work_us = match *op {
@@ -157,7 +174,7 @@ proptest! {
                 PlanOp::Collective { work_us, .. } => work_us,
             };
             for e in trace.with_tag(i as u64) {
-                prop_assert!(
+                assert!(
                     e.duration() >= SimDuration::from_micros(work_us),
                     "kernel {i} ran faster than its work: {} < {}us",
                     e.duration(),
@@ -165,26 +182,32 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    /// The same plan always produces the identical trace (determinism).
-    #[test]
-    fn deterministic_replay(plan in plan_strategy(3)) {
+/// The same plan always produces the identical trace (determinism).
+#[test]
+fn deterministic_replay() {
+    check("deterministic_replay", 64, |g| {
+        let plan = gen_plan(g, 3);
         let (_, t1) = run_plan(&plan, 3, true);
         let (_, t2) = run_plan(&plan, 3, true);
-        prop_assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.len(), t2.len());
         for (a, b) in t1.events().iter().zip(t2.events()) {
-            prop_assert_eq!(a.kernel, b.kernel);
-            prop_assert_eq!(a.started_at, b.started_at);
-            prop_assert_eq!(a.ended_at, b.ended_at);
-            prop_assert_eq!(a.device, b.device);
+            assert_eq!(a.kernel, b.kernel);
+            assert_eq!(a.started_at, b.started_at);
+            assert_eq!(a.ended_at, b.ended_at);
+            assert_eq!(a.device, b.device);
         }
-    }
+    });
+}
 
-    /// Makespan is at least the critical path of any single hardware queue
-    /// under no contention (frictionless device, works only).
-    #[test]
-    fn makespan_lower_bound(plan in plan_strategy(2)) {
+/// Makespan is at least the critical path of any single hardware queue
+/// under no contention (frictionless device, works only).
+#[test]
+fn makespan_lower_bound() {
+    check("makespan_lower_bound", 64, |g| {
+        let plan = gen_plan(g, 2);
         let (sim, trace) = run_plan(&plan, 2, false);
         let end = trace.events().iter().map(|e| e.ended_at).max().unwrap_or(SimTime::ZERO);
         // Per (device, queue) sum of nominal works is a lower bound.
@@ -198,8 +221,8 @@ proptest! {
                     .sum();
                 // Durations are wall times; under frictionless contention a
                 // queue's wall occupancy cannot exceed the makespan.
-                prop_assert!(end.as_nanos() >= total.as_nanos().saturating_sub(1));
+                assert!(end.as_nanos() >= total.as_nanos().saturating_sub(1));
             }
         }
-    }
+    });
 }

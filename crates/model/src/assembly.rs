@@ -6,8 +6,6 @@
 //! length" attached. `liger-core` wraps these into its `FuncVec`s; the
 //! baseline engines launch them directly.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::{KernelClass, SimDuration};
 
 use crate::config::ModelConfig;
@@ -16,7 +14,7 @@ use crate::layers::{model_ops, PlacedOp};
 use crate::workload::BatchShape;
 
 /// One op with its offline-profiled no-load duration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PricedOp {
     /// The op and its layer.
     pub placed: PlacedOp,
@@ -33,9 +31,7 @@ impl PricedOp {
 
 /// Prices every op in `ops` under `cm`.
 pub fn price_ops(cm: &CostModel, ops: &[PlacedOp]) -> Vec<PricedOp> {
-    ops.iter()
-        .map(|&placed| PricedOp { placed, duration: cm.op_time(&placed.op) })
-        .collect()
+    ops.iter().map(|&placed| PricedOp { placed, duration: cm.op_time(&placed.op) }).collect()
 }
 
 /// Prices the full per-device kernel list of one inference iteration at
@@ -109,14 +105,10 @@ mod tests {
     fn decode_iteration_is_cheaper_than_prefill() {
         let cm = CostModel::v100_node();
         let cfg = ModelConfig::opt_30b();
-        let prefill: SimDuration = assemble(&cm, &cfg, BatchShape::prefill(2, 64), 4)
-            .iter()
-            .map(|o| o.duration)
-            .sum();
-        let decode: SimDuration = assemble(&cm, &cfg, BatchShape::decode(2, 64), 4)
-            .iter()
-            .map(|o| o.duration)
-            .sum();
+        let prefill: SimDuration =
+            assemble(&cm, &cfg, BatchShape::prefill(2, 64), 4).iter().map(|o| o.duration).sum();
+        let decode: SimDuration =
+            assemble(&cm, &cfg, BatchShape::decode(2, 64), 4).iter().map(|o| o.duration).sum();
         assert!(decode < prefill);
     }
 
@@ -132,5 +124,13 @@ mod tests {
             comm.as_secs_f64() / (compute + comm).as_secs_f64()
         };
         assert!(share(BatchShape::decode(32, 16)) < share(BatchShape::prefill(2, 64)));
+    }
+}
+
+impl liger_gpu_sim::ToJson for PricedOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("placed", &self.placed).field("duration", &self.duration);
+        obj.end();
     }
 }

@@ -1,9 +1,7 @@
 //! Model configurations and the model zoo (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a decoder-only transformer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelConfig {
     /// Model name (e.g. `"OPT-30B"`).
     pub name: String,
@@ -125,7 +123,11 @@ impl ModelConfig {
     /// "reducing layer number will not impact the computational and
     /// communication features" since all layers are identical.
     pub fn with_layers(&self, layers: u32) -> ModelConfig {
-        ModelConfig { layers: layers.max(1), name: format!("{}@{}L", self.name, layers.max(1)), ..self.clone() }
+        ModelConfig {
+            layers: layers.max(1),
+            name: format!("{}@{}L", self.name, layers.max(1)),
+            ..self.clone()
+        }
     }
 
     /// Validates the configuration.
@@ -134,7 +136,10 @@ impl ModelConfig {
             return Err(format!("{}: layers/heads/hidden must be non-zero", self.name));
         }
         if !self.hidden.is_multiple_of(self.heads) {
-            return Err(format!("{}: hidden ({}) must divide evenly by heads ({})", self.name, self.hidden, self.heads));
+            return Err(format!(
+                "{}: hidden ({}) must divide evenly by heads ({})",
+                self.name, self.hidden, self.heads
+            ));
         }
         if self.dtype_bytes == 0 {
             return Err(format!("{}: dtype_bytes must be non-zero", self.name));
@@ -196,5 +201,18 @@ mod tests {
         let mut m = ModelConfig::tiny_test();
         m.dtype_bytes = 0;
         assert!(m.validate().is_err());
+    }
+}
+
+impl liger_gpu_sim::ToJson for ModelConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("name", &self.name)
+            .field("layers", &self.layers)
+            .field("heads", &self.heads)
+            .field("hidden", &self.hidden)
+            .field("vocab", &self.vocab)
+            .field("dtype_bytes", &self.dtype_bytes);
+        obj.end();
     }
 }

@@ -18,15 +18,15 @@
 //!
 //! Communication kernels delegate to the `liger-collectives` cost model.
 
-use serde::{Deserialize, Serialize};
-
-use liger_collectives::{collective_time_with, CollectiveAlgorithm, CollectiveKind, NcclConfig, Topology};
+use liger_collectives::{
+    collective_time_with, CollectiveAlgorithm, CollectiveKind, NcclConfig, Topology,
+};
 use liger_gpu_sim::{DeviceSpec, SimDuration};
 
 use crate::ops::LayerOp;
 
 /// Tunable calibration constants of the compute roofline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Row count at which a GEMM reaches 50% of peak.
     pub m_half: f64,
@@ -250,7 +250,14 @@ mod tests {
     fn comm_ops_use_collective_model() {
         let cm = CostModel::v100_node();
         let ar = LayerOp::AllReduce { bytes: 1 << 20, ranks: 4 };
-        let direct = collective_time_with(cm.algorithm, CollectiveKind::AllReduce, 1 << 20, 4, &cm.topology, &cm.nccl);
+        let direct = collective_time_with(
+            cm.algorithm,
+            CollectiveKind::AllReduce,
+            1 << 20,
+            4,
+            &cm.topology,
+            &cm.nccl,
+        );
         assert_eq!(cm.op_time(&ar), direct);
         let p2p = LayerOp::P2p { bytes: 1 << 20 };
         assert!(cm.op_time(&p2p) > SimDuration::ZERO);
@@ -304,5 +311,17 @@ mod tests {
         let a = cm.op_time(&LayerOp::Gemm { m: 64, k: 512, n: 512, kind: GemmKind::Qkv });
         let b = cm.op_time(&LayerOp::Gemm { m: 64, k: 512, n: 512, kind: GemmKind::Fc2 });
         assert_eq!(a, b);
+    }
+}
+
+impl liger_gpu_sim::ToJson for CostParams {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("m_half", &self.m_half)
+            .field("n_droop", &self.n_droop)
+            .field("mem_eff", &self.mem_eff)
+            .field("kernel_overhead", &self.kernel_overhead)
+            .field("attention_eff", &self.attention_eff);
+        obj.end();
     }
 }

@@ -19,15 +19,13 @@
 //! All-reduces decompose into equal chunks, each paying the collective base
 //! latency again.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::SimDuration;
 
 use crate::cost::CostModel;
 use crate::ops::LayerOp;
 
 /// GEMM decomposition axis (Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmSplitAxis {
     /// Split output columns `n` (the good strategy).
     Vertical,
@@ -44,7 +42,12 @@ pub fn split_op(op: &LayerOp, num: u32, den: u32) -> Option<(LayerOp, LayerOp)> 
 }
 
 /// [`split_op`] with an explicit GEMM axis.
-pub fn split_op_axis(op: &LayerOp, num: u32, den: u32, axis: GemmSplitAxis) -> Option<(LayerOp, LayerOp)> {
+pub fn split_op_axis(
+    op: &LayerOp,
+    num: u32,
+    den: u32,
+    axis: GemmSplitAxis,
+) -> Option<(LayerOp, LayerOp)> {
     if num == 0 || den == 0 || num >= den {
         return None;
     }
@@ -55,20 +58,14 @@ pub fn split_op_axis(op: &LayerOp, num: u32, den: u32, axis: GemmSplitAxis) -> O
                 if n1 == 0 || n1 == n {
                     return None;
                 }
-                Some((
-                    LayerOp::Gemm { m, k, n: n1, kind },
-                    LayerOp::Gemm { m, k, n: n - n1, kind },
-                ))
+                Some((LayerOp::Gemm { m, k, n: n1, kind }, LayerOp::Gemm { m, k, n: n - n1, kind }))
             }
             GemmSplitAxis::Horizontal => {
                 let m1 = m * num as u64 / den as u64;
                 if m1 == 0 || m1 == m {
                     return None;
                 }
-                Some((
-                    LayerOp::Gemm { m: m1, k, n, kind },
-                    LayerOp::Gemm { m: m - m1, k, n, kind },
-                ))
+                Some((LayerOp::Gemm { m: m1, k, n, kind }, LayerOp::Gemm { m: m - m1, k, n, kind }))
             }
         },
         LayerOp::AllReduce { bytes, ranks } => {
@@ -116,7 +113,7 @@ pub fn equal_split_axis(op: &LayerOp, parts: u32, axis: GemmSplitAxis) -> Vec<La
 /// The offline decomposition profile of one op at division factor `factor`:
 /// durations of pieces sized `j/factor` for `j = 1..=factor` (§3.6: "we
 /// profile durations for divisions ranging from 1/8 to 7/8").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecompositionProfile {
     /// Division factor `F`.
     pub factor: u32,
@@ -128,9 +125,7 @@ impl DecompositionProfile {
     /// Largest `j` (in `1..factor`) whose `j/F` piece fits in `window`;
     /// `None` when even the smallest piece does not fit.
     pub fn largest_fitting(&self, window: SimDuration) -> Option<u32> {
-        (1..self.factor)
-            .rev()
-            .find(|&j| self.piece_times[(j - 1) as usize] <= window)
+        (1..self.factor).rev().find(|&j| self.piece_times[(j - 1) as usize] <= window)
     }
 }
 
@@ -173,7 +168,8 @@ mod tests {
 
     #[test]
     fn split_gemm_horizontal_partitions_m() {
-        let (head, tail) = split_op_axis(&gemm(128, 512, 1024), 1, 2, GemmSplitAxis::Horizontal).unwrap();
+        let (head, tail) =
+            split_op_axis(&gemm(128, 512, 1024), 1, 2, GemmSplitAxis::Horizontal).unwrap();
         match (head, tail) {
             (LayerOp::Gemm { m: m1, n: n1, .. }, LayerOp::Gemm { m: m2, n: n2, .. }) => {
                 assert_eq!((m1, m2), (64, 64));
@@ -188,7 +184,10 @@ mod tests {
         let ar = LayerOp::AllReduce { bytes: 1000, ranks: 4 };
         let (head, tail) = split_op(&ar, 3, 8).unwrap();
         match (head, tail) {
-            (LayerOp::AllReduce { bytes: b1, ranks: r1 }, LayerOp::AllReduce { bytes: b2, ranks: r2 }) => {
+            (
+                LayerOp::AllReduce { bytes: b1, ranks: r1 },
+                LayerOp::AllReduce { bytes: b2, ranks: r2 },
+            ) => {
                 assert_eq!(b1, 375);
                 assert_eq!(b2, 625);
                 assert_eq!(r1, 4);
@@ -293,5 +292,23 @@ mod tests {
         // 8 pieces each pay the base latency: summed pieces exceed the whole.
         let total: SimDuration = (0..8).map(|_| prof.piece_times[0]).sum();
         assert!(total > whole);
+    }
+}
+
+impl liger_gpu_sim::ToJson for GemmSplitAxis {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            GemmSplitAxis::Vertical => "vertical",
+            GemmSplitAxis::Horizontal => "horizontal",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for DecompositionProfile {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("factor", &self.factor).field("piece_times", &self.piece_times);
+        obj.end();
     }
 }

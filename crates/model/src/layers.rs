@@ -8,14 +8,12 @@
 //! row-parallel, and each block synchronizes with **two all-reduces** —
 //! after the attention projection and after FC2.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ModelConfig;
 use crate::ops::{GemmKind, LayerOp};
 use crate::workload::{BatchShape, Phase};
 
 /// One op with its position in the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacedOp {
     /// Layer index (`u32::MAX` for the head/final ops).
     pub layer: u32,
@@ -87,7 +85,12 @@ pub fn model_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32) -> Vec<PlacedOp>
     ops.push(PlacedOp { layer: HEAD_LAYER, op: LayerOp::LayerNorm { rows, hidden: h } });
     ops.push(PlacedOp {
         layer: HEAD_LAYER,
-        op: LayerOp::Gemm { m: rows, k: h, n: cfg.vocab as u64 / tp as u64, kind: GemmKind::LmHead },
+        op: LayerOp::Gemm {
+            m: rows,
+            k: h,
+            n: cfg.vocab as u64 / tp as u64,
+            kind: GemmKind::LmHead,
+        },
     });
     ops
 }
@@ -226,5 +229,13 @@ mod tests {
     fn stage_range_is_checked() {
         let cfg = ModelConfig::tiny_test();
         stage_ops(&cfg, BatchShape::prefill(1, 8), 2, 9);
+    }
+}
+
+impl liger_gpu_sim::ToJson for PlacedOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("layer", &self.layer).field("op", &self.op);
+        obj.end();
     }
 }

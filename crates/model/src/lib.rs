@@ -25,8 +25,8 @@ pub use assembly::{assemble, class_totals, price_ops, PricedOp};
 pub use config::ModelConfig;
 pub use cost::{CostModel, CostParams};
 pub use decompose::{
-    equal_split, equal_split_axis, profile_decomposition, split_op, split_op_axis, DecompositionProfile,
-    GemmSplitAxis,
+    equal_split, equal_split_axis, profile_decomposition, split_op, split_op_axis,
+    DecompositionProfile, GemmSplitAxis,
 };
 pub use layers::{layer_ops, model_ops, stage_boundary_bytes, stage_ops, PlacedOp, HEAD_LAYER};
 pub use memory::{device_footprint, fits, MemoryFootprint};

@@ -4,13 +4,11 @@
 //! the node the paper ran it on — e.g. OPT-30B (60 GB of FP16 weights) only
 //! fits the 4×16 GB V100 node when partitioned four ways.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ModelConfig;
 use crate::workload::BatchShape;
 
 /// Memory footprint breakdown for one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryFootprint {
     /// Weight bytes resident on this device.
     pub weights: u64,
@@ -51,7 +49,14 @@ pub fn device_footprint(
 }
 
 /// Whether the configuration fits in `capacity` bytes per device.
-pub fn fits(cfg: &ModelConfig, ways: u32, shape: BatchShape, max_context: u32, in_flight: u32, capacity: u64) -> bool {
+pub fn fits(
+    cfg: &ModelConfig,
+    ways: u32,
+    shape: BatchShape,
+    max_context: u32,
+    in_flight: u32,
+    capacity: u64,
+) -> bool {
     device_footprint(cfg, ways, shape, max_context, in_flight).total() <= capacity
 }
 
@@ -103,5 +108,16 @@ mod tests {
         let four = device_footprint(&cfg, 4, shape, 64, 1);
         assert!(four.weights * 4 <= one.weights + 4);
         assert!(four.total() < one.total());
+    }
+}
+
+impl liger_gpu_sim::ToJson for MemoryFootprint {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("weights", &self.weights)
+            .field("kv_cache", &self.kv_cache)
+            .field("activations", &self.activations)
+            .field("total", &self.total());
+        obj.end();
     }
 }

@@ -4,13 +4,11 @@
 //! model prices it; the parallelism engines and Liger's function assembly
 //! turn priced ops into simulator [`KernelSpec`](liger_gpu_sim::KernelSpec)s.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::KernelClass;
 
 /// Which GEMM of the transformer block (they partition differently under
 /// Megatron-style tensor parallelism).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmKind {
     /// Fused QKV projection — column-parallel (output width divides).
     Qkv,
@@ -44,7 +42,7 @@ impl GemmKind {
 }
 
 /// One logical kernel with its shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerOp {
     /// Row-wise layer normalization over `rows × hidden` activations.
     LayerNorm {
@@ -217,12 +215,60 @@ mod tests {
         assert!(LayerOp::Gemm { m: 1, k: 1, n: 1, kind: GemmKind::Qkv }.decomposable());
         assert!(LayerOp::AllReduce { bytes: 1, ranks: 4 }.decomposable());
         assert!(!LayerOp::LayerNorm { rows: 1, hidden: 1 }.decomposable());
-        assert!(!LayerOp::Attention { batch: 1, heads: 1, q_len: 1, kv_len: 1, head_dim: 1 }.decomposable());
+        assert!(!LayerOp::Attention { batch: 1, heads: 1, q_len: 1, kv_len: 1, head_dim: 1 }
+            .decomposable());
     }
 
     #[test]
     fn comm_ops_have_no_flops() {
         assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.flops(), 0);
         assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.bytes(2), 1024);
+    }
+}
+
+/// GEMM kinds serialize as their kernel-name fragments.
+impl liger_gpu_sim::ToJson for GemmKind {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
+    }
+}
+
+/// Ops serialize as `{"op": <tag>, ...shape fields}` objects.
+impl liger_gpu_sim::ToJson for LayerOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            LayerOp::LayerNorm { rows, hidden } => {
+                obj.field("op", &"layer_norm").field("rows", &rows).field("hidden", &hidden);
+            }
+            LayerOp::Gemm { m, k, n, kind } => {
+                obj.field("op", &"gemm")
+                    .field("m", &m)
+                    .field("k", &k)
+                    .field("n", &n)
+                    .field("kind", &kind);
+            }
+            LayerOp::Attention { batch, heads, q_len, kv_len, head_dim } => {
+                obj.field("op", &"attention")
+                    .field("batch", &batch)
+                    .field("heads", &heads)
+                    .field("q_len", &q_len)
+                    .field("kv_len", &kv_len)
+                    .field("head_dim", &head_dim);
+            }
+            LayerOp::Gelu { rows, width } => {
+                obj.field("op", &"gelu").field("rows", &rows).field("width", &width);
+            }
+            LayerOp::Residual { rows, hidden } => {
+                obj.field("op", &"residual").field("rows", &rows).field("hidden", &hidden);
+            }
+            LayerOp::AllReduce { bytes, ranks } => {
+                obj.field("op", &"all_reduce").field("bytes", &bytes).field("ranks", &ranks);
+            }
+            LayerOp::P2p { bytes } => {
+                obj.field("op", &"p2p").field("bytes", &bytes);
+            }
+        }
+        obj.end();
     }
 }

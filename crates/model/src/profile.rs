@@ -9,15 +9,14 @@
 //! different substrate (or a future real-GPU backend) can be profiled with
 //! the same code.
 
-use serde::{Deserialize, Serialize};
-
 use liger_collectives::NcclConfig;
 use liger_gpu_sim::{
-    DeviceId, DeviceSpec, Driver, HostId, HostSpec, KernelSpec, SimDuration, Simulation, StreamId, Wake,
+    DeviceId, DeviceSpec, Driver, HostId, HostSpec, KernelSpec, SimDuration, Simulation, StreamId,
+    Wake,
 };
 
 /// Measured contention factors for one device type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionProfile {
     /// Wall/no-load ratio of a compute kernel fully overlapped by
     /// communication.
@@ -63,11 +62,7 @@ fn measure_stretch(spec: &DeviceSpec, long: KernelSpec, short: KernelSpec) -> f6
     let mut drv = PairDriver { long, short: short.clone() };
     sim.run_to_completion(&mut drv);
     let trace = sim.take_trace().expect("trace enabled");
-    let ev = trace
-        .events()
-        .iter()
-        .find(|e| e.tag == 1)
-        .expect("short kernel completed");
+    let ev = trace.events().iter().find(|e| e.tag == 1).expect("short kernel completed");
     ev.duration().as_nanos() as f64 / short_work.as_nanos() as f64
 }
 
@@ -128,7 +123,10 @@ mod tests {
         // Paper §4.2: scheduling factor 1.1 on the V100 node, 1.15 on A100.
         assert!((1.05..=1.20).contains(&v100.factor()), "V100 factor {}", v100.factor());
         assert!((1.10..=1.30).contains(&a100.factor()), "A100 factor {}", a100.factor());
-        assert!(a100.factor() > v100.factor(), "A100 contends harder (paper's counterintuitive note)");
+        assert!(
+            a100.factor() > v100.factor(),
+            "A100 contends harder (paper's counterintuitive note)"
+        );
     }
 
     #[test]
@@ -158,5 +156,15 @@ mod tests {
         let work = SimDuration::from_micros(500);
         let wall = measure_solo(&spec, KernelSpec::compute("g", work));
         assert_eq!(wall, work);
+    }
+}
+
+impl liger_gpu_sim::ToJson for ContentionProfile {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("compute_slowdown", &self.compute_slowdown)
+            .field("comm_slowdown", &self.comm_slowdown)
+            .field("factor", &self.factor());
+        obj.end();
     }
 }

@@ -11,16 +11,21 @@
 //! safety net for hand-built or decomposed ones.
 
 use crate::config::ModelConfig;
+use crate::layers::{PlacedOp, HEAD_LAYER};
 use crate::ops::{GemmKind, LayerOp};
 use crate::workload::{BatchShape, Phase};
-use crate::layers::{PlacedOp, HEAD_LAYER};
 
 /// Validates a per-device op sequence at tensor-parallel degree `tp`.
 ///
 /// Decomposed sequences (where a GEMM or all-reduce appears as several
 /// column/payload pieces) are accepted: pieces of one logical op must be
 /// contiguous and their widths/payloads must sum to the logical op's.
-pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[PlacedOp]) -> Result<(), String> {
+pub fn validate_sequence(
+    cfg: &ModelConfig,
+    shape: BatchShape,
+    tp: u32,
+    ops: &[PlacedOp],
+) -> Result<(), String> {
     cfg.validate()?;
     shape.validate()?;
     if tp == 0 || !cfg.heads.is_multiple_of(tp) {
@@ -39,22 +44,37 @@ pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[P
     let mut i = 0usize;
 
     // Consumes contiguous pieces of one logical GEMM and checks the sum.
-    let eat_gemm = |i: &mut usize, ops: &[PlacedOp], kind: GemmKind, m: u64, k: u64, n_total: u64, layer: u32| -> Result<(), String> {
+    let eat_gemm = |i: &mut usize,
+                    ops: &[PlacedOp],
+                    kind: GemmKind,
+                    m: u64,
+                    k: u64,
+                    n_total: u64,
+                    layer: u32|
+     -> Result<(), String> {
         let mut n_sum = 0u64;
         let mut pieces = 0;
-        while let Some(PlacedOp { op: LayerOp::Gemm { m: gm, k: gk, n, kind: gkind }, layer: glayer }) = ops.get(*i) {
+        while let Some(PlacedOp {
+            op: LayerOp::Gemm { m: gm, k: gk, n, kind: gkind },
+            layer: glayer,
+        }) = ops.get(*i)
+        {
             if *gkind != kind || *glayer != layer {
                 break;
             }
             if kind.column_parallel() {
                 if (*gm, *gk) != (m, k) {
-                    return Err(format!("layer {layer} {kind:?}: piece has m,k = {gm},{gk}, expected {m},{k}"));
+                    return Err(format!(
+                        "layer {layer} {kind:?}: piece has m,k = {gm},{gk}, expected {m},{k}"
+                    ));
                 }
                 n_sum += n;
             } else {
                 // Row-parallel GEMMs split k; n stays whole per piece.
                 if (*gm, *n) != (m, n_total) {
-                    return Err(format!("layer {layer} {kind:?}: piece has m,n = {gm},{n}, expected {m},{n_total}"));
+                    return Err(format!(
+                        "layer {layer} {kind:?}: piece has m,n = {gm},{n}, expected {m},{n_total}"
+                    ));
                 }
                 n_sum += gk;
             }
@@ -80,12 +100,16 @@ pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[P
         let expect_bytes = rows * h * dtype;
         let mut sum = 0u64;
         let mut pieces = 0;
-        while let Some(PlacedOp { op: LayerOp::AllReduce { bytes, ranks }, layer: glayer }) = ops.get(*i) {
+        while let Some(PlacedOp { op: LayerOp::AllReduce { bytes, ranks }, layer: glayer }) =
+            ops.get(*i)
+        {
             if *glayer != layer {
                 break;
             }
             if *ranks != tp {
-                return Err(format!("layer {layer}: all-reduce spans {ranks} ranks, expected {tp}"));
+                return Err(format!(
+                    "layer {layer}: all-reduce spans {ranks} ranks, expected {tp}"
+                ));
             }
             sum += bytes;
             pieces += 1;
@@ -102,7 +126,12 @@ pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[P
         Ok(())
     };
 
-    let eat = |i: &mut usize, ops: &[PlacedOp], what: &str, layer: u32, pred: &dyn Fn(&LayerOp) -> Result<(), String>| -> Result<(), String> {
+    let eat = |i: &mut usize,
+               ops: &[PlacedOp],
+               what: &str,
+               layer: u32,
+               pred: &dyn Fn(&LayerOp) -> Result<(), String>|
+     -> Result<(), String> {
         match ops.get(*i) {
             Some(p) if p.layer == layer => {
                 pred(&p.op).map_err(|e| format!("layer {layer}: {e}"))?;
@@ -168,8 +197,8 @@ pub fn validate_sequence(cfg: &ModelConfig, shape: BatchShape, tp: u32, ops: &[P
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::model_ops;
     use crate::decompose::{equal_split, split_op};
+    use crate::layers::model_ops;
     use crate::ops::LayerOp;
 
     fn cfg() -> ModelConfig {

@@ -5,10 +5,8 @@
 //! from *generative tasks* (§4.3: the incremental sampling phase, one token
 //! per iteration with a KV cache).
 
-use serde::{Deserialize, Serialize};
-
 /// The execution phase of one inference iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Full forward pass over `seq_len` prompt tokens per sequence.
     Prefill {
@@ -41,7 +39,7 @@ impl Phase {
 }
 
 /// Shape of one batched inference iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BatchShape {
     /// Sequences in the batch.
     pub batch: u32,
@@ -105,5 +103,29 @@ mod tests {
         assert!(BatchShape::prefill(0, 16).validate().is_err());
         assert!(BatchShape::prefill(2, 0).validate().is_err());
         assert!(BatchShape::decode(1, 0).validate().is_ok(), "empty context is legal");
+    }
+}
+
+/// Phases serialize as `{"phase": "prefill"|"decode", ...}` objects.
+impl liger_gpu_sim::ToJson for Phase {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            Phase::Prefill { seq_len } => {
+                obj.field("phase", &"prefill").field("seq_len", &seq_len);
+            }
+            Phase::Decode { context } => {
+                obj.field("phase", &"decode").field("context", &context);
+            }
+        }
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for BatchShape {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("batch", &self.batch).field("phase", &self.phase);
+        obj.end();
     }
 }

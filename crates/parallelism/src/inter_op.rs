@@ -17,7 +17,9 @@ use liger_gpu_sim::{DeviceId, SimTime, Simulation, Wake};
 use liger_model::{price_ops, stage_boundary_bytes, stage_ops, CostModel, LayerOp, ModelConfig};
 use liger_serving::{InferenceEngine, Request};
 
-use crate::launch::{batch_working_set_bytes, launch_p2p, launch_stage, notify_completion, EngineMemory};
+use crate::launch::{
+    batch_working_set_bytes, launch_p2p, launch_stage, notify_completion, EngineMemory,
+};
 use crate::partition::{check_divisibility, inter_th_expand, stage_ranges};
 
 /// Pipeline flavor.
@@ -49,10 +51,18 @@ pub struct InterOpEngine {
 
 impl InterOpEngine {
     /// Creates a pipeline over devices `0..world`.
-    pub fn new(cfg: ModelConfig, cost: CostModel, world: usize, flavor: PipelineFlavor) -> Result<InterOpEngine, String> {
+    pub fn new(
+        cfg: ModelConfig,
+        cost: CostModel,
+        world: usize,
+        flavor: PipelineFlavor,
+    ) -> Result<InterOpEngine, String> {
         check_divisibility(&cfg, world as u32)?;
         if cfg.layers < world as u32 {
-            return Err(format!("{}: {} layers cannot fill {world} pipeline stages", cfg.name, cfg.layers));
+            return Err(format!(
+                "{}: {} layers cannot fill {world} pipeline stages",
+                cfg.name, cfg.layers
+            ));
         }
         let ranges = stage_ranges(cfg.layers, world as u32);
         let nccl = cost.nccl;
@@ -123,7 +133,12 @@ impl InterOpEngine {
         self.memory.ensure_weights(sim, &devices, self.cfg.weight_bytes() / world as u64);
         // A pipelined batch only materializes its working set on one stage
         // at a time, but we account the whole-model share conservatively.
-        self.memory.batch_submitted(sim, &devices, request.id, batch_working_set_bytes(&self.cfg, request.shape, world));
+        self.memory.batch_submitted(
+            sim,
+            &devices,
+            request.id,
+            batch_working_set_bytes(&self.cfg, request.shape, world),
+        );
         let boundary = stage_boundary_bytes(&self.cfg, request.shape);
         let p2p_time = self.cost.op_time(&LayerOp::P2p { bytes: boundary });
         // Buffered pipeline: stage compute runs on stream 0, activations
@@ -199,8 +214,15 @@ mod tests {
     #[test]
     fn construction_checks() {
         let c = CostModel::v100_node();
-        assert!(InterOpEngine::new(ModelConfig::tiny_test(), c.clone(), 8, PipelineFlavor::Measured).is_err());
-        let e = InterOpEngine::new(ModelConfig::tiny_test(), c, 4, PipelineFlavor::Measured).unwrap();
+        assert!(InterOpEngine::new(
+            ModelConfig::tiny_test(),
+            c.clone(),
+            8,
+            PipelineFlavor::Measured
+        )
+        .is_err());
+        let e =
+            InterOpEngine::new(ModelConfig::tiny_test(), c, 4, PipelineFlavor::Measured).unwrap();
         assert_eq!(e.stages(), 4);
         assert_eq!(e.name(), "Inter-Op");
     }
@@ -213,7 +235,8 @@ mod tests {
         // Effectively instantaneous arrivals: both engines run saturated.
         let trace = fixed_trace(60, 1e6);
 
-        let mut inter = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
+        let mut inter =
+            InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
         let im = serve(&mut instant_sim(4), &mut inter, trace.clone());
 
         let mut intra = IntraOpEngine::new(cfg, cost, 4).unwrap();
@@ -228,9 +251,16 @@ mod tests {
         // At saturation both latencies blow up with pending time, so compare
         // single-job latency instead at a trickle rate.
         let trickle = fixed_trace(3, 1.0);
-        let mut inter = InterOpEngine::new(ModelConfig::tiny_test(), CostModel::v100_node(), 4, PipelineFlavor::Measured).unwrap();
+        let mut inter = InterOpEngine::new(
+            ModelConfig::tiny_test(),
+            CostModel::v100_node(),
+            4,
+            PipelineFlavor::Measured,
+        )
+        .unwrap();
         let il = serve(&mut instant_sim(4), &mut inter, trickle.clone()).avg_latency();
-        let mut intra = IntraOpEngine::new(ModelConfig::tiny_test(), CostModel::v100_node(), 4).unwrap();
+        let mut intra =
+            IntraOpEngine::new(ModelConfig::tiny_test(), CostModel::v100_node(), 4).unwrap();
         let tl = serve(&mut instant_sim(4), &mut intra, trickle).avg_latency();
         assert!(il > tl, "inter-op latency {il} should exceed intra-op {tl}");
     }
@@ -254,7 +284,8 @@ mod tests {
         let cfg = ModelConfig::tiny_test();
         let cost = CostModel::v100_node();
         let trace = fixed_trace(5, 10.0);
-        let mut m = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
+        let mut m =
+            InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
         let mm = serve(&mut v100_sim(4), &mut m, trace.clone());
         let mut t = InterOpEngine::new(cfg, cost, 4, PipelineFlavor::Theoretical).unwrap();
         assert_eq!(t.name(), "Inter-Th");

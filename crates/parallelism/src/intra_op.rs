@@ -71,7 +71,12 @@ impl IntraOpEngine {
         let world = self.world() as u32;
         let devices = self.devices.clone();
         self.memory.ensure_weights(sim, &devices, self.cfg.weight_bytes() / world as u64);
-        self.memory.batch_submitted(sim, &devices, request.id, batch_working_set_bytes(&self.cfg, request.shape, world));
+        self.memory.batch_submitted(
+            sim,
+            &devices,
+            request.id,
+            batch_working_set_bytes(&self.cfg, request.shape, world),
+        );
         let ops = assemble(&self.cost, &self.cfg, request.shape, world);
         launch_symmetric(sim, &ops, &self.devices, 0, &self.nccl, request.id);
         // Completion: the batch is done when rank 0's stream drains past it.
@@ -172,7 +177,8 @@ mod tests {
         let mut sim = v100_sim(2);
         let shape = BatchShape::prefill(2, 32);
         // Both arrive at t=0: the second waits for the first.
-        let reqs = vec![Request::new(0, shape, SimTime::ZERO), Request::new(1, shape, SimTime::ZERO)];
+        let reqs =
+            vec![Request::new(0, shape, SimTime::ZERO), Request::new(1, shape, SimTime::ZERO)];
         let metrics = serve(&mut sim, &mut engine, reqs);
         assert_eq!(metrics.completed(), 2);
         let mut lats: Vec<_> = metrics.completions().to_vec();

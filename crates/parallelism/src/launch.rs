@@ -69,7 +69,13 @@ pub fn launch_symmetric(
 /// Launches a per-device op list (a pipeline stage) on one device's stream.
 /// Communication ops are not allowed here — stage boundaries are handled by
 /// the caller with explicit send/recv pairs.
-pub fn launch_stage(sim: &mut Simulation, ops: &[PricedOp], device: DeviceId, stream: usize, tag: u64) {
+pub fn launch_stage(
+    sim: &mut Simulation,
+    ops: &[PricedOp],
+    device: DeviceId,
+    stream: usize,
+    tag: u64,
+) {
     for op in ops {
         assert_eq!(
             op.class(),
@@ -149,10 +155,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "compute-only")]
     fn launch_stage_rejects_comm_ops() {
-        let mut sim = Simulation::builder()
-            .device(liger_gpu_sim::DeviceSpec::test_device())
-            .build()
-            .unwrap();
+        let mut sim =
+            Simulation::builder().device(liger_gpu_sim::DeviceSpec::test_device()).build().unwrap();
         let op = priced(LayerOp::AllReduce { bytes: 1, ranks: 2 }, 1);
         launch_stage(&mut sim, &[op], DeviceId(0), 0, 0);
     }
@@ -179,7 +183,12 @@ impl EngineMemory {
     ///
     /// # Panics
     /// When the shard does not fit — the model cannot be deployed this way.
-    pub fn ensure_weights(&mut self, sim: &mut Simulation, devices: &[DeviceId], bytes_per_device: u64) {
+    pub fn ensure_weights(
+        &mut self,
+        sim: &mut Simulation,
+        devices: &[DeviceId],
+        bytes_per_device: u64,
+    ) {
         if self.weights.is_some() {
             return;
         }
@@ -199,7 +208,13 @@ impl EngineMemory {
     /// # Panics
     /// When the working set does not fit — admission control (processing
     /// slots / in-flight window) is sized wrongly for the device.
-    pub fn batch_submitted(&mut self, sim: &mut Simulation, devices: &[DeviceId], batch: u64, bytes_per_device: u64) {
+    pub fn batch_submitted(
+        &mut self,
+        sim: &mut Simulation,
+        devices: &[DeviceId],
+        batch: u64,
+        bytes_per_device: u64,
+    ) {
         let ids: Vec<_> = devices
             .iter()
             .map(|&d| {
@@ -227,7 +242,11 @@ impl EngineMemory {
 /// cache for their whole context; a pure prefill forward pass only keeps
 /// per-layer transient state, so it is charged the activation workspace
 /// alone.
-pub fn batch_working_set_bytes(cfg: &liger_model::ModelConfig, shape: liger_model::BatchShape, ways: u32) -> u64 {
+pub fn batch_working_set_bytes(
+    cfg: &liger_model::ModelConfig,
+    shape: liger_model::BatchShape,
+    ways: u32,
+) -> u64 {
     let f = liger_model::device_footprint(cfg, ways, shape, shape.phase.kv_len(), 1);
     match shape.phase {
         liger_model::Phase::Prefill { .. } => f.activations,
@@ -238,9 +257,9 @@ pub fn batch_working_set_bytes(cfg: &liger_model::ModelConfig, shape: liger_mode
 #[cfg(test)]
 mod memory_tests {
     use super::*;
+    use liger_gpu_sim::{DeviceSpec, SimTime};
     use liger_model::{BatchShape, CostModel, ModelConfig};
     use liger_serving::{serve, Request};
-    use liger_gpu_sim::{DeviceSpec, SimTime};
 
     fn sim(n: usize, spec: DeviceSpec) -> Simulation {
         Simulation::builder().devices(spec, n).build().unwrap()
@@ -277,8 +296,13 @@ mod memory_tests {
     #[test]
     fn pipeline_frees_working_sets_as_batches_drain() {
         let cfg = ModelConfig::opt_30b();
-        let mut engine =
-            crate::InterOpEngine::new(cfg.clone(), CostModel::v100_node(), 4, crate::PipelineFlavor::Measured).unwrap();
+        let mut engine = crate::InterOpEngine::new(
+            cfg.clone(),
+            CostModel::v100_node(),
+            4,
+            crate::PipelineFlavor::Measured,
+        )
+        .unwrap();
         let mut s = sim(4, DeviceSpec::v100_16gb());
         let reqs: Vec<Request> = (0..6)
             .map(|i| Request::new(i, BatchShape::prefill(2, 64), SimTime::from_micros(10 * i)))

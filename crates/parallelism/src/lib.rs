@@ -12,8 +12,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod intra_op;
 pub mod inter_op;
+pub mod intra_op;
 pub mod launch;
 pub mod partition;
 

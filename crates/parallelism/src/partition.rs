@@ -105,18 +105,20 @@ mod tests {
         let expanded = inter_th_expand(&ops, 4);
         let egemms = expanded.iter().filter(|p| matches!(p.op, LayerOp::Gemm { .. })).count();
         assert_eq!(egemms, gemms * 4);
-        assert_eq!(
-            expanded.len(),
-            ops.len() - gemms + gemms * 4,
-            "non-GEMM ops are untouched"
-        );
+        assert_eq!(expanded.len(), ops.len() - gemms + gemms * 4, "non-GEMM ops are untouched");
     }
 
     #[test]
     fn inter_th_partitions_along_megatron_axes() {
         let ops = vec![
-            PlacedOp { layer: 0, op: LayerOp::Gemm { m: 128, k: 7168, n: 21504, kind: GemmKind::Qkv } },
-            PlacedOp { layer: 0, op: LayerOp::Gemm { m: 128, k: 28672, n: 7168, kind: GemmKind::Fc2 } },
+            PlacedOp {
+                layer: 0,
+                op: LayerOp::Gemm { m: 128, k: 7168, n: 21504, kind: GemmKind::Qkv },
+            },
+            PlacedOp {
+                layer: 0,
+                op: LayerOp::Gemm { m: 128, k: 28672, n: 7168, kind: GemmKind::Fc2 },
+            },
         ];
         let out = inter_th_expand(&ops, 4);
         match out[0].op {

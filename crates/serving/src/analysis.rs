@@ -74,7 +74,9 @@ pub fn dg1_wait(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
     // G/G/1 Kingman with ca² = 0, scaled by the KLB correction for
     // deterministic arrivals.
     let kingman = rho / (1.0 - rho) * (cs2 / 2.0) * mean_service;
-    let g = (-2.0 * (1.0 - rho) * (1.0 - cs2.min(1.0)).powi(2) / (3.0 * rho * (cs2 + 1.0).max(1e-9))).exp();
+    let g = (-2.0 * (1.0 - rho) * (1.0 - cs2.min(1.0)).powi(2)
+        / (3.0 * rho * (cs2 + 1.0).max(1e-9)))
+    .exp();
     kingman * g
 }
 

@@ -5,17 +5,14 @@
 //! randomly generated traces with sequence lengths in `[16, 128]`. A Poisson
 //! process is provided as well for the beyond-paper ablation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use liger_gpu_sim::rng::Rng;
 use liger_gpu_sim::SimTime;
 use liger_model::BatchShape;
 
 use crate::request::Request;
 
 /// Inter-arrival law.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
     /// Evenly spaced arrivals at `rate` jobs/second (the paper's setting).
     Constant {
@@ -47,12 +44,11 @@ impl ArrivalProcess {
                 (0..n).map(|i| SimTime::from_secs_f64(i as f64 * gap)).collect()
             }
             ArrivalProcess::Poisson { .. } => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let mut t = 0.0f64;
                 (0..n)
                     .map(|_| {
-                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                        t += -u.ln() / rate;
+                        t += rng.exponential(rate);
                         SimTime::from_secs_f64(t)
                     })
                     .collect()
@@ -62,7 +58,7 @@ impl ArrivalProcess {
 }
 
 /// Workload description for the general (prefill) tasks of §4.2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrefillTraceConfig {
     /// Number of jobs.
     pub count: usize,
@@ -95,12 +91,12 @@ impl PrefillTraceConfig {
     pub fn generate(&self) -> Vec<Request> {
         assert!(self.seq_min >= 1 && self.seq_min <= self.seq_max, "bad sequence range");
         let times = self.arrivals.arrival_times(self.count, self.seed);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x5eed_5eed);
         times
             .into_iter()
             .enumerate()
             .map(|(i, arrival)| {
-                let seq = rng.gen_range(self.seq_min..=self.seq_max);
+                let seq = rng.u32_inclusive(self.seq_min, self.seq_max);
                 Request::new(i as u64, BatchShape::prefill(self.batch, seq), arrival)
             })
             .collect()
@@ -110,7 +106,7 @@ impl PrefillTraceConfig {
 /// A production-like prompt-length distribution (beyond the paper's uniform
 /// 16–128): lognormal lengths clipped to a range, mimicking the heavy right
 /// tail of conversational traces like ShareGPT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LognormalTraceConfig {
     /// Number of jobs.
     pub count: usize,
@@ -152,16 +148,12 @@ impl LognormalTraceConfig {
         assert!(self.seq_min >= 1 && self.seq_min <= self.seq_max, "bad clip range");
         assert!(self.median_seq > 0.0 && self.sigma >= 0.0, "bad lognormal parameters");
         let times = self.arrivals.arrival_times(self.count, self.seed);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0010_ca10);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x0010_ca10);
         times
             .into_iter()
             .enumerate()
             .map(|(i, arrival)| {
-                // Box-Muller from two uniforms keeps us on rand's stable API.
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                let seq = (self.median_seq * (self.sigma * z).exp()).round() as i64;
+                let seq = rng.lognormal(self.median_seq, self.sigma).round() as i64;
                 let seq = seq.clamp(self.seq_min as i64, self.seq_max as i64) as u32;
                 Request::new(i as u64, BatchShape::prefill(self.batch, seq), arrival)
             })
@@ -171,7 +163,7 @@ impl LognormalTraceConfig {
 
 /// Workload description for the generative (decode) tasks of §4.3: constant
 /// single-token iterations at a fixed context, batch 32, starting length 16.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodeTraceConfig {
     /// Number of decode iterations (jobs).
     pub count: usize,
@@ -200,7 +192,9 @@ impl DecodeTraceConfig {
         times
             .into_iter()
             .enumerate()
-            .map(|(i, arrival)| Request::new(i as u64, BatchShape::decode(self.batch, self.context), arrival))
+            .map(|(i, arrival)| {
+                Request::new(i as u64, BatchShape::decode(self.batch, self.context), arrival)
+            })
             .collect()
     }
 }
@@ -312,5 +306,56 @@ mod tests {
         let mut cfg = LognormalTraceConfig::sharegpt_like(1, 1, 1.0, 0);
         cfg.median_seq = 0.0;
         cfg.generate();
+    }
+}
+
+/// Arrival laws serialize as `{"law": "constant"|"poisson", "rate": ...}`.
+impl liger_gpu_sim::ToJson for ArrivalProcess {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            ArrivalProcess::Constant { rate } => obj.field("law", &"constant").field("rate", &rate),
+            ArrivalProcess::Poisson { rate } => obj.field("law", &"poisson").field("rate", &rate),
+        };
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for PrefillTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("seq_min", &self.seq_min)
+            .field("seq_max", &self.seq_max)
+            .field("arrivals", &self.arrivals)
+            .field("seed", &self.seed);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for LognormalTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("median_seq", &self.median_seq)
+            .field("sigma", &self.sigma)
+            .field("seq_min", &self.seq_min)
+            .field("seq_max", &self.seq_max)
+            .field("arrivals", &self.arrivals)
+            .field("seed", &self.seed);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for DecodeTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("context", &self.context)
+            .field("arrivals", &self.arrivals);
+        obj.end();
     }
 }

@@ -11,15 +11,13 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::{SimDuration, SimTime};
 use liger_model::BatchShape;
 
 use crate::request::Request;
 
 /// One user query (a single sequence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Query {
     /// Query id (caller-assigned, dense).
     pub id: u64,
@@ -30,7 +28,7 @@ pub struct Query {
 }
 
 /// Batching policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatcherConfig {
     /// Maximum queries per batch.
     pub max_batch: u32,
@@ -41,10 +39,7 @@ pub struct BatcherConfig {
 
 impl Default for BatcherConfig {
     fn default() -> Self {
-        BatcherConfig {
-            max_batch: 8,
-            max_wait: SimDuration::from_millis(10),
-        }
+        BatcherConfig { max_batch: 8, max_wait: SimDuration::from_millis(10) }
     }
 }
 
@@ -60,7 +55,7 @@ impl BatcherConfig {
 
 /// A batch emitted by the batcher: the engine request plus the member
 /// queries (for unbatching completions back to users).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedBatch {
     /// The engine-facing request.
     pub request: Request,
@@ -80,11 +75,7 @@ impl Batcher {
     /// Creates a batcher.
     pub fn new(config: BatcherConfig) -> Result<Batcher, String> {
         config.validate()?;
-        Ok(Batcher {
-            config,
-            pending: VecDeque::new(),
-            next_request: 0,
-        })
+        Ok(Batcher { config, pending: VecDeque::new(), next_request: 0 })
     }
 
     /// Queries currently held back.
@@ -142,16 +133,14 @@ mod tests {
     use super::*;
 
     fn q(id: u64, seq: u32, at_us: u64) -> Query {
-        Query {
-            id,
-            seq_len: seq,
-            arrival: SimTime::from_micros(at_us),
-        }
+        Query { id, seq_len: seq, arrival: SimTime::from_micros(at_us) }
     }
 
     #[test]
     fn fills_to_max_batch() {
-        let mut b = Batcher::new(BatcherConfig { max_batch: 3, max_wait: SimDuration::from_millis(5) }).unwrap();
+        let mut b =
+            Batcher::new(BatcherConfig { max_batch: 3, max_wait: SimDuration::from_millis(5) })
+                .unwrap();
         assert!(b.offer(q(0, 16, 0)).is_none());
         assert!(b.offer(q(1, 64, 10)).is_none());
         let batch = b.offer(q(2, 32, 20)).expect("third query fills the batch");
@@ -164,7 +153,9 @@ mod tests {
 
     #[test]
     fn timeout_flushes_partial_batches() {
-        let mut b = Batcher::new(BatcherConfig { max_batch: 8, max_wait: SimDuration::from_millis(5) }).unwrap();
+        let mut b =
+            Batcher::new(BatcherConfig { max_batch: 8, max_wait: SimDuration::from_millis(5) })
+                .unwrap();
         b.offer(q(0, 40, 0));
         b.offer(q(1, 20, 1_000));
         assert_eq!(b.flush_deadline(), Some(SimTime::from_millis(5)));
@@ -178,7 +169,8 @@ mod tests {
 
     #[test]
     fn request_ids_are_dense_and_increasing() {
-        let mut b = Batcher::new(BatcherConfig { max_batch: 1, max_wait: SimDuration::ZERO }).unwrap();
+        let mut b =
+            Batcher::new(BatcherConfig { max_batch: 1, max_wait: SimDuration::ZERO }).unwrap();
         let r0 = b.offer(q(0, 16, 0)).unwrap().request.id;
         let r1 = b.offer(q(1, 16, 5)).unwrap().request.id;
         assert_eq!((r0, r1), (0, 1));
@@ -200,7 +192,9 @@ mod tests {
 
     #[test]
     fn burst_larger_than_max_batch_splits() {
-        let mut b = Batcher::new(BatcherConfig { max_batch: 4, max_wait: SimDuration::from_millis(1) }).unwrap();
+        let mut b =
+            Batcher::new(BatcherConfig { max_batch: 4, max_wait: SimDuration::from_millis(1) })
+                .unwrap();
         let mut emitted = Vec::new();
         for i in 0..10 {
             if let Some(batch) = b.offer(q(i, 16, 0)) {
@@ -245,7 +239,11 @@ pub struct QueryRunner<'a, E: InferenceEngine + ?Sized> {
 
 impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
     /// Creates a runner over `queries` (ids must be dense indices).
-    pub fn new(engine: &'a mut E, config: BatcherConfig, queries: Vec<Query>) -> Result<Self, String> {
+    pub fn new(
+        engine: &'a mut E,
+        config: BatcherConfig,
+        queries: Vec<Query>,
+    ) -> Result<Self, String> {
         let outstanding = queries.len();
         Ok(QueryRunner {
             engine,
@@ -348,9 +346,9 @@ pub fn serve_queries<E: InferenceEngine + ?Sized>(
 #[cfg(test)]
 mod runner_tests {
     use super::*;
+    use crate::request::Request;
     use liger_gpu_sim::{DeviceId, DeviceSpec, HostId, HostSpec, KernelSpec, SimTime, StreamId};
     use liger_model::Phase;
-    use crate::request::Request;
 
     /// Engine taking 10us per batch regardless of size, recording shapes.
     struct RecordingEngine {
@@ -369,7 +367,11 @@ mod runner_tests {
             };
             self.shapes.push((request.shape.batch, seq));
             let stream = StreamId::new(DeviceId(0), 0);
-            sim.launch(HostId(0), stream, KernelSpec::compute("b", liger_gpu_sim::SimDuration::from_micros(10)));
+            sim.launch(
+                HostId(0),
+                stream,
+                KernelSpec::compute("b", liger_gpu_sim::SimDuration::from_micros(10)),
+            );
             let ev = sim.record_event(HostId(0), stream);
             sim.notify_on_event(ev, HostId(0), request.id);
         }
@@ -445,5 +447,29 @@ mod runner_tests {
         let mut e = RecordingEngine { done: vec![], shapes: vec![] };
         let m = serve_queries(&mut sim(), &mut e, BatcherConfig::default(), vec![]);
         assert_eq!(m.completed(), 0);
+    }
+}
+
+impl liger_gpu_sim::ToJson for Query {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id).field("seq_len", &self.seq_len).field("arrival", &self.arrival);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for BatcherConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("max_batch", &self.max_batch).field("max_wait", &self.max_wait);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for PackedBatch {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("request", &self.request).field("members", &self.members);
+        obj.end();
     }
 }

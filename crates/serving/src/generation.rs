@@ -11,8 +11,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::{Driver, SimDuration, SimTime, Simulation, Wake};
 use liger_model::BatchShape;
 
@@ -21,7 +19,7 @@ use crate::request::Request;
 
 /// One generation job: a batch of prompts decoded for a fixed number of
 /// output tokens.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenerationJob {
     /// Job id (dense, assigned by the caller).
     pub id: u64,
@@ -36,7 +34,7 @@ pub struct GenerationJob {
 }
 
 /// Outcome of one finished generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenerationResult {
     /// Job id.
     pub id: u64,
@@ -74,7 +72,7 @@ impl GenerationResult {
 }
 
 /// Aggregated generation metrics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GenerationMetrics {
     results: Vec<GenerationResult>,
 }
@@ -367,5 +365,32 @@ mod tests {
             assert!(r.finished > r.arrival);
             assert!(r.first_token <= r.finished);
         }
+    }
+}
+
+impl liger_gpu_sim::ToJson for GenerationJob {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("batch", &self.batch)
+            .field("prompt_len", &self.prompt_len)
+            .field("output_tokens", &self.output_tokens)
+            .field("arrival", &self.arrival);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for GenerationResult {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("arrival", &self.arrival)
+            .field("first_token", &self.first_token)
+            .field("finished", &self.finished)
+            .field("tokens", &self.tokens)
+            .field("batch", &self.batch)
+            .field("ttft_ns", &self.ttft())
+            .field("tpot_ns", &self.tpot());
+        obj.end();
     }
 }

@@ -22,8 +22,10 @@ pub mod runner;
 pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
 pub use arrival::{ArrivalProcess, DecodeTraceConfig, LognormalTraceConfig, PrefillTraceConfig};
 pub use batcher::{serve_queries, Batcher, BatcherConfig, PackedBatch, Query, QueryRunner};
-pub use generation::{serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner};
 pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
+pub use generation::{
+    serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner,
+};
 pub use metrics::ServingMetrics;
 pub use request::{Completion, Request};
 pub use runner::{serve, ServingRunner};

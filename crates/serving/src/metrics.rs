@@ -4,14 +4,12 @@
 //!   execution time.
 //! * **Throughput** = jobs completed per second of serving time.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::{SimDuration, SimTime};
 
 use crate::request::Completion;
 
 /// Aggregated results of one serving run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ServingMetrics {
     completions: Vec<Completion>,
 }
@@ -153,10 +151,10 @@ mod tests {
     #[test]
     fn slo_attainment_and_goodput() {
         let mut m = ServingMetrics::new();
-        m.record(c(0, 0, 10));   // 10ms
-        m.record(c(1, 0, 20));   // 20ms
-        m.record(c(2, 0, 100));  // 100ms
-        m.record(c(3, 0, 200));  // 200ms -> horizon 200ms, thr = 20/s
+        m.record(c(0, 0, 10)); // 10ms
+        m.record(c(1, 0, 20)); // 20ms
+        m.record(c(2, 0, 100)); // 100ms
+        m.record(c(3, 0, 200)); // 200ms -> horizon 200ms, thr = 20/s
         assert!((m.slo_attainment(SimDuration::from_millis(20)) - 0.5).abs() < 1e-12);
         assert!((m.slo_attainment(SimDuration::from_millis(1000)) - 1.0).abs() < 1e-12);
         assert_eq!(m.slo_attainment(SimDuration::ZERO), 0.0);
@@ -170,5 +168,20 @@ mod tests {
         m.record(c(0, 0, 7));
         assert_eq!(m.latency_percentile(-5.0), SimDuration::from_millis(7));
         assert_eq!(m.latency_percentile(200.0), SimDuration::from_millis(7));
+    }
+}
+
+/// Metrics serialize as a summary object (latencies in nanoseconds,
+/// throughput in jobs/s) — the shape the results tooling consumes.
+impl liger_gpu_sim::ToJson for ServingMetrics {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("completed", &self.completed())
+            .field("avg_latency_ns", &self.avg_latency())
+            .field("p50_latency_ns", &self.latency_percentile(50.0))
+            .field("p99_latency_ns", &self.latency_percentile(99.0))
+            .field("max_latency_ns", &self.max_latency())
+            .field("throughput", &self.throughput());
+        obj.end();
     }
 }

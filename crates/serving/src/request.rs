@@ -6,13 +6,11 @@
 //! arrival to completion and therefore includes pending time; throughput is
 //! jobs completed per second.
 
-use serde::{Deserialize, Serialize};
-
 use liger_gpu_sim::SimTime;
 use liger_model::BatchShape;
 
 /// One batched inference job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Monotonically increasing id (also the arrival order).
     pub id: u64,
@@ -30,7 +28,7 @@ impl Request {
 }
 
 /// A completed job: pairs the request with its completion instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The request id.
     pub id: u64,
@@ -67,5 +65,24 @@ mod tests {
         let r = Request::new(7, BatchShape::prefill(2, 64), SimTime::from_millis(1));
         assert_eq!(r.id, 7);
         assert_eq!(r.shape.batch, 2);
+    }
+}
+
+impl liger_gpu_sim::ToJson for Request {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id).field("shape", &self.shape).field("arrival", &self.arrival);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for Completion {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("arrival", &self.arrival)
+            .field("finished", &self.finished)
+            .field("latency", &self.latency());
+        obj.end();
     }
 }

@@ -20,12 +20,7 @@ impl<'a, E: InferenceEngine + ?Sized> ServingRunner<'a, E> {
     /// Creates a runner over `requests` (any order; they are indexed by id).
     pub fn new(engine: &'a mut E, requests: Vec<Request>) -> Self {
         let outstanding = requests.len();
-        ServingRunner {
-            engine,
-            requests,
-            metrics: ServingMetrics::new(),
-            outstanding,
-        }
+        ServingRunner { engine, requests, metrics: ServingMetrics::new(), outstanding }
     }
 
     /// The collected metrics (complete once the simulation has stopped).
@@ -57,8 +52,15 @@ impl<E: InferenceEngine + ?Sized> Driver for ServingRunner<'_, E> {
         }
         for (i, r) in self.requests.iter().enumerate() {
             debug_assert_eq!(r.id as usize, i, "request ids must be dense arrival indices");
-            sim.set_timer(r.arrival, RUNNER_TOKEN_BASE | r.id);
+            debug_assert!(
+                i == 0 || self.requests[i - 1].arrival <= r.arrival,
+                "requests must be sorted by arrival"
+            );
         }
+        // Arrival timers are chained: only the next pending arrival has a
+        // timer in flight, so the event heap holds O(in-flight batch) timer
+        // entries instead of one per trace request up front.
+        sim.set_timer(self.requests[0].arrival, RUNNER_TOKEN_BASE);
     }
 
     fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
@@ -66,6 +68,11 @@ impl<E: InferenceEngine + ?Sized> Driver for ServingRunner<'_, E> {
             Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
                 let id = (token & !RUNNER_TOKEN_BASE) as usize;
                 let request = self.requests[id];
+                if let Some(next) = self.requests.get(id + 1) {
+                    // `set_timer` clamps past deadlines to `now`, so a burst
+                    // of simultaneous arrivals still drains one per wake.
+                    sim.set_timer(next.arrival, RUNNER_TOKEN_BASE | next.id);
+                }
                 self.engine.submit(request, sim);
             }
             other => self.engine.on_wake(other, sim),
@@ -75,7 +82,11 @@ impl<E: InferenceEngine + ?Sized> Driver for ServingRunner<'_, E> {
 }
 
 /// Serves `requests` with `engine` on `sim`; returns the metrics.
-pub fn serve<E: InferenceEngine + ?Sized>(sim: &mut Simulation, engine: &mut E, requests: Vec<Request>) -> ServingMetrics {
+pub fn serve<E: InferenceEngine + ?Sized>(
+    sim: &mut Simulation,
+    engine: &mut E,
+    requests: Vec<Request>,
+) -> ServingMetrics {
     let mut runner = ServingRunner::new(engine, requests);
     sim.run_to_completion(&mut runner);
     runner.into_metrics()
@@ -84,7 +95,9 @@ pub fn serve<E: InferenceEngine + ?Sized>(sim: &mut Simulation, engine: &mut E, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use liger_gpu_sim::{DeviceId, DeviceSpec, EventId, HostId, HostSpec, KernelSpec, SimDuration, SimTime, StreamId};
+    use liger_gpu_sim::{
+        DeviceId, DeviceSpec, EventId, HostId, HostSpec, KernelSpec, SimDuration, SimTime, StreamId,
+    };
     use liger_model::BatchShape;
 
     /// A trivial engine: each request is one 10us kernel on device 0.
@@ -134,7 +147,13 @@ mod tests {
 
     fn trace(n: usize, gap_us: u64) -> Vec<Request> {
         (0..n)
-            .map(|i| Request::new(i as u64, BatchShape::prefill(1, 16), SimTime::from_micros(gap_us * i as u64)))
+            .map(|i| {
+                Request::new(
+                    i as u64,
+                    BatchShape::prefill(1, 16),
+                    SimTime::from_micros(gap_us * i as u64),
+                )
+            })
             .collect()
     }
 

@@ -1,22 +1,26 @@
 //! Property tests for the batching frontend: conservation and ordering over
 //! arbitrary query streams.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
 
+use liger_gpu_sim::testkit::{check, Gen};
 use liger_gpu_sim::{SimDuration, SimTime};
 use liger_serving::{Batcher, BatcherConfig, Query};
-use proptest::prelude::*;
 
-fn queries_strategy() -> impl Strategy<Value = Vec<(u32, u64)>> {
-    // (seq_len, inter-arrival gap in us)
-    prop::collection::vec((1u32..512, 0u64..10_000), 0..200)
+/// Up to 200 queries as (seq_len, inter-arrival gap in us).
+fn gen_queries(g: &mut Gen) -> Vec<(u32, u64)> {
+    g.vec_of(0, 200, |g| (g.u32_in(1, 512), g.u64_in(0, 10_000)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every offered query appears in exactly one emitted batch, in arrival
-    /// order, and no batch exceeds the configured size.
-    #[test]
-    fn batches_partition_the_query_stream(raw in queries_strategy(), max_batch in 1u32..12, wait_us in 1u64..50_000) {
+/// Every offered query appears in exactly one emitted batch, in arrival
+/// order, and no batch exceeds the configured size.
+#[test]
+fn batches_partition_the_query_stream() {
+    check("batches_partition_the_query_stream", 64, |g| {
+        let raw = gen_queries(g);
+        let max_batch = g.u32_in(1, 12);
+        let wait_us = g.u64_in(1, 50_000);
         let config = BatcherConfig { max_batch, max_wait: SimDuration::from_micros(wait_us) };
         let mut b = Batcher::new(config).unwrap();
         let mut t = 0u64;
@@ -27,25 +31,29 @@ proptest! {
             let q = Query { id: n, seq_len: *seq, arrival: SimTime::from_micros(t) };
             n += 1;
             if let Some(batch) = b.offer(q) {
-                prop_assert!(batch.members.len() <= max_batch as usize);
-                prop_assert!(batch.request.shape.batch as usize == batch.members.len());
+                assert!(batch.members.len() <= max_batch as usize);
+                assert!(batch.request.shape.batch as usize == batch.members.len());
                 emitted.extend(&batch.members);
             }
         }
         // Drain the tail through timeout flushes.
         while let Some(batch) = b.flush(SimTime::from_micros(t + wait_us)) {
-            prop_assert!(batch.members.len() <= max_batch as usize);
+            assert!(batch.members.len() <= max_batch as usize);
             emitted.extend(&batch.members);
         }
-        prop_assert_eq!(b.pending(), 0);
+        assert_eq!(b.pending(), 0);
         let expect: Vec<u64> = (0..n).collect();
-        prop_assert_eq!(emitted, expect, "queries lost, duplicated, or reordered");
-    }
+        assert_eq!(emitted, expect, "queries lost, duplicated, or reordered");
+    });
+}
 
-    /// A batch's padded sequence length is the max of its members' lengths.
-    #[test]
-    fn padding_is_exactly_the_member_max(seqs in prop::collection::vec(1u32..512, 1..8)) {
-        let config = BatcherConfig { max_batch: seqs.len() as u32, max_wait: SimDuration::from_millis(1) };
+/// A batch's padded sequence length is the max of its members' lengths.
+#[test]
+fn padding_is_exactly_the_member_max() {
+    check("padding_is_exactly_the_member_max", 64, |g| {
+        let seqs = g.vec_of(1, 8, |g| g.u32_in(1, 512));
+        let config =
+            BatcherConfig { max_batch: seqs.len() as u32, max_wait: SimDuration::from_millis(1) };
         let mut b = Batcher::new(config).unwrap();
         let mut batch = None;
         for (i, seq) in seqs.iter().enumerate() {
@@ -54,14 +62,14 @@ proptest! {
         let batch = batch.expect("final offer fills the batch");
         match batch.request.shape.phase {
             liger_model::Phase::Prefill { seq_len } => {
-                prop_assert_eq!(seq_len, *seqs.iter().max().unwrap());
+                assert_eq!(seq_len, *seqs.iter().max().unwrap());
             }
-            _ => prop_assert!(false, "prefill expected"),
+            _ => panic!("prefill expected"),
         }
         // Waste is in [0, 1) and zero iff all members share the max length.
         let max = *seqs.iter().max().unwrap();
         let waste = Batcher::padding_waste(max, &seqs);
-        prop_assert!((0.0..1.0).contains(&waste));
-        prop_assert_eq!(waste == 0.0, seqs.iter().all(|&s| s == max));
-    }
+        assert!((0.0..1.0).contains(&waste));
+        assert_eq!(waste == 0.0, seqs.iter().all(|&s| s == max));
+    });
 }

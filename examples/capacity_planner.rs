@@ -11,8 +11,10 @@ use liger::model::{device_footprint, fits};
 use liger::prelude::*;
 
 fn main() {
-    let nodes = [("V100-16GB", DeviceSpec::v100_16gb(), CostModel::v100_node()),
-                 ("A100-80GB", DeviceSpec::a100_80gb(), CostModel::a100_node())];
+    let nodes = [
+        ("V100-16GB", DeviceSpec::v100_16gb(), CostModel::v100_node()),
+        ("A100-80GB", DeviceSpec::a100_80gb(), CostModel::a100_node()),
+    ];
     let shape = BatchShape::prefill(4, 128);
 
     for model in ModelConfig::zoo() {
@@ -25,7 +27,10 @@ fn main() {
                 let ok = fits(&model, ways, shape, 512, 4, dev.mem_capacity);
                 if !ok {
                     let f = device_footprint(&model, ways, shape, 512, 4);
-                    println!("  {label} x{ways}: does NOT fit ({:.0} GB needed per device)", f.total() as f64 / 1e9);
+                    println!(
+                        "  {label} x{ways}: does NOT fit ({:.0} GB needed per device)",
+                        f.total() as f64 / 1e9
+                    );
                     continue;
                 }
                 let ops = assemble(cost, &model, shape, ways);

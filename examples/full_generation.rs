@@ -17,7 +17,8 @@ fn main() {
     let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
 
     for rate in [2.0f64, 6.0, 10.0] {
-        let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap();
+        let mut sim =
+            Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap();
         let mut engine = LigerEngine::new(
             cfg.clone(),
             cost.clone(),

@@ -16,12 +16,14 @@ fn main() {
 
     // Memory check: does OPT-66B + KV cache fit the node?
     let shape = BatchShape::decode(32, 512);
-    let fits = liger::model::fits(&cfg, world as u32, shape, 512, 4, DeviceSpec::a100_80gb().mem_capacity);
+    let fits =
+        liger::model::fits(&cfg, world as u32, shape, 512, 4, DeviceSpec::a100_80gb().mem_capacity);
     println!("OPT-66B decode @ context 512, batch 32, 4-way: fits 4x A100-80GB: {fits}");
     assert!(fits);
 
     for rate in [20.0, 40.0, 60.0] {
-        let mut sim = Simulation::builder().devices(DeviceSpec::a100_80gb(), world).build().unwrap();
+        let mut sim =
+            Simulation::builder().devices(DeviceSpec::a100_80gb(), world).build().unwrap();
         let mut engine = LigerEngine::new(
             cfg.clone(),
             cost.clone(),

@@ -9,8 +9,7 @@
 
 use liger::prelude::*;
 use liger::serving::{serve_queries, BatcherConfig, Query};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use liger_gpu_sim::rng::Rng;
 
 fn main() {
     let world = 4;
@@ -19,17 +18,18 @@ fn main() {
     let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
 
     // 400 queries at ~80 queries/s with uniform 16-128 token prompts.
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let queries: Vec<Query> = (0..400)
         .map(|i| Query {
             id: i,
-            seq_len: rng.gen_range(16..=128),
+            seq_len: rng.u32_inclusive(16, 128),
             arrival: SimTime::from_secs_f64(i as f64 / 80.0),
         })
         .collect();
 
     for wait_ms in [1u64, 5, 20] {
-        let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap();
+        let mut sim =
+            Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap();
         let mut engine = LigerEngine::new(
             cfg.clone(),
             cost.clone(),
@@ -37,10 +37,7 @@ fn main() {
             LigerConfig::default().with_contention_factor(factor),
         )
         .unwrap();
-        let batcher = BatcherConfig {
-            max_batch: 8,
-            max_wait: SimDuration::from_millis(wait_ms),
-        };
+        let batcher = BatcherConfig { max_batch: 8, max_wait: SimDuration::from_millis(wait_ms) };
         let m = serve_queries(&mut sim, &mut engine, batcher, queries.clone());
         println!(
             "max_wait {wait_ms:>2}ms: avg query latency {} | p99 {} | {:.1} queries/s",

@@ -27,8 +27,9 @@ fn main() {
 
     // 3. Build the Liger engine for OPT-30B at tensor-parallel degree 4.
     let config = LigerConfig::default().with_contention_factor(profile.factor());
-    let mut engine = LigerEngine::new(ModelConfig::opt_30b(), CostModel::v100_node(), world, config)
-        .expect("OPT-30B fits 4 V100s");
+    let mut engine =
+        LigerEngine::new(ModelConfig::opt_30b(), CostModel::v100_node(), world, config)
+            .expect("OPT-30B fits 4 V100s");
 
     // 4. Serve 100 batched jobs (batch 2, seq 16-128) arriving at 20 req/s.
     let trace = PrefillTraceConfig::paper(100, 2, 20.0, 42).generate();

@@ -8,10 +8,7 @@
 use liger::prelude::*;
 
 fn run(label: &str, engine: &mut dyn InferenceEngine, rate: f64) {
-    let mut sim = Simulation::builder()
-        .devices(DeviceSpec::v100_16gb(), 4)
-        .build()
-        .unwrap();
+    let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), 4).build().unwrap();
     let trace = PrefillTraceConfig::paper(150, 2, rate, 42).generate();
     let m = serve(&mut sim, engine, trace);
     println!(
@@ -39,9 +36,11 @@ fn main() {
         run("Liger", &mut liger, rate);
         let mut intra = IntraOpEngine::new(cfg.clone(), cost.clone(), 4).unwrap();
         run("Intra-Op", &mut intra, rate);
-        let mut inter = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
+        let mut inter =
+            InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Measured).unwrap();
         run("Inter-Op", &mut inter, rate);
-        let mut inter_th = InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Theoretical).unwrap();
+        let mut inter_th =
+            InterOpEngine::new(cfg.clone(), cost.clone(), 4, PipelineFlavor::Theoretical).unwrap();
         run("Inter-Th", &mut inter_th, rate);
         println!();
     }

@@ -102,10 +102,14 @@ fn parse() -> Args {
         }
     };
     let parse_num = |name: &str, default: f64| -> f64 {
-        arg(name).map(|v| v.parse().unwrap_or_else(|_| {
-            eprintln!("invalid --{name}");
-            usage()
-        })).unwrap_or(default)
+        arg(name)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --{name}");
+                    usage()
+                })
+            })
+            .unwrap_or(default)
     };
     Args {
         model,
@@ -164,7 +168,11 @@ fn main() {
         args.world,
         args.requests,
         args.rate,
-        if args.decode { "decode (batch 32, ctx 16)".to_string() } else { format!("prefill batch {} seq 16-128", args.batch) }
+        if args.decode {
+            "decode (batch 32, ctx 16)".to_string()
+        } else {
+            format!("prefill batch {} seq 16-128", args.batch)
+        }
     );
 
     for engine_name in &args.engines {
@@ -184,28 +192,35 @@ fn main() {
                     adaptive_factor: args.adaptive,
                     ..LigerConfig::default().with_contention_factor(factor)
                 };
-                let mut e = match LigerEngine::new(args.model.clone(), cost.clone(), args.world, config) {
-                    Ok(e) => e,
-                    Err(err) => {
-                        eprintln!("cannot build Liger engine: {err}");
-                        std::process::exit(1);
-                    }
-                };
+                let mut e =
+                    match LigerEngine::new(args.model.clone(), cost.clone(), args.world, config) {
+                        Ok(e) => e,
+                        Err(err) => {
+                            eprintln!("cannot build Liger engine: {err}");
+                            std::process::exit(1);
+                        }
+                    };
                 serve(&mut sim, &mut e, trace.clone())
             }
             "intra" => {
-                let mut e = IntraOpEngine::new(args.model.clone(), cost.clone(), args.world).unwrap_or_else(|e| {
-                    eprintln!("cannot build Intra-Op engine: {e}");
-                    std::process::exit(1);
-                });
+                let mut e = IntraOpEngine::new(args.model.clone(), cost.clone(), args.world)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot build Intra-Op engine: {e}");
+                        std::process::exit(1);
+                    });
                 serve(&mut sim, &mut e, trace.clone())
             }
             flavor @ ("inter" | "inter-th") => {
-                let pf = if flavor == "inter" { PipelineFlavor::Measured } else { PipelineFlavor::Theoretical };
-                let mut e = InterOpEngine::new(args.model.clone(), cost.clone(), args.world, pf).unwrap_or_else(|e| {
-                    eprintln!("cannot build pipeline engine: {e}");
-                    std::process::exit(1);
-                });
+                let pf = if flavor == "inter" {
+                    PipelineFlavor::Measured
+                } else {
+                    PipelineFlavor::Theoretical
+                };
+                let mut e = InterOpEngine::new(args.model.clone(), cost.clone(), args.world, pf)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot build pipeline engine: {e}");
+                        std::process::exit(1);
+                    });
                 serve(&mut sim, &mut e, trace.clone())
             }
             _ => unreachable!(),

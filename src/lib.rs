@@ -71,6 +71,7 @@ pub mod prelude {
     };
     pub use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
     pub use liger_serving::{
-        serve, ArrivalProcess, DecodeTraceConfig, InferenceEngine, PrefillTraceConfig, Request, ServingMetrics,
+        serve, ArrivalProcess, DecodeTraceConfig, InferenceEngine, PrefillTraceConfig, Request,
+        ServingMetrics,
     };
 }

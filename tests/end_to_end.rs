@@ -26,7 +26,13 @@ fn run_engine(kind: &str, rate: f64, count: usize) -> ServingMetrics {
     let mut sim = v100_sim(4, false);
     match kind {
         "liger" => {
-            let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+            let mut e = LigerEngine::new(
+                cfg,
+                cost,
+                4,
+                LigerConfig::default().with_contention_factor(factor()),
+            )
+            .unwrap();
             serve(&mut sim, &mut e, trace)
         }
         "intra" => {
@@ -119,7 +125,9 @@ fn liger_trace_has_no_lost_kernels_and_synchronous_collectives() {
     let cfg = model();
     let cost = CostModel::v100_node();
     let mut sim = v100_sim(4, true);
-    let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+    let mut e =
+        LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor()))
+            .unwrap();
     let trace_in = PrefillTraceConfig::paper(12, 2, 1e4, 7).generate();
     let m = serve(&mut sim, &mut e, trace_in);
     assert_eq!(m.completed(), 12);
@@ -150,7 +158,9 @@ fn liger_first_batch_keeps_priority_under_burst() {
     let cfg = model();
     let cost = CostModel::v100_node();
     let mut sim = v100_sim(4, false);
-    let mut e = LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor())).unwrap();
+    let mut e =
+        LigerEngine::new(cfg, cost, 4, LigerConfig::default().with_contention_factor(factor()))
+            .unwrap();
     let trace = PrefillTraceConfig::paper(8, 2, 1e6, 42).generate();
     let m = serve(&mut sim, &mut e, trace);
     let first = m.completions().iter().find(|c| c.id == 0).unwrap().latency().as_secs_f64();

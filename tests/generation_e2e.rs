@@ -31,10 +31,7 @@ fn engine(world: usize) -> LigerEngine {
 }
 
 fn sim(world: usize) -> Simulation {
-    Simulation::builder()
-        .devices(DeviceSpec::v100_16gb(), world)
-        .build()
-        .unwrap()
+    Simulation::builder().devices(DeviceSpec::v100_16gb(), world).build().unwrap()
 }
 
 #[test]
@@ -79,5 +76,8 @@ fn generation_latency_scales_with_output_length() {
     };
     let short = total(2);
     let long = total(12);
-    assert!(long > short * 2.0, "12 tokens ({long:.4}s) should cost well over 2x 2 tokens ({short:.4}s)");
+    assert!(
+        long > short * 2.0,
+        "12 tokens ({long:.4}s) should cost well over 2x 2 tokens ({short:.4}s)"
+    );
 }

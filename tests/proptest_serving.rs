@@ -1,9 +1,12 @@
 //! Property tests across the whole stack: any sane workload is served
 //! completely, deterministically and with physically consistent metrics by
 //! every engine.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
 
 use liger::prelude::*;
-use proptest::prelude::*;
+use liger_gpu_sim::testkit::{check, Gen};
 
 fn tiny() -> ModelConfig {
     ModelConfig {
@@ -25,10 +28,14 @@ struct Workload {
     poisson: bool,
 }
 
-fn workload() -> impl Strategy<Value = Workload> {
-    (2usize..25, 1u32..9, 10.0f64..5000.0, any::<u64>(), any::<bool>()).prop_map(
-        |(count, batch, rate, seed, poisson)| Workload { count, batch, rate, seed, poisson },
-    )
+fn gen_workload(g: &mut Gen) -> Workload {
+    Workload {
+        count: g.usize_in(2, 25),
+        batch: g.u32_in(1, 9),
+        rate: g.f64_in(10.0, 5000.0),
+        seed: g.any_u64(),
+        poisson: g.bool(),
+    }
 }
 
 fn trace_of(w: &Workload) -> Vec<Request> {
@@ -65,35 +72,33 @@ fn engines(world: usize) -> Vec<(&'static str, Box<dyn InferenceEngine>)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_engine_serves_any_workload(w in workload()) {
+#[test]
+fn every_engine_serves_any_workload() {
+    check("every_engine_serves_any_workload", 24, |g| {
+        let w = gen_workload(g);
         for (name, mut engine) in engines(2) {
-            let mut sim = Simulation::builder()
-                .devices(DeviceSpec::v100_16gb(), 2)
-                .build()
-                .unwrap();
+            let mut sim =
+                Simulation::builder().devices(DeviceSpec::v100_16gb(), 2).build().unwrap();
             let m = serve(&mut sim, engine.as_mut(), trace_of(&w));
-            prop_assert_eq!(m.completed(), w.count, "{} lost requests on {:?}", name, w);
+            assert_eq!(m.completed(), w.count, "{} lost requests on {:?}", name, w);
             // Physical consistency: completion after arrival; latency at
             // least one kernel's worth; throughput bounded by arrival+1 job.
             for c in m.completions() {
-                prop_assert!(c.finished > c.arrival);
+                assert!(c.finished > c.arrival);
             }
-            prop_assert!(m.max_latency() >= m.latency_percentile(50.0));
-            prop_assert!(m.avg_latency() <= m.max_latency());
+            assert!(m.max_latency() >= m.latency_percentile(50.0));
+            assert!(m.avg_latency() <= m.max_latency());
         }
-    }
+    });
+}
 
-    #[test]
-    fn liger_sync_modes_all_complete(w in workload()) {
+#[test]
+fn liger_sync_modes_all_complete() {
+    check("liger_sync_modes_all_complete", 24, |g| {
+        let w = gen_workload(g);
         for mode in [SyncMode::Hybrid, SyncMode::CpuGpu, SyncMode::InterStream] {
-            let mut sim = Simulation::builder()
-                .devices(DeviceSpec::v100_16gb(), 2)
-                .build()
-                .unwrap();
+            let mut sim =
+                Simulation::builder().devices(DeviceSpec::v100_16gb(), 2).build().unwrap();
             let mut e = LigerEngine::new(
                 tiny(),
                 CostModel::v100_node(),
@@ -102,16 +107,17 @@ proptest! {
             )
             .unwrap();
             let m = serve(&mut sim, &mut e, trace_of(&w));
-            prop_assert_eq!(m.completed(), w.count, "{:?} lost requests on {:?}", mode, w);
+            assert_eq!(m.completed(), w.count, "{:?} lost requests on {:?}", mode, w);
         }
-    }
+    });
+}
 
-    #[test]
-    fn division_factors_preserve_completeness(w in workload(), df in 1u32..20) {
-        let mut sim = Simulation::builder()
-            .devices(DeviceSpec::v100_16gb(), 2)
-            .build()
-            .unwrap();
+#[test]
+fn division_factors_preserve_completeness() {
+    check("division_factors_preserve_completeness", 24, |g| {
+        let w = gen_workload(g);
+        let df = g.u32_in(1, 20);
+        let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), 2).build().unwrap();
         let mut e = LigerEngine::new(
             tiny(),
             CostModel::v100_node(),
@@ -120,6 +126,6 @@ proptest! {
         )
         .unwrap();
         let m = serve(&mut sim, &mut e, trace_of(&w));
-        prop_assert_eq!(m.completed(), w.count);
-    }
+        assert_eq!(m.completed(), w.count);
+    });
 }

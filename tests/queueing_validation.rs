@@ -17,20 +17,11 @@ fn model() -> ModelConfig {
 fn run_intra(arrivals: ArrivalProcess, count: usize) -> ServingMetrics {
     let cfg = model();
     let cost = CostModel::v100_node();
-    let mut sim = Simulation::builder()
-        .devices(DeviceSpec::v100_16gb(), 4)
-        .build()
-        .unwrap();
+    let mut sim = Simulation::builder().devices(DeviceSpec::v100_16gb(), 4).build().unwrap();
     let mut engine = IntraOpEngine::new(cfg, cost, 4).unwrap();
-    let trace = PrefillTraceConfig {
-        count,
-        batch: 2,
-        seq_min: 16,
-        seq_max: 128,
-        arrivals,
-        seed: 11,
-    }
-    .generate();
+    let trace =
+        PrefillTraceConfig { count, batch: 2, seq_min: 16, seq_max: 128, arrivals, seed: 11 }
+            .generate();
     serve(&mut sim, &mut engine, trace)
 }
 
@@ -76,8 +67,5 @@ fn saturation_matches_service_rate() {
     let thr = metrics.throughput();
     let capacity = 1.0 / mean;
     let err = (thr - capacity).abs() / capacity;
-    assert!(
-        err < 0.08,
-        "saturated throughput {thr:.2}/s should match 1/E[S] = {capacity:.2}/s"
-    );
+    assert!(err < 0.08, "saturated throughput {thr:.2}/s should match 1/E[S] = {capacity:.2}/s");
 }
