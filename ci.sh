@@ -17,4 +17,15 @@ cargo build --release --workspace
 echo "==> cargo test -q (offline)"
 cargo test -q --workspace
 
+# Fault-injection and property suites: once with the pinned seed the suite
+# is known-green on (reproducible gate), once unpinned (testkit derives a
+# fresh seed per process, widening coverage over time). A failure prints
+# the LIGER_PROP_SEED to rerun the exact case.
+echo "==> fault & property suites (pinned seed)"
+LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace
+LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+
+echo "==> fault & property suites (fresh seed)"
+cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+
 echo "ci.sh: all checks passed"

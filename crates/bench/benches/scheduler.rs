@@ -31,6 +31,7 @@ fn main() {
                     contention_factor: 1.1,
                     division_factor: 1,
                     enable_decomposition: false,
+                    straggler_factor: 1.0,
                 },
             ),
             (
@@ -39,6 +40,7 @@ fn main() {
                     contention_factor: 1.1,
                     division_factor: 8,
                     enable_decomposition: true,
+                    straggler_factor: 1.0,
                 },
             ),
         ] {
@@ -51,8 +53,12 @@ fn main() {
 
     // Scheduling an entire OPT-30B batch to exhaustion: the total planning
     // work per request.
-    let params =
-        PlanParams { contention_factor: 1.1, division_factor: 8, enable_decomposition: true };
+    let params = PlanParams {
+        contention_factor: 1.1,
+        division_factor: 8,
+        enable_decomposition: true,
+        straggler_factor: 1.0,
+    };
     bench("scheduler/drain_opt30b_batch", || {
         let mut q = processing_list(black_box(2));
         let mut rounds = 0u32;

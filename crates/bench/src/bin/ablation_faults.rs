@@ -1,0 +1,117 @@
+//! **Ablation** — degraded-mode serving under injected faults.
+//!
+//! Sweeps device-0 straggler severity from 0 % to 50 % (severity `s` means
+//! device 0 runs at `1/(1-s)` of its healthy duration for the whole run)
+//! and serves the same prefill trace with Liger and Intra-Op under a retry
+//! policy. The point of the ablation: throughput must degrade *gracefully*
+//! — roughly in proportion to the straggler's lost capacity — rather than
+//! cliff to zero, because the scheduler replans rounds against the
+//! degraded rate and the runner retries failed work.
+//!
+//! Pass `--faults <spec>` to replace the built-in severity sweep with one
+//! custom fault schedule (same grammar as `FaultSpec::parse`).
+//!
+//! Flags: `--requests N` (default 300), `--faults <spec>`.
+
+use liger_bench::{
+    arg_faults, default_requests, intra_capacity, run_serving_with_faults, EngineKind, Node, Table,
+};
+use liger_gpu_sim::{DeviceId, FaultSpec, SimTime};
+use liger_model::{BatchShape, ModelConfig};
+use liger_serving::{PrefillTraceConfig, RetryPolicy};
+
+fn main() {
+    let requests = default_requests();
+    let model = ModelConfig::opt_30b();
+    let node = Node::V100;
+    let world = 4;
+    let batch = 4;
+
+    let cap = intra_capacity(&model, node, world, BatchShape::prefill(batch, 72));
+    let rate = cap * 0.7; // below healthy saturation so degradation is visible
+    let trace = PrefillTraceConfig::paper(requests, batch, rate, 42).generate();
+    let engines = [EngineKind::liger_default(node), EngineKind::IntraOp];
+    let policy = RetryPolicy::default();
+
+    let mut t = Table::new(&[
+        "engine",
+        "severity",
+        "avg lat (ms)",
+        "p99 lat (ms)",
+        "throughput (req/s)",
+        "degraded rounds",
+        "retries",
+    ]);
+
+    if let Some(spec) = arg_faults() {
+        println!("Ablation: custom fault schedule — OPT-30B, V100 node, batch {batch}");
+        for kind in &engines {
+            let m = run_serving_with_faults(
+                kind,
+                &model,
+                node,
+                world,
+                trace.clone(),
+                Some(spec.clone()),
+                Some(policy),
+            );
+            t.row(&[
+                kind.label().into(),
+                "--faults".into(),
+                format!("{:.1}", m.avg_latency().as_millis_f64()),
+                format!("{:.1}", m.latency_percentile(99.0).as_millis_f64()),
+                format!("{:.1}", m.throughput()),
+                format!("{}", m.faults().degraded_rounds),
+                format!("{}", m.faults().retries),
+            ]);
+        }
+        println!("{}", t.render());
+        return;
+    }
+
+    println!("Ablation: straggler severity sweep — OPT-30B, V100 node, batch {batch}");
+    println!("(device 0 slowed for the whole run; rate {rate:.1} req/s)");
+    let severities = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    for kind in &engines {
+        let mut healthy_thr = None;
+        for &s in &severities {
+            let faults = if s > 0.0 {
+                let factor = 1.0 / (1.0 - s);
+                Some(FaultSpec::new(42).straggler(DeviceId(0), SimTime::ZERO, SimTime::MAX, factor))
+            } else {
+                None
+            };
+            let m = run_serving_with_faults(
+                kind,
+                &model,
+                node,
+                world,
+                trace.clone(),
+                faults,
+                Some(policy),
+            );
+            let thr = m.throughput();
+            if s == 0.0 {
+                healthy_thr = Some(thr);
+            }
+            t.row(&[
+                kind.label().into(),
+                format!("{:.0}%", s * 100.0),
+                format!("{:.1}", m.avg_latency().as_millis_f64()),
+                format!("{:.1}", m.latency_percentile(99.0).as_millis_f64()),
+                format!("{:.1}", thr),
+                format!("{}", m.faults().degraded_rounds),
+                format!("{}", m.faults().retries),
+            ]);
+            if let Some(h) = healthy_thr {
+                assert!(
+                    thr > 0.1 * h,
+                    "{} cliffed to zero at severity {s}: {thr:.2} vs healthy {h:.2}",
+                    kind.label()
+                );
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!("graceful: every point kept > 10% of its healthy throughput");
+}

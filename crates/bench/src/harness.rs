@@ -5,10 +5,10 @@ use std::fmt::Write as _;
 use liger_collectives::{NcclConfig, Topology};
 use liger_core::{LigerConfig, LigerEngine, SyncMode};
 use liger_gpu_sim::json::{JsonArray, JsonObject, ToJson};
-use liger_gpu_sim::{DeviceSpec, HostSpec, Simulation};
+use liger_gpu_sim::{DeviceSpec, FaultSpec, HostSpec, Simulation};
 use liger_model::{profile_contention, CostModel, ModelConfig};
 use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
-use liger_serving::{serve, Request, ServingMetrics};
+use liger_serving::{serve, serve_with_policy, Request, RetryPolicy, ServingMetrics};
 
 /// One of the paper's two testbeds (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,9 +58,23 @@ impl Node {
     /// Builds a fresh simulation of this node with `world` devices and one
     /// MPI-style host rank per device.
     pub fn simulation(self, world: usize, trace: bool) -> Simulation {
+        self.simulation_with_faults(world, trace, None)
+    }
+
+    /// Like [`simulation`](Self::simulation) but with an optional fault
+    /// schedule installed.
+    pub fn simulation_with_faults(
+        self,
+        world: usize,
+        trace: bool,
+        faults: Option<FaultSpec>,
+    ) -> Simulation {
         let mut b = Simulation::builder().devices(self.device(), world).capture_trace(trace);
         for r in 0..world {
             b = b.host(HostSpec::mpi_rank(r));
+        }
+        if let Some(spec) = faults {
+            b = b.faults(spec);
         }
         b.build().expect("node presets are valid")
     }
@@ -120,28 +134,63 @@ pub fn run_serving(
     world: usize,
     requests: Vec<Request>,
 ) -> ServingMetrics {
+    run_serving_with_faults(kind, model, node, world, requests, None, None)
+}
+
+/// Like [`run_serving`] but under an optional fault schedule and retry
+/// policy. With a policy set, failed requests are retried with backoff and
+/// the metrics carry degraded-mode counters (retries, timeouts, kernel
+/// failures, degraded rounds).
+pub fn run_serving_with_faults(
+    kind: &EngineKind,
+    model: &ModelConfig,
+    node: Node,
+    world: usize,
+    requests: Vec<Request>,
+    faults: Option<FaultSpec>,
+    policy: Option<RetryPolicy>,
+) -> ServingMetrics {
     let cost = node.cost_model();
-    let mut sim = node.simulation(world, false);
+    let mut sim = node.simulation_with_faults(world, false, faults);
+    let drive = |e: &mut dyn liger_serving::InferenceEngine, sim: &mut Simulation| match policy {
+        Some(p) => serve_with_policy(sim, e, requests.clone(), p),
+        None => serve(sim, e, requests.clone()),
+    };
     match kind {
         EngineKind::Liger(config) => {
             let mut e =
                 LigerEngine::new(model.clone(), cost, world, *config).expect("valid Liger setup");
-            serve(&mut sim, &mut e, requests)
+            let mut m = drive(&mut e, &mut sim);
+            m.faults_mut().degraded_rounds = e.degraded_rounds();
+            m
         }
         EngineKind::IntraOp => {
             let mut e =
                 IntraOpEngine::new(model.clone(), cost, world).expect("valid intra-op setup");
-            serve(&mut sim, &mut e, requests)
+            drive(&mut e, &mut sim)
         }
         EngineKind::InterOp => {
             let mut e = InterOpEngine::new(model.clone(), cost, world, PipelineFlavor::Measured)
                 .expect("valid inter-op setup");
-            serve(&mut sim, &mut e, requests)
+            drive(&mut e, &mut sim)
         }
         EngineKind::InterTh => {
             let mut e = InterOpEngine::new(model.clone(), cost, world, PipelineFlavor::Theoretical)
                 .expect("valid inter-th setup");
-            serve(&mut sim, &mut e, requests)
+            drive(&mut e, &mut sim)
+        }
+    }
+}
+
+/// Reads `--faults <spec>` from the process arguments and parses it with
+/// [`FaultSpec::parse`]. Exits with the parse error on a malformed spec.
+pub fn arg_faults() -> Option<FaultSpec> {
+    let raw = arg_value("faults")?;
+    match FaultSpec::parse(&raw) {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("invalid --faults spec: {e}");
+            std::process::exit(2);
         }
     }
 }

@@ -85,6 +85,9 @@ pub struct LigerEngine {
     observations: std::collections::HashMap<u64, RoundObs>,
     /// Count of adaptation decisions taken (diagnostics).
     adaptations: u64,
+    /// Rounds planned while a straggler fault window was active (the plan
+    /// shrank the left-over budget accordingly).
+    degraded_rounds: u64,
     memory: EngineMemory,
 }
 
@@ -122,6 +125,7 @@ impl LigerEngine {
             factor: config.contention_factor,
             observations: std::collections::HashMap::new(),
             adaptations: 0,
+            degraded_rounds: 0,
             memory: EngineMemory::new(),
         })
     }
@@ -147,12 +151,27 @@ impl LigerEngine {
         self.factor
     }
 
+    /// Number of rounds planned while a device was degraded by a fault.
+    pub fn degraded_rounds(&self) -> u64 {
+        self.degraded_rounds
+    }
+
     fn params(&self) -> PlanParams {
         PlanParams {
             contention_factor: self.factor,
             division_factor: self.config.division_factor,
             enable_decomposition: self.config.enable_decomposition,
+            straggler_factor: 1.0,
         }
+    }
+
+    /// [`Self::params`] with the straggler factor read off the simulation's
+    /// fault schedule: a degraded device shrinks this round's left-over
+    /// kernel budget (§3.4's window invariant survives the slowdown).
+    fn params_for(&self, sim: &Simulation) -> PlanParams {
+        let mut params = self.params();
+        params.straggler_factor = sim.worst_fault_factor();
+        params
     }
 
     /// Feeds one round's (primary end, secondary end) pair into the online
@@ -207,12 +226,15 @@ impl LigerEngine {
     /// Plans and launches the next round; returns false when idle.
     fn advance(&mut self, sim: &mut Simulation) -> bool {
         self.update_list(sim);
-        let params = self.params();
+        let params = self.params_for(sim);
         let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else {
             self.phase = Phase::Idle;
             return false;
         };
         self.rounds_planned += 1;
+        if params.straggler_factor > 1.0 {
+            self.degraded_rounds += 1;
+        }
         match self.config.sync_mode {
             SyncMode::Hybrid => {
                 self.launch_round(sim, &plan, true);
@@ -241,9 +263,12 @@ impl LigerEngine {
         let mut outstanding = 0u32;
         loop {
             self.update_list(sim);
-            let params = self.params();
+            let params = self.params_for(sim);
             let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else { break };
             self.rounds_planned += 1;
+            if params.straggler_factor > 1.0 {
+                self.degraded_rounds += 1;
+            }
             outstanding += self.launch_round(sim, &plan, false);
         }
         self.phase = if outstanding > 0 { Phase::Flood { outstanding } } else { Phase::Idle };
@@ -505,6 +530,10 @@ impl InferenceEngine for LigerEngine {
                 }
             }
             Wake::Timer { .. } => {}
+            // Kernel failures are a serving-layer concern: the runner retries
+            // the whole request once the tainted attempt drains, so the
+            // engine's round state machine needs no transition here.
+            Wake::KernelFailed { .. } => {}
         }
     }
 

@@ -83,6 +83,11 @@ pub struct PlanParams {
     pub division_factor: u32,
     /// Whether decomposition is enabled at all.
     pub enable_decomposition: bool,
+    /// Worst active straggler slowdown across the node (1.0 when healthy).
+    /// Secondary durations are additionally scaled by this, shrinking the
+    /// left-over budget packed behind the window on a degraded device so the
+    /// primary batch's latency stays protected even when kernels run slow.
+    pub straggler_factor: f64,
 }
 
 /// Plans one round over the processing list (`processing[0]` is the primary
@@ -95,6 +100,13 @@ pub fn plan_round(
     cm: &CostModel,
 ) -> Option<RoundPlan> {
     debug_assert!(params.contention_factor >= 1.0);
+    // Fold the straggler slowdown into the contention factor: both stretch
+    // secondary kernels relative to the window the same way.
+    let params = &PlanParams {
+        contention_factor: params.contention_factor * params.straggler_factor.max(1.0),
+        straggler_factor: 1.0,
+        ..*params
+    };
     let primary_batch = processing.front_mut()?;
     let primary_id = primary_batch.batch_id;
     let primary_class = primary_batch.next_class()?;
@@ -228,7 +240,12 @@ mod tests {
     }
 
     fn params() -> PlanParams {
-        PlanParams { contention_factor: 1.0, division_factor: 1, enable_decomposition: false }
+        PlanParams {
+            contention_factor: 1.0,
+            division_factor: 1,
+            enable_decomposition: false,
+            straggler_factor: 1.0,
+        }
     }
 
     fn cm() -> CostModel {
@@ -316,6 +333,37 @@ mod tests {
     }
 
     #[test]
+    fn straggler_factor_shrinks_packing_like_contention() {
+        let mk = || {
+            VecDeque::from([
+                fv(0, vec![compute(100), comm(1)]),
+                fv(1, vec![comm(30), comm(30), comm(30), comm(30)]),
+            ])
+        };
+        // A 1.2x straggler has the same effect as a 1.2x contention factor.
+        let mut q = mk();
+        let p =
+            plan_round(&mut q, &PlanParams { straggler_factor: 1.2, ..params() }, &cm()).unwrap();
+        assert_eq!(p.secondary.len(), 2);
+        // They compound: 1.2 * 1.25 = 1.5 => 45us each, only 2 fit... 2*45=90.
+        let mut q = mk();
+        let p = plan_round(
+            &mut q,
+            &PlanParams { contention_factor: 1.2, straggler_factor: 1.25, ..params() },
+            &cm(),
+        )
+        .unwrap();
+        assert_eq!(p.secondary.len(), 2);
+        let scaled: u64 = p.secondary.iter().map(|i| i.op.duration.scale(1.5).as_nanos()).sum();
+        assert!(scaled <= p.window.as_nanos());
+        // Sub-1.0 factors never *grow* the budget.
+        let mut q = mk();
+        let p =
+            plan_round(&mut q, &PlanParams { straggler_factor: 0.5, ..params() }, &cm()).unwrap();
+        assert_eq!(p.secondary.len(), 3, "clamped to healthy packing");
+    }
+
+    #[test]
     fn first_miss_stops_packing_across_batches() {
         // Algorithm 1: the first kernel that does not fit zeroes the window —
         // later batches are not consulted.
@@ -342,8 +390,7 @@ mod tests {
             fv(0, vec![window_op, comm(1)]),
             fv(1, vec![whole_priced, compute(1)]),
         ]);
-        let p =
-            PlanParams { contention_factor: 1.0, division_factor: 8, enable_decomposition: true };
+        let p = PlanParams { division_factor: 8, enable_decomposition: true, ..params() };
         let plan = plan_round(&mut q, &p, &cm).unwrap();
         assert_eq!(plan.secondary.len(), 1, "a piece was carved");
         let piece = &plan.secondary[0];

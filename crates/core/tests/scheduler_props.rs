@@ -42,7 +42,12 @@ fn build_list(batches: &[Vec<PricedOp>]) -> VecDeque<FuncVec> {
 }
 
 fn params(factor: f64, df: u32) -> PlanParams {
-    PlanParams { contention_factor: factor, division_factor: df, enable_decomposition: df > 1 }
+    PlanParams {
+        contention_factor: factor,
+        division_factor: df,
+        enable_decomposition: df > 1,
+        straggler_factor: 1.0,
+    }
 }
 
 /// The primary subset is one maximal same-class run from batch 0 and its

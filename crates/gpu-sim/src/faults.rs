@@ -1,0 +1,546 @@
+//! Deterministic, seeded fault injection for the simulated node.
+//!
+//! Real fleets see stragglers, flaky links and transient kernel failures;
+//! this module lets the simulator reproduce them **deterministically** so
+//! scheduling and serving policies can be validated under degradation.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a pure function of `(seed, sim-time, device or
+//! link id)` — there is no wall-clock, no hidden RNG stream and no state
+//! mutated by queries. Two runs with the same seed, schedule and workload
+//! produce byte-identical traces; changing the seed changes only the
+//! hash-driven decisions (kernel failures, launch spikes), never the
+//! windowed faults, which are fixed intervals.
+//!
+//! # Fault classes
+//!
+//! * **Device straggler** ([`FaultSpec::straggler`]): every kernel on a
+//!   device progresses slower by a factor over a time window — the SM
+//!   clock / HBM bandwidth degradation of a thermally throttled or
+//!   misbehaving GPU.
+//! * **Link degradation / partition** ([`FaultSpec::degrade_link`],
+//!   [`FaultSpec::partition_link`]): collectives whose member set spans the
+//!   link stretch by a factor over a window. A partition is modelled as a
+//!   very large finite factor so collectives still complete (after the
+//!   window ends a boundary reprice restores the healthy rate) instead of
+//!   hanging the simulation.
+//! * **Kernel failure** ([`FaultSpec::kernel_failures`]): a launched kernel
+//!   occupies its device for a configurable fraction of its runtime, then
+//!   fails. The failed kernel still pops from its hardware queue (stream
+//!   FIFO order and event semantics are preserved — no hangs), but the
+//!   driver is woken with [`Wake::KernelFailed`](crate::Wake::KernelFailed)
+//!   so the serving layer can retry.
+//! * **Launch-overhead spike** ([`FaultSpec::launch_spikes`]): a host
+//!   kernel launch occasionally pays an extra overhead, modelling driver
+//!   jitter and lock contention on the submitting CPU.
+
+use crate::ids::{DeviceId, HostId};
+use crate::time::{SimDuration, SimTime};
+
+/// Slowdown factor used by [`FaultSpec::partition_link`]: large enough that
+/// a partitioned collective makes essentially no progress inside the
+/// window, finite so it never hangs the event loop.
+pub const PARTITION_FACTOR: f64 = 1e6;
+
+/// A device straggler window: kernels on `device` run `factor`× slower
+/// during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSlowdown {
+    /// Affected device.
+    pub device: DeviceId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Slowdown factor (≥ 1).
+    pub factor: f64,
+}
+
+/// A degraded inter-device link: collectives spanning `{a, b}` stretch by
+/// `factor` during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// One endpoint.
+    pub a: DeviceId,
+    /// The other endpoint.
+    pub b: DeviceId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Stretch factor (≥ 1); [`PARTITION_FACTOR`] models a partition.
+    pub factor: f64,
+}
+
+/// Seeded kernel-failure injection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelFaultParams {
+    /// Probability that a kernel beginning inside the window fails.
+    pub prob: f64,
+    /// Fraction of the kernel's nominal runtime consumed before the
+    /// failure manifests (in `[0, 1]`).
+    pub fraction: f64,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// Seeded host launch-overhead spike parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchSpikeParams {
+    /// Probability that one kernel launch pays the extra overhead.
+    pub prob: f64,
+    /// The extra overhead paid.
+    pub extra: SimDuration,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A declarative, seeded fault schedule for one simulation run.
+///
+/// Constructed with the builder methods and handed to
+/// [`SimulationBuilder::faults`](crate::SimulationBuilder::faults), or
+/// parsed from the bench harness's `--faults` spec string with
+/// [`FaultSpec::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    seed: u64,
+    slowdowns: Vec<DeviceSlowdown>,
+    links: Vec<LinkFault>,
+    kernel_faults: Option<KernelFaultParams>,
+    launch_spikes: Option<LaunchSpikeParams>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+impl FaultSpec {
+    /// An empty schedule (no faults ever fire).
+    pub fn none() -> FaultSpec {
+        FaultSpec::new(0)
+    }
+
+    /// An empty schedule with the given decision seed.
+    pub fn new(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            slowdowns: Vec::new(),
+            links: Vec::new(),
+            kernel_faults: None,
+            launch_spikes: None,
+        }
+    }
+
+    /// The decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when no fault of any class is configured.
+    pub fn is_empty(&self) -> bool {
+        self.slowdowns.is_empty()
+            && self.links.is_empty()
+            && self.kernel_faults.is_none()
+            && self.launch_spikes.is_none()
+    }
+
+    /// Adds a device straggler window (`factor` ≥ 1).
+    pub fn straggler(
+        mut self,
+        device: DeviceId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultSpec {
+        assert!(factor >= 1.0, "straggler factor must be >= 1, got {factor}");
+        assert!(from < until, "straggler window is empty");
+        self.slowdowns.push(DeviceSlowdown { device, from, until, factor });
+        self
+    }
+
+    /// Adds a degraded-link window (`factor` ≥ 1).
+    pub fn degrade_link(
+        mut self,
+        a: DeviceId,
+        b: DeviceId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultSpec {
+        assert!(factor >= 1.0, "link factor must be >= 1, got {factor}");
+        assert!(from < until, "link window is empty");
+        self.links.push(LinkFault { a, b, from, until, factor });
+        self
+    }
+
+    /// Adds a link partition window ([`PARTITION_FACTOR`] stretch).
+    pub fn partition_link(
+        self,
+        a: DeviceId,
+        b: DeviceId,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultSpec {
+        self.degrade_link(a, b, from, until, PARTITION_FACTOR)
+    }
+
+    /// Enables seeded kernel failures.
+    pub fn kernel_failures(mut self, params: KernelFaultParams) -> FaultSpec {
+        assert!((0.0..=1.0).contains(&params.prob), "failure prob out of [0,1]");
+        assert!((0.0..=1.0).contains(&params.fraction), "failure fraction out of [0,1]");
+        self.kernel_faults = Some(params);
+        self
+    }
+
+    /// Enables seeded host launch-overhead spikes.
+    pub fn launch_spikes(mut self, params: LaunchSpikeParams) -> FaultSpec {
+        assert!((0.0..=1.0).contains(&params.prob), "spike prob out of [0,1]");
+        self.launch_spikes = Some(params);
+        self
+    }
+
+    /// The configured straggler windows.
+    pub fn stragglers(&self) -> &[DeviceSlowdown] {
+        &self.slowdowns
+    }
+
+    /// The configured link fault windows.
+    pub fn link_faults(&self) -> &[LinkFault] {
+        &self.links
+    }
+
+    /// Every window edge at which rates change — the simulator schedules a
+    /// settle + reprice at each so piecewise rates are exact.
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        let mut out: Vec<SimTime> = Vec::new();
+        for s in &self.slowdowns {
+            out.push(s.from);
+            out.push(s.until);
+        }
+        for l in &self.links {
+            out.push(l.from);
+            out.push(l.until);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Combined straggler factor on `device` at `at` (product of active
+    /// windows; 1.0 when healthy).
+    pub fn device_factor(&self, device: DeviceId, at: SimTime) -> f64 {
+        let mut f = 1.0;
+        for s in &self.slowdowns {
+            if s.device == device && s.from <= at && at < s.until {
+                f *= s.factor;
+            }
+        }
+        f
+    }
+
+    /// Combined stretch factor of the link `{a, b}` at `at` (symmetric in
+    /// the endpoints; 1.0 when healthy).
+    pub fn link_factor(&self, a: DeviceId, b: DeviceId, at: SimTime) -> f64 {
+        let mut f = 1.0;
+        for l in &self.links {
+            let hit = (l.a == a && l.b == b) || (l.a == b && l.b == a);
+            if hit && l.from <= at && at < l.until {
+                f *= l.factor;
+            }
+        }
+        f
+    }
+
+    /// Worst pairwise link stretch over a collective's member devices at
+    /// `at` — the collective progresses at the rate of its slowest link.
+    pub fn collective_link_factor(
+        &self,
+        members: impl Iterator<Item = DeviceId> + Clone,
+        at: SimTime,
+    ) -> f64 {
+        if self.links.is_empty() {
+            return 1.0;
+        }
+        let mut worst = 1.0f64;
+        let mut outer = members.clone();
+        while let Some(a) = outer.next() {
+            for b in outer.clone() {
+                worst = worst.max(self.link_factor(a, b, at));
+            }
+        }
+        worst
+    }
+
+    /// Whether a kernel beginning on `device` at `at` fails, and if so the
+    /// fraction of its runtime it consumes first. Pure function of
+    /// `(seed, at, device)`.
+    pub fn kernel_failure(&self, device: DeviceId, at: SimTime) -> Option<f64> {
+        let kf = self.kernel_faults?;
+        if !(kf.from <= at && at < kf.until) {
+            return None;
+        }
+        let u = unit_hash(self.seed, 0x4b46_4149_4c00_0001, device.0 as u64, at.as_nanos());
+        (u < kf.prob).then_some(kf.fraction)
+    }
+
+    /// Extra launch overhead host `host` pays for a kernel launched at
+    /// `at`. Pure function of `(seed, at, host)`.
+    pub fn launch_spike(&self, host: HostId, at: SimTime) -> SimDuration {
+        let Some(sp) = self.launch_spikes else { return SimDuration::ZERO };
+        if !(sp.from <= at && at < sp.until) {
+            return SimDuration::ZERO;
+        }
+        let u = unit_hash(self.seed, 0x5350_494b_4500_0001, host.0 as u64, at.as_nanos());
+        if u < sp.prob {
+            sp.extra
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Parses a `--faults` spec string. Segments are `;`-separated; fields
+    /// within a segment are `:`-separated and positional:
+    ///
+    /// * `seed=<u64>` — decision seed (default 0)
+    /// * `slow:<dev>:<from_ms>:<until_ms>:<factor>` — device straggler
+    /// * `link:<a>:<b>:<from_ms>:<until_ms>:<factor>` — link degradation
+    /// * `part:<a>:<b>:<from_ms>:<until_ms>` — link partition
+    /// * `kfail:<prob>:<fraction>[:<from_ms>:<until_ms>]` — kernel failures
+    ///   (whole run when the window is omitted)
+    /// * `spike:<prob>:<extra_us>[:<from_ms>:<until_ms>]` — launch spikes
+    ///
+    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5`.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        fn ms(s: &str) -> Result<SimTime, String> {
+            s.parse::<u64>().map(SimTime::from_millis).map_err(|e| format!("bad millis {s:?}: {e}"))
+        }
+        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            s.parse::<T>().map_err(|e| format!("bad {what} {s:?}: {e}"))
+        }
+        let mut out = FaultSpec::none();
+        for seg in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(seed) = seg.strip_prefix("seed=") {
+                out.seed = num::<u64>(seed, "seed")?;
+                continue;
+            }
+            let fields: Vec<&str> = seg.split(':').collect();
+            match fields.as_slice() {
+                ["slow", dev, from, until, factor] => {
+                    out = out.straggler(
+                        DeviceId(num::<usize>(dev, "device")?),
+                        ms(from)?,
+                        ms(until)?,
+                        num::<f64>(factor, "factor")?,
+                    );
+                }
+                ["link", a, b, from, until, factor] => {
+                    out = out.degrade_link(
+                        DeviceId(num::<usize>(a, "device")?),
+                        DeviceId(num::<usize>(b, "device")?),
+                        ms(from)?,
+                        ms(until)?,
+                        num::<f64>(factor, "factor")?,
+                    );
+                }
+                ["part", a, b, from, until] => {
+                    out = out.partition_link(
+                        DeviceId(num::<usize>(a, "device")?),
+                        DeviceId(num::<usize>(b, "device")?),
+                        ms(from)?,
+                        ms(until)?,
+                    );
+                }
+                ["kfail", prob, fraction, rest @ ..] => {
+                    let (from, until) = match rest {
+                        [] => (SimTime::ZERO, SimTime::MAX),
+                        [f, u] => (ms(f)?, ms(u)?),
+                        _ => return Err(format!("kfail takes 2 or 4 fields: {seg:?}")),
+                    };
+                    out = out.kernel_failures(KernelFaultParams {
+                        prob: num::<f64>(prob, "prob")?,
+                        fraction: num::<f64>(fraction, "fraction")?,
+                        from,
+                        until,
+                    });
+                }
+                ["spike", prob, extra_us, rest @ ..] => {
+                    let (from, until) = match rest {
+                        [] => (SimTime::ZERO, SimTime::MAX),
+                        [f, u] => (ms(f)?, ms(u)?),
+                        _ => return Err(format!("spike takes 2 or 4 fields: {seg:?}")),
+                    };
+                    out = out.launch_spikes(LaunchSpikeParams {
+                        prob: num::<f64>(prob, "prob")?,
+                        extra: SimDuration::from_micros(num::<u64>(extra_us, "extra_us")?),
+                        from,
+                        until,
+                    });
+                }
+                _ => return Err(format!("unknown fault segment {seg:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// SplitMix64-style avalanche of `(seed, salt, id, time)` to a uniform
+/// `f64` in `[0, 1)` — the pure decision function behind kernel failures
+/// and launch spikes.
+fn unit_hash(seed: u64, salt: u64, id: u64, time_ns: u64) -> f64 {
+    let mut z = seed ^ salt;
+    for word in [id, time_ns] {
+        z = z.wrapping_add(word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_spec_is_transparent() {
+        let f = FaultSpec::none();
+        assert!(f.is_empty());
+        assert_eq!(f.device_factor(DeviceId(0), t(5)), 1.0);
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(5)), 1.0);
+        assert_eq!(f.kernel_failure(DeviceId(0), t(5)), None);
+        assert_eq!(f.launch_spike(HostId(0), t(5)), SimDuration::ZERO);
+        assert!(f.boundaries().is_empty());
+    }
+
+    #[test]
+    fn straggler_window_is_half_open() {
+        let f = FaultSpec::new(1).straggler(DeviceId(0), t(10), t(20), 2.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(9)), 1.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(10)), 2.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(19)), 2.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(20)), 1.0);
+        assert_eq!(f.device_factor(DeviceId(1), t(15)), 1.0, "other devices healthy");
+        assert_eq!(f.boundaries(), vec![t(10), t(20)]);
+    }
+
+    #[test]
+    fn overlapping_windows_compound() {
+        let f = FaultSpec::new(1).straggler(DeviceId(0), t(0), t(20), 2.0).straggler(
+            DeviceId(0),
+            t(10),
+            t(30),
+            3.0,
+        );
+        assert_eq!(f.device_factor(DeviceId(0), t(5)), 2.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(15)), 6.0);
+        assert_eq!(f.device_factor(DeviceId(0), t(25)), 3.0);
+    }
+
+    #[test]
+    fn link_factor_is_symmetric_and_collective_takes_worst() {
+        let f = FaultSpec::new(1)
+            .degrade_link(DeviceId(0), DeviceId(1), t(0), t(10), 4.0)
+            .degrade_link(DeviceId(1), DeviceId(2), t(0), t(10), 2.0);
+        assert_eq!(f.link_factor(DeviceId(1), DeviceId(0), t(5)), 4.0);
+        let members = [DeviceId(0), DeviceId(1), DeviceId(2)];
+        assert_eq!(f.collective_link_factor(members.iter().copied(), t(5)), 4.0);
+        assert_eq!(f.collective_link_factor(members.iter().copied(), t(15)), 1.0);
+        let tail = [DeviceId(1), DeviceId(2)];
+        assert_eq!(f.collective_link_factor(tail.iter().copied(), t(5)), 2.0);
+        let unlinked = [DeviceId(2), DeviceId(3)];
+        assert_eq!(f.collective_link_factor(unlinked.iter().copied(), t(5)), 1.0);
+    }
+
+    #[test]
+    fn partition_uses_the_large_factor() {
+        let f = FaultSpec::new(1).partition_link(DeviceId(0), DeviceId(1), t(0), t(1));
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), SimTime::ZERO), PARTITION_FACTOR);
+    }
+
+    #[test]
+    fn kernel_failure_is_deterministic_and_seed_sensitive() {
+        let params = KernelFaultParams { prob: 0.5, fraction: 0.25, from: t(0), until: t(100) };
+        let a = FaultSpec::new(7).kernel_failures(params);
+        let b = FaultSpec::new(7).kernel_failures(params);
+        let c = FaultSpec::new(8).kernel_failures(params);
+        let mut diverged = false;
+        for i in 0..200u64 {
+            let at = SimTime::from_micros(i * 13);
+            assert_eq!(a.kernel_failure(DeviceId(0), at), b.kernel_failure(DeviceId(0), at));
+            if a.kernel_failure(DeviceId(0), at) != c.kernel_failure(DeviceId(0), at) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn failure_probability_is_roughly_honored() {
+        let params =
+            KernelFaultParams { prob: 0.3, fraction: 0.5, from: t(0), until: SimTime::MAX };
+        let f = FaultSpec::new(42).kernel_failures(params);
+        let hits = (0..10_000u64)
+            .filter(|&i| {
+                f.kernel_failure(DeviceId(i as usize % 4), SimTime::from_nanos(i * 997)).is_some()
+            })
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "empirical failure rate {rate}");
+    }
+
+    #[test]
+    fn launch_spike_pays_the_extra() {
+        let f = FaultSpec::new(3).launch_spikes(LaunchSpikeParams {
+            prob: 1.0,
+            extra: SimDuration::from_micros(50),
+            from: t(0),
+            until: t(10),
+        });
+        assert_eq!(f.launch_spike(HostId(0), t(5)), SimDuration::from_micros(50));
+        assert_eq!(f.launch_spike(HostId(0), t(15)), SimDuration::ZERO, "outside the window");
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_example() {
+        let f = FaultSpec::parse("seed=7;slow:0:10:30:1.5;kfail:0.01:0.5").unwrap();
+        assert_eq!(f.seed(), 7);
+        assert_eq!(f.device_factor(DeviceId(0), t(20)), 1.5);
+        assert_eq!(f.device_factor(DeviceId(0), t(31)), 1.0);
+        assert!(f.kernel_faults.is_some());
+        let g = FaultSpec::parse("link:0:1:5:15:3.0;part:2:3:0:5;spike:0.1:25:0:100").unwrap();
+        assert_eq!(g.link_factor(DeviceId(0), DeviceId(1), t(10)), 3.0);
+        assert_eq!(g.link_factor(DeviceId(2), DeviceId(3), t(1)), PARTITION_FACTOR);
+        assert!(g.launch_spikes.is_some());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_segments() {
+        assert!(FaultSpec::parse("slow:0:10:30").is_err());
+        assert!(FaultSpec::parse("wobble:1").is_err());
+        assert!(FaultSpec::parse("slow:x:10:30:1.5").is_err());
+        assert!(FaultSpec::parse("kfail:0.1:0.5:1:2:3").is_err());
+        assert!(FaultSpec::parse("seed=banana").is_err());
+        assert!(FaultSpec::parse("").map(|f| f.is_empty()).unwrap_or(false));
+    }
+
+    #[test]
+    fn unit_hash_is_uniform_enough() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| unit_hash(1, 2, i, i * 31)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "hash mean {mean}");
+    }
+}

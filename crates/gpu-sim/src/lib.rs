@@ -54,6 +54,7 @@
 
 pub mod contention;
 pub mod device;
+pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod json;
@@ -68,6 +69,7 @@ pub mod trace;
 
 pub use contention::ContentionParams;
 pub use device::DeviceSpec;
+pub use faults::{FaultSpec, KernelFaultParams, LaunchSpikeParams};
 pub use host::HostSpec;
 pub use ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
 pub use json::ToJson;
@@ -75,7 +77,7 @@ pub use kernel::{KernelClass, KernelSpec};
 pub use memory::{AllocationId, MemoryTracker, OutOfMemory};
 pub use rng::Rng;
 pub use sim::{Driver, Simulation, SimulationBuilder, Wake};
-pub use stats::DeviceStats;
+pub use stats::{DeviceStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
 
@@ -83,6 +85,7 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::contention::ContentionParams;
     pub use crate::device::DeviceSpec;
+    pub use crate::faults::{FaultSpec, KernelFaultParams, LaunchSpikeParams};
     pub use crate::host::HostSpec;
     pub use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
     pub use crate::json::ToJson;
@@ -90,7 +93,7 @@ pub mod prelude {
     pub use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
     pub use crate::rng::Rng;
     pub use crate::sim::{Driver, Simulation, SimulationBuilder, Wake};
-    pub use crate::stats::DeviceStats;
+    pub use crate::stats::{DeviceStats, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

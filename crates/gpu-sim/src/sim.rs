@@ -38,6 +38,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::device::DeviceSpec;
+use crate::faults::FaultSpec;
 use crate::host::HostSpec;
 use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
 use crate::kernel::{KernelClass, KernelSpec};
@@ -76,6 +77,20 @@ pub enum Wake {
         token: u64,
         /// GPU-side trigger instant of the awaited event.
         fired_at: SimTime,
+    },
+    /// A kernel was killed by the injected fault schedule
+    /// ([`crate::FaultSpec::kernel_failures`]). The kernel still popped from
+    /// its hardware queue (stream order and events are unaffected), but its
+    /// result is lost — the serving layer decides whether to retry.
+    KernelFailed {
+        /// The failed kernel.
+        kernel: KernelId,
+        /// Device it ran on.
+        device: DeviceId,
+        /// The kernel's user correlation tag (batch/request id).
+        tag: u64,
+        /// Failure instant.
+        at: SimTime,
     },
 }
 
@@ -148,6 +163,9 @@ struct RunSlot {
     started_at: SimTime,
     gen: u64,
     live: bool,
+    /// Set when the fault schedule decided at begin time that this kernel
+    /// dies after a fraction of its work (remaining was shortened).
+    failing: bool,
 }
 
 #[derive(Debug)]
@@ -230,12 +248,32 @@ struct EventRt {
 
 #[derive(Debug)]
 enum Pending {
-    HostReady { host: usize },
-    KernelDone { device: usize, slot: usize, gen: u64 },
-    CollectiveDone { coll: usize, gen: u64 },
-    CommLagDone { device: usize, queue: usize, gen: u64 },
-    Timer { token: u64 },
-    DriverWake { wake: Wake },
+    HostReady {
+        host: usize,
+    },
+    KernelDone {
+        device: usize,
+        slot: usize,
+        gen: u64,
+    },
+    CollectiveDone {
+        coll: usize,
+        gen: u64,
+    },
+    CommLagDone {
+        device: usize,
+        queue: usize,
+        gen: u64,
+    },
+    Timer {
+        token: u64,
+    },
+    DriverWake {
+        wake: Wake,
+    },
+    /// A fault window opens or closes: rates change with no population
+    /// change, so everything must settle and reprice.
+    FaultBoundary,
 }
 
 struct HeapEntry {
@@ -272,6 +310,7 @@ pub struct SimulationBuilder {
     hosts: Vec<HostSpec>,
     streams_per_device: usize,
     capture_trace: bool,
+    faults: FaultSpec,
 }
 
 impl SimulationBuilder {
@@ -282,6 +321,7 @@ impl SimulationBuilder {
             hosts: Vec::new(),
             streams_per_device: 4,
             capture_trace: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -314,6 +354,12 @@ impl SimulationBuilder {
     /// Enables execution trace capture.
     pub fn capture_trace(mut self, on: bool) -> Self {
         self.capture_trace = on;
+        self
+    }
+
+    /// Installs a deterministic fault schedule ([`FaultSpec`]).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
         self
     }
 
@@ -364,7 +410,7 @@ impl SimulationBuilder {
             .collect();
         let memory =
             MemoryTracker::new(devices.iter().map(|d: &DeviceRt| d.spec.mem_capacity).collect());
-        Ok(Simulation {
+        let mut sim = Simulation {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             seq: 0,
@@ -380,8 +426,16 @@ impl SimulationBuilder {
             trace: if self.capture_trace { Some(Trace::new()) } else { None },
             kernels_completed: 0,
             kernels_launched: 0,
+            kernels_failed: 0,
             memory,
-        })
+            faults: self.faults,
+        };
+        // Every fault-window edge changes rates without a population change;
+        // schedule a settle + reprice there so piecewise rates are exact.
+        for at in sim.faults.boundaries() {
+            sim.push(at, Pending::FaultBoundary);
+        }
+        Ok(sim)
     }
 }
 
@@ -402,7 +456,9 @@ pub struct Simulation {
     trace: Option<Trace>,
     kernels_completed: u64,
     kernels_launched: u64,
+    kernels_failed: u64,
     memory: MemoryTracker,
+    faults: FaultSpec,
 }
 
 impl Simulation {
@@ -450,9 +506,33 @@ impl Simulation {
         self.kernels_launched
     }
 
-    /// Total kernels completed so far.
+    /// Total kernels completed so far (failed kernels included: they still
+    /// drain from their queues).
     pub fn kernels_completed(&self) -> u64 {
         self.kernels_completed
+    }
+
+    /// Total kernels killed by the fault schedule so far.
+    pub fn kernels_failed(&self) -> u64 {
+        self.kernels_failed
+    }
+
+    /// The installed fault schedule (empty by default).
+    pub fn fault_spec(&self) -> &FaultSpec {
+        &self.faults
+    }
+
+    /// The straggler slowdown factor currently active on `device` (1.0 when
+    /// healthy). Schedulers use this for degraded-round replanning.
+    pub fn device_fault_factor(&self, device: DeviceId) -> f64 {
+        self.faults.device_factor(device, self.now)
+    }
+
+    /// The worst straggler factor across all devices right now.
+    pub fn worst_fault_factor(&self) -> f64 {
+        (0..self.devices.len())
+            .map(|d| self.faults.device_factor(DeviceId(d), self.now))
+            .fold(1.0, f64::max)
     }
 
     /// The captured execution trace, if enabled.
@@ -618,6 +698,11 @@ impl Simulation {
         self.drain_wakes(driver);
         while !self.stop {
             let Some(Reverse(entry)) = self.heap.pop() else { break };
+            if self.entry_is_stale(&entry.pending) {
+                // Superseded by a reprice: drop it without advancing time, so
+                // the returned end time is the last *real* event.
+                continue;
+            }
             if entry.at > deadline {
                 self.now = deadline;
                 break;
@@ -628,6 +713,32 @@ impl Simulation {
             self.drain_wakes(driver);
         }
         self.now
+    }
+
+    /// True when a heap entry was superseded by a later reprice and must be
+    /// ignored (its generation no longer matches the live state).
+    fn entry_is_stale(&self, pending: &Pending) -> bool {
+        match *pending {
+            Pending::KernelDone { device, slot, gen } => {
+                let s = &self.devices[device].run[slot];
+                !s.live || s.gen != gen
+            }
+            Pending::CollectiveDone { coll, gen } => {
+                let c = &self.collectives[coll];
+                c.state != CollState::Running || c.gen != gen
+            }
+            Pending::CommLagDone { device, queue, gen } => {
+                !matches!(self.devices[device].queues[queue].head,
+                          HeadState::LagWait { gen: g } if g == gen)
+            }
+            // A rate-change boundary with nothing running changes nothing:
+            // kernels beginning later reprice against the schedule anyway.
+            Pending::FaultBoundary => {
+                self.devices.iter().all(|dev| dev.run.iter().all(|s| !s.live))
+                    && self.collectives.iter().all(|c| c.state != CollState::Running)
+            }
+            _ => false,
+        }
     }
 
     /// [`Simulation::run`] with no deadline.
@@ -658,6 +769,18 @@ impl Simulation {
             Pending::CommLagDone { device, queue, gen } => self.comm_lag_done(device, queue, gen),
             Pending::Timer { token } => self.wakes.push_back(Wake::Timer { token }),
             Pending::DriverWake { wake } => self.wakes.push_back(wake),
+            Pending::FaultBoundary => self.fault_boundary(),
+        }
+    }
+
+    /// A fault window opened or closed: charge progress at the old rates on
+    /// every device, then reprice everything at the new ones.
+    fn fault_boundary(&mut self) {
+        for d in 0..self.devices.len() {
+            self.settle_device(d);
+        }
+        for d in 0..self.devices.len() {
+            self.reprice_device(d);
         }
     }
 
@@ -674,6 +797,8 @@ impl Simulation {
     /// Begins executing the op at the front of `host`'s queue (which must be
     /// idle and non-empty).
     fn host_begin_next(&mut self, host: usize) {
+        // Fault hook: kernel launches may pay a seeded overhead spike.
+        let spike = self.faults.launch_spike(HostId(host), self.now);
         let h = &mut self.hosts[host];
         let Some(front) = h.ops.front() else {
             h.state = HostState::Idle;
@@ -682,7 +807,7 @@ impl Simulation {
         match front {
             HostOp::Enqueue { op, .. } => {
                 let cost = match op {
-                    StreamOp::Kernel(..) => h.spec.launch_overhead,
+                    StreamOp::Kernel(..) => h.spec.launch_overhead + spike,
                     StreamOp::Record(_) | StreamOp::Wait(_) => h.spec.event_overhead,
                 };
                 h.state = HostState::Busy;
@@ -843,6 +968,10 @@ impl Simulation {
         match collective {
             None => {
                 self.settle_device(d);
+                // Fault hook: a seeded failure shortens the kernel to a
+                // fraction of its nominal work; it then "dies" (pops from
+                // the queue with a failure notification) at that point.
+                let failure = self.faults.kernel_failure(DeviceId(d), self.now);
                 let dev = &mut self.devices[d];
                 let slot = dev.free_slots.pop().unwrap_or_else(|| {
                     dev.run.push(RunSlot {
@@ -856,6 +985,7 @@ impl Simulation {
                         started_at: SimTime::ZERO,
                         gen: 0,
                         live: false,
+                        failing: false,
                     });
                     dev.run.len() - 1
                 });
@@ -867,12 +997,16 @@ impl Simulation {
                 s.queue = q;
                 s.class = spec.class;
                 s.blocks = spec.blocks;
-                s.remaining = work;
+                s.remaining = match failure {
+                    Some(fraction) => work * fraction,
+                    None => work,
+                };
                 s.rate = 1.0;
                 s.settled_at = self.now;
                 s.started_at = self.now;
                 s.gen += 1;
                 s.live = true;
+                s.failing = failure.is_some();
                 dev.queues[q].head = HeadState::Running { slot };
                 self.apply_class_delta(d, class, blocks, 1);
                 self.reprice_device(d);
@@ -970,19 +1104,22 @@ impl Simulation {
     fn reprice_device(&mut self, d: usize) {
         let now = self.now;
         let mut to_push: Vec<(SimTime, Pending)> = Vec::new();
+        // Fault hook: an active straggler window scales every kernel on the
+        // device down uniformly (compute before the &mut borrow below).
+        let fault_factor = self.faults.device_factor(DeviceId(d), now);
         {
             let dev = &mut self.devices[d];
             for (i, slot) in dev.run.iter_mut().enumerate() {
                 if !slot.live {
                     continue;
                 }
-                let rate = 1.0
-                    / dev.spec.contention.slowdown(
+                let rate =
+                    1.0 / dev.spec.contention.slowdown(
                         slot.class,
                         dev.n_compute,
                         dev.n_comm,
                         dev.comm_channels,
-                    );
+                    ) / fault_factor;
                 slot.rate = rate;
                 slot.gen += 1;
                 let dur = (slot.remaining / rate).ceil() as u64;
@@ -1000,10 +1137,17 @@ impl Simulation {
                 let mut rate = f64::INFINITY;
                 for &(md, _) in &coll.members {
                     let dev = &self.devices[md];
-                    let r = 1.0 / dev.slowdown(KernelClass::Comm);
+                    let r = 1.0
+                        / dev.slowdown(KernelClass::Comm)
+                        / self.faults.device_factor(DeviceId(md), now);
                     rate = rate.min(r);
                 }
-                coll_updates.push((ci, rate));
+                // Fault hook: a degraded/partitioned link between any pair of
+                // members stretches the whole rendezvous.
+                let link = self
+                    .faults
+                    .collective_link_factor(coll.members.iter().map(|(md, _)| DeviceId(*md)), now);
+                coll_updates.push((ci, rate / link));
             }
         }
         for (ci, rate) in coll_updates {
@@ -1031,19 +1175,19 @@ impl Simulation {
             }
         }
         self.settle_device(d);
-        let (queue, class, blocks, kernel, started_at) = {
+        let (queue, class, blocks, kernel, started_at, failed) = {
             let s = &self.devices[d].run[slot];
             debug_assert!(
                 s.remaining <= 1.0,
                 "kernel completing with {} ns of work left",
                 s.remaining
             );
-            (s.queue, s.class, s.blocks, s.kernel, s.started_at)
+            (s.queue, s.class, s.blocks, s.kernel, s.started_at, s.failing)
         };
         self.devices[d].run[slot].live = false;
         self.devices[d].free_slots.push(slot);
         self.apply_class_delta(d, class, blocks, -1);
-        self.finish_queue_head(d, queue, kernel, class, started_at);
+        self.finish_queue_head(d, queue, kernel, class, started_at, failed);
         self.reprice_device(d);
         self.poll_queue(d, queue);
     }
@@ -1076,7 +1220,7 @@ impl Simulation {
                 _ => panic!("collective member head is not a kernel"),
             };
             self.apply_class_delta(d, class, blocks, -1);
-            self.finish_queue_head(d, q, kernel, class, started_at);
+            self.finish_queue_head(d, q, kernel, class, started_at, false);
         }
         for &(d, _) in &members {
             self.reprice_device(d);
@@ -1087,6 +1231,11 @@ impl Simulation {
     }
 
     /// Pops the completed kernel off its queue, records trace/stat entries.
+    ///
+    /// A `failed` kernel drains from the queue exactly like a successful one
+    /// (so stream FIFO order and dependent events are preserved) but is
+    /// counted separately and surfaced to the driver as
+    /// [`Wake::KernelFailed`]; recovery policy lives above the simulator.
     fn finish_queue_head(
         &mut self,
         d: usize,
@@ -1094,6 +1243,7 @@ impl Simulation {
         kernel: KernelId,
         class: KernelClass,
         started_at: SimTime,
+        failed: bool,
     ) {
         let popped = self.devices[d].queues[q].ops.pop_front().expect("finishing empty queue");
         let (name, tag, stream) = match popped.op {
@@ -1106,6 +1256,16 @@ impl Simulation {
         self.devices[d].queues[q].head = HeadState::Idle;
         self.kernels_completed += 1;
         self.devices[d].stats.account_kernel(class, self.now.saturating_since(started_at));
+        if failed {
+            self.kernels_failed += 1;
+            self.devices[d].stats.kernels_failed += 1;
+            self.wakes.push_back(Wake::KernelFailed {
+                kernel,
+                device: DeviceId(d),
+                tag,
+                at: self.now,
+            });
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {
                 kernel,
@@ -1117,6 +1277,7 @@ impl Simulation {
                 enqueued_at: popped.enqueued_at,
                 started_at,
                 ended_at: self.now,
+                failed,
             });
         }
     }
@@ -1181,6 +1342,7 @@ impl std::fmt::Debug for Simulation {
 mod tests {
     use super::*;
     use crate::contention::ContentionParams;
+    use crate::faults::{KernelFaultParams, LaunchSpikeParams};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -1791,5 +1953,152 @@ mod tests {
     #[test]
     fn builder_rejects_empty_node() {
         assert!(Simulation::builder().build().is_err());
+    }
+
+    fn faulty_sim(devices: usize, faults: FaultSpec) -> Simulation {
+        Simulation::builder()
+            .devices(DeviceSpec::test_device(), devices)
+            .streams_per_device(4)
+            .capture_trace(true)
+            .faults(faults)
+            .build()
+            .map(|mut s| {
+                for h in &mut s.hosts {
+                    h.spec = HostSpec::instant();
+                }
+                s
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn straggler_window_stretches_kernel_piecewise() {
+        // Device 0 runs at half speed over [0, 50us); a 100us kernel does
+        // 25us-equivalent of work in the window, then finishes the remaining
+        // 75us at full rate once the boundary reprices it: ends at 125us.
+        let faults =
+            FaultSpec::new(7).straggler(DeviceId(0), SimTime::ZERO, SimTime::from_micros(50), 2.0);
+        let mut sim = faulty_sim(1, faults);
+        assert_eq!(sim.device_fault_factor(DeviceId(0)), 2.0);
+        assert_eq!(sim.worst_fault_factor(), 2.0);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(100)));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(125));
+        assert_eq!(sim.kernels_failed(), 0);
+        assert_eq!(sim.device_fault_factor(DeviceId(0)), 1.0, "window over");
+    }
+
+    #[test]
+    fn link_degrade_stretches_collective() {
+        let faults = FaultSpec::new(7).degrade_link(
+            DeviceId(0),
+            DeviceId(1),
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+            2.0,
+        );
+        let mut sim = faulty_sim(2, faults);
+        let mut drv = script(|sim: &mut Simulation| {
+            let c = sim.new_collective(2);
+            for d in 0..2 {
+                sim.launch(
+                    HostId(d),
+                    s(d, 1),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50)).with_collective(c),
+                );
+            }
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(100), "degraded link halves the collective rate");
+    }
+
+    #[test]
+    fn failed_kernels_drain_fifo_and_wake_the_driver() {
+        // Certain failure at half runtime: both kernels die but still pop
+        // from the queue in launch order, and the driver hears about each.
+        let faults = FaultSpec::new(7).kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        let mut sim = faulty_sim(1, faults);
+        let failures: Rc<RefCell<Vec<(u64, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log = failures.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                for i in 0..2u64 {
+                    sim.launch(
+                        HostId(0),
+                        s(0, 0),
+                        KernelSpec::compute("k", SimDuration::from_micros(100)).with_tag(i),
+                    );
+                }
+            },
+            on_wake: move |wake: Wake, _: &mut Simulation| {
+                if let Wake::KernelFailed { tag, at, .. } = wake {
+                    log.borrow_mut().push((tag, at));
+                }
+            },
+        };
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(100), "each attempt dies after 50us");
+        assert_eq!(sim.kernels_completed(), 2, "failed kernels still drain");
+        assert_eq!(sim.kernels_failed(), 2);
+        assert_eq!(
+            *failures.borrow(),
+            vec![(0, SimTime::from_micros(50)), (1, SimTime::from_micros(100))],
+            "failures surface in FIFO completion order"
+        );
+        let trace = sim.take_trace().unwrap();
+        assert!(trace.events().iter().all(|e| e.failed));
+    }
+
+    #[test]
+    fn launch_spike_delays_the_kernel() {
+        let faults = FaultSpec::new(7).launch_spikes(LaunchSpikeParams {
+            prob: 1.0,
+            extra: SimDuration::from_micros(40),
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        let mut sim = faulty_sim(1, faults);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(HostId(0), s(0, 0), KernelSpec::compute("a", SimDuration::from_micros(10)));
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(50), "40us spike + 10us kernel");
+    }
+
+    #[test]
+    fn same_seed_fault_runs_are_identical() {
+        let run = || {
+            let faults = FaultSpec::new(42)
+                .straggler(DeviceId(0), SimTime::from_micros(20), SimTime::from_micros(90), 3.0)
+                .kernel_failures(KernelFaultParams {
+                    prob: 0.4,
+                    fraction: 0.5,
+                    from: SimTime::ZERO,
+                    until: SimTime::MAX,
+                });
+            let mut sim = faulty_sim(2, faults);
+            let mut drv = script(|sim: &mut Simulation| {
+                for d in 0..2 {
+                    for i in 0..6u64 {
+                        sim.launch(
+                            HostId(d),
+                            s(d, (i % 3) as usize),
+                            KernelSpec::compute(format!("k{d}{i}"), SimDuration::from_micros(15))
+                                .with_tag(i),
+                        );
+                    }
+                }
+            });
+            sim.run_to_completion(&mut drv);
+            sim.take_trace().unwrap().to_chrome_json()
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical chrome traces");
     }
 }

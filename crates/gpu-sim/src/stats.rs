@@ -26,6 +26,9 @@ pub struct DeviceStats {
     pub exec_compute: SimDuration,
     /// Summed wall execution time of completed communication kernels.
     pub exec_comm: SimDuration,
+    /// Kernels killed by the fault schedule (subset of the completed
+    /// counts: a failed kernel still drains its queue slot).
+    pub kernels_failed: u64,
     /// Timestamp of the last population transition.
     last_transition: SimTime,
 }
@@ -88,6 +91,77 @@ impl DeviceStats {
     }
 }
 
+/// Streaming mean/variance accumulator (Welford's algorithm) for building
+/// confidence-interval bounds in statistical tests instead of hard-coded
+/// tolerances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Builds a summary from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Summary {
+        let mut s = Summary::new();
+        for x in samples {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        self.m2 / (self.count - 1) as f64
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.stddev() / (self.count as f64).sqrt()
+    }
+
+    /// Half-width of the normal-approximation confidence interval around the
+    /// mean at `z` standard errors (z = 1.96 for 95%, 3.29 for 99.9%).
+    pub fn ci_halfwidth(&self, z: f64) -> f64 {
+        z * self.stderr()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +204,29 @@ mod tests {
     }
 
     #[test]
+    fn summary_matches_two_pass_moments() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_samples(samples);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // two-pass unbiased variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.stderr() - (32.0 / 7.0f64).sqrt() / 8.0f64.sqrt()).abs() < 1e-12);
+        assert!(s.ci_halfwidth(1.96) > s.ci_halfwidth(1.0));
+    }
+
+    #[test]
+    fn summary_degenerate_cases() {
+        let empty = Summary::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.stderr(), 0.0);
+        let one = Summary::from_samples([3.5]);
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
     fn empty_stats_are_zero() {
         let s = DeviceStats::default();
         assert_eq!(s.comm_ratio(), 0.0);
@@ -148,7 +245,8 @@ impl crate::json::ToJson for DeviceStats {
             .field("kernels_compute", &self.kernels_compute)
             .field("kernels_comm", &self.kernels_comm)
             .field("exec_compute", &self.exec_compute)
-            .field("exec_comm", &self.exec_comm);
+            .field("exec_comm", &self.exec_comm)
+            .field("kernels_failed", &self.kernels_failed);
         obj.end();
     }
 }

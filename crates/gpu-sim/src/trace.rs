@@ -35,6 +35,9 @@ pub struct TraceEvent {
     pub started_at: SimTime,
     /// When execution completed.
     pub ended_at: SimTime,
+    /// True when the kernel was killed by the fault schedule partway
+    /// through (it still drains its queue slot; see `gpu-sim::faults`).
+    pub failed: bool,
 }
 
 impl TraceEvent {
@@ -209,7 +212,9 @@ impl ToJson for TraceEvent {
             .field("tid", &self.stream)
             .field_with("args", |s| {
                 let mut args = JsonObject::begin(s);
-                args.field("tag", &self.tag).field("kernel", &self.kernel.0);
+                args.field("tag", &self.tag)
+                    .field("kernel", &self.kernel.0)
+                    .field("failed", &self.failed);
                 args.end();
             });
         obj.end();
@@ -231,6 +236,7 @@ mod tests {
             enqueued_at: SimTime::from_micros(start_us.saturating_sub(1)),
             started_at: SimTime::from_micros(start_us),
             ended_at: SimTime::from_micros(end_us),
+            failed: false,
         }
     }
 
@@ -319,6 +325,7 @@ mod ascii_tests {
             enqueued_at: SimTime::from_micros(start_us),
             started_at: SimTime::from_micros(start_us),
             ended_at: SimTime::from_micros(end_us),
+            failed: false,
         }
     }
 

@@ -1,0 +1,306 @@
+//! Property tests for the fault-injection layer: the engine's ordering and
+//! causality invariants must hold under *arbitrary* fault schedules —
+//! stragglers, degraded links, kernel failures and launch spikes — and
+//! replay must stay deterministic.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
+
+use liger_gpu_sim::prelude::*;
+use liger_gpu_sim::testkit::{check, Gen};
+use liger_gpu_sim::{FaultSpec, KernelFaultParams, LaunchSpikeParams};
+
+/// One step of a randomized launch plan (mirrors `proptests.rs`).
+#[derive(Debug, Clone)]
+enum PlanOp {
+    Single { device: usize, stream: usize, compute: bool, work_us: u64 },
+    Collective { stream: usize, work_us: u64 },
+}
+
+fn gen_plan(g: &mut Gen, devices: usize) -> Vec<PlanOp> {
+    g.vec_of(1, 40, |g| {
+        if g.usize_in(0, 5) < 4 {
+            PlanOp::Single {
+                device: g.usize_in(0, devices),
+                stream: g.usize_in(0, 4),
+                compute: g.bool(),
+                work_us: g.u64_in(1, 400),
+            }
+        } else {
+            PlanOp::Collective { stream: g.usize_in(0, 4), work_us: g.u64_in(1, 400) }
+        }
+    })
+}
+
+/// A randomized fault schedule: 0–2 stragglers, 0–1 degraded links, an
+/// optional kernel-failure window and an optional launch-spike window.
+fn gen_faults(g: &mut Gen, devices: usize) -> FaultSpec {
+    let mut spec = FaultSpec::new(g.any_u64());
+    for _ in 0..g.usize_in(0, 3) {
+        let from = g.u64_in(0, 2_000);
+        let len = g.u64_in(1, 4_000);
+        spec = spec.straggler(
+            DeviceId(g.usize_in(0, devices)),
+            SimTime::from_micros(from),
+            SimTime::from_micros(from + len),
+            g.f64_in(1.0, 8.0),
+        );
+    }
+    if devices >= 2 && g.bool() {
+        let a = g.usize_in(0, devices);
+        let b = (a + 1 + g.usize_in(0, devices - 1)) % devices;
+        let from = g.u64_in(0, 2_000);
+        let len = g.u64_in(1, 4_000);
+        spec = spec.degrade_link(
+            DeviceId(a),
+            DeviceId(b),
+            SimTime::from_micros(from),
+            SimTime::from_micros(from + len),
+            g.f64_in(1.0, 6.0),
+        );
+    }
+    if g.bool() {
+        spec = spec.kernel_failures(KernelFaultParams {
+            prob: g.f64_in(0.0, 0.6),
+            fraction: g.f64_in(0.1, 1.0),
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(g.u64_in(1, 6_000)),
+        });
+    }
+    if g.bool() {
+        spec = spec.launch_spikes(LaunchSpikeParams {
+            prob: g.f64_in(0.0, 0.5),
+            extra: SimDuration::from_micros(g.u64_in(1, 100)),
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(g.u64_in(1, 6_000)),
+        });
+    }
+    spec
+}
+
+struct PlanDriver {
+    plan: Vec<PlanOp>,
+    devices: usize,
+}
+
+impl Driver for PlanDriver {
+    fn start(&mut self, sim: &mut Simulation) {
+        for (i, op) in self.plan.iter().enumerate() {
+            let tag = i as u64;
+            match *op {
+                PlanOp::Single { device, stream, compute, work_us } => {
+                    let work = SimDuration::from_micros(work_us);
+                    let spec = if compute {
+                        KernelSpec::compute(format!("c{i}"), work)
+                    } else {
+                        KernelSpec::comm(format!("m{i}"), work)
+                    };
+                    sim.launch(
+                        HostId(device),
+                        StreamId::new(DeviceId(device), stream),
+                        spec.with_tag(tag),
+                    );
+                }
+                PlanOp::Collective { stream, work_us } => {
+                    let c = sim.new_collective(self.devices);
+                    for d in 0..self.devices {
+                        let spec =
+                            KernelSpec::comm(format!("ar{i}"), SimDuration::from_micros(work_us))
+                                .with_collective(c)
+                                .with_tag(tag);
+                        sim.launch(HostId(d), StreamId::new(DeviceId(d), stream), spec);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+fn run_plan(plan: &[PlanOp], devices: usize, faults: FaultSpec) -> (Simulation, Trace) {
+    let mut sim = Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), devices)
+        .capture_trace(true)
+        .faults(faults)
+        .build()
+        .unwrap();
+    let mut drv = PlanDriver { plan: plan.to_vec(), devices };
+    sim.run_to_completion(&mut drv);
+    let trace = sim.take_trace().unwrap();
+    (sim, trace)
+}
+
+fn expected_kernels(plan: &[PlanOp], devices: usize) -> u64 {
+    plan.iter()
+        .map(|op| match op {
+            PlanOp::Single { .. } => 1,
+            PlanOp::Collective { .. } => devices as u64,
+        })
+        .sum()
+}
+
+/// No fault schedule may lose a kernel: everything launched drains exactly
+/// once, failed or not.
+#[test]
+fn faults_never_lose_kernels() {
+    check("faults_never_lose_kernels", 48, |g| {
+        let plan = gen_plan(g, 3);
+        let faults = gen_faults(g, 3);
+        let (sim, trace) = run_plan(&plan, 3, faults);
+        let expect = expected_kernels(&plan, 3);
+        assert_eq!(sim.kernels_launched(), expect);
+        assert_eq!(sim.kernels_completed(), expect);
+        assert_eq!(trace.len() as u64, expect);
+        assert!(sim.kernels_failed() <= expect);
+    });
+}
+
+/// Causality survives faults: no kernel starts before its enqueue or ends
+/// at/before its start, even when it fails or is stretched by a straggler.
+#[test]
+fn causality_under_faults() {
+    check("causality_under_faults", 48, |g| {
+        let plan = gen_plan(g, 2);
+        let faults = gen_faults(g, 2);
+        let (_, trace) = run_plan(&plan, 2, faults);
+        for e in trace.events() {
+            assert!(e.started_at >= e.enqueued_at, "{e:?} started before enqueue");
+            assert!(e.ended_at > e.started_at, "{e:?} zero/negative span");
+        }
+    });
+}
+
+/// Stream-FIFO order holds under faults: within one hardware queue, kernels
+/// complete in launch order with disjoint execution intervals — a failed
+/// kernel drains in place, it never lets a successor overtake.
+#[test]
+fn stream_fifo_survives_failures() {
+    check("stream_fifo_survives_failures", 48, |g| {
+        let plan = gen_plan(g, 2);
+        // Force a failure window over the whole run so the FIFO claim is
+        // exercised with real failures, not vacuously.
+        let faults = gen_faults(g, 2).kernel_failures(KernelFaultParams {
+            prob: g.f64_in(0.2, 0.8),
+            fraction: g.f64_in(0.1, 0.9),
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        let (sim, trace) = run_plan(&plan, 2, faults);
+        for d in 0..2 {
+            let connections = sim.device_spec(DeviceId(d)).connections;
+            for q in 0..connections {
+                let mut evs: Vec<_> =
+                    trace.on_device(DeviceId(d)).filter(|e| e.stream % connections == q).collect();
+                evs.sort_by_key(|e| e.enqueued_at);
+                for w in evs.windows(2) {
+                    assert!(
+                        w[1].started_at >= w[0].ended_at,
+                        "queue {q} on device {d} overlapped: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// A failed kernel still reports a plausible span: it never runs *longer*
+/// than its healthy counterpart would at the same rate (it dies early), and
+/// its trace row is marked `failed`.
+#[test]
+fn failed_kernels_are_marked_and_die_early() {
+    check("failed_kernels_are_marked", 48, |g| {
+        let plan = gen_plan(g, 2);
+        let frac = g.f64_in(0.1, 0.9);
+        let faults = FaultSpec::new(g.any_u64()).kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: frac,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        let (sim, trace) = run_plan(&plan, 2, faults);
+        // prob 1.0 in an unbounded window: every *plain* kernel fails.
+        // Collective members are exempt — the fault model fails kernels, and
+        // a collective that loses a member is a partition (`part:`), not a
+        // kernel failure.
+        let singles = plan.iter().filter(|op| matches!(op, PlanOp::Single { .. })).count() as u64;
+        assert_eq!(sim.kernels_failed(), singles);
+        for (i, op) in plan.iter().enumerate() {
+            let expect_failed = matches!(op, PlanOp::Single { .. });
+            for e in trace.with_tag(i as u64) {
+                assert_eq!(e.failed, expect_failed, "{e:?} fail-marking disagrees with its kind");
+            }
+        }
+    });
+}
+
+/// Collectives stay synchronous under faults: every member starts and ends
+/// at the same instant even when a straggler or slow link stretches them.
+#[test]
+fn collectives_stay_synchronous_under_faults() {
+    check("collectives_sync_under_faults", 48, |g| {
+        let plan = gen_plan(g, 3);
+        let faults = gen_faults(g, 3);
+        let (_, trace) = run_plan(&plan, 3, faults);
+        for (i, op) in plan.iter().enumerate() {
+            if matches!(op, PlanOp::Collective { .. }) {
+                let members: Vec<_> = trace.with_tag(i as u64).collect();
+                assert_eq!(members.len(), 3);
+                for m in &members {
+                    assert_eq!(m.started_at, members[0].started_at);
+                    assert_eq!(m.ended_at, members[0].ended_at);
+                }
+            }
+        }
+    });
+}
+
+/// Faults only ever slow things down or truncate failed kernels — they
+/// never make a *successful* kernel faster than its nominal work.
+#[test]
+fn faults_never_speed_up_successful_kernels() {
+    check("faults_never_speed_up", 48, |g| {
+        let plan = gen_plan(g, 2);
+        let faults = gen_faults(g, 2);
+        let (_, trace) = run_plan(&plan, 2, faults);
+        for (i, op) in plan.iter().enumerate() {
+            let work_us = match *op {
+                PlanOp::Single { work_us, .. } => work_us,
+                PlanOp::Collective { work_us, .. } => work_us,
+            };
+            for e in trace.with_tag(i as u64) {
+                if !e.failed {
+                    assert!(
+                        e.duration() >= SimDuration::from_micros(work_us),
+                        "kernel {i} beat its nominal work under faults: {} < {}us",
+                        e.duration(),
+                        work_us
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The same (plan, fault schedule) pair always replays to the identical
+/// trace: fault injection is a pure function of the seed and sim time.
+#[test]
+fn fault_replay_is_deterministic() {
+    check("fault_replay_is_deterministic", 48, |g| {
+        let plan = gen_plan(g, 3);
+        let seed = g.any_u64();
+        let faults = FaultSpec::new(seed)
+            .straggler(DeviceId(0), SimTime::from_micros(100), SimTime::from_micros(900), 3.0)
+            .kernel_failures(KernelFaultParams {
+                prob: 0.3,
+                fraction: 0.5,
+                from: SimTime::ZERO,
+                until: SimTime::MAX,
+            });
+        let (_, t1) = run_plan(&plan, 3, faults.clone());
+        let (_, t2) = run_plan(&plan, 3, faults);
+        assert_eq!(t1.to_chrome_json(), t2.to_chrome_json(), "fault replay diverged");
+    });
+}

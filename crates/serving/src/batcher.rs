@@ -223,18 +223,36 @@ use crate::request::Completion;
 /// Flush-timer token marker within the runner namespace.
 const FLUSH_BIT: u64 = 1 << 62;
 
+/// One dispatched batch awaiting completion.
+#[derive(Debug, Clone)]
+struct InFlightBatch {
+    /// The engine-facing request (kept for requeue resubmission).
+    request: Request,
+    /// Member query ids.
+    members: Vec<u64>,
+    /// Requeues consumed so far.
+    attempts: u32,
+    /// A member kernel failed; requeue when the attempt drains.
+    tainted: bool,
+}
+
 /// Serves individual queries through a [`Batcher`] and an engine: the
 /// end-to-end frontend + runtime stack of the paper's Fig. 5. Latency is
 /// measured per *query* (including time spent waiting in the batcher).
+///
+/// With a requeue budget (see [`serve_queries_with_retry`]), a batch whose
+/// kernels were killed by the fault schedule is resubmitted whole once the
+/// tainted attempt drains, up to `requeue_limit` times per batch.
 pub struct QueryRunner<'a, E: InferenceEngine + ?Sized> {
     engine: &'a mut E,
     batcher: Batcher,
     queries: Vec<Query>,
-    /// request id -> member query ids.
-    in_flight: HashMap<u64, Vec<u64>>,
+    /// request id -> members + requeue state.
+    in_flight: HashMap<u64, InFlightBatch>,
     metrics: ServingMetrics,
     outstanding: usize,
     flush_gen: u64,
+    requeue_limit: u32,
 }
 
 impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
@@ -253,7 +271,21 @@ impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
             metrics: ServingMetrics::new(),
             outstanding,
             flush_gen: 0,
+            requeue_limit: 0,
         })
+    }
+
+    /// [`Self::new`] with up to `requeue_limit` resubmissions per batch on
+    /// kernel failure.
+    pub fn with_retry(
+        engine: &'a mut E,
+        config: BatcherConfig,
+        queries: Vec<Query>,
+        requeue_limit: u32,
+    ) -> Result<Self, String> {
+        let mut runner = QueryRunner::new(engine, config, queries)?;
+        runner.requeue_limit = requeue_limit;
+        Ok(runner)
     }
 
     /// Finished metrics (query-level).
@@ -262,7 +294,15 @@ impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
     }
 
     fn dispatch(&mut self, batch: PackedBatch, sim: &mut Simulation) {
-        self.in_flight.insert(batch.request.id, batch.members);
+        self.in_flight.insert(
+            batch.request.id,
+            InFlightBatch {
+                request: batch.request,
+                members: batch.members,
+                attempts: 0,
+                tainted: false,
+            },
+        );
         self.engine.submit(batch.request, sim);
     }
 
@@ -275,7 +315,18 @@ impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
 
     fn collect(&mut self, sim: &mut Simulation) {
         for (rid, finished) in self.engine.drain_completions() {
-            let members = self.in_flight.remove(&rid).expect("unknown request completed");
+            let entry = self.in_flight.get_mut(&rid).expect("unknown request completed");
+            if entry.tainted && entry.attempts < self.requeue_limit {
+                // Put the whole batch back on the engine now that its
+                // tainted attempt has drained.
+                entry.tainted = false;
+                entry.attempts += 1;
+                let request = entry.request;
+                self.metrics.faults_mut().requeues += 1;
+                self.engine.submit(request, sim);
+                continue;
+            }
+            let members = self.in_flight.remove(&rid).expect("entry vanished").members;
             for qid in members {
                 self.metrics.record(Completion {
                     id: qid,
@@ -324,6 +375,15 @@ impl<E: InferenceEngine + ?Sized> Driver for QueryRunner<'_, E> {
                     self.arm_flush_timer(sim);
                 }
             }
+            Wake::KernelFailed { tag, .. } => {
+                if self.requeue_limit > 0 {
+                    self.metrics.faults_mut().kernel_failures += 1;
+                    if let Some(entry) = self.in_flight.get_mut(&tag) {
+                        entry.tainted = true;
+                    }
+                }
+                self.engine.on_wake(wake, sim);
+            }
             other => self.engine.on_wake(other, sim),
         }
         self.collect(sim);
@@ -339,6 +399,22 @@ pub fn serve_queries<E: InferenceEngine + ?Sized>(
     queries: Vec<Query>,
 ) -> ServingMetrics {
     let mut runner = QueryRunner::new(engine, config, queries).expect("valid batcher config");
+    sim.run_to_completion(&mut runner);
+    runner.into_metrics()
+}
+
+/// [`serve_queries`] with requeue-on-kernel-failure: a batch whose kernels
+/// the fault schedule killed is resubmitted whole (up to `requeue_limit`
+/// times per batch) once the tainted attempt drains.
+pub fn serve_queries_with_retry<E: InferenceEngine + ?Sized>(
+    sim: &mut Simulation,
+    engine: &mut E,
+    config: BatcherConfig,
+    queries: Vec<Query>,
+    requeue_limit: u32,
+) -> ServingMetrics {
+    let mut runner =
+        QueryRunner::with_retry(engine, config, queries, requeue_limit).expect("valid config");
     sim.run_to_completion(&mut runner);
     runner.into_metrics()
 }
@@ -447,6 +523,101 @@ mod runner_tests {
         let mut e = RecordingEngine { done: vec![], shapes: vec![] };
         let m = serve_queries(&mut sim(), &mut e, BatcherConfig::default(), vec![]);
         assert_eq!(m.completed(), 0);
+    }
+
+    use liger_gpu_sim::{FaultSpec, KernelFaultParams, SimDuration};
+
+    /// Like [`RecordingEngine`] but tags kernels with the request id so the
+    /// simulator's failure notifications map back to batches.
+    struct TaggedEngine {
+        done: Vec<(u64, SimTime)>,
+    }
+
+    impl InferenceEngine for TaggedEngine {
+        fn name(&self) -> &'static str {
+            "tagged"
+        }
+        fn submit(&mut self, request: Request, sim: &mut Simulation) {
+            let stream = StreamId::new(DeviceId(0), 0);
+            sim.launch(
+                HostId(0),
+                stream,
+                KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(request.id),
+            );
+            let ev = sim.record_event(HostId(0), stream);
+            sim.notify_on_event(ev, HostId(0), request.id);
+        }
+        fn on_wake(&mut self, wake: Wake, _: &mut Simulation) {
+            if let Wake::EventFired { token, fired_at, .. } = wake {
+                self.done.push((token, fired_at));
+            }
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+            std::mem::take(&mut self.done)
+        }
+    }
+
+    fn faulty_sim(faults: FaultSpec) -> Simulation {
+        Simulation::builder()
+            .device(DeviceSpec::test_device())
+            .host(HostSpec::instant())
+            .faults(faults)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn failed_batch_is_requeued_whole() {
+        // The batch's kernel dies at 5us (window [0, 1us), certain failure);
+        // the requeue resubmits it at 5us and it completes clean at 15us.
+        let faults = FaultSpec::new(5).kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(1),
+        });
+        let mut e = TaggedEngine { done: vec![] };
+        let qs = queries(&[0, 0], &[16, 32]);
+        let cfg = BatcherConfig { max_batch: 2, max_wait: SimDuration::from_millis(1) };
+        let m = serve_queries_with_retry(&mut faulty_sim(faults), &mut e, cfg, qs, 3);
+        assert_eq!(m.completed(), 2, "both members complete, none lost");
+        assert_eq!(m.faults().requeues, 1);
+        assert_eq!(m.faults().kernel_failures, 1);
+        assert!(m.completions().iter().all(|c| c.finished == SimTime::from_micros(15)));
+    }
+
+    #[test]
+    fn requeue_limit_bounds_resubmissions() {
+        let faults = FaultSpec::new(5).kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        });
+        let mut e = TaggedEngine { done: vec![] };
+        let qs = queries(&[0, 0], &[16, 32]);
+        let cfg = BatcherConfig { max_batch: 2, max_wait: SimDuration::from_millis(1) };
+        let m = serve_queries_with_retry(&mut faulty_sim(faults), &mut e, cfg, qs, 2);
+        assert_eq!(m.completed(), 2, "exhausted budget still completes the batch");
+        assert_eq!(m.faults().requeues, 2);
+        assert_eq!(m.faults().kernel_failures, 3, "initial attempt + two requeues");
+    }
+
+    #[test]
+    fn zero_requeue_limit_matches_plain_serving() {
+        let faults = FaultSpec::new(5).kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: 0.5,
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(1),
+        });
+        let mut e = TaggedEngine { done: vec![] };
+        let qs = queries(&[0, 0], &[16, 32]);
+        let cfg = BatcherConfig { max_batch: 2, max_wait: SimDuration::from_millis(1) };
+        let m = serve_queries_with_retry(&mut faulty_sim(faults), &mut e, cfg, qs, 0);
+        assert_eq!(m.completed(), 2, "no requeue: the tainted result is delivered");
+        assert_eq!(m.faults().requeues, 0);
+        assert!(m.completions().iter().all(|c| c.finished == SimTime::from_micros(5)));
     }
 }
 

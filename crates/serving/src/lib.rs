@@ -21,11 +21,14 @@ pub mod runner;
 
 pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
 pub use arrival::{ArrivalProcess, DecodeTraceConfig, LognormalTraceConfig, PrefillTraceConfig};
-pub use batcher::{serve_queries, Batcher, BatcherConfig, PackedBatch, Query, QueryRunner};
+pub use batcher::{
+    serve_queries, serve_queries_with_retry, Batcher, BatcherConfig, PackedBatch, Query,
+    QueryRunner,
+};
 pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
 pub use generation::{
     serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner,
 };
-pub use metrics::ServingMetrics;
+pub use metrics::{FaultCounters, ServingMetrics};
 pub use request::{Completion, Request};
-pub use runner::{serve, ServingRunner};
+pub use runner::{serve, serve_with_policy, RetryPolicy, ServingRunner};

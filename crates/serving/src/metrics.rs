@@ -8,10 +8,31 @@ use liger_gpu_sim::{SimDuration, SimTime};
 
 use crate::request::Completion;
 
+/// Degraded-mode counters accumulated while serving under an active fault
+/// schedule (all zero on healthy runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Requests resubmitted after a failed attempt (runner retry path).
+    pub retries: u64,
+    /// Requests whose latency crossed the policy timeout (accounting only;
+    /// the attempt is not cancelled).
+    pub timeouts: u64,
+    /// Kernel failures observed ([`Wake::KernelFailed`] notifications).
+    ///
+    /// [`Wake::KernelFailed`]: liger_gpu_sim::Wake::KernelFailed
+    pub kernel_failures: u64,
+    /// Batches put back on the engine after a member kernel failed
+    /// (batcher requeue path).
+    pub requeues: u64,
+    /// Scheduling rounds planned while a straggler window was active.
+    pub degraded_rounds: u64,
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServingMetrics {
     completions: Vec<Completion>,
+    faults: FaultCounters,
 }
 
 impl ServingMetrics {
@@ -92,6 +113,22 @@ impl ServingMetrics {
     pub fn goodput(&self, deadline: SimDuration) -> f64 {
         self.throughput() * self.slo_attainment(deadline)
     }
+
+    /// Number of jobs that missed `deadline` (complement of
+    /// [`slo_attainment`](Self::slo_attainment), as a count).
+    pub fn slo_violations(&self, deadline: SimDuration) -> usize {
+        self.completions.iter().filter(|c| c.latency() > deadline).count()
+    }
+
+    /// Degraded-mode counters (all zero on healthy runs).
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Mutable access for the serving loops accumulating fault reactions.
+    pub fn faults_mut(&mut self) -> &mut FaultCounters {
+        &mut self.faults
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +200,29 @@ mod tests {
     }
 
     #[test]
+    fn slo_violations_complement_attainment() {
+        let mut m = ServingMetrics::new();
+        m.record(c(0, 0, 10));
+        m.record(c(1, 0, 20));
+        m.record(c(2, 0, 100));
+        assert_eq!(m.slo_violations(SimDuration::from_millis(20)), 1);
+        assert_eq!(m.slo_violations(SimDuration::ZERO), 3);
+        assert_eq!(m.slo_violations(SimDuration::MAX), 0);
+    }
+
+    #[test]
+    fn fault_counters_default_zero_and_accumulate() {
+        let mut m = ServingMetrics::new();
+        assert_eq!(*m.faults(), FaultCounters::default());
+        m.faults_mut().retries += 2;
+        m.faults_mut().kernel_failures += 1;
+        assert_eq!(m.faults().retries, 2);
+        assert_eq!(m.faults().kernel_failures, 1);
+        use liger_gpu_sim::ToJson;
+        assert!(m.to_json().contains("\"retries\":2"));
+    }
+
+    #[test]
     fn percentile_clamps_out_of_range() {
         let mut m = ServingMetrics::new();
         m.record(c(0, 0, 7));
@@ -181,7 +241,20 @@ impl liger_gpu_sim::ToJson for ServingMetrics {
             .field("p50_latency_ns", &self.latency_percentile(50.0))
             .field("p99_latency_ns", &self.latency_percentile(99.0))
             .field("max_latency_ns", &self.max_latency())
-            .field("throughput", &self.throughput());
+            .field("throughput", &self.throughput())
+            .field("faults", &self.faults);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for FaultCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("retries", &self.retries)
+            .field("timeouts", &self.timeouts)
+            .field("kernel_failures", &self.kernel_failures)
+            .field("requeues", &self.requeues)
+            .field("degraded_rounds", &self.degraded_rounds);
         obj.end();
     }
 }

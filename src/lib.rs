@@ -71,7 +71,7 @@ pub mod prelude {
     };
     pub use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
     pub use liger_serving::{
-        serve, ArrivalProcess, DecodeTraceConfig, InferenceEngine, PrefillTraceConfig, Request,
-        ServingMetrics,
+        serve, serve_with_policy, ArrivalProcess, DecodeTraceConfig, FaultCounters,
+        InferenceEngine, PrefillTraceConfig, Request, RetryPolicy, ServingMetrics,
     };
 }

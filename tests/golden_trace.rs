@@ -1,0 +1,105 @@
+//! Golden-file regression test for the Chrome-trace exporter.
+//!
+//! A small fixed scenario — two devices, plain kernels, one collective, a
+//! straggler window and one certain kernel failure — is exported to JSON
+//! and compared byte-for-byte against `tests/golden/chrome_trace.json`.
+//! Any change to the exporter's field set, ordering, or escaping shows up
+//! as a diff here rather than silently breaking downstream trace viewers.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! LIGER_GOLDEN_REGEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! then review the diff and commit the new golden file.
+
+use liger::prelude::*;
+use liger_gpu_sim::{FaultSpec, KernelFaultParams};
+
+const GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+struct Script;
+
+impl Driver for Script {
+    fn start(&mut self, sim: &mut Simulation) {
+        // Two plain kernels back-to-back on device 0, stream 0; the second
+        // fails (certain-failure window covers only its start time range).
+        sim.launch(
+            HostId(0),
+            StreamId::new(DeviceId(0), 0),
+            KernelSpec::compute("gemm_a", SimDuration::from_micros(100)).with_tag(1),
+        );
+        sim.launch(
+            HostId(0),
+            StreamId::new(DeviceId(0), 0),
+            KernelSpec::comm("send_b", SimDuration::from_micros(40)).with_tag(2),
+        );
+        // A kernel on device 1 inside the straggler window: stretched 2x.
+        sim.launch(
+            HostId(1),
+            StreamId::new(DeviceId(1), 0),
+            KernelSpec::compute("gemm_c", SimDuration::from_micros(50)).with_tag(3),
+        );
+        // An all-reduce across both devices.
+        let c = sim.new_collective(2);
+        for d in 0..2 {
+            sim.launch(
+                HostId(d),
+                StreamId::new(DeviceId(d), 1),
+                KernelSpec::comm("allreduce", SimDuration::from_micros(30))
+                    .with_collective(c)
+                    .with_tag(4),
+            );
+        }
+    }
+
+    fn on_wake(&mut self, _: Wake, _: &mut Simulation) {}
+}
+
+fn render() -> String {
+    let faults = FaultSpec::new(0x601d)
+        .straggler(DeviceId(1), SimTime::ZERO, SimTime::from_micros(80), 2.0)
+        .kernel_failures(KernelFaultParams {
+            prob: 1.0,
+            fraction: 0.5,
+            from: SimTime::from_micros(90),
+            until: SimTime::from_micros(110),
+        });
+    let mut sim = Simulation::builder()
+        .devices(DeviceSpec::test_device(), 2)
+        .capture_trace(true)
+        .faults(faults)
+        .build()
+        .unwrap();
+    sim.run_to_completion(&mut Script);
+    let mut json = sim.take_trace().unwrap().to_chrome_json();
+    json.push('\n');
+    json
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let rendered = render();
+    if std::env::var_os("LIGER_GOLDEN_REGEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_trace.json");
+        std::fs::write(path, &rendered).expect("write golden file");
+        eprintln!("regenerated {path}");
+        return;
+    }
+    assert_eq!(
+        rendered, GOLDEN,
+        "Chrome-trace export drifted from tests/golden/chrome_trace.json; if the \
+         format change is intentional, regenerate with LIGER_GOLDEN_REGEN=1 and \
+         commit the diff"
+    );
+}
+
+#[test]
+fn golden_file_has_the_fault_fields() {
+    // The golden scenario must keep exercising the fault-related schema:
+    // one failed kernel and a stretched straggler kernel.
+    assert!(GOLDEN.contains("\"failed\":true"), "golden trace lost its failed kernel");
+    assert!(GOLDEN.contains("\"failed\":false"));
+    assert!(GOLDEN.contains("allreduce"));
+}
