@@ -22,10 +22,17 @@ cargo test -q --workspace
 # fresh seed per process, widening coverage over time). A failure prints
 # the LIGER_PROP_SEED to rerun the exact case.
 echo "==> fault & property suites (pinned seed)"
-LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace
+LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace --test recovery
 LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
 
 echo "==> fault & property suites (fresh seed)"
 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+cargo test -q --test recovery
+
+# Recovery ablation accounting gate: a short trace through every loss
+# scenario x policy; the binary exits non-zero if any request goes missing
+# without a recorded shed reason or detection exceeds the watchdog bound.
+echo "==> ablation_recovery --smoke"
+cargo run --release -q -p liger-bench --bin ablation_recovery -- --smoke
 
 echo "ci.sh: all checks passed"

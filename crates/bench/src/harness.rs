@@ -8,7 +8,10 @@ use liger_gpu_sim::json::{JsonArray, JsonObject, ToJson};
 use liger_gpu_sim::{DeviceSpec, FaultSpec, HostSpec, Simulation};
 use liger_model::{profile_contention, CostModel, ModelConfig};
 use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
-use liger_serving::{serve, serve_with_policy, Request, RetryPolicy, ServingMetrics};
+use liger_serving::{
+    serve, serve_with_policy, serve_with_recovery, RecoveryConfig, Request, RetryPolicy,
+    ServingMetrics,
+};
 
 /// One of the paper's two testbeds (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +183,29 @@ pub fn run_serving_with_faults(
             drive(&mut e, &mut sim)
         }
     }
+}
+
+/// Serves `requests` with a node-tuned Liger engine under the full
+/// elastic-recovery pipeline (health watchdog, drain-and-replan, KV
+/// recovery, admission control) on a fresh simulation of `node` with the
+/// given fault schedule. The returned metrics carry the recovery counters
+/// and phase timeline alongside the usual serving numbers.
+pub fn run_liger_recovery(
+    model: &ModelConfig,
+    node: Node,
+    world: usize,
+    requests: Vec<Request>,
+    faults: Option<FaultSpec>,
+    config: RecoveryConfig,
+) -> ServingMetrics {
+    let cost = node.cost_model();
+    let mut sim = node.simulation_with_faults(world, false, faults);
+    let liger = LigerConfig::default().with_contention_factor(node.contention_factor());
+    let mut e =
+        LigerEngine::new(model.clone(), cost.clone(), world, liger).expect("valid Liger setup");
+    let mut m = serve_with_recovery(&mut sim, &mut e, requests, model, &cost, config);
+    m.faults_mut().degraded_rounds = e.degraded_rounds();
+    m
 }
 
 /// Reads `--faults <spec>` from the process arguments and parses it with

@@ -19,6 +19,6 @@ pub mod micro;
 
 pub use harness::{
     arg_faults, arg_flag, arg_value, default_requests, intra_capacity, maybe_write_csv,
-    maybe_write_json, rate_grid, run_serving, run_serving_with_faults, sweep, EngineKind,
-    ExperimentPoint, Node, Table,
+    maybe_write_json, rate_grid, run_liger_recovery, run_serving, run_serving_with_faults, sweep,
+    EngineKind, ExperimentPoint, Node, Table,
 };

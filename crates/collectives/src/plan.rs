@@ -38,6 +38,16 @@ impl CollectivePlan {
         collective_time(self.kind, self.bytes, self.ranks.len(), topo, nccl)
     }
 
+    /// Rebuilds the plan's ring excluding `dead` ranks (elastic recovery):
+    /// the same logical collective over the surviving members only. Panics
+    /// if fewer than one rank would remain.
+    pub fn excluding(&self, dead: &[DeviceId]) -> CollectivePlan {
+        let ranks: Vec<DeviceId> =
+            self.ranks.iter().copied().filter(|r| !dead.contains(r)).collect();
+        assert!(!ranks.is_empty(), "collective would have no surviving rank");
+        CollectivePlan { kind: self.kind, bytes: self.bytes, ranks }
+    }
+
     /// Splits the plan into `parts` equal chunks (runtime decomposition of
     /// §3.6). Each chunk is itself a full collective over the same ranks.
     pub fn chunked(&self, parts: u32) -> Vec<CollectivePlan> {
@@ -115,6 +125,26 @@ mod tests {
             chunk_time(CollectiveKind::AllReduce, 8 << 20, 8, 4, &topo, &nccl)
         );
         assert_eq!(plan.chunk_duration(1, &topo, &nccl), plan.duration(&topo, &nccl));
+    }
+
+    #[test]
+    fn excluding_rebuilds_the_ring_over_survivors() {
+        let plan = CollectivePlan::allreduce(1 << 20, ranks(4));
+        let rebuilt = plan.excluding(&[DeviceId(2)]);
+        assert_eq!(rebuilt.ranks, vec![DeviceId(0), DeviceId(1), DeviceId(3)]);
+        assert_eq!(rebuilt.bytes, plan.bytes);
+        assert_eq!(rebuilt.kind, plan.kind);
+        // A 3-rank ring moves less total data: never slower than 4 ranks on
+        // the same topology.
+        let topo = Topology::test_topology();
+        let nccl = NcclConfig::default();
+        assert!(rebuilt.duration(&topo, &nccl) <= plan.duration(&topo, &nccl));
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving rank")]
+    fn excluding_everyone_panics() {
+        CollectivePlan::allreduce(1, ranks(2)).excluding(&[DeviceId(0), DeviceId(1)]);
     }
 
     #[test]

@@ -68,6 +68,27 @@ impl Topology {
         }
     }
 
+    /// The topology after rebuilding rings over `survivors` of `total`
+    /// devices (elastic recovery from a permanent device loss).
+    ///
+    /// On an NVLink node the dead GPU's link bricks leave the ring and one
+    /// hop must route around the hole, so the achievable all-reduce bus
+    /// bandwidth scales by `survivors/total`; point-to-point transfers still
+    /// ride a direct brick pair at full rate. On a PCIe node all traffic
+    /// already flows through the switch, whose bandwidth is unchanged by the
+    /// loss. Base latency is a protocol constant either way.
+    pub fn degraded(&self, survivors: usize, total: usize) -> Topology {
+        assert!(
+            survivors >= 1 && survivors <= total,
+            "degraded ring needs 1..=total survivors, got {survivors}/{total}"
+        );
+        let scale = match self.kind {
+            InterconnectKind::NvLink => survivors as f64 / total as f64,
+            InterconnectKind::PciE => 1.0,
+        };
+        Topology { allreduce_bus_bw: self.allreduce_bus_bw * scale, ..self.clone() }
+    }
+
     /// Validates the parameters.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.allreduce_bus_bw.is_finite() && self.allreduce_bus_bw > 0.0) {
@@ -100,6 +121,25 @@ mod tests {
         Topology::v100_nvlink().validate().unwrap();
         Topology::a100_pcie().validate().unwrap();
         Topology::test_topology().validate().unwrap();
+    }
+
+    #[test]
+    fn degraded_rings_lose_bandwidth_only_on_nvlink() {
+        let v = Topology::v100_nvlink();
+        let d = v.degraded(3, 4);
+        assert!((d.allreduce_bus_bw - v.allreduce_bus_bw * 0.75).abs() < 1.0);
+        assert_eq!(d.p2p_bw, v.p2p_bw, "direct brick pairs survive");
+        assert_eq!(d.base_latency, v.base_latency);
+        let a = Topology::a100_pcie();
+        assert_eq!(a.degraded(2, 4), a, "the PCIe switch is indifferent to losses");
+        assert_eq!(v.degraded(4, 4), v, "no loss, no change");
+        d.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded ring")]
+    fn degraded_rejects_zero_survivors() {
+        Topology::test_topology().degraded(0, 4);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::collections::VecDeque;
 use liger_collectives::NcclConfig;
 use liger_gpu_sim::{DeviceId, EventId, HostId, KernelClass, SimTime, Simulation, StreamId, Wake};
 use liger_model::{CostModel, ModelConfig};
-use liger_parallelism::check_divisibility;
 use liger_parallelism::launch::{batch_working_set_bytes, comm_specs, compute_spec, EngineMemory};
+use liger_parallelism::{check_divisibility, check_divisibility_relaxed};
 use liger_serving::{InferenceEngine, Request};
 
 use crate::config::{LigerConfig, SyncMode};
@@ -49,6 +49,14 @@ fn control_token(kind: u64, round: u64) -> u64 {
 /// Stream indices used by the engine.
 const PRIMARY_STREAM: usize = 0;
 const SECONDARY_STREAM: usize = 1;
+
+/// Batch-completion tokens carry the engine's replan epoch in bits 48..62
+/// (the batch id sits below). A device loss bumps the epoch, so completion
+/// records queued before the loss — which may still fire on survivors while
+/// the abandoned batches are being resubmitted — are recognizably stale and
+/// dropped instead of completing the wrong attempt.
+const EPOCH_SHIFT: u64 = 48;
+const BATCH_MASK: u64 = (1 << EPOCH_SHIFT) - 1;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -88,6 +96,8 @@ pub struct LigerEngine {
     /// Rounds planned while a straggler fault window was active (the plan
     /// shrank the left-over budget accordingly).
     degraded_rounds: u64,
+    /// Replan epoch: bumped on every device loss (see [`EPOCH_SHIFT`]).
+    epoch: u64,
     memory: EngineMemory,
 }
 
@@ -126,6 +136,7 @@ impl LigerEngine {
             observations: std::collections::HashMap::new(),
             adaptations: 0,
             degraded_rounds: 0,
+            epoch: 0,
             memory: EngineMemory::new(),
         })
     }
@@ -156,22 +167,18 @@ impl LigerEngine {
         self.degraded_rounds
     }
 
-    fn params(&self) -> PlanParams {
+    /// Planning parameters for the next round, always read against the live
+    /// simulation: the straggler factor comes off the fault schedule, so a
+    /// degraded device shrinks this round's left-over kernel budget (§3.4's
+    /// window invariant survives the slowdown). There is deliberately no
+    /// fault-blind variant — every planning site must see the same world.
+    fn params(&self, sim: &Simulation) -> PlanParams {
         PlanParams {
             contention_factor: self.factor,
             division_factor: self.config.division_factor,
             enable_decomposition: self.config.enable_decomposition,
-            straggler_factor: 1.0,
+            straggler_factor: sim.worst_fault_factor(),
         }
-    }
-
-    /// [`Self::params`] with the straggler factor read off the simulation's
-    /// fault schedule: a degraded device shrinks this round's left-over
-    /// kernel budget (§3.4's window invariant survives the slowdown).
-    fn params_for(&self, sim: &Simulation) -> PlanParams {
-        let mut params = self.params();
-        params.straggler_factor = sim.worst_fault_factor();
-        params
     }
 
     /// Feeds one round's (primary end, secondary end) pair into the online
@@ -226,7 +233,7 @@ impl LigerEngine {
     /// Plans and launches the next round; returns false when idle.
     fn advance(&mut self, sim: &mut Simulation) -> bool {
         self.update_list(sim);
-        let params = self.params_for(sim);
+        let params = self.params(sim);
         let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else {
             self.phase = Phase::Idle;
             return false;
@@ -263,7 +270,7 @@ impl LigerEngine {
         let mut outstanding = 0u32;
         loop {
             self.update_list(sim);
-            let params = self.params_for(sim);
+            let params = self.params(sim);
             let Some(plan) = plan_round(&mut self.processing, &params, &self.cost) else { break };
             self.rounds_planned += 1;
             if params.straggler_factor > 1.0 {
@@ -439,9 +446,11 @@ impl LigerEngine {
     }
 
     fn notify_batch_done(&mut self, sim: &mut Simulation, batch: u64, stream: usize) {
+        debug_assert!(batch <= BATCH_MASK, "batch id overflows the epoch-tagged token");
+        debug_assert!(self.epoch < 1 << (62 - EPOCH_SHIFT), "epoch overflows its token bits");
         let d0 = self.devices[0];
         let ev = sim.record_event(HostId(d0.0), StreamId::new(d0, stream));
-        sim.notify_on_event(ev, HostId(d0.0), batch);
+        sim.notify_on_event(ev, HostId(d0.0), (self.epoch << EPOCH_SHIFT) | batch);
     }
 
     /// Looks a batch up in the processing list, returning
@@ -490,9 +499,15 @@ impl InferenceEngine for LigerEngine {
     fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
         match wake {
             Wake::EventFired { token, fired_at, .. } if token & CONTROL == 0 => {
-                // Batch completion.
-                self.memory.batch_completed(sim, token);
-                self.completed.push((token, fired_at));
+                // Batch completion. A stale epoch means the record was queued
+                // before a device loss and the batch has since been abandoned
+                // (and possibly resubmitted) — ignore it.
+                if token >> EPOCH_SHIFT != self.epoch {
+                    return;
+                }
+                let batch = token & BATCH_MASK;
+                self.memory.batch_completed(sim, batch);
+                self.completed.push((batch, fired_at));
                 if let Phase::Flood { outstanding } = self.phase {
                     let left = outstanding.saturating_sub(1);
                     if left == 0 {
@@ -534,11 +549,46 @@ impl InferenceEngine for LigerEngine {
             // the whole request once the tainted attempt drains, so the
             // engine's round state machine needs no transition here.
             Wake::KernelFailed { .. } => {}
+            // Permanent losses are likewise driven from the serving layer —
+            // the recovery runner waits for its watchdog to confirm, then
+            // calls `on_device_loss`. The oracle wake itself is not acted on.
+            Wake::DeviceDown { .. } => {}
         }
     }
 
     fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
         std::mem::take(&mut self.completed)
+    }
+
+    fn on_device_loss(
+        &mut self,
+        _dead: DeviceId,
+        survivors: &[DeviceId],
+        sim: &mut Simulation,
+    ) -> Vec<u64> {
+        assert!(!survivors.is_empty(), "cannot replan over zero survivors");
+        check_divisibility_relaxed(&self.cfg, survivors.len() as u32)
+            .expect("model cannot be replanned over the survivors");
+        // Abandon every queued and in-flight batch; the caller resubmits.
+        let mut ids: Vec<u64> =
+            self.processing.iter().chain(self.waiting.iter()).map(|v| v.batch_id).collect();
+        ids.sort_unstable();
+        self.processing.clear();
+        self.waiting.clear();
+        self.prev_e2 = None;
+        self.observations.clear();
+        self.phase = Phase::Idle;
+        // Outstanding completion records (on survivors) become stale.
+        self.epoch += 1;
+        // Weights and working sets are re-allocated over the new placement
+        // at the next submit.
+        self.memory.release_all(sim);
+        // Collective rings are rebuilt around the hole: point-to-point
+        // bricks route past the dead GPU, so NVLink-style fabrics lose bus
+        // bandwidth proportionally (PCIe switches are indifferent).
+        self.cost.topology = self.cost.topology.degraded(survivors.len(), self.devices.len());
+        self.devices = survivors.to_vec();
+        ids
     }
 }
 
@@ -770,6 +820,108 @@ mod tests {
         let mut lg = liger(2, LigerConfig::default());
         let m = serve(&mut v100_sim(2), &mut lg, reqs);
         assert_eq!(m.completed(), 10);
+    }
+
+    #[test]
+    fn a_mid_run_straggler_changes_the_emitted_plans() {
+        // Regression for the params()/params_for() collapse: every planning
+        // site reads the fault schedule, so a straggler window must shrink
+        // the round budgets (different round count, different schedule) and
+        // be counted in degraded_rounds.
+        use liger_gpu_sim::FaultSpec;
+        let t = trace(20, 1e5, 64);
+        let run = |faults: Option<FaultSpec>| {
+            let mut b = Simulation::builder().devices(DeviceSpec::v100_16gb(), 2);
+            for r in 0..2 {
+                b = b.host(HostSpec::mpi_rank(r));
+            }
+            if let Some(f) = faults {
+                b = b.faults(f);
+            }
+            let mut sim = b.build().unwrap();
+            let mut lg = liger(2, LigerConfig::default().with_contention_factor(v100_factor()));
+            let m = serve(&mut sim, &mut lg, t.clone());
+            let mut sched: Vec<(u64, SimTime)> =
+                m.completions().iter().map(|c| (c.id, c.finished)).collect();
+            sched.sort_unstable();
+            (sched, lg.degraded_rounds(), lg.rounds_planned())
+        };
+        let (healthy_sched, healthy_degraded, healthy_rounds) = run(None);
+        let straggler =
+            FaultSpec::new(7).straggler(DeviceId(0), SimTime::from_micros(500), SimTime::MAX, 1.5);
+        let (slow_sched, slow_degraded, slow_rounds) = run(Some(straggler));
+        assert_eq!(healthy_degraded, 0, "healthy run plans no degraded rounds");
+        assert!(slow_degraded > 0, "straggler-window rounds must be counted");
+        assert!(slow_degraded <= slow_rounds);
+        assert_ne!(
+            (healthy_sched, healthy_rounds),
+            (slow_sched, slow_rounds),
+            "the straggler must change the emitted schedule"
+        );
+    }
+
+    #[test]
+    fn device_loss_replans_over_survivors_and_loses_nothing() {
+        use liger_gpu_sim::{DeviceSpec, FaultSpec, HostSpec};
+        use liger_serving::{serve_with_recovery, HealthConfig, RecoveryConfig};
+        // 4-way Liger; device 3 dies mid-trace. The watchdog confirms the
+        // loss, the engine abandons + replans 4 -> 3 (uneven head shards),
+        // and every request still completes under the replicate policy.
+        let t = trace(16, 400.0, 64);
+        let mut b = Simulation::builder()
+            .devices(DeviceSpec::v100_16gb(), 4)
+            .faults(FaultSpec::new(1).device_down(DeviceId(3), SimTime::from_millis(8)));
+        for r in 0..4 {
+            b = b.host(HostSpec::mpi_rank(r));
+        }
+        let mut sim = b.build().unwrap();
+        let mut lg = liger(4, LigerConfig::default());
+        let config = RecoveryConfig {
+            // The probe stream shares a hardware queue with the secondary
+            // stream (connections = 2), so give queueing enough slack.
+            health: HealthConfig {
+                interval: SimDuration::from_millis(1),
+                suspicion_threshold: 3,
+                probe_stream: 3,
+            },
+            ..RecoveryConfig::default()
+        };
+        let m =
+            serve_with_recovery(&mut sim, &mut lg, t, &chunky(), &CostModel::v100_node(), config);
+        assert_eq!(m.recovery().losses, 1, "exactly one confirmed loss");
+        assert_eq!(m.completed(), 16, "replicate recovery loses no requests");
+        assert!(m.recovery().shed.is_empty());
+        assert_eq!(lg.world(), 3, "engine replanned over the survivors");
+        assert!(
+            m.recovery().detection_latency <= config.health.detection_bound(),
+            "detection {} beyond bound {}",
+            m.recovery().detection_latency,
+            config.health.detection_bound()
+        );
+        let labels: Vec<&str> = m.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels, vec!["draining", "recovering", "degraded"]);
+    }
+
+    #[test]
+    fn on_device_loss_abandons_everything_and_bumps_the_epoch() {
+        let mut sim = v100_sim(4);
+        let mut lg = liger(4, LigerConfig::default());
+        for i in 0..6 {
+            lg.submit(Request::new(i, BatchShape::prefill(2, 64), SimTime::ZERO), &mut sim);
+        }
+        let survivors: Vec<DeviceId> = (0..3).map(DeviceId).collect();
+        let abandoned = lg.on_device_loss(DeviceId(3), &survivors, &mut sim);
+        assert_eq!(abandoned, vec![0, 1, 2, 3, 4, 5], "every batch abandoned, in order");
+        assert_eq!(lg.world(), 3);
+        assert_eq!(lg.epoch, 1);
+        for d in 0..4 {
+            assert_eq!(sim.memory_in_use(DeviceId(d)), 0, "gpu{d} still holds allocations");
+        }
+        // A second loss stacks: 3 -> 2.
+        let survivors: Vec<DeviceId> = (0..2).map(DeviceId).collect();
+        assert!(lg.on_device_loss(DeviceId(2), &survivors, &mut sim).is_empty());
+        assert_eq!(lg.epoch, 2);
+        assert_eq!(lg.world(), 2);
     }
 }
 

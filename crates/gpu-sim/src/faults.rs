@@ -34,6 +34,13 @@
 //! * **Launch-overhead spike** ([`FaultSpec::launch_spikes`]): a host
 //!   kernel launch occasionally pays an extra overhead, modelling driver
 //!   jitter and lock contention on the submitting CPU.
+//! * **Permanent device loss** ([`FaultSpec::device_down`]): a device dies
+//!   at a trigger instant and never recovers — the ECC/XID-class failure
+//!   that takes a GPU out of the fleet. The simulator fails the device's
+//!   running and queued kernels in FIFO order, aborts collectives that
+//!   counted on it, and wakes the driver with
+//!   [`Wake::DeviceDown`](crate::Wake::DeviceDown) so the serving layer can
+//!   drain, replan and recover.
 
 use crate::ids::{DeviceId, HostId};
 use crate::time::{SimDuration, SimTime};
@@ -100,6 +107,16 @@ pub struct LaunchSpikeParams {
     pub until: SimTime,
 }
 
+/// A permanent device loss: `device` stops executing work at `at` and never
+/// recovers for the remainder of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceDown {
+    /// The lost device.
+    pub device: DeviceId,
+    /// The instant the device dies.
+    pub at: SimTime,
+}
+
 /// A declarative, seeded fault schedule for one simulation run.
 ///
 /// Constructed with the builder methods and handed to
@@ -113,6 +130,7 @@ pub struct FaultSpec {
     links: Vec<LinkFault>,
     kernel_faults: Option<KernelFaultParams>,
     launch_spikes: Option<LaunchSpikeParams>,
+    downs: Vec<DeviceDown>,
 }
 
 impl Default for FaultSpec {
@@ -135,6 +153,7 @@ impl FaultSpec {
             links: Vec::new(),
             kernel_faults: None,
             launch_spikes: None,
+            downs: Vec::new(),
         }
     }
 
@@ -149,6 +168,7 @@ impl FaultSpec {
             && self.links.is_empty()
             && self.kernel_faults.is_none()
             && self.launch_spikes.is_none()
+            && self.downs.is_empty()
     }
 
     /// Adds a device straggler window (`factor` ≥ 1).
@@ -204,6 +224,31 @@ impl FaultSpec {
         assert!((0.0..=1.0).contains(&params.prob), "spike prob out of [0,1]");
         self.launch_spikes = Some(params);
         self
+    }
+
+    /// Marks `device` as permanently lost from `at` onward.
+    pub fn device_down(mut self, device: DeviceId, at: SimTime) -> FaultSpec {
+        assert!(
+            self.downs.iter().all(|d| d.device != device),
+            "device {device:?} already has a down schedule"
+        );
+        self.downs.push(DeviceDown { device, at });
+        self
+    }
+
+    /// The configured permanent device losses.
+    pub fn device_downs(&self) -> &[DeviceDown] {
+        &self.downs
+    }
+
+    /// When `device` dies, if a loss is scheduled for it.
+    pub fn device_down_at(&self, device: DeviceId) -> Option<SimTime> {
+        self.downs.iter().find(|d| d.device == device).map(|d| d.at)
+    }
+
+    /// Whether `device` is dead at instant `at`.
+    pub fn is_device_down(&self, device: DeviceId, at: SimTime) -> bool {
+        self.device_down_at(device).is_some_and(|t| t <= at)
     }
 
     /// The configured straggler windows.
@@ -315,83 +360,154 @@ impl FaultSpec {
     /// * `kfail:<prob>:<fraction>[:<from_ms>:<until_ms>]` — kernel failures
     ///   (whole run when the window is omitted)
     /// * `spike:<prob>:<extra_us>[:<from_ms>:<until_ms>]` — launch spikes
+    /// * `down:<dev>:<at_ms>` — permanent device loss
     ///
-    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5`.
-    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
-        fn ms(s: &str) -> Result<SimTime, String> {
-            s.parse::<u64>().map(SimTime::from_millis).map_err(|e| format!("bad millis {s:?}: {e}"))
+    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5;down:3:40`.
+    ///
+    /// Errors carry the byte offset of the offending field so a bad
+    /// `--faults` flag fails with a pointer into the spec string.
+    pub fn parse(spec: &str) -> Result<FaultSpec, ParseError> {
+        fn ms(s: &str, off: usize) -> Result<SimTime, ParseError> {
+            s.parse::<u64>()
+                .map(SimTime::from_millis)
+                .map_err(|_| ParseError::at(off, format!("a millisecond count, got {s:?}")))
         }
-        fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
-        where
-            T::Err: std::fmt::Display,
-        {
-            s.parse::<T>().map_err(|e| format!("bad {what} {s:?}: {e}"))
+        fn num<T: std::str::FromStr>(s: &str, off: usize, what: &str) -> Result<T, ParseError> {
+            s.parse::<T>().map_err(|_| ParseError::at(off, format!("{what}, got {s:?}")))
         }
         let mut out = FaultSpec::none();
-        for seg in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
-            if let Some(seed) = seg.strip_prefix("seed=") {
-                out.seed = num::<u64>(seed, "seed")?;
+        let mut cursor = 0usize;
+        for raw in spec.split(';') {
+            let seg_start = cursor + (raw.len() - raw.trim_start().len());
+            cursor += raw.len() + 1;
+            let seg = raw.trim();
+            if seg.is_empty() {
                 continue;
             }
-            let fields: Vec<&str> = seg.split(':').collect();
+            if let Some(seed) = seg.strip_prefix("seed=") {
+                out.seed = num::<u64>(seed, seg_start + "seed=".len(), "a u64 seed")?;
+                continue;
+            }
+            // Fields paired with their byte offset into `spec`.
+            let fields: Vec<(&str, usize)> = {
+                let mut fo = seg_start;
+                seg.split(':')
+                    .map(|f| {
+                        let at = fo;
+                        fo += f.len() + 1;
+                        (f, at)
+                    })
+                    .collect()
+            };
             match fields.as_slice() {
-                ["slow", dev, from, until, factor] => {
+                [("slow", _), dev, from, until, factor] => {
                     out = out.straggler(
-                        DeviceId(num::<usize>(dev, "device")?),
-                        ms(from)?,
-                        ms(until)?,
-                        num::<f64>(factor, "factor")?,
+                        DeviceId(num::<usize>(dev.0, dev.1, "a device index")?),
+                        ms(from.0, from.1)?,
+                        ms(until.0, until.1)?,
+                        num::<f64>(factor.0, factor.1, "a slowdown factor")?,
                     );
                 }
-                ["link", a, b, from, until, factor] => {
+                [("link", _), a, b, from, until, factor] => {
                     out = out.degrade_link(
-                        DeviceId(num::<usize>(a, "device")?),
-                        DeviceId(num::<usize>(b, "device")?),
-                        ms(from)?,
-                        ms(until)?,
-                        num::<f64>(factor, "factor")?,
+                        DeviceId(num::<usize>(a.0, a.1, "a device index")?),
+                        DeviceId(num::<usize>(b.0, b.1, "a device index")?),
+                        ms(from.0, from.1)?,
+                        ms(until.0, until.1)?,
+                        num::<f64>(factor.0, factor.1, "a stretch factor")?,
                     );
                 }
-                ["part", a, b, from, until] => {
+                [("part", _), a, b, from, until] => {
                     out = out.partition_link(
-                        DeviceId(num::<usize>(a, "device")?),
-                        DeviceId(num::<usize>(b, "device")?),
-                        ms(from)?,
-                        ms(until)?,
+                        DeviceId(num::<usize>(a.0, a.1, "a device index")?),
+                        DeviceId(num::<usize>(b.0, b.1, "a device index")?),
+                        ms(from.0, from.1)?,
+                        ms(until.0, until.1)?,
                     );
                 }
-                ["kfail", prob, fraction, rest @ ..] => {
+                [("kfail", at), prob, fraction, rest @ ..] => {
                     let (from, until) = match rest {
                         [] => (SimTime::ZERO, SimTime::MAX),
-                        [f, u] => (ms(f)?, ms(u)?),
-                        _ => return Err(format!("kfail takes 2 or 4 fields: {seg:?}")),
+                        [f, u] => (ms(f.0, f.1)?, ms(u.0, u.1)?),
+                        _ => {
+                            return Err(ParseError::at(
+                                *at,
+                                format!("kfail with 3 or 5 fields, got {seg:?}"),
+                            ))
+                        }
                     };
                     out = out.kernel_failures(KernelFaultParams {
-                        prob: num::<f64>(prob, "prob")?,
-                        fraction: num::<f64>(fraction, "fraction")?,
+                        prob: num::<f64>(prob.0, prob.1, "a failure probability")?,
+                        fraction: num::<f64>(fraction.0, fraction.1, "a runtime fraction")?,
                         from,
                         until,
                     });
                 }
-                ["spike", prob, extra_us, rest @ ..] => {
+                [("spike", at), prob, extra_us, rest @ ..] => {
                     let (from, until) = match rest {
                         [] => (SimTime::ZERO, SimTime::MAX),
-                        [f, u] => (ms(f)?, ms(u)?),
-                        _ => return Err(format!("spike takes 2 or 4 fields: {seg:?}")),
+                        [f, u] => (ms(f.0, f.1)?, ms(u.0, u.1)?),
+                        _ => {
+                            return Err(ParseError::at(
+                                *at,
+                                format!("spike with 3 or 5 fields, got {seg:?}"),
+                            ))
+                        }
                     };
                     out = out.launch_spikes(LaunchSpikeParams {
-                        prob: num::<f64>(prob, "prob")?,
-                        extra: SimDuration::from_micros(num::<u64>(extra_us, "extra_us")?),
+                        prob: num::<f64>(prob.0, prob.1, "a spike probability")?,
+                        extra: SimDuration::from_micros(num::<u64>(
+                            extra_us.0,
+                            extra_us.1,
+                            "extra micros",
+                        )?),
                         from,
                         until,
                     });
                 }
-                _ => return Err(format!("unknown fault segment {seg:?}")),
+                [("down", _), dev, at_ms] => {
+                    out = out.device_down(
+                        DeviceId(num::<usize>(dev.0, dev.1, "a device index")?),
+                        ms(at_ms.0, at_ms.1)?,
+                    );
+                }
+                _ => {
+                    return Err(ParseError::at(
+                        seg_start,
+                        format!(
+                            "a fault segment (seed=/slow/link/part/kfail/spike/down), got {seg:?}"
+                        ),
+                    ))
+                }
             }
         }
         Ok(out)
     }
 }
+
+/// Error from [`FaultSpec::parse`]: the byte offset of the offending field
+/// inside the spec string plus what the parser expected to find there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the spec string where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the expected token.
+    pub expected: String,
+}
+
+impl ParseError {
+    fn at(offset: usize, expected: String) -> ParseError {
+        ParseError { offset, expected }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault spec error at byte {}: expected {}", self.offset, self.expected)
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// SplitMix64-style avalanche of `(seed, salt, id, time)` to a uniform
 /// `f64` in `[0, 1)` — the pure decision function behind kernel failures
@@ -535,6 +651,46 @@ mod tests {
         assert!(FaultSpec::parse("kfail:0.1:0.5:1:2:3").is_err());
         assert!(FaultSpec::parse("seed=banana").is_err());
         assert!(FaultSpec::parse("").map(|f| f.is_empty()).unwrap_or(false));
+    }
+
+    #[test]
+    fn parse_errors_point_at_the_offending_field() {
+        let e = FaultSpec::parse("slow:x:10:30:1.5").unwrap_err();
+        assert_eq!(e.offset, "slow:".len());
+        assert!(e.expected.contains("device index"), "{e}");
+        let e = FaultSpec::parse("seed=7;slow:0:10:zz:1.5").unwrap_err();
+        assert_eq!(e.offset, "seed=7;slow:0:10:".len());
+        assert!(e.expected.contains("millisecond"), "{e}");
+        let e = FaultSpec::parse("seed=7; wobble:1").unwrap_err();
+        assert_eq!(e.offset, "seed=7; ".len());
+        let e = FaultSpec::parse("seed=banana").unwrap_err();
+        assert_eq!(e.offset, "seed=".len());
+        let shown = format!("{e}");
+        assert!(shown.contains("at byte 5"), "{shown}");
+        assert!(shown.contains("u64 seed"), "{shown}");
+    }
+
+    #[test]
+    fn device_down_is_permanent_and_parseable() {
+        let f = FaultSpec::new(1).device_down(DeviceId(2), t(40));
+        assert!(!f.is_empty());
+        assert_eq!(f.device_down_at(DeviceId(2)), Some(t(40)));
+        assert_eq!(f.device_down_at(DeviceId(0)), None);
+        assert!(!f.is_device_down(DeviceId(2), t(39)));
+        assert!(f.is_device_down(DeviceId(2), t(40)));
+        assert!(f.is_device_down(DeviceId(2), SimTime::MAX), "death is permanent");
+        assert!(!f.is_device_down(DeviceId(0), SimTime::MAX));
+
+        let p = FaultSpec::parse("down:2:40").unwrap();
+        assert_eq!(p.device_downs(), f.device_downs());
+        assert!(FaultSpec::parse("down:2").is_err());
+        assert!(FaultSpec::parse("down:2:x").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a down schedule")]
+    fn duplicate_device_down_panics() {
+        let _ = FaultSpec::new(1).device_down(DeviceId(0), t(1)).device_down(DeviceId(0), t(2));
     }
 
     #[test]

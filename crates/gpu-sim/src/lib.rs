@@ -69,7 +69,7 @@ pub mod trace;
 
 pub use contention::ContentionParams;
 pub use device::DeviceSpec;
-pub use faults::{FaultSpec, KernelFaultParams, LaunchSpikeParams};
+pub use faults::{DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError};
 pub use host::HostSpec;
 pub use ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
 pub use json::ToJson;
@@ -85,7 +85,9 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::contention::ContentionParams;
     pub use crate::device::DeviceSpec;
-    pub use crate::faults::{FaultSpec, KernelFaultParams, LaunchSpikeParams};
+    pub use crate::faults::{
+        DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError,
+    };
     pub use crate::host::HostSpec;
     pub use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
     pub use crate::json::ToJson;

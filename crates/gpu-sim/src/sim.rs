@@ -92,6 +92,18 @@ pub enum Wake {
         /// Failure instant.
         at: SimTime,
     },
+    /// A device died permanently ([`crate::FaultSpec::device_down`]). Its
+    /// queues were FIFO-drained (every lost kernel produced its own
+    /// [`Wake::KernelFailed`]) and collectives it participated in were
+    /// aborted before this wake is delivered. Production detection should
+    /// come from a health watchdog observing missed heartbeats; this wake is
+    /// the ground-truth loss instant for measuring detection latency.
+    DeviceDown {
+        /// The dead device.
+        device: DeviceId,
+        /// The death instant.
+        at: SimTime,
+    },
 }
 
 /// Driver of a simulation: owns all scheduling policy.
@@ -181,6 +193,8 @@ struct DeviceRt {
     /// device. Kept small and current so settling/repricing is O(active),
     /// not O(all collectives ever created).
     active_colls: Vec<usize>,
+    /// Cleared when the device dies permanently ([`Wake::DeviceDown`]).
+    alive: bool,
     stats: DeviceStats,
 }
 
@@ -195,6 +209,10 @@ enum CollState {
     Gathering,
     Running,
     Done,
+    /// A member device died: the rendezvous can never complete. Members
+    /// already gathered were failed and popped; members arriving later fail
+    /// on arrival so survivor queues keep draining.
+    Aborted,
 }
 
 #[derive(Debug)]
@@ -274,6 +292,10 @@ enum Pending {
     /// A fault window opens or closes: rates change with no population
     /// change, so everything must settle and reprice.
     FaultBoundary,
+    /// A device dies permanently at this instant.
+    DeviceDown {
+        device: usize,
+    },
 }
 
 struct HeapEntry {
@@ -399,6 +421,7 @@ impl SimulationBuilder {
                     n_comm: 0,
                     comm_channels: 0,
                     active_colls: Vec::new(),
+                    alive: true,
                     stats: DeviceStats::default(),
                 }
             })
@@ -434,6 +457,12 @@ impl SimulationBuilder {
         // schedule a settle + reprice there so piecewise rates are exact.
         for at in sim.faults.boundaries() {
             sim.push(at, Pending::FaultBoundary);
+        }
+        for down in sim.faults.device_downs().to_vec() {
+            if down.device.0 >= sim.devices.len() {
+                return Err(format!("device down schedule names unknown {:?}", down.device));
+            }
+            sim.push(down.at, Pending::DeviceDown { device: down.device.0 });
         }
         Ok(sim)
     }
@@ -528,11 +557,25 @@ impl Simulation {
         self.faults.device_factor(device, self.now)
     }
 
-    /// The worst straggler factor across all devices right now.
+    /// The worst straggler factor across all devices right now (dead devices
+    /// excluded: they no longer run anything to slow down).
     pub fn worst_fault_factor(&self) -> f64 {
         (0..self.devices.len())
+            .filter(|&d| self.devices[d].alive)
             .map(|d| self.faults.device_factor(DeviceId(d), self.now))
             .fold(1.0, f64::max)
+    }
+
+    /// Whether `device` is still alive (true until a
+    /// [`FaultSpec::device_down`](crate::FaultSpec::device_down) trigger
+    /// fires for it).
+    pub fn device_alive(&self, device: DeviceId) -> bool {
+        self.devices[device.0].alive
+    }
+
+    /// The devices currently alive, in index order.
+    pub fn alive_devices(&self) -> Vec<DeviceId> {
+        (0..self.devices.len()).filter(|&d| self.devices[d].alive).map(DeviceId).collect()
     }
 
     /// The captured execution trace, if enabled.
@@ -770,6 +813,7 @@ impl Simulation {
             Pending::Timer { token } => self.wakes.push_back(Wake::Timer { token }),
             Pending::DriverWake { wake } => self.wakes.push_back(wake),
             Pending::FaultBoundary => self.fault_boundary(),
+            Pending::DeviceDown { device } => self.device_down(device),
         }
     }
 
@@ -781,6 +825,135 @@ impl Simulation {
         }
         for d in 0..self.devices.len() {
             self.reprice_device(d);
+        }
+    }
+
+    /// A device dies permanently: charge pre-death progress everywhere, fail
+    /// its running kernels, abort every collective it participates in (so
+    /// survivor queues drain instead of waiting forever on the rendezvous),
+    /// then FIFO-drain its hardware queues — queued kernels fail with their
+    /// own [`Wake::KernelFailed`], queued records still fire (work submitted
+    /// before the death may legitimately have completed; post-death records
+    /// never fire, which is what a heartbeat watchdog detects), queued waits
+    /// are dropped. Ends by waking the driver with [`Wake::DeviceDown`].
+    fn device_down(&mut self, d: usize) {
+        if !self.devices[d].alive {
+            return;
+        }
+        for i in 0..self.devices.len() {
+            self.settle_device(i);
+        }
+        self.devices[d].alive = false;
+
+        // Fail every plain kernel running on the dead device.
+        for slot in 0..self.devices[d].run.len() {
+            if !self.devices[d].run[slot].live {
+                continue;
+            }
+            let (queue, class, blocks, kernel, started_at) = {
+                let s = &self.devices[d].run[slot];
+                (s.queue, s.class, s.blocks, s.kernel, s.started_at)
+            };
+            self.devices[d].run[slot].live = false;
+            self.devices[d].free_slots.push(slot);
+            self.apply_class_delta(d, class, blocks, -1);
+            self.finish_queue_head(d, queue, kernel, class, started_at, true);
+        }
+
+        // Abort collectives (gathering or running) with a member on `d`.
+        // Collectives whose dead-device member has not arrived yet abort
+        // when that member's launch reaches the dead device.
+        for ci in 0..self.collectives.len() {
+            let doomed =
+                matches!(self.collectives[ci].state, CollState::Gathering | CollState::Running)
+                    && self.collectives[ci].members.iter().any(|&(md, _)| md == d);
+            if doomed {
+                self.abort_collective(ci);
+            }
+        }
+
+        // FIFO-drain the dead device's queues.
+        for q in 0..self.devices[d].queues.len() {
+            self.devices[d].queues[q].head = HeadState::Idle;
+            while let Some(front) = self.devices[d].queues[q].ops.front() {
+                match &front.op {
+                    StreamOp::Record(ev) => {
+                        let ev = *ev;
+                        self.devices[d].queues[q].ops.pop_front();
+                        self.trigger_event(ev);
+                    }
+                    StreamOp::Wait(_) => {
+                        self.devices[d].queues[q].ops.pop_front();
+                    }
+                    StreamOp::Kernel(spec, _) => {
+                        if let Some(cid) = spec.collective {
+                            let ci = cid.0 as usize;
+                            if matches!(
+                                self.collectives[ci].state,
+                                CollState::Gathering | CollState::Running
+                            ) {
+                                self.abort_collective(ci);
+                            }
+                        }
+                        let (kernel, class) = match &self.devices[d].queues[q]
+                            .ops
+                            .front()
+                            .expect("drained under us")
+                            .op
+                        {
+                            StreamOp::Kernel(spec, kid) => (*kid, spec.class),
+                            _ => unreachable!("front changed during drain"),
+                        };
+                        self.finish_queue_head(d, q, kernel, class, self.now, true);
+                    }
+                }
+            }
+        }
+
+        for i in 0..self.devices.len() {
+            self.reprice_device(i);
+        }
+        let at = self.now;
+        self.wakes.push_back(Wake::DeviceDown { device: DeviceId(d), at });
+    }
+
+    /// Aborts a collective rendezvous whose completion became impossible:
+    /// members already gathered (waiting or running) fail and pop from their
+    /// queue heads so the queues behind them keep draining; the state moves
+    /// to [`CollState::Aborted`] so members arriving later fail on arrival.
+    fn abort_collective(&mut self, ci: usize) {
+        let was_running = self.collectives[ci].state == CollState::Running;
+        let started_at = if was_running { self.collectives[ci].started_at } else { self.now };
+        self.collectives[ci].state = CollState::Aborted;
+        let members = std::mem::take(&mut self.collectives[ci].members);
+        if was_running {
+            for &(md, _) in &members {
+                self.settle_device(md);
+            }
+        }
+        for &(md, q) in &members {
+            let (kernel, class, blocks) = match &self.devices[md].queues[q]
+                .ops
+                .front()
+                .expect("aborting collective with empty member queue")
+                .op
+            {
+                StreamOp::Kernel(spec, kid) => (*kid, spec.class, spec.blocks),
+                _ => panic!("collective member head is not a kernel"),
+            };
+            if was_running {
+                self.devices[md].active_colls.retain(|&c| c != ci);
+                self.apply_class_delta(md, class, blocks, -1);
+            }
+            self.finish_queue_head(md, q, kernel, class, started_at, true);
+        }
+        for &(md, _) in &members {
+            self.reprice_device(md);
+        }
+        for &(md, q) in &members {
+            if self.devices[md].alive {
+                self.poll_queue(md, q);
+            }
         }
     }
 
@@ -863,6 +1036,10 @@ impl Simulation {
 
     fn device_enqueue(&mut self, stream: StreamId, op: StreamOp) {
         let d = stream.device.0;
+        if !self.devices[d].alive {
+            self.dead_enqueue(d, stream.index, op);
+            return;
+        }
         let q = self.queue_of(d, stream.index);
         if matches!(op, StreamOp::Kernel(..)) {
             self.kernels_launched += 1;
@@ -875,9 +1052,62 @@ impl Simulation {
         self.poll_queue(d, q);
     }
 
+    /// An operation reaching a dead device: kernels fail instantly (the
+    /// driver sees a [`Wake::KernelFailed`] per kernel, so no work is
+    /// silently lost) and a collective member aborts its whole rendezvous;
+    /// records never fire — the missed heartbeats a health watchdog detects;
+    /// waits are dropped.
+    fn dead_enqueue(&mut self, d: usize, stream: usize, op: StreamOp) {
+        match op {
+            StreamOp::Kernel(spec, kid) => {
+                self.kernels_launched += 1;
+                if let Some(cid) = spec.collective {
+                    let ci = cid.0 as usize;
+                    if matches!(
+                        self.collectives[ci].state,
+                        CollState::Gathering | CollState::Running
+                    ) {
+                        self.abort_collective(ci);
+                    }
+                }
+                self.kernels_completed += 1;
+                self.kernels_failed += 1;
+                self.devices[d].stats.kernels_failed += 1;
+                self.wakes.push_back(Wake::KernelFailed {
+                    kernel: kid,
+                    device: DeviceId(d),
+                    tag: spec.tag,
+                    at: self.now,
+                });
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent {
+                        kernel: kid,
+                        name: spec.name,
+                        class: spec.class,
+                        tag: spec.tag,
+                        device: DeviceId(d),
+                        stream,
+                        enqueued_at: self.now,
+                        started_at: self.now,
+                        ended_at: self.now,
+                        failed: true,
+                    });
+                }
+            }
+            StreamOp::Record(_) | StreamOp::Wait(_) => {}
+        }
+    }
+
     /// Advances a hardware queue: completes records, resolves waits, begins
     /// kernels. Loops because records/waits complete instantly.
     fn poll_queue(&mut self, d: usize, q: usize) {
+        if !self.devices[d].alive {
+            // A dead device runs nothing. This matters mid-`device_down`: a
+            // Record popped during the FIFO drain can fire an event a sibling
+            // queue of the *same dead device* waits on, and the waiter poll
+            // must not start a kernel there.
+            return;
+        }
         loop {
             if self.devices[d].queues[q].head != HeadState::Idle {
                 return; // head already in flight
@@ -1013,6 +1243,22 @@ impl Simulation {
             }
             Some(cid) => {
                 let ci = cid.0 as usize;
+                if self.collectives[ci].state == CollState::Aborted {
+                    // A member arriving at an aborted rendezvous (a peer
+                    // device died) fails immediately and pops, keeping the
+                    // queue behind it draining.
+                    let (kernel, class) = {
+                        let StreamOp::Kernel(spec, kid) =
+                            &self.devices[d].queues[q].ops.front().unwrap().op
+                        else {
+                            unreachable!()
+                        };
+                        (*kid, spec.class)
+                    };
+                    self.finish_queue_head(d, q, kernel, class, self.now, true);
+                    self.poll_queue(d, q);
+                    return;
+                }
                 let coll = &mut self.collectives[ci];
                 assert_eq!(
                     coll.state,
@@ -2100,5 +2346,230 @@ mod tests {
             sim.take_trace().unwrap().to_chrome_json()
         };
         assert_eq!(run(), run(), "same seed, byte-identical chrome traces");
+    }
+
+    #[test]
+    fn device_down_fails_running_and_queued_kernels_in_fifo_order() {
+        let faults = FaultSpec::new(1).device_down(DeviceId(0), SimTime::from_micros(50));
+        let mut sim = faulty_sim(1, faults);
+        let wakes: Rc<RefCell<Vec<(String, u64, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log = wakes.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                for i in 0..3u64 {
+                    sim.launch(
+                        HostId(0),
+                        s(0, 0),
+                        KernelSpec::compute("k", SimDuration::from_micros(100)).with_tag(i),
+                    );
+                }
+            },
+            on_wake: move |wake: Wake, _: &mut Simulation| match wake {
+                Wake::KernelFailed { tag, at, .. } => {
+                    log.borrow_mut().push(("fail".into(), tag, at));
+                }
+                Wake::DeviceDown { device, at } => {
+                    log.borrow_mut().push(("down".into(), device.0 as u64, at));
+                }
+                _ => {}
+            },
+        };
+        let end = sim.run_to_completion(&mut drv);
+        let t50 = SimTime::from_micros(50);
+        assert_eq!(end, t50, "nothing outlives the death instant");
+        assert!(!sim.device_alive(DeviceId(0)));
+        assert!(sim.alive_devices().is_empty());
+        assert_eq!(sim.kernels_completed(), 3, "dead kernels still drain");
+        assert_eq!(sim.kernels_failed(), 3);
+        assert_eq!(
+            *wakes.borrow(),
+            vec![
+                ("fail".into(), 0, t50),
+                ("fail".into(), 1, t50),
+                ("fail".into(), 2, t50),
+                ("down".into(), 0, t50),
+            ],
+            "kernel losses surface in FIFO order before the DeviceDown wake"
+        );
+        let trace = sim.take_trace().unwrap();
+        assert!(trace.events().iter().all(|e| e.failed));
+    }
+
+    #[test]
+    fn death_drain_does_not_start_kernels_on_sibling_queues() {
+        // Queue 0 of the dying device holds a running kernel and then a
+        // Record; queue 1 waits on that event with a kernel behind the wait.
+        // When the drain pops the Record, the triggered event satisfies the
+        // sibling queue's wait — but the sibling must NOT begin its kernel on
+        // the now-dead device (its completion would fire against a drained
+        // queue). Everything fails at the death instant instead.
+        let faults = FaultSpec::new(1).device_down(DeviceId(0), SimTime::from_micros(50));
+        let mut sim = faulty_sim(1, faults);
+        let mut drv = script(|sim: &mut Simulation| {
+            sim.launch(
+                HostId(0),
+                s(0, 0),
+                KernelSpec::compute("a", SimDuration::from_micros(100)).with_tag(1),
+            );
+            let ev = sim.record_event(HostId(0), s(0, 0));
+            sim.stream_wait(HostId(0), s(0, 1), ev);
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::compute("b", SimDuration::from_micros(10)).with_tag(2),
+            );
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(50), "nothing outlives the death instant");
+        assert_eq!(sim.kernels_failed(), 2, "both kernels fail; neither runs past death");
+        assert_eq!(sim.kernels_completed(), 2);
+        let trace = sim.take_trace().unwrap();
+        assert!(trace.events().iter().all(|e| e.failed));
+    }
+
+    #[test]
+    fn device_down_aborts_collectives_and_survivor_queues_drain() {
+        let faults = FaultSpec::new(1).device_down(DeviceId(1), SimTime::from_micros(25));
+        let mut sim = faulty_sim(2, faults);
+        let mut drv = script(|sim: &mut Simulation| {
+            let c = sim.new_collective(2);
+            for d in 0..2 {
+                sim.launch(
+                    HostId(d),
+                    s(d, 1),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50))
+                        .with_collective(c)
+                        .with_tag(d as u64),
+                );
+            }
+            // Queued behind the doomed collective on the survivor.
+            sim.launch(
+                HostId(0),
+                s(0, 1),
+                KernelSpec::compute("after", SimDuration::from_micros(10)).with_tag(9),
+            );
+        });
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(
+            end,
+            SimTime::from_micros(35),
+            "survivor drains past the aborted rendezvous and runs the next kernel"
+        );
+        assert_eq!(sim.kernels_failed(), 2, "both collective members fail");
+        let trace = sim.take_trace().unwrap();
+        let after = trace.events().iter().find(|e| e.tag == 9).unwrap();
+        assert!(!after.failed);
+        assert_eq!(after.started_at, SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn post_death_launches_fail_instantly_and_records_never_fire() {
+        let faults = FaultSpec::new(1).device_down(DeviceId(0), SimTime::from_micros(10));
+        let mut sim = faulty_sim(1, faults);
+        let fired: Rc<RefCell<Vec<Wake>>> = Rc::new(RefCell::new(Vec::new()));
+        let log = fired.clone();
+        let probe: Rc<RefCell<Option<EventId>>> = Rc::new(RefCell::new(None));
+        let probe2 = probe.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                sim.set_timer(SimTime::from_micros(20), 1);
+            },
+            on_wake: move |wake: Wake, sim: &mut Simulation| match wake {
+                Wake::Timer { token: 1 } => {
+                    sim.launch(
+                        HostId(0),
+                        s(0, 0),
+                        KernelSpec::compute("late", SimDuration::from_micros(5)).with_tag(7),
+                    );
+                    let ev = sim.record_event(HostId(0), s(0, 0));
+                    sim.notify_on_event(ev, HostId(0), 99);
+                    *probe2.borrow_mut() = Some(ev);
+                }
+                w => log.borrow_mut().push(w),
+            },
+        };
+        sim.run_to_completion(&mut drv);
+        let ev = probe.borrow().unwrap();
+        assert_eq!(sim.event_fired(ev), None, "post-death records never fire");
+        let wakes = fired.borrow();
+        assert_eq!(wakes.len(), 2, "kernel failure + device-down only: {wakes:?}");
+        assert!(matches!(wakes[0], Wake::DeviceDown { device: DeviceId(0), .. }));
+        assert!(
+            matches!(wakes[1], Wake::KernelFailed { tag: 7, .. }),
+            "a launch to a dead device fails instantly"
+        );
+        assert_eq!(sim.kernels_failed(), 1);
+    }
+
+    #[test]
+    fn gathering_collective_aborts_when_the_dead_member_arrives() {
+        // The survivor gathers first; the dead device's member kernel is
+        // launched only after the death, so the rendezvous can never fill —
+        // it aborts when that launch reaches the dead device.
+        let faults = FaultSpec::new(1).device_down(DeviceId(1), SimTime::from_micros(5));
+        let mut sim = faulty_sim(2, faults);
+        let coll: Rc<RefCell<Option<CollectiveId>>> = Rc::new(RefCell::new(None));
+        let coll2 = coll.clone();
+        let mut drv = Script {
+            on_start: move |sim: &mut Simulation| {
+                let c = sim.new_collective(2);
+                *coll2.borrow_mut() = Some(c);
+                sim.launch(
+                    HostId(0),
+                    s(0, 1),
+                    KernelSpec::comm("ar", SimDuration::from_micros(50))
+                        .with_collective(c)
+                        .with_tag(0),
+                );
+                sim.launch(
+                    HostId(0),
+                    s(0, 1),
+                    KernelSpec::compute("after", SimDuration::from_micros(10)).with_tag(9),
+                );
+                sim.set_timer(SimTime::from_micros(12), 1);
+            },
+            on_wake: move |wake: Wake, sim: &mut Simulation| {
+                if let Wake::Timer { token: 1 } = wake {
+                    let c = coll.borrow().unwrap();
+                    sim.launch(
+                        HostId(1),
+                        s(1, 1),
+                        KernelSpec::comm("ar", SimDuration::from_micros(50))
+                            .with_collective(c)
+                            .with_tag(1),
+                    );
+                }
+            },
+        };
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(22), "abort at 12us + 10us trailing kernel");
+        assert_eq!(sim.kernels_failed(), 2, "both members of the doomed rendezvous fail");
+        let trace = sim.take_trace().unwrap();
+        assert!(!trace.events().iter().find(|e| e.tag == 9).unwrap().failed);
+    }
+
+    #[test]
+    fn same_seed_device_down_runs_are_identical() {
+        let run = || {
+            let faults = FaultSpec::new(42)
+                .straggler(DeviceId(0), SimTime::from_micros(20), SimTime::from_micros(90), 3.0)
+                .device_down(DeviceId(1), SimTime::from_micros(40));
+            let mut sim = faulty_sim(2, faults);
+            let mut drv = script(|sim: &mut Simulation| {
+                for d in 0..2 {
+                    for i in 0..6u64 {
+                        sim.launch(
+                            HostId(d),
+                            s(d, (i % 3) as usize),
+                            KernelSpec::compute(format!("k{d}{i}"), SimDuration::from_micros(15))
+                                .with_tag(i),
+                        );
+                    }
+                }
+            });
+            sim.run_to_completion(&mut drv);
+            sim.take_trace().unwrap().to_chrome_json()
+        };
+        assert_eq!(run(), run(), "same seed + device loss, byte-identical chrome traces");
     }
 }

@@ -26,14 +26,27 @@ pub const HEAD_LAYER: u32 = u32::MAX;
 
 /// Ops of one transformer block on one device, at tensor-parallel degree
 /// `tp`. `tp = 1` yields the sequence a pipeline stage executes.
+///
+/// `tp` need not divide the head count: when it does not (the elastic
+/// degraded mode after losing a device, e.g. 56 heads over 3 survivors),
+/// shards are ceil-divided and the emitted sequence models the
+/// **critical-path largest shard** — the rank holding `ceil(heads/tp)`
+/// heads, which every all-reduce must wait for. For divisible degrees this
+/// is byte-identical to the exact Megatron partitioning.
 pub fn layer_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32, layer: u32) -> Vec<PlacedOp> {
     assert!(tp >= 1, "tensor-parallel degree must be >= 1");
-    assert_eq!(cfg.heads % tp, 0, "{}: heads ({}) must divide by tp ({tp})", cfg.name, cfg.heads);
+    assert!(
+        tp <= cfg.heads,
+        "{}: tp ({tp}) exceeds head count ({}) — some rank would hold no head",
+        cfg.name,
+        cfg.heads
+    );
     let tp64 = tp as u64;
     let h = cfg.hidden as u64;
     let ffn = cfg.ffn_hidden() as u64;
     let rows = shape.rows();
-    let heads_local = (cfg.heads / tp) as u64;
+    let heads_local = (cfg.heads as u64).div_ceil(tp64);
+    let shard_h = heads_local * cfg.head_dim() as u64;
     let (q_len, kv_len) = match shape.phase {
         Phase::Prefill { seq_len } => (seq_len as u64, seq_len as u64),
         Phase::Decode { context } => (1, context as u64 + 1),
@@ -46,7 +59,7 @@ pub fn layer_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32, layer: u32) -> V
 
     // -- attention half ------------------------------------------------------
     push(LayerOp::LayerNorm { rows, hidden: h });
-    push(LayerOp::Gemm { m: rows, k: h, n: 3 * h / tp64, kind: GemmKind::Qkv });
+    push(LayerOp::Gemm { m: rows, k: h, n: 3 * shard_h, kind: GemmKind::Qkv });
     push(LayerOp::Attention {
         batch: shape.batch as u64,
         heads: heads_local,
@@ -54,7 +67,7 @@ pub fn layer_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32, layer: u32) -> V
         kv_len,
         head_dim: cfg.head_dim() as u64,
     });
-    push(LayerOp::Gemm { m: rows, k: h / tp64, n: h, kind: GemmKind::AttnOut });
+    push(LayerOp::Gemm { m: rows, k: shard_h, n: h, kind: GemmKind::AttnOut });
     if tp > 1 {
         push(LayerOp::AllReduce { bytes: ar_bytes, ranks: tp });
     }
@@ -62,9 +75,9 @@ pub fn layer_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32, layer: u32) -> V
 
     // -- MLP half --------------------------------------------------------------
     push(LayerOp::LayerNorm { rows, hidden: h });
-    push(LayerOp::Gemm { m: rows, k: h, n: ffn / tp64, kind: GemmKind::Fc1 });
-    push(LayerOp::Gelu { rows, width: ffn / tp64 });
-    push(LayerOp::Gemm { m: rows, k: ffn / tp64, n: h, kind: GemmKind::Fc2 });
+    push(LayerOp::Gemm { m: rows, k: h, n: ffn.div_ceil(tp64), kind: GemmKind::Fc1 });
+    push(LayerOp::Gelu { rows, width: ffn.div_ceil(tp64) });
+    push(LayerOp::Gemm { m: rows, k: ffn.div_ceil(tp64), n: h, kind: GemmKind::Fc2 });
     if tp > 1 {
         push(LayerOp::AllReduce { bytes: ar_bytes, ranks: tp });
     }
@@ -88,7 +101,7 @@ pub fn model_ops(cfg: &ModelConfig, shape: BatchShape, tp: u32) -> Vec<PlacedOp>
         op: LayerOp::Gemm {
             m: rows,
             k: h,
-            n: cfg.vocab as u64 / tp as u64,
+            n: (cfg.vocab as u64).div_ceil(tp as u64),
             kind: GemmKind::LmHead,
         },
     });
@@ -218,10 +231,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn tp_must_divide_heads() {
+    fn uneven_tp_models_the_largest_shard() {
+        // 8 heads over 3 survivors: the critical-path rank holds
+        // ceil(8/3) = 3 heads, and every shard width follows it.
         let cfg = ModelConfig::tiny_test(); // 8 heads
-        layer_ops(&cfg, BatchShape::prefill(1, 8), 3, 0);
+        let hd = cfg.head_dim() as u64;
+        let ops = layer_ops(&cfg, BatchShape::prefill(1, 8), 3, 0);
+        let qkv_n = ops
+            .iter()
+            .find_map(|p| match p.op {
+                LayerOp::Gemm { n, kind: GemmKind::Qkv, .. } => Some(n),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(qkv_n, 3 * 3 * hd);
+        let heads = ops
+            .iter()
+            .find_map(|p| match p.op {
+                LayerOp::Attention { heads, .. } => Some(heads),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(heads, 3);
+        // An uneven shard is strictly wider than the even 4-way shard and
+        // strictly narrower than the 2-way shard: capacity degrades
+        // monotonically as survivors are lost.
+        let even4 = layer_ops(&cfg, BatchShape::prefill(1, 8), 4, 0);
+        let even2 = layer_ops(&cfg, BatchShape::prefill(1, 8), 2, 0);
+        let width = |ops: &[PlacedOp]| {
+            ops.iter()
+                .find_map(|p| match p.op {
+                    LayerOp::Gemm { n, kind: GemmKind::Qkv, .. } => Some(n),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(width(&even4) < qkv_n && qkv_n < width(&even2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds head count")]
+    fn tp_beyond_heads_panics() {
+        let cfg = ModelConfig::tiny_test(); // 8 heads
+        layer_ops(&cfg, BatchShape::prefill(1, 8), 9, 0);
     }
 
     #[test]

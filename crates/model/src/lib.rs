@@ -29,7 +29,9 @@ pub use decompose::{
     DecompositionProfile, GemmSplitAxis,
 };
 pub use layers::{layer_ops, model_ops, stage_boundary_bytes, stage_ops, PlacedOp, HEAD_LAYER};
-pub use memory::{device_footprint, fits, MemoryFootprint};
+pub use memory::{
+    device_footprint, fits, kv_recovery_plan, KvRecoveryPlan, MemoryFootprint, RecoveryPolicy,
+};
 pub use ops::{GemmKind, LayerOp};
 pub use profile::{measure_solo, profile_contention, ContentionProfile};
 pub use validate::validate_sequence;

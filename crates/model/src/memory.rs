@@ -1,10 +1,18 @@
-//! Device-memory accounting: weights, KV cache, activations.
+//! Device-memory accounting: weights, KV cache, activations — and the cost
+//! model for reconstructing KV-cache state lost with a dead device.
 //!
 //! Used to validate that a model/parallelism/batch combination actually fits
 //! the node the paper ran it on — e.g. OPT-30B (60 GB of FP16 weights) only
-//! fits the 4×16 GB V100 node when partitioned four ways.
+//! fits the 4×16 GB V100 node when partitioned four ways. The recovery half
+//! ([`kv_recovery_plan`]) prices the two policies for repopulating the KV
+//! shard a dead device takes with it: replaying the prefill on the survivors
+//! (recompute) or copying a warm replica over the interconnect (replicate).
+
+use liger_gpu_sim::SimDuration;
 
 use crate::config::ModelConfig;
+use crate::cost::CostModel;
+use crate::layers::model_ops;
 use crate::workload::BatchShape;
 
 /// Memory footprint breakdown for one device.
@@ -60,6 +68,103 @@ pub fn fits(
     device_footprint(cfg, ways, shape, max_context, in_flight).total() <= capacity
 }
 
+/// How to reconstruct the KV-cache shard lost with a dead device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Replay the prefill of every affected sequence on the survivors. No
+    /// standby memory cost, but the replay is priced through the full
+    /// roofline model and can dwarf the drain itself — this is the policy
+    /// under which overloaded degraded nodes shed requests.
+    Recompute,
+    /// Copy the lost shard from a warm replica over the interconnect. Fast
+    /// (one point-to-point transfer of the lost bytes) but presumes the KV
+    /// cache was mirrored while the device was healthy.
+    Replicate,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase name (trace labels, CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Recompute => "recompute",
+            RecoveryPolicy::Replicate => "replicate",
+        }
+    }
+
+    /// Parses a [`RecoveryPolicy::name`] string.
+    pub fn parse(s: &str) -> Option<RecoveryPolicy> {
+        match s {
+            "recompute" => Some(RecoveryPolicy::Recompute),
+            "replicate" => Some(RecoveryPolicy::Replicate),
+            _ => None,
+        }
+    }
+}
+
+/// Priced plan for recovering the KV cache lost with one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvRecoveryPlan {
+    /// Policy this plan prices.
+    pub policy: RecoveryPolicy,
+    /// KV-cache bytes that died with the device (its shard of every
+    /// affected sequence).
+    pub lost_bytes: u64,
+    /// Tokens whose prefill must be replayed (zero under replication).
+    pub recompute_tokens: u64,
+    /// Wall-clock duration of the recovery work on the survivors.
+    pub duration: SimDuration,
+}
+
+/// Prices the recovery of the KV shard a dead device held: `seqs` in-flight
+/// sequences with `context` cached tokens each, previously partitioned
+/// `ways` ways, recovered on `survivors` devices using `policy`.
+///
+/// Recompute replays the prefill of the affected sequences through the full
+/// per-device kernel sequence at the *degraded* degree (`survivors`), priced
+/// by the roofline `cost` model — so the recompute bill honestly reflects
+/// skinny-GEMM inefficiency and the degraded interconnect inside `cost`.
+/// Replicate is one point-to-point copy of the lost bytes.
+pub fn kv_recovery_plan(
+    cfg: &ModelConfig,
+    cost: &CostModel,
+    policy: RecoveryPolicy,
+    ways: u32,
+    survivors: u32,
+    seqs: u32,
+    context: u32,
+) -> KvRecoveryPlan {
+    assert!(survivors >= 1, "recovery needs at least one survivor");
+    let ways = ways.max(1) as u64;
+    let kv_per_seq =
+        2 * cfg.layers as u64 * cfg.hidden as u64 * cfg.dtype_bytes as u64 * context as u64 / ways;
+    let lost_bytes = kv_per_seq * seqs as u64;
+    if seqs == 0 || context == 0 {
+        return KvRecoveryPlan {
+            policy,
+            lost_bytes,
+            recompute_tokens: 0,
+            duration: SimDuration::ZERO,
+        };
+    }
+    match policy {
+        RecoveryPolicy::Recompute => {
+            let shape = BatchShape::prefill(seqs, context);
+            let duration =
+                model_ops(cfg, shape, survivors).iter().map(|p| cost.op_time(&p.op)).sum();
+            KvRecoveryPlan {
+                policy,
+                lost_bytes,
+                recompute_tokens: seqs as u64 * context as u64,
+                duration,
+            }
+        }
+        RecoveryPolicy::Replicate => {
+            let duration = cost.op_time(&crate::ops::LayerOp::P2p { bytes: lost_bytes });
+            KvRecoveryPlan { policy, lost_bytes, recompute_tokens: 0, duration }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +197,61 @@ mod tests {
         assert!(b.kv_cache > a.kv_cache);
         assert!(c.kv_cache > a.kv_cache);
         assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn replicate_undercuts_recompute_by_orders_of_magnitude() {
+        let cfg = ModelConfig::opt_30b();
+        let cost = CostModel::v100_node();
+        let rec = kv_recovery_plan(&cfg, &cost, RecoveryPolicy::Recompute, 4, 3, 8, 128);
+        let rep = kv_recovery_plan(&cfg, &cost, RecoveryPolicy::Replicate, 4, 3, 8, 128);
+        assert_eq!(rec.lost_bytes, rep.lost_bytes, "same shard either way");
+        assert_eq!(rec.recompute_tokens, 8 * 128);
+        assert_eq!(rep.recompute_tokens, 0);
+        assert!(
+            rec.duration.as_nanos() > 10 * rep.duration.as_nanos(),
+            "prefill replay ({}) should dwarf a p2p copy ({})",
+            rec.duration,
+            rep.duration
+        );
+    }
+
+    #[test]
+    fn lost_bytes_match_the_device_footprint_share() {
+        let cfg = ModelConfig::opt_30b();
+        let cost = CostModel::v100_node();
+        let plan = kv_recovery_plan(&cfg, &cost, RecoveryPolicy::Replicate, 4, 3, 8, 128);
+        let fp = device_footprint(&cfg, 4, BatchShape::decode(8, 128), 128, 1);
+        assert_eq!(plan.lost_bytes, fp.kv_cache, "the dead device's KV share");
+    }
+
+    #[test]
+    fn empty_recovery_is_free() {
+        let cfg = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        for policy in [RecoveryPolicy::Recompute, RecoveryPolicy::Replicate] {
+            let plan = kv_recovery_plan(&cfg, &cost, policy, 4, 3, 0, 128);
+            assert_eq!(plan.duration, SimDuration::ZERO);
+            assert_eq!(plan.recompute_tokens, 0);
+        }
+    }
+
+    #[test]
+    fn recompute_scales_with_lost_context() {
+        let cfg = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let short = kv_recovery_plan(&cfg, &cost, RecoveryPolicy::Recompute, 4, 3, 4, 32);
+        let long = kv_recovery_plan(&cfg, &cost, RecoveryPolicy::Recompute, 4, 3, 4, 256);
+        assert!(long.duration > short.duration);
+        assert!(long.recompute_tokens > short.recompute_tokens);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [RecoveryPolicy::Recompute, RecoveryPolicy::Replicate] {
+            assert_eq!(RecoveryPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RecoveryPolicy::parse("teleport"), None);
     }
 
     #[test]

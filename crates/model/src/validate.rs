@@ -28,12 +28,17 @@ pub fn validate_sequence(
 ) -> Result<(), String> {
     cfg.validate()?;
     shape.validate()?;
-    if tp == 0 || !cfg.heads.is_multiple_of(tp) {
+    if tp == 0 || tp > cfg.heads {
         return Err(format!("invalid tensor-parallel degree {tp} for {} heads", cfg.heads));
     }
     let tp64 = tp as u64;
     let h = cfg.hidden as u64;
+    // Uneven degrees (degraded mode) shard by ceil-division and model the
+    // critical-path largest shard, mirroring `layers::layer_ops`.
+    let heads_local = (cfg.heads as u64).div_ceil(tp64);
+    let shard_h = heads_local * cfg.head_dim() as u64;
     let ffn = cfg.ffn_hidden() as u64;
+    let ffn_shard = ffn.div_ceil(tp64);
     let rows = shape.rows();
     let dtype = cfg.dtype_bytes as u64;
     let (q_len, kv_len) = match shape.phase {
@@ -157,11 +162,11 @@ pub fn validate_sequence(
 
     for layer in 0..cfg.layers {
         eat(&mut i, ops, "layernorm", layer, &ln)?;
-        eat_gemm(&mut i, ops, GemmKind::Qkv, rows, h, 3 * h / tp64, layer)?;
+        eat_gemm(&mut i, ops, GemmKind::Qkv, rows, h, 3 * shard_h, layer)?;
         eat(&mut i, ops, "attention", layer, &|op| match *op {
             LayerOp::Attention { batch, heads, q_len: q, kv_len: kv, head_dim }
                 if batch == shape.batch as u64
-                    && heads == (cfg.heads / tp) as u64
+                    && heads == heads_local
                     && q == q_len
                     && kv == kv_len
                     && head_dim == cfg.head_dim() as u64 =>
@@ -170,23 +175,31 @@ pub fn validate_sequence(
             }
             ref other => Err(format!("malformed attention {other:?}")),
         })?;
-        eat_gemm(&mut i, ops, GemmKind::AttnOut, rows, h / tp64, h, layer)?;
+        eat_gemm(&mut i, ops, GemmKind::AttnOut, rows, shard_h, h, layer)?;
         eat_allreduce(&mut i, ops, layer)?;
         eat(&mut i, ops, "residual", layer, &residual)?;
         eat(&mut i, ops, "layernorm", layer, &ln)?;
-        eat_gemm(&mut i, ops, GemmKind::Fc1, rows, h, ffn / tp64, layer)?;
+        eat_gemm(&mut i, ops, GemmKind::Fc1, rows, h, ffn_shard, layer)?;
         eat(&mut i, ops, "gelu", layer, &|op| match *op {
-            LayerOp::Gelu { rows: r, width } if r == rows && width == ffn / tp64 => Ok(()),
+            LayerOp::Gelu { rows: r, width } if r == rows && width == ffn_shard => Ok(()),
             ref other => Err(format!("malformed gelu {other:?}")),
         })?;
-        eat_gemm(&mut i, ops, GemmKind::Fc2, rows, ffn / tp64, h, layer)?;
+        eat_gemm(&mut i, ops, GemmKind::Fc2, rows, ffn_shard, h, layer)?;
         eat_allreduce(&mut i, ops, layer)?;
         eat(&mut i, ops, "residual", layer, &residual)?;
     }
 
     // Head: final norm + LM projection.
     eat(&mut i, ops, "final layernorm", HEAD_LAYER, &ln)?;
-    eat_gemm(&mut i, ops, GemmKind::LmHead, rows, h, cfg.vocab as u64 / tp64, HEAD_LAYER)?;
+    eat_gemm(
+        &mut i,
+        ops,
+        GemmKind::LmHead,
+        rows,
+        h,
+        (cfg.vocab as u64).div_ceil(tp64),
+        HEAD_LAYER,
+    )?;
 
     if i != ops.len() {
         return Err(format!("{} trailing ops after the head", ops.len() - i));
@@ -207,11 +220,10 @@ mod tests {
 
     #[test]
     fn generated_sequences_validate_for_all_degrees_and_phases() {
+        // Includes uneven degrees (3, 5): the degraded-mode ceil-division
+        // fallback must agree between generator and validator.
         for model in [ModelConfig::tiny_test(), ModelConfig::opt_30b()] {
-            for tp in [1u32, 2, 4, 8] {
-                if model.heads % tp != 0 {
-                    continue;
-                }
+            for tp in [1u32, 2, 3, 4, 5, 8] {
                 for shape in [BatchShape::prefill(2, 64), BatchShape::decode(32, 16)] {
                     let ops = model_ops(&model, shape, tp);
                     validate_sequence(&model, shape, tp, &ops)

@@ -235,6 +235,22 @@ impl EngineMemory {
             }
         }
     }
+
+    /// Frees everything — weight shards and every live working set — so the
+    /// engine can re-allocate over a new placement after a device loss.
+    /// Batches are released in id order for deterministic traces.
+    pub fn release_all(&mut self, sim: &mut Simulation) {
+        if let Some(ids) = self.weights.take() {
+            for id in ids {
+                sim.free_memory(id);
+            }
+        }
+        let mut batches: Vec<u64> = self.per_batch.keys().copied().collect();
+        batches.sort_unstable();
+        for b in batches {
+            self.batch_completed(sim, b);
+        }
+    }
 }
 
 /// Per-device working-set bytes of one batch at `ways`-way partitioning
@@ -291,6 +307,22 @@ mod memory_tests {
         let mut s = sim(1, DeviceSpec::v100_16gb());
         let reqs = vec![Request::new(0, BatchShape::prefill(2, 64), SimTime::ZERO)];
         let _ = serve(&mut s, &mut engine, reqs);
+    }
+
+    #[test]
+    fn release_all_clears_weights_and_working_sets() {
+        let mut mem = EngineMemory::new();
+        let mut s = sim(2, DeviceSpec::v100_16gb());
+        let devices = [DeviceId(0), DeviceId(1)];
+        mem.ensure_weights(&mut s, &devices, 1 << 30);
+        mem.batch_submitted(&mut s, &devices, 7, 1 << 20);
+        mem.batch_submitted(&mut s, &devices, 3, 1 << 20);
+        mem.release_all(&mut s);
+        assert_eq!(s.memory_in_use(DeviceId(0)), 0);
+        assert_eq!(s.memory_in_use(DeviceId(1)), 0);
+        // A replan re-allocates from scratch over the new placement.
+        mem.ensure_weights(&mut s, &[DeviceId(0)], 1 << 30);
+        assert_eq!(s.memory_in_use(DeviceId(0)), 1 << 30);
     }
 
     #[test]

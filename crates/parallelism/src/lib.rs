@@ -19,4 +19,7 @@ pub mod partition;
 
 pub use inter_op::{InterOpEngine, PipelineFlavor};
 pub use intra_op::IntraOpEngine;
-pub use partition::{check_divisibility, inter_th_expand, stage_ranges};
+pub use partition::{
+    check_divisibility, check_divisibility_relaxed, inter_th_expand, stage_ranges,
+    stage_ranges_uneven,
+};

@@ -20,6 +20,19 @@ pub fn stage_ranges(layers: u32, stages: u32) -> Vec<(u32, u32)> {
     out
 }
 
+/// [`stage_ranges`] with the degraded-mode fallback: when `stages` exceeds
+/// `layers` the stage count is clamped so every emitted range is non-empty
+/// (excess devices simply hold no stage), and `layers == 0` yields no
+/// ranges at all. Replanning after a device loss uses this so an awkward
+/// survivor count can never panic the recovery path.
+pub fn stage_ranges_uneven(layers: u32, stages: u32) -> Vec<(u32, u32)> {
+    assert!(stages >= 1, "need at least one stage");
+    if layers == 0 {
+        return Vec::new();
+    }
+    stage_ranges(layers, stages.min(layers))
+}
+
 /// Expands a stage op list into the *theoretical inter-operator* form
 /// (the paper's Inter-Th baseline): every GEMM is replaced by the `parts`
 /// partitioned kernels the intra-op approach would run — column-parallel
@@ -61,6 +74,25 @@ pub fn check_divisibility(cfg: &ModelConfig, tp: u32) -> Result<(), String> {
     Ok(())
 }
 
+/// The degraded-mode relaxation of [`check_divisibility`]: after a device
+/// loss the survivor count rarely divides the head count, so replanning
+/// accepts any degree in `[1, heads]` and shards by ceil-division
+/// ([`liger_model::layer_ops`] models the critical-path largest shard).
+/// Plans built at start-up should keep using the strict check.
+pub fn check_divisibility_relaxed(cfg: &ModelConfig, tp: u32) -> Result<(), String> {
+    cfg.validate()?;
+    if tp == 0 {
+        return Err("parallel degree must be >= 1".into());
+    }
+    if tp > cfg.heads {
+        return Err(format!(
+            "{}: degree {tp} exceeds head count ({}) — some rank would hold no head",
+            cfg.name, cfg.heads
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +127,54 @@ mod tests {
     #[should_panic(expected = "cannot spread")]
     fn too_many_stages_panics() {
         stage_ranges(2, 4);
+    }
+
+    #[test]
+    fn uneven_layer_counts_stay_balanced_and_cover() {
+        // Layer counts that do not divide the stage count: the uneven
+        // fallback the recovery replan relies on (e.g. 48 layers over 3
+        // survivors is even, but 7 over 3 and 10 over 4 are not).
+        for (layers, stages) in [(7u32, 3u32), (10, 4), (48, 5), (3, 2), (5, 4)] {
+            let ranges = stage_ranges_uneven(layers, stages);
+            assert_eq!(ranges, stage_ranges(layers, stages), "within-capacity agrees");
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, layers);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let (min, max) = ranges
+                .iter()
+                .map(|(lo, hi)| hi - lo)
+                .fold((u32::MAX, 0), |(mn, mx), l| (mn.min(l), mx.max(l)));
+            assert!(max - min <= 1, "balanced within one layer");
+            assert!(min >= 1, "no empty stage");
+        }
+    }
+
+    #[test]
+    fn uneven_fallback_clamps_excess_stages() {
+        assert_eq!(stage_ranges_uneven(2, 4), vec![(0, 1), (1, 2)], "excess stages drop");
+        assert_eq!(stage_ranges_uneven(1, 3), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn uneven_fallback_edge_cases() {
+        // 0 layers: nothing to place, no panic.
+        assert_eq!(stage_ranges_uneven(0, 1), Vec::<(u32, u32)>::new());
+        assert_eq!(stage_ranges_uneven(0, 4), Vec::<(u32, u32)>::new());
+        // 1 stage: the whole model.
+        assert_eq!(stage_ranges_uneven(5, 1), vec![(0, 5)]);
+        assert_eq!(stage_ranges_uneven(1, 1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn relaxed_divisibility_accepts_degraded_degrees() {
+        let cfg = ModelConfig::opt_30b(); // 56 heads
+        assert!(check_divisibility(&cfg, 3).is_err(), "strict check still refuses");
+        assert!(check_divisibility_relaxed(&cfg, 3).is_ok(), "survivors of 4->3");
+        assert!(check_divisibility_relaxed(&cfg, 2).is_ok(), "survivors of 4->2");
+        assert!(check_divisibility_relaxed(&cfg, 0).is_err());
+        assert!(check_divisibility_relaxed(&cfg, 57).is_err(), "more ranks than heads");
     }
 
     #[test]

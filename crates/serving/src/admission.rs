@@ -1,0 +1,129 @@
+//! Admission control on degraded capacity: backpressure and bounded load
+//! shedding.
+//!
+//! After a permanent device loss the node serves with fewer GPUs: capacity
+//! drops, the recovery pause defers arrivals, and the backlog that piles up
+//! could never drain if the node was sized near saturation. The
+//! [`AdmissionController`] bounds that backlog with a queue-depth
+//! watermark: when the deferred queue exceeds it, the *oldest* requests are
+//! shed first (they have already blown their latency budget waiting out the
+//! recovery) and every shed is recorded with an explicit [`ShedReason`] —
+//! a dropped request must always be attributable, never silent.
+
+use std::collections::VecDeque;
+
+use liger_gpu_sim::SimTime;
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The deferred-request queue exceeded the admission watermark while
+    /// serving on degraded capacity.
+    QueueDepth,
+}
+
+impl ShedReason {
+    /// Stable label (tables, JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueDepth => "queue-depth",
+        }
+    }
+}
+
+/// One shed request: which, when, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedRecord {
+    /// Request id.
+    pub id: u64,
+    /// Simulation instant of the shed decision.
+    pub at: SimTime,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+/// Admission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum deferred requests resubmitted after a recovery; everything
+    /// beyond is shed oldest-first.
+    pub queue_watermark: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { queue_watermark: 64 }
+    }
+}
+
+/// Watermark-based load shedder.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+}
+
+impl AdmissionController {
+    /// Controller with the given parameters.
+    pub fn new(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController { config }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Trims `queue` down to the watermark, shedding oldest (front) first.
+    /// Returns one record per shed request, in shed order.
+    pub fn shed_excess(&self, queue: &mut VecDeque<u64>, now: SimTime) -> Vec<ShedRecord> {
+        let mut shed = Vec::new();
+        while queue.len() > self.config.queue_watermark {
+            let id = queue.pop_front().expect("len > watermark >= 0");
+            shed.push(ShedRecord { id, at: now, reason: ShedReason::QueueDepth });
+        }
+        shed
+    }
+}
+
+impl liger_gpu_sim::ToJson for ShedRecord {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id).field("at", &self.at).field("reason", &self.reason.name());
+        obj.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_the_watermark_nothing_sheds() {
+        let c = AdmissionController::new(AdmissionConfig { queue_watermark: 4 });
+        let mut q: VecDeque<u64> = (0..4).collect();
+        assert!(c.shed_excess(&mut q, SimTime::ZERO).is_empty());
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn excess_sheds_oldest_first_with_reasons() {
+        let c = AdmissionController::new(AdmissionConfig { queue_watermark: 2 });
+        let mut q: VecDeque<u64> = (10..15).collect(); // 10,11,12,13,14
+        let shed = c.shed_excess(&mut q, SimTime::from_micros(7));
+        assert_eq!(shed.iter().map(|s| s.id).collect::<Vec<_>>(), vec![10, 11, 12]);
+        assert_eq!(q, VecDeque::from(vec![13, 14]), "newest survive");
+        for s in &shed {
+            assert_eq!(s.reason, ShedReason::QueueDepth);
+            assert_eq!(s.at, SimTime::from_micros(7));
+            assert_eq!(s.reason.name(), "queue-depth");
+        }
+    }
+
+    #[test]
+    fn zero_watermark_sheds_everything() {
+        let c = AdmissionController::new(AdmissionConfig { queue_watermark: 0 });
+        let mut q: VecDeque<u64> = (0..3).collect();
+        assert_eq!(c.shed_excess(&mut q, SimTime::ZERO).len(), 3);
+        assert!(q.is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //! arriving requests and routes simulator wakes; the engine launches kernels
 //! and reports completed requests.
 
-use liger_gpu_sim::{SimTime, Simulation, Wake};
+use liger_gpu_sim::{DeviceId, SimTime, Simulation, Wake};
 
 use crate::request::Request;
 
@@ -30,6 +30,22 @@ pub trait InferenceEngine {
     /// Requests that finished since the last drain: `(request id, GPU-side
     /// completion instant)`.
     fn drain_completions(&mut self) -> Vec<(u64, SimTime)>;
+
+    /// A device was confirmed permanently lost (by the health watchdog, not
+    /// an oracle). The engine must stop tracking every in-flight and queued
+    /// request, rebuild its placement over `survivors`, and return the ids
+    /// of the requests it abandoned — the caller resubmits them (subject to
+    /// admission control). Engines without elastic-recovery support keep
+    /// the default: change nothing, abandon nothing.
+    fn on_device_loss(
+        &mut self,
+        dead: DeviceId,
+        survivors: &[DeviceId],
+        sim: &mut Simulation,
+    ) -> Vec<u64> {
+        let _ = (dead, survivors, sim);
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! Heartbeat health monitoring over the simulated devices.
+//!
+//! Production clusters do not learn of a dead GPU from an oracle — they
+//! notice that its heartbeats stopped. The [`HealthMonitor`] reproduces
+//! that: every watchdog interval it enqueues a *probe* (a CUDA-like record
+//! event plus a completion callback) on each monitored device. A healthy
+//! device drains the probe and the callback fires; a dead device silently
+//! swallows it (the simulator drops record events enqueued after device
+//! death, exactly like a hung CUDA context). Each watchdog tick that finds
+//! a probe still unanswered raises the device's *suspicion*; an answer
+//! resets it; at the configured threshold the device is confirmed lost.
+//!
+//! The confirmation therefore arrives within a bounded time of the true
+//! loss instant: the first probe sent at or after the death is never
+//! answered, so detection takes at most one interval (until that probe is
+//! sent) plus `suspicion_threshold` further intervals (until suspicion
+//! accumulates) — see [`HealthConfig::detection_bound`].
+//!
+//! False positives are possible by design: a device whose probe queue is
+//! backed up for longer than `interval × suspicion_threshold` looks exactly
+//! like a dead one, which is the same trade-off a real missed-deadline
+//! watchdog makes. Size the interval against the longest kernel the probe
+//! stream can sit behind.
+
+use liger_gpu_sim::{DeviceId, HostId, SimDuration, Simulation, StreamId, Wake};
+
+/// Watchdog parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Gap between watchdog ticks (one probe per device per tick).
+    pub interval: SimDuration,
+    /// Consecutive ticks with an unanswered probe before a device is
+    /// confirmed lost. Higher values tolerate longer probe queueing at the
+    /// cost of slower detection.
+    pub suspicion_threshold: u32,
+    /// Stream index the probes ride on. Keep it off the engine's busy
+    /// streams so probes only queue behind other probes.
+    pub probe_stream: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            interval: SimDuration::from_micros(200),
+            suspicion_threshold: 2,
+            probe_stream: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Worst-case delay between a device dying and the monitor confirming
+    /// it: `interval × (suspicion_threshold + 1)`.
+    pub fn detection_bound(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.interval.as_nanos().saturating_mul(self.suspicion_threshold as u64 + 1),
+        )
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval == SimDuration::ZERO {
+            return Err("watchdog interval must be positive".into());
+        }
+        if self.suspicion_threshold == 0 {
+            return Err("suspicion threshold must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Wake tokens the monitor allocates live in the 49 bits below its base.
+const NAMESPACE_MASK: u64 = !0u64 << 49;
+/// Watchdog-tick timer token (relative to the base).
+const TICK: u64 = 1 << 48;
+/// Probe-acknowledgement tokens carry the device index in bits 24..48 and a
+/// wrapping sequence number below.
+const ACK_DEVICE_SHIFT: u64 = 24;
+const SEQ_MASK: u64 = (1 << ACK_DEVICE_SHIFT) - 1;
+
+/// Missed-deadline watchdog over a set of devices.
+///
+/// Host code embeds one in a [`Driver`](liger_gpu_sim::Driver): call
+/// [`start`](Self::start) from the driver's start hook and route every wake
+/// whose token the monitor [`owns`](Self::owns) (plus any wake, harmlessly)
+/// through [`on_wake`](Self::on_wake); the return value lists devices
+/// confirmed lost by that wake.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    base: u64,
+    devices: Vec<DeviceId>,
+    /// Probes sent but not yet acknowledged, per device.
+    pending: Vec<u32>,
+    /// Consecutive ticks with unanswered probes, per device.
+    suspicion: Vec<u32>,
+    confirmed: Vec<bool>,
+    seq: u64,
+    stopped: bool,
+}
+
+impl HealthMonitor {
+    /// Monitor over `devices`, allocating wake tokens under `token_base`
+    /// (which must have its low 49 bits clear — the monitor fills them).
+    pub fn new(config: HealthConfig, devices: Vec<DeviceId>, token_base: u64) -> HealthMonitor {
+        assert_eq!(token_base & !NAMESPACE_MASK, 0, "token base overlaps the monitor namespace");
+        config.validate().expect("invalid health config");
+        let n = devices.len();
+        HealthMonitor {
+            config,
+            base: token_base,
+            devices,
+            pending: vec![0; n],
+            suspicion: vec![0; n],
+            confirmed: vec![false; n],
+            seq: 0,
+            stopped: false,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Whether `token` belongs to this monitor's wake namespace.
+    pub fn owns(&self, token: u64) -> bool {
+        token & NAMESPACE_MASK == self.base
+    }
+
+    /// Current suspicion level of a device (0 = answered its last probe).
+    pub fn suspicion(&self, device: DeviceId) -> u32 {
+        self.index(device).map(|i| self.suspicion[i]).unwrap_or(0)
+    }
+
+    /// Whether the monitor has confirmed `device` as lost.
+    pub fn is_confirmed(&self, device: DeviceId) -> bool {
+        self.index(device).map(|i| self.confirmed[i]).unwrap_or(false)
+    }
+
+    /// Stops probing; the armed watchdog tick is left to fire and expire.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    fn index(&self, device: DeviceId) -> Option<usize> {
+        self.devices.iter().position(|&d| d == device)
+    }
+
+    /// Sends the first probes and arms the watchdog. Call once, from the
+    /// driver's start hook.
+    pub fn start(&mut self, sim: &mut Simulation) {
+        for i in 0..self.devices.len() {
+            self.send_probe(i, sim);
+        }
+        self.arm(sim);
+    }
+
+    fn arm(&mut self, sim: &mut Simulation) {
+        sim.set_timer(sim.now() + self.config.interval, self.base | TICK);
+    }
+
+    fn send_probe(&mut self, i: usize, sim: &mut Simulation) {
+        let d = self.devices[i];
+        self.seq = (self.seq + 1) & SEQ_MASK;
+        let token = self.base | ((i as u64) << ACK_DEVICE_SHIFT) | self.seq;
+        let ev = sim.record_event(HostId(d.0), StreamId::new(d, self.config.probe_stream));
+        sim.notify_on_event(ev, HostId(d.0), token);
+        self.pending[i] += 1;
+    }
+
+    /// Processes one wake. Probe acknowledgements clear suspicion; watchdog
+    /// ticks raise it for silent devices, send the next probes, and re-arm.
+    /// Returns the devices newly confirmed lost by this wake (usually
+    /// empty, at most all monitored devices).
+    pub fn on_wake(&mut self, wake: &Wake, sim: &mut Simulation) -> Vec<DeviceId> {
+        let mut newly = Vec::new();
+        match *wake {
+            Wake::EventFired { token, .. } if self.owns(token) => {
+                let i = ((token & !NAMESPACE_MASK) >> ACK_DEVICE_SHIFT) as usize;
+                if let Some(p) = self.pending.get_mut(i) {
+                    *p = p.saturating_sub(1);
+                }
+            }
+            Wake::Timer { token } if token == self.base | TICK => {
+                if self.stopped {
+                    return newly;
+                }
+                for i in 0..self.devices.len() {
+                    if self.confirmed[i] {
+                        continue;
+                    }
+                    if self.pending[i] > 0 {
+                        self.suspicion[i] += 1;
+                    } else {
+                        self.suspicion[i] = 0;
+                    }
+                    if self.suspicion[i] >= self.config.suspicion_threshold {
+                        self.confirmed[i] = true;
+                        newly.push(self.devices[i]);
+                    } else {
+                        self.send_probe(i, sim);
+                    }
+                }
+                if !self.confirmed.iter().all(|&c| c) {
+                    self.arm(sim);
+                }
+            }
+            _ => {}
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, Driver, FaultSpec, HostSpec, SimTime};
+
+    /// Drives a monitor alone on a sim until `deadline`, logging
+    /// confirmations with their instants.
+    struct Watch {
+        monitor: HealthMonitor,
+        confirmed: Vec<(DeviceId, SimTime)>,
+        deadline: SimTime,
+    }
+
+    impl Driver for Watch {
+        fn start(&mut self, sim: &mut Simulation) {
+            self.monitor.start(sim);
+        }
+        fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+            for d in self.monitor.on_wake(&wake, sim) {
+                self.confirmed.push((d, sim.now()));
+            }
+            if sim.now() >= self.deadline {
+                self.monitor.stop();
+                sim.request_stop();
+            }
+        }
+    }
+
+    fn sim(n: usize, faults: FaultSpec) -> Simulation {
+        let mut b = Simulation::builder().devices(DeviceSpec::test_device(), n).faults(faults);
+        for _ in 0..n {
+            b = b.host(HostSpec::instant());
+        }
+        b.build().unwrap()
+    }
+
+    fn watch(n: usize, config: HealthConfig) -> Watch {
+        let devices = (0..n).map(DeviceId).collect();
+        Watch {
+            monitor: HealthMonitor::new(config, devices, 1 << 62),
+            confirmed: Vec::new(),
+            deadline: SimTime::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn healthy_devices_are_never_suspected() {
+        let mut w = watch(2, HealthConfig::default());
+        sim(2, FaultSpec::new(1)).run_to_completion(&mut w);
+        assert!(w.confirmed.is_empty());
+        assert_eq!(w.monitor.suspicion(DeviceId(0)), 0);
+        assert_eq!(w.monitor.suspicion(DeviceId(1)), 0);
+    }
+
+    #[test]
+    fn a_dead_device_is_confirmed_within_the_bound() {
+        let config = HealthConfig::default();
+        let death = SimTime::from_micros(730);
+        let mut w = watch(3, config);
+        sim(3, FaultSpec::new(1).device_down(DeviceId(1), death)).run_to_completion(&mut w);
+        assert_eq!(w.confirmed.len(), 1, "exactly one loss");
+        let (d, at) = w.confirmed[0];
+        assert_eq!(d, DeviceId(1));
+        assert!(at > death, "cannot confirm before the death");
+        assert!(
+            at.saturating_since(death) <= config.detection_bound(),
+            "detection took {}, bound is {}",
+            at.saturating_since(death),
+            config.detection_bound()
+        );
+        assert!(w.monitor.is_confirmed(DeviceId(1)));
+        assert!(!w.monitor.is_confirmed(DeviceId(0)));
+    }
+
+    #[test]
+    fn detection_bound_formula() {
+        let c = HealthConfig {
+            interval: SimDuration::from_micros(100),
+            suspicion_threshold: 3,
+            probe_stream: 3,
+        };
+        assert_eq!(c.detection_bound(), SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HealthConfig::default().validate().is_ok());
+        assert!(HealthConfig { interval: SimDuration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(HealthConfig { suspicion_threshold: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps the monitor namespace")]
+    fn misaligned_token_base_is_rejected() {
+        HealthMonitor::new(HealthConfig::default(), vec![DeviceId(0)], 1);
+    }
+}

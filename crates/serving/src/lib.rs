@@ -10,15 +10,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod analysis;
 pub mod arrival;
 pub mod batcher;
 pub mod engine;
 pub mod generation;
+pub mod health;
 pub mod metrics;
+pub mod recovery;
 pub mod request;
 pub mod runner;
 
+pub use admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord};
 pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
 pub use arrival::{ArrivalProcess, DecodeTraceConfig, LognormalTraceConfig, PrefillTraceConfig};
 pub use batcher::{
@@ -29,6 +33,8 @@ pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
 pub use generation::{
     serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner,
 };
-pub use metrics::{FaultCounters, ServingMetrics};
+pub use health::{HealthConfig, HealthMonitor};
+pub use metrics::{FaultCounters, RecoveryCounters, ServingMetrics};
+pub use recovery::{serve_with_recovery, RecoveryConfig, RecoveryPhase, RecoveryRunner};
 pub use request::{Completion, Request};
 pub use runner::{serve, serve_with_policy, RetryPolicy, ServingRunner};

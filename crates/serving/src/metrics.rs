@@ -6,6 +6,7 @@
 
 use liger_gpu_sim::{SimDuration, SimTime};
 
+use crate::admission::ShedRecord;
 use crate::request::Completion;
 
 /// Degraded-mode counters accumulated while serving under an active fault
@@ -28,11 +29,40 @@ pub struct FaultCounters {
     pub degraded_rounds: u64,
 }
 
+/// Elastic-recovery counters accumulated by the recovery runner while
+/// serving through a permanent device loss (all empty on healthy runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Confirmed permanent device losses.
+    pub losses: u64,
+    /// Watchdog confirmation delay of the most recent loss: confirmation
+    /// instant minus the ground-truth death instant the simulator reported.
+    pub detection_latency: SimDuration,
+    /// Total time spent draining in-flight survivor work (all losses).
+    pub drain_time: SimDuration,
+    /// Total time spent replanning and recovering KV state (all losses).
+    pub replan_time: SimDuration,
+    /// Prefill tokens replayed to rebuild lost KV cache (recompute policy).
+    pub recompute_tokens: u64,
+    /// Every shed request, with its instant and reason.
+    pub shed: Vec<ShedRecord>,
+    /// Phase-transition log: `(phase label, instant)` per transition.
+    pub timeline: Vec<(&'static str, SimTime)>,
+}
+
+impl RecoveryCounters {
+    /// Number of shed requests.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed.len() as u64
+    }
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServingMetrics {
     completions: Vec<Completion>,
     faults: FaultCounters,
+    recovery: RecoveryCounters,
 }
 
 impl ServingMetrics {
@@ -129,6 +159,22 @@ impl ServingMetrics {
     pub fn faults_mut(&mut self) -> &mut FaultCounters {
         &mut self.faults
     }
+
+    /// Elastic-recovery counters (all empty on healthy runs).
+    pub fn recovery(&self) -> &RecoveryCounters {
+        &self.recovery
+    }
+
+    /// Mutable access for the recovery runner.
+    pub fn recovery_mut(&mut self) -> &mut RecoveryCounters {
+        &mut self.recovery
+    }
+
+    /// The recovery phase-transition log: `(phase label, instant)` pairs in
+    /// chronological order, empty when no device was ever lost.
+    pub fn recovery_timeline(&self) -> &[(&'static str, SimTime)] {
+        &self.recovery.timeline
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +269,27 @@ mod tests {
     }
 
     #[test]
+    fn recovery_counters_default_empty_and_serialize() {
+        let mut m = ServingMetrics::new();
+        assert_eq!(*m.recovery(), RecoveryCounters::default());
+        assert!(m.recovery_timeline().is_empty());
+        m.recovery_mut().losses = 1;
+        m.recovery_mut().detection_latency = SimDuration::from_micros(400);
+        m.recovery_mut().shed.push(ShedRecord {
+            id: 9,
+            at: SimTime::from_micros(5),
+            reason: crate::admission::ShedReason::QueueDepth,
+        });
+        m.recovery_mut().timeline.push(("draining", SimTime::from_micros(3)));
+        assert_eq!(m.recovery().shed_requests(), 1);
+        assert_eq!(m.recovery_timeline(), &[("draining", SimTime::from_micros(3))]);
+        use liger_gpu_sim::ToJson;
+        let json = m.to_json();
+        assert!(json.contains("\"losses\":1"));
+        assert!(json.contains("\"shed_requests\":1"));
+    }
+
+    #[test]
     fn percentile_clamps_out_of_range() {
         let mut m = ServingMetrics::new();
         m.record(c(0, 0, 7));
@@ -242,7 +309,21 @@ impl liger_gpu_sim::ToJson for ServingMetrics {
             .field("p99_latency_ns", &self.latency_percentile(99.0))
             .field("max_latency_ns", &self.max_latency())
             .field("throughput", &self.throughput())
-            .field("faults", &self.faults);
+            .field("faults", &self.faults)
+            .field("recovery", &self.recovery);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for RecoveryCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("losses", &self.losses)
+            .field("detection_latency_ns", &self.detection_latency)
+            .field("drain_time_ns", &self.drain_time)
+            .field("replan_time_ns", &self.replan_time)
+            .field("recompute_tokens", &self.recompute_tokens)
+            .field("shed_requests", &self.shed_requests());
         obj.end();
     }
 }

@@ -1,0 +1,607 @@
+//! Elastic recovery from permanent device loss: the drain-and-replan
+//! serving loop.
+//!
+//! The [`RecoveryRunner`] wraps any [`InferenceEngine`] with the full
+//! failure-handling pipeline the paper's serving scenario needs when a GPU
+//! drops out of the node for good:
+//!
+//! 1. **Detect** — a [`HealthMonitor`] heartbeats every device; a loss is
+//!    acted on only once the watchdog *confirms* it (the simulator's
+//!    [`Wake::DeviceDown`] oracle wake is recorded purely as ground truth
+//!    for the detection-latency metric).
+//! 2. **Drain** — the engine abandons every in-flight and queued request
+//!    ([`InferenceEngine::on_device_loss`]) and rebuilds its placement over
+//!    the survivors; the runner then waits for barrier events behind all
+//!    outstanding survivor work so no stale kernel overlaps the replan.
+//! 3. **Recover** — the KV cache shards lost with the dead device are
+//!    rebuilt under the configured [`RecoveryPolicy`]: *recompute* replays
+//!    the prefills on the survivors (priced through the roofline cost
+//!    model, at the degraded parallelism degree), *replicate* restores a
+//!    surviving copy over the interconnect.
+//! 4. **Shed & resume** — on re-entry to serving the deferred backlog is
+//!    trimmed to the admission watermark (oldest shed first, each with an
+//!    explicit [`ShedReason`](crate::admission::ShedReason)); survivors is
+//!    the new normal until the next loss.
+//!
+//! Every phase transition is timestamped into
+//! [`ServingMetrics::recovery_timeline`]; the recovery counters record
+//! detection latency, drain and replan time, replayed tokens, and every
+//! shed request.
+
+use std::collections::VecDeque;
+
+use liger_gpu_sim::{
+    DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId, Wake,
+};
+use liger_model::{kv_recovery_plan, CostModel, ModelConfig, RecoveryPolicy};
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
+use crate::health::{HealthConfig, HealthMonitor};
+use crate::metrics::ServingMetrics;
+use crate::request::{Completion, Request};
+
+/// Token base handed to the health monitor (bit 63 = runner namespace,
+/// bit 59 = health sub-namespace; the monitor fills the low 49 bits).
+const HEALTH_BASE: u64 = RUNNER_TOKEN_BASE | (1 << 59);
+
+/// Drain-barrier completion token (one event per survivor stream).
+const DRAIN_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 56);
+
+/// KV-recovery completion token.
+const RECOVERED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 55);
+
+/// Engine streams the drain barrier covers (the Liger engine launches on
+/// streams 0 and 1; probes ride elsewhere).
+const BARRIER_STREAMS: usize = 2;
+
+/// Parameters of the elastic-recovery pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Watchdog parameters (detection bound = `health.detection_bound()`).
+    pub health: HealthConfig,
+    /// How lost KV-cache shards are rebuilt.
+    pub policy: RecoveryPolicy,
+    /// Backlog bound applied when serving resumes on degraded capacity.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            health: HealthConfig::default(),
+            policy: RecoveryPolicy::Replicate,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Where the runner is in the recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Serving normally; no confirmed loss outstanding.
+    Normal,
+    /// Loss confirmed; waiting for survivor streams to drain.
+    Draining,
+    /// Replanned; KV recovery work is running on the survivors.
+    Recovering,
+    /// Serving again on reduced capacity.
+    Degraded,
+}
+
+impl RecoveryPhase {
+    /// Stable label (timeline, tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPhase::Normal => "normal",
+            RecoveryPhase::Draining => "draining",
+            RecoveryPhase::Recovering => "recovering",
+            RecoveryPhase::Degraded => "degraded",
+        }
+    }
+}
+
+/// Serving driver with health monitoring, drain-and-replan device-loss
+/// handling, KV recovery, and admission control. See the module docs for
+/// the state machine.
+pub struct RecoveryRunner<'a, E: InferenceEngine + ?Sized> {
+    engine: &'a mut E,
+    requests: Vec<Request>,
+    model: &'a ModelConfig,
+    cost: &'a CostModel,
+    config: RecoveryConfig,
+    admission: AdmissionController,
+    metrics: ServingMetrics,
+    monitor: Option<HealthMonitor>,
+    phase: RecoveryPhase,
+    /// Requests neither completed nor shed.
+    outstanding: usize,
+    /// Terminal (completed or shed) flags, indexed by request id.
+    done: Vec<bool>,
+    /// Arrivals deferred during recovery plus cancelled in-flight requests,
+    /// in arrival order (front = oldest).
+    deferred: VecDeque<u64>,
+    /// Cancelled in-flight ids whose KV must be recovered.
+    lost: Vec<u64>,
+    /// Losses confirmed while a recovery was already in progress.
+    pending_losses: VecDeque<DeviceId>,
+    /// Oracle death instants from [`Wake::DeviceDown`], for the
+    /// detection-latency metric only.
+    ground_truth: Vec<(DeviceId, SimTime)>,
+    survivors: Vec<DeviceId>,
+    drain_pending: usize,
+    drain_started: SimTime,
+    recover_started: SimTime,
+}
+
+impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
+    /// Creates a runner over `requests` (dense ids, sorted by arrival).
+    pub fn new(
+        engine: &'a mut E,
+        requests: Vec<Request>,
+        model: &'a ModelConfig,
+        cost: &'a CostModel,
+        config: RecoveryConfig,
+    ) -> Self {
+        config.health.validate().expect("invalid health config");
+        let outstanding = requests.len();
+        let done = vec![false; requests.len()];
+        RecoveryRunner {
+            engine,
+            requests,
+            model,
+            cost,
+            config,
+            admission: AdmissionController::new(config.admission),
+            metrics: ServingMetrics::new(),
+            monitor: None,
+            phase: RecoveryPhase::Normal,
+            outstanding,
+            done,
+            deferred: VecDeque::new(),
+            lost: Vec::new(),
+            pending_losses: VecDeque::new(),
+            ground_truth: Vec::new(),
+            survivors: Vec::new(),
+            drain_pending: 0,
+            drain_started: SimTime::ZERO,
+            recover_started: SimTime::ZERO,
+        }
+    }
+
+    /// The collected metrics (complete once the simulation has stopped).
+    pub fn into_metrics(self) -> ServingMetrics {
+        self.metrics
+    }
+
+    /// Current state-machine phase.
+    pub fn phase(&self) -> RecoveryPhase {
+        self.phase
+    }
+
+    fn owns_health(&self, token: u64) -> bool {
+        self.monitor.as_ref().is_some_and(|m| m.owns(token))
+    }
+
+    fn set_phase(&mut self, phase: RecoveryPhase, now: SimTime) {
+        self.phase = phase;
+        self.metrics.recovery_mut().timeline.push((phase.name(), now));
+    }
+
+    /// A watchdog-confirmed loss: record detection latency and either start
+    /// a recovery or queue the loss behind the one in progress.
+    fn confirm_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        let rec = self.metrics.recovery_mut();
+        rec.losses += 1;
+        if let Some(&(_, death)) = self.ground_truth.iter().find(|&&(d, _)| d == dead) {
+            rec.detection_latency = now.saturating_since(death);
+        }
+        match self.phase {
+            RecoveryPhase::Normal | RecoveryPhase::Degraded => self.handle_loss(dead, sim),
+            RecoveryPhase::Draining | RecoveryPhase::Recovering => {
+                self.pending_losses.push_back(dead);
+            }
+        }
+    }
+
+    /// Drain-and-replan: the engine abandons its work and replans over the
+    /// survivors; barrier events behind all remaining survivor work gate the
+    /// transition to KV recovery.
+    fn handle_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        self.set_phase(RecoveryPhase::Draining, now);
+        self.drain_started = now;
+        self.survivors = sim.alive_devices().into_iter().filter(|&d| d != dead).collect::<Vec<_>>();
+        assert!(!self.survivors.is_empty(), "no surviving device to replan onto");
+        let mut cancelled = self.engine.on_device_loss(dead, &self.survivors, sim);
+        cancelled.sort_unstable();
+        cancelled.retain(|&id| !self.done[id as usize]);
+        // Cancelled in-flight requests predate every deferred arrival, so
+        // prepending (in reverse) keeps the queue in arrival order.
+        for &id in cancelled.iter().rev() {
+            self.deferred.push_front(id);
+        }
+        self.lost = cancelled;
+        // Barrier: one event per survivor engine stream, enqueued after any
+        // still-running work, so every pre-loss record has fired before the
+        // recovery kernels (and the resubmissions behind them) launch.
+        self.drain_pending = 0;
+        for &d in &self.survivors {
+            for s in 0..BARRIER_STREAMS {
+                let ev = sim.record_event(HostId(d.0), StreamId::new(d, s));
+                sim.notify_on_event(ev, HostId(d.0), DRAIN_TOKEN);
+                self.drain_pending += 1;
+            }
+        }
+    }
+
+    /// Survivor streams are empty: price the lost KV shards and launch the
+    /// recovery work (or skip straight to degraded serving if nothing was
+    /// in flight).
+    fn begin_recovery(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.metrics.recovery_mut().drain_time += now.saturating_since(self.drain_started);
+        self.set_phase(RecoveryPhase::Recovering, now);
+        self.recover_started = now;
+        // KV was sharded over the pre-loss degree (survivors + the dead).
+        let ways = self.survivors.len() as u32 + 1;
+        let mut duration = SimDuration::ZERO;
+        let mut tokens = 0u64;
+        for &id in &self.lost {
+            let shape = self.requests[id as usize].shape;
+            let plan = kv_recovery_plan(
+                self.model,
+                self.cost,
+                self.config.policy,
+                ways,
+                self.survivors.len() as u32,
+                shape.batch,
+                shape.phase.kv_len(),
+            );
+            duration += plan.duration;
+            tokens += plan.recompute_tokens;
+        }
+        self.metrics.recovery_mut().recompute_tokens += tokens;
+        self.lost.clear();
+        if duration == SimDuration::ZERO {
+            self.finish_recovery(sim);
+            return;
+        }
+        let spec = match self.config.policy {
+            RecoveryPolicy::Recompute => KernelSpec::compute("kv-recover-recompute", duration),
+            RecoveryPolicy::Replicate => KernelSpec::comm("kv-recover-replicate", duration),
+        };
+        for &d in &self.survivors {
+            sim.launch(HostId(d.0), StreamId::new(d, 0), spec.clone());
+        }
+        let d0 = self.survivors[0];
+        let ev = sim.record_event(HostId(d0.0), StreamId::new(d0, 0));
+        sim.notify_on_event(ev, HostId(d0.0), RECOVERED_TOKEN);
+    }
+
+    fn finish_recovery(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.metrics.recovery_mut().replan_time += now.saturating_since(self.recover_started);
+        self.enter_degraded(sim);
+    }
+
+    /// Back to serving: shed the backlog beyond the watermark (oldest
+    /// first), resubmit the rest, then take on any loss that was confirmed
+    /// while this recovery ran.
+    fn enter_degraded(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.set_phase(RecoveryPhase::Degraded, now);
+        let shed = self.admission.shed_excess(&mut self.deferred, now);
+        for s in &shed {
+            let idx = s.id as usize;
+            if !self.done[idx] {
+                self.done[idx] = true;
+                self.outstanding = self.outstanding.saturating_sub(1);
+            }
+        }
+        self.metrics.recovery_mut().shed.extend(shed);
+        while let Some(id) = self.deferred.pop_front() {
+            if !self.done[id as usize] {
+                self.engine.submit(self.requests[id as usize], sim);
+            }
+        }
+        if let Some(dead) = self.pending_losses.pop_front() {
+            self.handle_loss(dead, sim);
+        }
+    }
+
+    fn collect(&mut self, sim: &mut Simulation) {
+        for (id, finished) in self.engine.drain_completions() {
+            let idx = id as usize;
+            if self.done[idx] {
+                continue;
+            }
+            self.done[idx] = true;
+            let arrival = self.requests[idx].arrival;
+            self.metrics.record(Completion { id, arrival, finished });
+            self.outstanding = self.outstanding.saturating_sub(1);
+        }
+        if self.outstanding == 0 {
+            if let Some(m) = &mut self.monitor {
+                m.stop();
+            }
+            sim.request_stop();
+        }
+    }
+}
+
+impl<E: InferenceEngine + ?Sized> Driver for RecoveryRunner<'_, E> {
+    fn start(&mut self, sim: &mut Simulation) {
+        assert!(
+            // Ids must stay clear of the drain/recovered/health marker bits.
+            self.requests.len() < (1u64 << 55) as usize,
+            "request count overflows the recovery-runner token namespace"
+        );
+        let mut monitor = HealthMonitor::new(self.config.health, sim.alive_devices(), HEALTH_BASE);
+        monitor.start(sim);
+        self.monitor = Some(monitor);
+        if self.requests.is_empty() {
+            self.monitor.as_mut().expect("just set").stop();
+            sim.request_stop();
+            return;
+        }
+        for (i, r) in self.requests.iter().enumerate() {
+            debug_assert_eq!(r.id as usize, i, "request ids must be dense arrival indices");
+            debug_assert!(
+                i == 0 || self.requests[i - 1].arrival <= r.arrival,
+                "requests must be sorted by arrival"
+            );
+        }
+        sim.set_timer(self.requests[0].arrival, RUNNER_TOKEN_BASE);
+    }
+
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+        // The monitor inspects every wake; confirmations come back here.
+        let confirmed = match &mut self.monitor {
+            Some(m) => m.on_wake(&wake, sim),
+            None => Vec::new(),
+        };
+        for dead in confirmed {
+            self.confirm_loss(dead, sim);
+        }
+        match wake {
+            // Oracle knowledge: logged for the detection-latency metric,
+            // never acted on directly.
+            Wake::DeviceDown { device, at } => {
+                self.ground_truth.push((device, at));
+            }
+            Wake::Timer { token } if self.owns_health(token) => {}
+            Wake::EventFired { token, .. } if self.owns_health(token) => {}
+            Wake::EventFired { token, .. } if token == DRAIN_TOKEN => {
+                self.drain_pending = self.drain_pending.saturating_sub(1);
+                if self.drain_pending == 0 && self.phase == RecoveryPhase::Draining {
+                    self.begin_recovery(sim);
+                }
+            }
+            Wake::EventFired { token, .. } if token == RECOVERED_TOKEN => {
+                if self.phase == RecoveryPhase::Recovering {
+                    self.finish_recovery(sim);
+                }
+            }
+            Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
+                let id = (token & !RUNNER_TOKEN_BASE) as usize;
+                if let Some(next) = self.requests.get(id + 1) {
+                    sim.set_timer(next.arrival, RUNNER_TOKEN_BASE | next.id);
+                }
+                match self.phase {
+                    RecoveryPhase::Normal | RecoveryPhase::Degraded => {
+                        self.engine.submit(self.requests[id], sim);
+                    }
+                    // Mid-recovery arrivals wait out the replan.
+                    RecoveryPhase::Draining | RecoveryPhase::Recovering => {
+                        self.deferred.push_back(id as u64);
+                    }
+                }
+            }
+            other => self.engine.on_wake(other, sim),
+        }
+        self.collect(sim);
+    }
+}
+
+/// Serves `requests` with `engine` on `sim` under the elastic-recovery
+/// pipeline; `model` and `cost` price the KV-recovery work. Returns the
+/// metrics, including the recovery counters and phase timeline.
+pub fn serve_with_recovery<E: InferenceEngine + ?Sized>(
+    sim: &mut Simulation,
+    engine: &mut E,
+    requests: Vec<Request>,
+    model: &ModelConfig,
+    cost: &CostModel,
+    config: RecoveryConfig,
+) -> ServingMetrics {
+    let mut runner = RecoveryRunner::new(engine, requests, model, cost, config);
+    sim.run_to_completion(&mut runner);
+    runner.into_metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, EventId, FaultSpec, HostSpec};
+    use liger_model::BatchShape;
+
+    /// A round-robin one-kernel engine with honest device-loss support:
+    /// abandons in-flight work, bumps its completion epoch so stale records
+    /// are ignored, and reshards onto the survivors.
+    struct ToyEngine {
+        devices: Vec<DeviceId>,
+        next: usize,
+        epoch: u64,
+        inflight: Vec<u64>,
+        done: Vec<(u64, SimTime)>,
+        pending: Vec<(EventId, u64)>,
+    }
+
+    impl ToyEngine {
+        fn new(world: usize) -> ToyEngine {
+            ToyEngine {
+                devices: (0..world).map(DeviceId).collect(),
+                next: 0,
+                epoch: 0,
+                inflight: Vec::new(),
+                done: Vec::new(),
+                pending: Vec::new(),
+            }
+        }
+    }
+
+    impl InferenceEngine for ToyEngine {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn submit(&mut self, request: Request, sim: &mut Simulation) {
+            let d = self.devices[self.next % self.devices.len()];
+            self.next += 1;
+            let stream = StreamId::new(d, 0);
+            sim.launch(
+                HostId(d.0),
+                stream,
+                KernelSpec::compute("job", SimDuration::from_micros(40)).with_tag(request.id),
+            );
+            let ev = sim.record_event(HostId(d.0), stream);
+            sim.notify_on_event(ev, HostId(d.0), (self.epoch << 32) | request.id);
+            self.pending.push((ev, request.id));
+            self.inflight.push(request.id);
+        }
+        fn on_wake(&mut self, wake: Wake, _: &mut Simulation) {
+            if let Wake::EventFired { token, fired_at, .. } = wake {
+                if token >> 32 != self.epoch {
+                    return; // stale completion from before a replan
+                }
+                let id = token & 0xffff_ffff;
+                self.inflight.retain(|&x| x != id);
+                self.done.push((id, fired_at));
+            }
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+            std::mem::take(&mut self.done)
+        }
+        fn on_device_loss(
+            &mut self,
+            _dead: DeviceId,
+            survivors: &[DeviceId],
+            _sim: &mut Simulation,
+        ) -> Vec<u64> {
+            self.epoch += 1;
+            self.devices = survivors.to_vec();
+            self.next = 0;
+            let mut ids = std::mem::take(&mut self.inflight);
+            ids.sort_unstable();
+            ids
+        }
+    }
+
+    fn sim(world: usize, faults: FaultSpec) -> Simulation {
+        let mut b = Simulation::builder().devices(DeviceSpec::test_device(), world).faults(faults);
+        for _ in 0..world {
+            b = b.host(HostSpec::instant());
+        }
+        b.build().unwrap()
+    }
+
+    fn trace(n: usize, gap_us: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    i as u64,
+                    BatchShape::prefill(1, 16),
+                    SimTime::from_micros(gap_us * i as u64),
+                )
+            })
+            .collect()
+    }
+
+    fn run(
+        world: usize,
+        faults: FaultSpec,
+        requests: Vec<Request>,
+        config: RecoveryConfig,
+    ) -> ServingMetrics {
+        let model = ModelConfig::opt_30b();
+        let cost = CostModel::v100_node();
+        let mut engine = ToyEngine::new(world);
+        serve_with_recovery(&mut sim(world, faults), &mut engine, requests, &model, &cost, config)
+    }
+
+    #[test]
+    fn healthy_run_completes_everything_with_an_empty_timeline() {
+        let m = run(3, FaultSpec::new(1), trace(8, 50), RecoveryConfig::default());
+        assert_eq!(m.completed(), 8);
+        assert_eq!(m.recovery().losses, 0);
+        assert!(m.recovery_timeline().is_empty());
+        assert_eq!(m.recovery().shed_requests(), 0);
+    }
+
+    #[test]
+    fn a_mid_trace_loss_recovers_and_completes_every_request() {
+        let config = RecoveryConfig::default();
+        let death = SimTime::from_micros(500);
+        let faults = FaultSpec::new(1).device_down(DeviceId(2), death);
+        let m = run(3, faults, trace(24, 60), config);
+        assert_eq!(m.recovery().losses, 1, "exactly one confirmed loss");
+        assert_eq!(m.completed(), 24, "replicate policy loses nothing");
+        assert!(m.recovery().shed.is_empty());
+        let labels: Vec<&str> = m.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels, vec!["draining", "recovering", "degraded"]);
+        assert!(
+            m.recovery().detection_latency <= config.health.detection_bound(),
+            "detection {} beyond bound {}",
+            m.recovery().detection_latency,
+            config.health.detection_bound()
+        );
+        assert!(m.recovery().replan_time > SimDuration::ZERO, "recovery work was priced");
+    }
+
+    #[test]
+    fn recompute_policy_counts_replayed_tokens() {
+        let config =
+            RecoveryConfig { policy: RecoveryPolicy::Recompute, ..RecoveryConfig::default() };
+        let faults = FaultSpec::new(1).device_down(DeviceId(1), SimTime::from_micros(500));
+        let m = run(2, faults, trace(24, 60), config);
+        assert_eq!(m.recovery().losses, 1);
+        assert!(
+            m.recovery().recompute_tokens > 0,
+            "in-flight prefills replay their tokens on recovery"
+        );
+        assert_eq!(m.completed() + m.recovery().shed_requests() as usize, 24);
+    }
+
+    #[test]
+    fn a_tight_watermark_sheds_oldest_first_with_reasons() {
+        let config = RecoveryConfig {
+            admission: AdmissionConfig { queue_watermark: 1 },
+            ..RecoveryConfig::default()
+        };
+        // Arrivals keep pouring in during the recovery pause, so the
+        // deferred queue overflows the watermark of 1.
+        let faults = FaultSpec::new(1).device_down(DeviceId(2), SimTime::from_micros(300));
+        let m = run(3, faults, trace(40, 20), config);
+        assert_eq!(m.recovery().losses, 1);
+        let shed = &m.recovery().shed;
+        assert!(!shed.is_empty(), "overflowing backlog must shed");
+        assert_eq!(m.completed() + shed.len(), 40, "every request completes or is shed");
+        for s in shed {
+            assert_eq!(s.reason.name(), "queue-depth");
+        }
+        // Oldest-first: every shed id is older than every id that still
+        // completed after being deferred.
+        let max_shed = shed.iter().map(|s| s.id).max().unwrap();
+        for w in shed.windows(2) {
+            assert!(w[0].id < w[1].id, "shed in arrival order");
+        }
+        assert!(max_shed < 40);
+    }
+
+    #[test]
+    fn empty_trace_stops_immediately() {
+        let m = run(2, FaultSpec::new(1), Vec::new(), RecoveryConfig::default());
+        assert_eq!(m.completed(), 0);
+    }
+}

@@ -68,10 +68,12 @@ pub mod prelude {
     pub use liger_gpu_sim::prelude::*;
     pub use liger_model::{
         assemble, class_totals, profile_contention, BatchShape, CostModel, ModelConfig, Phase,
+        RecoveryPolicy,
     };
     pub use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
     pub use liger_serving::{
-        serve, serve_with_policy, ArrivalProcess, DecodeTraceConfig, FaultCounters,
-        InferenceEngine, PrefillTraceConfig, Request, RetryPolicy, ServingMetrics,
+        serve, serve_with_policy, serve_with_recovery, AdmissionConfig, ArrivalProcess,
+        DecodeTraceConfig, FaultCounters, HealthConfig, InferenceEngine, PrefillTraceConfig,
+        RecoveryConfig, Request, RetryPolicy, ServingMetrics,
     };
 }
