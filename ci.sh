@@ -11,6 +11,16 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Warnings are errors: the crates carry #![warn(missing_docs)] and
+# rust_2018_idioms, and clippy runs over every target including tests.
+echo "==> cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -q -- -D warnings
+else
+    echo "    (clippy not installed; falling back to cargo check)"
+    RUSTFLAGS="-D warnings" cargo check --workspace --all-targets -q
+fi
+
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace
 
@@ -34,5 +44,15 @@ cargo test -q --test recovery
 # without a recorded shed reason or detection exceeds the watchdog bound.
 echo "==> ablation_recovery --smoke"
 cargo run --release -q -p liger-bench --bin ablation_recovery -- --smoke
+
+# Verification gate: the static plan verifier proves the default
+# deployments deadlock-free and memory-feasible (healthy and one-loss
+# degraded), and the happens-before sanitizer must report zero diagnostics
+# on every checked-in golden trace. Any diagnostic is a non-zero exit.
+echo "==> liger-verify plans"
+cargo run --release -q -p liger-verify --bin liger-verify -- plans
+
+echo "==> liger-verify golden traces"
+cargo run --release -q -p liger-verify --bin liger-verify -- tests/golden/*.json
 
 echo "ci.sh: all checks passed"

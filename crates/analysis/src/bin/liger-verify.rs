@@ -1,0 +1,122 @@
+//! Command-line front end for the plan verifier and trace sanitizer.
+//!
+//! ```text
+//! liger-verify plans            statically verify the default deployments
+//! liger-verify <trace.json>...  sanitize exported Chrome traces
+//! ```
+//!
+//! Exit codes: 0 — clean; 1 — diagnostics reported; 2 — usage, I/O or
+//! parse error.
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+
+use liger_core::introspect::LaunchProgram;
+use liger_core::{plan_round, FuncVec, LigerConfig, PlanParams, SyncMode};
+use liger_gpu_sim::{DeviceSpec, Trace};
+use liger_model::{assemble, BatchShape, CostModel, ModelConfig};
+use liger_verify::{sanitize_parsed, verify_deployment, Diagnostic};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("plans") => run_plans(),
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: liger-verify plans | liger-verify <trace.json>...");
+            ExitCode::SUCCESS
+        }
+        Some(_) => run_traces(&args),
+        None => {
+            eprintln!("usage: liger-verify plans | liger-verify <trace.json>...");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Statically verifies the paper's default deployments: each model of the
+/// zoo on its smallest fitting V100/A100 world, with the launch program of
+/// a representative two-batch prefill workload.
+fn run_plans() -> ExitCode {
+    let deployments: Vec<(ModelConfig, DeviceSpec, usize)> = vec![
+        (ModelConfig::tiny_test(), DeviceSpec::test_device(), 2),
+        (ModelConfig::opt_30b(), DeviceSpec::v100_16gb(), 8),
+        (ModelConfig::gpt_8b(), DeviceSpec::v100_16gb(), 2),
+    ];
+    let mut total = 0usize;
+    for (cfg, spec, world) in &deployments {
+        let lc = LigerConfig::default().with_sync_mode(SyncMode::Hybrid);
+        let cm = CostModel::v100_node();
+        let shape = BatchShape::prefill(1, 64);
+        let params = PlanParams {
+            contention_factor: lc.contention_factor,
+            division_factor: lc.division_factor,
+            enable_decomposition: lc.enable_decomposition,
+            straggler_factor: 1.0,
+        };
+        let mut processing: VecDeque<FuncVec> = (0..2)
+            .map(|b| {
+                FuncVec::from_ops(
+                    b,
+                    shape,
+                    liger_gpu_sim::SimTime::ZERO,
+                    assemble(&cm, cfg, shape, *world as u32),
+                )
+            })
+            .collect();
+        let mut plans = Vec::new();
+        while let Some(p) = plan_round(&mut processing, &params, &cm) {
+            plans.push(p);
+        }
+        let prog = LaunchProgram::from_plans(&plans, *world, true);
+        // Fault budget 1: the single permanent loss the fault tier injects.
+        let diags = verify_deployment(&prog, cfg, &lc, spec, *world as u32, shape, 1);
+        report(&format!("{} on {}x {}", cfg.name, world, spec.name), &diags);
+        total += diags.len();
+    }
+    if total == 0 {
+        println!("liger-verify: all default plans verified clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_traces(paths: &[String]) -> ExitCode {
+    let mut total = 0usize;
+    for path in paths {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("liger-verify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let parsed = match Trace::parse_chrome_json(&input) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("liger-verify: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = sanitize_parsed(&parsed);
+        report(path, &diags);
+        total += diags.len();
+    }
+    if total == 0 {
+        println!("liger-verify: {} trace(s) sanitized clean", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn report(subject: &str, diags: &[Diagnostic]) {
+    if diags.is_empty() {
+        println!("  ok: {subject}");
+    } else {
+        eprintln!("  {} diagnostic(s) in {subject}:", diags.len());
+        for d in diags {
+            eprintln!("    {d}");
+        }
+    }
+}

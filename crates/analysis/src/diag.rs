@@ -1,0 +1,112 @@
+//! Machine-readable verifier diagnostics.
+//!
+//! Every rule violation — static or dynamic — is reported as a
+//! [`Diagnostic`]: a stable rule id (`SV-*` for the static plan verifier,
+//! `TS-*` for the trace sanitizer), a human-readable message, and optional
+//! device / stream / byte-offset locations. Byte offsets point into the
+//! source Chrome-trace JSON, in the same style as the fault-spec parser's
+//! `"error at byte N"` diagnostics, so a reported event can be jumped to in
+//! the raw file.
+
+use std::fmt;
+
+use liger_gpu_sim::json::{JsonObject, ToJson};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `TS-HAZARD-RAW`, `SV-WAIT-CYCLE`).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Device the violation occurred on, when attributable.
+    pub device: Option<usize>,
+    /// Stream the violation occurred on, when attributable.
+    pub stream: Option<usize>,
+    /// Byte offset of the offending element in the source JSON, when the
+    /// trace was parsed from a file.
+    pub offset: Option<usize>,
+}
+
+impl Diagnostic {
+    /// A bare violation of `rule`.
+    pub fn new(rule: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { rule, message: message.into(), device: None, stream: None, offset: None }
+    }
+
+    /// Attributes the violation to a device.
+    pub fn on_device(mut self, device: usize) -> Diagnostic {
+        self.device = Some(device);
+        self
+    }
+
+    /// Attributes the violation to a stream.
+    pub fn on_stream(mut self, stream: usize) -> Diagnostic {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Points the violation at a byte offset in the source JSON.
+    pub fn at_offset(mut self, offset: usize) -> Diagnostic {
+        self.offset = Some(offset);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rule)?;
+        if let Some(d) = self.device {
+            write!(f, " [device {d}")?;
+            if let Some(s) = self.stream {
+                write!(f, " stream {s}")?;
+            }
+            write!(f, "]")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " at byte {o}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::begin(out);
+        obj.field("rule", &self.rule).field("message", &self.message.as_str());
+        if let Some(d) = self.device {
+            obj.field("device", &(d as u64));
+        }
+        if let Some(s) = self.stream {
+            obj.field("stream", &(s as u64));
+        }
+        if let Some(o) = self.offset {
+            obj.field("offset", &(o as u64));
+        }
+        obj.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_locations() {
+        let d = Diagnostic::new("TS-FIFO", "out of order").on_device(1).on_stream(0).at_offset(42);
+        assert_eq!(d.to_string(), "TS-FIFO [device 1 stream 0] at byte 42: out of order");
+        let bare = Diagnostic::new("SV-WAIT-CYCLE", "cycle");
+        assert_eq!(bare.to_string(), "SV-WAIT-CYCLE: cycle");
+    }
+
+    #[test]
+    fn json_carries_all_fields() {
+        let d = Diagnostic::new("TS-LEAK", "live at end").on_device(2).at_offset(7);
+        let mut out = String::new();
+        d.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"rule\":\"TS-LEAK\",\"message\":\"live at end\",\"device\":2,\"offset\":7}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # liger-verify
+//!
+//! Static plan verification and dynamic trace sanitization for the Liger
+//! reproduction, wired into CI so neither a deadlock-prone plan nor a
+//! hazard-bearing trace can land silently.
+//!
+//! Two engines:
+//!
+//! * [`static_verifier`] — proves properties of a deployment *before*
+//!   simulation: collective sequences match across devices
+//!   (`SV-COLLECTIVE-MATCH`), the event-wait graph is acyclic
+//!   (`SV-WAIT-CYCLE`), shard shapes are consistent (`SV-SHARD-SHAPE`) and
+//!   peak memory fits every device, healthy or degraded (`SV-MEM-CAP`).
+//!   Launch programs come from [`liger_core::introspect`], which replays
+//!   the engine's launch sequence as data.
+//! * [`sanitizer`] — reconstructs happens-before from an exported Chrome
+//!   trace via per-lane vector clocks and flags FIFO violations
+//!   (`TS-FIFO`), collective skew (`TS-COLL-SKEW`), synchronization/time
+//!   contradictions (`TS-OVERLAP`), data hazards (`TS-HAZARD-RAW`,
+//!   `TS-HAZARD-WAR`, `TS-HAZARD-WAW`) and allocation misuse (`TS-UAF`,
+//!   `TS-DOUBLE-FREE`, `TS-LEAK`).
+//!
+//! Both produce machine-readable [`Diagnostic`]s with stable rule ids and
+//! byte-offset locations into the source JSON. The `liger-verify` binary
+//! runs either engine from the command line:
+//!
+//! ```text
+//! liger-verify plans          # statically verify the default deployments
+//! liger-verify trace.json …   # sanitize exported Chrome traces
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diag;
+pub mod sanitizer;
+pub mod static_verifier;
+
+pub use diag::Diagnostic;
+pub use sanitizer::{sanitize, sanitize_parsed};
+pub use static_verifier::{
+    check_collective_match, check_memory_feasibility, check_shard_shapes, check_wait_cycles,
+    verify_deployment,
+};

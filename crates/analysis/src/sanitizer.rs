@@ -1,0 +1,459 @@
+//! The happens-before trace sanitizer.
+//!
+//! Reconstructs per-lane vector clocks from an exported simulator trace —
+//! a *lane* is one `(device, stream)` pair — and checks the dynamic rules:
+//!
+//! * **TS-FIFO** — within a lane, kernels start in enqueue order and their
+//!   execution intervals are serial, mirroring the hardware-queue contract
+//!   (failed kernels are exempt: a kernel enqueued to a dead device is
+//!   traced as a zero-length interval at enqueue time).
+//! * **TS-COLL-SKEW** — every non-failed member of one collective shares
+//!   the group's start and end instants (rendezvous synchrony). Failed
+//!   members of an aborted collective legitimately differ.
+//! * **TS-OVERLAP** — synchronization order is consistent with wall time:
+//!   no stream-wait resolves before its event is recorded, every resolved
+//!   wait has a record, and no sync mark resolves *inside* a kernel's
+//!   execution interval on its own lane (the lane is a serial queue; marks
+//!   pop only between kernels).
+//! * **TS-HAZARD-{RAW,WAR,WAW}** — two kernels touching the same tag on
+//!   the same device from different streams, with no happens-before edge
+//!   between them, either overlapping in wall time or racing latently (the
+//!   later one was enqueued before the earlier one finished, so no
+//!   host-side completion callback could have ordered them). Compute
+//!   kernels write their batch's activations; communication kernels read
+//!   them.
+//! * **TS-UAF / TS-DOUBLE-FREE / TS-LEAK** — frees of never-allocated or
+//!   already-freed ids, and non-resident allocations still live at trace
+//!   end (`weights` stay resident by design and are exempt).
+//!
+//! Happens-before is the union of lane program order, record→wait edges
+//! and collective rendezvous (members join clocks at their common start).
+//! Host-side orderings (`host_sync`, completion notifications driving new
+//! launches) leave no device-side marks; the hazard rules' enqueue-window
+//! guard is what keeps such host-ordered pairs out of the report.
+
+use std::collections::BTreeMap;
+
+use liger_gpu_sim::{KernelClass, ParsedChromeTrace, Trace, TraceMark};
+
+use crate::diag::Diagnostic;
+
+/// Lane key: device, stream.
+type Lane = (usize, usize);
+
+/// One point in the reconstructed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    /// Kernel start (`usize` indexes `Trace::events`).
+    Start(usize),
+    /// Kernel end.
+    End(usize),
+    /// An event record (`usize` indexes `Trace::marks`).
+    Record(usize),
+    /// A resolved stream-wait.
+    Wait(usize),
+}
+
+/// Sort tier at equal timestamps: ends fire, then records (a record pops
+/// right after the work it covers), then waits resolve on them, then new
+/// kernels start.
+fn tier(item: Item) -> u8 {
+    match item {
+        Item::End(_) => 0,
+        Item::Record(_) => 1,
+        Item::Wait(_) => 2,
+        Item::Start(_) => 3,
+    }
+}
+
+/// Vector clock: per-lane sequence counters.
+type Clock = BTreeMap<Lane, u64>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    for (&lane, &seq) in other {
+        let e = into.entry(lane).or_insert(0);
+        *e = (*e).max(seq);
+    }
+}
+
+/// Sanitizes a parsed trace, attaching source byte offsets to diagnostics.
+pub fn sanitize_parsed(parsed: &ParsedChromeTrace) -> Vec<Diagnostic> {
+    sanitize_inner(&parsed.trace, Some((&parsed.event_offsets, &parsed.mark_offsets)))
+}
+
+/// Sanitizes an in-memory trace (no byte offsets available).
+pub fn sanitize(trace: &Trace) -> Vec<Diagnostic> {
+    sanitize_inner(trace, None)
+}
+
+fn sanitize_inner(trace: &Trace, offsets: Option<(&[usize], &[usize])>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let events = trace.events();
+    let marks = trace.marks();
+    let ev_off = |i: usize| offsets.and_then(|(e, _)| e.get(i).copied());
+    let mk_off = |i: usize| offsets.and_then(|(_, m)| m.get(i).copied());
+
+    // ---- TS-FIFO ------------------------------------------------------
+    let mut lanes: BTreeMap<Lane, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if !e.failed {
+            lanes.entry((e.device.0, e.stream)).or_default().push(i);
+        }
+    }
+    for (&(d, s), evs) in &lanes {
+        let mut ordered = evs.clone();
+        ordered.sort_by_key(|&i| (events[i].enqueued_at, events[i].started_at));
+        for w in ordered.windows(2) {
+            let (a, b) = (&events[w[0]], &events[w[1]]);
+            if b.started_at < a.started_at {
+                out.push(
+                    Diagnostic::new(
+                        "TS-FIFO",
+                        format!(
+                            "kernel {:?} (enqueued {}) started before earlier-enqueued {:?}",
+                            b.name, b.enqueued_at, a.name
+                        ),
+                    )
+                    .on_device(d)
+                    .on_stream(s)
+                    .at_offset_opt(ev_off(w[1])),
+                );
+            } else if b.started_at < a.ended_at {
+                out.push(
+                    Diagnostic::new(
+                        "TS-FIFO",
+                        format!(
+                            "kernels {:?} and {:?} overlap within one stream ({}–{} vs {}–{})",
+                            a.name, b.name, a.started_at, a.ended_at, b.started_at, b.ended_at
+                        ),
+                    )
+                    .on_device(d)
+                    .on_stream(s)
+                    .at_offset_opt(ev_off(w[1])),
+                );
+            }
+        }
+    }
+
+    // ---- TS-COLL-SKEW -------------------------------------------------
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if let Some(c) = e.collective {
+            if !e.failed {
+                groups.entry(c.0).or_default().push(i);
+            }
+        }
+    }
+    for (c, members) in &groups {
+        let first = &events[members[0]];
+        for &mi in &members[1..] {
+            let m = &events[mi];
+            if m.started_at != first.started_at || m.ended_at != first.ended_at {
+                out.push(
+                    Diagnostic::new(
+                        "TS-COLL-SKEW",
+                        format!(
+                            "collective {c}: member {:?} on device {} runs {}–{} but the \
+                             group runs {}–{}",
+                            m.name,
+                            m.device.0,
+                            m.started_at,
+                            m.ended_at,
+                            first.started_at,
+                            first.ended_at
+                        ),
+                    )
+                    .on_device(m.device.0)
+                    .on_stream(m.stream)
+                    .at_offset_opt(ev_off(mi)),
+                );
+            }
+        }
+    }
+
+    // ---- TS-OVERLAP ---------------------------------------------------
+    // (a) No resolved wait precedes its record; every wait has a record.
+    let mut record_at: BTreeMap<u64, u64> = BTreeMap::new();
+    for m in marks {
+        if let TraceMark::Record { event, at, .. } = m {
+            record_at.insert(*event, at.as_nanos());
+        }
+    }
+    for (i, m) in marks.iter().enumerate() {
+        if let TraceMark::Wait { event, device, stream, at } = m {
+            match record_at.get(event) {
+                Some(&rec) if at.as_nanos() < rec => out.push(
+                    Diagnostic::new(
+                        "TS-OVERLAP",
+                        format!(
+                            "stream-wait on event {event} resolved at {at}, before the \
+                             event was recorded"
+                        ),
+                    )
+                    .on_device(device.0)
+                    .on_stream(*stream)
+                    .at_offset_opt(mk_off(i)),
+                ),
+                Some(_) => {}
+                None => out.push(
+                    Diagnostic::new(
+                        "TS-OVERLAP",
+                        format!(
+                            "stream-wait on event {event} resolved but the trace holds no \
+                             record of it"
+                        ),
+                    )
+                    .on_device(device.0)
+                    .on_stream(*stream)
+                    .at_offset_opt(mk_off(i)),
+                ),
+            }
+        }
+    }
+    // (b) A sync mark cannot resolve strictly inside a kernel's execution
+    // interval on its own lane: the lane is a serial queue, marks pop only
+    // between kernels.
+    let mut lane_intervals: BTreeMap<Lane, Vec<(u64, u64)>> = BTreeMap::new();
+    for (&lane, evs) in &lanes {
+        let mut iv: Vec<(u64, u64)> = evs
+            .iter()
+            .map(|&i| (events[i].started_at.as_nanos(), events[i].ended_at.as_nanos()))
+            .collect();
+        iv.sort_unstable();
+        lane_intervals.insert(lane, iv);
+    }
+    for (i, m) in marks.iter().enumerate() {
+        let (lane, at) = match m {
+            TraceMark::Record { device, stream, at, .. }
+            | TraceMark::Wait { device, stream, at, .. } => ((device.0, *stream), at.as_nanos()),
+            _ => continue,
+        };
+        let Some(iv) = lane_intervals.get(&lane) else { continue };
+        // Rightmost interval starting before `at`.
+        let idx = iv.partition_point(|&(start, _)| start < at);
+        if idx > 0 {
+            let (start, end) = iv[idx - 1];
+            if at < end {
+                out.push(
+                    Diagnostic::new(
+                        "TS-OVERLAP",
+                        format!(
+                            "sync mark resolved at {at} ns, inside kernel interval \
+                             {start}–{end} ns on its own stream"
+                        ),
+                    )
+                    .on_device(lane.0)
+                    .on_stream(lane.1)
+                    .at_offset_opt(mk_off(i)),
+                );
+            }
+        }
+    }
+
+    // ---- Vector clocks ------------------------------------------------
+    let mut items: Vec<(u64, Item)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if !e.failed {
+            items.push((e.started_at.as_nanos(), Item::Start(i)));
+            items.push((e.ended_at.as_nanos(), Item::End(i)));
+        }
+    }
+    for (i, m) in marks.iter().enumerate() {
+        match m {
+            TraceMark::Record { at, .. } => items.push((at.as_nanos(), Item::Record(i))),
+            TraceMark::Wait { at, .. } => items.push((at.as_nanos(), Item::Wait(i))),
+            TraceMark::Alloc { .. } | TraceMark::Free { .. } => {}
+        }
+    }
+    items.sort_by_key(|&(t, item)| {
+        let idx = match item {
+            Item::Start(i) | Item::End(i) | Item::Record(i) | Item::Wait(i) => i,
+        };
+        (t, tier(item), idx)
+    });
+
+    let mut clocks: BTreeMap<Lane, Clock> = BTreeMap::new();
+    let mut event_snapshot: BTreeMap<u64, Clock> = BTreeMap::new();
+    let mut group_clock: BTreeMap<u64, Clock> = BTreeMap::new();
+    let mut pre: Vec<Clock> = vec![Clock::new(); events.len()];
+    let mut seq_end: Vec<(Lane, u64)> = vec![((0, 0), 0); events.len()];
+
+    fn bump(clocks: &mut BTreeMap<Lane, Clock>, lane: Lane) -> u64 {
+        let c = clocks.entry(lane).or_default();
+        let s = c.entry(lane).or_insert(0);
+        *s += 1;
+        *s
+    }
+
+    for &(_, item) in &items {
+        match item {
+            Item::Record(mi) => {
+                if let TraceMark::Record { event, device, stream, .. } = &marks[mi] {
+                    let lane = (device.0, *stream);
+                    bump(&mut clocks, lane);
+                    event_snapshot.insert(*event, clocks.entry(lane).or_default().clone());
+                }
+            }
+            Item::Wait(mi) => {
+                if let TraceMark::Wait { event, device, stream, .. } = &marks[mi] {
+                    let lane = (device.0, *stream);
+                    if let Some(snap) = event_snapshot.get(event).cloned() {
+                        join(clocks.entry(lane).or_default(), &snap);
+                    }
+                }
+            }
+            Item::Start(i) => {
+                let e = &events[i];
+                let lane = (e.device.0, e.stream);
+                bump(&mut clocks, lane);
+                if let Some(c) = e.collective {
+                    // Rendezvous: members start simultaneously, so their
+                    // Start items share one timestamp and accumulate into
+                    // the group clock; every member joins what the group
+                    // has gathered so far. Trace-index tie-breaking makes
+                    // the join order deterministic; the residual asymmetry
+                    // only ever *shrinks* happens-before, which is the
+                    // safe direction for hazard detection.
+                    let g = group_clock.entry(c.0).or_default();
+                    join(g, clocks.entry(lane).or_default());
+                    *clocks.entry(lane).or_default() = g.clone();
+                }
+                pre[i] = clocks.entry(lane).or_default().clone();
+            }
+            Item::End(i) => {
+                let e = &events[i];
+                let lane = (e.device.0, e.stream);
+                let s = bump(&mut clocks, lane);
+                seq_end[i] = (lane, s);
+                if let Some(c) = e.collective {
+                    // Members end together as well: fold the end into the
+                    // group clock so cross-device successors inherit it.
+                    let snap = clocks.entry(lane).or_default().clone();
+                    join(group_clock.entry(c.0).or_default(), &snap);
+                }
+            }
+        }
+    }
+
+    // a happens-before b iff b's pre-clock has seen a's end.
+    let hb = |a: usize, b: usize| -> bool {
+        let (lane, s) = seq_end[a];
+        pre[b].get(&lane).copied().unwrap_or(0) >= s
+    };
+
+    // ---- TS-HAZARD ----------------------------------------------------
+    // Same device + same tag + different streams, no happens-before edge,
+    // and either wall-time overlap or a latent race: the later kernel was
+    // already enqueued before the earlier one finished, so only device-side
+    // synchronization (which the clocks capture) could have ordered them.
+    let mut by_tag: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if !e.failed {
+            by_tag.entry((e.device.0, e.tag)).or_default().push(i);
+        }
+    }
+    for ((device, tag), evs) in &by_tag {
+        for (xi, &a) in evs.iter().enumerate() {
+            for &b in &evs[xi + 1..] {
+                let (ea, eb) = (&events[a], &events[b]);
+                if ea.stream == eb.stream {
+                    continue;
+                }
+                // Order the pair by start time.
+                let (first, second) = if ea.started_at <= eb.started_at { (a, b) } else { (b, a) };
+                let (ef, es) = (&events[first], &events[second]);
+                let overlap = es.started_at < ef.ended_at;
+                let latent = !overlap
+                    && es.enqueued_at < ef.ended_at
+                    && !hb(first, second)
+                    && !hb(second, first);
+                if !(overlap || latent) {
+                    continue;
+                }
+                let rule = match (ef.class, es.class) {
+                    (KernelClass::Compute, KernelClass::Compute) => "TS-HAZARD-WAW",
+                    (KernelClass::Compute, KernelClass::Comm) => "TS-HAZARD-RAW",
+                    (KernelClass::Comm, KernelClass::Compute) => "TS-HAZARD-WAR",
+                    (KernelClass::Comm, KernelClass::Comm) => continue, // two readers
+                };
+                let how = if overlap { "concurrently" } else { "with no synchronization" };
+                out.push(
+                    Diagnostic::new(
+                        rule,
+                        format!(
+                            "kernels {:?} (stream {}) and {:?} (stream {}) touch tag {tag} \
+                             on device {device} {how}",
+                            ef.name, ef.stream, es.name, es.stream
+                        ),
+                    )
+                    .on_device(*device)
+                    .on_stream(es.stream)
+                    .at_offset_opt(ev_off(second)),
+                );
+            }
+        }
+    }
+
+    // ---- TS-UAF / TS-DOUBLE-FREE / TS-LEAK ----------------------------
+    struct AllocState {
+        label: String,
+        device: usize,
+        live: bool,
+        mark: usize,
+    }
+    let mut heap: BTreeMap<u64, AllocState> = BTreeMap::new();
+    for (i, m) in marks.iter().enumerate() {
+        match m {
+            TraceMark::Alloc { id, device, label, .. } => {
+                heap.insert(
+                    *id,
+                    AllocState { label: label.clone(), device: device.0, live: true, mark: i },
+                );
+            }
+            TraceMark::Free { id, device, .. } => match heap.get_mut(id) {
+                None => out.push(
+                    Diagnostic::new(
+                        "TS-UAF",
+                        format!("free of allocation {id} that was never allocated"),
+                    )
+                    .on_device(device.0)
+                    .at_offset_opt(mk_off(i)),
+                ),
+                Some(a) if !a.live => out.push(
+                    Diagnostic::new(
+                        "TS-DOUBLE-FREE",
+                        format!("allocation {id} ({:?}) freed twice", a.label),
+                    )
+                    .on_device(device.0)
+                    .at_offset_opt(mk_off(i)),
+                ),
+                Some(a) => a.live = false,
+            },
+            _ => {}
+        }
+    }
+    for (id, a) in &heap {
+        if a.live && a.label != "weights" {
+            out.push(
+                Diagnostic::new(
+                    "TS-LEAK",
+                    format!("allocation {id} ({:?}) still live at trace end", a.label),
+                )
+                .on_device(a.device)
+                .at_offset_opt(mk_off(a.mark)),
+            );
+        }
+    }
+
+    out
+}
+
+impl Diagnostic {
+    /// [`Diagnostic::at_offset`] that tolerates a missing offset.
+    fn at_offset_opt(self, offset: Option<usize>) -> Diagnostic {
+        match offset {
+            Some(o) => self.at_offset(o),
+            None => self,
+        }
+    }
+}

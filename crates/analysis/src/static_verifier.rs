@@ -1,0 +1,370 @@
+//! The static plan verifier: proves properties of a launch program and a
+//! deployment *before* anything is simulated.
+//!
+//! Four rule families:
+//!
+//! * **SV-COLLECTIVE-MATCH** — every device observes the identical sequence
+//!   of collective ops per stream, and every collective spans every device.
+//!   Mismatched sequences deadlock NCCL-style rendezvous collectives.
+//! * **SV-WAIT-CYCLE** — the event-wait graph (program order within a lane,
+//!   record→wait edges, collectives contracted to barrier nodes) is
+//!   acyclic, and no lane waits on an event that is never recorded. A cycle
+//!   is a guaranteed device-side deadlock.
+//! * **SV-SHARD-SHAPE** — the partitioning the plan assumes is consistent:
+//!   head/hidden divisibility at the deployment's tensor-parallel degree
+//!   (relaxed for degraded survivor counts), pipeline stage ranges that
+//!   cover every layer exactly once, and shape conservation under runtime
+//!   kernel decomposition.
+//! * **SV-MEM-CAP** — the weight shard plus every concurrent batch's
+//!   working set fits device memory, on the healthy topology and on every
+//!   recoverable degraded one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use liger_core::introspect::{LaunchProgram, PlanOp};
+use liger_core::LigerConfig;
+use liger_gpu_sim::DeviceSpec;
+use liger_model::{equal_split, model_ops, BatchShape, LayerOp, ModelConfig};
+use liger_parallelism::launch::batch_working_set_bytes;
+use liger_parallelism::{check_divisibility, check_divisibility_relaxed, stage_ranges_uneven};
+
+use crate::diag::Diagnostic;
+
+/// Checks that every device issues the identical collective sequence per
+/// stream and that every collective spans every participating device.
+pub fn check_collective_match(prog: &LaunchProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let devices: BTreeSet<usize> = prog.lanes.keys().map(|&(d, _)| d).collect();
+    let streams: BTreeSet<usize> = prog.lanes.keys().map(|&(_, s)| s).collect();
+
+    // Membership: a collective must appear on every device, on one stream.
+    let mut members: BTreeMap<u64, Vec<(usize, usize)>> = BTreeMap::new();
+    for (&(d, s), ops) in &prog.lanes {
+        for op in ops {
+            if let PlanOp::Kernel { collective: Some(c), .. } = op {
+                members.entry(*c).or_default().push((d, s));
+            }
+        }
+    }
+    for (c, lanes) in &members {
+        let on: BTreeSet<usize> = lanes.iter().map(|&(d, _)| d).collect();
+        if on != devices {
+            let missing: Vec<String> = devices.difference(&on).map(|d| d.to_string()).collect();
+            out.push(Diagnostic::new(
+                "SV-COLLECTIVE-MATCH",
+                format!(
+                    "collective {c} is missing on device(s) {}: rendezvous can never complete",
+                    missing.join(", ")
+                ),
+            ));
+        }
+        let s0: BTreeSet<usize> = lanes.iter().map(|&(_, s)| s).collect();
+        if s0.len() > 1 {
+            out.push(Diagnostic::new(
+                "SV-COLLECTIVE-MATCH",
+                format!("collective {c} is issued on different streams across devices"),
+            ));
+        }
+    }
+
+    // Ordering: per stream, every device's collective-id sequence must
+    // match the first device's.
+    for &s in &streams {
+        let mut reference: Option<(usize, Vec<u64>)> = None;
+        for &d in &devices {
+            let seq: Vec<u64> = prog
+                .lane(d, s)
+                .iter()
+                .filter_map(|op| match op {
+                    PlanOp::Kernel { collective, .. } => *collective,
+                    _ => None,
+                })
+                .collect();
+            match &reference {
+                None => reference = Some((d, seq)),
+                Some((d0, ref_seq)) => {
+                    if &seq != ref_seq {
+                        out.push(
+                            Diagnostic::new(
+                                "SV-COLLECTIVE-MATCH",
+                                format!(
+                                    "stream {s}: device {d} issues collectives in a different \
+                                     order than device {d0} ({seq:?} vs {ref_seq:?})"
+                                ),
+                            )
+                            .on_device(d)
+                            .on_stream(s),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the event-wait graph for cycles and unsatisfiable waits.
+pub fn check_wait_cycles(prog: &LaunchProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Node = (lane index, op index); collectives are contracted: every
+    // member op maps to one shared barrier node.
+    let lanes: Vec<(&(usize, usize), &Vec<PlanOp>)> = prog.lanes.iter().collect();
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new(); // (lane, op) -> node
+    let mut barrier_of: BTreeMap<u64, usize> = BTreeMap::new(); // collective -> node
+    let mut recorded_by: BTreeMap<u64, usize> = BTreeMap::new(); // event -> node
+    let mut n_nodes = 0usize;
+
+    for (li, (_, ops)) in lanes.iter().enumerate() {
+        for (oi, op) in ops.iter().enumerate() {
+            let node = match op {
+                PlanOp::Kernel { collective: Some(c), .. } => {
+                    *barrier_of.entry(*c).or_insert_with(|| {
+                        let n = n_nodes;
+                        n_nodes += 1;
+                        n
+                    })
+                }
+                _ => {
+                    let n = n_nodes;
+                    n_nodes += 1;
+                    n
+                }
+            };
+            node_of.insert((li, oi), node);
+            if let PlanOp::Record { event } = op {
+                recorded_by.insert(*event, node);
+            }
+        }
+    }
+
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    let mut indegree: Vec<usize> = vec![0; n_nodes];
+    let edge = |succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
+        if a != b {
+            succs[a].push(b);
+            indegree[b] += 1;
+        }
+    };
+
+    for (li, ((d, s), ops)) in lanes.iter().enumerate() {
+        for oi in 1..ops.len() {
+            edge(&mut succs, &mut indegree, node_of[&(li, oi - 1)], node_of[&(li, oi)]);
+        }
+        for (oi, op) in ops.iter().enumerate() {
+            if let PlanOp::Wait { event } = op {
+                match recorded_by.get(event) {
+                    Some(&rec) => {
+                        edge(&mut succs, &mut indegree, rec, node_of[&(li, oi)]);
+                    }
+                    None => out.push(
+                        Diagnostic::new(
+                            "SV-WAIT-CYCLE",
+                            format!(
+                                "lane waits on event {event} that no lane ever records: \
+                                 the stream stalls forever"
+                            ),
+                        )
+                        .on_device(*d)
+                        .on_stream(*s),
+                    ),
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm: any node left unprocessed sits on a cycle.
+    let mut queue: Vec<usize> = (0..n_nodes).filter(|&n| indegree[n] == 0).collect();
+    let mut done = 0usize;
+    while let Some(n) = queue.pop() {
+        done += 1;
+        for &m in &succs[n] {
+            indegree[m] -= 1;
+            if indegree[m] == 0 {
+                queue.push(m);
+            }
+        }
+    }
+    if done < n_nodes {
+        // Name the stuck lanes for the report.
+        let stuck: BTreeSet<(usize, usize)> = node_of
+            .iter()
+            .filter(|(_, node)| indegree[**node] > 0)
+            .map(|(&(li, _), _)| *lanes[li].0)
+            .collect();
+        let lanes_desc: Vec<String> = stuck.iter().map(|(d, s)| format!("({d},{s})")).collect();
+        out.push(Diagnostic::new(
+            "SV-WAIT-CYCLE",
+            format!(
+                "event-wait graph has a cycle through {} op(s) on lane(s) {}: \
+                 guaranteed deadlock",
+                n_nodes - done,
+                lanes_desc.join(" ")
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks shard/shape consistency of a deployment: divisibility at the
+/// tensor-parallel degree (strict when healthy; relaxed for every survivor
+/// count within the `max_losses` fault budget, which the engine's
+/// `on_device_loss` would otherwise only discover by panicking), pipeline
+/// stage coverage, and shape conservation under runtime decomposition at
+/// the configured division factor.
+pub fn check_shard_shapes(
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    world: u32,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = check_divisibility(cfg, world) {
+        out.push(Diagnostic::new("SV-SHARD-SHAPE", format!("tp={world}: {e}")));
+    }
+    for survivors in world.saturating_sub(max_losses).max(1)..world {
+        if let Err(e) = check_divisibility_relaxed(cfg, survivors) {
+            out.push(Diagnostic::new(
+                "SV-SHARD-SHAPE",
+                format!("degraded tp={survivors}: {e} — recovery would be refused"),
+            ));
+        }
+    }
+
+    // Pipeline staging (the Inter baseline and recovery replanning): the
+    // stage ranges must tile [0, layers) exactly.
+    for stages in 1..=world {
+        let ranges = stage_ranges_uneven(cfg.layers, stages);
+        let mut next = 0u32;
+        for &(lo, hi) in &ranges {
+            if lo != next || hi <= lo {
+                out.push(Diagnostic::new(
+                    "SV-SHARD-SHAPE",
+                    format!(
+                        "stage_ranges({}, {stages}) does not tile the layers: got {ranges:?}",
+                        cfg.layers
+                    ),
+                ));
+                next = hi;
+                break;
+            }
+            next = hi;
+        }
+        if next != cfg.layers {
+            out.push(Diagnostic::new(
+                "SV-SHARD-SHAPE",
+                format!(
+                    "stage_ranges({}, {stages}) covers {next} of {} layers",
+                    cfg.layers, cfg.layers
+                ),
+            ));
+        }
+    }
+
+    // Runtime decomposition conserves shapes: the pieces of every
+    // decomposable kernel in the assembled program must sum back to the
+    // whole along the split axis.
+    let shape = BatchShape::prefill(1, 16);
+    for placed in model_ops(cfg, shape, world) {
+        let pieces = equal_split(&placed.op, lc.division_factor);
+        if pieces.len() <= 1 {
+            continue;
+        }
+        let conserved = match placed.op {
+            LayerOp::Gemm { m, k, n, .. } => {
+                let sum: u64 = pieces
+                    .iter()
+                    .map(|p| match *p {
+                        LayerOp::Gemm { n: pn, m: pm, k: pk, .. } if pm == m && pk == k => pn,
+                        _ => 0,
+                    })
+                    .sum();
+                sum == n
+            }
+            LayerOp::AllReduce { bytes, ranks } => {
+                let sum: u64 = pieces
+                    .iter()
+                    .map(|p| match *p {
+                        LayerOp::AllReduce { bytes: pb, ranks: pr } if pr == ranks => pb,
+                        _ => 0,
+                    })
+                    .sum();
+                sum == bytes
+            }
+            _ => true,
+        };
+        if !conserved {
+            out.push(Diagnostic::new(
+                "SV-SHARD-SHAPE",
+                format!(
+                    "decomposition at F={} does not conserve {:?}: pieces {:?}",
+                    lc.division_factor, placed.op, pieces
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks peak-memory feasibility: weight shard plus `processing_slots`
+/// concurrent working sets against the device capacity, for the healthy
+/// world and for every degraded survivor count within the deployment's
+/// fault budget (`max_losses` permanent device losses) that recovery would
+/// accept. The engine's `on_device_loss` checks only divisibility before
+/// replanning — a survivor count that passes divisibility but not memory
+/// would panic at the re-allocation, which is exactly what this rule
+/// catches ahead of time.
+pub fn check_memory_feasibility(
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    spec: &DeviceSpec,
+    world: u32,
+    shape: BatchShape,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut check = |ways: u32, label: &str| {
+        let weights = cfg.weight_bytes() / ways as u64;
+        let working = batch_working_set_bytes(cfg, shape, ways);
+        let peak = weights + lc.processing_slots as u64 * working;
+        if peak > spec.mem_capacity {
+            out.push(Diagnostic::new(
+                "SV-MEM-CAP",
+                format!(
+                    "{label}: weight shard {weights} B + {} working sets of {working} B = \
+                     {peak} B exceeds {} capacity {} B",
+                    lc.processing_slots, spec.name, spec.mem_capacity
+                ),
+            ));
+        }
+    };
+    check(world, &format!("healthy tp={world}"));
+    for survivors in world.saturating_sub(max_losses)..world {
+        // Only survivor counts recovery would actually replan onto.
+        if survivors >= 1 && check_divisibility_relaxed(cfg, survivors).is_ok() {
+            check(survivors, &format!("degraded tp={survivors}"));
+        }
+    }
+    out
+}
+
+/// Runs every static rule over one deployment: the launch program predicted
+/// for `plans`, plus the shard and memory checks for the configuration.
+/// `max_losses` is the fault budget passed to
+/// [`check_memory_feasibility`]; the single-permanent-loss scenario the
+/// fault-injection tier exercises corresponds to `1`.
+pub fn verify_deployment(
+    prog: &LaunchProgram,
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    spec: &DeviceSpec,
+    world: u32,
+    shape: BatchShape,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = check_collective_match(prog);
+    out.extend(check_wait_cycles(prog));
+    out.extend(check_shard_shapes(cfg, lc, world, max_losses));
+    out.extend(check_memory_feasibility(cfg, lc, spec, world, shape, max_losses));
+    out
+}

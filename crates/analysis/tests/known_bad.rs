@@ -1,0 +1,231 @@
+//! Known-bad fixtures: each constructs one specific defect — a cyclic
+//! event wait, a skewed collective, a double-free, and friends — and
+//! asserts that exactly the expected rule id fires. These lock the rule
+//! catalogue: a verifier change that stops catching any of these defects
+//! (or starts misfiling it under another rule) fails here.
+
+use liger_core::introspect::{LaunchProgram, PlanOp};
+use liger_gpu_sim::prelude::*;
+use liger_verify::{check_collective_match, check_wait_cycles, sanitize};
+
+fn rules(diags: &[liger_verify::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn kernel(
+    idx: u64,
+    tag: u64,
+    device: usize,
+    stream: usize,
+    class: KernelClass,
+    enq_us: u64,
+    start_us: u64,
+    end_us: u64,
+) -> TraceEvent {
+    TraceEvent {
+        kernel: KernelId(idx),
+        name: format!("k{idx}").into(),
+        class,
+        tag,
+        device: DeviceId(device),
+        stream,
+        enqueued_at: SimTime::from_micros(enq_us),
+        started_at: SimTime::from_micros(start_us),
+        ended_at: SimTime::from_micros(end_us),
+        failed: false,
+        collective: None,
+    }
+}
+
+// ---------------------------------------------------------------- static
+
+#[test]
+fn cyclic_event_wait_fires_sv_wait_cycle() {
+    // Lane A waits on e2 before recording e1; lane B waits on e1 before
+    // recording e2. Neither wait can ever be satisfied.
+    let mut prog = LaunchProgram::default();
+    prog.lanes.insert((0, 0), vec![PlanOp::Wait { event: 2 }, PlanOp::Record { event: 1 }]);
+    prog.lanes.insert((1, 0), vec![PlanOp::Wait { event: 1 }, PlanOp::Record { event: 2 }]);
+    let diags = check_wait_cycles(&prog);
+    assert_eq!(rules(&diags), vec!["SV-WAIT-CYCLE"], "{diags:?}");
+    assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+}
+
+#[test]
+fn wait_on_unrecorded_event_fires_sv_wait_cycle() {
+    let mut prog = LaunchProgram::default();
+    prog.lanes.insert((0, 1), vec![PlanOp::Wait { event: 7 }]);
+    let diags = check_wait_cycles(&prog);
+    assert_eq!(rules(&diags), vec!["SV-WAIT-CYCLE"], "{diags:?}");
+    assert!(diags[0].message.contains("no lane ever records"), "{}", diags[0].message);
+    assert_eq!(diags[0].device, Some(0));
+    assert_eq!(diags[0].stream, Some(1));
+}
+
+#[test]
+fn mismatched_collective_order_fires_sv_collective_match() {
+    // Device 0 issues collectives (1, 2); device 1 issues (2, 1): the
+    // classic cross-rank reordering that deadlocks NCCL.
+    let k = |c: u64| PlanOp::Kernel { batch: 0, class: KernelClass::Comm, collective: Some(c) };
+    let mut prog = LaunchProgram::default();
+    prog.lanes.insert((0, 0), vec![k(1), k(2)]);
+    prog.lanes.insert((1, 0), vec![k(2), k(1)]);
+    let diags = check_collective_match(&prog);
+    assert_eq!(rules(&diags), vec!["SV-COLLECTIVE-MATCH"], "{diags:?}");
+    // The contracted wait graph catches the same defect as a deadlock.
+    assert_eq!(rules(&check_wait_cycles(&prog)), vec!["SV-WAIT-CYCLE"]);
+}
+
+#[test]
+fn missing_collective_member_fires_sv_collective_match() {
+    let k = |c: u64| PlanOp::Kernel { batch: 0, class: KernelClass::Comm, collective: Some(c) };
+    let plain = PlanOp::Kernel { batch: 0, class: KernelClass::Compute, collective: None };
+    let mut prog = LaunchProgram::default();
+    prog.lanes.insert((0, 0), vec![k(5)]);
+    prog.lanes.insert((1, 0), vec![plain]);
+    let diags = check_collective_match(&prog);
+    assert!(
+        rules(&diags).contains(&"SV-COLLECTIVE-MATCH"),
+        "missing member must be reported: {diags:?}"
+    );
+    assert!(diags.iter().any(|d| d.message.contains("missing on device")), "{diags:?}");
+}
+
+// --------------------------------------------------------------- dynamic
+
+#[test]
+fn skewed_collective_fires_ts_coll_skew() {
+    let mut trace = Trace::new();
+    let mut a = kernel(0, 9, 0, 1, KernelClass::Comm, 0, 10, 30);
+    let mut b = kernel(1, 9, 1, 1, KernelClass::Comm, 0, 12, 30); // starts late
+    a.collective = Some(CollectiveId(4));
+    b.collective = Some(CollectiveId(4));
+    trace.push(a);
+    trace.push(b);
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-COLL-SKEW"], "{diags:?}");
+    assert_eq!(diags[0].device, Some(1));
+}
+
+#[test]
+fn double_free_fires_ts_double_free() {
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Alloc {
+        id: 3,
+        device: DeviceId(0),
+        bytes: 1 << 20,
+        label: "batch working set".into(),
+        at: SimTime::from_micros(1),
+    });
+    trace.push_mark(TraceMark::Free { id: 3, device: DeviceId(0), at: SimTime::from_micros(2) });
+    trace.push_mark(TraceMark::Free { id: 3, device: DeviceId(0), at: SimTime::from_micros(3) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-DOUBLE-FREE"], "{diags:?}");
+}
+
+#[test]
+fn free_without_alloc_fires_ts_uaf() {
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Free { id: 8, device: DeviceId(2), at: SimTime::from_micros(5) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-UAF"], "{diags:?}");
+    assert_eq!(diags[0].device, Some(2));
+}
+
+#[test]
+fn live_working_set_at_end_fires_ts_leak_but_weights_are_exempt() {
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Alloc {
+        id: 0,
+        device: DeviceId(0),
+        bytes: 1 << 30,
+        label: "weights".into(),
+        at: SimTime::from_micros(1),
+    });
+    trace.push_mark(TraceMark::Alloc {
+        id: 1,
+        device: DeviceId(0),
+        bytes: 1 << 20,
+        label: "batch working set".into(),
+        at: SimTime::from_micros(2),
+    });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-LEAK"], "{diags:?}");
+    assert!(diags[0].message.contains("batch working set"), "{}", diags[0].message);
+}
+
+#[test]
+fn same_stream_overlap_fires_ts_fifo() {
+    let mut trace = Trace::new();
+    trace.push(kernel(0, 1, 0, 0, KernelClass::Compute, 0, 0, 20));
+    trace.push(kernel(1, 1, 0, 0, KernelClass::Compute, 1, 10, 30)); // starts mid-k0
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-FIFO"], "{diags:?}");
+}
+
+#[test]
+fn concurrent_same_tag_compute_and_comm_fires_ts_hazard_raw() {
+    // Stream 0 computes batch 7's activations while stream 1 all-reduces
+    // them, with no synchronization: a read of a buffer mid-write.
+    let mut trace = Trace::new();
+    trace.push(kernel(0, 7, 0, 0, KernelClass::Compute, 0, 0, 20));
+    trace.push(kernel(1, 7, 0, 1, KernelClass::Comm, 0, 5, 25));
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-HAZARD-RAW"], "{diags:?}");
+}
+
+#[test]
+fn wait_before_record_fires_ts_overlap() {
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Wait {
+        event: 1,
+        device: DeviceId(0),
+        stream: 1,
+        at: SimTime::from_micros(2),
+    });
+    trace.push_mark(TraceMark::Record {
+        event: 1,
+        device: DeviceId(0),
+        stream: 0,
+        at: SimTime::from_micros(9),
+    });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-OVERLAP"], "{diags:?}");
+    assert!(diags[0].message.contains("before the event was recorded"), "{}", diags[0].message);
+}
+
+#[test]
+fn clean_synchronized_trace_reports_nothing() {
+    // Stream 0 computes, records an event; stream 1 waits on it and then
+    // all-reduces the same tag strictly afterwards: fully synchronized.
+    let mut trace = Trace::new();
+    trace.push(kernel(0, 7, 0, 0, KernelClass::Compute, 0, 0, 20));
+    trace.push_mark(TraceMark::Record {
+        event: 1,
+        device: DeviceId(0),
+        stream: 0,
+        at: SimTime::from_micros(20),
+    });
+    trace.push_mark(TraceMark::Wait {
+        event: 1,
+        device: DeviceId(0),
+        stream: 1,
+        at: SimTime::from_micros(20),
+    });
+    trace.push(kernel(1, 7, 0, 1, KernelClass::Comm, 0, 20, 40));
+    assert_eq!(sanitize(&trace), vec![]);
+}
+
+#[test]
+fn unsynchronized_gap_still_fires_latent_hazard() {
+    // The kernels happen not to overlap, but the comm kernel was enqueued
+    // before the compute finished and no device-side edge orders them:
+    // the schedule got lucky, the race is real.
+    let mut trace = Trace::new();
+    trace.push(kernel(0, 7, 0, 0, KernelClass::Compute, 0, 0, 20));
+    trace.push(kernel(1, 7, 0, 1, KernelClass::Comm, 5, 21, 40));
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-HAZARD-RAW"], "{diags:?}");
+    assert!(diags[0].message.contains("no synchronization"), "{}", diags[0].message);
+}

@@ -101,6 +101,18 @@ fn tree_time(
     latency + SimDuration::from_secs_f64(transfer)
 }
 
+/// Algorithms serialize as lowercase tags.
+impl liger_gpu_sim::ToJson for CollectiveAlgorithm {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            CollectiveAlgorithm::Ring => "ring",
+            CollectiveAlgorithm::Tree => "tree",
+            CollectiveAlgorithm::Auto => "auto",
+        };
+        tag.write_json(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,17 +268,5 @@ mod tests {
             auto_choice(CollectiveKind::AllReduce, whole / 16, 16, &topo, &nccl),
             CollectiveAlgorithm::Tree
         );
-    }
-}
-
-/// Algorithms serialize as lowercase tags.
-impl liger_gpu_sim::ToJson for CollectiveAlgorithm {
-    fn write_json(&self, out: &mut String) {
-        let tag = match self {
-            CollectiveAlgorithm::Ring => "ring",
-            CollectiveAlgorithm::Tree => "tree",
-            CollectiveAlgorithm::Auto => "auto",
-        };
-        tag.write_json(out);
     }
 }

@@ -103,6 +103,19 @@ pub fn decomposed_total_time(
     chunk_time(kind, bytes, parts, n, topo, nccl) * parts.max(1) as u64
 }
 
+/// Collective kinds serialize as snake_case tags.
+impl liger_gpu_sim::ToJson for CollectiveKind {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::SendRecv => "send_recv",
+        };
+        tag.write_json(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,18 +213,5 @@ mod tests {
         for parts in 1u32..=16 {
             assert!(bytes.div_ceil(parts as u64) * parts as u64 >= bytes);
         }
-    }
-}
-
-/// Collective kinds serialize as snake_case tags.
-impl liger_gpu_sim::ToJson for CollectiveKind {
-    fn write_json(&self, out: &mut String) {
-        let tag = match self {
-            CollectiveKind::AllReduce => "all_reduce",
-            CollectiveKind::ReduceScatter => "reduce_scatter",
-            CollectiveKind::AllGather => "all_gather",
-            CollectiveKind::SendRecv => "send_recv",
-        };
-        tag.write_json(out);
     }
 }

@@ -72,6 +72,16 @@ impl NcclConfig {
     }
 }
 
+impl liger_gpu_sim::ToJson for NcclConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("channels", &self.channels)
+            .field("threads_per_channel", &self.threads_per_channel)
+            .field("per_channel_bw_fraction", &self.per_channel_bw_fraction);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,15 +122,5 @@ mod tests {
             .validate()
             .is_err());
         assert_eq!(NcclConfig::default().with_channels(0).channels, 1);
-    }
-}
-
-impl liger_gpu_sim::ToJson for NcclConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("channels", &self.channels)
-            .field("threads_per_channel", &self.threads_per_channel)
-            .field("per_channel_bw_fraction", &self.per_channel_bw_fraction);
-        obj.end();
     }
 }

@@ -101,6 +101,27 @@ impl Topology {
     }
 }
 
+impl liger_gpu_sim::ToJson for InterconnectKind {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            InterconnectKind::NvLink => "nvlink",
+            InterconnectKind::PciE => "pcie",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for Topology {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("kind", &self.kind)
+            .field("allreduce_bus_bw", &self.allreduce_bus_bw)
+            .field("p2p_bw", &self.p2p_bw)
+            .field("base_latency", &self.base_latency);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,26 +171,5 @@ mod tests {
         let mut t = Topology::test_topology();
         t.p2p_bw = f64::NAN;
         assert!(t.validate().is_err());
-    }
-}
-
-impl liger_gpu_sim::ToJson for InterconnectKind {
-    fn write_json(&self, out: &mut String) {
-        let tag = match self {
-            InterconnectKind::NvLink => "nvlink",
-            InterconnectKind::PciE => "pcie",
-        };
-        tag.write_json(out);
-    }
-}
-
-impl liger_gpu_sim::ToJson for Topology {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("kind", &self.kind)
-            .field("allreduce_bus_bw", &self.allreduce_bus_bw)
-            .field("p2p_bw", &self.p2p_bw)
-            .field("base_latency", &self.base_latency);
-        obj.end();
     }
 }

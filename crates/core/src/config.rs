@@ -102,6 +102,31 @@ impl LigerConfig {
     }
 }
 
+/// Sync modes serialize as snake_case tags.
+impl liger_gpu_sim::ToJson for SyncMode {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            SyncMode::Hybrid => "hybrid",
+            SyncMode::CpuGpu => "cpu_gpu",
+            SyncMode::InterStream => "inter_stream",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for LigerConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("sync_mode", &self.sync_mode)
+            .field("contention_factor", &self.contention_factor)
+            .field("division_factor", &self.division_factor)
+            .field("processing_slots", &self.processing_slots)
+            .field("enable_decomposition", &self.enable_decomposition)
+            .field("adaptive_factor", &self.adaptive_factor);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,30 +160,5 @@ mod tests {
         assert!((c.contention_factor - 1.1).abs() < 1e-12);
         assert_eq!(c.division_factor, 16);
         assert_eq!(LigerConfig::default().with_division_factor(0).division_factor, 1);
-    }
-}
-
-/// Sync modes serialize as snake_case tags.
-impl liger_gpu_sim::ToJson for SyncMode {
-    fn write_json(&self, out: &mut String) {
-        let tag = match self {
-            SyncMode::Hybrid => "hybrid",
-            SyncMode::CpuGpu => "cpu_gpu",
-            SyncMode::InterStream => "inter_stream",
-        };
-        tag.write_json(out);
-    }
-}
-
-impl liger_gpu_sim::ToJson for LigerConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("sync_mode", &self.sync_mode)
-            .field("contention_factor", &self.contention_factor)
-            .field("division_factor", &self.division_factor)
-            .field("processing_slots", &self.processing_slots)
-            .field("enable_decomposition", &self.enable_decomposition)
-            .field("adaptive_factor", &self.adaptive_factor);
-        obj.end();
     }
 }

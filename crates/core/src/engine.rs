@@ -206,7 +206,10 @@ impl LigerEngine {
             _ => unreachable!("not an observation kind"),
         }
         if obs.primary_end.is_some() && obs.secondary_end.is_some() {
-            let obs = self.observations.remove(&round).unwrap();
+            let obs = self
+                .observations
+                .remove(&round)
+                .expect("observation entry exists: it was populated just above");
             self.adapt_factor(obs);
         }
     }

@@ -25,6 +25,9 @@
 //!   CPU-GPU / inter-stream synchronization approaches (§3.4);
 //! * [`config`] — tunables (contention factor, division factor, processing
 //!   list size, sync mode).
+//!
+//! [`introspect`] additionally replays the engine's launch sequence as
+//! data, feeding the static plan verifier in `liger-verify`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,9 +35,11 @@
 pub mod config;
 pub mod engine;
 pub mod funcvec;
+pub mod introspect;
 pub mod scheduler;
 
 pub use config::{LigerConfig, SyncMode};
 pub use engine::LigerEngine;
 pub use funcvec::FuncVec;
+pub use introspect::{LaunchProgram, PlanOp};
 pub use scheduler::{plan_round, LaunchItem, PlanParams, RoundPlan};

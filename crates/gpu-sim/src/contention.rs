@@ -160,6 +160,19 @@ impl ContentionParams {
     }
 }
 
+impl crate::json::ToJson for ContentionParams {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("compute_vs_comm", &self.compute_vs_comm)
+            .field("comm_vs_compute", &self.comm_vs_compute)
+            .field("compute_self_penalty", &self.compute_self_penalty)
+            .field("comm_self_penalty", &self.comm_self_penalty)
+            .field("reference_channels", &self.reference_channels)
+            .field("channel_sensitivity", &self.channel_sensitivity);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,18 +251,5 @@ mod tests {
         let params = p();
         let two = params.slowdown(KernelClass::Comm, 0, 2, 4);
         assert!((two - 2.0 * params.comm_self_penalty).abs() < 1e-12);
-    }
-}
-
-impl crate::json::ToJson for ContentionParams {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = crate::json::JsonObject::begin(out);
-        obj.field("compute_vs_comm", &self.compute_vs_comm)
-            .field("comm_vs_compute", &self.comm_vs_compute)
-            .field("compute_self_penalty", &self.compute_self_penalty)
-            .field("comm_self_penalty", &self.comm_self_penalty)
-            .field("reference_channels", &self.reference_channels)
-            .field("channel_sensitivity", &self.channel_sensitivity);
-        obj.end();
     }
 }

@@ -120,6 +120,20 @@ impl DeviceSpec {
     }
 }
 
+impl crate::json::ToJson for DeviceSpec {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("name", &self.name)
+            .field("sm_count", &self.sm_count)
+            .field("peak_flops_fp16", &self.peak_flops_fp16)
+            .field("mem_bw", &self.mem_bw)
+            .field("mem_capacity", &self.mem_capacity)
+            .field("connections", &self.connections)
+            .field("contention", &self.contention);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,19 +182,5 @@ mod tests {
         let mut d = DeviceSpec::test_device();
         d.connections = 0;
         assert!(d.validate().is_err());
-    }
-}
-
-impl crate::json::ToJson for DeviceSpec {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = crate::json::JsonObject::begin(out);
-        obj.field("name", &self.name)
-            .field("sm_count", &self.sm_count)
-            .field("peak_flops_fp16", &self.peak_flops_fp16)
-            .field("mem_bw", &self.mem_bw)
-            .field("mem_capacity", &self.mem_capacity)
-            .field("connections", &self.connections)
-            .field("contention", &self.contention);
-        obj.end();
     }
 }

@@ -68,6 +68,17 @@ impl HostSpec {
     }
 }
 
+impl crate::json::ToJson for HostSpec {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("launch_overhead", &self.launch_overhead)
+            .field("event_overhead", &self.event_overhead)
+            .field("sync_latency", &self.sync_latency)
+            .field("wake_jitter", &self.wake_jitter);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,16 +110,5 @@ mod tests {
         assert!(h.event_overhead.is_zero());
         assert!(h.sync_latency.is_zero());
         assert!(h.wake_jitter.is_zero());
-    }
-}
-
-impl crate::json::ToJson for HostSpec {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = crate::json::JsonObject::begin(out);
-        obj.field("launch_overhead", &self.launch_overhead)
-            .field("event_overhead", &self.event_overhead)
-            .field("sync_latency", &self.sync_latency)
-            .field("wake_jitter", &self.wake_jitter);
-        obj.end();
     }
 }

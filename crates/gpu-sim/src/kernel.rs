@@ -119,6 +119,13 @@ impl KernelSpec {
     }
 }
 
+/// Kernel classes serialize as their trace labels (`"compute"` / `"comm"`).
+impl crate::json::ToJson for KernelClass {
+    fn write_json(&self, out: &mut String) {
+        self.label().write_json(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,12 +165,5 @@ mod tests {
     fn zero_blocks_is_clamped() {
         let k = KernelSpec::comm("ar", SimDuration::from_nanos(10)).with_blocks(0);
         assert_eq!(k.blocks, 1);
-    }
-}
-
-/// Kernel classes serialize as their trace labels (`"compute"` / `"comm"`).
-impl crate::json::ToJson for KernelClass {
-    fn write_json(&self, out: &mut String) {
-        self.label().write_json(out);
     }
 }

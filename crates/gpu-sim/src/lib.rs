@@ -72,14 +72,14 @@ pub use device::DeviceSpec;
 pub use faults::{DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError};
 pub use host::HostSpec;
 pub use ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
-pub use json::ToJson;
+pub use json::{JsonError, JsonParser, JsonValue, ToJson};
 pub use kernel::{KernelClass, KernelSpec};
 pub use memory::{AllocationId, MemoryTracker, OutOfMemory};
 pub use rng::Rng;
 pub use sim::{Driver, Simulation, SimulationBuilder, Wake};
 pub use stats::{DeviceStats, Summary};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError};
 
 /// Glob-import convenience.
 pub mod prelude {
@@ -90,12 +90,12 @@ pub mod prelude {
     };
     pub use crate::host::HostSpec;
     pub use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
-    pub use crate::json::ToJson;
+    pub use crate::json::{JsonError, JsonParser, JsonValue, ToJson};
     pub use crate::kernel::{KernelClass, KernelSpec};
     pub use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
     pub use crate::rng::Rng;
     pub use crate::sim::{Driver, Simulation, SimulationBuilder, Wake};
     pub use crate::stats::{DeviceStats, Summary};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{Trace, TraceEvent};
+    pub use crate::trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError};
 }

@@ -124,6 +124,18 @@ impl MemoryTracker {
             .map(|a| (a.label, a.bytes))
             .collect()
     }
+
+    /// Device, size, label and liveness of an allocation, if `id` was ever
+    /// handed out by this tracker.
+    pub fn info(&self, id: AllocationId) -> Option<(DeviceId, u64, &'static str, bool)> {
+        self.allocations.get(id.0 as usize).map(|a| (DeviceId(a.device), a.bytes, a.label, a.live))
+    }
+}
+
+impl crate::json::ToJson for AllocationId {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
 }
 
 #[cfg(test)]
@@ -197,10 +209,14 @@ mod tests {
         let mut t = tracker();
         let _ = t.alloc(DeviceId(7), 1, "x");
     }
-}
 
-impl crate::json::ToJson for AllocationId {
-    fn write_json(&self, out: &mut String) {
-        self.0.write_json(out);
+    #[test]
+    fn info_reports_device_and_liveness() {
+        let mut t = tracker();
+        let a = t.alloc(DeviceId(1), 64, "kv").unwrap();
+        assert_eq!(t.info(a), Some((DeviceId(1), 64, "kv", true)));
+        t.free(a);
+        assert_eq!(t.info(a), Some((DeviceId(1), 64, "kv", false)));
+        assert_eq!(t.info(AllocationId(99)), None);
     }
 }

@@ -45,7 +45,7 @@ use crate::kernel::{KernelClass, KernelSpec};
 use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
 use crate::stats::DeviceStats;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEvent, TraceMark};
 
 /// Reasons the simulation wakes the driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -609,11 +609,26 @@ impl Simulation {
         bytes: u64,
         label: &'static str,
     ) -> Result<AllocationId, OutOfMemory> {
-        self.memory.alloc(device, bytes, label)
+        let id = self.memory.alloc(device, bytes, label)?;
+        if let Some(trace) = &mut self.trace {
+            trace.push_mark(TraceMark::Alloc {
+                id: id.0,
+                device,
+                bytes,
+                label: label.to_string(),
+                at: self.now,
+            });
+        }
+        Ok(id)
     }
 
     /// Frees a device-memory allocation (idempotent).
     pub fn free_memory(&mut self, id: AllocationId) {
+        if let Some((device, ..)) = self.memory.info(id) {
+            if let Some(trace) = &mut self.trace {
+                trace.push_mark(TraceMark::Free { id: id.0, device, at: self.now });
+            }
+        }
         self.memory.free(id);
     }
 
@@ -1091,6 +1106,7 @@ impl Simulation {
                         started_at: self.now,
                         ended_at: self.now,
                         failed: true,
+                        collective: spec.collective,
                     });
                 }
             }
@@ -1113,16 +1129,33 @@ impl Simulation {
                 return; // head already in flight
             }
             let Some(front) = self.devices[d].queues[q].ops.front() else { return };
+            let stream = front.stream;
             match &front.op {
                 StreamOp::Record(ev) => {
                     let ev = *ev;
                     self.devices[d].queues[q].ops.pop_front();
+                    if let Some(trace) = &mut self.trace {
+                        trace.push_mark(TraceMark::Record {
+                            event: ev.0,
+                            device: DeviceId(d),
+                            stream,
+                            at: self.now,
+                        });
+                    }
                     self.trigger_event(ev);
                 }
                 StreamOp::Wait(ev) => {
                     let ev = *ev;
                     if self.events[ev.0 as usize].fired_at.is_some() {
                         self.devices[d].queues[q].ops.pop_front();
+                        if let Some(trace) = &mut self.trace {
+                            trace.push_mark(TraceMark::Wait {
+                                event: ev.0,
+                                device: DeviceId(d),
+                                stream,
+                                at: self.now,
+                            });
+                        }
                     } else {
                         self.devices[d].queues[q].head = HeadState::WaitingEvent;
                         self.events[ev.0 as usize].queue_waiters.push((d, q));
@@ -1219,8 +1252,12 @@ impl Simulation {
                     });
                     dev.run.len() - 1
                 });
-                let StreamOp::Kernel(spec, kid) = &dev.queues[q].ops.front().unwrap().op else {
-                    unreachable!()
+                let head = dev.queues[q]
+                    .ops
+                    .front()
+                    .expect("queue head vanished between begin_kernel and slot assignment");
+                let StreamOp::Kernel(spec, kid) = &head.op else {
+                    unreachable!("begin_kernel checked the head is a kernel")
                 };
                 let s = &mut dev.run[slot];
                 s.kernel = *kid;
@@ -1248,10 +1285,12 @@ impl Simulation {
                     // device died) fails immediately and pops, keeping the
                     // queue behind it draining.
                     let (kernel, class) = {
-                        let StreamOp::Kernel(spec, kid) =
-                            &self.devices[d].queues[q].ops.front().unwrap().op
-                        else {
-                            unreachable!()
+                        let head = self.devices[d].queues[q]
+                            .ops
+                            .front()
+                            .expect("queue head vanished while joining an aborted collective");
+                        let StreamOp::Kernel(spec, kid) = &head.op else {
+                            unreachable!("begin_kernel checked the head is a kernel")
                         };
                         (*kid, spec.class)
                     };
@@ -1492,10 +1531,10 @@ impl Simulation {
         failed: bool,
     ) {
         let popped = self.devices[d].queues[q].ops.pop_front().expect("finishing empty queue");
-        let (name, tag, stream) = match popped.op {
+        let (name, tag, stream, collective) = match popped.op {
             StreamOp::Kernel(spec, kid) => {
                 debug_assert_eq!(kid, kernel);
-                (spec.name, spec.tag, popped.stream)
+                (spec.name, spec.tag, popped.stream, spec.collective)
             }
             _ => panic!("queue head changed under a running kernel"),
         };
@@ -1524,6 +1563,7 @@ impl Simulation {
                 started_at,
                 ended_at: self.now,
                 failed,
+                collective,
             });
         }
     }
@@ -1541,12 +1581,20 @@ impl Simulation {
         for (d, q) in queue_waiters {
             if self.devices[d].queues[q].head == HeadState::WaitingEvent {
                 // Re-check: the head wait op must still reference this event.
-                if let Some(QueuedOp { op: StreamOp::Wait(w), .. }) =
+                if let Some(&QueuedOp { op: StreamOp::Wait(w), stream, .. }) =
                     self.devices[d].queues[q].ops.front()
                 {
-                    if *w == ev {
+                    if w == ev {
                         self.devices[d].queues[q].ops.pop_front();
                         self.devices[d].queues[q].head = HeadState::Idle;
+                        if let Some(trace) = &mut self.trace {
+                            trace.push_mark(TraceMark::Wait {
+                                event: ev.0,
+                                device: DeviceId(d),
+                                stream,
+                                at: now,
+                            });
+                        }
                         self.poll_queue(d, q);
                     }
                 }

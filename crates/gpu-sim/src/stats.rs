@@ -162,6 +162,21 @@ impl Summary {
     }
 }
 
+impl crate::json::ToJson for DeviceStats {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = crate::json::JsonObject::begin(out);
+        obj.field("busy_compute", &self.busy_compute)
+            .field("busy_comm", &self.busy_comm)
+            .field("busy_overlap", &self.busy_overlap)
+            .field("kernels_compute", &self.kernels_compute)
+            .field("kernels_comm", &self.kernels_comm)
+            .field("exec_compute", &self.exec_compute)
+            .field("exec_comm", &self.exec_comm)
+            .field("kernels_failed", &self.kernels_failed);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,20 +248,5 @@ mod tests {
         assert_eq!(s.compute_utilization(SimDuration::from_micros(10)), 0.0);
         assert_eq!(s.compute_utilization(SimDuration::ZERO), 0.0);
         assert_eq!(s.kernels_total(), 0);
-    }
-}
-
-impl crate::json::ToJson for DeviceStats {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = crate::json::JsonObject::begin(out);
-        obj.field("busy_compute", &self.busy_compute)
-            .field("busy_comm", &self.busy_comm)
-            .field("busy_overlap", &self.busy_overlap)
-            .field("kernels_compute", &self.kernels_compute)
-            .field("kernels_comm", &self.kernels_comm)
-            .field("exec_compute", &self.exec_compute)
-            .field("exec_comm", &self.exec_comm)
-            .field("kernels_failed", &self.kernels_failed);
-        obj.end();
     }
 }

@@ -288,6 +288,20 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// Times and durations serialize as raw nanosecond counts.
+impl crate::json::ToJson for SimTime {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+/// See [`SimTime`]'s impl: raw nanoseconds.
+impl crate::json::ToJson for SimDuration {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,19 +369,5 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.00us");
         assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
         assert_eq!(format!("{}", SimDuration::from_millis(12_000)), "12.000s");
-    }
-}
-
-/// Times and durations serialize as raw nanosecond counts.
-impl crate::json::ToJson for SimTime {
-    fn write_json(&self, out: &mut String) {
-        self.0.write_json(out);
-    }
-}
-
-/// See [`SimTime`]'s impl: raw nanoseconds.
-impl crate::json::ToJson for SimDuration {
-    fn write_json(&self, out: &mut String) {
-        self.0.write_json(out);
     }
 }

@@ -1,16 +1,21 @@
-//! Execution trace capture and Chrome-trace export.
+//! Execution trace capture, Chrome-trace export and re-import.
 //!
 //! When enabled on the [`SimulationBuilder`](crate::SimulationBuilder), the
-//! simulator records one [`TraceEvent`] per completed kernel. Traces drive
-//! the overlap assertions in the test suite and can be exported to the
-//! Chrome `chrome://tracing` / Perfetto JSON array format for visual
-//! inspection of interleaving schedules.
+//! simulator records one [`TraceEvent`] per completed kernel plus one
+//! [`TraceMark`] per synchronization/memory operation (event records,
+//! resolved stream waits, allocations, frees). Traces drive the overlap
+//! assertions in the test suite, feed the happens-before sanitizer in
+//! `liger-verify`, and can be exported to the Chrome `chrome://tracing` /
+//! Perfetto JSON array format for visual inspection of interleaving
+//! schedules. [`Trace::from_chrome_json`] reads that format back, so
+//! checked-in golden traces remain analyzable.
 
+use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use crate::ids::{DeviceId, KernelId};
-use crate::json::{JsonArray, JsonObject, ToJson};
+use crate::ids::{CollectiveId, DeviceId, KernelId};
+use crate::json::{JsonArray, JsonError, JsonObject, JsonParser, JsonValue, ToJson};
 use crate::kernel::KernelClass;
 use crate::time::{SimDuration, SimTime};
 
@@ -38,6 +43,10 @@ pub struct TraceEvent {
     /// True when the kernel was killed by the fault schedule partway
     /// through (it still drains its queue slot; see `gpu-sim::faults`).
     pub failed: bool,
+    /// The rendezvous group for a collective kernel (`None` for plain
+    /// kernels). Members of one group start and end together; the trace
+    /// sanitizer checks exactly that.
+    pub collective: Option<CollectiveId>,
 }
 
 impl TraceEvent {
@@ -57,16 +66,91 @@ impl TraceEvent {
     }
 }
 
+/// An instantaneous synchronization or memory operation captured alongside
+/// kernel executions — the raw material from which the trace sanitizer
+/// reconstructs happens-before order and allocation lifetimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceMark {
+    /// An event-record operation reached the head of its hardware queue
+    /// (everything enqueued before it on that stream had completed).
+    Record {
+        /// The recorded event's id.
+        event: u64,
+        /// Device the record drained on.
+        device: DeviceId,
+        /// Stream it was enqueued to.
+        stream: usize,
+        /// When it fired.
+        at: SimTime,
+    },
+    /// A stream-wait resolved: its event had fired and the queue unblocked.
+    Wait {
+        /// The awaited event's id.
+        event: u64,
+        /// Device the wait drained on.
+        device: DeviceId,
+        /// Stream it was enqueued to.
+        stream: usize,
+        /// When it resolved.
+        at: SimTime,
+    },
+    /// Device memory was allocated.
+    Alloc {
+        /// The allocation's id.
+        id: u64,
+        /// Device the bytes live on.
+        device: DeviceId,
+        /// Allocation size.
+        bytes: u64,
+        /// Allocation label (`"weights"`, `"batch working set"`, …).
+        label: String,
+        /// When it was allocated.
+        at: SimTime,
+    },
+    /// Device memory was freed.
+    Free {
+        /// The freed allocation's id.
+        id: u64,
+        /// Device the bytes lived on.
+        device: DeviceId,
+        /// When it was freed.
+        at: SimTime,
+    },
+}
+
+impl TraceMark {
+    /// The instant the mark happened.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceMark::Record { at, .. }
+            | TraceMark::Wait { at, .. }
+            | TraceMark::Alloc { at, .. }
+            | TraceMark::Free { at, .. } => at,
+        }
+    }
+
+    /// The device the mark belongs to.
+    pub fn device(&self) -> DeviceId {
+        match *self {
+            TraceMark::Record { device, .. }
+            | TraceMark::Wait { device, .. }
+            | TraceMark::Alloc { device, .. }
+            | TraceMark::Free { device, .. } => device,
+        }
+    }
+}
+
 /// A captured execution trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    marks: Vec<TraceMark>,
 }
 
 impl Trace {
     /// An empty trace.
     pub fn new() -> Trace {
-        Trace { events: Vec::new() }
+        Trace { events: Vec::new(), marks: Vec::new() }
     }
 
     /// Appends an event (events arrive in completion order).
@@ -74,9 +158,20 @@ impl Trace {
         self.events.push(ev);
     }
 
+    /// Appends a synchronization/memory mark (marks arrive in simulation
+    /// order).
+    pub fn push_mark(&mut self, mark: TraceMark) {
+        self.marks.push(mark);
+    }
+
     /// All recorded events, in completion order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// All recorded synchronization/memory marks, in simulation order.
+    pub fn marks(&self) -> &[TraceMark] {
+        &self.marks
     }
 
     /// Number of recorded events.
@@ -180,18 +275,220 @@ impl Trace {
     }
 
     /// Serializes to the Chrome trace-event JSON array format through the
-    /// internal [`crate::json`] writer (no JSON dependency); the format is
-    /// a plain array of `{"name","cat","ph":"X","ts","dur","pid","tid"}`
-    /// objects with timestamps in microseconds, unchanged across the move
-    /// off serde.
+    /// internal [`crate::json`] writer (no JSON dependency). Kernel
+    /// executions become complete (`"ph":"X"`) events; synchronization and
+    /// memory marks become instant (`"ph":"i"`) events with `cat` `"sync"`
+    /// or `"mem"`. Timestamps are microseconds at nanosecond precision, so
+    /// [`Trace::from_chrome_json`] round-trips the trace exactly.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::with_capacity(self.events.len() * 128 + 2);
+        let mut out = String::with_capacity(self.events.len() * 128 + self.marks.len() * 96 + 2);
         let mut arr = JsonArray::begin(&mut out);
         for e in &self.events {
             arr.item(e);
         }
+        for m in &self.marks {
+            arr.item(m);
+        }
         arr.end();
         out
+    }
+
+    /// Parses a trace back from [`Trace::to_chrome_json`] output.
+    pub fn from_chrome_json(input: &str) -> Result<Trace, TraceParseError> {
+        Ok(Trace::parse_chrome_json(input)?.trace)
+    }
+
+    /// Parses a Chrome trace and additionally reports the byte offset at
+    /// which every event and mark begins in `input`, so downstream
+    /// diagnostics (the `liger-verify` sanitizer) can point at source
+    /// locations the way [`crate::faults::ParseError`] does.
+    pub fn parse_chrome_json(input: &str) -> Result<ParsedChromeTrace, TraceParseError> {
+        let mut p = JsonParser::new(input);
+        p.array_begin()?;
+        let mut trace = Trace::new();
+        let mut event_offsets = Vec::new();
+        let mut mark_offsets = Vec::new();
+        let mut first = true;
+        while p.array_next(first)? {
+            first = false;
+            let offset = p.token_offset();
+            let v = p.value()?;
+            let ph = v
+                .get("ph")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| TraceParseError::at(offset, "a \"ph\" field"))?;
+            match ph {
+                "X" => {
+                    trace.push(parse_event(&v, offset)?);
+                    event_offsets.push(offset);
+                }
+                "i" => {
+                    trace.push_mark(parse_mark(&v, offset)?);
+                    mark_offsets.push(offset);
+                }
+                other => {
+                    return Err(TraceParseError::at(
+                        offset,
+                        format!("phase \"X\" or \"i\", found {other:?}"),
+                    ))
+                }
+            }
+        }
+        p.finish()?;
+        Ok(ParsedChromeTrace { trace, event_offsets, mark_offsets })
+    }
+}
+
+/// A trace parsed from Chrome JSON, with the byte offset of every element.
+#[derive(Debug, Clone)]
+pub struct ParsedChromeTrace {
+    /// The reconstructed trace.
+    pub trace: Trace,
+    /// Byte offset in the source text where each kernel event's JSON object
+    /// begins (parallel to [`Trace::events`]).
+    pub event_offsets: Vec<usize>,
+    /// Byte offset where each mark's JSON object begins (parallel to
+    /// [`Trace::marks`]).
+    pub mark_offsets: Vec<usize>,
+}
+
+/// Why a Chrome trace failed to parse: a byte offset plus what was expected
+/// there, in the same shape as [`crate::faults::ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Byte offset into the input where the problem sits.
+    pub offset: usize,
+    /// What was expected there.
+    pub expected: String,
+}
+
+impl TraceParseError {
+    fn at(offset: usize, expected: impl Into<String>) -> TraceParseError {
+        TraceParseError { offset, expected: expected.into() }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chrome trace error at byte {}: expected {}", self.offset, self.expected)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl From<JsonError> for TraceParseError {
+    fn from(e: JsonError) -> TraceParseError {
+        TraceParseError { offset: e.offset, expected: e.expected }
+    }
+}
+
+/// Parses a `"{:.3}"`-formatted microsecond timestamp exactly (no float
+/// detour: `123.456` micros are precisely 123456 ns).
+fn micros_text_to_nanos(raw: &str, offset: usize) -> Result<u64, TraceParseError> {
+    let bad = || TraceParseError::at(offset, format!("a microsecond timestamp, found {raw:?}"));
+    let (int, frac) = raw.split_once('.').unwrap_or((raw, ""));
+    let micros: u64 = int.parse().map_err(|_| bad())?;
+    if frac.len() > 3 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad());
+    }
+    let mut ns = 0u64;
+    for i in 0..3 {
+        ns = ns * 10 + u64::from(frac.as_bytes().get(i).map_or(0, |b| b - b'0'));
+    }
+    micros.checked_mul(1000).and_then(|m| m.checked_add(ns)).ok_or_else(bad)
+}
+
+fn time_field(v: &JsonValue, key: &str, offset: usize) -> Result<SimTime, TraceParseError> {
+    let raw = v
+        .get(key)
+        .and_then(JsonValue::number_text)
+        .ok_or_else(|| TraceParseError::at(offset, format!("a numeric {key:?} field")))?;
+    Ok(SimTime::from_nanos(micros_text_to_nanos(raw, offset)?))
+}
+
+fn u64_field(v: &JsonValue, key: &str, offset: usize) -> Result<u64, TraceParseError> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| TraceParseError::at(offset, format!("an integer {key:?} field")))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str, offset: usize) -> Result<&'a str, TraceParseError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| TraceParseError::at(offset, format!("a string {key:?} field")))
+}
+
+fn parse_event(v: &JsonValue, offset: usize) -> Result<TraceEvent, TraceParseError> {
+    let class = match str_field(v, "cat", offset)? {
+        "compute" => KernelClass::Compute,
+        "comm" => KernelClass::Comm,
+        other => {
+            return Err(TraceParseError::at(
+                offset,
+                format!("kernel category \"compute\" or \"comm\", found {other:?}"),
+            ))
+        }
+    };
+    let args = v
+        .get("args")
+        .ok_or_else(|| TraceParseError::at(offset, "an \"args\" object on a kernel event"))?;
+    let started_at = time_field(v, "ts", offset)?;
+    let duration = time_field(v, "dur", offset)?;
+    let collective = match args.get("coll") {
+        None | Some(JsonValue::Null) => None,
+        Some(c) => Some(CollectiveId(
+            c.as_u64()
+                .ok_or_else(|| TraceParseError::at(offset, "an integer or null \"coll\" field"))?,
+        )),
+    };
+    Ok(TraceEvent {
+        kernel: KernelId(u64_field(args, "kernel", offset)?),
+        name: str_field(v, "name", offset)?.into(),
+        class,
+        tag: u64_field(args, "tag", offset)?,
+        device: DeviceId(u64_field(v, "pid", offset)? as usize),
+        stream: u64_field(v, "tid", offset)? as usize,
+        enqueued_at: time_field(args, "enq", offset)?,
+        started_at,
+        ended_at: started_at + SimDuration::from_nanos(duration.as_nanos()),
+        failed: args
+            .get("failed")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| TraceParseError::at(offset, "a boolean \"failed\" field"))?,
+        collective,
+    })
+}
+
+fn parse_mark(v: &JsonValue, offset: usize) -> Result<TraceMark, TraceParseError> {
+    let args =
+        v.get("args").ok_or_else(|| TraceParseError::at(offset, "an \"args\" object on a mark"))?;
+    let at = time_field(v, "ts", offset)?;
+    let device = DeviceId(u64_field(v, "pid", offset)? as usize);
+    match str_field(v, "name", offset)? {
+        "record" => Ok(TraceMark::Record {
+            event: u64_field(args, "event", offset)?,
+            device,
+            stream: u64_field(v, "tid", offset)? as usize,
+            at,
+        }),
+        "wait" => Ok(TraceMark::Wait {
+            event: u64_field(args, "event", offset)?,
+            device,
+            stream: u64_field(v, "tid", offset)? as usize,
+            at,
+        }),
+        "alloc" => Ok(TraceMark::Alloc {
+            id: u64_field(args, "id", offset)?,
+            device,
+            bytes: u64_field(args, "bytes", offset)?,
+            label: str_field(args, "label", offset)?.to_string(),
+            at,
+        }),
+        "free" => Ok(TraceMark::Free { id: u64_field(args, "id", offset)?, device, at }),
+        other => Err(TraceParseError::at(
+            offset,
+            format!("mark \"record\", \"wait\", \"alloc\" or \"free\", found {other:?}"),
+        )),
     }
 }
 
@@ -214,7 +511,49 @@ impl ToJson for TraceEvent {
                 let mut args = JsonObject::begin(s);
                 args.field("tag", &self.tag)
                     .field("kernel", &self.kernel.0)
-                    .field("failed", &self.failed);
+                    .field("failed", &self.failed)
+                    .field_with("enq", |s| {
+                        let _ = write!(s, "{:.3}", self.enqueued_at.as_micros_f64());
+                    })
+                    .field("coll", &self.collective.map(|c| c.0));
+                args.end();
+            });
+        obj.end();
+    }
+}
+
+/// Renders one mark as a Chrome instant event.
+impl ToJson for TraceMark {
+    fn write_json(&self, out: &mut String) {
+        let (name, cat, tid) = match self {
+            TraceMark::Record { stream, .. } => ("record", "sync", *stream),
+            TraceMark::Wait { stream, .. } => ("wait", "sync", *stream),
+            TraceMark::Alloc { .. } => ("alloc", "mem", 0),
+            TraceMark::Free { .. } => ("free", "mem", 0),
+        };
+        let mut obj = JsonObject::begin(out);
+        obj.field("name", &name)
+            .field("cat", &cat)
+            .field("ph", &"i")
+            .field_with("ts", |s| {
+                let _ = write!(s, "{:.3}", self.at().as_micros_f64());
+            })
+            .field("pid", &self.device().0)
+            .field("tid", &tid)
+            .field("s", &"t")
+            .field_with("args", |s| {
+                let mut args = JsonObject::begin(s);
+                match self {
+                    TraceMark::Record { event, .. } | TraceMark::Wait { event, .. } => {
+                        args.field("event", event);
+                    }
+                    TraceMark::Alloc { id, bytes, label, .. } => {
+                        args.field("id", id).field("bytes", bytes).field("label", label);
+                    }
+                    TraceMark::Free { id, .. } => {
+                        args.field("id", id);
+                    }
+                }
                 args.end();
             });
         obj.end();
@@ -237,6 +576,7 @@ mod tests {
             started_at: SimTime::from_micros(start_us),
             ended_at: SimTime::from_micros(end_us),
             failed: false,
+            collective: None,
         }
     }
 
@@ -302,6 +642,79 @@ mod tests {
         t.push(e);
         assert!(t.to_chrome_json().contains("\"name\":\"ge\\\"mm\""));
     }
+
+    #[test]
+    fn chrome_json_round_trips_byte_identically() {
+        let mut t = Trace::new();
+        let mut a = ev(0, KernelClass::Compute, 5, 17, (1 << 62) | 3);
+        a.failed = true;
+        t.push(a);
+        let mut b = ev(1, KernelClass::Comm, 17, 40, 3);
+        b.collective = Some(CollectiveId(9));
+        b.stream = 1;
+        t.push(b);
+        t.push_mark(TraceMark::Record {
+            event: 4,
+            device: DeviceId(0),
+            stream: 0,
+            at: SimTime::from_micros(17),
+        });
+        t.push_mark(TraceMark::Wait {
+            event: 4,
+            device: DeviceId(1),
+            stream: 1,
+            at: SimTime::from_micros(17),
+        });
+        t.push_mark(TraceMark::Alloc {
+            id: 0,
+            device: DeviceId(0),
+            bytes: 1 << 30,
+            label: "weights".into(),
+            at: SimTime::ZERO,
+        });
+        t.push_mark(TraceMark::Free { id: 0, device: DeviceId(0), at: SimTime::from_micros(99) });
+        let json = t.to_chrome_json();
+        let back = Trace::from_chrome_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.marks().len(), 4);
+        assert_eq!(back.events()[0].tag, (1 << 62) | 3, "full-width tags survive");
+        assert_eq!(back.events()[1].collective, Some(CollectiveId(9)));
+        assert_eq!(back.marks(), t.marks());
+        assert_eq!(back.to_chrome_json(), json, "re-export is byte-identical");
+    }
+
+    #[test]
+    fn parse_offsets_point_at_elements() {
+        let mut t = Trace::new();
+        t.push(ev(0, KernelClass::Compute, 0, 10, 1));
+        t.push_mark(TraceMark::Free { id: 7, device: DeviceId(0), at: SimTime::ZERO });
+        let json = t.to_chrome_json();
+        let parsed = Trace::parse_chrome_json(&json).unwrap();
+        assert_eq!(parsed.event_offsets.len(), 1);
+        assert_eq!(parsed.mark_offsets.len(), 1);
+        assert_eq!(&json[parsed.event_offsets[0]..parsed.event_offsets[0] + 1], "{");
+        assert!(json[parsed.mark_offsets[0]..].starts_with("{\"name\":\"free\""));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_traces_with_offsets() {
+        let err = Trace::from_chrome_json("not json").unwrap_err();
+        assert_eq!(err.offset, 0);
+        let err = Trace::from_chrome_json("[{\"ph\":\"Q\"}]").unwrap_err();
+        assert!(err.to_string().contains("at byte 1"), "{err}");
+        let err = Trace::from_chrome_json("[{\"ph\":\"X\",\"cat\":\"compute\"}]").unwrap_err();
+        assert!(err.expected.contains("args"), "{err}");
+    }
+
+    #[test]
+    fn timestamp_text_parses_exactly() {
+        assert_eq!(micros_text_to_nanos("123.456", 0).unwrap(), 123_456);
+        assert_eq!(micros_text_to_nanos("0.001", 0).unwrap(), 1);
+        assert_eq!(micros_text_to_nanos("7", 0).unwrap(), 7_000);
+        assert_eq!(micros_text_to_nanos("7.25", 0).unwrap(), 7_250);
+        assert!(micros_text_to_nanos("1.2345", 0).is_err(), "sub-ns precision is not ours");
+        assert!(micros_text_to_nanos("-1.0", 0).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +739,7 @@ mod ascii_tests {
             started_at: SimTime::from_micros(start_us),
             ended_at: SimTime::from_micros(end_us),
             failed: false,
+            collective: None,
         }
     }
 

@@ -202,6 +202,21 @@ fn deterministic_replay() {
     });
 }
 
+/// Chrome JSON export of any simulated trace parses back and re-serializes
+/// byte-identically (exact u64 tags, exact nanosecond timestamps).
+#[test]
+fn chrome_json_round_trips() {
+    check("chrome_json_round_trips", 64, |g| {
+        let plan = gen_plan(g, 3);
+        let (_, trace) = run_plan(&plan, 3, true);
+        let json = trace.to_chrome_json();
+        let back = Trace::from_chrome_json(&json)
+            .unwrap_or_else(|e| panic!("exported trace failed to parse: {e}"));
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.to_chrome_json(), json, "round trip is not byte-identical");
+    });
+}
+
 /// Makespan is at least the critical path of any single hardware queue
 /// under no contention (frictionless device, works only).
 #[test]

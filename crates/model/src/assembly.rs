@@ -54,6 +54,14 @@ pub fn class_totals(ops: &[PricedOp]) -> (SimDuration, SimDuration) {
     (compute, comm)
 }
 
+impl liger_gpu_sim::ToJson for PricedOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("placed", &self.placed).field("duration", &self.duration);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,13 +132,5 @@ mod tests {
             comm.as_secs_f64() / (compute + comm).as_secs_f64()
         };
         assert!(share(BatchShape::decode(32, 16)) < share(BatchShape::prefill(2, 64)));
-    }
-}
-
-impl liger_gpu_sim::ToJson for PricedOp {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("placed", &self.placed).field("duration", &self.duration);
-        obj.end();
     }
 }

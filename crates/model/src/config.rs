@@ -148,6 +148,19 @@ impl ModelConfig {
     }
 }
 
+impl liger_gpu_sim::ToJson for ModelConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("name", &self.name)
+            .field("layers", &self.layers)
+            .field("heads", &self.heads)
+            .field("hidden", &self.hidden)
+            .field("vocab", &self.vocab)
+            .field("dtype_bytes", &self.dtype_bytes);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,18 +214,5 @@ mod tests {
         let mut m = ModelConfig::tiny_test();
         m.dtype_bytes = 0;
         assert!(m.validate().is_err());
-    }
-}
-
-impl liger_gpu_sim::ToJson for ModelConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("name", &self.name)
-            .field("layers", &self.layers)
-            .field("heads", &self.heads)
-            .field("hidden", &self.hidden)
-            .field("vocab", &self.vocab)
-            .field("dtype_bytes", &self.dtype_bytes);
-        obj.end();
     }
 }

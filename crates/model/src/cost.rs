@@ -177,6 +177,18 @@ impl CostModel {
     }
 }
 
+impl liger_gpu_sim::ToJson for CostParams {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("m_half", &self.m_half)
+            .field("n_droop", &self.n_droop)
+            .field("mem_eff", &self.mem_eff)
+            .field("kernel_overhead", &self.kernel_overhead)
+            .field("attention_eff", &self.attention_eff);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,17 +323,5 @@ mod tests {
         let a = cm.op_time(&LayerOp::Gemm { m: 64, k: 512, n: 512, kind: GemmKind::Qkv });
         let b = cm.op_time(&LayerOp::Gemm { m: 64, k: 512, n: 512, kind: GemmKind::Fc2 });
         assert_eq!(a, b);
-    }
-}
-
-impl liger_gpu_sim::ToJson for CostParams {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("m_half", &self.m_half)
-            .field("n_droop", &self.n_droop)
-            .field("mem_eff", &self.mem_eff)
-            .field("kernel_overhead", &self.kernel_overhead)
-            .field("attention_eff", &self.attention_eff);
-        obj.end();
     }
 }

@@ -143,6 +143,24 @@ pub fn profile_decomposition(cm: &CostModel, op: &LayerOp, factor: u32) -> Decom
     DecompositionProfile { factor, piece_times }
 }
 
+impl liger_gpu_sim::ToJson for GemmSplitAxis {
+    fn write_json(&self, out: &mut String) {
+        let tag = match self {
+            GemmSplitAxis::Vertical => "vertical",
+            GemmSplitAxis::Horizontal => "horizontal",
+        };
+        tag.write_json(out);
+    }
+}
+
+impl liger_gpu_sim::ToJson for DecompositionProfile {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("factor", &self.factor).field("piece_times", &self.piece_times);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,23 +310,5 @@ mod tests {
         // 8 pieces each pay the base latency: summed pieces exceed the whole.
         let total: SimDuration = (0..8).map(|_| prof.piece_times[0]).sum();
         assert!(total > whole);
-    }
-}
-
-impl liger_gpu_sim::ToJson for GemmSplitAxis {
-    fn write_json(&self, out: &mut String) {
-        let tag = match self {
-            GemmSplitAxis::Vertical => "vertical",
-            GemmSplitAxis::Horizontal => "horizontal",
-        };
-        tag.write_json(out);
-    }
-}
-
-impl liger_gpu_sim::ToJson for DecompositionProfile {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("factor", &self.factor).field("piece_times", &self.piece_times);
-        obj.end();
     }
 }

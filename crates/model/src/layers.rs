@@ -133,6 +133,14 @@ pub fn stage_boundary_bytes(cfg: &ModelConfig, shape: BatchShape) -> u64 {
     shape.rows() * cfg.hidden as u64 * cfg.dtype_bytes as u64
 }
 
+impl liger_gpu_sim::ToJson for PlacedOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("layer", &self.layer).field("op", &self.op);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,13 +289,5 @@ mod tests {
     fn stage_range_is_checked() {
         let cfg = ModelConfig::tiny_test();
         stage_ops(&cfg, BatchShape::prefill(1, 8), 2, 9);
-    }
-}
-
-impl liger_gpu_sim::ToJson for PlacedOp {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("layer", &self.layer).field("op", &self.op);
-        obj.end();
     }
 }

@@ -165,6 +165,17 @@ pub fn kv_recovery_plan(
     }
 }
 
+impl liger_gpu_sim::ToJson for MemoryFootprint {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("weights", &self.weights)
+            .field("kv_cache", &self.kv_cache)
+            .field("activations", &self.activations)
+            .field("total", &self.total());
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,16 +279,5 @@ mod tests {
         let four = device_footprint(&cfg, 4, shape, 64, 1);
         assert!(four.weights * 4 <= one.weights + 4);
         assert!(four.total() < one.total());
-    }
-}
-
-impl liger_gpu_sim::ToJson for MemoryFootprint {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("weights", &self.weights)
-            .field("kv_cache", &self.kv_cache)
-            .field("activations", &self.activations)
-            .field("total", &self.total());
-        obj.end();
     }
 }

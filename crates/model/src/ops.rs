@@ -171,6 +171,53 @@ impl LayerOp {
     }
 }
 
+/// GEMM kinds serialize as their kernel-name fragments.
+impl liger_gpu_sim::ToJson for GemmKind {
+    fn write_json(&self, out: &mut String) {
+        self.name().write_json(out);
+    }
+}
+
+/// Ops serialize as `{"op": <tag>, ...shape fields}` objects.
+impl liger_gpu_sim::ToJson for LayerOp {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            LayerOp::LayerNorm { rows, hidden } => {
+                obj.field("op", &"layer_norm").field("rows", &rows).field("hidden", &hidden);
+            }
+            LayerOp::Gemm { m, k, n, kind } => {
+                obj.field("op", &"gemm")
+                    .field("m", &m)
+                    .field("k", &k)
+                    .field("n", &n)
+                    .field("kind", &kind);
+            }
+            LayerOp::Attention { batch, heads, q_len, kv_len, head_dim } => {
+                obj.field("op", &"attention")
+                    .field("batch", &batch)
+                    .field("heads", &heads)
+                    .field("q_len", &q_len)
+                    .field("kv_len", &kv_len)
+                    .field("head_dim", &head_dim);
+            }
+            LayerOp::Gelu { rows, width } => {
+                obj.field("op", &"gelu").field("rows", &rows).field("width", &width);
+            }
+            LayerOp::Residual { rows, hidden } => {
+                obj.field("op", &"residual").field("rows", &rows).field("hidden", &hidden);
+            }
+            LayerOp::AllReduce { bytes, ranks } => {
+                obj.field("op", &"all_reduce").field("bytes", &bytes).field("ranks", &ranks);
+            }
+            LayerOp::P2p { bytes } => {
+                obj.field("op", &"p2p").field("bytes", &bytes);
+            }
+        }
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,52 +270,5 @@ mod tests {
     fn comm_ops_have_no_flops() {
         assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.flops(), 0);
         assert_eq!(LayerOp::AllReduce { bytes: 1024, ranks: 4 }.bytes(2), 1024);
-    }
-}
-
-/// GEMM kinds serialize as their kernel-name fragments.
-impl liger_gpu_sim::ToJson for GemmKind {
-    fn write_json(&self, out: &mut String) {
-        self.name().write_json(out);
-    }
-}
-
-/// Ops serialize as `{"op": <tag>, ...shape fields}` objects.
-impl liger_gpu_sim::ToJson for LayerOp {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        match *self {
-            LayerOp::LayerNorm { rows, hidden } => {
-                obj.field("op", &"layer_norm").field("rows", &rows).field("hidden", &hidden);
-            }
-            LayerOp::Gemm { m, k, n, kind } => {
-                obj.field("op", &"gemm")
-                    .field("m", &m)
-                    .field("k", &k)
-                    .field("n", &n)
-                    .field("kind", &kind);
-            }
-            LayerOp::Attention { batch, heads, q_len, kv_len, head_dim } => {
-                obj.field("op", &"attention")
-                    .field("batch", &batch)
-                    .field("heads", &heads)
-                    .field("q_len", &q_len)
-                    .field("kv_len", &kv_len)
-                    .field("head_dim", &head_dim);
-            }
-            LayerOp::Gelu { rows, width } => {
-                obj.field("op", &"gelu").field("rows", &rows).field("width", &width);
-            }
-            LayerOp::Residual { rows, hidden } => {
-                obj.field("op", &"residual").field("rows", &rows).field("hidden", &hidden);
-            }
-            LayerOp::AllReduce { bytes, ranks } => {
-                obj.field("op", &"all_reduce").field("bytes", &bytes).field("ranks", &ranks);
-            }
-            LayerOp::P2p { bytes } => {
-                obj.field("op", &"p2p").field("bytes", &bytes);
-            }
-        }
-        obj.end();
     }
 }

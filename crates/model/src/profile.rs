@@ -111,6 +111,16 @@ pub fn measure_solo(spec: &DeviceSpec, kernel: KernelSpec) -> SimDuration {
     trace.events()[0].duration()
 }
 
+impl liger_gpu_sim::ToJson for ContentionProfile {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("compute_slowdown", &self.compute_slowdown)
+            .field("comm_slowdown", &self.comm_slowdown)
+            .field("factor", &self.factor());
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,15 +166,5 @@ mod tests {
         let work = SimDuration::from_micros(500);
         let wall = measure_solo(&spec, KernelSpec::compute("g", work));
         assert_eq!(wall, work);
-    }
-}
-
-impl liger_gpu_sim::ToJson for ContentionProfile {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("compute_slowdown", &self.compute_slowdown)
-            .field("comm_slowdown", &self.comm_slowdown)
-            .field("factor", &self.factor());
-        obj.end();
     }
 }

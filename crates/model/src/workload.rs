@@ -76,6 +76,30 @@ impl BatchShape {
     }
 }
 
+/// Phases serialize as `{"phase": "prefill"|"decode", ...}` objects.
+impl liger_gpu_sim::ToJson for Phase {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            Phase::Prefill { seq_len } => {
+                obj.field("phase", &"prefill").field("seq_len", &seq_len);
+            }
+            Phase::Decode { context } => {
+                obj.field("phase", &"decode").field("context", &context);
+            }
+        }
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for BatchShape {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("batch", &self.batch).field("phase", &self.phase);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,29 +127,5 @@ mod tests {
         assert!(BatchShape::prefill(0, 16).validate().is_err());
         assert!(BatchShape::prefill(2, 0).validate().is_err());
         assert!(BatchShape::decode(1, 0).validate().is_ok(), "empty context is legal");
-    }
-}
-
-/// Phases serialize as `{"phase": "prefill"|"decode", ...}` objects.
-impl liger_gpu_sim::ToJson for Phase {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        match *self {
-            Phase::Prefill { seq_len } => {
-                obj.field("phase", &"prefill").field("seq_len", &seq_len);
-            }
-            Phase::Decode { context } => {
-                obj.field("phase", &"decode").field("context", &context);
-            }
-        }
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for BatchShape {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("batch", &self.batch).field("phase", &self.phase);
-        obj.end();
     }
 }

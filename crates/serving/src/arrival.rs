@@ -199,6 +199,57 @@ impl DecodeTraceConfig {
     }
 }
 
+/// Arrival laws serialize as `{"law": "constant"|"poisson", "rate": ...}`.
+impl liger_gpu_sim::ToJson for ArrivalProcess {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        match *self {
+            ArrivalProcess::Constant { rate } => obj.field("law", &"constant").field("rate", &rate),
+            ArrivalProcess::Poisson { rate } => obj.field("law", &"poisson").field("rate", &rate),
+        };
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for PrefillTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("seq_min", &self.seq_min)
+            .field("seq_max", &self.seq_max)
+            .field("arrivals", &self.arrivals)
+            .field("seed", &self.seed);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for LognormalTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("median_seq", &self.median_seq)
+            .field("sigma", &self.sigma)
+            .field("seq_min", &self.seq_min)
+            .field("seq_max", &self.seq_max)
+            .field("arrivals", &self.arrivals)
+            .field("seed", &self.seed);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for DecodeTraceConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("count", &self.count)
+            .field("batch", &self.batch)
+            .field("context", &self.context)
+            .field("arrivals", &self.arrivals);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,56 +357,5 @@ mod tests {
         let mut cfg = LognormalTraceConfig::sharegpt_like(1, 1, 1.0, 0);
         cfg.median_seq = 0.0;
         cfg.generate();
-    }
-}
-
-/// Arrival laws serialize as `{"law": "constant"|"poisson", "rate": ...}`.
-impl liger_gpu_sim::ToJson for ArrivalProcess {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        match *self {
-            ArrivalProcess::Constant { rate } => obj.field("law", &"constant").field("rate", &rate),
-            ArrivalProcess::Poisson { rate } => obj.field("law", &"poisson").field("rate", &rate),
-        };
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for PrefillTraceConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("count", &self.count)
-            .field("batch", &self.batch)
-            .field("seq_min", &self.seq_min)
-            .field("seq_max", &self.seq_max)
-            .field("arrivals", &self.arrivals)
-            .field("seed", &self.seed);
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for LognormalTraceConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("count", &self.count)
-            .field("batch", &self.batch)
-            .field("median_seq", &self.median_seq)
-            .field("sigma", &self.sigma)
-            .field("seq_min", &self.seq_min)
-            .field("seq_max", &self.seq_max)
-            .field("arrivals", &self.arrivals)
-            .field("seed", &self.seed);
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for DecodeTraceConfig {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("count", &self.count)
-            .field("batch", &self.batch)
-            .field("context", &self.context)
-            .field("arrivals", &self.arrivals);
-        obj.end();
     }
 }

@@ -109,8 +109,10 @@ impl GenerationMetrics {
         if self.results.is_empty() {
             return 0.0;
         }
-        let first = self.results.iter().map(|r| r.arrival).min().unwrap();
-        let last = self.results.iter().map(|r| r.finished).max().unwrap();
+        let first =
+            self.results.iter().map(|r| r.arrival).min().expect("results checked non-empty above");
+        let last =
+            self.results.iter().map(|r| r.finished).max().expect("results checked non-empty above");
         let span = last.saturating_since(first).as_secs_f64();
         if span <= 0.0 {
             return 0.0;
@@ -197,7 +199,10 @@ impl<'a, E: InferenceEngine + ?Sized> GenerationRunner<'a, E> {
                 (state.steps_done >= total_steps, state.steps_done)
             };
             if done {
-                let state = self.states.remove(&job_id).unwrap();
+                let state = self
+                    .states
+                    .remove(&job_id)
+                    .expect("job state exists: `done` was computed from this entry");
                 self.metrics.results.push(GenerationResult {
                     id: job_id,
                     arrival: state.job.arrival,
@@ -252,6 +257,33 @@ pub fn serve_generations<E: InferenceEngine + ?Sized>(
     let mut runner = GenerationRunner::new(engine, jobs);
     sim.run_to_completion(&mut runner);
     runner.into_metrics()
+}
+
+impl liger_gpu_sim::ToJson for GenerationJob {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("batch", &self.batch)
+            .field("prompt_len", &self.prompt_len)
+            .field("output_tokens", &self.output_tokens)
+            .field("arrival", &self.arrival);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for GenerationResult {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("arrival", &self.arrival)
+            .field("first_token", &self.first_token)
+            .field("finished", &self.finished)
+            .field("tokens", &self.tokens)
+            .field("batch", &self.batch)
+            .field("ttft_ns", &self.ttft())
+            .field("tpot_ns", &self.tpot());
+        obj.end();
+    }
 }
 
 #[cfg(test)]
@@ -365,32 +397,5 @@ mod tests {
             assert!(r.finished > r.arrival);
             assert!(r.first_token <= r.finished);
         }
-    }
-}
-
-impl liger_gpu_sim::ToJson for GenerationJob {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("id", &self.id)
-            .field("batch", &self.batch)
-            .field("prompt_len", &self.prompt_len)
-            .field("output_tokens", &self.output_tokens)
-            .field("arrival", &self.arrival);
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for GenerationResult {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("id", &self.id)
-            .field("arrival", &self.arrival)
-            .field("first_token", &self.first_token)
-            .field("finished", &self.finished)
-            .field("tokens", &self.tokens)
-            .field("batch", &self.batch)
-            .field("ttft_ns", &self.ttft())
-            .field("tpot_ns", &self.tpot());
-        obj.end();
     }
 }

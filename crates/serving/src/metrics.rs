@@ -177,6 +177,48 @@ impl ServingMetrics {
     }
 }
 
+/// Metrics serialize as a summary object (latencies in nanoseconds,
+/// throughput in jobs/s) — the shape the results tooling consumes.
+impl liger_gpu_sim::ToJson for ServingMetrics {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("completed", &self.completed())
+            .field("avg_latency_ns", &self.avg_latency())
+            .field("p50_latency_ns", &self.latency_percentile(50.0))
+            .field("p99_latency_ns", &self.latency_percentile(99.0))
+            .field("max_latency_ns", &self.max_latency())
+            .field("throughput", &self.throughput())
+            .field("faults", &self.faults)
+            .field("recovery", &self.recovery);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for RecoveryCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("losses", &self.losses)
+            .field("detection_latency_ns", &self.detection_latency)
+            .field("drain_time_ns", &self.drain_time)
+            .field("replan_time_ns", &self.replan_time)
+            .field("recompute_tokens", &self.recompute_tokens)
+            .field("shed_requests", &self.shed_requests());
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for FaultCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("retries", &self.retries)
+            .field("timeouts", &self.timeouts)
+            .field("kernel_failures", &self.kernel_failures)
+            .field("requeues", &self.requeues)
+            .field("degraded_rounds", &self.degraded_rounds);
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,47 +337,5 @@ mod tests {
         m.record(c(0, 0, 7));
         assert_eq!(m.latency_percentile(-5.0), SimDuration::from_millis(7));
         assert_eq!(m.latency_percentile(200.0), SimDuration::from_millis(7));
-    }
-}
-
-/// Metrics serialize as a summary object (latencies in nanoseconds,
-/// throughput in jobs/s) — the shape the results tooling consumes.
-impl liger_gpu_sim::ToJson for ServingMetrics {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("completed", &self.completed())
-            .field("avg_latency_ns", &self.avg_latency())
-            .field("p50_latency_ns", &self.latency_percentile(50.0))
-            .field("p99_latency_ns", &self.latency_percentile(99.0))
-            .field("max_latency_ns", &self.max_latency())
-            .field("throughput", &self.throughput())
-            .field("faults", &self.faults)
-            .field("recovery", &self.recovery);
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for RecoveryCounters {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("losses", &self.losses)
-            .field("detection_latency_ns", &self.detection_latency)
-            .field("drain_time_ns", &self.drain_time)
-            .field("replan_time_ns", &self.replan_time)
-            .field("recompute_tokens", &self.recompute_tokens)
-            .field("shed_requests", &self.shed_requests());
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for FaultCounters {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("retries", &self.retries)
-            .field("timeouts", &self.timeouts)
-            .field("kernel_failures", &self.kernel_failures)
-            .field("requeues", &self.requeues)
-            .field("degraded_rounds", &self.degraded_rounds);
-        obj.end();
     }
 }

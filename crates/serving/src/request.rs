@@ -45,6 +45,25 @@ impl Completion {
     }
 }
 
+impl liger_gpu_sim::ToJson for Request {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id).field("shape", &self.shape).field("arrival", &self.arrival);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for Completion {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("id", &self.id)
+            .field("arrival", &self.arrival)
+            .field("finished", &self.finished)
+            .field("latency", &self.latency());
+        obj.end();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,24 +84,5 @@ mod tests {
         let r = Request::new(7, BatchShape::prefill(2, 64), SimTime::from_millis(1));
         assert_eq!(r.id, 7);
         assert_eq!(r.shape.batch, 2);
-    }
-}
-
-impl liger_gpu_sim::ToJson for Request {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("id", &self.id).field("shape", &self.shape).field("arrival", &self.arrival);
-        obj.end();
-    }
-}
-
-impl liger_gpu_sim::ToJson for Completion {
-    fn write_json(&self, out: &mut String) {
-        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
-        obj.field("id", &self.id)
-            .field("arrival", &self.arrival)
-            .field("finished", &self.finished)
-            .field("latency", &self.latency());
-        obj.end();
     }
 }

@@ -134,6 +134,10 @@ fn liger_trace_has_no_lost_kernels_and_synchronous_collectives() {
     assert_eq!(sim.kernels_launched(), sim.kernels_completed());
 
     let trace = sim.take_trace().unwrap();
+    // The happens-before sanitizer must find nothing: no FIFO violations,
+    // no collective skew, no data hazards, no allocation misuse.
+    let diags = liger_verify::sanitize(&trace);
+    assert!(diags.is_empty(), "sanitizer diagnostics on a healthy serving trace: {diags:?}");
     // Collectives: kernels sharing (name, start) across devices end together.
     use std::collections::HashMap;
     let mut groups: HashMap<(u64, SimTime), Vec<SimTime>> = HashMap::new();

@@ -9,7 +9,7 @@
 //!   drains in non-decreasing finish order.
 
 use liger::prelude::*;
-use liger_gpu_sim::{FaultSpec, KernelFaultParams, ToJson};
+use liger_gpu_sim::{FaultSpec, KernelFaultParams, ToJson, Trace};
 use liger_parallelism::PipelineFlavor;
 use liger_serving::{serve_with_policy, RetryPolicy};
 
@@ -105,6 +105,12 @@ fn same_seed_fault_schedules_export_identical_chrome_traces() {
     assert_eq!(trace_a, trace_b, "same-seed fault runs must export byte-identical traces");
     assert_eq!(metrics_a, metrics_b, "same-seed fault runs must report identical metrics");
     assert!(!trace_a.is_empty());
+    // Even under stragglers and kernel failures the trace must sanitize
+    // clean: failed kernels are retried through host-ordered relaunches,
+    // never through racy double-submission.
+    let parsed = Trace::parse_chrome_json(&trace_a).expect("exported trace must re-parse");
+    let diags = liger_verify::sanitize_parsed(&parsed);
+    assert!(diags.is_empty(), "sanitizer diagnostics on the fault-run trace: {diags:?}");
 }
 
 #[test]

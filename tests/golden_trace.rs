@@ -15,7 +15,7 @@
 //! then review the diff and commit the new golden file.
 
 use liger::prelude::*;
-use liger_gpu_sim::{FaultSpec, KernelFaultParams};
+use liger_gpu_sim::{FaultSpec, KernelFaultParams, Trace};
 
 const GOLDEN: &str = include_str!("golden/chrome_trace.json");
 
@@ -93,6 +93,15 @@ fn chrome_trace_matches_golden_file() {
          format change is intentional, regenerate with LIGER_GOLDEN_REGEN=1 and \
          commit the diff"
     );
+}
+
+#[test]
+fn golden_trace_sanitizes_clean() {
+    // The committed golden trace must stay acceptable to the happens-before
+    // sanitizer — the same gate CI applies via `liger-verify`.
+    let parsed = Trace::parse_chrome_json(GOLDEN).expect("golden trace must parse");
+    let diags = liger_verify::sanitize_parsed(&parsed);
+    assert!(diags.is_empty(), "sanitizer diagnostics on the golden trace: {diags:?}");
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //!   detection, drain barriers and KV-recovery kernels are all deterministic.
 
 use liger::prelude::*;
-use liger_gpu_sim::{FaultSpec, ToJson};
+use liger_gpu_sim::{FaultSpec, ToJson, Trace};
 
 fn chunky() -> ModelConfig {
     ModelConfig {
@@ -150,4 +150,9 @@ fn same_seed_recovery_runs_export_identical_chrome_traces() {
         trace_a.contains("kv-recover"),
         "the Chrome trace must include the KV-recovery kernels"
     );
+    // The recovery path — drain barrier, replan, KV rebuild — must leave a
+    // trace the happens-before sanitizer accepts without diagnostics.
+    let parsed = Trace::parse_chrome_json(&trace_a).expect("exported trace must re-parse");
+    let diags = liger_verify::sanitize_parsed(&parsed);
+    assert!(diags.is_empty(), "sanitizer diagnostics on the recovery trace: {diags:?}");
 }
