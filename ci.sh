@@ -34,9 +34,11 @@ cargo test -q --workspace
 echo "==> fault & property suites (pinned seed)"
 LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace --test recovery
 LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-kvcache --test pool_props
 
 echo "==> fault & property suites (fresh seed)"
 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+cargo test -q -p liger-kvcache --test pool_props
 cargo test -q --test recovery
 
 # Recovery ablation accounting gate: a short trace through every loss
@@ -44,6 +46,13 @@ cargo test -q --test recovery
 # without a recorded shed reason or detection exceeds the watchdog bound.
 echo "==> ablation_recovery --smoke"
 cargo run --release -q -p liger-bench --bin ablation_recovery -- --smoke
+
+# Batching ablation gate: the same skewed workload through static and
+# continuous batching; exits non-zero unless continuous strictly beats
+# static on both token throughput and p99 latency, every sequence is
+# accounted for, and the healthy + device-loss traces sanitize clean.
+echo "==> ablation_batching --smoke"
+cargo run --release -q -p liger-bench --bin ablation_batching -- --smoke
 
 # Verification gate: the static plan verifier proves the default
 # deployments deadlock-free and memory-feasible (healthy and one-loss

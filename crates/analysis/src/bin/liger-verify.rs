@@ -14,8 +14,9 @@ use std::process::ExitCode;
 use liger_core::introspect::LaunchProgram;
 use liger_core::{plan_round, FuncVec, LigerConfig, PlanParams, SyncMode};
 use liger_gpu_sim::{DeviceSpec, Trace};
+use liger_kvcache::BlockPoolConfig;
 use liger_model::{assemble, BatchShape, CostModel, ModelConfig};
-use liger_verify::{sanitize_parsed, verify_deployment, Diagnostic};
+use liger_verify::{check_kv_pool_feasibility, sanitize_parsed, verify_deployment, Diagnostic};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +70,11 @@ fn run_plans() -> ExitCode {
         }
         let prog = LaunchProgram::from_plans(&plans, *world, true);
         // Fault budget 1: the single permanent loss the fault tier injects.
-        let diags = verify_deployment(&prog, cfg, &lc, spec, *world as u32, shape, 1);
+        let mut diags = verify_deployment(&prog, cfg, &lc, spec, *world as u32, shape, 1);
+        // The continuous-batching scheduler's default pool sizing must fit
+        // beside the weight shard, healthy and degraded.
+        let pool = BlockPoolConfig::sized_for(cfg, *world as u32, spec.mem_capacity, 16);
+        diags.extend(check_kv_pool_feasibility(cfg, &lc, spec, *world as u32, &pool, shape, 1));
         report(&format!("{} on {}x {}", cfg.name, world, spec.name), &diags);
         total += diags.len();
     }

@@ -39,6 +39,6 @@ pub mod static_verifier;
 pub use diag::Diagnostic;
 pub use sanitizer::{sanitize, sanitize_parsed};
 pub use static_verifier::{
-    check_collective_match, check_memory_feasibility, check_shard_shapes, check_wait_cycles,
-    verify_deployment,
+    check_collective_match, check_kv_pool_feasibility, check_memory_feasibility,
+    check_shard_shapes, check_wait_cycles, verify_deployment,
 };

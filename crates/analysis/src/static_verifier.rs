@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use liger_core::introspect::{LaunchProgram, PlanOp};
 use liger_core::LigerConfig;
 use liger_gpu_sim::DeviceSpec;
+use liger_kvcache::BlockPoolConfig;
 use liger_model::{equal_split, model_ops, BatchShape, LayerOp, ModelConfig};
 use liger_parallelism::launch::batch_working_set_bytes;
 use liger_parallelism::{check_divisibility, check_divisibility_relaxed, stage_ranges_uneven};
@@ -341,6 +342,54 @@ pub fn check_memory_feasibility(
     check(world, &format!("healthy tp={world}"));
     for survivors in world.saturating_sub(max_losses)..world {
         // Only survivor counts recovery would actually replan onto.
+        if survivors >= 1 && check_divisibility_relaxed(cfg, survivors).is_ok() {
+            check(survivors, &format!("degraded tp={survivors}"));
+        }
+    }
+    out
+}
+
+/// Checks that a paged KV pool fits next to the weight shard and the
+/// engine's concurrent working sets: the pool's full block budget is a
+/// standing per-device reservation (every live block allocates
+/// `block_bytes` on *every* device), so
+/// `weights/ways + slots x working + pool budget` must fit device memory on
+/// the healthy topology and on every degraded survivor count recovery would
+/// replan onto. A pool sized for the healthy world that no longer fits
+/// beside the larger degraded weight shard would panic at the first block
+/// allocation after a loss — this rule catches that sizing error before
+/// anything is simulated.
+pub fn check_kv_pool_feasibility(
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    spec: &DeviceSpec,
+    world: u32,
+    pool: &BlockPoolConfig,
+    shape: BatchShape,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = pool.validate() {
+        out.push(Diagnostic::new("SV-MEM-CAP", format!("kv pool config invalid: {e}")));
+        return out;
+    }
+    let mut check = |ways: u32, label: &str| {
+        let weights = cfg.weight_bytes() / ways as u64;
+        let working = batch_working_set_bytes(cfg, shape, ways);
+        let peak = weights + lc.processing_slots as u64 * working + pool.budget_bytes;
+        if peak > spec.mem_capacity {
+            out.push(Diagnostic::new(
+                "SV-MEM-CAP",
+                format!(
+                    "{label}: weight shard {weights} B + {} working sets of {working} B + \
+                     kv pool budget {} B = {peak} B exceeds {} capacity {} B",
+                    lc.processing_slots, pool.budget_bytes, spec.name, spec.mem_capacity
+                ),
+            ));
+        }
+    };
+    check(world, &format!("healthy tp={world}"));
+    for survivors in world.saturating_sub(max_losses)..world {
         if survivors >= 1 && check_divisibility_relaxed(cfg, survivors).is_ok() {
             check(survivors, &format!("degraded tp={survivors}"));
         }

@@ -5,8 +5,13 @@
 //! (or starts misfiling it under another rule) fails here.
 
 use liger_core::introspect::{LaunchProgram, PlanOp};
+use liger_core::LigerConfig;
 use liger_gpu_sim::prelude::*;
-use liger_verify::{check_collective_match, check_wait_cycles, sanitize};
+use liger_kvcache::BlockPoolConfig;
+use liger_model::{kv_block_bytes, BatchShape, ModelConfig};
+use liger_verify::{
+    check_collective_match, check_kv_pool_feasibility, check_wait_cycles, sanitize,
+};
 
 fn rules(diags: &[liger_verify::Diagnostic]) -> Vec<&'static str> {
     diags.iter().map(|d| d.rule).collect()
@@ -90,6 +95,31 @@ fn missing_collective_member_fires_sv_collective_match() {
         "missing member must be reported: {diags:?}"
     );
     assert!(diags.iter().any(|d| d.message.contains("missing on device")), "{diags:?}");
+}
+
+#[test]
+fn oversized_kv_pool_fires_sv_mem_cap() {
+    // A block budget the size of the whole device can never fit beside the
+    // weight shard; a pool sized for the headroom verifies clean, healthy
+    // and degraded.
+    let cfg = ModelConfig::gpt_8b();
+    let lc = LigerConfig::default();
+    let spec = DeviceSpec::v100_16gb();
+    let shape = BatchShape::prefill(1, 64);
+    let greedy = BlockPoolConfig {
+        block_tokens: 16,
+        block_bytes: kv_block_bytes(&cfg, 2, 16),
+        budget_bytes: spec.mem_capacity,
+        watermark: 0.9,
+    };
+    let diags = check_kv_pool_feasibility(&cfg, &lc, &spec, 2, &greedy, shape, 1);
+    assert!(!diags.is_empty(), "a device-sized pool budget must be rejected");
+    assert!(rules(&diags).iter().all(|&r| r == "SV-MEM-CAP"), "{diags:?}");
+    assert!(diags[0].message.contains("kv pool budget"), "{}", diags[0].message);
+
+    let sized = BlockPoolConfig::sized_for(&cfg, 2, spec.mem_capacity, 16);
+    let clean = check_kv_pool_feasibility(&cfg, &lc, &spec, 2, &sized, shape, 1);
+    assert_eq!(clean, vec![], "the default sizing fits healthy and degraded");
 }
 
 // --------------------------------------------------------------- dynamic

@@ -57,13 +57,20 @@ pub struct MemoryTracker {
     in_use: Vec<u64>,
     peak: Vec<u64>,
     allocations: Vec<Allocation>,
+    double_frees: u64,
 }
 
 impl MemoryTracker {
     /// Creates a tracker for devices with the given capacities (bytes).
     pub fn new(capacities: Vec<u64>) -> MemoryTracker {
         let n = capacities.len();
-        MemoryTracker { capacities, in_use: vec![0; n], peak: vec![0; n], allocations: Vec::new() }
+        MemoryTracker {
+            capacities,
+            in_use: vec![0; n],
+            peak: vec![0; n],
+            allocations: Vec::new(),
+            double_frees: 0,
+        }
     }
 
     /// Allocates `bytes` on `device`; fails when capacity would be exceeded.
@@ -92,13 +99,29 @@ impl MemoryTracker {
         Ok(id)
     }
 
-    /// Frees an allocation; freeing twice is a no-op (idempotent).
+    /// Frees an allocation. Accounting is idempotent — freeing twice never
+    /// corrupts the in-use totals — but a second free is an allocator bug:
+    /// it bumps the [`double_frees`](Self::double_frees) counter and fires a
+    /// debug assertion so the bug is observable at the tracker level, not
+    /// only via trace sanitization.
     pub fn free(&mut self, id: AllocationId) {
         let a = &mut self.allocations[id.0 as usize];
         if a.live {
             a.live = false;
             self.in_use[a.device] -= a.bytes;
+        } else {
+            self.double_frees += 1;
+            debug_assert!(
+                false,
+                "double free of allocation {} ({:?} on device {})",
+                id.0, a.label, a.device
+            );
         }
+    }
+
+    /// Double frees observed so far (each also fires a debug assertion).
+    pub fn double_frees(&self) -> u64 {
+        self.double_frees
     }
 
     /// Bytes currently allocated on `device`.
@@ -172,11 +195,19 @@ mod tests {
     }
 
     #[test]
-    fn double_free_is_idempotent() {
+    fn double_free_is_counted_and_accounting_stays_idempotent() {
         let mut t = tracker();
         let a = t.alloc(DeviceId(1), 500, "act").unwrap();
         t.free(a);
-        t.free(a);
+        assert_eq!(t.double_frees(), 0);
+        // In debug builds the second free additionally fires an assertion;
+        // silence the default hook so the expected panic doesn't spam stderr.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.free(a)));
+        std::panic::set_hook(prev);
+        assert_eq!(hit.is_err(), cfg!(debug_assertions));
+        assert_eq!(t.double_frees(), 1);
         assert_eq!(t.in_use(DeviceId(1)), 0);
     }
 

@@ -622,7 +622,11 @@ impl Simulation {
         Ok(id)
     }
 
-    /// Frees a device-memory allocation (idempotent).
+    /// Frees a device-memory allocation. Accounting is idempotent, but a
+    /// second free of the same id is an allocator bug: the tracker counts it
+    /// (see [`Simulation::memory_double_frees`]) and fires a debug assertion,
+    /// and the duplicate `Free` trace mark trips the sanitizer's
+    /// TS-DOUBLE-FREE rule.
     pub fn free_memory(&mut self, id: AllocationId) {
         if let Some((device, ..)) = self.memory.info(id) {
             if let Some(trace) = &mut self.trace {
@@ -630,6 +634,11 @@ impl Simulation {
             }
         }
         self.memory.free(id);
+    }
+
+    /// Double frees observed by the memory tracker.
+    pub fn memory_double_frees(&self) -> u64 {
+        self.memory.double_frees()
     }
 
     /// Bytes currently allocated on `device`.

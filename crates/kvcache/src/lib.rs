@@ -1,0 +1,626 @@
+//! Paged KV-cache subsystem: a block-granular, ref-counted pool backed by
+//! the simulator's [`MemoryTracker`](liger_gpu_sim::MemoryTracker).
+//!
+//! The continuous-batching scheduler (vLLM-style iteration-level serving,
+//! the baseline mechanism LLMServingSim and Frontier assume) needs KV memory
+//! it can grow one token at a time and reclaim the instant a sequence
+//! retires. This crate provides that: sequences own *block tables* — lists
+//! of fixed-size blocks, each holding `block_tokens` tokens of K and V
+//! sharded across the node's devices — and every block is a real
+//! [`Simulation::alloc_memory`](liger_gpu_sim::Simulation::alloc_memory)
+//! allocation per device, so the static verifier's SV-MEM-CAP rule and the
+//! trace sanitizer's UAF/double-free/leak rules see every page the pool
+//! touches.
+//!
+//! Exhaustion is a typed [`OutOfBlocks`], never a panic: the scheduler
+//! handles it with watermark-driven preemption (evict the youngest
+//! sequence's blocks and recompute its prefill later, priced by
+//! `liger_model::kv_recovery_plan`). Blocks are ref-counted so a recovery
+//! replica can [`share`](BlockPool::share) a dying sequence's table without
+//! copying it.
+//!
+//! # Simplifications
+//!
+//! The block size is fixed at deployment time from the *healthy* parallel
+//! degree. After a device loss the pool frees the dead device's side of
+//! every block and allocates new blocks on the survivors only, keeping the
+//! per-device block size — i.e. the degraded node packs the same tokens
+//! into the same per-device bytes. The true cost of restoring the lost
+//! shard is carried by the recovery plan, not the pool.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use liger_gpu_sim::{AllocationId, DeviceId, Simulation};
+use liger_model::{blocks_for_tokens, kv_block_bytes, ModelConfig};
+
+/// Allocation label every KV block carries in traces and the tracker.
+pub const BLOCK_LABEL: &str = "kv-block";
+
+/// Geometry and budget of a [`BlockPool`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPoolConfig {
+    /// Tokens per block (vLLM-style fixed page size).
+    pub block_tokens: u32,
+    /// Per-device bytes of one block (one sequence's K+V for `block_tokens`
+    /// tokens, sharded across the node) — see `liger_model::kv_block_bytes`.
+    pub block_bytes: u64,
+    /// Per-device byte budget for the whole pool.
+    pub budget_bytes: u64,
+    /// Occupancy fraction above which the scheduler stops admitting and
+    /// starts preempting.
+    pub watermark: f64,
+}
+
+impl BlockPoolConfig {
+    /// Sizes a pool for `model` partitioned `world` ways on devices with
+    /// `capacity` bytes each: the budget is a quarter of the capacity left
+    /// after the weight shard, leaving headroom for the engine's transient
+    /// per-step working sets (which the static verifier checks).
+    pub fn sized_for(
+        model: &ModelConfig,
+        world: u32,
+        capacity: u64,
+        block_tokens: u32,
+    ) -> BlockPoolConfig {
+        let weights = model.weight_bytes() / world.max(1) as u64;
+        let headroom = capacity.saturating_sub(weights);
+        BlockPoolConfig {
+            block_tokens,
+            block_bytes: kv_block_bytes(model, world, block_tokens),
+            budget_bytes: headroom / 4,
+            watermark: 0.9,
+        }
+    }
+
+    /// Whole blocks the per-device budget can hold.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.budget_bytes / self.block_bytes.max(1)
+    }
+
+    /// Rejects degenerate geometry (zero-sized blocks, a budget below one
+    /// block, or a watermark outside `(0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_tokens == 0 {
+            return Err("block_tokens must be positive".into());
+        }
+        if self.block_bytes == 0 {
+            return Err("block_bytes must be positive".into());
+        }
+        if self.capacity_blocks() == 0 {
+            return Err(format!(
+                "budget of {} bytes holds zero blocks of {} bytes",
+                self.budget_bytes, self.block_bytes
+            ));
+        }
+        if !(self.watermark > 0.0 && self.watermark <= 1.0) {
+            return Err(format!("watermark {} outside (0, 1]", self.watermark));
+        }
+        Ok(())
+    }
+}
+
+/// Typed block-pool exhaustion: the scheduler must handle this (preempt,
+/// shed, or defer) — it is never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBlocks {
+    /// Blocks the failed grow needed.
+    pub requested_blocks: u64,
+    /// Blocks free under the pool budget at the time of the failure.
+    pub free_blocks: u64,
+    /// Total blocks the budget holds.
+    pub capacity_blocks: u64,
+    /// Device whose tracker refused the backing allocation, when the
+    /// failure came from real device capacity rather than the pool budget.
+    pub device: Option<DeviceId>,
+}
+
+impl fmt::Display for OutOfBlocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.device {
+            Some(d) => write!(
+                f,
+                "out of KV blocks: {} tracker refused backing pages ({} requested, {} of {} free)",
+                d, self.requested_blocks, self.free_blocks, self.capacity_blocks
+            ),
+            None => write!(
+                f,
+                "out of KV blocks: {} requested, {} of {} free",
+                self.requested_blocks, self.free_blocks, self.capacity_blocks
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OutOfBlocks {}
+
+#[derive(Debug)]
+struct Block {
+    /// One backing allocation per live device (the block's shard on it).
+    allocs: Vec<(DeviceId, AllocationId)>,
+    /// Sequences whose tables reference this block.
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct SeqEntry {
+    /// Block ids, in allocation order (`blocks_per_row × rows` entries).
+    table: Vec<u64>,
+    /// Cached tokens per row this table currently covers.
+    tokens: u32,
+    /// Rows (batch members) sharing this sequence entry.
+    rows: u32,
+}
+
+/// Pool-lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Blocks ever allocated.
+    pub allocated: u64,
+    /// Blocks fully freed (refcount reached zero).
+    pub freed: u64,
+    /// High-water mark of live blocks.
+    pub peak_live: u64,
+}
+
+/// Block-granular, ref-counted KV pool over the node's live devices.
+///
+/// Every logical block is backed by one tracker allocation *per device*
+/// (label [`BLOCK_LABEL`]), so traces show each page's lifetime and the
+/// capacity checks see the pool's true footprint.
+#[derive(Debug)]
+pub struct BlockPool {
+    config: BlockPoolConfig,
+    devices: Vec<DeviceId>,
+    blocks: BTreeMap<u64, Block>,
+    seqs: BTreeMap<u64, SeqEntry>,
+    next_block: u64,
+    stats: PoolStats,
+}
+
+impl BlockPool {
+    /// Creates a pool over `devices` (the live devices at deployment).
+    /// Panics on an invalid config — validate first if it came from a user.
+    pub fn new(config: BlockPoolConfig, devices: Vec<DeviceId>) -> BlockPool {
+        if let Err(e) = config.validate() {
+            panic!("invalid BlockPoolConfig: {e}");
+        }
+        assert!(!devices.is_empty(), "a block pool needs at least one device");
+        BlockPool {
+            config,
+            devices,
+            blocks: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+            next_block: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The pool's geometry and budget.
+    pub fn config(&self) -> &BlockPoolConfig {
+        &self.config
+    }
+
+    /// Devices the pool currently allocates on.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Blocks needed per row to cache `tokens` tokens.
+    pub fn blocks_for(&self, tokens: u32) -> u64 {
+        blocks_for_tokens(tokens, self.config.block_tokens)
+    }
+
+    /// Whether `seq` has a block table.
+    pub fn has_seq(&self, seq: u64) -> bool {
+        self.seqs.contains_key(&seq)
+    }
+
+    /// Cached tokens per row for `seq`, if it has a table.
+    pub fn seq_tokens(&self, seq: u64) -> Option<u32> {
+        self.seqs.get(&seq).map(|e| e.tokens)
+    }
+
+    /// Grows `seq`'s table to cover `tokens` cached tokens per row across
+    /// `rows` rows, allocating backing pages on every live device. Creates
+    /// the table on first call; `rows` must then match on every later grow.
+    /// Shrinking is not a thing — fewer tokens than already covered is a
+    /// no-op. Returns the number of blocks added.
+    ///
+    /// On failure (pool budget or device capacity) the pool is left exactly
+    /// as before the call and the caller gets a typed [`OutOfBlocks`].
+    pub fn grow(
+        &mut self,
+        sim: &mut Simulation,
+        seq: u64,
+        tokens: u32,
+        rows: u32,
+    ) -> Result<u64, OutOfBlocks> {
+        assert!(rows >= 1, "a sequence has at least one row");
+        let have = match self.seqs.get(&seq) {
+            Some(e) => {
+                assert_eq!(e.rows, rows, "rows are fixed at sequence creation");
+                e.table.len() as u64
+            }
+            None => 0,
+        };
+        let needed = self.blocks_for(tokens) * rows as u64;
+        if needed <= have {
+            if let Some(e) = self.seqs.get_mut(&seq) {
+                e.tokens = e.tokens.max(tokens);
+            }
+            return Ok(0);
+        }
+        let delta = needed - have;
+        let capacity = self.config.capacity_blocks();
+        let live = self.live_blocks();
+        let free = capacity.saturating_sub(live);
+        if delta > free {
+            return Err(OutOfBlocks {
+                requested_blocks: delta,
+                free_blocks: free,
+                capacity_blocks: capacity,
+                device: None,
+            });
+        }
+        // Allocate the new blocks, rolling the whole grow back if any
+        // device's tracker refuses a backing page.
+        let mut added: Vec<u64> = Vec::with_capacity(delta as usize);
+        for _ in 0..delta {
+            let mut allocs: Vec<(DeviceId, AllocationId)> = Vec::with_capacity(self.devices.len());
+            let mut failed: Option<DeviceId> = None;
+            for &d in &self.devices {
+                match sim.alloc_memory(d, self.config.block_bytes, BLOCK_LABEL) {
+                    Ok(id) => allocs.push((d, id)),
+                    Err(_) => {
+                        failed = Some(d);
+                        break;
+                    }
+                }
+            }
+            if let Some(d) = failed {
+                for (_, id) in allocs {
+                    sim.free_memory(id);
+                }
+                for b in added {
+                    let block = self.blocks.remove(&b).expect("just inserted");
+                    for (_, id) in block.allocs {
+                        sim.free_memory(id);
+                    }
+                    self.stats.allocated -= 1;
+                }
+                return Err(OutOfBlocks {
+                    requested_blocks: delta,
+                    free_blocks: free,
+                    capacity_blocks: capacity,
+                    device: Some(d),
+                });
+            }
+            let id = self.next_block;
+            self.next_block += 1;
+            self.blocks.insert(id, Block { allocs, refs: 1 });
+            self.stats.allocated += 1;
+            added.push(id);
+        }
+        self.stats.peak_live = self.stats.peak_live.max(self.live_blocks());
+        let entry = self.seqs.entry(seq).or_insert(SeqEntry { table: Vec::new(), tokens: 0, rows });
+        entry.table.extend(added);
+        entry.tokens = entry.tokens.max(tokens);
+        Ok(delta)
+    }
+
+    /// Drops `seq`'s table, freeing every block whose refcount reaches
+    /// zero. Returns the number of blocks actually freed (shared blocks
+    /// survive in the replica's table). Unknown sequences free nothing.
+    pub fn release(&mut self, sim: &mut Simulation, seq: u64) -> u64 {
+        let Some(entry) = self.seqs.remove(&seq) else {
+            return 0;
+        };
+        let mut freed = 0;
+        for b in entry.table {
+            let block = self.blocks.get_mut(&b).expect("table references a live block");
+            block.refs -= 1;
+            if block.refs == 0 {
+                let block = self.blocks.remove(&b).expect("present");
+                for (_, id) in block.allocs {
+                    sim.free_memory(id);
+                }
+                self.stats.freed += 1;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Clones `src`'s table into `dst` by bumping each block's refcount —
+    /// the zero-copy replication recovery uses to keep a warm standby of a
+    /// sequence's KV state. `dst` must not already exist.
+    pub fn share(&mut self, src: u64, dst: u64) {
+        assert!(!self.seqs.contains_key(&dst), "share target already has a table");
+        let entry = self.seqs.get(&src).expect("share source has a table");
+        let cloned =
+            SeqEntry { table: entry.table.clone(), tokens: entry.tokens, rows: entry.rows };
+        for &b in &cloned.table {
+            self.blocks.get_mut(&b).expect("table references a live block").refs += 1;
+        }
+        self.seqs.insert(dst, cloned);
+    }
+
+    /// A device died: free its side of every live block (the shard is gone
+    /// with the hardware) and stop allocating on it. Block tables survive —
+    /// the surviving shards are intact, and the recovery plan prices
+    /// restoring the lost one. Returns the number of backing allocations
+    /// freed.
+    pub fn on_device_loss(&mut self, sim: &mut Simulation, dead: DeviceId) -> u64 {
+        let mut freed = 0;
+        for block in self.blocks.values_mut() {
+            let mut kept = Vec::with_capacity(block.allocs.len());
+            for (d, id) in block.allocs.drain(..) {
+                if d == dead {
+                    sim.free_memory(id);
+                    freed += 1;
+                } else {
+                    kept.push((d, id));
+                }
+            }
+            block.allocs = kept;
+        }
+        self.devices.retain(|&d| d != dead);
+        freed
+    }
+
+    /// Live (allocated, unreleased) blocks.
+    pub fn live_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Total blocks the budget holds.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.config.capacity_blocks()
+    }
+
+    /// Fraction of the budget in use.
+    pub fn occupancy(&self) -> f64 {
+        self.live_blocks() as f64 / self.capacity_blocks() as f64
+    }
+
+    /// Whether occupancy exceeds the preemption watermark.
+    pub fn above_watermark(&self) -> bool {
+        self.occupancy() > self.config.watermark
+    }
+
+    /// Whether the pool holds no blocks (every serve must end here).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of sequences holding tables.
+    pub fn live_seqs(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Ids of every sequence holding a table, ascending.
+    pub fn seq_ids(&self) -> Vec<u64> {
+        self.seqs.keys().copied().collect()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Structural invariants, checked exhaustively (for tests): every table
+    /// entry references a live block, stored refcounts equal the number of
+    /// tables referencing each block, every block is reachable from some
+    /// table, and every block's backing allocations cover exactly the live
+    /// device set.
+    pub fn check_consistent(&self) -> Result<(), String> {
+        let mut refs: BTreeMap<u64, u32> = BTreeMap::new();
+        for (seq, entry) in &self.seqs {
+            let expect = self.blocks_for(entry.tokens) * entry.rows as u64;
+            if entry.table.len() as u64 != expect {
+                return Err(format!(
+                    "seq {seq}: table holds {} blocks, {} tokens x {} rows needs {expect}",
+                    entry.table.len(),
+                    entry.tokens,
+                    entry.rows
+                ));
+            }
+            for &b in &entry.table {
+                if !self.blocks.contains_key(&b) {
+                    return Err(format!("seq {seq} references dead block {b}"));
+                }
+                *refs.entry(b).or_insert(0) += 1;
+            }
+        }
+        for (&b, block) in &self.blocks {
+            let counted = refs.get(&b).copied().unwrap_or(0);
+            if counted != block.refs {
+                return Err(format!(
+                    "block {b}: stored refcount {} but {counted} tables reference it",
+                    block.refs
+                ));
+            }
+            if block.refs == 0 {
+                return Err(format!("block {b} is live with zero references"));
+            }
+            let mut devs: Vec<DeviceId> = block.allocs.iter().map(|&(d, _)| d).collect();
+            devs.sort_by_key(|d| d.0);
+            let mut live: Vec<DeviceId> = self.devices.clone();
+            live.sort_by_key(|d| d.0);
+            if devs != live {
+                return Err(format!("block {b}: backed on {devs:?} but live devices are {live:?}"));
+            }
+        }
+        if self.stats.allocated - self.stats.freed != self.live_blocks() {
+            return Err(format!(
+                "counters disagree: {} allocated - {} freed != {} live",
+                self.stats.allocated,
+                self.stats.freed,
+                self.live_blocks()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, HostSpec};
+
+    fn sim(devices: usize) -> Simulation {
+        let mut b = Simulation::builder().devices(DeviceSpec::test_device(), devices);
+        for _ in 0..devices {
+            b = b.host(HostSpec::instant());
+        }
+        b.build().unwrap()
+    }
+
+    fn config(block_bytes: u64, budget: u64) -> BlockPoolConfig {
+        BlockPoolConfig { block_tokens: 16, block_bytes, budget_bytes: budget, watermark: 0.9 }
+    }
+
+    fn pool(devices: usize, block_bytes: u64, budget: u64) -> BlockPool {
+        BlockPool::new(config(block_bytes, budget), (0..devices).map(DeviceId).collect())
+    }
+
+    #[test]
+    fn grow_release_roundtrip_hits_the_tracker() {
+        let mut s = sim(2);
+        let mut p = pool(2, 1024, 16 * 1024);
+        // 40 tokens at 16/block = 3 blocks, on both devices.
+        let added = p.grow(&mut s, 0, 40, 1).unwrap();
+        assert_eq!(added, 3);
+        assert_eq!(p.live_blocks(), 3);
+        assert_eq!(s.memory_in_use(DeviceId(0)), 3 * 1024);
+        assert_eq!(s.memory_in_use(DeviceId(1)), 3 * 1024);
+        p.check_consistent().unwrap();
+        // Growing within the covered span allocates nothing.
+        assert_eq!(p.grow(&mut s, 0, 48, 1).unwrap(), 0);
+        // One token past the boundary adds one block.
+        assert_eq!(p.grow(&mut s, 0, 49, 1).unwrap(), 1);
+        assert_eq!(p.release(&mut s, 0), 4);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_in_use(DeviceId(0)), 0);
+        assert_eq!(s.memory_in_use(DeviceId(1)), 0);
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn rows_multiply_the_table() {
+        let mut s = sim(1);
+        let mut p = pool(1, 64, 64 * 64);
+        assert_eq!(p.grow(&mut s, 7, 16, 4).unwrap(), 4, "one block per row");
+        assert_eq!(p.grow(&mut s, 7, 17, 4).unwrap(), 4, "next block, every row");
+        p.check_consistent().unwrap();
+        p.release(&mut s, 7);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_and_clean() {
+        let mut s = sim(1);
+        let mut p = pool(1, 1024, 4 * 1024); // 4 blocks
+        p.grow(&mut s, 0, 48, 1).unwrap(); // 3 blocks
+        let err = p.grow(&mut s, 1, 32, 1).unwrap_err(); // needs 2, 1 free
+        assert_eq!(err.requested_blocks, 2);
+        assert_eq!(err.free_blocks, 1);
+        assert_eq!(err.capacity_blocks, 4);
+        assert_eq!(err.device, None);
+        assert!(err.to_string().contains("out of KV blocks"));
+        // The failed grow left nothing behind.
+        assert!(!p.has_seq(1));
+        assert_eq!(p.live_blocks(), 3);
+        p.check_consistent().unwrap();
+        p.release(&mut s, 0);
+    }
+
+    #[test]
+    fn tracker_capacity_failure_rolls_the_grow_back() {
+        let mut s = sim(1);
+        let cap = DeviceSpec::test_device().mem_capacity;
+        // Pool budget far above the device: the tracker refuses first.
+        let block = cap / 4 + 1;
+        let mut p = pool(1, block, 100 * block);
+        let before = s.memory_in_use(DeviceId(0));
+        let err = p.grow(&mut s, 0, 16 * 4, 1).unwrap_err(); // 4 blocks > capacity
+        assert_eq!(err.device, Some(DeviceId(0)));
+        assert!(!p.has_seq(0));
+        assert!(p.is_empty());
+        assert_eq!(s.memory_in_use(DeviceId(0)), before, "rollback frees partial pages");
+        p.check_consistent().unwrap();
+    }
+
+    #[test]
+    fn shared_blocks_survive_the_source_release() {
+        let mut s = sim(2);
+        let mut p = pool(2, 512, 32 * 512);
+        p.grow(&mut s, 1, 32, 1).unwrap(); // 2 blocks
+        p.share(1, 101);
+        p.check_consistent().unwrap();
+        assert_eq!(p.release(&mut s, 1), 0, "replica still references every block");
+        assert_eq!(p.live_blocks(), 2);
+        assert!(s.memory_in_use(DeviceId(0)) > 0);
+        assert_eq!(p.release(&mut s, 101), 2, "last reference frees");
+        assert!(p.is_empty());
+        assert_eq!(s.memory_in_use(DeviceId(0)), 0);
+    }
+
+    #[test]
+    fn device_loss_frees_the_dead_shard_only() {
+        let mut s = sim(3);
+        let mut p = pool(3, 256, 8 * 256);
+        p.grow(&mut s, 0, 64, 1).unwrap(); // 4 blocks x 3 devices
+        let freed = p.on_device_loss(&mut s, DeviceId(1));
+        assert_eq!(freed, 4);
+        assert_eq!(s.memory_in_use(DeviceId(1)), 0);
+        assert_eq!(s.memory_in_use(DeviceId(0)), 4 * 256);
+        assert_eq!(p.devices(), &[DeviceId(0), DeviceId(2)]);
+        p.check_consistent().unwrap();
+        // New blocks land on survivors only.
+        p.grow(&mut s, 0, 65, 1).unwrap();
+        assert_eq!(s.memory_in_use(DeviceId(1)), 0);
+        p.release(&mut s, 0);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn sized_for_leaves_engine_headroom() {
+        let model = ModelConfig::opt_30b();
+        let cap = DeviceSpec::v100_16gb().mem_capacity;
+        let cfg = BlockPoolConfig::sized_for(&model, 4, cap, 16);
+        cfg.validate().unwrap();
+        let weights = model.weight_bytes() / 4;
+        assert!(weights + 4 * cfg.budget_bytes <= cap, "budget is a quarter of the headroom");
+        assert!(cfg.capacity_blocks() > 0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_geometry() {
+        assert!(config(0, 1024).validate().is_err());
+        assert!(config(1024, 512).validate().is_err(), "budget below one block");
+        let mut bad = config(1024, 4096);
+        bad.watermark = 0.0;
+        assert!(bad.validate().is_err());
+        bad.watermark = 1.5;
+        assert!(bad.validate().is_err());
+        bad.block_tokens = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn occupancy_and_watermark() {
+        let mut s = sim(1);
+        let mut p = pool(1, 1024, 10 * 1024);
+        assert_eq!(p.occupancy(), 0.0);
+        assert!(!p.above_watermark());
+        p.grow(&mut s, 0, 16 * 10, 1).unwrap(); // all 10 blocks
+        assert_eq!(p.occupancy(), 1.0);
+        assert!(p.above_watermark());
+        p.release(&mut s, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the paged KV pool: block accounting stays consistent
+//! under arbitrary interleavings of admission, growth, release, sharing and
+//! device loss — and every serve-shaped episode ends with the pool *and*
+//! the memory tracker empty, with zero double frees.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
+
+use liger_gpu_sim::testkit::{check, Gen};
+use liger_gpu_sim::{DeviceId, DeviceSpec, Driver, HostSpec, Simulation, Wake};
+use liger_kvcache::{BlockPool, BlockPoolConfig};
+
+/// One random pool operation.
+#[derive(Debug, Clone, Copy)]
+enum PoolOp {
+    /// Admit or grow sequence `seq` to `tokens` tokens at `rows` rows.
+    Grow { seq: u64, tokens: u32, rows: u32 },
+    /// Release sequence `seq` (no-op if absent).
+    Release { seq: u64 },
+    /// Share sequence `src`'s blocks into new sequence `dst`.
+    Share { src: u64, dst: u64 },
+    /// Permanently lose one device (at most once per episode).
+    DeviceLoss,
+}
+
+fn gen_ops(g: &mut Gen) -> Vec<PoolOp> {
+    g.vec_of(1, 40, |g| match g.usize_in(0, 10) {
+        0..=4 => {
+            PoolOp::Grow { seq: g.u64_in(0, 8), tokens: g.u32_in(1, 200), rows: g.u32_in(1, 3) }
+        }
+        5..=7 => PoolOp::Release { seq: g.u64_in(0, 8) },
+        8 => PoolOp::Share { src: g.u64_in(0, 8), dst: g.u64_in(8, 16) },
+        _ => PoolOp::DeviceLoss,
+    })
+}
+
+/// Applies `ops` to a pool inside a live simulation, checking consistency
+/// after every step, then drains everything and checks emptiness.
+struct PoolDriver {
+    ops: Vec<PoolOp>,
+    pool: Option<BlockPool>,
+    config: BlockPoolConfig,
+    grows_refused: u64,
+}
+
+impl Driver for PoolDriver {
+    fn start(&mut self, sim: &mut Simulation) {
+        let mut pool = BlockPool::new(self.config, sim.alive_devices());
+        let mut lost_one = false;
+        let mut rows_of: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+        for op in self.ops.clone() {
+            match op {
+                PoolOp::Grow { seq, tokens, rows } => {
+                    // Rows are fixed at the sequence's first grow.
+                    let rows = *rows_of.entry(seq).or_insert(rows);
+                    match pool.grow(sim, seq, tokens, rows) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            self.grows_refused += 1;
+                            assert!(
+                                e.requested_blocks > 0,
+                                "a refused grow must have wanted something: {e}"
+                            );
+                        }
+                    }
+                }
+                PoolOp::Release { seq } => {
+                    pool.release(sim, seq);
+                    rows_of.remove(&seq);
+                }
+                PoolOp::Share { src, dst } => {
+                    if pool.has_seq(src) && !pool.has_seq(dst) {
+                        pool.share(src, dst);
+                        rows_of.insert(dst, rows_of[&src]);
+                    }
+                }
+                PoolOp::DeviceLoss => {
+                    if !lost_one && pool.devices().len() > 1 {
+                        lost_one = true;
+                        let dead = pool.devices()[0];
+                        pool.on_device_loss(sim, dead);
+                    }
+                }
+            }
+            pool.check_consistent().expect("pool invariant broken mid-episode");
+            assert_eq!(sim.memory_double_frees(), 0, "pool double-freed a block");
+        }
+        // Serve-shaped end: every sequence retires.
+        let live: Vec<u64> = pool.seq_ids();
+        for seq in live {
+            pool.release(sim, seq);
+            pool.check_consistent().expect("pool invariant broken during drain");
+        }
+        self.pool = Some(pool);
+        sim.request_stop();
+    }
+
+    fn on_wake(&mut self, _wake: Wake, _sim: &mut Simulation) {}
+}
+
+#[test]
+fn random_interleavings_keep_the_pool_consistent_and_leak_free() {
+    check("kv_pool_consistency", 150, |g: &mut Gen| {
+        let devices = g.usize_in(2, 4);
+        let config = BlockPoolConfig {
+            block_tokens: g.u32_in(1, 32),
+            block_bytes: 1 << g.u32_in(6, 12),
+            budget_bytes: (1 << g.u32_in(10, 16)) as u64,
+            watermark: g.f64_in(0.5, 1.0),
+        };
+        if config.validate().is_err() {
+            return; // degenerate geometry (budget below one block): skip
+        }
+        let mut builder = Simulation::builder().devices(DeviceSpec::test_device(), devices);
+        for _ in 0..devices {
+            builder = builder.host(HostSpec::instant());
+        }
+        let mut sim = builder.build().unwrap();
+        let mut driver = PoolDriver { ops: gen_ops(g), pool: None, config, grows_refused: 0 };
+        sim.run_to_completion(&mut driver);
+
+        let pool = driver.pool.expect("driver ran");
+        assert!(pool.is_empty(), "episode ended with live blocks");
+        assert_eq!(pool.live_blocks(), 0);
+        assert_eq!(pool.stats().allocated, pool.stats().freed, "alloc/free imbalance");
+        assert_eq!(sim.memory_double_frees(), 0);
+        for d in 0..devices {
+            assert_eq!(
+                sim.memory_in_use(DeviceId(d)),
+                0,
+                "device {d} still holds pool memory after drain"
+            );
+        }
+    });
+}

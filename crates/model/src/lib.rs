@@ -30,7 +30,8 @@ pub use decompose::{
 };
 pub use layers::{layer_ops, model_ops, stage_boundary_bytes, stage_ops, PlacedOp, HEAD_LAYER};
 pub use memory::{
-    device_footprint, fits, kv_recovery_plan, KvRecoveryPlan, MemoryFootprint, RecoveryPolicy,
+    blocks_for_tokens, device_footprint, fits, kv_block_bytes, kv_recovery_plan, KvRecoveryPlan,
+    MemoryFootprint, RecoveryPolicy,
 };
 pub use ops::{GemmKind, LayerOp};
 pub use profile::{measure_solo, profile_contention, ContentionProfile};

@@ -31,6 +31,31 @@ impl MemoryFootprint {
     pub fn total(&self) -> u64 {
         self.weights + self.kv_cache + self.activations
     }
+
+    /// Block-granular view of the KV share: the number of fixed-size blocks
+    /// of `block_bytes` a paged allocator needs to hold `kv_cache`, rounding
+    /// the tail token span up to a whole block.
+    pub fn kv_blocks(&self, block_bytes: u64) -> u64 {
+        assert!(block_bytes > 0, "block size must be non-zero");
+        self.kv_cache.div_ceil(block_bytes)
+    }
+}
+
+/// Per-device bytes of one KV block — `block_tokens` tokens of one
+/// sequence's K and V across every layer, sharded `ways` ways. This is the
+/// unit the paged `liger-kvcache` pool allocates in, and it matches the
+/// per-token KV term in [`device_footprint`] exactly so block counts and
+/// byte footprints agree.
+pub fn kv_block_bytes(cfg: &ModelConfig, ways: u32, block_tokens: u32) -> u64 {
+    let ways = ways.max(1) as u64;
+    2 * cfg.layers as u64 * cfg.hidden as u64 * cfg.dtype_bytes as u64 * block_tokens as u64 / ways
+}
+
+/// Blocks needed to hold `tokens` cached tokens at `block_tokens` per block
+/// (ceiling division; zero tokens need zero blocks).
+pub fn blocks_for_tokens(tokens: u32, block_tokens: u32) -> u64 {
+    assert!(block_tokens > 0, "block size must be non-zero");
+    (tokens as u64).div_ceil(block_tokens as u64)
 }
 
 /// Per-device footprint when the model is partitioned `ways` ways (either
@@ -269,6 +294,34 @@ mod tests {
     fn footprint_total_adds_up() {
         let f = MemoryFootprint { weights: 10, kv_cache: 20, activations: 30 };
         assert_eq!(f.total(), 60);
+    }
+
+    #[test]
+    fn block_bytes_match_the_footprint_kv_term() {
+        let cfg = ModelConfig::opt_30b();
+        // A context of exactly one block: footprint KV for one sequence must
+        // equal one block's bytes.
+        let bt = 16;
+        let fp = device_footprint(&cfg, 4, BatchShape::decode(1, bt), bt, 1);
+        assert_eq!(kv_block_bytes(&cfg, 4, bt), fp.kv_cache);
+        assert_eq!(fp.kv_blocks(kv_block_bytes(&cfg, 4, bt)), 1);
+    }
+
+    #[test]
+    fn blocks_round_the_tail_up() {
+        assert_eq!(blocks_for_tokens(0, 16), 0);
+        assert_eq!(blocks_for_tokens(1, 16), 1);
+        assert_eq!(blocks_for_tokens(16, 16), 1);
+        assert_eq!(blocks_for_tokens(17, 16), 2);
+        assert_eq!(blocks_for_tokens(160, 16), 10);
+    }
+
+    #[test]
+    fn kv_blocks_view_rounds_up() {
+        let f = MemoryFootprint { weights: 0, kv_cache: 1001, activations: 0 };
+        assert_eq!(f.kv_blocks(500), 3);
+        let empty = MemoryFootprint { weights: 0, kv_cache: 0, activations: 0 };
+        assert_eq!(empty.kv_blocks(500), 0);
     }
 
     #[test]

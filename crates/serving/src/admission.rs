@@ -20,6 +20,10 @@ pub enum ShedReason {
     /// The deferred-request queue exceeded the admission watermark while
     /// serving on degraded capacity.
     QueueDepth,
+    /// The paged KV pool cannot hold the sequence even with every other
+    /// sequence preempted (pool budget or device capacity below the
+    /// sequence's own footprint).
+    KvExhausted,
 }
 
 impl ShedReason {
@@ -27,6 +31,7 @@ impl ShedReason {
     pub fn name(&self) -> &'static str {
         match self {
             ShedReason::QueueDepth => "queue-depth",
+            ShedReason::KvExhausted => "kv-exhausted",
         }
     }
 }

@@ -294,6 +294,13 @@ impl<'a, E: InferenceEngine + ?Sized> QueryRunner<'a, E> {
     }
 
     fn dispatch(&mut self, batch: PackedBatch, sim: &mut Simulation) {
+        // The batch is padded to its longest member: account the waste the
+        // per-batch `Batcher::padding_waste` math computes, instead of
+        // dropping it on the floor.
+        let padded_seq = batch.request.shape.phase.tokens() as u64;
+        let real: u64 =
+            batch.members.iter().map(|&q| self.queries[q as usize].seq_len as u64).sum();
+        self.metrics.batching_mut().record_batch(padded_seq * batch.members.len() as u64, real);
         self.in_flight.insert(
             batch.request.id,
             InFlightBatch {

@@ -8,6 +8,12 @@
 //! submitted when iteration *k* completes, so generations from different
 //! jobs interleave naturally inside the engine — which is precisely the
 //! regime interleaved parallelism was designed for.
+//!
+//! This driver batches *statically*: a job's members share one padded
+//! sequence length and retire together. It remains as the fixed-batch
+//! baseline; the default generative path is the iteration-level
+//! continuous-batching scheduler in [`crate::scheduler`], which re-forms
+//! the running set at every decode step over a paged KV pool.
 
 use std::collections::HashMap;
 
@@ -86,6 +92,11 @@ impl GenerationMetrics {
     /// Per-job results.
     pub fn results(&self) -> &[GenerationResult] {
         &self.results
+    }
+
+    /// Records one finished generation (used by the serving drivers).
+    pub fn record(&mut self, r: GenerationResult) {
+        self.results.push(r);
     }
 
     /// Mean time to first token.

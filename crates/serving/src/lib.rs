@@ -21,6 +21,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod request;
 pub mod runner;
+pub mod scheduler;
 
 pub use admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord};
 pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
@@ -34,7 +35,10 @@ pub use generation::{
     serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner,
 };
 pub use health::{HealthConfig, HealthMonitor};
-pub use metrics::{FaultCounters, RecoveryCounters, ServingMetrics};
+pub use metrics::{BatchingCounters, FaultCounters, RecoveryCounters, ServingMetrics};
 pub use recovery::{serve_with_recovery, RecoveryConfig, RecoveryPhase, RecoveryRunner};
 pub use request::{Completion, Request};
 pub use runner::{serve, serve_with_policy, RetryPolicy, ServingRunner};
+pub use scheduler::{serve_continuous, ContinuousReport, ContinuousScheduler, SchedulerConfig};
+
+pub use liger_kvcache::{BlockPool, BlockPoolConfig, OutOfBlocks};

@@ -57,12 +57,73 @@ impl RecoveryCounters {
     }
 }
 
+/// Batching-efficiency counters: the padding waste the static batcher pays
+/// (computed per-batch in `batcher.rs` but previously dropped) and the
+/// paged-pool pressure events of the continuous scheduler. All zero on runs
+/// that never batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchingCounters {
+    /// Batches (or decode steps) dispatched.
+    pub batches: u64,
+    /// Tokens the dispatched shapes actually processed, padding included.
+    pub padded_tokens: u64,
+    /// Tokens the batched sequences really needed.
+    pub real_tokens: u64,
+    /// Sum of running-set occupancy samples (running / max_running), one
+    /// per decode step; divide by `occupancy_samples` for the average.
+    pub occupancy_sum: f64,
+    /// Number of occupancy samples taken.
+    pub occupancy_samples: u64,
+    /// Sequences preempted (blocks evicted, prefill to be recomputed).
+    pub preemptions: u64,
+    /// KV blocks freed by preemption.
+    pub evicted_blocks: u64,
+    /// Typed `OutOfBlocks` failures the scheduler absorbed.
+    pub out_of_blocks: u64,
+}
+
+impl BatchingCounters {
+    /// Aggregate padding-waste ratio: the fraction of processed tokens that
+    /// were padding, `(padded − real) / padded`. Zero when nothing batched.
+    pub fn padding_waste(&self) -> f64 {
+        if self.padded_tokens == 0 {
+            return 0.0;
+        }
+        (self.padded_tokens - self.real_tokens) as f64 / self.padded_tokens as f64
+    }
+
+    /// Average running-set occupancy across decode steps (zero when no
+    /// samples were taken).
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            return 0.0;
+        }
+        self.occupancy_sum / self.occupancy_samples as f64
+    }
+
+    /// Records one dispatched batch shape: `padded` tokens processed of
+    /// which `real` were useful.
+    pub fn record_batch(&mut self, padded: u64, real: u64) {
+        debug_assert!(real <= padded, "real tokens cannot exceed the padded shape");
+        self.batches += 1;
+        self.padded_tokens += padded;
+        self.real_tokens += real;
+    }
+
+    /// Records one running-set occupancy sample.
+    pub fn record_occupancy(&mut self, occupancy: f64) {
+        self.occupancy_sum += occupancy;
+        self.occupancy_samples += 1;
+    }
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServingMetrics {
     completions: Vec<Completion>,
     faults: FaultCounters,
     recovery: RecoveryCounters,
+    batching: BatchingCounters,
 }
 
 impl ServingMetrics {
@@ -175,6 +236,16 @@ impl ServingMetrics {
     pub fn recovery_timeline(&self) -> &[(&'static str, SimTime)] {
         &self.recovery.timeline
     }
+
+    /// Batching-efficiency counters (all zero on runs that never batch).
+    pub fn batching(&self) -> &BatchingCounters {
+        &self.batching
+    }
+
+    /// Mutable access for the batcher and the continuous scheduler.
+    pub fn batching_mut(&mut self) -> &mut BatchingCounters {
+        &mut self.batching
+    }
 }
 
 /// Metrics serialize as a summary object (latencies in nanoseconds,
@@ -189,7 +260,23 @@ impl liger_gpu_sim::ToJson for ServingMetrics {
             .field("max_latency_ns", &self.max_latency())
             .field("throughput", &self.throughput())
             .field("faults", &self.faults)
-            .field("recovery", &self.recovery);
+            .field("recovery", &self.recovery)
+            .field("batching", &self.batching);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for BatchingCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("batches", &self.batches)
+            .field("padded_tokens", &self.padded_tokens)
+            .field("real_tokens", &self.real_tokens)
+            .field("padding_waste", &self.padding_waste())
+            .field("avg_occupancy", &self.avg_occupancy())
+            .field("preemptions", &self.preemptions)
+            .field("evicted_blocks", &self.evicted_blocks)
+            .field("out_of_blocks", &self.out_of_blocks);
         obj.end();
     }
 }
@@ -329,6 +416,29 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"losses\":1"));
         assert!(json.contains("\"shed_requests\":1"));
+    }
+
+    #[test]
+    fn batching_counters_aggregate_and_serialize() {
+        let mut m = ServingMetrics::new();
+        assert_eq!(*m.batching(), BatchingCounters::default());
+        assert_eq!(m.batching().padding_waste(), 0.0);
+        assert_eq!(m.batching().avg_occupancy(), 0.0);
+        m.batching_mut().record_batch(100, 75);
+        m.batching_mut().record_batch(100, 25);
+        m.batching_mut().record_occupancy(0.5);
+        m.batching_mut().record_occupancy(1.0);
+        m.batching_mut().preemptions += 1;
+        m.batching_mut().evicted_blocks += 4;
+        m.batching_mut().out_of_blocks += 2;
+        assert_eq!(m.batching().batches, 2);
+        assert!((m.batching().padding_waste() - 0.5).abs() < 1e-12);
+        assert!((m.batching().avg_occupancy() - 0.75).abs() < 1e-12);
+        use liger_gpu_sim::ToJson;
+        let json = m.to_json();
+        assert!(json.contains("\"padding_waste\":0.5"));
+        assert!(json.contains("\"preemptions\":1"));
+        assert!(json.contains("\"out_of_blocks\":2"));
     }
 
     #[test]

@@ -1,0 +1,962 @@
+//! Continuous batching: the iteration-level scheduler over a paged KV pool.
+//!
+//! The fixed-batch generation driver ([`serve_generations`]) reproduces the
+//! paper's §6 evaluation: batch members share one padded sequence length and
+//! every member waits for the slowest. Production-scale serving is
+//! *iteration-level* (Orca/vLLM, the baseline LLMServingSim and Frontier
+//! assume): the running set is re-formed at **every decode step**, so
+//! finished sequences retire immediately, waiting prefills are admitted the
+//! moment memory and the token budget allow, and KV memory is paged from a
+//! block pool ([`BlockPool`]) instead of reserved for the worst case. This
+//! module is the default generative serving path; the fixed-batch driver
+//! remains as the static baseline the `ablation_batching` benchmark compares
+//! against.
+//!
+//! Each scheduling iteration:
+//! 1. **Retire** — sequences that produced their last token release their
+//!    blocks and record their metrics, in the same wake that completed them.
+//! 2. **Admit** — waiting prefills enter while the running set, the pool
+//!    watermark, and the prefill token budget allow; each admission grows a
+//!    block table for its prompt (typed [`liger_kvcache::OutOfBlocks`]
+//!    stops admission,
+//!    never panics).
+//! 3. **Step** — every running sequence grows its table by one token and
+//!    joins one fused `BatchShape::decode` request; under memory pressure
+//!    the *youngest* sequence is preempted (blocks evicted, prefill to be
+//!    recomputed — priced through `kv_recovery_plan`) until the step fits.
+//!
+//! Device loss composes with the elastic-recovery pipeline: the watchdog
+//! confirms the loss, the engine drains and replans over the survivors, the
+//! pool frees the dead device's side of every block, cancelled prefills
+//! re-queue, and the surviving sequences' lost shard is rebuilt under the
+//! configured [`RecoveryPolicy`] before degraded serving resumes behind the
+//! admission shedder.
+
+use std::collections::{HashMap, VecDeque};
+
+use liger_gpu_sim::{
+    DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId, Wake,
+};
+use liger_kvcache::{BlockPool, BlockPoolConfig};
+use liger_model::{kv_recovery_plan, CostModel, ModelConfig, RecoveryPolicy};
+
+use crate::admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord};
+use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
+#[allow(unused_imports)] // doc link
+use crate::generation::serve_generations;
+use crate::generation::{GenerationJob, GenerationMetrics, GenerationResult};
+use crate::health::{HealthConfig, HealthMonitor};
+use crate::metrics::ServingMetrics;
+use crate::recovery::RecoveryPhase;
+use crate::request::{Completion, Request};
+
+/// Token base handed to the health monitor (bit 63 = runner namespace,
+/// bit 59 = health sub-namespace; the monitor fills the low 49 bits).
+const HEALTH_BASE: u64 = RUNNER_TOKEN_BASE | (1 << 59);
+
+/// Drain-barrier completion token (one event per survivor stream).
+const DRAIN_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 56);
+
+/// KV-recovery completion token.
+const RECOVERED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 55);
+
+/// Engine streams the drain barrier covers (the Liger engine launches on
+/// streams 0 and 1; probes ride elsewhere).
+const BARRIER_STREAMS: usize = 2;
+
+/// Parameters of the continuous-batching scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Geometry and budget of the paged KV pool.
+    pub pool: BlockPoolConfig,
+    /// Running-set bound: sequences decoding concurrently (plus admitted
+    /// prefills in flight).
+    pub max_running: usize,
+    /// Prompt tokens allowed in flight as prefills at once — bounds how much
+    /// prefill work can delay the decode stream (iteration-level admission).
+    pub prefill_token_budget: u64,
+    /// How lost KV shards are rebuilt after a device loss, and how evicted
+    /// sequences are priced.
+    pub policy: RecoveryPolicy,
+    /// Watchdog parameters; `None` disables loss detection (healthy runs).
+    pub health: Option<HealthConfig>,
+    /// Backlog bound applied when serving resumes on degraded capacity.
+    pub admission: AdmissionConfig,
+}
+
+impl SchedulerConfig {
+    /// A config sized for `model` partitioned `world` ways on devices with
+    /// `capacity` bytes: the pool takes a quarter of the post-weights
+    /// headroom in 16-token blocks (see [`BlockPoolConfig::sized_for`]).
+    pub fn sized_for(model: &ModelConfig, world: u32, capacity: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            pool: BlockPoolConfig::sized_for(model, world, capacity, 16),
+            max_running: 32,
+            prefill_token_budget: 2048,
+            policy: RecoveryPolicy::Replicate,
+            health: None,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    /// Rejects degenerate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.pool.validate()?;
+        if self.max_running == 0 {
+            return Err("max_running must be >= 1".into());
+        }
+        if self.prefill_token_budget == 0 {
+            return Err("prefill_token_budget must be >= 1".into());
+        }
+        if let Some(h) = &self.health {
+            h.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one continuous-batching serve: per-generation latency metrics
+/// plus the serving counters (batching efficiency, faults, recovery).
+#[derive(Debug, Clone, Default)]
+pub struct ContinuousReport {
+    /// Per-generation results (TTFT, TPOT, token throughput).
+    pub generation: GenerationMetrics,
+    /// Serving counters: completions, batching efficiency, recovery.
+    pub serving: ServingMetrics,
+}
+
+#[derive(Debug)]
+struct SeqState {
+    job: GenerationJob,
+    first_token: Option<SimTime>,
+    /// Completed steps (step 0 = prefill; `output_tokens` steps finish).
+    steps_done: u32,
+}
+
+impl SeqState {
+    /// Tokens the KV cache holds after `steps_done` completed steps.
+    fn cached_tokens(&self) -> u32 {
+        if self.steps_done == 0 {
+            0
+        } else {
+            self.job.prompt_len + self.steps_done - 1
+        }
+    }
+
+    fn total_steps(&self) -> u32 {
+        self.job.output_tokens.max(1)
+    }
+}
+
+/// Iteration-level serving driver: continuous batching over a paged KV
+/// pool, composed with the health watchdog, drain-and-replan recovery, and
+/// admission shedding. See the module docs for the scheduling loop.
+pub struct ContinuousScheduler<'a, E: InferenceEngine + ?Sized> {
+    engine: &'a mut E,
+    jobs: Vec<GenerationJob>,
+    model: &'a ModelConfig,
+    cost: &'a CostModel,
+    config: SchedulerConfig,
+    pool: BlockPool,
+    admission: AdmissionController,
+    monitor: Option<HealthMonitor>,
+    phase: RecoveryPhase,
+
+    states: HashMap<u64, SeqState>,
+    /// Arrival/preemption queue (front = next to admit; preempted sequences
+    /// re-enter at the front — they are oldest).
+    waiting: VecDeque<u64>,
+    /// Sequences with live KV decoding together, admission order (the
+    /// youngest is last — the preemption victim).
+    running: Vec<u64>,
+    /// In-flight prefill requests: request id → job id.
+    prefill_inflight: HashMap<u64, u64>,
+    /// The one in-flight fused decode step, if any.
+    decode_inflight: Option<(u64, Vec<u64>)>,
+    prefill_tokens_inflight: u64,
+    next_request: u64,
+
+    generation: GenerationMetrics,
+    serving: ServingMetrics,
+    outstanding: usize,
+    done: Vec<bool>,
+
+    /// Recovery state (mirrors `RecoveryRunner`).
+    pending_losses: VecDeque<DeviceId>,
+    ground_truth: Vec<(DeviceId, SimTime)>,
+    survivors: Vec<DeviceId>,
+    drain_pending: usize,
+    drain_started: SimTime,
+    recover_started: SimTime,
+}
+
+impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
+    /// Creates a scheduler over `jobs` (dense ids, sorted by arrival),
+    /// paging KV through a pool over `devices` (the live devices at start).
+    pub fn new(
+        engine: &'a mut E,
+        jobs: Vec<GenerationJob>,
+        model: &'a ModelConfig,
+        cost: &'a CostModel,
+        config: SchedulerConfig,
+        devices: Vec<DeviceId>,
+    ) -> Self {
+        config.validate().expect("invalid SchedulerConfig");
+        let outstanding = jobs.len();
+        let done = vec![false; jobs.len()];
+        let pool = BlockPool::new(config.pool, devices);
+        ContinuousScheduler {
+            engine,
+            jobs,
+            model,
+            cost,
+            config,
+            pool,
+            admission: AdmissionController::new(config.admission),
+            monitor: None,
+            phase: RecoveryPhase::Normal,
+            states: HashMap::new(),
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            prefill_inflight: HashMap::new(),
+            decode_inflight: None,
+            prefill_tokens_inflight: 0,
+            next_request: 0,
+            generation: GenerationMetrics::default(),
+            serving: ServingMetrics::new(),
+            outstanding,
+            done,
+            pending_losses: VecDeque::new(),
+            ground_truth: Vec::new(),
+            survivors: Vec::new(),
+            drain_pending: 0,
+            drain_started: SimTime::ZERO,
+            recover_started: SimTime::ZERO,
+        }
+    }
+
+    /// The collected report (complete once the simulation has stopped).
+    pub fn into_report(self) -> ContinuousReport {
+        ContinuousReport { generation: self.generation, serving: self.serving }
+    }
+
+    /// Current recovery phase.
+    pub fn phase(&self) -> RecoveryPhase {
+        self.phase
+    }
+
+    fn owns_health(&self, token: u64) -> bool {
+        self.monitor.as_ref().is_some_and(|m| m.owns(token))
+    }
+
+    fn set_phase(&mut self, phase: RecoveryPhase, now: SimTime) {
+        self.phase = phase;
+        self.serving.recovery_mut().timeline.push((phase.name(), now));
+    }
+
+    fn serving_phase(&self) -> bool {
+        matches!(self.phase, RecoveryPhase::Normal | RecoveryPhase::Degraded)
+    }
+
+    // -- the scheduling loop ------------------------------------------------
+
+    /// One scheduling iteration: admit, then form the next fused decode
+    /// step. Runs after every wake while serving (not mid-recovery).
+    fn pump(&mut self, sim: &mut Simulation) {
+        self.admit(sim);
+        if self.decode_inflight.is_none() {
+            self.form_decode_step(sim);
+        }
+    }
+
+    /// Admits waiting sequences: first-come first-served while the running
+    /// set, the pool watermark, and the prefill token budget allow.
+    fn admit(&mut self, sim: &mut Simulation) {
+        while let Some(&id) = self.waiting.front() {
+            let active = self.running.len() + self.prefill_inflight.len();
+            if active >= self.config.max_running {
+                return;
+            }
+            if self.pool.above_watermark() {
+                return;
+            }
+            let state = &self.states[&id];
+            let (prompt, rows) = (state.job.prompt_len, state.job.batch);
+            // A sequence whose *final* footprint exceeds the whole pool can
+            // never run: shed it with a typed reason instead of spinning.
+            let final_tokens = prompt + state.total_steps() - 1;
+            if self.pool.blocks_for(final_tokens) * rows as u64 > self.pool.capacity_blocks() {
+                self.waiting.pop_front();
+                self.shed_kv_exhausted(id, sim.now());
+                continue;
+            }
+            // Replayed prefills re-run over their full cached span.
+            let replay_tokens = prompt.max(state.cached_tokens());
+            let prefill_tokens = replay_tokens as u64 * rows as u64;
+            if self.prefill_tokens_inflight > 0
+                && self.prefill_tokens_inflight + prefill_tokens > self.config.prefill_token_budget
+            {
+                return;
+            }
+            match self.pool.grow(sim, id, replay_tokens, rows) {
+                Ok(_) => {
+                    self.waiting.pop_front();
+                    let rid = self.next_request;
+                    self.next_request += 1;
+                    self.prefill_inflight.insert(rid, id);
+                    self.prefill_tokens_inflight += prefill_tokens;
+                    let shape = liger_model::BatchShape::prefill(rows, replay_tokens);
+                    self.engine.submit(Request::new(rid, shape, sim.now()), sim);
+                }
+                Err(_) if self.running.is_empty() && self.prefill_inflight.is_empty() => {
+                    // Nothing to preempt and nothing in flight: the pool can
+                    // never satisfy this sequence (device capacity).
+                    self.serving.batching_mut().out_of_blocks += 1;
+                    self.waiting.pop_front();
+                    self.pool.release(sim, id);
+                    self.shed_kv_exhausted(id, sim.now());
+                }
+                Err(_) => {
+                    self.serving.batching_mut().out_of_blocks += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Forms and submits the next fused decode step: grow every running
+    /// sequence's table by one token (preempting the youngest under
+    /// pressure), then submit one `BatchShape::decode` over the whole set.
+    fn form_decode_step(&mut self, sim: &mut Simulation) {
+        // Watermark-driven preemption: free headroom *before* growing so the
+        // running set can keep decoding without thrashing on OutOfBlocks.
+        while self.pool.above_watermark() && self.running.len() > 1 {
+            self.preempt_youngest(sim);
+        }
+        let mut members: Vec<u64> = Vec::with_capacity(self.running.len());
+        let mut i = 0;
+        while i < self.running.len() {
+            let id = self.running[i];
+            let (tokens, rows) = {
+                let s = &self.states[&id];
+                (s.job.prompt_len + s.steps_done, s.job.batch)
+            };
+            match self.pool.grow(sim, id, tokens, rows) {
+                Ok(_) => {
+                    members.push(id);
+                    i += 1;
+                }
+                Err(_) => {
+                    self.serving.batching_mut().out_of_blocks += 1;
+                    if self.running.len() > 1 {
+                        // Evict the youngest and retry; when `running[i]`
+                        // *is* the youngest this pops it and the loop ends.
+                        self.preempt_youngest(sim);
+                    } else if !self.prefill_inflight.is_empty() {
+                        // The pool is held by an in-flight replay prefill:
+                        // sit this step out — its completion re-pumps.
+                        return;
+                    } else {
+                        // The only live sequence cannot grow with the pool
+                        // to itself: its footprint exceeds the device.
+                        // Typed shed, no panic.
+                        let id = self.running.remove(0);
+                        self.pool.release(sim, id);
+                        self.shed_kv_exhausted(id, sim.now());
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            return;
+        }
+        let mut total_rows = 0u32;
+        let mut max_context = 0u32;
+        let mut real_tokens = 0u64;
+        for &id in &members {
+            let s = &self.states[&id];
+            // Decode step k attends over context = prompt + k - 1 cached
+            // tokens (generation.rs semantics); k = steps_done + 1.
+            let context = s.job.prompt_len + s.steps_done - 1;
+            total_rows += s.job.batch;
+            max_context = max_context.max(context);
+            real_tokens += (context as u64 + 1) * s.job.batch as u64;
+        }
+        let padded_tokens = (max_context as u64 + 1) * total_rows as u64;
+        self.serving.batching_mut().record_batch(padded_tokens, real_tokens);
+        self.serving
+            .batching_mut()
+            .record_occupancy(members.len() as f64 / self.config.max_running as f64);
+        let rid = self.next_request;
+        self.next_request += 1;
+        let shape = liger_model::BatchShape::decode(total_rows, max_context);
+        self.decode_inflight = Some((rid, members));
+        self.engine.submit(Request::new(rid, shape, sim.now()), sim);
+    }
+
+    /// Evicts the youngest running sequence: its blocks are freed, its
+    /// prefill will be recomputed on re-admission, and the recompute bill is
+    /// priced through `kv_recovery_plan` (evict-and-recompute).
+    fn preempt_youngest(&mut self, sim: &mut Simulation) {
+        let id = self.running.pop().expect("preempt requires a running sequence");
+        let (context, rows) = {
+            let s = &self.states[&id];
+            (s.cached_tokens(), s.job.batch)
+        };
+        let freed = self.pool.release(sim, id);
+        let batching = self.serving.batching_mut();
+        batching.preemptions += 1;
+        batching.evicted_blocks += freed;
+        let ways = self.pool.devices().len() as u32;
+        let plan = kv_recovery_plan(
+            self.model,
+            self.cost,
+            RecoveryPolicy::Recompute,
+            ways,
+            ways,
+            rows,
+            context,
+        );
+        self.serving.recovery_mut().recompute_tokens += plan.recompute_tokens;
+        self.waiting.push_front(id);
+    }
+
+    fn shed_kv_exhausted(&mut self, id: u64, now: SimTime) {
+        let idx = id as usize;
+        if self.done[idx] {
+            return;
+        }
+        self.done[idx] = true;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.states.remove(&id);
+        self.serving.recovery_mut().shed.push(ShedRecord {
+            id,
+            at: now,
+            reason: ShedReason::KvExhausted,
+        });
+    }
+
+    fn finish(&mut self, id: u64, finished: SimTime, sim: &mut Simulation) {
+        let state = self.states.remove(&id).expect("finishing sequence has state");
+        self.pool.release(sim, id);
+        self.generation.record(GenerationResult {
+            id,
+            arrival: state.job.arrival,
+            first_token: state.first_token.unwrap_or(finished),
+            finished,
+            tokens: state.job.output_tokens,
+            batch: state.job.batch,
+        });
+        self.serving.record(Completion { id, arrival: state.job.arrival, finished });
+        self.done[id as usize] = true;
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    fn collect(&mut self, sim: &mut Simulation) {
+        for (rid, finished) in self.engine.drain_completions() {
+            if let Some(id) = self.prefill_inflight.remove(&rid) {
+                let (join, finish_now) = {
+                    let s = self.states.get_mut(&id).expect("prefill for unknown sequence");
+                    let replay_tokens = s.job.prompt_len.max(s.cached_tokens());
+                    self.prefill_tokens_inflight = self
+                        .prefill_tokens_inflight
+                        .saturating_sub(replay_tokens as u64 * s.job.batch as u64);
+                    if s.steps_done == 0 {
+                        // Initial prefill: token 1 is out.
+                        s.first_token = Some(finished);
+                        s.steps_done = 1;
+                    }
+                    (s.steps_done < s.total_steps(), s.steps_done >= s.total_steps())
+                };
+                if finish_now {
+                    self.finish(id, finished, sim);
+                } else if join {
+                    self.running.push(id);
+                }
+            } else if self.decode_inflight.as_ref().is_some_and(|&(d, _)| d == rid) {
+                let (_, members) = self.decode_inflight.take().expect("checked above");
+                for id in members {
+                    let done_now = {
+                        let s = self.states.get_mut(&id).expect("decode member has state");
+                        s.steps_done += 1;
+                        s.steps_done >= s.total_steps()
+                    };
+                    if done_now {
+                        self.running.retain(|&r| r != id);
+                        self.finish(id, finished, sim);
+                    }
+                }
+            }
+            // Anything else is a stale completion from before a replan.
+        }
+        if self.outstanding == 0 {
+            debug_assert!(self.pool.is_empty(), "serve ended with live KV blocks");
+            if let Some(m) = &mut self.monitor {
+                m.stop();
+            }
+            sim.request_stop();
+        } else if self.serving_phase() {
+            self.pump(sim);
+        }
+    }
+
+    // -- device loss (mirrors RecoveryRunner) -------------------------------
+
+    fn confirm_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        let rec = self.serving.recovery_mut();
+        rec.losses += 1;
+        if let Some(&(_, death)) = self.ground_truth.iter().find(|&&(d, _)| d == dead) {
+            rec.detection_latency = now.saturating_since(death);
+        }
+        match self.phase {
+            RecoveryPhase::Normal | RecoveryPhase::Degraded => self.handle_loss(dead, sim),
+            RecoveryPhase::Draining | RecoveryPhase::Recovering => {
+                self.pending_losses.push_back(dead);
+            }
+        }
+    }
+
+    /// Drain-and-replan: the engine abandons its work, the pool frees the
+    /// dead device's side of every block, cancelled prefills re-queue (their
+    /// partial KV is gone), and barrier events gate the KV recovery.
+    fn handle_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        self.set_phase(RecoveryPhase::Draining, now);
+        self.drain_started = now;
+        self.survivors = sim.alive_devices().into_iter().filter(|&d| d != dead).collect::<Vec<_>>();
+        assert!(!self.survivors.is_empty(), "no surviving device to replan onto");
+        let cancelled = self.engine.on_device_loss(dead, &self.survivors, sim);
+        // The dead device's shard of every live block is gone.
+        self.pool.on_device_loss(sim, dead);
+        // Cancelled prefills lose their (partial) KV entirely and replay
+        // from the front of the queue; cancelled decode members keep their
+        // surviving shards and re-step after recovery.
+        let mut requeue: Vec<u64> = Vec::new();
+        for rid in cancelled {
+            if let Some(id) = self.prefill_inflight.remove(&rid) {
+                let s = &self.states[&id];
+                let replay_tokens = s.job.prompt_len.max(s.cached_tokens());
+                self.prefill_tokens_inflight = self
+                    .prefill_tokens_inflight
+                    .saturating_sub(replay_tokens as u64 * s.job.batch as u64);
+                self.pool.release(sim, id);
+                requeue.push(id);
+            } else if self.decode_inflight.as_ref().is_some_and(|&(d, _)| d == rid) {
+                self.decode_inflight = None;
+            }
+        }
+        // Cancelled prefills predate every waiting arrival (they were
+        // admitted first), so prepending in reverse id order keeps FCFS.
+        requeue.sort_unstable();
+        for &id in requeue.iter().rev() {
+            self.waiting.push_front(id);
+        }
+        self.drain_pending = 0;
+        for &d in &self.survivors {
+            for s in 0..BARRIER_STREAMS {
+                let ev = sim.record_event(HostId(d.0), StreamId::new(d, s));
+                sim.notify_on_event(ev, HostId(d.0), DRAIN_TOKEN);
+                self.drain_pending += 1;
+            }
+        }
+    }
+
+    /// Survivor streams are empty: price rebuilding the running sequences'
+    /// lost KV shard and launch the recovery work.
+    fn begin_recovery(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.serving.recovery_mut().drain_time += now.saturating_since(self.drain_started);
+        self.set_phase(RecoveryPhase::Recovering, now);
+        self.recover_started = now;
+        // KV was sharded over the pre-loss degree (survivors + the dead).
+        let ways = self.survivors.len() as u32 + 1;
+        let mut duration = SimDuration::ZERO;
+        let mut tokens = 0u64;
+        for &id in &self.running {
+            let s = &self.states[&id];
+            let plan = kv_recovery_plan(
+                self.model,
+                self.cost,
+                self.config.policy,
+                ways,
+                self.survivors.len() as u32,
+                s.job.batch,
+                s.cached_tokens(),
+            );
+            duration += plan.duration;
+            tokens += plan.recompute_tokens;
+        }
+        self.serving.recovery_mut().recompute_tokens += tokens;
+        if duration == SimDuration::ZERO {
+            self.finish_recovery(sim);
+            return;
+        }
+        let spec = match self.config.policy {
+            RecoveryPolicy::Recompute => KernelSpec::compute("kv-recover-recompute", duration),
+            RecoveryPolicy::Replicate => KernelSpec::comm("kv-recover-replicate", duration),
+        };
+        for &d in &self.survivors {
+            sim.launch(HostId(d.0), StreamId::new(d, 0), spec.clone());
+        }
+        let d0 = self.survivors[0];
+        let ev = sim.record_event(HostId(d0.0), StreamId::new(d0, 0));
+        sim.notify_on_event(ev, HostId(d0.0), RECOVERED_TOKEN);
+    }
+
+    fn finish_recovery(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.serving.recovery_mut().replan_time += now.saturating_since(self.recover_started);
+        self.enter_degraded(sim);
+    }
+
+    /// Back to serving on the survivors: shed the waiting backlog beyond the
+    /// admission watermark (oldest first), resume the scheduling loop, then
+    /// take on any loss confirmed while this recovery ran.
+    fn enter_degraded(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        self.set_phase(RecoveryPhase::Degraded, now);
+        let shed = self.admission.shed_excess(&mut self.waiting, now);
+        for s in &shed {
+            let idx = s.id as usize;
+            if !self.done[idx] {
+                self.done[idx] = true;
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.states.remove(&s.id);
+            }
+        }
+        self.serving.recovery_mut().shed.extend(shed);
+        self.pump(sim);
+        if let Some(dead) = self.pending_losses.pop_front() {
+            self.handle_loss(dead, sim);
+        }
+    }
+}
+
+impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
+    fn start(&mut self, sim: &mut Simulation) {
+        assert!(
+            // Ids must stay clear of the drain/recovered/health marker bits.
+            self.jobs.len() < (1u64 << 55) as usize,
+            "job count overflows the scheduler token namespace"
+        );
+        if let Some(health) = self.config.health {
+            let mut monitor = HealthMonitor::new(health, sim.alive_devices(), HEALTH_BASE);
+            monitor.start(sim);
+            self.monitor = Some(monitor);
+        }
+        if self.jobs.is_empty() {
+            if let Some(m) = &mut self.monitor {
+                m.stop();
+            }
+            sim.request_stop();
+            return;
+        }
+        for (i, job) in self.jobs.iter().enumerate() {
+            debug_assert_eq!(job.id as usize, i, "job ids must be dense indices");
+            sim.set_timer(job.arrival, RUNNER_TOKEN_BASE | job.id);
+        }
+    }
+
+    fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
+        // The monitor inspects every wake; confirmations come back here.
+        let confirmed = match &mut self.monitor {
+            Some(m) => m.on_wake(&wake, sim),
+            None => Vec::new(),
+        };
+        for dead in confirmed {
+            self.confirm_loss(dead, sim);
+        }
+        match wake {
+            // Oracle knowledge: logged for the detection-latency metric,
+            // never acted on directly.
+            Wake::DeviceDown { device, at } => {
+                self.ground_truth.push((device, at));
+            }
+            Wake::Timer { token } if self.owns_health(token) => {}
+            Wake::EventFired { token, .. } if self.owns_health(token) => {}
+            Wake::EventFired { token, .. } if token == DRAIN_TOKEN => {
+                self.drain_pending = self.drain_pending.saturating_sub(1);
+                if self.drain_pending == 0 && self.phase == RecoveryPhase::Draining {
+                    self.begin_recovery(sim);
+                }
+            }
+            Wake::EventFired { token, .. } if token == RECOVERED_TOKEN => {
+                if self.phase == RecoveryPhase::Recovering {
+                    self.finish_recovery(sim);
+                }
+            }
+            Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
+                let id = token & !RUNNER_TOKEN_BASE;
+                let job = self.jobs[id as usize];
+                debug_assert_eq!(job.id, id, "job ids must be dense indices");
+                self.states.insert(id, SeqState { job, first_token: None, steps_done: 0 });
+                self.waiting.push_back(id);
+            }
+            other => self.engine.on_wake(other, sim),
+        }
+        self.collect(sim);
+    }
+}
+
+/// Serves generation `jobs` with continuous batching: iteration-level
+/// scheduling over a paged KV pool, composed with health monitoring,
+/// drain-and-replan recovery, and admission shedding. This is the default
+/// generative serving path (the fixed-batch [`serve_generations`] remains
+/// as the static baseline).
+pub fn serve_continuous<E: InferenceEngine + ?Sized>(
+    sim: &mut Simulation,
+    engine: &mut E,
+    jobs: Vec<GenerationJob>,
+    model: &ModelConfig,
+    cost: &CostModel,
+    config: SchedulerConfig,
+) -> ContinuousReport {
+    let devices = sim.alive_devices();
+    let mut scheduler = ContinuousScheduler::new(engine, jobs, model, cost, config, devices);
+    sim.run_to_completion(&mut scheduler);
+    scheduler.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger_gpu_sim::{DeviceSpec, FaultSpec, HostSpec};
+    use liger_model::Phase;
+
+    /// Iteration engine: prefill 10us, decode 2us, round-robin across its
+    /// devices, with epoch-guarded completions and honest loss support.
+    struct StepToy {
+        devices: Vec<DeviceId>,
+        next: usize,
+        epoch: u64,
+        inflight: Vec<u64>,
+        done: Vec<(u64, SimTime)>,
+        decode_batches: Vec<u32>,
+    }
+
+    impl StepToy {
+        fn new(world: usize) -> StepToy {
+            StepToy {
+                devices: (0..world).map(DeviceId).collect(),
+                next: 0,
+                epoch: 0,
+                inflight: Vec::new(),
+                done: Vec::new(),
+                decode_batches: Vec::new(),
+            }
+        }
+    }
+
+    impl InferenceEngine for StepToy {
+        fn name(&self) -> &'static str {
+            "step-toy"
+        }
+        fn submit(&mut self, request: Request, sim: &mut Simulation) {
+            let us = match request.shape.phase {
+                Phase::Prefill { .. } => 10,
+                Phase::Decode { .. } => {
+                    self.decode_batches.push(request.shape.batch);
+                    2
+                }
+            };
+            let d = self.devices[self.next % self.devices.len()];
+            self.next += 1;
+            let stream = StreamId::new(d, 0);
+            sim.launch(
+                HostId(d.0),
+                stream,
+                KernelSpec::compute("it", SimDuration::from_micros(us)).with_tag(request.id),
+            );
+            let ev = sim.record_event(HostId(d.0), stream);
+            sim.notify_on_event(ev, HostId(d.0), (self.epoch << 48) | request.id);
+            self.inflight.push(request.id);
+        }
+        fn on_wake(&mut self, wake: Wake, _: &mut Simulation) {
+            if let Wake::EventFired { token, fired_at, .. } = wake {
+                if token >> 48 != self.epoch {
+                    return; // stale completion from before a replan
+                }
+                let id = token & ((1 << 48) - 1);
+                self.inflight.retain(|&x| x != id);
+                self.done.push((id, fired_at));
+            }
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, SimTime)> {
+            std::mem::take(&mut self.done)
+        }
+        fn on_device_loss(
+            &mut self,
+            _dead: DeviceId,
+            survivors: &[DeviceId],
+            _sim: &mut Simulation,
+        ) -> Vec<u64> {
+            self.epoch += 1;
+            self.devices = survivors.to_vec();
+            self.next = 0;
+            let mut ids = std::mem::take(&mut self.inflight);
+            ids.sort_unstable();
+            ids
+        }
+    }
+
+    fn sim(world: usize, faults: FaultSpec) -> Simulation {
+        let mut b = Simulation::builder().devices(DeviceSpec::test_device(), world).faults(faults);
+        for _ in 0..world {
+            b = b.host(HostSpec::instant());
+        }
+        b.build().unwrap()
+    }
+
+    fn job(id: u64, prompt: u32, tokens: u32, arrival_us: u64) -> GenerationJob {
+        GenerationJob {
+            id,
+            batch: 1,
+            prompt_len: prompt,
+            output_tokens: tokens,
+            arrival: SimTime::from_micros(arrival_us),
+        }
+    }
+
+    fn config(block_bytes: u64, budget_blocks: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            pool: BlockPoolConfig {
+                block_tokens: 16,
+                block_bytes,
+                budget_bytes: budget_blocks * block_bytes,
+                watermark: 0.9,
+            },
+            max_running: 8,
+            prefill_token_budget: 256,
+            policy: RecoveryPolicy::Replicate,
+            health: None,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    fn run(
+        world: usize,
+        faults: FaultSpec,
+        jobs: Vec<GenerationJob>,
+        config: SchedulerConfig,
+    ) -> ContinuousReport {
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut engine = StepToy::new(world);
+        serve_continuous(&mut sim(world, faults), &mut engine, jobs, &model, &cost, config)
+    }
+
+    #[test]
+    fn all_jobs_complete_with_batching_counters() {
+        let jobs = (0..6).map(|i| job(i, 16, 8, 5 * i)).collect();
+        let r = run(2, FaultSpec::new(1), jobs, config(1024, 64));
+        assert_eq!(r.generation.completed(), 6);
+        assert_eq!(r.serving.completed(), 6);
+        let b = r.serving.batching();
+        assert!(b.batches > 0, "decode steps were recorded");
+        assert!(b.occupancy_samples > 0);
+        assert!(b.avg_occupancy() > 0.0);
+        assert_eq!(b.out_of_blocks, 0, "a generous pool never pressures");
+        assert_eq!(b.preemptions, 0);
+        for res in r.generation.results() {
+            assert!(res.first_token <= res.finished);
+            assert!(res.finished > res.arrival);
+        }
+    }
+
+    #[test]
+    fn early_finishers_retire_immediately() {
+        // One 6-token and one 20-token generation arriving together: once
+        // the short one retires, decode steps shrink to batch 1.
+        let jobs = vec![job(0, 16, 6, 0), job(1, 16, 20, 0)];
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut engine = StepToy::new(1);
+        let mut s = sim(1, FaultSpec::new(1));
+        let r = serve_continuous(&mut s, &mut engine, jobs, &model, &cost, config(1024, 64));
+        assert_eq!(r.generation.completed(), 2);
+        assert!(engine.decode_batches.contains(&2), "both decoded together at first");
+        assert!(engine.decode_batches.iter().filter(|&&b| b == 1).count() > 10, "then solo");
+        let short = r.generation.results().iter().find(|x| x.id == 0).unwrap();
+        let long = r.generation.results().iter().find(|x| x.id == 1).unwrap();
+        assert!(short.finished < long.finished, "the short job is not held hostage");
+    }
+
+    #[test]
+    fn memory_pressure_preempts_and_still_completes_everything() {
+        // 6 blocks of 16 tokens: two 40-token-prompt jobs (3 blocks each)
+        // fit, but growth past 48 tokens forces eviction of the youngest.
+        let jobs = vec![job(0, 40, 30, 0), job(1, 40, 30, 1)];
+        let r = run(1, FaultSpec::new(1), jobs, config(1024, 6));
+        assert_eq!(r.generation.completed(), 2, "preemption defers, never drops");
+        let b = r.serving.batching();
+        assert!(b.preemptions > 0, "tiny pool must preempt");
+        assert!(b.evicted_blocks > 0);
+        assert!(b.out_of_blocks > 0);
+        assert!(
+            r.serving.recovery().recompute_tokens > 0,
+            "evict-and-recompute is priced through the recovery machinery"
+        );
+    }
+
+    #[test]
+    fn impossible_sequences_shed_with_a_typed_reason() {
+        // Pool of 4 blocks = 64 tokens; job 1 needs 80 tokens of KV at its
+        // final step and can never fit.
+        let jobs = vec![job(0, 16, 4, 0), job(1, 70, 11, 1)];
+        let r = run(1, FaultSpec::new(1), jobs, config(1024, 4));
+        assert_eq!(r.generation.completed(), 1);
+        let shed = &r.serving.recovery().shed;
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].id, 1);
+        assert_eq!(shed[0].reason.name(), "kv-exhausted");
+    }
+
+    #[test]
+    fn device_loss_recovers_and_accounts_every_job() {
+        let mut cfg = config(1024, 64);
+        cfg.health = Some(HealthConfig::default());
+        let death = SimTime::from_micros(100);
+        let faults = FaultSpec::new(1).device_down(DeviceId(1), death);
+        let jobs = (0..10).map(|i| job(i, 16, 12, 10 * i)).collect();
+        let r = run(2, faults, jobs, cfg);
+        let rec = r.serving.recovery();
+        assert_eq!(rec.losses, 1, "exactly one confirmed loss");
+        assert_eq!(
+            r.generation.completed() + rec.shed_requests() as usize,
+            10,
+            "every job completes or is shed with a reason"
+        );
+        let labels: Vec<&str> = r.serving.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert!(labels.starts_with(&["draining"]), "timeline {labels:?}");
+        assert!(labels.contains(&"degraded"));
+        assert!(rec.detection_latency <= HealthConfig::default().detection_bound());
+    }
+
+    #[test]
+    fn empty_job_list_terminates() {
+        let r = run(1, FaultSpec::new(1), Vec::new(), config(1024, 8));
+        assert_eq!(r.generation.completed(), 0);
+        assert_eq!(r.serving.completed(), 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerates() {
+        let mut c = config(1024, 8);
+        assert!(c.validate().is_ok());
+        c.max_running = 0;
+        assert!(c.validate().is_err());
+        c.max_running = 4;
+        c.prefill_token_budget = 0;
+        assert!(c.validate().is_err());
+        c.prefill_token_budget = 64;
+        c.pool.budget_bytes = 0;
+        assert!(c.validate().is_err());
+        let sized = SchedulerConfig::sized_for(
+            &ModelConfig::opt_30b(),
+            4,
+            DeviceSpec::v100_16gb().mem_capacity,
+        );
+        assert!(sized.validate().is_ok());
+    }
+}

@@ -12,8 +12,9 @@
 //! | [`sim`] | `liger-gpu-sim` | discrete-event multi-GPU simulator: streams, hardware launch queues, events, hosts, contention, collective rendezvous |
 //! | [`collectives`] | `liger-collectives` | interconnect topology + NCCL-like collective cost model and planning |
 //! | [`model`] | `liger-model` | transformer model zoo (Table 1), kernel sequences, roofline cost model, decomposition, memory accounting, offline profiling |
+//! | [`kvcache`] | `liger-kvcache` | paged KV-cache block pool: block tables, ref-counted blocks, typed exhaustion |
 //! | [`parallelism`] | `liger-parallelism` | the Intra-Op / Inter-Op / Inter-Th baseline engines |
-//! | [`serving`] | `liger-serving` | requests, arrival processes, metrics, the serving runner |
+//! | [`serving`] | `liger-serving` | requests, arrival processes, metrics, the serving runner, continuous batching |
 //! | [`runtime`] | `liger-core` | the Liger runtime: function assembly, Algorithm 1, hybrid synchronization, contention anticipation, runtime decomposition |
 //!
 //! ## Quickstart
@@ -52,6 +53,9 @@ pub use liger_collectives as collectives;
 /// Transformer workload model (`liger-model`).
 pub use liger_model as model;
 
+/// Paged KV-cache block pool (`liger-kvcache`).
+pub use liger_kvcache as kvcache;
+
 /// Baseline parallelism engines (`liger-parallelism`).
 pub use liger_parallelism as parallelism;
 
@@ -66,14 +70,15 @@ pub mod prelude {
     pub use liger_collectives::{CollectiveKind, CollectivePlan, NcclConfig, Topology};
     pub use liger_core::{LigerConfig, LigerEngine, SyncMode};
     pub use liger_gpu_sim::prelude::*;
+    pub use liger_kvcache::{BlockPool, BlockPoolConfig, OutOfBlocks};
     pub use liger_model::{
         assemble, class_totals, profile_contention, BatchShape, CostModel, ModelConfig, Phase,
         RecoveryPolicy,
     };
     pub use liger_parallelism::{InterOpEngine, IntraOpEngine, PipelineFlavor};
     pub use liger_serving::{
-        serve, serve_with_policy, serve_with_recovery, AdmissionConfig, ArrivalProcess,
-        DecodeTraceConfig, FaultCounters, HealthConfig, InferenceEngine, PrefillTraceConfig,
-        RecoveryConfig, Request, RetryPolicy, ServingMetrics,
+        serve, serve_continuous, serve_with_policy, serve_with_recovery, AdmissionConfig,
+        ArrivalProcess, DecodeTraceConfig, FaultCounters, HealthConfig, InferenceEngine,
+        PrefillTraceConfig, RecoveryConfig, Request, RetryPolicy, SchedulerConfig, ServingMetrics,
     };
 }
