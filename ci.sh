@@ -33,13 +33,30 @@ cargo test -q --workspace
 # the LIGER_PROP_SEED to rerun the exact case.
 echo "==> fault & property suites (pinned seed)"
 LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace --test recovery
-LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests --test core_props
 LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-kvcache --test pool_props
 
 echo "==> fault & property suites (fresh seed)"
-cargo test -q -p liger-gpu-sim --test fault_props --test proptests
+cargo test -q -p liger-gpu-sim --test fault_props --test proptests --test core_props
 cargo test -q -p liger-kvcache --test pool_props
 cargo test -q --test recovery
+
+# Parallel event core gate (DESIGN.md §13): the full tier-1 suite must be
+# observationally identical on the device-sharded core — LIGER_CORE=par
+# reroutes every Simulation::run in the workspace through ParallelCore —
+# plus the serving-level invariance suite with a pinned property seed, and
+# the bench_simcore smoke run, which cross-checks both cores dispatch
+# identical event counts to identical simulated end times.
+echo "==> full test suite under LIGER_CORE=par"
+LIGER_CORE=par cargo test -q --workspace
+LIGER_CORE=par LIGER_PROP_SEED=0xfa0175 \
+    cargo test -q -p liger-gpu-sim --test core_props --test fault_props --test proptests
+
+echo "==> cross-core invariance suite"
+cargo test -q --test core_invariance
+
+echo "==> bench_simcore --smoke"
+cargo run --release -q -p liger-bench --bin bench_simcore -- --smoke
 
 # Recovery ablation accounting gate: a short trace through every loss
 # scenario x policy; the binary exits non-zero if any request goes missing

@@ -323,6 +323,17 @@ impl FaultSpec {
         worst
     }
 
+    /// Whether *any* kernel starting in `[from, until)` could fail. A
+    /// conservative window check used by the parallel core to keep
+    /// fault-prone intervals on the coordinator, where failure wakes can be
+    /// delivered to the driver in canonical order.
+    pub(crate) fn kernel_failure_possible(&self, from: SimTime, until: SimTime) -> bool {
+        match self.kernel_faults {
+            Some(kf) => kf.prob > 0.0 && from < kf.until && kf.from < until,
+            None => false,
+        }
+    }
+
     /// Whether a kernel beginning on `device` at `at` fails, and if so the
     /// fraction of its runtime it consumes first. Pure function of
     /// `(seed, at, device)`.

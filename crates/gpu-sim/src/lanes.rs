@@ -1,0 +1,137 @@
+//! Event lanes: the per-lane pending-event queues both event cores dispatch
+//! from.
+//!
+//! The simulator used to keep a single global `BinaryHeap` ordered by
+//! `(time, global-push-sequence)`. That order is inherently serial: the
+//! tie-break depends on the interleaving of pushes across devices, so no
+//! parallel engine could reproduce it without replaying the exact global
+//! push history. The lane refactor replaces it with a *canonical dispatch
+//! key*:
+//!
+//! ```text
+//! (time, lane rank, lane-local sequence)
+//! ```
+//!
+//! where rank 0 is the **global lane** (host completions, timers, driver
+//! wakes, collective completions, fault boundaries, device deaths) and rank
+//! `d + 1` is device `d`'s **local lane** (its kernel completions and comm
+//! dispatch-lag expiries). Each lane assigns its own monotonically
+//! increasing sequence numbers, so the total order is a pure function of
+//! per-lane push histories — which a sharded engine reproduces exactly,
+//! because a device's lane is only ever pushed to while that device is
+//! being processed (by the coordinator or by its own shard).
+//!
+//! [`SequentialCore`](crate::cores::SequentialCore) dispatches by scanning
+//! lane heads for the minimum key; [`ParallelCore`](crate::cores::
+//! ParallelCore) hands whole lanes to shard workers and merges their
+//! buffered effects back in the same key order. Identical order, identical
+//! traces.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// One pending event in a lane: payload plus its dispatch key fragment.
+#[derive(Debug)]
+pub(crate) struct LaneEntry<T> {
+    /// Scheduled dispatch time.
+    pub at: SimTime,
+    /// Lane-local push sequence (tie-break within the lane).
+    pub seq: u64,
+    /// The pending event itself.
+    pub payload: T,
+}
+
+impl<T> PartialEq for LaneEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for LaneEntry<T> {}
+impl<T> PartialOrd for LaneEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for LaneEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A single lane: a min-heap of pending events ordered by
+/// `(time, lane-local sequence)`, with the lane owning its sequence counter.
+#[derive(Debug)]
+pub(crate) struct EventLane<T> {
+    heap: BinaryHeap<Reverse<LaneEntry<T>>>,
+    seq: u64,
+}
+
+impl<T> Default for EventLane<T> {
+    fn default() -> Self {
+        EventLane { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T> EventLane<T> {
+    /// Schedules `payload` at `at`, assigning the next lane-local sequence.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(LaneEntry { at, seq, payload }));
+    }
+
+    /// The `(time, seq)` key of the earliest pending event, if any.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<LaneEntry<T>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events in the lane.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_push_order() {
+        let mut lane: EventLane<u32> = EventLane::default();
+        lane.push(SimTime::from_nanos(50), 1);
+        lane.push(SimTime::from_nanos(10), 2);
+        lane.push(SimTime::from_nanos(10), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| lane.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![2, 3, 1], "equal times dispatch in push order");
+    }
+
+    #[test]
+    fn peek_key_matches_pop() {
+        let mut lane: EventLane<&str> = EventLane::default();
+        assert_eq!(lane.peek_key(), None);
+        lane.push(SimTime::from_nanos(7), "a");
+        assert_eq!(lane.peek_key(), Some((SimTime::from_nanos(7), 0)));
+        let e = lane.pop().unwrap();
+        assert_eq!((e.at, e.seq, e.payload), (SimTime::from_nanos(7), 0, "a"));
+        assert_eq!(lane.len(), 0);
+    }
+
+    #[test]
+    fn sequence_survives_drain() {
+        // Sequence numbers must not reset when the lane drains: the canonical
+        // order is a function of the full push history.
+        let mut lane: EventLane<u32> = EventLane::default();
+        lane.push(SimTime::ZERO, 1);
+        lane.pop();
+        lane.push(SimTime::ZERO, 2);
+        assert_eq!(lane.pop().unwrap().seq, 1);
+        assert_eq!(lane.len(), 0);
+    }
+}

@@ -53,14 +53,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod contention;
+pub mod cores;
 pub mod device;
 pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod json;
 pub mod kernel;
+mod lanes;
 pub mod memory;
 pub mod rng;
+mod shard;
 pub mod sim;
 pub mod stats;
 pub mod testkit;
@@ -68,6 +71,7 @@ pub mod time;
 pub mod trace;
 
 pub use contention::ContentionParams;
+pub use cores::{CoreSelect, EventCore, ParallelCore, SequentialCore};
 pub use device::DeviceSpec;
 pub use faults::{DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError};
 pub use host::HostSpec;
@@ -84,6 +88,7 @@ pub use trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError
 /// Glob-import convenience.
 pub mod prelude {
     pub use crate::contention::ContentionParams;
+    pub use crate::cores::{CoreSelect, EventCore, ParallelCore, SequentialCore};
     pub use crate::device::DeviceSpec;
     pub use crate::faults::{
         DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError,

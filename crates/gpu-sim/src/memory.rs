@@ -51,13 +51,18 @@ struct Allocation {
 }
 
 /// Tracks allocations across the node's devices.
+///
+/// All accounting — in-use, peak, and the double-free bug counter — is kept
+/// strictly per device, so a sharded event core whose workers each own one
+/// device never has two shards contending on (or racing to increment) a
+/// shared counter.
 #[derive(Debug, Default)]
 pub struct MemoryTracker {
     capacities: Vec<u64>,
     in_use: Vec<u64>,
     peak: Vec<u64>,
     allocations: Vec<Allocation>,
-    double_frees: u64,
+    double_frees: Vec<u64>,
 }
 
 impl MemoryTracker {
@@ -69,7 +74,7 @@ impl MemoryTracker {
             in_use: vec![0; n],
             peak: vec![0; n],
             allocations: Vec::new(),
-            double_frees: 0,
+            double_frees: vec![0; n],
         }
     }
 
@@ -110,18 +115,27 @@ impl MemoryTracker {
             a.live = false;
             self.in_use[a.device] -= a.bytes;
         } else {
-            self.double_frees += 1;
+            let (device, label) = (a.device, a.label);
+            self.double_frees[device] += 1;
             debug_assert!(
                 false,
-                "double free of allocation {} ({:?} on device {})",
-                id.0, a.label, a.device
+                "double free of allocation {} ({label:?} on device {device})",
+                id.0
             );
         }
     }
 
-    /// Double frees observed so far (each also fires a debug assertion).
+    /// Double frees observed so far across all devices (each also fires a
+    /// debug assertion).
     pub fn double_frees(&self) -> u64 {
-        self.double_frees
+        self.double_frees.iter().sum()
+    }
+
+    /// Double frees charged against `device` specifically. The counter lives
+    /// with the device's other accounting so per-device shards never share a
+    /// write target.
+    pub fn double_frees_on(&self, device: DeviceId) -> u64 {
+        self.double_frees[device.0]
     }
 
     /// Bytes currently allocated on `device`.
@@ -208,6 +222,29 @@ mod tests {
         std::panic::set_hook(prev);
         assert_eq!(hit.is_err(), cfg!(debug_assertions));
         assert_eq!(t.double_frees(), 1);
+        assert_eq!(t.in_use(DeviceId(1)), 0);
+    }
+
+    #[test]
+    fn double_frees_are_charged_to_the_owning_device() {
+        // Regression test for the shard-safety refactor: the double-free
+        // counter is per-device state, and the total is a derived sum — a
+        // parallel core's shards must never share one counter cell.
+        let mut t = tracker();
+        let a = t.alloc(DeviceId(0), 10, "a").unwrap();
+        let b = t.alloc(DeviceId(1), 20, "b").unwrap();
+        t.free(a);
+        t.free(b);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for id in [a, b, b] {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.free(id)));
+        }
+        std::panic::set_hook(prev);
+        assert_eq!(t.double_frees_on(DeviceId(0)), 1);
+        assert_eq!(t.double_frees_on(DeviceId(1)), 2);
+        assert_eq!(t.double_frees(), 3, "total is the sum of per-device counters");
+        assert_eq!(t.in_use(DeviceId(0)), 0, "accounting stays idempotent");
         assert_eq!(t.in_use(DeviceId(1)), 0);
     }
 

@@ -1,0 +1,251 @@
+//! Shard-side machinery for [`ParallelCore`](crate::cores::ParallelCore).
+//!
+//! A *shard window* is one device's event lane advanced in isolation up to
+//! a coordinator-chosen bound `W`: the coordinator loans the worker the
+//! whole [`DeviceRt`] plus its [`EventLane`], the worker replays the exact
+//! per-device code path the sequential core would have run (the shared
+//! `DeviceRt` physics methods, so even the f64 arithmetic is
+//! instruction-identical), and hands back the device, the lane and a
+//! [`LocalFx`] of buffered side effects for deterministic merging.
+//!
+//! Windows are only ever opened on devices the coordinator proved *safe*:
+//! alive, no active or queued collectives, no queued event records/waits,
+//! no failing kernel in flight, and no kernel-fault window overlapping the
+//! window span. Under those preconditions a window produces no driver
+//! wakes and no trace marks — only kernel completion events — which is
+//! what makes the merge a pure sort by the canonical
+//! `(time, lane rank, lane seq)` key.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::faults::FaultSpec;
+use crate::ids::DeviceId;
+use crate::kernel::KernelClass;
+use crate::lanes::EventLane;
+use crate::sim::{DeviceRt, HeadState, Pending, StreamOp};
+use crate::time::SimTime;
+use crate::trace::TraceEvent;
+
+/// One device loaned out for a shard window.
+pub(crate) struct ShardTask {
+    /// The device's index (its lane ranks `d + 1` in the canonical order).
+    pub d: usize,
+    /// The device runtime, moved out of the simulation for the window.
+    pub device: DeviceRt,
+    /// The device's event lane, moved out alongside it.
+    pub lane: EventLane<Pending>,
+    /// Exclusive upper bound: only events strictly before `until` run.
+    pub until: SimTime,
+    /// Whether to buffer kernel completion records for the trace.
+    pub capture: bool,
+}
+
+/// A completed shard window: the loaned state plus buffered effects.
+pub(crate) struct ShardDone {
+    /// Device index, for restoring into the simulation.
+    pub d: usize,
+    /// The device runtime, handed back.
+    pub device: DeviceRt,
+    /// The device's event lane, handed back.
+    pub lane: EventLane<Pending>,
+    /// Side effects to merge on the coordinator.
+    pub fx: LocalFx,
+}
+
+/// Side effects a shard window buffers instead of applying globally.
+#[derive(Debug, Default)]
+pub(crate) struct LocalFx {
+    /// Time of the last non-stale event dispatched, if any.
+    pub last_now: Option<SimTime>,
+    /// Non-stale events dispatched (the bench throughput numerator).
+    pub dispatched: u64,
+    /// Kernels completed (all non-failed by the window preconditions).
+    pub completed: u64,
+    /// Kernel completion records keyed by the dispatching lane entry's
+    /// `(time, seq)` — the coordinator sorts the union of all windows'
+    /// events by `(time, lane rank, seq)` before appending to the trace.
+    pub events: Vec<(SimTime, u64, TraceEvent)>,
+}
+
+/// Replays one device's lane up to `task.until`, mirroring the sequential
+/// core's `kernel_done` / `comm_lag_done` paths for plain kernels.
+pub(crate) fn run_window(task: &mut ShardTask, faults: &FaultSpec) -> LocalFx {
+    let mut fx = LocalFx::default();
+    while let Some((at, seq)) = task.lane.peek_key() {
+        if at >= task.until {
+            break;
+        }
+        let entry = task.lane.pop().expect("peeked lane emptied under us");
+        match entry.payload {
+            Pending::KernelDone { device, slot, gen } => {
+                debug_assert_eq!(device, task.d, "foreign event in a device lane");
+                {
+                    let s = &task.device.run[slot];
+                    if !s.live || s.gen != gen {
+                        continue; // superseded by a reprice
+                    }
+                }
+                fx.dispatched += 1;
+                fx.last_now = Some(at);
+                task.device.settle_plain(at);
+                let (queue, class, blocks, kernel, started_at, failing) = {
+                    let s = &task.device.run[slot];
+                    debug_assert!(
+                        s.remaining <= 1.0,
+                        "kernel completing with {} ns of work left",
+                        s.remaining
+                    );
+                    (s.queue, s.class, s.blocks, s.kernel, s.started_at, s.failing)
+                };
+                assert!(!failing, "failing kernel leaked into a shard window");
+                task.device.run[slot].live = false;
+                task.device.free_slots.push(slot);
+                task.device.apply_class_delta(at, class, blocks, -1);
+                let ev = task.device.finish_head(
+                    DeviceId(task.d),
+                    queue,
+                    kernel,
+                    class,
+                    started_at,
+                    false,
+                    at,
+                );
+                fx.completed += 1;
+                if task.capture {
+                    fx.events.push((at, seq, ev));
+                }
+                reprice(task, faults, at);
+                poll_plain(task, faults, queue, at);
+            }
+            Pending::CommLagDone { device, queue, gen } => {
+                debug_assert_eq!(device, task.d, "foreign event in a device lane");
+                let fresh = matches!(
+                    task.device.queues[queue].head,
+                    HeadState::LagWait { gen: g } if g == gen
+                );
+                if !fresh {
+                    continue; // superseded
+                }
+                fx.dispatched += 1;
+                fx.last_now = Some(at);
+                task.device.queues[queue].head = HeadState::Idle;
+                begin_plain(task, faults, queue, at);
+            }
+            other => unreachable!("global-lane event {other:?} dispatched in a device lane"),
+        }
+    }
+    fx
+}
+
+/// Mirror of the sequential core's `begin_kernel` for the plain-kernel arm.
+fn begin_plain(task: &mut ShardTask, faults: &FaultSpec, q: usize, now: SimTime) {
+    task.device.settle_plain(now);
+    let failure = faults.kernel_failure(DeviceId(task.d), now);
+    assert!(failure.is_none(), "kernel-fault window leaked into a shard window");
+    task.device.begin_plain(q, now, None);
+    reprice(task, faults, now);
+}
+
+fn reprice(task: &mut ShardTask, faults: &FaultSpec, now: SimTime) {
+    let fault_factor = faults.device_factor(DeviceId(task.d), now);
+    task.device.reprice_plain(task.d, now, fault_factor, &mut task.lane);
+}
+
+/// Mirror of the sequential core's `poll_queue` under shard preconditions:
+/// the front op, if any, is always a plain kernel (records, waits and
+/// collective members make the device a hazard, keeping it on the
+/// coordinator).
+fn poll_plain(task: &mut ShardTask, faults: &FaultSpec, q: usize, now: SimTime) {
+    if task.device.queues[q].head != HeadState::Idle {
+        return;
+    }
+    let is_comm = match task.device.queues[q].front() {
+        None => return,
+        Some(front) => {
+            let StreamOp::Kernel(spec, _) = &front.op else {
+                panic!("boundary op reached a shard window")
+            };
+            assert!(spec.collective.is_none(), "collective member leaked into a shard window");
+            spec.class == KernelClass::Comm
+        }
+    };
+    if is_comm {
+        let lag = task.device.comm_dispatch_lag(q);
+        if !lag.is_zero() {
+            let qu = &mut task.device.queues[q];
+            qu.lag_gen += 1;
+            let gen = qu.lag_gen;
+            qu.head = HeadState::LagWait { gen };
+            task.lane.push(now + lag, Pending::CommLagDone { device: task.d, queue: q, gen });
+            return;
+        }
+    }
+    begin_plain(task, faults, q, now);
+}
+
+/// Persistent shard worker threads plus their channels. Workers block on a
+/// per-worker task channel and report on one shared result channel; the
+/// pool is barrier-synchronous — the coordinator sends a round of windows
+/// and receives exactly that many [`ShardDone`]s before touching the
+/// simulation again.
+pub(crate) struct ShardPool {
+    tx: Vec<Sender<ShardTask>>,
+    rx: Receiver<ShardDone>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` threads, each holding its own clone of the (pure,
+    /// stateless) fault schedule.
+    pub(crate) fn new(workers: usize, faults: FaultSpec) -> ShardPool {
+        let (done_tx, rx) = channel::<ShardDone>();
+        let mut tx = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (task_tx, task_rx) = channel::<ShardTask>();
+            let done = done_tx.clone();
+            let faults = faults.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("liger-shard-{w}"))
+                .spawn(move || {
+                    while let Ok(mut task) = task_rx.recv() {
+                        let fx = run_window(&mut task, &faults);
+                        let ShardTask { d, device, lane, .. } = task;
+                        if done.send(ShardDone { d, device, lane, fx }).is_err() {
+                            break; // coordinator went away
+                        }
+                    }
+                })
+                .expect("failed to spawn shard worker thread");
+            tx.push(task_tx);
+            handles.push(handle);
+        }
+        ShardPool { tx, rx, handles }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Sends a window to worker `w` (round-robin assignment upstream).
+    pub(crate) fn send(&self, w: usize, task: ShardTask) {
+        self.tx[w].send(task).expect("shard worker hung up");
+    }
+
+    /// Receives one completed window, in whatever order workers finish.
+    pub(crate) fn recv(&self) -> ShardDone {
+        self.rx.recv().expect("shard worker hung up")
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the task channels ends the worker loops; join so no
+        // thread outlives the simulation that loaned it state.
+        self.tx.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

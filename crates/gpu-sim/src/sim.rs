@@ -34,14 +34,14 @@
 //!   simulator in a [`Driver`] implementation, which is woken by timers,
 //!   event callbacks and completed blocking syncs.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::device::DeviceSpec;
 use crate::faults::FaultSpec;
 use crate::host::HostSpec;
 use crate::ids::{CollectiveId, DeviceId, EventId, HostId, KernelId, StreamId, TimerId};
 use crate::kernel::{KernelClass, KernelSpec};
+use crate::lanes::EventLane;
 use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
 use crate::stats::DeviceStats;
 use crate::time::{SimDuration, SimTime};
@@ -124,22 +124,36 @@ pub trait Driver {
 
 /// An operation queued on a device hardware queue.
 #[derive(Debug)]
-enum StreamOp {
+pub(crate) enum StreamOp {
     Kernel(Box<KernelSpec>, KernelId),
     Record(EventId),
     Wait(EventId),
 }
 
+impl StreamOp {
+    /// True for operations a device shard cannot process on its own: event
+    /// records and waits (they synchronize across lanes) and collective
+    /// member kernels (they rendezvous across devices). A device whose
+    /// queues hold any boundary op is pinned to the coordinator until the
+    /// op drains — see [`crate::cores::ParallelCore`].
+    pub(crate) fn is_boundary(&self) -> bool {
+        match self {
+            StreamOp::Record(_) | StreamOp::Wait(_) => true,
+            StreamOp::Kernel(spec, _) => spec.collective.is_some(),
+        }
+    }
+}
+
 #[derive(Debug)]
-struct QueuedOp {
-    op: StreamOp,
-    stream: usize,
-    enqueued_at: SimTime,
+pub(crate) struct QueuedOp {
+    pub(crate) op: StreamOp,
+    pub(crate) stream: usize,
+    pub(crate) enqueued_at: SimTime,
 }
 
 /// State of a hardware queue's head operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HeadState {
+pub(crate) enum HeadState {
     /// Head has not begun (or queue empty).
     Idle,
     /// Head is a Wait op blocked on an untriggered event.
@@ -156,56 +170,306 @@ enum HeadState {
 }
 
 #[derive(Debug)]
-struct QueueRt {
+pub(crate) struct QueueRt {
     ops: VecDeque<QueuedOp>,
-    head: HeadState,
-    lag_gen: u64,
+    pub(crate) head: HeadState,
+    pub(crate) lag_gen: u64,
+    /// Count of boundary ops ([`StreamOp::is_boundary`]) currently in `ops`.
+    /// Maintained by [`QueueRt::push_op`]/[`QueueRt::pop_op`] so the
+    /// parallel core's shard-safety check is O(queues), not O(queued ops).
+    boundary_ops: u32,
+}
+
+impl QueueRt {
+    fn new() -> QueueRt {
+        QueueRt { ops: VecDeque::new(), head: HeadState::Idle, lag_gen: 0, boundary_ops: 0 }
+    }
+
+    /// Appends an op, maintaining the boundary count. All queue mutations
+    /// must go through `push_op`/`pop_op` — pushing to `ops` directly would
+    /// silently corrupt the parallel core's shard-safety accounting.
+    pub(crate) fn push_op(&mut self, op: QueuedOp) {
+        self.boundary_ops += op.op.is_boundary() as u32;
+        self.ops.push_back(op);
+    }
+
+    /// Pops the front op, maintaining the boundary count.
+    pub(crate) fn pop_op(&mut self) -> Option<QueuedOp> {
+        let op = self.ops.pop_front();
+        if let Some(o) = &op {
+            self.boundary_ops -= o.op.is_boundary() as u32;
+        }
+        op
+    }
+
+    /// The op at the front of the queue, if any.
+    pub(crate) fn front(&self) -> Option<&QueuedOp> {
+        self.ops.front()
+    }
+
+    /// True when any queued op requires coordinator-side processing.
+    pub(crate) fn has_boundary_ops(&self) -> bool {
+        debug_assert_eq!(
+            self.boundary_ops as usize,
+            self.ops.iter().filter(|o| o.op.is_boundary()).count(),
+            "boundary-op count drifted from queue contents"
+        );
+        self.boundary_ops > 0
+    }
 }
 
 /// A plain (non-collective) kernel in flight.
 #[derive(Debug)]
-struct RunSlot {
-    kernel: KernelId,
-    queue: usize,
-    class: KernelClass,
-    blocks: u32,
-    remaining: f64, // nominal ns of work left
-    rate: f64,      // progress in nominal ns per wall ns
-    settled_at: SimTime,
-    started_at: SimTime,
-    gen: u64,
-    live: bool,
+pub(crate) struct RunSlot {
+    pub(crate) kernel: KernelId,
+    pub(crate) queue: usize,
+    pub(crate) class: KernelClass,
+    pub(crate) blocks: u32,
+    pub(crate) remaining: f64, // nominal ns of work left
+    pub(crate) rate: f64,      // progress in nominal ns per wall ns
+    pub(crate) settled_at: SimTime,
+    pub(crate) started_at: SimTime,
+    pub(crate) gen: u64,
+    pub(crate) live: bool,
     /// Set when the fault schedule decided at begin time that this kernel
     /// dies after a fraction of its work (remaining was shortened).
-    failing: bool,
+    pub(crate) failing: bool,
 }
 
 #[derive(Debug)]
-struct DeviceRt {
-    spec: DeviceSpec,
-    queues: Vec<QueueRt>,
-    run: Vec<RunSlot>,
-    free_slots: Vec<usize>,
-    n_compute: u32,
-    n_comm: u32,
-    comm_channels: u32,
+pub(crate) struct DeviceRt {
+    pub(crate) spec: DeviceSpec,
+    pub(crate) queues: Vec<QueueRt>,
+    pub(crate) run: Vec<RunSlot>,
+    pub(crate) free_slots: Vec<usize>,
+    pub(crate) n_compute: u32,
+    pub(crate) n_comm: u32,
+    pub(crate) comm_channels: u32,
     /// Indices of currently *running* collectives with a member on this
     /// device. Kept small and current so settling/repricing is O(active),
     /// not O(all collectives ever created).
-    active_colls: Vec<usize>,
+    pub(crate) active_colls: Vec<usize>,
     /// Cleared when the device dies permanently ([`Wake::DeviceDown`]).
-    alive: bool,
-    stats: DeviceStats,
+    pub(crate) alive: bool,
+    pub(crate) stats: DeviceStats,
 }
 
 impl DeviceRt {
     fn slowdown(&self, class: KernelClass) -> f64 {
         self.spec.contention.slowdown(class, self.n_compute, self.n_comm, self.comm_channels)
     }
+
+    /// A hollow stand-in swapped into [`Simulation::devices`] while the real
+    /// `DeviceRt` is out on loan to a shard worker. Never executes anything.
+    pub(crate) fn placeholder() -> DeviceRt {
+        DeviceRt {
+            spec: DeviceSpec {
+                name: String::new(),
+                sm_count: 1,
+                peak_flops_fp16: 1.0,
+                mem_bw: 1.0,
+                mem_capacity: 0,
+                connections: 1,
+                contention: crate::contention::ContentionParams::frictionless(),
+            },
+            queues: Vec::new(),
+            run: Vec::new(),
+            free_slots: Vec::new(),
+            n_compute: 0,
+            n_comm: 0,
+            comm_channels: 0,
+            active_colls: Vec::new(),
+            alive: false,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    // -- device-local physics -----------------------------------------------
+    //
+    // Everything below touches only this device's own state (plus its event
+    // lane, passed in by the caller), so the sequential core and a parallel
+    // shard run the *same* code — and therefore the same f64 arithmetic in
+    // the same order — for the plain-kernel fast path. Collective handling
+    // stays on `Simulation`: collectives span devices and are always
+    // processed by the coordinator.
+
+    /// Charges elapsed progress (at current rates) to every live plain
+    /// kernel on this device.
+    pub(crate) fn settle_plain(&mut self, now: SimTime) {
+        for slot in self.run.iter_mut() {
+            if slot.live {
+                let elapsed = now.saturating_since(slot.settled_at).as_nanos() as f64;
+                if elapsed > 0.0 {
+                    slot.remaining = (slot.remaining - elapsed * slot.rate).max(0.0);
+                    slot.settled_at = now;
+                }
+            }
+        }
+    }
+
+    /// Recomputes rates and reschedules completions for every live plain
+    /// kernel, pushing superseding [`Pending::KernelDone`] entries into the
+    /// device's own lane. Callers must have settled first.
+    pub(crate) fn reprice_plain(
+        &mut self,
+        d: usize,
+        now: SimTime,
+        fault_factor: f64,
+        lane: &mut EventLane<Pending>,
+    ) {
+        for (i, slot) in self.run.iter_mut().enumerate() {
+            if !slot.live {
+                continue;
+            }
+            let rate =
+                1.0 / self.spec.contention.slowdown(
+                    slot.class,
+                    self.n_compute,
+                    self.n_comm,
+                    self.comm_channels,
+                ) / fault_factor;
+            slot.rate = rate;
+            slot.gen += 1;
+            let dur = (slot.remaining / rate).ceil() as u64;
+            lane.push(
+                now + SimDuration::from_nanos(dur),
+                Pending::KernelDone { device: d, slot: i, gen: slot.gen },
+            );
+        }
+    }
+
+    /// Updates running-population counters and utilization stats.
+    pub(crate) fn apply_class_delta(
+        &mut self,
+        now: SimTime,
+        class: KernelClass,
+        blocks: u32,
+        delta: i32,
+    ) {
+        self.stats.account_transition(now, self.n_compute, self.n_comm);
+        match class {
+            KernelClass::Compute => {
+                self.n_compute = (self.n_compute as i64 + delta as i64) as u32;
+            }
+            KernelClass::Comm => {
+                self.n_comm = (self.n_comm as i64 + delta as i64) as u32;
+                let ch = blocks as i64 * delta as i64;
+                self.comm_channels = (self.comm_channels as i64 + ch).max(0) as u32;
+            }
+        }
+    }
+
+    /// Lag charged to a comm kernel beginning while the *other* hardware
+    /// queues of its device are deeply backed up with work the firmware will
+    /// prioritize. Zero in normal operation; grows once the foreign backlog
+    /// exceeds `COMM_LAG_FREE_OPS` (models §2.3.1's communication-kernel
+    /// execution lag under kernel flooding, which the hybrid synchronization
+    /// avoids by launching incrementally). Work queued *behind* the kernel
+    /// in its own queue cannot delay it and is excluded.
+    pub(crate) fn comm_dispatch_lag(&self, own_queue: usize) -> SimDuration {
+        const COMM_LAG_FREE_OPS: usize = 24;
+        const LAG_PER_OP_NS: u64 = 400;
+        let foreign: usize = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| q != own_queue)
+            .map(|(_, q)| q.ops.len())
+            .sum();
+        let backlog = foreign.saturating_sub(COMM_LAG_FREE_OPS);
+        SimDuration::from_nanos(backlog as u64 * LAG_PER_OP_NS)
+    }
+
+    /// Begins the plain kernel at the head of queue `q`: assigns a run slot,
+    /// applies the (precomputed) fault decision and bumps the population
+    /// counters. Callers settle before and reprice after.
+    pub(crate) fn begin_plain(&mut self, q: usize, now: SimTime, failure: Option<f64>) {
+        let head = self.queues[q].front().expect("begin_plain on empty queue");
+        let StreamOp::Kernel(spec, kid) = &head.op else {
+            panic!("begin_plain on non-kernel head")
+        };
+        let (kid, class, blocks) = (*kid, spec.class, spec.blocks);
+        let work = spec.work.as_nanos() as f64;
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.run.push(RunSlot {
+                kernel: KernelId(0),
+                queue: 0,
+                class: KernelClass::Compute,
+                blocks: 0,
+                remaining: 0.0,
+                rate: 1.0,
+                settled_at: SimTime::ZERO,
+                started_at: SimTime::ZERO,
+                gen: 0,
+                live: false,
+                failing: false,
+            });
+            self.run.len() - 1
+        });
+        let s = &mut self.run[slot];
+        s.kernel = kid;
+        s.queue = q;
+        s.class = class;
+        s.blocks = blocks;
+        s.remaining = match failure {
+            Some(fraction) => work * fraction,
+            None => work,
+        };
+        s.rate = 1.0;
+        s.settled_at = now;
+        s.started_at = now;
+        s.gen += 1;
+        s.live = true;
+        s.failing = failure.is_some();
+        self.queues[q].head = HeadState::Running { slot };
+        self.apply_class_delta(now, class, blocks, 1);
+    }
+
+    /// Pops the completed kernel off queue `q`, updates device-local stats
+    /// and returns the finished-kernel record. The caller owns everything
+    /// cross-cutting: global counters, failure wakes and the trace append.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_head(
+        &mut self,
+        device: DeviceId,
+        q: usize,
+        kernel: KernelId,
+        class: KernelClass,
+        started_at: SimTime,
+        failed: bool,
+        now: SimTime,
+    ) -> TraceEvent {
+        let popped = self.queues[q].pop_op().expect("finishing empty queue");
+        let (name, tag, stream, collective) = match popped.op {
+            StreamOp::Kernel(spec, kid) => {
+                debug_assert_eq!(kid, kernel);
+                (spec.name, spec.tag, popped.stream, spec.collective)
+            }
+            _ => panic!("queue head changed under a running kernel"),
+        };
+        self.queues[q].head = HeadState::Idle;
+        self.stats.account_kernel(class, now.saturating_since(started_at));
+        if failed {
+            self.stats.kernels_failed += 1;
+        }
+        TraceEvent {
+            kernel,
+            name,
+            class,
+            tag,
+            device,
+            stream,
+            enqueued_at: popped.enqueued_at,
+            started_at,
+            ended_at: now,
+            failed,
+            collective,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CollState {
+pub(crate) enum CollState {
     Gathering,
     Running,
     Done,
@@ -216,7 +480,7 @@ enum CollState {
 }
 
 #[derive(Debug)]
-struct CollectiveRt {
+pub(crate) struct CollectiveRt {
     size: usize,
     /// (device, queue) of members that have arrived at their queue heads.
     members: Vec<(usize, usize)>,
@@ -228,7 +492,7 @@ struct CollectiveRt {
     settled_at: SimTime,
     started_at: SimTime,
     gen: u64,
-    state: CollState,
+    pub(crate) state: CollState,
 }
 
 #[derive(Debug)]
@@ -247,8 +511,8 @@ enum HostState {
 }
 
 #[derive(Debug)]
-struct HostRt {
-    spec: HostSpec,
+pub(crate) struct HostRt {
+    pub(crate) spec: HostSpec,
     ops: VecDeque<HostOp>,
     state: HostState,
 }
@@ -264,8 +528,14 @@ struct EventRt {
     callbacks: Vec<(u64, usize)>,
 }
 
+/// A scheduled simulation event. Which lane it dispatches on is fixed by
+/// [`Pending::device_lane`]: device-local physics (kernel completions, comm
+/// dispatch-lag expiries) ride the owning device's lane; everything that can
+/// touch more than one device — host completions, timers, driver wakes,
+/// collective completions, fault boundaries, device deaths — rides the
+/// global lane and is always dispatched by the coordinator.
 #[derive(Debug)]
-enum Pending {
+pub(crate) enum Pending {
     HostReady {
         host: usize,
     },
@@ -298,26 +568,18 @@ enum Pending {
     },
 }
 
-struct HeapEntry {
-    at: SimTime,
-    seq: u64,
-    pending: Pending,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl Pending {
+    /// The device lane this event dispatches on, or `None` for the global
+    /// lane. This routing is part of the canonical dispatch order (see
+    /// [`crate::lanes`]): the global lane ranks before every device lane at
+    /// equal times, and device lanes rank by device index.
+    pub(crate) fn device_lane(&self) -> Option<usize> {
+        match *self {
+            Pending::KernelDone { device, .. } | Pending::CommLagDone { device, .. } => {
+                Some(device)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -408,13 +670,7 @@ impl SimulationBuilder {
                 let nq = spec.connections.min(streams);
                 DeviceRt {
                     spec,
-                    queues: (0..nq)
-                        .map(|_| QueueRt {
-                            ops: VecDeque::new(),
-                            head: HeadState::Idle,
-                            lag_gen: 0,
-                        })
-                        .collect(),
+                    queues: (0..nq).map(|_| QueueRt::new()).collect(),
                     run: Vec::new(),
                     free_slots: Vec::new(),
                     n_compute: 0,
@@ -433,10 +689,11 @@ impl SimulationBuilder {
             .collect();
         let memory =
             MemoryTracker::new(devices.iter().map(|d: &DeviceRt| d.spec.mem_capacity).collect());
+        let device_lanes = devices.iter().map(|_| EventLane::default()).collect();
         let mut sim = Simulation {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            global_lane: EventLane::default(),
+            device_lanes,
             devices,
             hosts,
             events: Vec::new(),
@@ -450,6 +707,7 @@ impl SimulationBuilder {
             kernels_completed: 0,
             kernels_launched: 0,
             kernels_failed: 0,
+            events_dispatched: 0,
             memory,
             faults: self.faults,
         };
@@ -470,24 +728,29 @@ impl SimulationBuilder {
 
 /// The discrete-event multi-GPU simulation.
 pub struct Simulation {
-    now: SimTime,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
-    seq: u64,
-    devices: Vec<DeviceRt>,
-    hosts: Vec<HostRt>,
+    pub(crate) now: SimTime,
+    /// Coordinator lane: hosts, timers, driver wakes, collectives, fault
+    /// boundaries, device deaths. Ranks before every device lane at ties.
+    pub(crate) global_lane: EventLane<Pending>,
+    /// One local lane per device: its kernel completions and comm-lag
+    /// expiries. Lane `d` ranks `d + 1` in the canonical dispatch order.
+    pub(crate) device_lanes: Vec<EventLane<Pending>>,
+    pub(crate) devices: Vec<DeviceRt>,
+    pub(crate) hosts: Vec<HostRt>,
     events: Vec<EventRt>,
-    collectives: Vec<CollectiveRt>,
+    pub(crate) collectives: Vec<CollectiveRt>,
     streams_per_device: usize,
     next_kernel: u64,
     next_timer: u64,
-    wakes: VecDeque<Wake>,
-    stop: bool,
-    trace: Option<Trace>,
-    kernels_completed: u64,
+    pub(crate) wakes: VecDeque<Wake>,
+    pub(crate) stop: bool,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) kernels_completed: u64,
     kernels_launched: u64,
     kernels_failed: u64,
+    pub(crate) events_dispatched: u64,
     memory: MemoryTracker,
-    faults: FaultSpec,
+    pub(crate) faults: FaultSpec,
 }
 
 impl Simulation {
@@ -525,6 +788,12 @@ impl Simulation {
         &self.devices[d.0].spec
     }
 
+    /// Host specification. Serving layers read the launch overhead here to
+    /// derive the parallel core's lookahead.
+    pub fn host_spec(&self, h: HostId) -> &HostSpec {
+        &self.hosts[h.0].spec
+    }
+
     /// Per-device utilization statistics.
     pub fn device_stats(&self, d: DeviceId) -> &DeviceStats {
         &self.devices[d.0].stats
@@ -544,6 +813,12 @@ impl Simulation {
     /// Total kernels killed by the fault schedule so far.
     pub fn kernels_failed(&self) -> u64 {
         self.kernels_failed
+    }
+
+    /// Total simulation events dispatched so far (stale, superseded entries
+    /// excluded). The throughput numerator for `bench_simcore`.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
     }
 
     /// The installed fault schedule (empty by default).
@@ -636,9 +911,14 @@ impl Simulation {
         self.memory.free(id);
     }
 
-    /// Double frees observed by the memory tracker.
+    /// Double frees observed by the memory tracker, across all devices.
     pub fn memory_double_frees(&self) -> u64 {
         self.memory.double_frees()
+    }
+
+    /// Double frees charged against `device` specifically.
+    pub fn memory_double_frees_on(&self, device: DeviceId) -> u64 {
+        self.memory.double_frees_on(device)
     }
 
     /// Bytes currently allocated on `device`.
@@ -758,33 +1038,70 @@ impl Simulation {
 
     // -- event loop -----------------------------------------------------------
 
-    /// Runs the simulation until the event heap drains, `deadline` passes, or
-    /// the driver requests a stop. Returns the final simulated time.
+    /// Runs the simulation until the event lanes drain, `deadline` passes, or
+    /// the driver requests a stop, using the ambient core selection
+    /// ([`CoreSelect::from_env`]: the `LIGER_CORE` environment variable when
+    /// set, else the sequential engine). Returns the final simulated time.
+    ///
+    /// [`CoreSelect::from_env`]: crate::cores::CoreSelect::from_env
     pub fn run(&mut self, driver: &mut dyn Driver, deadline: SimTime) -> SimTime {
-        driver.start(self);
-        self.drain_wakes(driver);
-        while !self.stop {
-            let Some(Reverse(entry)) = self.heap.pop() else { break };
-            if self.entry_is_stale(&entry.pending) {
-                // Superseded by a reprice: drop it without advancing time, so
-                // the returned end time is the last *real* event.
-                continue;
-            }
-            if entry.at > deadline {
-                self.now = deadline;
-                break;
-            }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            self.dispatch(entry.pending);
-            self.drain_wakes(driver);
-        }
-        self.now
+        self.run_with_core(crate::cores::CoreSelect::from_env(), driver, deadline)
     }
 
-    /// True when a heap entry was superseded by a later reprice and must be
+    /// [`Simulation::run`] with an explicit event-core selection. Both cores
+    /// produce byte-identical traces and metrics for the same seed; see
+    /// [`crate::cores`].
+    pub fn run_with_core(
+        &mut self,
+        core: crate::cores::CoreSelect,
+        driver: &mut dyn Driver,
+        deadline: SimTime,
+    ) -> SimTime {
+        use crate::cores::EventCore;
+        match core {
+            crate::cores::CoreSelect::Seq => {
+                crate::cores::SequentialCore.run(self, driver, deadline)
+            }
+            crate::cores::CoreSelect::Par { workers } => {
+                crate::cores::ParallelCore::new(workers).run(self, driver, deadline)
+            }
+        }
+    }
+
+    /// Pops the canonically-next pending event across all lanes: the
+    /// smallest `(time, lane rank, lane seq)` key, with the global lane at
+    /// rank 0 and device `d` at rank `d + 1`. Every event core dispatches in
+    /// exactly this order — that invariant is what makes traces
+    /// byte-identical across cores and worker counts.
+    pub(crate) fn pop_next(&mut self) -> Option<(SimTime, Pending)> {
+        let mut best: Option<((SimTime, usize, u64), usize)> =
+            self.global_lane.peek_key().map(|(at, seq)| ((at, 0, seq), 0));
+        for (d, lane) in self.device_lanes.iter().enumerate() {
+            if let Some((at, seq)) = lane.peek_key() {
+                let key = (at, d + 1, seq);
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => key < *b,
+                };
+                if better {
+                    best = Some((key, d + 1));
+                }
+            }
+        }
+        let (_, idx) = best?;
+        let lane = if idx == 0 { &mut self.global_lane } else { &mut self.device_lanes[idx - 1] };
+        let e = lane.pop().expect("peeked lane emptied under us");
+        Some((e.at, e.payload))
+    }
+
+    /// Total pending events across all lanes.
+    pub(crate) fn pending_events(&self) -> usize {
+        self.global_lane.len() + self.device_lanes.iter().map(|l| l.len()).sum::<usize>()
+    }
+
+    /// True when a lane entry was superseded by a later reprice and must be
     /// ignored (its generation no longer matches the live state).
-    fn entry_is_stale(&self, pending: &Pending) -> bool {
+    pub(crate) fn entry_is_stale(&self, pending: &Pending) -> bool {
         match *pending {
             Pending::KernelDone { device, slot, gen } => {
                 let s = &self.devices[device].run[slot];
@@ -813,7 +1130,16 @@ impl Simulation {
         self.run(driver, SimTime::MAX)
     }
 
-    fn drain_wakes(&mut self, driver: &mut dyn Driver) {
+    /// [`Simulation::run_with_core`] with no deadline.
+    pub fn run_to_completion_with(
+        &mut self,
+        core: crate::cores::CoreSelect,
+        driver: &mut dyn Driver,
+    ) -> SimTime {
+        self.run_with_core(core, driver, SimTime::MAX)
+    }
+
+    pub(crate) fn drain_wakes(&mut self, driver: &mut dyn Driver) {
         while let Some(w) = self.wakes.pop_front() {
             driver.on_wake(w, self);
             if self.stop {
@@ -823,12 +1149,14 @@ impl Simulation {
     }
 
     fn push(&mut self, at: SimTime, pending: Pending) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, pending }));
+        match pending.device_lane() {
+            Some(d) => self.device_lanes[d].push(at, pending),
+            None => self.global_lane.push(at, pending),
+        }
     }
 
-    fn dispatch(&mut self, pending: Pending) {
+    pub(crate) fn dispatch(&mut self, pending: Pending) {
+        self.events_dispatched += 1;
         match pending {
             Pending::HostReady { host } => self.host_ready(host),
             Pending::KernelDone { device, slot, gen } => self.kernel_done(device, slot, gen),
@@ -880,7 +1208,8 @@ impl Simulation {
             };
             self.devices[d].run[slot].live = false;
             self.devices[d].free_slots.push(slot);
-            self.apply_class_delta(d, class, blocks, -1);
+            let now = self.now;
+            self.devices[d].apply_class_delta(now, class, blocks, -1);
             self.finish_queue_head(d, queue, kernel, class, started_at, true);
         }
 
@@ -899,15 +1228,15 @@ impl Simulation {
         // FIFO-drain the dead device's queues.
         for q in 0..self.devices[d].queues.len() {
             self.devices[d].queues[q].head = HeadState::Idle;
-            while let Some(front) = self.devices[d].queues[q].ops.front() {
+            while let Some(front) = self.devices[d].queues[q].front() {
                 match &front.op {
                     StreamOp::Record(ev) => {
                         let ev = *ev;
-                        self.devices[d].queues[q].ops.pop_front();
+                        self.devices[d].queues[q].pop_op();
                         self.trigger_event(ev);
                     }
                     StreamOp::Wait(_) => {
-                        self.devices[d].queues[q].ops.pop_front();
+                        self.devices[d].queues[q].pop_op();
                     }
                     StreamOp::Kernel(spec, _) => {
                         if let Some(cid) = spec.collective {
@@ -920,7 +1249,6 @@ impl Simulation {
                             }
                         }
                         let (kernel, class) = match &self.devices[d].queues[q]
-                            .ops
                             .front()
                             .expect("drained under us")
                             .op
@@ -957,7 +1285,6 @@ impl Simulation {
         }
         for &(md, q) in &members {
             let (kernel, class, blocks) = match &self.devices[md].queues[q]
-                .ops
                 .front()
                 .expect("aborting collective with empty member queue")
                 .op
@@ -967,7 +1294,8 @@ impl Simulation {
             };
             if was_running {
                 self.devices[md].active_colls.retain(|&c| c != ci);
-                self.apply_class_delta(md, class, blocks, -1);
+                let now = self.now;
+                self.devices[md].apply_class_delta(now, class, blocks, -1);
             }
             self.finish_queue_head(md, q, kernel, class, started_at, true);
         }
@@ -1068,7 +1396,7 @@ impl Simulation {
         if matches!(op, StreamOp::Kernel(..)) {
             self.kernels_launched += 1;
         }
-        self.devices[d].queues[q].ops.push_back(QueuedOp {
+        self.devices[d].queues[q].push_op(QueuedOp {
             op,
             stream: stream.index,
             enqueued_at: self.now,
@@ -1137,12 +1465,12 @@ impl Simulation {
             if self.devices[d].queues[q].head != HeadState::Idle {
                 return; // head already in flight
             }
-            let Some(front) = self.devices[d].queues[q].ops.front() else { return };
+            let Some(front) = self.devices[d].queues[q].front() else { return };
             let stream = front.stream;
             match &front.op {
                 StreamOp::Record(ev) => {
                     let ev = *ev;
-                    self.devices[d].queues[q].ops.pop_front();
+                    self.devices[d].queues[q].pop_op();
                     if let Some(trace) = &mut self.trace {
                         trace.push_mark(TraceMark::Record {
                             event: ev.0,
@@ -1156,7 +1484,7 @@ impl Simulation {
                 StreamOp::Wait(ev) => {
                     let ev = *ev;
                     if self.events[ev.0 as usize].fired_at.is_some() {
-                        self.devices[d].queues[q].ops.pop_front();
+                        self.devices[d].queues[q].pop_op();
                         if let Some(trace) = &mut self.trace {
                             trace.push_mark(TraceMark::Wait {
                                 event: ev.0,
@@ -1177,7 +1505,7 @@ impl Simulation {
                     // device's queues are deeply backed up is delayed before
                     // it can begin, because firmware prioritizes compute.
                     if spec.class == KernelClass::Comm {
-                        let lag = self.comm_dispatch_lag(d, q);
+                        let lag = self.devices[d].comm_dispatch_lag(q);
                         if !lag.is_zero() {
                             let g = &mut self.devices[d].queues[q];
                             g.lag_gen += 1;
@@ -1195,27 +1523,6 @@ impl Simulation {
         }
     }
 
-    /// Lag charged to a comm kernel beginning while the *other* hardware
-    /// queues of its device are deeply backed up with work the firmware will
-    /// prioritize. Zero in normal operation; grows once the foreign backlog
-    /// exceeds `COMM_LAG_FREE_OPS` (models §2.3.1's communication-kernel
-    /// execution lag under kernel flooding, which the hybrid synchronization
-    /// avoids by launching incrementally). Work queued *behind* the kernel
-    /// in its own queue cannot delay it and is excluded.
-    fn comm_dispatch_lag(&self, d: usize, own_queue: usize) -> SimDuration {
-        const COMM_LAG_FREE_OPS: usize = 24;
-        const LAG_PER_OP_NS: u64 = 400;
-        let foreign: usize = self.devices[d]
-            .queues
-            .iter()
-            .enumerate()
-            .filter(|&(q, _)| q != own_queue)
-            .map(|(_, q)| q.ops.len())
-            .sum();
-        let backlog = foreign.saturating_sub(COMM_LAG_FREE_OPS);
-        SimDuration::from_nanos(backlog as u64 * LAG_PER_OP_NS)
-    }
-
     fn comm_lag_done(&mut self, d: usize, q: usize, gen: u64) {
         match self.devices[d].queues[q].head {
             HeadState::LagWait { gen: g } if g == gen => {
@@ -1228,7 +1535,7 @@ impl Simulation {
 
     /// Begins the kernel at the head of queue `q` (plain or collective).
     fn begin_kernel(&mut self, d: usize, q: usize) {
-        let front = self.devices[d].queues[q].ops.front().expect("begin_kernel on empty queue");
+        let front = self.devices[d].queues[q].front().expect("begin_kernel on empty queue");
         let StreamOp::Kernel(spec, _kid) = &front.op else {
             panic!("begin_kernel on non-kernel head")
         };
@@ -1244,47 +1551,7 @@ impl Simulation {
                 // fraction of its nominal work; it then "dies" (pops from
                 // the queue with a failure notification) at that point.
                 let failure = self.faults.kernel_failure(DeviceId(d), self.now);
-                let dev = &mut self.devices[d];
-                let slot = dev.free_slots.pop().unwrap_or_else(|| {
-                    dev.run.push(RunSlot {
-                        kernel: KernelId(0),
-                        queue: 0,
-                        class: KernelClass::Compute,
-                        blocks: 0,
-                        remaining: 0.0,
-                        rate: 1.0,
-                        settled_at: SimTime::ZERO,
-                        started_at: SimTime::ZERO,
-                        gen: 0,
-                        live: false,
-                        failing: false,
-                    });
-                    dev.run.len() - 1
-                });
-                let head = dev.queues[q]
-                    .ops
-                    .front()
-                    .expect("queue head vanished between begin_kernel and slot assignment");
-                let StreamOp::Kernel(spec, kid) = &head.op else {
-                    unreachable!("begin_kernel checked the head is a kernel")
-                };
-                let s = &mut dev.run[slot];
-                s.kernel = *kid;
-                s.queue = q;
-                s.class = spec.class;
-                s.blocks = spec.blocks;
-                s.remaining = match failure {
-                    Some(fraction) => work * fraction,
-                    None => work,
-                };
-                s.rate = 1.0;
-                s.settled_at = self.now;
-                s.started_at = self.now;
-                s.gen += 1;
-                s.live = true;
-                s.failing = failure.is_some();
-                dev.queues[q].head = HeadState::Running { slot };
-                self.apply_class_delta(d, class, blocks, 1);
+                self.devices[d].begin_plain(q, self.now, failure);
                 self.reprice_device(d);
             }
             Some(cid) => {
@@ -1295,7 +1562,6 @@ impl Simulation {
                     // queue behind it draining.
                     let (kernel, class) = {
                         let head = self.devices[d].queues[q]
-                            .ops
                             .front()
                             .expect("queue head vanished while joining an aborted collective");
                         let StreamOp::Kernel(spec, kid) = &head.op else {
@@ -1334,7 +1600,8 @@ impl Simulation {
         for &(d, q) in &members {
             self.devices[d].queues[q].head = HeadState::Running { slot: usize::MAX };
             self.devices[d].active_colls.push(ci);
-            self.apply_class_delta(d, class, blocks, 1);
+            let now = self.now;
+            self.devices[d].apply_class_delta(now, class, blocks, 1);
         }
         let coll = &mut self.collectives[ci];
         coll.state = CollState::Running;
@@ -1348,36 +1615,11 @@ impl Simulation {
         // includes this one; nothing more to do.
     }
 
-    /// Updates running-population counters and utilization stats on a device.
-    fn apply_class_delta(&mut self, d: usize, class: KernelClass, blocks: u32, delta: i32) {
-        let now = self.now;
-        let dev = &mut self.devices[d];
-        dev.stats.account_transition(now, dev.n_compute, dev.n_comm);
-        match class {
-            KernelClass::Compute => {
-                dev.n_compute = (dev.n_compute as i64 + delta as i64) as u32;
-            }
-            KernelClass::Comm => {
-                dev.n_comm = (dev.n_comm as i64 + delta as i64) as u32;
-                let ch = blocks as i64 * delta as i64;
-                dev.comm_channels = (dev.comm_channels as i64 + ch).max(0) as u32;
-            }
-        }
-    }
-
     /// Charges elapsed progress (at current rates) to every plain kernel on
     /// `d` and every collective with a member on `d`.
     fn settle_device(&mut self, d: usize) {
         let now = self.now;
-        for slot in self.devices[d].run.iter_mut() {
-            if slot.live {
-                let elapsed = now.saturating_since(slot.settled_at).as_nanos() as f64;
-                if elapsed > 0.0 {
-                    slot.remaining = (slot.remaining - elapsed * slot.rate).max(0.0);
-                    slot.settled_at = now;
-                }
-            }
-        }
+        self.devices[d].settle_plain(now);
         // Split borrow: take the active list out while settling.
         let active = std::mem::take(&mut self.devices[d].active_colls);
         for &ci in &active {
@@ -1395,34 +1637,14 @@ impl Simulation {
 
     /// Recomputes rates and reschedules completions for everything running on
     /// `d` (and collectives touching `d`). Callers must have settled first.
+    /// Plain-kernel completions land in device `d`'s lane, collective
+    /// completions in the global lane.
     fn reprice_device(&mut self, d: usize) {
         let now = self.now;
-        let mut to_push: Vec<(SimTime, Pending)> = Vec::new();
         // Fault hook: an active straggler window scales every kernel on the
-        // device down uniformly (compute before the &mut borrow below).
+        // device down uniformly.
         let fault_factor = self.faults.device_factor(DeviceId(d), now);
-        {
-            let dev = &mut self.devices[d];
-            for (i, slot) in dev.run.iter_mut().enumerate() {
-                if !slot.live {
-                    continue;
-                }
-                let rate =
-                    1.0 / dev.spec.contention.slowdown(
-                        slot.class,
-                        dev.n_compute,
-                        dev.n_comm,
-                        dev.comm_channels,
-                    ) / fault_factor;
-                slot.rate = rate;
-                slot.gen += 1;
-                let dur = (slot.remaining / rate).ceil() as u64;
-                to_push.push((
-                    now + SimDuration::from_nanos(dur),
-                    Pending::KernelDone { device: d, slot: i, gen: slot.gen },
-                ));
-            }
-        }
+        self.devices[d].reprice_plain(d, now, fault_factor, &mut self.device_lanes[d]);
         // Collectives: rate = min over member devices of local comm rate.
         let mut coll_updates: Vec<(usize, f64)> = Vec::new();
         for &ci in &self.devices[d].active_colls {
@@ -1450,14 +1672,12 @@ impl Simulation {
             let coll = &mut self.collectives[ci];
             coll.rate = rate;
             coll.gen += 1;
+            let gen = coll.gen;
             let dur = (coll.remaining / rate).ceil() as u64;
-            to_push.push((
+            self.push(
                 now + SimDuration::from_nanos(dur),
-                Pending::CollectiveDone { coll: ci, gen: coll.gen },
-            ));
-        }
-        for (at, p) in to_push {
-            self.push(at, p);
+                Pending::CollectiveDone { coll: ci, gen },
+            );
         }
     }
 
@@ -1469,6 +1689,7 @@ impl Simulation {
             }
         }
         self.settle_device(d);
+        let now = self.now;
         let (queue, class, blocks, kernel, started_at, failed) = {
             let s = &self.devices[d].run[slot];
             debug_assert!(
@@ -1480,7 +1701,7 @@ impl Simulation {
         };
         self.devices[d].run[slot].live = false;
         self.devices[d].free_slots.push(slot);
-        self.apply_class_delta(d, class, blocks, -1);
+        self.devices[d].apply_class_delta(now, class, blocks, -1);
         self.finish_queue_head(d, queue, kernel, class, started_at, failed);
         self.reprice_device(d);
         self.poll_queue(d, queue);
@@ -1504,16 +1725,14 @@ impl Simulation {
         }
         for &(d, q) in &members {
             // Capture kernel identity from the queue head before popping.
-            let (kernel, class, blocks) = match &self.devices[d].queues[q]
-                .ops
-                .front()
-                .expect("collective member queue empty")
-                .op
-            {
-                StreamOp::Kernel(spec, kid) => (*kid, spec.class, spec.blocks),
-                _ => panic!("collective member head is not a kernel"),
-            };
-            self.apply_class_delta(d, class, blocks, -1);
+            let (kernel, class, blocks) =
+                match &self.devices[d].queues[q].front().expect("collective member queue empty").op
+                {
+                    StreamOp::Kernel(spec, kid) => (*kid, spec.class, spec.blocks),
+                    _ => panic!("collective member head is not a kernel"),
+                };
+            let now = self.now;
+            self.devices[d].apply_class_delta(now, class, blocks, -1);
             self.finish_queue_head(d, q, kernel, class, started_at, false);
         }
         for &(d, _) in &members {
@@ -1539,41 +1758,21 @@ impl Simulation {
         started_at: SimTime,
         failed: bool,
     ) {
-        let popped = self.devices[d].queues[q].ops.pop_front().expect("finishing empty queue");
-        let (name, tag, stream, collective) = match popped.op {
-            StreamOp::Kernel(spec, kid) => {
-                debug_assert_eq!(kid, kernel);
-                (spec.name, spec.tag, popped.stream, spec.collective)
-            }
-            _ => panic!("queue head changed under a running kernel"),
-        };
-        self.devices[d].queues[q].head = HeadState::Idle;
+        let now = self.now;
+        let ev =
+            self.devices[d].finish_head(DeviceId(d), q, kernel, class, started_at, failed, now);
         self.kernels_completed += 1;
-        self.devices[d].stats.account_kernel(class, self.now.saturating_since(started_at));
         if failed {
             self.kernels_failed += 1;
-            self.devices[d].stats.kernels_failed += 1;
             self.wakes.push_back(Wake::KernelFailed {
                 kernel,
                 device: DeviceId(d),
-                tag,
-                at: self.now,
+                tag: ev.tag,
+                at: now,
             });
         }
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                kernel,
-                name,
-                class,
-                tag,
-                device: DeviceId(d),
-                stream,
-                enqueued_at: popped.enqueued_at,
-                started_at,
-                ended_at: self.now,
-                failed,
-                collective,
-            });
+            trace.push(ev);
         }
     }
 
@@ -1591,10 +1790,10 @@ impl Simulation {
             if self.devices[d].queues[q].head == HeadState::WaitingEvent {
                 // Re-check: the head wait op must still reference this event.
                 if let Some(&QueuedOp { op: StreamOp::Wait(w), stream, .. }) =
-                    self.devices[d].queues[q].ops.front()
+                    self.devices[d].queues[q].front()
                 {
                     if w == ev {
-                        self.devices[d].queues[q].ops.pop_front();
+                        self.devices[d].queues[q].pop_op();
                         self.devices[d].queues[q].head = HeadState::Idle;
                         if let Some(trace) = &mut self.trace {
                             trace.push_mark(TraceMark::Wait {
@@ -1634,7 +1833,7 @@ impl std::fmt::Debug for Simulation {
             .field("now", &self.now)
             .field("devices", &self.devices.len())
             .field("hosts", &self.hosts.len())
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.pending_events())
             .field("kernels_launched", &self.kernels_launched)
             .field("kernels_completed", &self.kernels_completed)
             .finish()

@@ -27,18 +27,26 @@ pub use admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord
 pub use analysis::{dg1_wait, mg1_latency, mg1_wait, service_moments, utilization};
 pub use arrival::{ArrivalProcess, DecodeTraceConfig, LognormalTraceConfig, PrefillTraceConfig};
 pub use batcher::{
-    serve_queries, serve_queries_with_retry, Batcher, BatcherConfig, PackedBatch, Query,
-    QueryRunner,
+    serve_queries, serve_queries_on, serve_queries_with_retry, serve_queries_with_retry_on,
+    Batcher, BatcherConfig, PackedBatch, Query, QueryRunner,
 };
 pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
 pub use generation::{
-    serve_generations, GenerationJob, GenerationMetrics, GenerationResult, GenerationRunner,
+    serve_generations, serve_generations_on, GenerationJob, GenerationMetrics, GenerationResult,
+    GenerationRunner,
 };
 pub use health::{HealthConfig, HealthMonitor};
 pub use metrics::{BatchingCounters, FaultCounters, RecoveryCounters, ServingMetrics};
-pub use recovery::{serve_with_recovery, RecoveryConfig, RecoveryPhase, RecoveryRunner};
+pub use recovery::{
+    serve_with_recovery, serve_with_recovery_on, RecoveryConfig, RecoveryPhase, RecoveryRunner,
+};
 pub use request::{Completion, Request};
-pub use runner::{serve, serve_with_policy, RetryPolicy, ServingRunner};
-pub use scheduler::{serve_continuous, ContinuousReport, ContinuousScheduler, SchedulerConfig};
+pub use runner::{
+    core_lookahead, serve, serve_on, serve_with_policy, serve_with_policy_on, RetryPolicy,
+    ServingRunner,
+};
+pub use scheduler::{
+    serve_continuous, serve_continuous_on, ContinuousReport, ContinuousScheduler, SchedulerConfig,
+};
 
 pub use liger_kvcache::{BlockPool, BlockPoolConfig, OutOfBlocks};

@@ -35,7 +35,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use liger_gpu_sim::{
-    DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId, Wake,
+    CoreSelect, DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId,
+    Wake,
 };
 use liger_kvcache::{BlockPool, BlockPoolConfig};
 use liger_model::{kv_recovery_plan, CostModel, ModelConfig, RecoveryPolicy};
@@ -712,9 +713,25 @@ pub fn serve_continuous<E: InferenceEngine + ?Sized>(
     cost: &CostModel,
     config: SchedulerConfig,
 ) -> ContinuousReport {
+    serve_continuous_on(CoreSelect::from_env(), sim, engine, jobs, model, cost, config)
+}
+
+/// [`serve_continuous`] on an explicit event core. A parallel core gets its
+/// lookahead derived from the host launch overhead and the cost model's
+/// interconnect latency ([`core_lookahead`](crate::runner::core_lookahead)).
+pub fn serve_continuous_on<E: InferenceEngine + ?Sized>(
+    core: CoreSelect,
+    sim: &mut Simulation,
+    engine: &mut E,
+    jobs: Vec<GenerationJob>,
+    model: &ModelConfig,
+    cost: &CostModel,
+    config: SchedulerConfig,
+) -> ContinuousReport {
+    let lookahead = crate::runner::core_lookahead(sim, cost);
     let devices = sim.alive_devices();
     let mut scheduler = ContinuousScheduler::new(engine, jobs, model, cost, config, devices);
-    sim.run_to_completion(&mut scheduler);
+    crate::runner::run_core(core, Some(lookahead), sim, &mut scheduler);
     scheduler.into_report()
 }
 

@@ -1,0 +1,152 @@
+//! Serving-level cross-core invariance: every serving entry point, run on
+//! the parallel event core, must reproduce the sequential core's metrics
+//! and trace byte-for-byte — including under kernel faults, retries, and a
+//! mid-serve permanent device loss — and the parallel core's traces must be
+//! clean under the happens-before sanitizer.
+//!
+//! The sim-level properties (`crates/gpu-sim/tests/core_props.rs`) prove
+//! the cores agree on raw workloads; this suite proves the agreement
+//! survives the full serving stack: reactive drivers, retry policies,
+//! continuous batching over the paged KV pool, and drain-and-replan
+//! recovery.
+
+use liger::prelude::*;
+use liger::serving::{
+    serve_continuous_on, serve_on, serve_with_policy_on, serve_with_recovery_on, GenerationJob,
+    RecoveryConfig, RetryPolicy, SchedulerConfig,
+};
+use liger_gpu_sim::ToJson;
+
+const WORLD: usize = 4;
+
+fn model() -> ModelConfig {
+    ModelConfig::opt_30b().with_layers(8)
+}
+
+fn engine() -> LigerEngine {
+    let factor = profile_contention(&DeviceSpec::v100_16gb(), &NcclConfig::liger_tuned()).factor();
+    LigerEngine::new(
+        model(),
+        CostModel::v100_node(),
+        WORLD,
+        LigerConfig::default().with_contention_factor(factor),
+    )
+    .unwrap()
+}
+
+fn sim(faults: FaultSpec) -> Simulation {
+    Simulation::builder()
+        .devices(DeviceSpec::v100_16gb(), WORLD)
+        .faults(faults)
+        .capture_trace(true)
+        .build()
+        .unwrap()
+}
+
+fn requests(n: usize, rate: f64) -> Vec<liger::serving::Request> {
+    PrefillTraceConfig::paper(n, 2, rate, 42).generate()
+}
+
+fn jobs(n: u64, rate: f64) -> Vec<GenerationJob> {
+    (0..n)
+        .map(|i| GenerationJob {
+            id: i,
+            batch: 2,
+            prompt_len: 48 + 16 * (i % 3) as u32,
+            output_tokens: if i % 4 == 0 { 12 } else { 3 },
+            arrival: SimTime::from_secs_f64(i as f64 / rate),
+        })
+        .collect()
+}
+
+/// The three parallel configurations every scenario is checked at.
+const PAR: [CoreSelect; 3] = [
+    CoreSelect::Par { workers: 1 },
+    CoreSelect::Par { workers: 2 },
+    CoreSelect::Par { workers: 4 },
+];
+
+/// Runs `scenario` once per core and asserts the serialized metrics and the
+/// exported Chrome trace are byte-identical to the sequential oracle's; the
+/// parallel traces additionally pass the happens-before sanitizer.
+fn assert_invariant(scenario: impl Fn(CoreSelect) -> (String, Trace)) {
+    let (oracle_metrics, oracle_trace) = scenario(CoreSelect::Seq);
+    let oracle_trace = oracle_trace.to_chrome_json();
+    for core in PAR {
+        let (metrics, trace) = scenario(core);
+        let diags = liger_verify::sanitize(&trace);
+        assert_eq!(diags.len(), 0, "sanitizer diagnostics on core {core}: {diags:?}");
+        assert_eq!(metrics, oracle_metrics, "metrics diverged on core {core}");
+        assert_eq!(trace.to_chrome_json(), oracle_trace, "trace bytes diverged on core {core}");
+    }
+}
+
+#[test]
+fn plain_serving_is_core_invariant() {
+    assert_invariant(|core| {
+        let mut sim = sim(FaultSpec::none());
+        let mut e = engine();
+        let m = serve_on(core, &mut sim, &mut e, requests(40, 20.0));
+        (m.to_json(), sim.take_trace().unwrap())
+    });
+}
+
+#[test]
+fn faulted_retry_serving_is_core_invariant() {
+    let faults = FaultSpec::new(7)
+        .straggler(DeviceId(1), SimTime::from_millis(5), SimTime::from_millis(60), 3.0)
+        .kernel_failures(KernelFaultParams {
+            prob: 0.25,
+            fraction: 0.5,
+            from: SimTime::from_millis(2),
+            until: SimTime::from_millis(80),
+        });
+    assert_invariant(move |core| {
+        let mut sim = sim(faults.clone());
+        let mut e = engine();
+        let m = serve_with_policy_on(
+            core,
+            &mut sim,
+            &mut e,
+            requests(30, 25.0),
+            RetryPolicy::default(),
+        );
+        (m.to_json(), sim.take_trace().unwrap())
+    });
+}
+
+#[test]
+fn continuous_batching_is_core_invariant() {
+    assert_invariant(|core| {
+        let mut sim = sim(FaultSpec::new(1));
+        let mut e = engine();
+        let cfg = model();
+        let cost = CostModel::v100_node();
+        let sched =
+            SchedulerConfig::sized_for(&cfg, WORLD as u32, DeviceSpec::v100_16gb().mem_capacity);
+        let report =
+            serve_continuous_on(core, &mut sim, &mut e, jobs(8, 100.0), &cfg, &cost, sched);
+        (report.serving.to_json(), sim.take_trace().unwrap())
+    });
+}
+
+#[test]
+fn device_loss_recovery_is_core_invariant() {
+    let faults = FaultSpec::new(1).device_down(DeviceId(2), SimTime::from_millis(2));
+    assert_invariant(move |core| {
+        let mut sim = sim(faults.clone());
+        let mut e = engine();
+        let cfg = model();
+        let cost = CostModel::v100_node();
+        let m = serve_with_recovery_on(
+            core,
+            &mut sim,
+            &mut e,
+            requests(20, 200.0),
+            &cfg,
+            &cost,
+            RecoveryConfig::default(),
+        );
+        (m.to_json(), sim.take_trace().unwrap())
+    });
+}
