@@ -34,11 +34,11 @@ cargo test -q --workspace
 echo "==> fault & property suites (pinned seed)"
 LIGER_PROP_SEED=0xfa0175 cargo test -q --test fault_injection --test golden_trace --test recovery
 LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-gpu-sim --test fault_props --test proptests --test core_props
-LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-kvcache --test pool_props
+LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-kvcache --test pool_props --test prefix_props
 
 echo "==> fault & property suites (fresh seed)"
 cargo test -q -p liger-gpu-sim --test fault_props --test proptests --test core_props
-cargo test -q -p liger-kvcache --test pool_props
+cargo test -q -p liger-kvcache --test pool_props --test prefix_props
 cargo test -q --test recovery
 
 # Parallel event core gate (DESIGN.md §13): the full tier-1 suite must be
@@ -55,6 +55,13 @@ LIGER_CORE=par LIGER_PROP_SEED=0xfa0175 \
 echo "==> cross-core invariance suite"
 cargo test -q --test core_invariance
 
+# Prefix/speculation differential gate: the same seeded shared-prefix trace
+# with caching and speculation off/on must emit identical token streams,
+# sanitize clean healthy and under a device loss, and replay byte-identically
+# across event cores.
+echo "==> prefix caching differential suite"
+cargo test -q --test prefix_caching
+
 echo "==> bench_simcore --smoke"
 cargo run --release -q -p liger-bench --bin bench_simcore -- --smoke
 
@@ -70,6 +77,13 @@ cargo run --release -q -p liger-bench --bin ablation_recovery -- --smoke
 # accounted for, and the healthy + device-loss traces sanitize clean.
 echo "==> ablation_batching --smoke"
 cargo run --release -q -p liger-bench --bin ablation_batching -- --smoke
+
+# Prefix-caching ablation gate: a skewed shared-prefix workload with the
+# cache on must deliver at least 2x the uncached prefill throughput with
+# identical outputs, zero sanitizer diagnostics and zero double frees,
+# healthy and under a device loss.
+echo "==> ablation_prefix --smoke"
+cargo run --release -q -p liger-bench --bin ablation_prefix -- --smoke
 
 # Verification gate: the static plan verifier proves the default
 # deployments deadlock-free and memory-feasible (healthy and one-loss

@@ -16,7 +16,10 @@ use liger_core::{plan_round, FuncVec, LigerConfig, PlanParams, SyncMode};
 use liger_gpu_sim::{DeviceSpec, Trace};
 use liger_kvcache::BlockPoolConfig;
 use liger_model::{assemble, BatchShape, CostModel, ModelConfig};
-use liger_verify::{check_kv_pool_feasibility, sanitize_parsed, verify_deployment, Diagnostic};
+use liger_verify::{
+    check_kv_pool_feasibility, check_prefix_residency, sanitize_parsed, verify_deployment,
+    Diagnostic,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +78,12 @@ fn run_plans() -> ExitCode {
         // beside the weight shard, healthy and degraded.
         let pool = BlockPoolConfig::sized_for(cfg, *world as u32, spec.mem_capacity, 16);
         diags.extend(check_kv_pool_feasibility(cfg, &lc, spec, *world as u32, &pool, shape, 1));
+        // With the prefix cache on, the shared sizing widens the budget for
+        // up to 256 pinned prefix tokens; the pinned chains must remain
+        // resident without deadlocking admission, healthy and degraded.
+        let shared =
+            BlockPoolConfig::sized_for_shared(cfg, *world as u32, spec.mem_capacity, 16, 256);
+        diags.extend(check_prefix_residency(cfg, &lc, spec, *world as u32, &shared, shape, 256, 1));
         report(&format!("{} on {}x {}", cfg.name, world, spec.name), &diags);
         total += diags.len();
     }

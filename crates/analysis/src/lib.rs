@@ -40,5 +40,5 @@ pub use diag::Diagnostic;
 pub use sanitizer::{sanitize, sanitize_parsed};
 pub use static_verifier::{
     check_collective_match, check_kv_pool_feasibility, check_memory_feasibility,
-    check_shard_shapes, check_wait_cycles, verify_deployment,
+    check_prefix_residency, check_shard_shapes, check_wait_cycles, verify_deployment,
 };

@@ -25,7 +25,7 @@ use liger_core::introspect::{LaunchProgram, PlanOp};
 use liger_core::LigerConfig;
 use liger_gpu_sim::DeviceSpec;
 use liger_kvcache::BlockPoolConfig;
-use liger_model::{equal_split, model_ops, BatchShape, LayerOp, ModelConfig};
+use liger_model::{blocks_for_tokens, equal_split, model_ops, BatchShape, LayerOp, ModelConfig};
 use liger_parallelism::launch::batch_working_set_bytes;
 use liger_parallelism::{check_divisibility, check_divisibility_relaxed, stage_ranges_uneven};
 
@@ -384,6 +384,75 @@ pub fn check_kv_pool_feasibility(
                     "{label}: weight shard {weights} B + {} working sets of {working} B + \
                      kv pool budget {} B = {peak} B exceeds {} capacity {} B",
                     lc.processing_slots, pool.budget_bytes, spec.name, spec.mem_capacity
+                ),
+            ));
+        }
+    };
+    check(world, &format!("healthy tp={world}"));
+    for survivors in world.saturating_sub(max_losses)..world {
+        if survivors >= 1 && check_divisibility_relaxed(cfg, survivors).is_ok() {
+            check(survivors, &format!("degraded tp={survivors}"));
+        }
+    }
+    out
+}
+
+/// Checks that a prefix-cache residency target is feasible inside the paged
+/// pool and on the device. Cold eviction never frees a cached block below
+/// refcount 1, so the pinned chains are a *standing* reservation: if they
+/// can consume the whole pool, admission deadlocks — no active sequence can
+/// ever grow and nothing the scheduler does reclaims the space. Two checks:
+///
+/// * the pinned chains plus at least one maximal sequence (`shape`'s KV
+///   span) fit the pool's block capacity, and
+/// * the pinned bytes fit device memory next to the weight shard and the
+///   engine's concurrent working sets, on the healthy topology and on every
+///   degraded survivor count recovery would replan onto (after a loss the
+///   weight shard grows while the cache's reservation does not shrink).
+#[allow(clippy::too_many_arguments)]
+pub fn check_prefix_residency(
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    spec: &DeviceSpec,
+    world: u32,
+    pool: &BlockPoolConfig,
+    shape: BatchShape,
+    pinned_prefix_tokens: u32,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = pool.validate() {
+        out.push(Diagnostic::new("SV-MEM-CAP", format!("kv pool config invalid: {e}")));
+        return out;
+    }
+    let pinned_blocks = blocks_for_tokens(pinned_prefix_tokens, pool.block_tokens);
+    let capacity = pool.capacity_blocks();
+    let seq_blocks =
+        blocks_for_tokens(shape.phase.kv_len(), pool.block_tokens) * shape.batch as u64;
+    if pinned_blocks + seq_blocks > capacity {
+        out.push(Diagnostic::new(
+            "SV-MEM-CAP",
+            format!(
+                "prefix residency: {pinned_blocks} pinned cache block(s) + {seq_blocks} \
+                 block(s) for one {}x{} sequence exceed the pool's {capacity}-block budget: \
+                 cold eviction cannot free pinned chains, admission would deadlock",
+                shape.batch,
+                shape.phase.kv_len()
+            ),
+        ));
+    }
+    let pinned_bytes = pinned_blocks * pool.block_bytes;
+    let mut check = |ways: u32, label: &str| {
+        let weights = cfg.weight_bytes() / ways as u64;
+        let working = batch_working_set_bytes(cfg, shape, ways);
+        let peak = weights + lc.processing_slots as u64 * working + pinned_bytes;
+        if peak > spec.mem_capacity {
+            out.push(Diagnostic::new(
+                "SV-MEM-CAP",
+                format!(
+                    "{label}: weight shard {weights} B + {} working sets of {working} B + \
+                     pinned prefix cache {pinned_bytes} B = {peak} B exceeds {} capacity {} B",
+                    lc.processing_slots, spec.name, spec.mem_capacity
                 ),
             ));
         }

@@ -10,7 +10,8 @@ use liger_gpu_sim::prelude::*;
 use liger_kvcache::BlockPoolConfig;
 use liger_model::{kv_block_bytes, BatchShape, ModelConfig};
 use liger_verify::{
-    check_collective_match, check_kv_pool_feasibility, check_wait_cycles, sanitize,
+    check_collective_match, check_kv_pool_feasibility, check_prefix_residency, check_wait_cycles,
+    sanitize,
 };
 
 fn rules(diags: &[liger_verify::Diagnostic]) -> Vec<&'static str> {
@@ -122,6 +123,28 @@ fn oversized_kv_pool_fires_sv_mem_cap() {
     assert_eq!(clean, vec![], "the default sizing fits healthy and degraded");
 }
 
+#[test]
+fn pool_sized_prefix_pin_fires_sv_mem_cap() {
+    // A cache allowed to pin the whole pool deadlocks admission: cold
+    // eviction never frees below refcount 1, so no sequence can ever grow.
+    // The shared sizing (which widens the budget for the pinned chains)
+    // verifies clean, healthy and degraded.
+    let cfg = ModelConfig::gpt_8b();
+    let lc = LigerConfig::default();
+    let spec = DeviceSpec::v100_16gb();
+    let shape = BatchShape::prefill(1, 64);
+    let pool = BlockPoolConfig::sized_for(&cfg, 2, spec.mem_capacity, 16);
+    let all_pinned = (pool.capacity_blocks() * 16) as u32;
+    let diags = check_prefix_residency(&cfg, &lc, &spec, 2, &pool, shape, all_pinned, 1);
+    assert!(!diags.is_empty(), "a pool-sized pin target must be rejected");
+    assert!(rules(&diags).iter().all(|&r| r == "SV-MEM-CAP"), "{diags:?}");
+    assert!(diags[0].message.contains("admission would deadlock"), "{}", diags[0].message);
+
+    let shared = BlockPoolConfig::sized_for_shared(&cfg, 2, spec.mem_capacity, 16, 256);
+    let clean = check_prefix_residency(&cfg, &lc, &spec, 2, &shared, shape, 256, 1);
+    assert_eq!(clean, vec![], "a modest pinned chain fits healthy and degraded");
+}
+
 // --------------------------------------------------------------- dynamic
 
 #[test]
@@ -183,6 +206,78 @@ fn live_working_set_at_end_fires_ts_leak_but_weights_are_exempt() {
     let diags = sanitize(&trace);
     assert_eq!(rules(&diags), vec!["TS-LEAK"], "{diags:?}");
     assert!(diags[0].message.contains("batch working set"), "{}", diags[0].message);
+}
+
+#[test]
+fn speculative_rollback_freeing_a_block_twice_fires_ts_double_free() {
+    // A buggy rollback path frees a rejected draft token's KV block, then
+    // the sequence's final release frees the same block again: the exact
+    // defect the speculative-decoding truncate path must never commit.
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Alloc {
+        id: 21,
+        device: DeviceId(0),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(1),
+    });
+    // Rollback after the verifier rejected the drafts.
+    trace.push_mark(TraceMark::Free { id: 21, device: DeviceId(0), at: SimTime::from_micros(5) });
+    // The sequence retires and releases its (stale) table a second time.
+    trace.push_mark(TraceMark::Free { id: 21, device: DeviceId(0), at: SimTime::from_micros(9) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-DOUBLE-FREE"], "{diags:?}");
+    assert_eq!(diags[0].device, Some(0));
+}
+
+#[test]
+fn stale_draft_handle_freed_after_rollback_fires_ts_uaf() {
+    // After a rollback already reclaimed the drafted span, a stale handle
+    // to a rejected token's block is freed again under a *new* id that was
+    // never allocated — the use-after-free shape of a table that kept
+    // pointing at blocks the pool no longer owns.
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Alloc {
+        id: 30,
+        device: DeviceId(1),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(1),
+    });
+    trace.push_mark(TraceMark::Free { id: 30, device: DeviceId(1), at: SimTime::from_micros(4) });
+    // The stale draft entry: id 31 never existed on this device.
+    trace.push_mark(TraceMark::Free { id: 31, device: DeviceId(1), at: SimTime::from_micros(8) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-UAF"], "{diags:?}");
+    assert_eq!(diags[0].device, Some(1));
+}
+
+#[test]
+fn prefix_evicted_while_shared_leaks_the_survivor_side() {
+    // An eviction that drops the cache's index entry while a sharer still
+    // holds the chain: the sharer's half of the refcount is never released
+    // and the block is still live when the serve drains — a KV leak, not a
+    // weights allocation, so TS-LEAK must fire.
+    let mut trace = Trace::new();
+    trace.push_mark(TraceMark::Alloc {
+        id: 40,
+        device: DeviceId(0),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(1),
+    });
+    trace.push_mark(TraceMark::Alloc {
+        id: 41,
+        device: DeviceId(0),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(2),
+    });
+    // The unshared tail block is freed; the shared prefix block never is.
+    trace.push_mark(TraceMark::Free { id: 41, device: DeviceId(0), at: SimTime::from_micros(7) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-LEAK"], "{diags:?}");
+    assert!(diags[0].message.contains("kv-block"), "{}", diags[0].message);
 }
 
 #[test]

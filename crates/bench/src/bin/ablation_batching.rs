@@ -30,7 +30,7 @@ use liger_gpu_sim::rng::Rng;
 use liger_gpu_sim::{DeviceId, FaultSpec, SimDuration, SimTime};
 use liger_model::{ModelConfig, RecoveryPolicy};
 use liger_serving::{
-    serve_continuous, serve_generations, GenerationJob, GenerationResult, HealthConfig,
+    serve_continuous, serve_generations, GenerationJob, GenerationResult, HealthConfig, PrefixTag,
     SchedulerConfig,
 };
 
@@ -56,6 +56,7 @@ fn workload(n: usize, rate: f64, seed: u64) -> Vec<GenerationJob> {
                     rng.u32_inclusive(48, 96)
                 },
                 arrival: SimTime::from_secs_f64(at),
+                prefix: PrefixTag::NONE,
             }
         })
         .collect()
@@ -75,6 +76,7 @@ fn group_static(jobs: &[GenerationJob]) -> (Vec<GenerationJob>, Vec<Vec<Generati
             prompt_len: chunk.iter().map(|j| j.prompt_len).max().unwrap(),
             output_tokens: chunk.iter().map(|j| j.output_tokens).max().unwrap(),
             arrival: chunk.iter().map(|j| j.arrival).max().unwrap(),
+            prefix: PrefixTag::NONE,
         });
         members.push(chunk.to_vec());
     }

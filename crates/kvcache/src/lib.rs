@@ -19,6 +19,21 @@
 //! replica can [`share`](BlockPool::share) a dying sequence's table without
 //! copying it.
 //!
+//! # Cross-request prefix caching
+//!
+//! Full prompt-prefix blocks can be *published* into a content-hash index
+//! ([`BlockPool::publish_prefix`]): each full block of a finished prefill is
+//! keyed by a running chain hash over its token digests, and the cache holds
+//! its own reference on the block. A later request with the same leading
+//! digests adopts the longest cached chain
+//! ([`BlockPool::admit_with_prefix`]) — its table shares the cached blocks
+//! via the ordinary refcounts and only the novel tail is ever prefilled.
+//! Cold chains are reclaimed leaf-first, least-recently-used first, and only
+//! when the cache holds the last reference
+//! ([`BlockPool::evict_cold_prefixes`]): a block pinned by any live sequence
+//! is never evicted out from under it. Speculative-decoding rollback uses
+//! [`BlockPool::truncate`], the shrink mirror of [`BlockPool::grow`].
+//!
 //! # Simplifications
 //!
 //! The block size is fixed at deployment time from the *healthy* parallel
@@ -39,6 +54,36 @@ use liger_model::{blocks_for_tokens, kv_block_bytes, ModelConfig};
 
 /// Allocation label every KV block carries in traces and the tracker.
 pub const BLOCK_LABEL: &str = "kv-block";
+
+/// Seed of the prefix chain hash (the splitmix64 increment, an arbitrary
+/// odd constant — any fixed value works, it only has to be shared by
+/// publishers and adopters).
+const PREFIX_CHAIN_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation used
+/// for the prefix chain hash and the serving layer's deterministic token
+/// oracle.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Running chain hash over per-block content digests: `h_k` commits to
+/// digests `0..=k`, so two prompts share `h_k` exactly when their first
+/// `k + 1` blocks hold identical tokens. `hashes[k]` keys block `k` in the
+/// prefix index.
+pub fn chain_hashes(digests: &[u64]) -> Vec<u64> {
+    let mut h = PREFIX_CHAIN_SEED;
+    digests
+        .iter()
+        .map(|&d| {
+            h = mix64(h ^ d);
+            h
+        })
+        .collect()
+}
 
 /// Geometry and budget of a [`BlockPool`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +119,33 @@ impl BlockPoolConfig {
             budget_bytes: headroom / 4,
             watermark: 0.9,
         }
+    }
+
+    /// Sizes a pool that also hosts a cross-request prefix cache pinning up
+    /// to `pinned_prefix_tokens` tokens of shared prompt blocks.
+    ///
+    /// [`sized_for`](Self::sized_for)'s quarter-headroom geometry assumes
+    /// every block belongs to an active sequence, so a resident prefix cache
+    /// would eat the decode working set from inside the budget and the
+    /// watermark would preempt active sequences to protect blocks that are
+    /// only cache-warm. This variant grows the budget by the pinned
+    /// footprint (capped at half the headroom so the engine's transient
+    /// working sets keep their room — the static verifier's prefix-residency
+    /// rule checks the cap holds in degraded worlds too). With zero pinned
+    /// tokens it is identical to `sized_for`.
+    pub fn sized_for_shared(
+        model: &ModelConfig,
+        world: u32,
+        capacity: u64,
+        block_tokens: u32,
+        pinned_prefix_tokens: u32,
+    ) -> BlockPoolConfig {
+        let mut cfg = BlockPoolConfig::sized_for(model, world, capacity, block_tokens);
+        let weights = model.weight_bytes() / world.max(1) as u64;
+        let headroom = capacity.saturating_sub(weights);
+        let pinned = blocks_for_tokens(pinned_prefix_tokens, block_tokens) * cfg.block_bytes;
+        cfg.budget_bytes = (cfg.budget_bytes + pinned).min(headroom / 2);
+        cfg
     }
 
     /// Whole blocks the per-device budget can hold.
@@ -145,6 +217,32 @@ struct Block {
     refs: u32,
 }
 
+/// One cached prefix block in the content-hash index, keyed by its chain
+/// hash.
+#[derive(Debug)]
+struct PrefixEntry {
+    /// The block holding this prefix position's KV pages.
+    block: u64,
+    /// Chain hash of the previous prefix block (`None` for block 0). Kept
+    /// so eviction can tell leaves from interior chain links.
+    parent: Option<u64>,
+    /// Logical clock of the last admit/publish that touched this entry.
+    last_used: u64,
+}
+
+/// Outcome of [`BlockPool::admit_with_prefix`]: how much of the prompt the
+/// cache served and how many fresh blocks the tail needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixAdmit {
+    /// Prompt tokens covered by adopted cache blocks (always leaves at
+    /// least one novel token to prefill).
+    pub cached_tokens: u32,
+    /// Cache blocks adopted into the sequence's table.
+    pub cached_blocks: u64,
+    /// Fresh blocks allocated for the novel tail.
+    pub added_blocks: u64,
+}
+
 #[derive(Debug)]
 struct SeqEntry {
     /// Block ids, in allocation order (`blocks_per_row × rows` entries).
@@ -177,6 +275,14 @@ pub struct BlockPool {
     devices: Vec<DeviceId>,
     blocks: BTreeMap<u64, Block>,
     seqs: BTreeMap<u64, SeqEntry>,
+    /// Content-hash index of published prompt-prefix blocks: chain hash →
+    /// cached entry. The cache holds one reference on every indexed block.
+    prefix: BTreeMap<u64, PrefixEntry>,
+    /// Inverse of `prefix` (block id → chain hash); a block is indexed
+    /// under at most one hash.
+    prefix_of_block: BTreeMap<u64, u64>,
+    /// Logical clock for prefix LRU ordering.
+    prefix_clock: u64,
     next_block: u64,
     stats: PoolStats,
 }
@@ -194,6 +300,9 @@ impl BlockPool {
             devices,
             blocks: BTreeMap::new(),
             seqs: BTreeMap::new(),
+            prefix: BTreeMap::new(),
+            prefix_of_block: BTreeMap::new(),
+            prefix_clock: 0,
             next_block: 0,
             stats: PoolStats::default(),
         }
@@ -349,6 +458,205 @@ impl BlockPool {
         self.seqs.insert(dst, cloned);
     }
 
+    /// Admits a fresh single-row sequence, adopting the longest published
+    /// prefix chain matching `digests` (per-full-block content digests of
+    /// the prompt, see [`chain_hashes`]) before growing the novel tail to
+    /// `tokens` like [`grow`](Self::grow). Adopted blocks are shared via
+    /// the ordinary refcounts — the cache keeps its own reference, so a
+    /// later eviction can never free a block under an adopter.
+    ///
+    /// Adoption is capped so at least one novel token remains: even a full
+    /// prompt hit must run a one-token prefill to produce its first output.
+    /// Multi-row sequences and re-grows of existing sequences fall through
+    /// to a plain `grow` with zero cached tokens. On failure the pool is
+    /// left exactly as before the call.
+    pub fn admit_with_prefix(
+        &mut self,
+        sim: &mut Simulation,
+        seq: u64,
+        digests: &[u64],
+        tokens: u32,
+        rows: u32,
+    ) -> Result<PrefixAdmit, OutOfBlocks> {
+        if rows != 1 || self.seqs.contains_key(&seq) {
+            let added = self.grow(sim, seq, tokens, rows)?;
+            return Ok(PrefixAdmit { cached_tokens: 0, cached_blocks: 0, added_blocks: added });
+        }
+        let hashes = chain_hashes(digests);
+        let max_cached = (tokens.saturating_sub(1) / self.config.block_tokens) as usize;
+        let mut matched: Vec<u64> = Vec::new();
+        for h in hashes.iter().take(max_cached) {
+            match self.prefix.get(h) {
+                Some(e) => matched.push(e.block),
+                None => break,
+            }
+        }
+        self.prefix_clock += 1;
+        let clock = self.prefix_clock;
+        for h in hashes.iter().take(matched.len()) {
+            self.prefix.get_mut(h).expect("matched above").last_used = clock;
+        }
+        let cached_blocks = matched.len() as u64;
+        let cached_tokens = matched.len() as u32 * self.config.block_tokens;
+        if cached_blocks > 0 {
+            for &b in &matched {
+                self.blocks.get_mut(&b).expect("cached block is live").refs += 1;
+            }
+            self.seqs.insert(seq, SeqEntry { table: matched, tokens: cached_tokens, rows: 1 });
+        }
+        match self.grow(sim, seq, tokens, rows) {
+            Ok(added) => Ok(PrefixAdmit { cached_tokens, cached_blocks, added_blocks: added }),
+            Err(e) => {
+                // Undo the adoption; the cache's own references keep the
+                // adopted blocks alive.
+                self.release(sim, seq);
+                Err(e)
+            }
+        }
+    }
+
+    /// Publishes `seq`'s full prompt-prefix blocks into the content-hash
+    /// index so later requests can adopt them. `digests` are the same
+    /// per-full-block digests the adopter will present; block `k` of the
+    /// table (tables append in order, so table position is prompt position)
+    /// is keyed by chain hash `k`. Each newly indexed block gains one cache
+    /// reference. Chains already published (by this or an equal-content
+    /// prompt) are just LRU-refreshed. Multi-row and unknown sequences
+    /// publish nothing. Returns the number of newly indexed blocks.
+    pub fn publish_prefix(&mut self, seq: u64, digests: &[u64]) -> u64 {
+        let Some(entry) = self.seqs.get(&seq) else {
+            return 0;
+        };
+        if entry.rows != 1 {
+            return 0;
+        }
+        let hashes = chain_hashes(digests);
+        let n = hashes.len().min(entry.table.len());
+        let blocks: Vec<u64> = entry.table[..n].to_vec();
+        self.prefix_clock += 1;
+        let clock = self.prefix_clock;
+        let mut published = 0;
+        for (p, (&h, &b)) in hashes.iter().zip(blocks.iter()).enumerate() {
+            if let Some(e) = self.prefix.get_mut(&h) {
+                // Same content already cached (possibly a different block
+                // from a racing prefill) — refresh and keep walking.
+                e.last_used = clock;
+                continue;
+            }
+            if self.prefix_of_block.contains_key(&b) {
+                // The block is already indexed under another chain; a block
+                // holds one content, so stop rather than double-index it.
+                break;
+            }
+            let parent = if p == 0 { None } else { Some(hashes[p - 1]) };
+            self.prefix.insert(h, PrefixEntry { block: b, parent, last_used: clock });
+            self.prefix_of_block.insert(b, h);
+            self.blocks.get_mut(&b).expect("table references a live block").refs += 1;
+            published += 1;
+        }
+        published
+    }
+
+    /// Evicts cold cached prefixes until `want_blocks` blocks have been
+    /// freed or no evictable entry remains. Victims are chosen leaf-first
+    /// (an interior chain link is never dropped under its children),
+    /// least-recently-used first, and only when the cache holds the *last*
+    /// reference — a prefix still pinned by any live sequence is skipped,
+    /// so eviction can never free memory out from under an active decode.
+    /// Returns the number of blocks freed.
+    pub fn evict_cold_prefixes(&mut self, sim: &mut Simulation, want_blocks: u64) -> u64 {
+        let mut evicted = 0;
+        while evicted < want_blocks {
+            let parents: std::collections::BTreeSet<u64> =
+                self.prefix.values().filter_map(|e| e.parent).collect();
+            let victim = self
+                .prefix
+                .iter()
+                .filter(|(h, e)| {
+                    !parents.contains(h) && self.blocks.get(&e.block).is_some_and(|b| b.refs == 1)
+                })
+                .min_by_key(|(&h, e)| (e.last_used, h))
+                .map(|(&h, _)| h);
+            let Some(h) = victim else {
+                break;
+            };
+            let entry = self.prefix.remove(&h).expect("victim chosen from the index");
+            self.prefix_of_block.remove(&entry.block);
+            let block = self.blocks.get_mut(&entry.block).expect("indexed block is live");
+            block.refs -= 1;
+            debug_assert_eq!(block.refs, 0, "victims are cache-only by construction");
+            let block = self.blocks.remove(&entry.block).expect("present");
+            for (_, id) in block.allocs {
+                sim.free_memory(id);
+            }
+            self.stats.freed += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops every cache reference, freeing blocks no sequence still pins.
+    /// Serving calls this at drain (so the end-of-serve pool is provably
+    /// empty) and on device loss (a cached prefix missing a shard would
+    /// serve corrupt KV to its next adopter). Returns the blocks freed.
+    pub fn flush_prefix_cache(&mut self, sim: &mut Simulation) -> u64 {
+        let cached: Vec<u64> = self.prefix.values().map(|e| e.block).collect();
+        self.prefix.clear();
+        self.prefix_of_block.clear();
+        let mut freed = 0;
+        for b in cached {
+            let block = self.blocks.get_mut(&b).expect("cached block is live");
+            block.refs -= 1;
+            if block.refs == 0 {
+                let block = self.blocks.remove(&b).expect("present");
+                for (_, id) in block.allocs {
+                    sim.free_memory(id);
+                }
+                self.stats.freed += 1;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Shrinks `seq`'s table back to `tokens` cached tokens per row — the
+    /// rollback mirror of [`grow`](Self::grow), used when speculative
+    /// verification rejects drafted tokens whose blocks were grown ahead.
+    /// Blocks are popped from the table tail; ones still shared (with the
+    /// prefix cache or a replica) survive, the rest are freed. Growing via
+    /// `truncate` is impossible: `tokens` above the covered span is a
+    /// no-op. Returns the number of blocks dropped from the table.
+    pub fn truncate(&mut self, sim: &mut Simulation, seq: u64, tokens: u32) -> u64 {
+        let needed = match self.seqs.get(&seq) {
+            Some(e) => self.blocks_for(e.tokens.min(tokens)) * e.rows as u64,
+            None => return 0,
+        };
+        let entry = self.seqs.get_mut(&seq).expect("checked above");
+        entry.tokens = entry.tokens.min(tokens);
+        let mut popped: Vec<u64> = Vec::new();
+        while entry.table.len() as u64 > needed {
+            popped.push(entry.table.pop().expect("longer than needed"));
+        }
+        let dropped = popped.len() as u64;
+        for b in popped {
+            let block = self.blocks.get_mut(&b).expect("table references a live block");
+            block.refs -= 1;
+            if block.refs == 0 {
+                let block = self.blocks.remove(&b).expect("present");
+                for (_, id) in block.allocs {
+                    sim.free_memory(id);
+                }
+                self.stats.freed += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Blocks currently indexed (and therefore pinned) by the prefix cache.
+    pub fn pinned_prefix_blocks(&self) -> u64 {
+        self.prefix_of_block.len() as u64
+    }
+
     /// A device died: free its side of every live block (the shard is gone
     /// with the hardware) and stop allocating on it. Block tables survive —
     /// the surviving shards are intact, and the recovery plan prices
@@ -414,9 +722,11 @@ impl BlockPool {
 
     /// Structural invariants, checked exhaustively (for tests): every table
     /// entry references a live block, stored refcounts equal the number of
-    /// tables referencing each block, every block is reachable from some
-    /// table, and every block's backing allocations cover exactly the live
-    /// device set.
+    /// tables referencing each block plus the prefix cache's pin, every
+    /// block is reachable from some table or the prefix index, the index
+    /// and its inverse form a bijection whose parent chains are unbroken,
+    /// and every block's backing allocations cover exactly the live device
+    /// set.
     pub fn check_consistent(&self) -> Result<(), String> {
         let mut refs: BTreeMap<u64, u32> = BTreeMap::new();
         for (seq, entry) in &self.seqs {
@@ -436,11 +746,35 @@ impl BlockPool {
                 *refs.entry(b).or_insert(0) += 1;
             }
         }
+        if self.prefix.len() != self.prefix_of_block.len() {
+            return Err(format!(
+                "prefix index holds {} entries but its inverse holds {}",
+                self.prefix.len(),
+                self.prefix_of_block.len()
+            ));
+        }
+        for (&h, entry) in &self.prefix {
+            if !self.blocks.contains_key(&entry.block) {
+                return Err(format!("prefix {h:#x} references dead block {}", entry.block));
+            }
+            if self.prefix_of_block.get(&entry.block) != Some(&h) {
+                return Err(format!(
+                    "prefix index bijection broken at block {} (hash {h:#x})",
+                    entry.block
+                ));
+            }
+            if let Some(p) = entry.parent {
+                if !self.prefix.contains_key(&p) {
+                    return Err(format!("prefix {h:#x} has evicted parent {p:#x}"));
+                }
+            }
+            *refs.entry(entry.block).or_insert(0) += 1;
+        }
         for (&b, block) in &self.blocks {
             let counted = refs.get(&b).copied().unwrap_or(0);
             if counted != block.refs {
                 return Err(format!(
-                    "block {b}: stored refcount {} but {counted} tables reference it",
+                    "block {b}: stored refcount {} but {counted} references (tables + cache)",
                     block.refs
                 ));
             }
@@ -622,5 +956,160 @@ mod tests {
         assert_eq!(p.occupancy(), 1.0);
         assert!(p.above_watermark());
         p.release(&mut s, 0);
+    }
+
+    #[test]
+    fn publish_then_admit_shares_the_prefix_blocks() {
+        let mut s = sim(2);
+        let mut p = pool(2, 512, 64 * 512);
+        let digests = [11, 22, 33]; // 3 full prompt blocks at 16 tokens each
+                                    // First request: cold prefill of a 56-token prompt (48 shared + tail).
+        let admit = p.admit_with_prefix(&mut s, 0, &digests, 56, 1).unwrap();
+        assert_eq!(admit.cached_tokens, 0, "nothing published yet");
+        assert_eq!(admit.added_blocks, 4);
+        assert_eq!(p.publish_prefix(0, &digests), 3);
+        assert_eq!(p.pinned_prefix_blocks(), 3);
+        p.check_consistent().unwrap();
+        let live_before = p.live_blocks();
+        // Second request, same leading digests: adopts all 3 cached blocks.
+        let admit = p.admit_with_prefix(&mut s, 1, &digests, 56, 1).unwrap();
+        assert_eq!(admit.cached_tokens, 48);
+        assert_eq!(admit.cached_blocks, 3);
+        assert_eq!(admit.added_blocks, 1, "only the novel tail allocates");
+        assert_eq!(p.live_blocks(), live_before + 1, "shared blocks are not re-backed");
+        p.check_consistent().unwrap();
+        // Releasing both leaves the cache's copies alive, flush drains them.
+        p.release(&mut s, 0);
+        p.release(&mut s, 1);
+        assert_eq!(p.live_blocks(), 3, "cache still pins the published chain");
+        assert_eq!(p.flush_prefix_cache(&mut s), 3);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn full_prompt_hit_still_prefills_one_token() {
+        let mut s = sim(1);
+        let mut p = pool(1, 256, 64 * 256);
+        let digests = [7, 8]; // prompt is exactly 2 full blocks (32 tokens)
+        p.admit_with_prefix(&mut s, 0, &digests, 32, 1).unwrap();
+        p.publish_prefix(0, &digests);
+        let admit = p.admit_with_prefix(&mut s, 1, &digests, 32, 1).unwrap();
+        assert_eq!(admit.cached_blocks, 1, "adoption capped below the full prompt");
+        assert_eq!(admit.cached_tokens, 16);
+        p.check_consistent().unwrap();
+        p.release(&mut s, 0);
+        p.release(&mut s, 1);
+        p.flush_prefix_cache(&mut s);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn divergent_tails_adopt_only_the_common_chain() {
+        let mut s = sim(1);
+        let mut p = pool(1, 256, 64 * 256);
+        p.admit_with_prefix(&mut s, 0, &[1, 2, 3], 60, 1).unwrap();
+        p.publish_prefix(0, &[1, 2, 3]);
+        // Same first two blocks, then different content.
+        let admit = p.admit_with_prefix(&mut s, 1, &[1, 2, 99], 60, 1).unwrap();
+        assert_eq!(admit.cached_blocks, 2, "chain match stops at the divergence");
+        assert_eq!(p.publish_prefix(1, &[1, 2, 99]), 1, "only the divergent block is new");
+        p.check_consistent().unwrap();
+        p.release(&mut s, 0);
+        p.release(&mut s, 1);
+        p.flush_prefix_cache(&mut s);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn eviction_is_leaf_first_lru_and_never_touches_pinned_chains() {
+        let mut s = sim(1);
+        let mut p = pool(1, 256, 64 * 256);
+        // Publish a 3-block chain, with seq 1 still pinning all of it.
+        p.admit_with_prefix(&mut s, 0, &[1, 2, 3], 3 * 16, 1).unwrap();
+        p.publish_prefix(0, &[1, 2, 3]);
+        p.admit_with_prefix(&mut s, 1, &[1, 2, 3], 3 * 16 + 8, 1).unwrap();
+        // While an adopter lives, nothing is evictable.
+        assert_eq!(p.evict_cold_prefixes(&mut s, 10), 0);
+        p.release(&mut s, 0);
+        p.release(&mut s, 1);
+        p.check_consistent().unwrap();
+        // Now only the cache pins the chain: eviction walks leaf -> root.
+        assert_eq!(p.evict_cold_prefixes(&mut s, 1), 1);
+        assert_eq!(p.pinned_prefix_blocks(), 2, "the leaf went first");
+        p.check_consistent().unwrap();
+        assert_eq!(p.evict_cold_prefixes(&mut s, 10), 2, "rest of the chain drains");
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn truncate_rolls_back_speculative_blocks() {
+        let mut s = sim(2);
+        let mut p = pool(2, 512, 64 * 512);
+        p.grow(&mut s, 0, 80, 1).unwrap(); // 5 blocks, grown ahead for drafts
+                                           // All drafted tokens rejected: roll back to 40 tokens (3 blocks).
+        assert_eq!(p.truncate(&mut s, 0, 40), 2);
+        assert_eq!(p.seq_tokens(0), Some(40));
+        assert_eq!(s.memory_in_use(DeviceId(0)), 3 * 512);
+        p.check_consistent().unwrap();
+        // Truncate never grows, and re-growing after rollback works.
+        assert_eq!(p.truncate(&mut s, 0, 100), 0);
+        assert_eq!(p.seq_tokens(0), Some(40));
+        p.grow(&mut s, 0, 49, 1).unwrap();
+        p.release(&mut s, 0);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn truncate_spares_blocks_the_cache_still_pins() {
+        let mut s = sim(1);
+        let mut p = pool(1, 256, 64 * 256);
+        let digests = [5, 6];
+        p.admit_with_prefix(&mut s, 0, &digests, 2 * 16, 1).unwrap();
+        p.publish_prefix(0, &digests);
+        // Rolling the sequence all the way back drops its table entries but
+        // the published blocks stay alive under the cache's reference.
+        assert_eq!(p.truncate(&mut s, 0, 0), 2);
+        assert_eq!(p.live_blocks(), 2);
+        p.check_consistent().unwrap();
+        p.release(&mut s, 0);
+        p.flush_prefix_cache(&mut s);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn chain_hashes_commit_to_content_and_position() {
+        let a = chain_hashes(&[1, 2, 3]);
+        let b = chain_hashes(&[1, 2, 4]);
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
+        assert_ne!(a[2], b[2], "divergent content diverges the chain");
+        assert_ne!(chain_hashes(&[2, 1])[1], a[1], "order matters");
+        assert!(chain_hashes(&[]).is_empty());
+    }
+
+    #[test]
+    fn sized_for_shared_accounts_pinned_blocks() {
+        let model = ModelConfig::opt_30b();
+        let cap = DeviceSpec::v100_16gb().mem_capacity;
+        let base = BlockPoolConfig::sized_for(&model, 4, cap, 16);
+        let zero = BlockPoolConfig::sized_for_shared(&model, 4, cap, 16, 0);
+        assert_eq!(zero, base, "no pinned prefix changes nothing");
+        let shared = BlockPoolConfig::sized_for_shared(&model, 4, cap, 16, 256);
+        shared.validate().unwrap();
+        let pinned_blocks = blocks_for_tokens(256, 16);
+        assert_eq!(
+            shared.budget_bytes,
+            base.budget_bytes + pinned_blocks * base.block_bytes,
+            "budget grows by exactly the pinned footprint"
+        );
+        // The cap: an absurd pinned span cannot eat the engine headroom.
+        let weights = model.weight_bytes() / 4;
+        let capped = BlockPoolConfig::sized_for_shared(&model, 4, cap, 16, u32::MAX);
+        assert_eq!(capped.budget_bytes, (cap - weights) / 2);
     }
 }

@@ -1,0 +1,213 @@
+//! Property tests for the prefix cache and speculative rollback paths:
+//! block accounting stays consistent under arbitrary interleavings of
+//! prefix admission, publication, cold eviction, cache flushes, rollback
+//! truncation, sharing and device loss — and every episode drains to an
+//! empty pool with exact refcounts and zero double frees.
+//!
+//! Runs on the internal [`liger_gpu_sim::testkit`] harness; rerun a failing
+//! case with the `LIGER_PROP_SEED` it prints.
+
+use std::collections::BTreeMap;
+
+use liger_gpu_sim::testkit::{check, Gen};
+use liger_gpu_sim::{DeviceId, DeviceSpec, Driver, HostSpec, Simulation, Wake};
+use liger_kvcache::{mix64, BlockPool, BlockPoolConfig};
+
+/// One random cache-aware pool operation.
+#[derive(Debug, Clone, Copy)]
+enum PrefixOp {
+    /// Admit `seq` (single row) with `class`'s digest stream over `tokens`
+    /// tokens, adopting whatever chain the cache holds.
+    AdmitWithPrefix { seq: u64, class: u64, tokens: u32 },
+    /// Plain grow (multi-row sequences never consult the cache).
+    Grow { seq: u64, tokens: u32, rows: u32 },
+    /// Publish `seq`'s resident prompt blocks under its class's digests.
+    Publish { seq: u64 },
+    /// Speculative rollback: shrink `seq`'s table back to `tokens`.
+    Truncate { seq: u64, tokens: u32 },
+    /// Reclaim up to `want` cold cached blocks (leaf-first LRU).
+    EvictCold { want: u64 },
+    /// Drop the whole index (what a device loss forces on the scheduler).
+    Flush,
+    /// Release sequence `seq` (no-op if absent).
+    Release { seq: u64 },
+    /// Share sequence `src`'s blocks into new sequence `dst`.
+    Share { src: u64, dst: u64 },
+    /// Permanently lose one device (at most once per episode).
+    DeviceLoss,
+}
+
+fn gen_ops(g: &mut Gen) -> Vec<PrefixOp> {
+    g.vec_of(1, 48, |g| match g.usize_in(0, 15) {
+        0..=3 => PrefixOp::AdmitWithPrefix {
+            seq: g.u64_in(0, 8),
+            class: g.u64_in(0, 3),
+            tokens: g.u32_in(1, 200),
+        },
+        4..=5 => {
+            PrefixOp::Grow { seq: g.u64_in(0, 8), tokens: g.u32_in(1, 200), rows: g.u32_in(1, 3) }
+        }
+        6..=8 => PrefixOp::Publish { seq: g.u64_in(0, 8) },
+        9..=10 => PrefixOp::Truncate { seq: g.u64_in(0, 8), tokens: g.u32_in(0, 120) },
+        11 => PrefixOp::EvictCold { want: g.u64_in(1, 6) },
+        12 => PrefixOp::Flush,
+        13 => PrefixOp::Release { seq: g.u64_in(0, 8) },
+        14 => PrefixOp::Share { src: g.u64_in(0, 8), dst: g.u64_in(8, 16) },
+        _ => PrefixOp::DeviceLoss,
+    })
+}
+
+/// The digest stream of a prompt class: position `i`'s full-block content
+/// digest. Same class, same stream — what makes chains shareable.
+fn class_digests(class: u64, blocks: usize) -> Vec<u64> {
+    (0..blocks as u64).map(|i| mix64(mix64(0x00d1_6e57 ^ class) ^ i)).collect()
+}
+
+/// Applies `ops` to a pool inside a live simulation, checking consistency
+/// after every step, then drains everything and checks emptiness.
+struct PrefixDriver {
+    ops: Vec<PrefixOp>,
+    pool: Option<BlockPool>,
+    config: BlockPoolConfig,
+    admits_refused: u64,
+    cache_hits: u64,
+}
+
+impl Driver for PrefixDriver {
+    fn start(&mut self, sim: &mut Simulation) {
+        let mut pool = BlockPool::new(self.config, sim.alive_devices());
+        let bt = self.config.block_tokens;
+        let mut lost_one = false;
+        let mut rows_of: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut class_of: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+        for op in self.ops.clone() {
+            match op {
+                PrefixOp::AdmitWithPrefix { seq, class, tokens } => {
+                    // Rows are fixed at the sequence's first grow; re-admits
+                    // of a multi-row sequence take the plain-grow fallback.
+                    let rows = *rows_of.entry(seq).or_insert(1);
+                    let digests = class_digests(class, (tokens / bt) as usize);
+                    match pool.admit_with_prefix(sim, seq, &digests, tokens, rows) {
+                        Ok(admit) => {
+                            class_of.entry(seq).or_insert((class, tokens));
+                            if admit.cached_blocks > 0 {
+                                self.cache_hits += 1;
+                                assert!(
+                                    admit.cached_tokens < tokens.max(1),
+                                    "adoption must leave at least one novel token: \
+                                     cached {} of {tokens}",
+                                    admit.cached_tokens
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            self.admits_refused += 1;
+                            assert!(
+                                e.requested_blocks > 0,
+                                "a refused admit must have wanted something: {e}"
+                            );
+                            assert!(!pool.has_seq(seq) || rows_of.contains_key(&seq));
+                        }
+                    }
+                }
+                PrefixOp::Grow { seq, tokens, rows } => {
+                    let rows = *rows_of.entry(seq).or_insert(rows);
+                    if pool.grow(sim, seq, tokens, rows).is_err() {
+                        self.admits_refused += 1;
+                    }
+                }
+                PrefixOp::Publish { seq } => {
+                    if let Some(&(class, tokens)) = class_of.get(&seq) {
+                        if pool.has_seq(seq) {
+                            let span = tokens.max(pool.seq_tokens(seq).unwrap_or(0));
+                            let digests = class_digests(class, (span / bt) as usize);
+                            pool.publish_prefix(seq, &digests);
+                        }
+                    }
+                }
+                PrefixOp::Truncate { seq, tokens } => {
+                    pool.truncate(sim, seq, tokens);
+                }
+                PrefixOp::EvictCold { want } => {
+                    pool.evict_cold_prefixes(sim, want);
+                }
+                PrefixOp::Flush => {
+                    pool.flush_prefix_cache(sim);
+                }
+                PrefixOp::Release { seq } => {
+                    pool.release(sim, seq);
+                    rows_of.remove(&seq);
+                    class_of.remove(&seq);
+                }
+                PrefixOp::Share { src, dst } => {
+                    if pool.has_seq(src) && !pool.has_seq(dst) {
+                        pool.share(src, dst);
+                        rows_of.insert(dst, rows_of[&src]);
+                    }
+                }
+                PrefixOp::DeviceLoss => {
+                    if !lost_one && pool.devices().len() > 1 {
+                        lost_one = true;
+                        let dead = pool.devices()[0];
+                        pool.on_device_loss(sim, dead);
+                        // What the scheduler does on loss: a chain missing a
+                        // shard must never be served to a later adopter.
+                        pool.flush_prefix_cache(sim);
+                    }
+                }
+            }
+            pool.check_consistent().expect("pool invariant broken mid-episode");
+            assert_eq!(sim.memory_double_frees(), 0, "pool double-freed a block");
+        }
+        // Serve-shaped end: every sequence retires, then the cache flushes.
+        let live: Vec<u64> = pool.seq_ids();
+        for seq in live {
+            pool.release(sim, seq);
+            pool.check_consistent().expect("pool invariant broken during drain");
+        }
+        pool.flush_prefix_cache(sim);
+        pool.check_consistent().expect("pool invariant broken after flush");
+        self.pool = Some(pool);
+        sim.request_stop();
+    }
+
+    fn on_wake(&mut self, _wake: Wake, _sim: &mut Simulation) {}
+}
+
+#[test]
+fn random_share_evict_rollback_interleavings_stay_consistent_and_drain_clean() {
+    check("kv_prefix_consistency", 150, |g: &mut Gen| {
+        let devices = g.usize_in(2, 4);
+        let config = BlockPoolConfig {
+            block_tokens: g.u32_in(1, 32),
+            block_bytes: 1 << g.u32_in(6, 12),
+            budget_bytes: (1 << g.u32_in(10, 16)) as u64,
+            watermark: g.f64_in(0.5, 1.0),
+        };
+        if config.validate().is_err() {
+            return; // degenerate geometry (budget below one block): skip
+        }
+        let mut builder = Simulation::builder().devices(DeviceSpec::test_device(), devices);
+        for _ in 0..devices {
+            builder = builder.host(HostSpec::instant());
+        }
+        let mut sim = builder.build().unwrap();
+        let mut driver =
+            PrefixDriver { ops: gen_ops(g), pool: None, config, admits_refused: 0, cache_hits: 0 };
+        sim.run_to_completion(&mut driver);
+
+        let pool = driver.pool.expect("driver ran");
+        assert!(pool.is_empty(), "episode ended with live blocks");
+        assert_eq!(pool.live_blocks(), 0);
+        assert_eq!(pool.pinned_prefix_blocks(), 0, "flush left index entries");
+        assert_eq!(pool.stats().allocated, pool.stats().freed, "alloc/free imbalance");
+        assert_eq!(sim.memory_double_frees(), 0);
+        for d in 0..devices {
+            assert_eq!(
+                sim.memory_in_use(DeviceId(d)),
+                0,
+                "device {d} still holds pool memory after drain"
+            );
+        }
+    });
+}

@@ -18,6 +18,7 @@ pub mod layers;
 pub mod memory;
 pub mod ops;
 pub mod profile;
+pub mod spec;
 pub mod validate;
 pub mod workload;
 
@@ -35,5 +36,6 @@ pub use memory::{
 };
 pub use ops::{GemmKind, LayerOp};
 pub use profile::{measure_solo, profile_contention, ContentionProfile};
+pub use spec::{draft_model_for, spec_draft_time, spec_verify_shape};
 pub use validate::validate_sequence;
 pub use workload::{BatchShape, Phase};

@@ -38,6 +38,10 @@ pub struct GenerationJob {
     pub output_tokens: u32,
     /// Arrival instant.
     pub arrival: SimTime,
+    /// Shared-prefix identity ([`PrefixTag::NONE`](crate::prefix::PrefixTag::NONE)
+    /// for a request sharing nothing); drives the prefix cache and the
+    /// deterministic token oracle.
+    pub prefix: crate::prefix::PrefixTag,
 }
 
 /// Outcome of one finished generation.
@@ -288,7 +292,9 @@ impl liger_gpu_sim::ToJson for GenerationJob {
             .field("batch", &self.batch)
             .field("prompt_len", &self.prompt_len)
             .field("output_tokens", &self.output_tokens)
-            .field("arrival", &self.arrival);
+            .field("arrival", &self.arrival)
+            .field("prefix_class", &self.prefix.class)
+            .field("prefix_shared_len", &self.prefix.shared_len);
         obj.end();
     }
 }
@@ -362,6 +368,7 @@ mod tests {
             prompt_len: 16,
             output_tokens: tokens,
             arrival: SimTime::from_micros(arrival_us),
+            prefix: crate::prefix::PrefixTag::NONE,
         }
     }
 

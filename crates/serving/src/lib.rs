@@ -18,6 +18,7 @@ pub mod engine;
 pub mod generation;
 pub mod health;
 pub mod metrics;
+pub mod prefix;
 pub mod recovery;
 pub mod request;
 pub mod runner;
@@ -36,7 +37,10 @@ pub use generation::{
     GenerationRunner,
 };
 pub use health::{HealthConfig, HealthMonitor};
-pub use metrics::{BatchingCounters, FaultCounters, RecoveryCounters, ServingMetrics};
+pub use metrics::{
+    BatchingCounters, FaultCounters, PrefixCounters, RecoveryCounters, ServingMetrics, SpecCounters,
+};
+pub use prefix::{block_digests, output_token, prompt_token, PrefixTag, SpecDecodeConfig};
 pub use recovery::{
     serve_with_recovery, serve_with_recovery_on, RecoveryConfig, RecoveryPhase, RecoveryRunner,
 };

@@ -117,6 +117,63 @@ impl BatchingCounters {
     }
 }
 
+/// Cross-request prefix-cache counters. All zero on runs with the cache
+/// off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCounters {
+    /// Admissions that consulted the prefix index.
+    pub lookups: u64,
+    /// Admissions that adopted at least one cached block.
+    pub hits: u64,
+    /// Prompt tokens served from cached blocks instead of prefill.
+    pub cached_tokens: u64,
+    /// Prompt tokens that still had to be prefilled.
+    pub novel_tokens: u64,
+    /// Blocks newly published into the index.
+    pub published_blocks: u64,
+    /// Cold cached blocks evicted under watermark pressure.
+    pub evicted_blocks: u64,
+    /// Cached blocks dropped by the end-of-serve / device-loss flush.
+    pub flushed_blocks: u64,
+}
+
+impl PrefixCounters {
+    /// Fraction of all prompt tokens the cache served, `cached / (cached +
+    /// novel)`. Zero before any admission.
+    pub fn cached_fraction(&self) -> f64 {
+        let total = self.cached_tokens + self.novel_tokens;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cached_tokens as f64 / total as f64
+    }
+}
+
+/// Speculative-decoding counters. All zero on runs with speculation off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecCounters {
+    /// Draft-then-verify rounds run.
+    pub rounds: u64,
+    /// Tokens drafted ahead across all rounds.
+    pub drafted: u64,
+    /// Drafted tokens the verification pass accepted.
+    pub accepted: u64,
+    /// Drafted tokens rejected (their KV blocks rolled back).
+    pub rejected: u64,
+    /// KV blocks dropped from tables by rollback truncation.
+    pub rollback_blocks: u64,
+}
+
+impl SpecCounters {
+    /// Fraction of drafted tokens accepted. Zero before any round.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            return 0.0;
+        }
+        self.accepted as f64 / self.drafted as f64
+    }
+}
+
 /// Aggregated results of one serving run.
 #[derive(Debug, Clone, Default)]
 pub struct ServingMetrics {
@@ -124,6 +181,8 @@ pub struct ServingMetrics {
     faults: FaultCounters,
     recovery: RecoveryCounters,
     batching: BatchingCounters,
+    prefix: PrefixCounters,
+    spec: SpecCounters,
 }
 
 impl ServingMetrics {
@@ -246,6 +305,26 @@ impl ServingMetrics {
     pub fn batching_mut(&mut self) -> &mut BatchingCounters {
         &mut self.batching
     }
+
+    /// Prefix-cache counters (all zero with the cache off).
+    pub fn prefix(&self) -> &PrefixCounters {
+        &self.prefix
+    }
+
+    /// Mutable access for the continuous scheduler.
+    pub fn prefix_mut(&mut self) -> &mut PrefixCounters {
+        &mut self.prefix
+    }
+
+    /// Speculative-decoding counters (all zero with speculation off).
+    pub fn spec(&self) -> &SpecCounters {
+        &self.spec
+    }
+
+    /// Mutable access for the continuous scheduler.
+    pub fn spec_mut(&mut self) -> &mut SpecCounters {
+        &mut self.spec
+    }
 }
 
 /// Metrics serialize as a summary object (latencies in nanoseconds,
@@ -261,7 +340,9 @@ impl liger_gpu_sim::ToJson for ServingMetrics {
             .field("throughput", &self.throughput())
             .field("faults", &self.faults)
             .field("recovery", &self.recovery)
-            .field("batching", &self.batching);
+            .field("batching", &self.batching)
+            .field("prefix", &self.prefix)
+            .field("spec", &self.spec);
         obj.end();
     }
 }
@@ -277,6 +358,34 @@ impl liger_gpu_sim::ToJson for BatchingCounters {
             .field("preemptions", &self.preemptions)
             .field("evicted_blocks", &self.evicted_blocks)
             .field("out_of_blocks", &self.out_of_blocks);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for PrefixCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("lookups", &self.lookups)
+            .field("hits", &self.hits)
+            .field("cached_tokens", &self.cached_tokens)
+            .field("novel_tokens", &self.novel_tokens)
+            .field("cached_fraction", &self.cached_fraction())
+            .field("published_blocks", &self.published_blocks)
+            .field("evicted_blocks", &self.evicted_blocks)
+            .field("flushed_blocks", &self.flushed_blocks);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for SpecCounters {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("rounds", &self.rounds)
+            .field("drafted", &self.drafted)
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .field("acceptance_rate", &self.acceptance_rate())
+            .field("rollback_blocks", &self.rollback_blocks);
         obj.end();
     }
 }
@@ -439,6 +548,31 @@ mod tests {
         assert!(json.contains("\"padding_waste\":0.5"));
         assert!(json.contains("\"preemptions\":1"));
         assert!(json.contains("\"out_of_blocks\":2"));
+    }
+
+    #[test]
+    fn prefix_and_spec_counters_aggregate_and_serialize() {
+        let mut m = ServingMetrics::new();
+        assert_eq!(*m.prefix(), PrefixCounters::default());
+        assert_eq!(m.prefix().cached_fraction(), 0.0);
+        assert_eq!(m.spec().acceptance_rate(), 0.0);
+        m.prefix_mut().lookups += 2;
+        m.prefix_mut().hits += 1;
+        m.prefix_mut().cached_tokens += 48;
+        m.prefix_mut().novel_tokens += 16;
+        m.prefix_mut().published_blocks += 3;
+        m.spec_mut().rounds += 1;
+        m.spec_mut().drafted += 4;
+        m.spec_mut().accepted += 3;
+        m.spec_mut().rejected += 1;
+        m.spec_mut().rollback_blocks += 1;
+        assert!((m.prefix().cached_fraction() - 0.75).abs() < 1e-12);
+        assert!((m.spec().acceptance_rate() - 0.75).abs() < 1e-12);
+        use liger_gpu_sim::ToJson;
+        let json = m.to_json();
+        assert!(json.contains("\"cached_tokens\":48"));
+        assert!(json.contains("\"published_blocks\":3"));
+        assert!(json.contains("\"rollback_blocks\":1"));
     }
 
     #[test]

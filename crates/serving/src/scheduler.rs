@@ -32,14 +32,14 @@
 //! configured [`RecoveryPolicy`] before degraded serving resumes behind the
 //! admission shedder.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use liger_gpu_sim::{
     CoreSelect, DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId,
     Wake,
 };
-use liger_kvcache::{BlockPool, BlockPoolConfig};
-use liger_model::{kv_recovery_plan, CostModel, ModelConfig, RecoveryPolicy};
+use liger_kvcache::{BlockPool, BlockPoolConfig, PrefixAdmit};
+use liger_model::{kv_recovery_plan, spec_draft_time, CostModel, ModelConfig, RecoveryPolicy};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord};
 use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
@@ -48,6 +48,7 @@ use crate::generation::serve_generations;
 use crate::generation::{GenerationJob, GenerationMetrics, GenerationResult};
 use crate::health::{HealthConfig, HealthMonitor};
 use crate::metrics::ServingMetrics;
+use crate::prefix::{block_digests, output_token, SpecDecodeConfig};
 use crate::recovery::RecoveryPhase;
 use crate::request::{Completion, Request};
 
@@ -61,12 +62,17 @@ const DRAIN_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 56);
 /// KV-recovery completion token.
 const RECOVERED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 55);
 
+/// Draft-burst timer namespace (bit 54); the low bits carry the round's
+/// epoch so a timer set before a device loss cannot trigger a stale
+/// verification afterwards.
+const SPEC_DRAFT_BASE: u64 = RUNNER_TOKEN_BASE | (1 << 54);
+
 /// Engine streams the drain barrier covers (the Liger engine launches on
 /// streams 0 and 1; probes ride elsewhere).
 const BARRIER_STREAMS: usize = 2;
 
 /// Parameters of the continuous-batching scheduler.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
     /// Geometry and budget of the paged KV pool.
     pub pool: BlockPoolConfig,
@@ -83,12 +89,21 @@ pub struct SchedulerConfig {
     pub health: Option<HealthConfig>,
     /// Backlog bound applied when serving resumes on degraded capacity.
     pub admission: AdmissionConfig,
+    /// Cross-request prefix caching: finished prefills publish their full
+    /// prompt blocks, later single-row admissions adopt the longest cached
+    /// chain and prefill only the novel tail.
+    pub prefix_cache: bool,
+    /// Speculative decoding: draft `draft_tokens` ahead with the small
+    /// model, verify in one widened batch, roll back rejected tokens'
+    /// blocks. `None` decodes one token per step.
+    pub spec: Option<SpecDecodeConfig>,
 }
 
 impl SchedulerConfig {
     /// A config sized for `model` partitioned `world` ways on devices with
     /// `capacity` bytes: the pool takes a quarter of the post-weights
     /// headroom in 16-token blocks (see [`BlockPoolConfig::sized_for`]).
+    /// Prefix caching and speculation are off.
     pub fn sized_for(model: &ModelConfig, world: u32, capacity: u64) -> SchedulerConfig {
         SchedulerConfig {
             pool: BlockPoolConfig::sized_for(model, world, capacity, 16),
@@ -97,7 +112,27 @@ impl SchedulerConfig {
             policy: RecoveryPolicy::Replicate,
             health: None,
             admission: AdmissionConfig::default(),
+            prefix_cache: false,
+            spec: None,
         }
+    }
+
+    /// [`sized_for`](Self::sized_for) with the prefix cache on and the pool
+    /// budget widened for up to `pinned_prefix_tokens` tokens of cache-pinned
+    /// blocks (see [`BlockPoolConfig::sized_for_shared`]) so watermark
+    /// pressure cannot starve active decodes of the headroom the cache
+    /// occupies.
+    pub fn sized_for_shared(
+        model: &ModelConfig,
+        world: u32,
+        capacity: u64,
+        pinned_prefix_tokens: u32,
+    ) -> SchedulerConfig {
+        let mut cfg = SchedulerConfig::sized_for(model, world, capacity);
+        cfg.pool =
+            BlockPoolConfig::sized_for_shared(model, world, capacity, 16, pinned_prefix_tokens);
+        cfg.prefix_cache = true;
+        cfg
     }
 
     /// Rejects degenerate parameters.
@@ -112,6 +147,9 @@ impl SchedulerConfig {
         if let Some(h) = &self.health {
             h.validate()?;
         }
+        if let Some(s) = &self.spec {
+            s.validate()?;
+        }
         Ok(())
     }
 }
@@ -124,6 +162,24 @@ pub struct ContinuousReport {
     pub generation: GenerationMetrics,
     /// Serving counters: completions, batching efficiency, recovery.
     pub serving: ServingMetrics,
+    /// Every produced output token per job id, in decode order, from the
+    /// deterministic token oracle ([`output_token`]) — the stream the
+    /// differential prefix/speculation tests compare across configurations.
+    pub outputs: BTreeMap<u64, Vec<u64>>,
+}
+
+/// One in-flight draft-then-verify round.
+#[derive(Debug)]
+struct SpecRound {
+    /// Epoch the round was formed in; a device loss bumps the epoch so the
+    /// draft timer of a dead round cannot submit a stale verification.
+    epoch: u64,
+    /// `(job id, drafted tokens)` per member — each member's table was
+    /// grown ahead to hold its drafts' KV.
+    members: Vec<(u64, u32)>,
+    /// The verification request, once submitted (the draft burst runs
+    /// first, modeled as a timer of `spec_draft_time`).
+    rid: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -170,15 +226,23 @@ pub struct ContinuousScheduler<'a, E: InferenceEngine + ?Sized> {
     /// Sequences with live KV decoding together, admission order (the
     /// youngest is last — the preemption victim).
     running: Vec<u64>,
-    /// In-flight prefill requests: request id → job id.
-    prefill_inflight: HashMap<u64, u64>,
+    /// In-flight prefill requests: request id → (job id, charged prefill
+    /// tokens) — the charge is the *novel* span when the prefix cache
+    /// served part of the prompt.
+    prefill_inflight: HashMap<u64, (u64, u64)>,
     /// The one in-flight fused decode step, if any.
     decode_inflight: Option<(u64, Vec<u64>)>,
+    /// The one in-flight speculative round, if any (mutually exclusive with
+    /// `decode_inflight`).
+    spec_pending: Option<SpecRound>,
+    /// Bumped on device loss to invalidate in-flight draft timers.
+    spec_epoch: u64,
     prefill_tokens_inflight: u64,
     next_request: u64,
 
     generation: GenerationMetrics,
     serving: ServingMetrics,
+    outputs: BTreeMap<u64, Vec<u64>>,
     outstanding: usize,
     done: Vec<bool>,
 
@@ -206,14 +270,18 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         let outstanding = jobs.len();
         let done = vec![false; jobs.len()];
         let pool = BlockPool::new(config.pool, devices);
+        let admission = AdmissionController::new(config.admission);
         ContinuousScheduler {
+            spec_pending: None,
+            spec_epoch: 0,
+            outputs: BTreeMap::new(),
             engine,
             jobs,
             model,
             cost,
             config,
             pool,
-            admission: AdmissionController::new(config.admission),
+            admission,
             monitor: None,
             phase: RecoveryPhase::Normal,
             states: HashMap::new(),
@@ -238,7 +306,11 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
 
     /// The collected report (complete once the simulation has stopped).
     pub fn into_report(self) -> ContinuousReport {
-        ContinuousReport { generation: self.generation, serving: self.serving }
+        ContinuousReport {
+            generation: self.generation,
+            serving: self.serving,
+            outputs: self.outputs,
+        }
     }
 
     /// Current recovery phase.
@@ -262,11 +334,77 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
     // -- the scheduling loop ------------------------------------------------
 
     /// One scheduling iteration: admit, then form the next fused decode
-    /// step. Runs after every wake while serving (not mid-recovery).
+    /// step (or speculative round). Runs after every wake while serving
+    /// (not mid-recovery).
     fn pump(&mut self, sim: &mut Simulation) {
         self.admit(sim);
-        if self.decode_inflight.is_none() {
+        if self.decode_inflight.is_none() && self.spec_pending.is_none() {
             self.form_decode_step(sim);
+        }
+    }
+
+    /// Evicts up to `want` cold cached prefix blocks, counting them and
+    /// pricing the re-prefill an evicted span costs its next adopter
+    /// through `kv_recovery_plan` (evict-and-recompute, like preemption).
+    /// Returns the blocks actually freed.
+    fn evict_cold(&mut self, sim: &mut Simulation, want: u64) -> u64 {
+        let evicted = self.pool.evict_cold_prefixes(sim, want);
+        if evicted > 0 {
+            self.serving.prefix_mut().evicted_blocks += evicted;
+            let ways = self.pool.devices().len() as u32;
+            let tokens = (evicted * self.config.pool.block_tokens as u64).min(u32::MAX as u64);
+            let plan = kv_recovery_plan(
+                self.model,
+                self.cost,
+                RecoveryPolicy::Recompute,
+                ways,
+                ways,
+                1,
+                tokens as u32,
+            );
+            self.serving.recovery_mut().recompute_tokens += plan.recompute_tokens;
+        }
+        evicted
+    }
+
+    /// Under watermark pressure, reclaims cold cached prefixes first —
+    /// cheaper than preempting an active sequence, since only future cache
+    /// hits (not live decodes) pay for it.
+    fn relieve_pressure(&mut self, sim: &mut Simulation) {
+        while self.pool.above_watermark() {
+            if self.evict_cold(sim, 1) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Grows an admitted sequence's table, consulting the prefix cache when
+    /// it is enabled (single-row sequences only — grouped rows interleave
+    /// their blocks and cannot adopt a shared chain).
+    fn admit_grow(
+        &mut self,
+        sim: &mut Simulation,
+        id: u64,
+        job: GenerationJob,
+        replay_tokens: u32,
+        rows: u32,
+    ) -> Result<PrefixAdmit, liger_kvcache::OutOfBlocks> {
+        if self.config.prefix_cache && rows == 1 {
+            let digests = block_digests(&job, self.config.pool.block_tokens);
+            let admit = self.pool.admit_with_prefix(sim, id, &digests, replay_tokens, rows)?;
+            let prefix = self.serving.prefix_mut();
+            prefix.lookups += 1;
+            if admit.cached_blocks > 0 {
+                prefix.hits += 1;
+                prefix.cached_tokens += admit.cached_tokens as u64;
+            }
+            Ok(admit)
+        } else {
+            let added = self.pool.grow(sim, id, replay_tokens, rows)?;
+            if self.config.prefix_cache {
+                self.serving.prefix_mut().lookups += 1;
+            }
+            Ok(PrefixAdmit { cached_tokens: 0, cached_blocks: 0, added_blocks: added })
         }
     }
 
@@ -279,10 +417,14 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                 return;
             }
             if self.pool.above_watermark() {
-                return;
+                self.relieve_pressure(sim);
+                if self.pool.above_watermark() {
+                    return;
+                }
             }
             let state = &self.states[&id];
-            let (prompt, rows) = (state.job.prompt_len, state.job.batch);
+            let job = state.job;
+            let (prompt, rows) = (job.prompt_len, job.batch);
             // A sequence whose *final* footprint exceeds the whole pool can
             // never run: shed it with a typed reason instead of spinning.
             let final_tokens = prompt + state.total_steps() - 1;
@@ -291,7 +433,9 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                 self.shed_kv_exhausted(id, sim.now());
                 continue;
             }
-            // Replayed prefills re-run over their full cached span.
+            // Replayed prefills re-run over their full cached span. The
+            // budget check uses the worst case (no cache hit); the actual
+            // charge is the novel span the admission settles on.
             let replay_tokens = prompt.max(state.cached_tokens());
             let prefill_tokens = replay_tokens as u64 * rows as u64;
             if self.prefill_tokens_inflight > 0
@@ -299,15 +443,23 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
             {
                 return;
             }
-            match self.pool.grow(sim, id, replay_tokens, rows) {
-                Ok(_) => {
+            match self.admit_grow(sim, id, job, replay_tokens, rows) {
+                Ok(admit) => {
                     self.waiting.pop_front();
+                    let novel = replay_tokens - admit.cached_tokens;
+                    let charged = novel as u64 * rows as u64;
+                    self.serving.prefix_mut().novel_tokens += charged;
                     let rid = self.next_request;
                     self.next_request += 1;
-                    self.prefill_inflight.insert(rid, id);
-                    self.prefill_tokens_inflight += prefill_tokens;
-                    let shape = liger_model::BatchShape::prefill(rows, replay_tokens);
+                    self.prefill_inflight.insert(rid, (id, charged));
+                    self.prefill_tokens_inflight += charged;
+                    let shape = liger_model::BatchShape::prefill(rows, novel);
                     self.engine.submit(Request::new(rid, shape, sim.now()), sim);
+                }
+                Err(_) if self.evict_cold(sim, 1) > 0 => {
+                    // Cold cache blocks were holding the pool: retry the
+                    // same admission with the reclaimed headroom.
+                    self.serving.batching_mut().out_of_blocks += 1;
                 }
                 Err(_) if self.running.is_empty() && self.prefill_inflight.is_empty() => {
                     // Nothing to preempt and nothing in flight: the pool can
@@ -329,8 +481,10 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
     /// sequence's table by one token (preempting the youngest under
     /// pressure), then submit one `BatchShape::decode` over the whole set.
     fn form_decode_step(&mut self, sim: &mut Simulation) {
-        // Watermark-driven preemption: free headroom *before* growing so the
+        // Watermark-driven reclamation: cold cached prefixes go first (only
+        // future cache hits pay), then the youngest running sequence, so the
         // running set can keep decoding without thrashing on OutOfBlocks.
+        self.relieve_pressure(sim);
         while self.pool.above_watermark() && self.running.len() > 1 {
             self.preempt_youngest(sim);
         }
@@ -349,7 +503,9 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                 }
                 Err(_) => {
                     self.serving.batching_mut().out_of_blocks += 1;
-                    if self.running.len() > 1 {
+                    if self.evict_cold(sim, 1) > 0 {
+                        // Cold cache blocks freed: retry this member.
+                    } else if self.running.len() > 1 {
                         // Evict the youngest and retry; when `running[i]`
                         // *is* the youngest this pops it and the loop ends.
                         self.preempt_youngest(sim);
@@ -371,18 +527,13 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         if members.is_empty() {
             return;
         }
-        let mut total_rows = 0u32;
-        let mut max_context = 0u32;
-        let mut real_tokens = 0u64;
-        for &id in &members {
-            let s = &self.states[&id];
-            // Decode step k attends over context = prompt + k - 1 cached
-            // tokens (generation.rs semantics); k = steps_done + 1.
-            let context = s.job.prompt_len + s.steps_done - 1;
-            total_rows += s.job.batch;
-            max_context = max_context.max(context);
-            real_tokens += (context as u64 + 1) * s.job.batch as u64;
+        // With speculation configured, try a draft round first; if no member
+        // could draft ahead (all on their last token, or no blocks for draft
+        // KV), fall through to a plain decode step.
+        if self.config.spec.is_some() && self.form_spec_round(sim, &members) {
+            return;
         }
+        let (total_rows, max_context, real_tokens) = self.fused_shape(&members, 0);
         let padded_tokens = (max_context as u64 + 1) * total_rows as u64;
         self.serving.batching_mut().record_batch(padded_tokens, real_tokens);
         self.serving
@@ -393,6 +544,131 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         let shape = liger_model::BatchShape::decode(total_rows, max_context);
         self.decode_inflight = Some((rid, members));
         self.engine.submit(Request::new(rid, shape, sim.now()), sim);
+    }
+
+    /// Fused shape of `members` decoding together: `(total rows, max
+    /// context, real tokens)` for a step attending over `extra` additional
+    /// cached tokens per row (the drafted span in a verification pass).
+    fn fused_shape(&self, members: &[u64], extra: u32) -> (u32, u32, u64) {
+        let mut total_rows = 0u32;
+        let mut max_context = 0u32;
+        let mut real_tokens = 0u64;
+        for &id in members {
+            let s = &self.states[&id];
+            // Decode step k attends over context = prompt + k - 1 cached
+            // tokens (generation.rs semantics); k = steps_done + 1.
+            let context = s.job.prompt_len + s.steps_done - 1 + extra;
+            total_rows += s.job.batch;
+            max_context = max_context.max(context);
+            real_tokens += (context as u64 + 1) * s.job.batch as u64;
+        }
+        (total_rows, max_context, real_tokens)
+    }
+
+    /// Tries to turn this step into a speculative round: grow each member's
+    /// table ahead for up to `k` draft tokens (a member that cannot grow —
+    /// or is on its last token — drafts less, down to zero), model the
+    /// sequential draft burst as a timer of `spec_draft_time`, then submit
+    /// the widened verification when it fires. Returns false when no member
+    /// drafted anything, leaving the step to plain decoding.
+    fn form_spec_round(&mut self, sim: &mut Simulation, members: &[u64]) -> bool {
+        let spec = self.config.spec.clone().expect("spec round requires a spec config");
+        let mut drafted: Vec<(u64, u32)> = Vec::with_capacity(members.len());
+        let mut k_max = 0u32;
+        for &id in members {
+            let (base_tokens, remaining, rows) = {
+                let s = &self.states[&id];
+                (s.job.prompt_len + s.steps_done, s.total_steps() - s.steps_done, s.job.batch)
+            };
+            // This step's token is guaranteed; drafts can only cover the
+            // tokens after it.
+            let mut k = spec.draft_tokens.min(remaining.saturating_sub(1));
+            if k > 0 && self.pool.grow(sim, id, base_tokens + k, rows).is_err() {
+                self.serving.batching_mut().out_of_blocks += 1;
+                k = 0;
+            }
+            k_max = k_max.max(k);
+            drafted.push((id, k));
+        }
+        if k_max == 0 {
+            return false;
+        }
+        let (total_rows, max_context, _) = self.fused_shape(members, 0);
+        let burst = spec_draft_time(&spec.draft, self.cost, total_rows, max_context, k_max);
+        self.spec_pending = Some(SpecRound { epoch: self.spec_epoch, members: drafted, rid: None });
+        if burst == SimDuration::ZERO {
+            self.submit_spec_verify(sim);
+        } else {
+            sim.set_timer(sim.now() + burst, SPEC_DRAFT_BASE | self.spec_epoch);
+        }
+        true
+    }
+
+    /// The draft burst finished: submit the batched verification — every
+    /// member re-scores its drafts plus the bonus token in one widened
+    /// decode (`rows × (k + 1)` single-token rows).
+    fn submit_spec_verify(&mut self, sim: &mut Simulation) {
+        let round = self.spec_pending.as_ref().expect("verify requires a pending round");
+        let members: Vec<u64> = round.members.iter().map(|&(id, _)| id).collect();
+        let k_max = round.members.iter().map(|&(_, k)| k).max().unwrap_or(0);
+        let (total_rows, max_context, real_tokens) = self.fused_shape(&members, 0);
+        let shape = liger_model::spec_verify_shape(total_rows, max_context, k_max);
+        let padded = shape.batch as u64 * shape.phase.kv_len() as u64;
+        self.serving.batching_mut().record_batch(padded, real_tokens * (k_max as u64 + 1));
+        self.serving
+            .batching_mut()
+            .record_occupancy(members.len() as f64 / self.config.max_running as f64);
+        let rid = self.next_request;
+        self.next_request += 1;
+        self.spec_pending.as_mut().expect("checked above").rid = Some(rid);
+        self.engine.submit(Request::new(rid, shape, sim.now()), sim);
+    }
+
+    /// The verification completed: accept each member's leading run of
+    /// drafted tokens, roll back the rejected tokens' blocks (the sanitizer
+    /// watches these frees), and retire members that finished inside the
+    /// round.
+    fn complete_spec_round(&mut self, round: SpecRound, finished: SimTime, sim: &mut Simulation) {
+        let spec = self.config.spec.clone().expect("spec round requires a spec config");
+        self.serving.spec_mut().rounds += 1;
+        for (id, k) in round.members {
+            let (produced, accepted, done_now) = {
+                let s = self.states.get_mut(&id).expect("spec member has state");
+                let remaining = s.total_steps() - s.steps_done;
+                let accepted = spec.accepted(s.job.id, s.steps_done, k);
+                // The verify's own token plus the accepted run, capped at
+                // the sequence's remaining budget.
+                let produced = (accepted + 1).min(remaining);
+                for t in s.steps_done..s.steps_done + produced {
+                    // Record through the oracle: what the sequence emits is
+                    // a pure function of its identity, never of the cache
+                    // or the speculation machinery.
+                    let token = output_token(&s.job, t);
+                    self.outputs.entry(s.job.id).or_default().push(token);
+                }
+                if s.first_token.is_none() {
+                    s.first_token = Some(finished);
+                }
+                s.steps_done += produced;
+                (produced, (produced - 1).min(k), s.steps_done >= s.total_steps())
+            };
+            let counters = self.serving.spec_mut();
+            counters.drafted += k as u64;
+            counters.accepted += accepted as u64;
+            counters.rejected += (k - accepted) as u64;
+            // Roll the table back over the rejected drafts' blocks.
+            let cached = {
+                let s = &self.states[&id];
+                s.job.prompt_len + s.steps_done - 1
+            };
+            let dropped = self.pool.truncate(sim, id, cached);
+            self.serving.spec_mut().rollback_blocks += dropped;
+            let _ = produced;
+            if done_now {
+                self.running.retain(|&r| r != id);
+                self.finish(id, finished, sim);
+            }
+        }
     }
 
     /// Evicts the youngest running sequence: its blocks are freed, its
@@ -455,20 +731,33 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
 
     fn collect(&mut self, sim: &mut Simulation) {
         for (rid, finished) in self.engine.drain_completions() {
-            if let Some(id) = self.prefill_inflight.remove(&rid) {
+            if let Some((id, charged)) = self.prefill_inflight.remove(&rid) {
+                self.prefill_tokens_inflight = self.prefill_tokens_inflight.saturating_sub(charged);
                 let (join, finish_now) = {
                     let s = self.states.get_mut(&id).expect("prefill for unknown sequence");
-                    let replay_tokens = s.job.prompt_len.max(s.cached_tokens());
-                    self.prefill_tokens_inflight = self
-                        .prefill_tokens_inflight
-                        .saturating_sub(replay_tokens as u64 * s.job.batch as u64);
                     if s.steps_done == 0 {
                         // Initial prefill: token 1 is out.
                         s.first_token = Some(finished);
                         s.steps_done = 1;
+                        let token = output_token(&s.job, 0);
+                        self.outputs.entry(s.job.id).or_default().push(token);
                     }
                     (s.steps_done < s.total_steps(), s.steps_done >= s.total_steps())
                 };
+                // The full prompt's KV is now resident: publish its block
+                // chain for later arrivals to adopt (single-row only; the
+                // cache holds its own reference on every indexed block).
+                if self.config.prefix_cache {
+                    let (job, rows) = {
+                        let s = &self.states[&id];
+                        (s.job, s.job.batch)
+                    };
+                    if rows == 1 {
+                        let digests = block_digests(&job, self.config.pool.block_tokens);
+                        let published = self.pool.publish_prefix(id, &digests);
+                        self.serving.prefix_mut().published_blocks += published;
+                    }
+                }
                 if finish_now {
                     self.finish(id, finished, sim);
                 } else if join {
@@ -479,6 +768,8 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                 for id in members {
                     let done_now = {
                         let s = self.states.get_mut(&id).expect("decode member has state");
+                        let token = output_token(&s.job, s.steps_done);
+                        self.outputs.entry(s.job.id).or_default().push(token);
                         s.steps_done += 1;
                         s.steps_done >= s.total_steps()
                     };
@@ -487,10 +778,16 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                         self.finish(id, finished, sim);
                     }
                 }
+            } else if self.spec_pending.as_ref().is_some_and(|r| r.rid == Some(rid)) {
+                let round = self.spec_pending.take().expect("checked above");
+                self.spec_epoch += 1;
+                self.complete_spec_round(round, finished, sim);
             }
             // Anything else is a stale completion from before a replan.
         }
         if self.outstanding == 0 {
+            let flushed = self.pool.flush_prefix_cache(sim);
+            self.serving.prefix_mut().flushed_blocks += flushed;
             debug_assert!(self.pool.is_empty(), "serve ended with live KV blocks");
             if let Some(m) = &mut self.monitor {
                 m.stop();
@@ -530,17 +827,31 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         let cancelled = self.engine.on_device_loss(dead, &self.survivors, sim);
         // The dead device's shard of every live block is gone.
         self.pool.on_device_loss(sim, dead);
+        // A cached prefix missing a shard would serve corrupt KV to its next
+        // adopter: drop the whole index (survivor-side frees only — the dead
+        // device's side was already freed above).
+        let flushed = self.pool.flush_prefix_cache(sim);
+        self.serving.prefix_mut().flushed_blocks += flushed;
+        // An in-flight speculative round dies with the loss: roll every
+        // member's table back to its verified span and invalidate the draft
+        // timer (the epoch bump) so it cannot submit a stale verification.
+        if let Some(round) = self.spec_pending.take() {
+            self.spec_epoch += 1;
+            for (id, _) in round.members {
+                if let Some(s) = self.states.get(&id) {
+                    let cached = s.cached_tokens();
+                    let dropped = self.pool.truncate(sim, id, cached);
+                    self.serving.spec_mut().rollback_blocks += dropped;
+                }
+            }
+        }
         // Cancelled prefills lose their (partial) KV entirely and replay
         // from the front of the queue; cancelled decode members keep their
         // surviving shards and re-step after recovery.
         let mut requeue: Vec<u64> = Vec::new();
         for rid in cancelled {
-            if let Some(id) = self.prefill_inflight.remove(&rid) {
-                let s = &self.states[&id];
-                let replay_tokens = s.job.prompt_len.max(s.cached_tokens());
-                self.prefill_tokens_inflight = self
-                    .prefill_tokens_inflight
-                    .saturating_sub(replay_tokens as u64 * s.job.batch as u64);
+            if let Some((id, charged)) = self.prefill_inflight.remove(&rid) {
+                self.prefill_tokens_inflight = self.prefill_tokens_inflight.saturating_sub(charged);
                 self.pool.release(sim, id);
                 requeue.push(id);
             } else if self.decode_inflight.as_ref().is_some_and(|&(d, _)| d == rid) {
@@ -637,8 +948,9 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
 impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
     fn start(&mut self, sim: &mut Simulation) {
         assert!(
-            // Ids must stay clear of the drain/recovered/health marker bits.
-            self.jobs.len() < (1u64 << 55) as usize,
+            // Ids must stay clear of the drain/recovered/health/spec-draft
+            // marker bits (the lowest is bit 54).
+            self.jobs.len() < (1u64 << 54) as usize,
             "job count overflows the scheduler token namespace"
         );
         if let Some(health) = self.config.health {
@@ -685,6 +997,14 @@ impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
             Wake::EventFired { token, .. } if token == RECOVERED_TOKEN => {
                 if self.phase == RecoveryPhase::Recovering {
                     self.finish_recovery(sim);
+                }
+            }
+            Wake::Timer { token } if token & SPEC_DRAFT_BASE == SPEC_DRAFT_BASE => {
+                let epoch = token & !SPEC_DRAFT_BASE;
+                // A stale timer (its round died with a device loss) is a
+                // no-op: the epoch moved on.
+                if self.spec_pending.as_ref().is_some_and(|r| r.epoch == epoch && r.rid.is_none()) {
+                    self.submit_spec_verify(sim);
                 }
             }
             Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
@@ -738,6 +1058,7 @@ pub fn serve_continuous_on<E: InferenceEngine + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prefix::PrefixTag;
     use liger_gpu_sim::{DeviceSpec, FaultSpec, HostSpec};
     use liger_model::Phase;
 
@@ -750,6 +1071,7 @@ mod tests {
         inflight: Vec<u64>,
         done: Vec<(u64, SimTime)>,
         decode_batches: Vec<u32>,
+        prefill_lens: Vec<u32>,
     }
 
     impl StepToy {
@@ -761,6 +1083,7 @@ mod tests {
                 inflight: Vec::new(),
                 done: Vec::new(),
                 decode_batches: Vec::new(),
+                prefill_lens: Vec::new(),
             }
         }
     }
@@ -771,7 +1094,10 @@ mod tests {
         }
         fn submit(&mut self, request: Request, sim: &mut Simulation) {
             let us = match request.shape.phase {
-                Phase::Prefill { .. } => 10,
+                Phase::Prefill { seq_len } => {
+                    self.prefill_lens.push(seq_len);
+                    10
+                }
                 Phase::Decode { .. } => {
                     self.decode_batches.push(request.shape.batch);
                     2
@@ -832,6 +1158,7 @@ mod tests {
             prompt_len: prompt,
             output_tokens: tokens,
             arrival: SimTime::from_micros(arrival_us),
+            prefix: PrefixTag::NONE,
         }
     }
 
@@ -848,6 +1175,8 @@ mod tests {
             policy: RecoveryPolicy::Replicate,
             health: None,
             admission: AdmissionConfig::default(),
+            prefix_cache: false,
+            spec: None,
         }
     }
 
@@ -955,6 +1284,167 @@ mod tests {
         let r = run(1, FaultSpec::new(1), Vec::new(), config(1024, 8));
         assert_eq!(r.generation.completed(), 0);
         assert_eq!(r.serving.completed(), 0);
+    }
+
+    fn shared_job(
+        id: u64,
+        class: u64,
+        shared: u32,
+        prompt: u32,
+        tokens: u32,
+        arrival_us: u64,
+    ) -> GenerationJob {
+        let mut j = job(id, prompt, tokens, arrival_us);
+        j.prefix = PrefixTag::shared(class, shared);
+        j
+    }
+
+    #[test]
+    fn outputs_follow_the_deterministic_oracle() {
+        let jobs: Vec<GenerationJob> = (0..3).map(|i| job(i, 16, 5, 5 * i)).collect();
+        let r = run(1, FaultSpec::new(1), jobs.clone(), config(1024, 64));
+        for j in &jobs {
+            let stream = &r.outputs[&j.id];
+            assert_eq!(stream.len(), j.output_tokens as usize);
+            for (t, &tok) in stream.iter().enumerate() {
+                assert_eq!(tok, crate::prefix::output_token(j, t as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_cache_shrinks_repeated_prefills_to_the_novel_tail() {
+        // Four arrivals sharing a 48-token prefix over 64-token prompts,
+        // spaced so each admission sees the previous prompt published. The
+        // first prefill runs the full 64 tokens; later ones adopt the three
+        // shared blocks and prefill only the 16-token tail.
+        let jobs: Vec<GenerationJob> =
+            (0..4).map(|i| shared_job(i, 7, 48, 64, 4, 100 * i)).collect();
+        let mut cfg = config(1024, 64);
+        cfg.prefix_cache = true;
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut engine = StepToy::new(1);
+        let r = serve_continuous(
+            &mut sim(1, FaultSpec::new(1)),
+            &mut engine,
+            jobs.clone(),
+            &model,
+            &cost,
+            cfg,
+        );
+        assert_eq!(r.generation.completed(), 4);
+        assert_eq!(engine.prefill_lens[0], 64, "cold prompt prefills in full");
+        assert_eq!(&engine.prefill_lens[1..], &[16, 16, 16], "warm prompts prefill the tail");
+        let p = r.serving.prefix();
+        assert_eq!(p.lookups, 4);
+        assert_eq!(p.hits, 3);
+        assert_eq!(p.cached_tokens, 3 * 48);
+        assert!(p.published_blocks >= 4, "the first prompt published its four full blocks");
+        assert!(p.flushed_blocks > 0, "drain flushed the cache");
+        // Cached or not, every job emits its own oracle stream.
+        for j in &jobs {
+            assert_eq!(r.outputs[&j.id].len(), j.output_tokens as usize);
+            assert_eq!(r.outputs[&j.id][0], crate::prefix::output_token(j, 0));
+        }
+    }
+
+    #[test]
+    fn full_cache_hit_still_runs_a_nonempty_prefill() {
+        // Identical prompts end to end: the adopter still prefills at least
+        // one token (the step that produces its first output token).
+        let jobs: Vec<GenerationJob> =
+            (0..2).map(|i| shared_job(i, 3, 64, 64, 3, 100 * i)).collect();
+        let mut cfg = config(1024, 64);
+        cfg.prefix_cache = true;
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut engine = StepToy::new(1);
+        let r =
+            serve_continuous(&mut sim(1, FaultSpec::new(1)), &mut engine, jobs, &model, &cost, cfg);
+        assert_eq!(r.generation.completed(), 2);
+        assert_eq!(engine.prefill_lens[0], 64);
+        assert!(
+            engine.prefill_lens[1] >= 1 && engine.prefill_lens[1] < 64,
+            "warm prefill is nonempty but cached: got {}",
+            engine.prefill_lens[1]
+        );
+    }
+
+    #[test]
+    fn cold_prefixes_are_evicted_before_any_preemption() {
+        // 8-block pool. Job 0 (48-token prompt) publishes 3 cached blocks
+        // and retires; job 1 (different class) then needs the pool — cold
+        // eviction must free the cache instead of preempting anything.
+        let jobs = vec![shared_job(0, 1, 48, 48, 2, 0), shared_job(1, 2, 48, 80, 40, 500)];
+        let mut cfg = config(1024, 8);
+        cfg.prefix_cache = true;
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut engine = StepToy::new(1);
+        let r =
+            serve_continuous(&mut sim(1, FaultSpec::new(1)), &mut engine, jobs, &model, &cost, cfg);
+        assert_eq!(r.generation.completed(), 2, "eviction made room for the big job");
+        let p = r.serving.prefix();
+        assert!(p.evicted_blocks > 0, "cold cache blocks were reclaimed");
+        assert_eq!(r.serving.batching().preemptions, 0, "no live sequence paid for it");
+        assert!(
+            r.serving.recovery().recompute_tokens > 0,
+            "evicted spans are priced as recompute debt"
+        );
+    }
+
+    fn spec_run(acceptance: f64, jobs: Vec<GenerationJob>) -> ContinuousReport {
+        let model = ModelConfig::tiny_test();
+        let cost = CostModel::v100_node();
+        let mut cfg = config(1024, 64);
+        cfg.spec = Some(SpecDecodeConfig::for_target(&model, 4, acceptance));
+        let mut engine = StepToy::new(1);
+        serve_continuous(&mut sim(1, FaultSpec::new(1)), &mut engine, jobs, &model, &cost, cfg)
+    }
+
+    #[test]
+    fn speculative_decoding_preserves_the_output_streams() {
+        let jobs: Vec<GenerationJob> = (0..3).map(|i| job(i, 24, 20, 10 * i)).collect();
+        let base = run(1, FaultSpec::new(1), jobs.clone(), config(1024, 64));
+        for accept in [0.0, 0.7, 1.0] {
+            let spec = spec_run(accept, jobs.clone());
+            assert_eq!(spec.generation.completed(), 3, "acceptance {accept}");
+            assert_eq!(
+                spec.outputs, base.outputs,
+                "speculation must never change what is emitted (acceptance {accept})"
+            );
+            assert!(spec.serving.spec().rounds > 0, "rounds ran at acceptance {accept}");
+        }
+    }
+
+    #[test]
+    fn full_acceptance_drafts_everything_and_rejects_nothing() {
+        let jobs = vec![job(0, 16, 21, 0)];
+        let r = spec_run(1.0, jobs);
+        let s = r.serving.spec();
+        assert_eq!(r.generation.completed(), 1);
+        assert!(s.drafted > 0);
+        assert_eq!(s.accepted, s.drafted, "every draft verifies at acceptance 1.0");
+        assert_eq!(s.rejected, 0);
+        assert!((s.acceptance_rate() - 1.0).abs() < 1e-9);
+        // k=4 accepted drafts + 1 verify token = 5 tokens/round after the
+        // prefill's first token: 20 remaining tokens need exactly 4 rounds.
+        assert_eq!(s.rounds, 4);
+    }
+
+    #[test]
+    fn zero_acceptance_rolls_back_every_draft_block() {
+        // Long generation so drafted spans repeatedly cross 16-token block
+        // boundaries and their rejected blocks must be rolled back.
+        let jobs = vec![job(0, 16, 40, 0)];
+        let r = spec_run(0.0, jobs);
+        let s = r.serving.spec();
+        assert_eq!(r.generation.completed(), 1);
+        assert!(s.drafted > 0);
+        assert_eq!(s.accepted, 0, "nothing verifies at acceptance 0.0");
+        assert_eq!(s.rejected, s.drafted);
+        assert!(s.rollback_blocks > 0, "rejected drafts' grown-ahead blocks were freed");
     }
 
     #[test]

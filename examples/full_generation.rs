@@ -8,7 +8,7 @@
 //! ```
 
 use liger::prelude::*;
-use liger::serving::{serve_generations, GenerationJob};
+use liger::serving::{serve_generations, GenerationJob, PrefixTag};
 
 fn main() {
     let world = 4;
@@ -34,6 +34,7 @@ fn main() {
                 prompt_len: 64,
                 output_tokens: 32,
                 arrival: SimTime::from_secs_f64(i as f64 / rate),
+                prefix: PrefixTag::NONE,
             })
             .collect();
         let m = serve_generations(&mut sim, &mut engine, jobs);

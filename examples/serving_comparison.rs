@@ -14,7 +14,9 @@
 //! numbers — the flag exists to exercise and time the parallel core.
 
 use liger::prelude::*;
-use liger::serving::{serve_continuous_on, serve_generations_on, serve_on, GenerationJob};
+use liger::serving::{
+    serve_continuous_on, serve_generations_on, serve_on, GenerationJob, PrefixTag,
+};
 
 /// Parses `--core <value>` from the process arguments, defaulting to the
 /// `LIGER_CORE` environment variable (and ultimately the sequential core).
@@ -64,6 +66,7 @@ fn skewed_jobs(n: u64, rate: f64) -> Vec<GenerationJob> {
                 } else {
                     rng.u32_inclusive(48, 96)
                 },
+                prefix: PrefixTag::NONE,
                 arrival: SimTime::from_secs_f64(at),
             }
         })
@@ -109,6 +112,7 @@ fn batching_comparison(core: CoreSelect, cost: &CostModel, factor: f64) {
             prompt_len: chunk.iter().map(|j| j.prompt_len).max().unwrap(),
             output_tokens: chunk.iter().map(|j| j.output_tokens).max().unwrap(),
             arrival: chunk.iter().map(|j| j.arrival).max().unwrap(),
+            prefix: PrefixTag::NONE,
         });
         members.push(chunk.to_vec());
     }

@@ -6,7 +6,7 @@
 //! scheduler's own accounting and once in the sanitizer.
 
 use liger::prelude::*;
-use liger::serving::{serve_continuous, ContinuousReport, GenerationJob};
+use liger::serving::{serve_continuous, ContinuousReport, GenerationJob, PrefixTag};
 
 fn jobs(n: u64, rate: f64) -> Vec<GenerationJob> {
     // Skewed output lengths: most short, some long — the workload shape
@@ -18,6 +18,7 @@ fn jobs(n: u64, rate: f64) -> Vec<GenerationJob> {
             prompt_len: 48 + 16 * (i % 3) as u32,
             output_tokens: if i % 4 == 0 { 12 } else { 3 },
             arrival: SimTime::from_secs_f64(i as f64 / rate),
+            prefix: PrefixTag::NONE,
         })
         .collect()
 }

@@ -13,7 +13,7 @@
 use liger::prelude::*;
 use liger::serving::{
     serve_continuous_on, serve_on, serve_with_policy_on, serve_with_recovery_on, GenerationJob,
-    RecoveryConfig, RetryPolicy, SchedulerConfig,
+    PrefixTag, RecoveryConfig, RetryPolicy, SchedulerConfig,
 };
 use liger_gpu_sim::ToJson;
 
@@ -55,6 +55,7 @@ fn jobs(n: u64, rate: f64) -> Vec<GenerationJob> {
             prompt_len: 48 + 16 * (i % 3) as u32,
             output_tokens: if i % 4 == 0 { 12 } else { 3 },
             arrival: SimTime::from_secs_f64(i as f64 / rate),
+            prefix: PrefixTag::NONE,
         })
         .collect()
 }

@@ -4,7 +4,7 @@
 //! the paper's per-phase benchmarks never exercise together.
 
 use liger::prelude::*;
-use liger::serving::{serve_generations, GenerationJob};
+use liger::serving::{serve_generations, GenerationJob, PrefixTag};
 
 fn jobs(n: u64, rate: f64, tokens: u32) -> Vec<GenerationJob> {
     (0..n)
@@ -14,6 +14,7 @@ fn jobs(n: u64, rate: f64, tokens: u32) -> Vec<GenerationJob> {
             prompt_len: 64,
             output_tokens: tokens,
             arrival: SimTime::from_secs_f64(i as f64 / rate),
+            prefix: PrefixTag::NONE,
         })
         .collect()
 }
