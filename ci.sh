@@ -62,6 +62,16 @@ cargo test -q --test core_invariance
 echo "==> prefix caching differential suite"
 cargo test -q --test prefix_caching
 
+# Chaos tier (DESIGN.md §15): >=32 seeded random fault storms — windowed
+# outages, rejoins, flaps, stragglers, kernel failures — over continuous
+# serving with recovery and re-expansion. Once on the pinned known-green
+# seed, once fresh. Release build: each storm runs the real engine against
+# a fault-free oracle on both event cores.
+echo "==> chaos storm tier (pinned seed)"
+LIGER_PROP_SEED=0xfa0175 cargo test -q --release --test chaos
+echo "==> chaos storm tier (fresh seed)"
+cargo test -q --release --test chaos
+
 echo "==> bench_simcore --smoke"
 cargo run --release -q -p liger-bench --bin bench_simcore -- --smoke
 
@@ -84,6 +94,12 @@ cargo run --release -q -p liger-bench --bin ablation_batching -- --smoke
 # healthy and under a device loss.
 echo "==> ablation_prefix --smoke"
 cargo run --release -q -p liger-bench --bin ablation_prefix -- --smoke
+
+# Chaos ablation gate: healthy vs degraded vs outage+rejoin on the same
+# workload; exits non-zero unless every job is accounted for, outputs match
+# the fault-free run, and the rejoin path re-expands back to full width.
+echo "==> ablation_chaos --smoke"
+cargo run --release -q -p liger-bench --bin ablation_chaos -- --smoke
 
 # Verification gate: the static plan verifier proves the default
 # deployments deadlock-free and memory-feasible (healthy and one-loss

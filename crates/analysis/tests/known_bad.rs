@@ -253,6 +253,44 @@ fn stale_draft_handle_freed_after_rollback_fires_ts_uaf() {
 }
 
 #[test]
+fn stale_pre_rejoin_completion_epoch_fires_ts_uaf() {
+    // A device drops out and rejoins: its outage wiped the pre-rejoin KV
+    // pages, and the re-expansion replan backed the pool's blocks with
+    // fresh allocation ids. A completion from the *pre-rejoin* epoch that
+    // the engine failed to epoch-guard then retires its sequence against
+    // the old page table and frees an id the rejoin-era pool never owned —
+    // exactly the use-after-free the epoch bump in `on_device_rejoin`
+    // exists to prevent.
+    let mut trace = Trace::new();
+    // Pre-rejoin era: the block's shard on the soon-to-flap device.
+    trace.push_mark(TraceMark::Alloc {
+        id: 50,
+        device: DeviceId(2),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(1),
+    });
+    // The outage: the loss replan releases the dead device's shard.
+    trace.push_mark(TraceMark::Free { id: 50, device: DeviceId(2), at: SimTime::from_micros(4) });
+    // Rejoin era: the re-expansion re-backs the block under a fresh id.
+    trace.push_mark(TraceMark::Alloc {
+        id: 51,
+        device: DeviceId(2),
+        bytes: 1 << 16,
+        label: "kv-block".into(),
+        at: SimTime::from_micros(9),
+    });
+    // The stale completion retires against the pre-rejoin table: id 52 was
+    // computed from the old epoch's layout and never allocated.
+    trace.push_mark(TraceMark::Free { id: 52, device: DeviceId(2), at: SimTime::from_micros(12) });
+    // The rejoin-era block itself is released cleanly at drain.
+    trace.push_mark(TraceMark::Free { id: 51, device: DeviceId(2), at: SimTime::from_micros(15) });
+    let diags = sanitize(&trace);
+    assert_eq!(rules(&diags), vec!["TS-UAF"], "{diags:?}");
+    assert_eq!(diags[0].device, Some(2));
+}
+
+#[test]
 fn prefix_evicted_while_shared_leaks_the_survivor_side() {
     // An eviction that drops the cache's index entry while a sharer still
     // holds the chain: the sharer's half of the refcount is never released

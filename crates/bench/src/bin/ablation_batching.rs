@@ -133,6 +133,7 @@ fn scheduler_config(world: u32, health: bool) -> SchedulerConfig {
             interval: SimDuration::from_millis(1),
             suspicion_threshold: 3,
             probe_stream: 3,
+            ..HealthConfig::default()
         });
     }
     c

@@ -33,6 +33,7 @@ fn recovery_config(policy: RecoveryPolicy) -> RecoveryConfig {
             interval: SimDuration::from_millis(1),
             suspicion_threshold: 3,
             probe_stream: 3,
+            ..HealthConfig::default()
         },
         policy,
         admission: AdmissionConfig { queue_watermark: 64 },

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use liger_collectives::NcclConfig;
+use liger_collectives::{NcclConfig, Topology};
 use liger_gpu_sim::{DeviceId, EventId, HostId, KernelClass, SimTime, Simulation, StreamId, Wake};
 use liger_model::{CostModel, ModelConfig};
 use liger_parallelism::launch::{batch_working_set_bytes, comm_specs, compute_spec, EngineMemory};
@@ -96,9 +96,21 @@ pub struct LigerEngine {
     /// Rounds planned while a straggler fault window was active (the plan
     /// shrank the left-over budget accordingly).
     degraded_rounds: u64,
-    /// Replan epoch: bumped on every device loss (see [`EPOCH_SHIFT`]).
+    /// Replan epoch: bumped on every device loss or rejoin (see
+    /// [`EPOCH_SHIFT`]).
     epoch: u64,
+    /// Batches whose final kernel is scheduled and whose completion record
+    /// has not fired yet. `update_list` purges fully-scheduled batches from
+    /// `processing` before the record lands, so a replan in that window
+    /// must report these as cancelled too — the epoch bump silently drops
+    /// their stale records, and a batch reported neither completed nor
+    /// cancelled would leak in the serving layer forever.
+    completion_pending: Vec<u64>,
     memory: EngineMemory,
+    /// Device count the engine was built with (pristine ring size).
+    full_world: usize,
+    /// Topology before any loss, for rebuilding rings after a rejoin.
+    healthy_topology: Topology,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -119,6 +131,7 @@ impl LigerEngine {
         check_divisibility(&cfg, world as u32)?;
         config.validate()?;
         let nccl = cost.nccl;
+        let healthy_topology = cost.topology.clone();
         Ok(LigerEngine {
             cfg,
             cost,
@@ -137,7 +150,10 @@ impl LigerEngine {
             adaptations: 0,
             degraded_rounds: 0,
             epoch: 0,
+            completion_pending: Vec::new(),
             memory: EngineMemory::new(),
+            full_world: world,
+            healthy_topology,
         })
     }
 
@@ -454,6 +470,7 @@ impl LigerEngine {
         let d0 = self.devices[0];
         let ev = sim.record_event(HostId(d0.0), StreamId::new(d0, stream));
         sim.notify_on_event(ev, HostId(d0.0), (self.epoch << EPOCH_SHIFT) | batch);
+        self.completion_pending.push(batch);
     }
 
     /// Looks a batch up in the processing list, returning
@@ -509,6 +526,7 @@ impl InferenceEngine for LigerEngine {
                     return;
                 }
                 let batch = token & BATCH_MASK;
+                self.completion_pending.retain(|&b| b != batch);
                 self.memory.batch_completed(sim, batch);
                 self.completed.push((batch, fired_at));
                 if let Phase::Flood { outstanding } = self.phase {
@@ -556,6 +574,9 @@ impl InferenceEngine for LigerEngine {
             // the recovery runner waits for its watchdog to confirm, then
             // calls `on_device_loss`. The oracle wake itself is not acted on.
             Wake::DeviceDown { .. } => {}
+            // Same for rejoins: the watchdog re-confirms the device through
+            // its quarantine before the runner calls `on_device_rejoin`.
+            Wake::DeviceRejoined { .. } => {}
         }
     }
 
@@ -573,9 +594,17 @@ impl InferenceEngine for LigerEngine {
         check_divisibility_relaxed(&self.cfg, survivors.len() as u32)
             .expect("model cannot be replanned over the survivors");
         // Abandon every queued and in-flight batch; the caller resubmits.
-        let mut ids: Vec<u64> =
-            self.processing.iter().chain(self.waiting.iter()).map(|v| v.batch_id).collect();
+        let mut ids: Vec<u64> = self
+            .processing
+            .iter()
+            .chain(self.waiting.iter())
+            .map(|v| v.batch_id)
+            .chain(self.completion_pending.drain(..))
+            .collect();
         ids.sort_unstable();
+        // A notified batch can still sit in `processing` until the next
+        // purge, so the two sources may overlap.
+        ids.dedup();
         self.processing.clear();
         self.waiting.clear();
         self.prev_e2 = None;
@@ -591,6 +620,45 @@ impl InferenceEngine for LigerEngine {
         // bandwidth proportionally (PCIe switches are indifferent).
         self.cost.topology = self.cost.topology.degraded(survivors.len(), self.devices.len());
         self.devices = survivors.to_vec();
+        ids
+    }
+
+    fn on_device_rejoin(
+        &mut self,
+        _rejoined: DeviceId,
+        devices: &[DeviceId],
+        sim: &mut Simulation,
+    ) -> Vec<u64> {
+        assert!(!devices.is_empty(), "cannot replan over zero devices");
+        check_divisibility_relaxed(&self.cfg, devices.len() as u32)
+            .expect("model cannot be replanned over the rejoined set");
+        // Re-expansion is a replan, exactly like a loss: every queued and
+        // in-flight batch is abandoned (the caller resubmits), outstanding
+        // completion records go stale behind the epoch bump, and weights
+        // are re-sharded over the wider placement at the next submit.
+        let mut ids: Vec<u64> = self
+            .processing
+            .iter()
+            .chain(self.waiting.iter())
+            .map(|v| v.batch_id)
+            .chain(self.completion_pending.drain(..))
+            .collect();
+        ids.sort_unstable();
+        // A notified batch can still sit in `processing` until the next
+        // purge, so the two sources may overlap.
+        ids.dedup();
+        self.processing.clear();
+        self.waiting.clear();
+        self.prev_e2 = None;
+        self.observations.clear();
+        self.phase = Phase::Idle;
+        self.epoch += 1;
+        self.memory.release_all(sim);
+        // Rings are rebuilt around the returned brick: bandwidth recovers
+        // to the pristine topology scaled by how much of the original
+        // world is back (fully healthy when everyone rejoined).
+        self.cost.topology = self.healthy_topology.degraded(devices.len(), self.full_world);
+        self.devices = devices.to_vec();
         ids
     }
 }
@@ -886,6 +954,7 @@ mod tests {
                 interval: SimDuration::from_millis(1),
                 suspicion_threshold: 3,
                 probe_stream: 3,
+                ..HealthConfig::default()
             },
             ..RecoveryConfig::default()
         };

@@ -34,13 +34,21 @@
 //! * **Launch-overhead spike** ([`FaultSpec::launch_spikes`]): a host
 //!   kernel launch occasionally pays an extra overhead, modelling driver
 //!   jitter and lock contention on the submitting CPU.
-//! * **Permanent device loss** ([`FaultSpec::device_down`]): a device dies
-//!   at a trigger instant and never recovers — the ECC/XID-class failure
-//!   that takes a GPU out of the fleet. The simulator fails the device's
-//!   running and queued kernels in FIFO order, aborts collectives that
-//!   counted on it, and wakes the driver with
-//!   [`Wake::DeviceDown`](crate::Wake::DeviceDown) so the serving layer can
-//!   drain, replan and recover.
+//! * **Device outage** ([`FaultSpec::device_down`],
+//!   [`FaultSpec::device_outage`]): a device stops executing work at a
+//!   trigger instant. An open-ended outage is the permanent ECC/XID-class
+//!   failure that takes a GPU out of the fleet; a windowed outage
+//!   (`down:dev:t0..t1`) models the transient loss — a driver reset, a
+//!   host reboot, a fabric hiccup — after which the device rejoins. The
+//!   simulator fails the device's running and queued kernels in FIFO
+//!   order, aborts collectives that counted on it, and wakes the driver
+//!   with [`Wake::DeviceDown`](crate::Wake::DeviceDown); at the window end
+//!   it marks the device alive again and wakes the driver with
+//!   [`Wake::DeviceRejoined`](crate::Wake::DeviceRejoined). Several
+//!   disjoint windows on the same device model a flapping GPU.
+//! * **Link flap** ([`FaultSpec::link_flap`]): sugar that expands into
+//!   alternating link-partition windows, modelling a flapping NIC or
+//!   switch port that oscillates between partitioned and healthy.
 
 use crate::ids::{DeviceId, HostId};
 use crate::time::{SimDuration, SimTime};
@@ -107,14 +115,26 @@ pub struct LaunchSpikeParams {
     pub until: SimTime,
 }
 
-/// A permanent device loss: `device` stops executing work at `at` and never
-/// recovers for the remainder of the run.
+/// A device outage: `device` stops executing work at `at`. When `until` is
+/// `None` the outage is open-ended (the device never recovers — permanent
+/// loss); otherwise the device rejoins at `until` and the simulator wakes
+/// the driver with [`Wake::DeviceRejoined`](crate::Wake::DeviceRejoined).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceDown {
     /// The lost device.
     pub device: DeviceId,
-    /// The instant the device dies.
+    /// The instant the device dies (window start, inclusive).
     pub at: SimTime,
+    /// The instant the device rejoins (window end, exclusive); `None`
+    /// means the loss is permanent.
+    pub until: Option<SimTime>,
+}
+
+impl DeviceDown {
+    /// Whether the outage covers instant `t`.
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.at <= t && self.until.is_none_or(|u| t < u)
+    }
 }
 
 /// A declarative, seeded fault schedule for one simulation run.
@@ -227,28 +247,66 @@ impl FaultSpec {
     }
 
     /// Marks `device` as permanently lost from `at` onward.
-    pub fn device_down(mut self, device: DeviceId, at: SimTime) -> FaultSpec {
-        assert!(
-            self.downs.iter().all(|d| d.device != device),
-            "device {device:?} already has a down schedule"
-        );
-        self.downs.push(DeviceDown { device, at });
+    pub fn device_down(self, device: DeviceId, at: SimTime) -> FaultSpec {
+        self.push_down(DeviceDown { device, at, until: None })
+    }
+
+    /// Marks `device` as down over the window `[from, until)`: it dies at
+    /// `from` and rejoins at `until`. Several disjoint windows on the same
+    /// device model a flapping GPU.
+    pub fn device_outage(self, device: DeviceId, from: SimTime, until: SimTime) -> FaultSpec {
+        assert!(from < until, "outage window is empty: {from:?}..{until:?}");
+        self.push_down(DeviceDown { device, at: from, until: Some(until) })
+    }
+
+    fn push_down(mut self, down: DeviceDown) -> FaultSpec {
+        // Windows on one device must not overlap or even touch: a rejoin
+        // and a death at the same instant would be order-ambiguous.
+        let conflict = self.downs.iter().any(|d| {
+            d.device == down.device
+                && d.at <= down.until.unwrap_or(SimTime::MAX)
+                && down.at <= d.until.unwrap_or(SimTime::MAX)
+        });
+        assert!(!conflict, "overlapping down windows for device {:?}", down.device);
+        self.downs.push(down);
         self
     }
 
-    /// The configured permanent device losses.
+    /// Alternating partition windows on the link `{a, b}`: partitioned for
+    /// `period` starting at `from`, healthy for `period`, and so on until
+    /// `until` — a flapping NIC or switch port.
+    pub fn link_flap(
+        mut self,
+        a: DeviceId,
+        b: DeviceId,
+        from: SimTime,
+        until: SimTime,
+        period: SimDuration,
+    ) -> FaultSpec {
+        assert!(from < until, "flap window is empty");
+        assert!(!period.is_zero(), "flap period must be positive");
+        let mut start = from;
+        while start < until {
+            let end = (start + period).min(until);
+            self = self.partition_link(a, b, start, end);
+            start = end + period;
+        }
+        self
+    }
+
+    /// The configured device outages (permanent and windowed).
     pub fn device_downs(&self) -> &[DeviceDown] {
         &self.downs
     }
 
-    /// When `device` dies, if a loss is scheduled for it.
+    /// When `device` first dies, if any outage is scheduled for it.
     pub fn device_down_at(&self, device: DeviceId) -> Option<SimTime> {
-        self.downs.iter().find(|d| d.device == device).map(|d| d.at)
+        self.downs.iter().filter(|d| d.device == device).map(|d| d.at).min()
     }
 
-    /// Whether `device` is dead at instant `at`.
+    /// Whether `device` is dead at instant `at` (inside any outage window).
     pub fn is_device_down(&self, device: DeviceId, at: SimTime) -> bool {
-        self.device_down_at(device).is_some_and(|t| t <= at)
+        self.downs.iter().any(|d| d.device == device && d.covers(at))
     }
 
     /// The configured straggler windows.
@@ -372,8 +430,12 @@ impl FaultSpec {
     ///   (whole run when the window is omitted)
     /// * `spike:<prob>:<extra_us>[:<from_ms>:<until_ms>]` — launch spikes
     /// * `down:<dev>:<at_ms>` — permanent device loss
+    /// * `down:<dev>:<from_ms>..<until_ms>` — windowed outage (the device
+    ///   rejoins at `until`); repeat the segment for a flapping device
+    /// * `flap:<a>:<b>:<from_ms>:<until_ms>:<period_ms>` — link flap
+    ///   (alternating partition windows of length `period`)
     ///
-    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5;down:3:40`.
+    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5;down:3:40..80`.
     ///
     /// Errors carry the byte offset of the offending field so a bad
     /// `--faults` flag fails with a pointer into the spec string.
@@ -476,23 +538,132 @@ impl FaultSpec {
                         until,
                     });
                 }
-                [("down", _), dev, at_ms] => {
-                    out = out.device_down(
-                        DeviceId(num::<usize>(dev.0, dev.1, "a device index")?),
-                        ms(at_ms.0, at_ms.1)?,
+                [("down", _), dev, window] => {
+                    let device = DeviceId(num::<usize>(dev.0, dev.1, "a device index")?);
+                    match window.0.split_once("..") {
+                        None => out = out.device_down(device, ms(window.0, window.1)?),
+                        Some((from, until)) => {
+                            let from_t = ms(from, window.1)?;
+                            let until_off = window.1 + from.len() + 2;
+                            let until_t = ms(until, until_off)?;
+                            if until_t <= from_t {
+                                return Err(ParseError::at(
+                                    window.1,
+                                    format!(
+                                        "a non-empty outage window (start < end), got {:?}",
+                                        window.0
+                                    ),
+                                ));
+                            }
+                            out = out.device_outage(device, from_t, until_t);
+                        }
+                    }
+                }
+                [("flap", _), a, b, from, until, period] => {
+                    let from_t = ms(from.0, from.1)?;
+                    let until_t = ms(until.0, until.1)?;
+                    if until_t <= from_t {
+                        return Err(ParseError::at(
+                            from.1,
+                            format!("a non-empty flap window (start < end), got {seg:?}"),
+                        ));
+                    }
+                    let period_ms = num::<u64>(period.0, period.1, "a flap period in ms")?;
+                    if period_ms == 0 {
+                        return Err(ParseError::at(
+                            period.1,
+                            "a positive flap period in ms, got \"0\"".to_string(),
+                        ));
+                    }
+                    out = out.link_flap(
+                        DeviceId(num::<usize>(a.0, a.1, "a device index")?),
+                        DeviceId(num::<usize>(b.0, b.1, "a device index")?),
+                        from_t,
+                        until_t,
+                        SimDuration::from_millis(period_ms),
                     );
                 }
                 _ => {
                     return Err(ParseError::at(
                         seg_start,
                         format!(
-                            "a fault segment (seed=/slow/link/part/kfail/spike/down), got {seg:?}"
+                            "a fault segment (seed=/slow/link/part/kfail/spike/down/flap), \
+                             got {seg:?}"
                         ),
                     ))
                 }
             }
         }
         Ok(out)
+    }
+}
+
+/// Renders the schedule in the exact grammar [`FaultSpec::parse`] accepts,
+/// so `parse(spec.to_string())` reconstructs an equal spec. Window edges
+/// are rendered as whole milliseconds — the grammar's granularity — so the
+/// round trip is exact for any spec that `parse` itself can produce.
+/// Partition windows (including [`FaultSpec::link_flap`] expansions)
+/// render as `part:` segments, other link faults as `link:`.
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn ms(t: SimTime) -> u64 {
+            t.as_nanos() / 1_000_000
+        }
+        let mut segs: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            segs.push(format!("seed={}", self.seed));
+        }
+        for s in &self.slowdowns {
+            segs.push(format!("slow:{}:{}:{}:{}", s.device.0, ms(s.from), ms(s.until), s.factor));
+        }
+        for l in &self.links {
+            if l.factor == PARTITION_FACTOR {
+                segs.push(format!("part:{}:{}:{}:{}", l.a.0, l.b.0, ms(l.from), ms(l.until)));
+            } else {
+                segs.push(format!(
+                    "link:{}:{}:{}:{}:{}",
+                    l.a.0,
+                    l.b.0,
+                    ms(l.from),
+                    ms(l.until),
+                    l.factor
+                ));
+            }
+        }
+        if let Some(kf) = self.kernel_faults {
+            if kf.from == SimTime::ZERO && kf.until == SimTime::MAX {
+                segs.push(format!("kfail:{}:{}", kf.prob, kf.fraction));
+            } else {
+                segs.push(format!(
+                    "kfail:{}:{}:{}:{}",
+                    kf.prob,
+                    kf.fraction,
+                    ms(kf.from),
+                    ms(kf.until)
+                ));
+            }
+        }
+        if let Some(sp) = self.launch_spikes {
+            let extra_us = sp.extra.as_nanos() / 1_000;
+            if sp.from == SimTime::ZERO && sp.until == SimTime::MAX {
+                segs.push(format!("spike:{}:{}", sp.prob, extra_us));
+            } else {
+                segs.push(format!(
+                    "spike:{}:{}:{}:{}",
+                    sp.prob,
+                    extra_us,
+                    ms(sp.from),
+                    ms(sp.until)
+                ));
+            }
+        }
+        for d in &self.downs {
+            match d.until {
+                None => segs.push(format!("down:{}:{}", d.device.0, ms(d.at))),
+                Some(u) => segs.push(format!("down:{}:{}..{}", d.device.0, ms(d.at), ms(u))),
+            }
+        }
+        write!(f, "{}", segs.join(";"))
     }
 }
 
@@ -699,9 +870,105 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already has a down schedule")]
+    #[should_panic(expected = "overlapping down windows")]
     fn duplicate_device_down_panics() {
         let _ = FaultSpec::new(1).device_down(DeviceId(0), t(1)).device_down(DeviceId(0), t(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping down windows")]
+    fn outage_overlapping_a_permanent_down_panics() {
+        let _ = FaultSpec::new(1).device_down(DeviceId(0), t(50)).device_outage(
+            DeviceId(0),
+            t(40),
+            t(60),
+        );
+    }
+
+    #[test]
+    fn windowed_outage_ends_and_windows_may_repeat() {
+        let f = FaultSpec::new(1).device_outage(DeviceId(1), t(10), t(20)).device_outage(
+            DeviceId(1),
+            t(30),
+            t(40),
+        );
+        assert!(!f.is_device_down(DeviceId(1), t(9)));
+        assert!(f.is_device_down(DeviceId(1), t(10)));
+        assert!(f.is_device_down(DeviceId(1), t(19)));
+        assert!(!f.is_device_down(DeviceId(1), t(20)), "rejoined at the window end");
+        assert!(f.is_device_down(DeviceId(1), t(35)), "second flap window");
+        assert!(!f.is_device_down(DeviceId(1), SimTime::MAX));
+        assert_eq!(f.device_down_at(DeviceId(1)), Some(t(10)), "first death instant");
+
+        let p = FaultSpec::parse("down:1:10..20;down:1:30..40").unwrap();
+        assert_eq!(p.device_downs(), f.device_downs());
+    }
+
+    #[test]
+    fn disjoint_outages_on_distinct_devices_coexist() {
+        let f = FaultSpec::new(1)
+            .device_outage(DeviceId(0), t(10), t(20))
+            .device_down(DeviceId(1), t(15));
+        assert!(f.is_device_down(DeviceId(0), t(15)));
+        assert!(f.is_device_down(DeviceId(1), t(15)));
+        assert!(!f.is_device_down(DeviceId(0), t(25)));
+        assert!(f.is_device_down(DeviceId(1), t(25)), "permanent loss persists");
+    }
+
+    #[test]
+    fn link_flap_expands_to_alternating_partitions() {
+        let f = FaultSpec::new(1).link_flap(
+            DeviceId(0),
+            DeviceId(1),
+            t(10),
+            t(50),
+            SimDuration::from_millis(10),
+        );
+        // Partitioned [10,20) and [30,40); healthy in between and after.
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(15)), PARTITION_FACTOR);
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(25)), 1.0);
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(35)), PARTITION_FACTOR);
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(45)), 1.0);
+        let p = FaultSpec::parse("flap:0:1:10:50:10").unwrap();
+        assert_eq!(p.link_faults(), f.link_faults());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_windows() {
+        let e = FaultSpec::parse("down:2:10..").unwrap_err();
+        assert!(e.expected.contains("millisecond"), "{e}");
+        let e = FaultSpec::parse("down:2:..10").unwrap_err();
+        assert!(e.expected.contains("millisecond"), "{e}");
+        let e = FaultSpec::parse("down:2:20..10").unwrap_err();
+        assert_eq!(e.offset, "down:2:".len());
+        assert!(e.expected.contains("non-empty outage window"), "{e}");
+        let e = FaultSpec::parse("down:2:10..10").unwrap_err();
+        assert!(e.expected.contains("start < end"), "{e}");
+        let e = FaultSpec::parse("flap:0:1:50:10:5").unwrap_err();
+        assert!(e.expected.contains("non-empty flap window"), "{e}");
+        let e = FaultSpec::parse("flap:0:1:10:50:0").unwrap_err();
+        assert_eq!(e.offset, "flap:0:1:10:50:".len());
+        assert!(e.expected.contains("positive flap period"), "{e}");
+        let e = FaultSpec::parse("down:2:a..b").unwrap_err();
+        assert_eq!(e.offset, "down:2:".len());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let spec = "seed=9;slow:0:10:30:1.5;link:0:1:5:15:3;part:2:3:0:5;\
+                    kfail:0.01:0.5;spike:0.1:25:0:100;down:3:40;down:2:10..20";
+        let f = FaultSpec::parse(spec).unwrap();
+        assert_eq!(format!("{f}"), spec, "display is the canonical grammar");
+        assert_eq!(FaultSpec::parse(&format!("{f}")).unwrap(), f);
+        assert_eq!(format!("{}", FaultSpec::none()), "", "empty spec displays empty");
+        let flap = FaultSpec::new(1).link_flap(
+            DeviceId(0),
+            DeviceId(1),
+            t(0),
+            t(30),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(FaultSpec::parse(&format!("{flap}")).unwrap(), flap);
     }
 
     #[test]

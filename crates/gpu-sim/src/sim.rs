@@ -92,16 +92,28 @@ pub enum Wake {
         /// Failure instant.
         at: SimTime,
     },
-    /// A device died permanently ([`crate::FaultSpec::device_down`]). Its
-    /// queues were FIFO-drained (every lost kernel produced its own
-    /// [`Wake::KernelFailed`]) and collectives it participated in were
-    /// aborted before this wake is delivered. Production detection should
-    /// come from a health watchdog observing missed heartbeats; this wake is
-    /// the ground-truth loss instant for measuring detection latency.
+    /// A device died ([`crate::FaultSpec::device_down`] /
+    /// [`crate::FaultSpec::device_outage`]). Its queues were FIFO-drained
+    /// (every lost kernel produced its own [`Wake::KernelFailed`]) and
+    /// collectives it participated in were aborted before this wake is
+    /// delivered. Production detection should come from a health watchdog
+    /// observing missed heartbeats; this wake is the ground-truth loss
+    /// instant for measuring detection latency.
     DeviceDown {
         /// The dead device.
         device: DeviceId,
         /// The death instant.
+        at: SimTime,
+    },
+    /// A device's outage window ([`crate::FaultSpec::device_outage`])
+    /// closed: the device is alive again with empty queues and no memory of
+    /// its pre-death work. Like [`Wake::DeviceDown`] this is ground truth —
+    /// production confirmation should come from the health watchdog
+    /// observing answered probes through a quarantine period.
+    DeviceRejoined {
+        /// The recovered device.
+        device: DeviceId,
+        /// The rejoin instant.
         at: SimTime,
     },
 }
@@ -562,8 +574,14 @@ pub(crate) enum Pending {
     /// A fault window opens or closes: rates change with no population
     /// change, so everything must settle and reprice.
     FaultBoundary,
-    /// A device dies permanently at this instant.
+    /// A device dies at this instant (permanently or for a window).
     DeviceDown {
+        device: usize,
+    },
+    /// A device's outage window closes at this instant: it rejoins with
+    /// empty queues. Rides the global lane so the rejoin is dispatched by
+    /// the coordinator in canonical order.
+    DeviceRejoin {
         device: usize,
     },
 }
@@ -721,6 +739,9 @@ impl SimulationBuilder {
                 return Err(format!("device down schedule names unknown {:?}", down.device));
             }
             sim.push(down.at, Pending::DeviceDown { device: down.device.0 });
+            if let Some(until) = down.until {
+                sim.push(until, Pending::DeviceRejoin { device: down.device.0 });
+            }
         }
         Ok(sim)
     }
@@ -1166,6 +1187,7 @@ impl Simulation {
             Pending::DriverWake { wake } => self.wakes.push_back(wake),
             Pending::FaultBoundary => self.fault_boundary(),
             Pending::DeviceDown { device } => self.device_down(device),
+            Pending::DeviceRejoin { device } => self.device_rejoin(device),
         }
     }
 
@@ -1232,7 +1254,20 @@ impl Simulation {
                 match &front.op {
                     StreamOp::Record(ev) => {
                         let ev = *ev;
+                        let stream = front.stream;
                         self.devices[d].queues[q].pop_op();
+                        // The event fires vacuously at death time so that
+                        // survivors waiting on it unblock; the trace must
+                        // carry the record mark, or those later-resolved
+                        // waits reference an event with no provenance.
+                        if let Some(trace) = &mut self.trace {
+                            trace.push_mark(TraceMark::Record {
+                                event: ev.0,
+                                device: DeviceId(d),
+                                stream,
+                                at: self.now,
+                            });
+                        }
                         self.trigger_event(ev);
                     }
                     StreamOp::Wait(_) => {
@@ -1267,6 +1302,21 @@ impl Simulation {
         }
         let at = self.now;
         self.wakes.push_back(Wake::DeviceDown { device: DeviceId(d), at });
+    }
+
+    /// A device's outage window closed: mark it alive and wake the driver
+    /// with [`Wake::DeviceRejoined`]. The death drain already emptied its
+    /// queues and nothing enqueues on a dead device (kernels fail at
+    /// enqueue, records and waits are dropped), so the device comes back
+    /// idle — there is no device-local state to rebuild and rates elsewhere
+    /// are unaffected until new work is submitted to it.
+    fn device_rejoin(&mut self, d: usize) {
+        if self.devices[d].alive {
+            return;
+        }
+        self.devices[d].alive = true;
+        let at = self.now;
+        self.wakes.push_back(Wake::DeviceRejoined { device: DeviceId(d), at });
     }
 
     /// Aborts a collective rendezvous whose completion became impossible:
@@ -2827,5 +2877,112 @@ mod tests {
             sim.take_trace().unwrap().to_chrome_json()
         };
         assert_eq!(run(), run(), "same seed + device loss, byte-identical chrome traces");
+    }
+
+    #[test]
+    fn windowed_outage_rejoins_and_executes_new_work() {
+        // Device 0 is down over [50us, 80us): the 100us kernel launched at
+        // start dies at 50, the driver hears the rejoin at 80 and submits a
+        // fresh kernel, which runs to completion on the recovered device.
+        let faults = FaultSpec::new(1).device_outage(
+            DeviceId(0),
+            SimTime::from_micros(50),
+            SimTime::from_micros(80),
+        );
+        let mut sim = faulty_sim(1, faults);
+        let wakes: Rc<RefCell<Vec<(String, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log = wakes.clone();
+        let mut drv = Script {
+            on_start: |sim: &mut Simulation| {
+                sim.launch(
+                    HostId(0),
+                    s(0, 0),
+                    KernelSpec::compute("pre", SimDuration::from_micros(100)).with_tag(1),
+                );
+            },
+            on_wake: move |wake: Wake, sim: &mut Simulation| match wake {
+                Wake::KernelFailed { tag, at, .. } => {
+                    log.borrow_mut().push((format!("fail{tag}"), at));
+                }
+                Wake::DeviceDown { at, .. } => log.borrow_mut().push(("down".into(), at)),
+                Wake::DeviceRejoined { device, at } => {
+                    log.borrow_mut().push(("rejoin".into(), at));
+                    assert!(sim.device_alive(device), "alive again by wake delivery");
+                    sim.launch(
+                        HostId(0),
+                        s(0, 0),
+                        KernelSpec::compute("post", SimDuration::from_micros(10)).with_tag(2),
+                    );
+                }
+                _ => {}
+            },
+        };
+        let end = sim.run_to_completion(&mut drv);
+        assert_eq!(end, SimTime::from_micros(90), "rejoin at 80us + 10us kernel");
+        assert!(sim.device_alive(DeviceId(0)));
+        assert_eq!(sim.alive_devices(), vec![DeviceId(0)]);
+        assert_eq!(sim.kernels_failed(), 1, "only the pre-outage kernel dies");
+        assert_eq!(
+            *wakes.borrow(),
+            vec![
+                ("fail1".into(), SimTime::from_micros(50)),
+                ("down".into(), SimTime::from_micros(50)),
+                ("rejoin".into(), SimTime::from_micros(80)),
+            ]
+        );
+        let trace = sim.take_trace().unwrap();
+        assert!(trace.events().iter().find(|e| e.tag == 1).unwrap().failed);
+        assert!(!trace.events().iter().find(|e| e.tag == 2).unwrap().failed);
+    }
+
+    #[test]
+    fn flapping_device_delivers_one_wake_pair_per_window() {
+        let faults = FaultSpec::new(1)
+            .device_outage(DeviceId(0), SimTime::from_micros(10), SimTime::from_micros(20))
+            .device_outage(DeviceId(0), SimTime::from_micros(30), SimTime::from_micros(40));
+        let mut sim = faulty_sim(1, faults);
+        let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        let mut drv = Script {
+            on_start: |_: &mut Simulation| {},
+            on_wake: move |wake: Wake, _: &mut Simulation| match wake {
+                Wake::DeviceDown { at, .. } => log2.borrow_mut().push(format!("down@{at}")),
+                Wake::DeviceRejoined { at, .. } => log2.borrow_mut().push(format!("up@{at}")),
+                _ => {}
+            },
+        };
+        sim.run_to_completion(&mut drv);
+        assert!(sim.device_alive(DeviceId(0)), "alive after the last window closes");
+        assert_eq!(*log.borrow(), vec!["down@0.010ms", "up@0.020ms", "down@0.030ms", "up@0.040ms"]);
+    }
+
+    #[test]
+    fn same_seed_windowed_outage_runs_are_identical() {
+        let run = || {
+            let faults = FaultSpec::new(42)
+                .device_outage(DeviceId(1), SimTime::from_micros(30), SimTime::from_micros(70))
+                .kernel_failures(KernelFaultParams {
+                    prob: 0.2,
+                    fraction: 0.5,
+                    from: SimTime::ZERO,
+                    until: SimTime::MAX,
+                });
+            let mut sim = faulty_sim(2, faults);
+            let mut drv = script(|sim: &mut Simulation| {
+                for d in 0..2 {
+                    for i in 0..6u64 {
+                        sim.launch(
+                            HostId(d),
+                            s(d, (i % 3) as usize),
+                            KernelSpec::compute(format!("k{d}{i}"), SimDuration::from_micros(15))
+                                .with_tag(i),
+                        );
+                    }
+                }
+            });
+            sim.run_to_completion(&mut drv);
+            sim.take_trace().unwrap().to_chrome_json()
+        };
+        assert_eq!(run(), run(), "same seed + outage window, byte-identical chrome traces");
     }
 }

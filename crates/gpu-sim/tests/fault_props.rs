@@ -284,6 +284,133 @@ fn faults_never_speed_up_successful_kernels() {
     });
 }
 
+/// A random schedule at the grammar's granularity: whole-millisecond
+/// windows, whole-microsecond spikes, arbitrary f64 factors (Rust float
+/// formatting round-trips exactly).
+fn gen_grammar_spec(g: &mut Gen) -> FaultSpec {
+    let mut spec = FaultSpec::new(g.any_u64());
+    for _ in 0..g.usize_in(0, 3) {
+        let from = g.u64_in(0, 50);
+        spec = spec.straggler(
+            DeviceId(g.usize_in(0, 4)),
+            SimTime::from_millis(from),
+            SimTime::from_millis(from + g.u64_in(1, 50)),
+            g.f64_in(1.0, 8.0),
+        );
+    }
+    for _ in 0..g.usize_in(0, 2) {
+        let from = g.u64_in(0, 50);
+        spec = spec.degrade_link(
+            DeviceId(g.usize_in(0, 4)),
+            DeviceId(g.usize_in(0, 4)),
+            SimTime::from_millis(from),
+            SimTime::from_millis(from + g.u64_in(1, 50)),
+            g.f64_in(1.0, 6.0),
+        );
+    }
+    if g.bool() {
+        let from = g.u64_in(0, 50);
+        spec = spec.partition_link(
+            DeviceId(g.usize_in(0, 4)),
+            DeviceId(g.usize_in(0, 4)),
+            SimTime::from_millis(from),
+            SimTime::from_millis(from + g.u64_in(1, 50)),
+        );
+    }
+    if g.bool() {
+        let (from, until) = if g.bool() {
+            (SimTime::ZERO, SimTime::MAX)
+        } else {
+            let f = g.u64_in(0, 50);
+            (SimTime::from_millis(f), SimTime::from_millis(f + g.u64_in(1, 50)))
+        };
+        spec = spec.kernel_failures(KernelFaultParams {
+            prob: g.f64_in(0.0, 1.0),
+            fraction: g.f64_in(0.0, 1.0),
+            from,
+            until,
+        });
+    }
+    if g.bool() {
+        let (from, until) = if g.bool() {
+            (SimTime::ZERO, SimTime::MAX)
+        } else {
+            let f = g.u64_in(0, 50);
+            (SimTime::from_millis(f), SimTime::from_millis(f + g.u64_in(1, 50)))
+        };
+        spec = spec.launch_spikes(LaunchSpikeParams {
+            prob: g.f64_in(0.0, 1.0),
+            extra: SimDuration::from_micros(g.u64_in(1, 500)),
+            from,
+            until,
+        });
+    }
+    // One down/outage per device at most: the builder rejects overlapping
+    // windows for the same device.
+    for dev in 0..4usize {
+        if g.usize_in(0, 3) != 0 {
+            continue;
+        }
+        let at = g.u64_in(0, 80);
+        if g.bool() {
+            spec = spec.device_down(DeviceId(dev), SimTime::from_millis(at));
+        } else {
+            spec = spec.device_outage(
+                DeviceId(dev),
+                SimTime::from_millis(at),
+                SimTime::from_millis(at + g.u64_in(1, 80)),
+            );
+        }
+    }
+    if g.bool() {
+        let from = g.u64_in(0, 20);
+        let len = g.u64_in(2, 40);
+        spec = spec.link_flap(
+            DeviceId(g.usize_in(0, 4)),
+            DeviceId(g.usize_in(0, 4)),
+            SimTime::from_millis(from),
+            SimTime::from_millis(from + len),
+            SimDuration::from_millis(g.u64_in(1, len)),
+        );
+    }
+    spec
+}
+
+/// Display renders the exact grammar `parse` accepts: any schedule built at
+/// the grammar's granularity — including windowed outages and link flaps
+/// (which expand to alternating partitions) — survives a render→parse round
+/// trip unchanged.
+#[test]
+fn display_parse_round_trip() {
+    check("display_parse_round_trip", 64, |g| {
+        let spec = gen_grammar_spec(g);
+        let rendered = spec.to_string();
+        let reparsed = FaultSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered spec {rendered:?} failed to parse: {e}"));
+        assert_eq!(reparsed, spec, "round trip diverged for {rendered:?}");
+    });
+}
+
+/// Malformed outage/flap windows fail with errors naming the problem and
+/// pointing into the spec string.
+#[test]
+fn malformed_windows_are_rejected_with_offsets() {
+    let cases = [
+        ("down:1:50..50", "a non-empty outage window"),
+        ("down:1:80..20", "a non-empty outage window"),
+        ("down:1:x..20", "a millisecond count"),
+        ("down:1:10..y", "a millisecond count"),
+        ("flap:0:1:5:5:2", "a non-empty flap window"),
+        ("flap:0:1:2:8:0", "a positive flap period"),
+    ];
+    for (spec, expect) in cases {
+        let err = FaultSpec::parse(spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(expect), "{spec:?} gave {msg:?}, wanted {expect:?}");
+        assert!(msg.contains("at byte"), "{spec:?} error lost its offset: {msg:?}");
+    }
+}
+
 /// The same (plan, fault schedule) pair always replays to the identical
 /// trace: fault injection is a pure function of the seed and sim time.
 #[test]

@@ -663,6 +663,13 @@ impl BlockPool {
     /// restoring the lost one. Returns the number of backing allocations
     /// freed.
     pub fn on_device_loss(&mut self, sim: &mut Simulation, dead: DeviceId) -> u64 {
+        // A device that is not a member holds no shard: a second confirmed
+        // loss for the same device (e.g. queued behind an in-progress drain)
+        // must not walk the free path again — its pages are already gone,
+        // and freeing them twice would trip the TS-DOUBLE-FREE sanitizer.
+        if !self.devices.contains(&dead) {
+            return 0;
+        }
         let mut freed = 0;
         for block in self.blocks.values_mut() {
             let mut kept = Vec::with_capacity(block.allocs.len());
@@ -678,6 +685,27 @@ impl BlockPool {
         }
         self.devices.retain(|&d| d != dead);
         freed
+    }
+
+    /// A lost device rejoined with empty memory: resume allocating on it
+    /// and back every live block with a page on it — the shard the
+    /// re-expansion's migrate/recompute work fills in. Returns the number
+    /// of pages allocated. No-op if the device is already a member.
+    pub fn on_device_rejoin(&mut self, sim: &mut Simulation, rejoined: DeviceId) -> u64 {
+        if self.devices.contains(&rejoined) {
+            return 0;
+        }
+        self.devices.push(rejoined);
+        self.devices.sort_unstable_by_key(|d| d.0);
+        let mut added = 0;
+        for block in self.blocks.values_mut() {
+            let id = sim
+                .alloc_memory(rejoined, self.config.block_bytes, BLOCK_LABEL)
+                .expect("an empty rejoined device backs every live block");
+            block.allocs.push((rejoined, id));
+            added += 1;
+        }
+        added
     }
 
     /// Live (allocated, unreleased) blocks.
@@ -919,6 +947,44 @@ mod tests {
         assert_eq!(s.memory_in_use(DeviceId(1)), 0);
         p.release(&mut s, 0);
         assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn a_repeated_loss_for_the_same_device_frees_nothing_twice() {
+        let mut s = sim(3);
+        let mut p = pool(3, 256, 8 * 256);
+        p.grow(&mut s, 0, 64, 1).unwrap(); // 4 blocks x 3 devices
+        assert_eq!(p.on_device_loss(&mut s, DeviceId(1)), 4);
+        // A stale confirmation for the same device (e.g. queued behind an
+        // in-progress drain) must not walk the free path again.
+        assert_eq!(p.on_device_loss(&mut s, DeviceId(1)), 0);
+        p.check_consistent().unwrap();
+        p.release(&mut s, 0);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_double_frees(), 0);
+    }
+
+    #[test]
+    fn a_rejoined_device_backs_every_live_block_and_new_growth() {
+        let mut s = sim(3);
+        let mut p = pool(3, 256, 8 * 256);
+        p.grow(&mut s, 0, 64, 1).unwrap(); // 4 blocks x 3 devices
+        p.on_device_loss(&mut s, DeviceId(1));
+        assert_eq!(p.devices(), &[DeviceId(0), DeviceId(2)]);
+        let added = p.on_device_rejoin(&mut s, DeviceId(1));
+        assert_eq!(added, 4, "every live block regains its shard");
+        assert_eq!(p.devices(), &[DeviceId(0), DeviceId(1), DeviceId(2)]);
+        assert_eq!(s.memory_in_use(DeviceId(1)), 4 * 256);
+        p.check_consistent().unwrap();
+        // Rejoining an existing member is a no-op.
+        assert_eq!(p.on_device_rejoin(&mut s, DeviceId(1)), 0);
+        // New growth shards over the widened set again.
+        p.grow(&mut s, 0, 65, 1).unwrap();
+        assert_eq!(s.memory_in_use(DeviceId(1)), 5 * 256);
+        p.release(&mut s, 0);
+        assert!(p.is_empty());
+        assert_eq!(s.memory_in_use(DeviceId(1)), 0);
         assert_eq!(s.memory_double_frees(), 0);
     }
 

@@ -46,6 +46,23 @@ pub trait InferenceEngine {
         let _ = (dead, survivors, sim);
         Vec::new()
     }
+
+    /// A previously lost device was confirmed healthy again (it answered
+    /// probes through the watchdog's quarantine period). The engine must
+    /// replan over `devices` — the full post-rejoin set including
+    /// `rejoined` — and, as with [`InferenceEngine::on_device_loss`],
+    /// return the ids of the in-flight requests it abandoned for the
+    /// caller to resubmit. Engines without elastic re-expansion keep the
+    /// default: change nothing, abandon nothing.
+    fn on_device_rejoin(
+        &mut self,
+        rejoined: DeviceId,
+        devices: &[DeviceId],
+        sim: &mut Simulation,
+    ) -> Vec<u64> {
+        let _ = (rejoined, devices, sim);
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

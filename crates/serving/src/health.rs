@@ -21,6 +21,31 @@
 //! like a dead one, which is the same trade-off a real missed-deadline
 //! watchdog makes. Size the interval against the longest kernel the probe
 //! stream can sit behind.
+//!
+//! # Rejoin confirmation and flap damping
+//!
+//! Confirmation is not final: the monitor keeps probing confirmed devices,
+//! because a transient outage (driver reset, host reboot) ends with the
+//! device answering probes again. To keep a *flapping* device from being
+//! re-planned onto at every oscillation, an answered probe only starts a
+//! *quarantine*: the device must answer [`HealthConfig::rejoin_quarantine`]
+//! consecutive ticks before the monitor un-confirms it and reports a
+//! rejoin. A device that goes silent again mid-quarantine resets the
+//! streak and counts one *flap* — visible in [`HealthMonitor::flaps`] but
+//! never surfaced to the replanner.
+//!
+//! Quarantine alone cannot stop a *slow* oscillator: a live device whose
+//! probes are periodically starved behind a saturated hardware queue (the
+//! false-positive case above) answers every probe once the replanner stops
+//! using it, completes the quarantine, rejoins, and is promptly confirmed
+//! lost again — and every rejoin triggers a full re-expansion replan. The
+//! monitor therefore applies route-flap-style damping: each completed
+//! rejoin doubles the streak that device's *next* rejoin must hold
+//! ([`HealthMonitor::required_streak`]), so repeat offenders re-expand
+//! exponentially more rarely and, in the limit, stay confirmed lost — the
+//! same conservative end state a monitor without rejoin support converges
+//! to in one step. The penalty never decays; a device that genuinely
+//! rejoined proves itself by staying healthy, not by being forgiven.
 
 use liger_gpu_sim::{DeviceId, HostId, SimDuration, Simulation, StreamId, Wake};
 
@@ -36,6 +61,10 @@ pub struct HealthConfig {
     /// Stream index the probes ride on. Keep it off the engine's busy
     /// streams so probes only queue behind other probes.
     pub probe_stream: usize,
+    /// Consecutive ticks a *confirmed* device must answer probes before the
+    /// monitor un-confirms it and reports a rejoin. Higher values damp
+    /// flapping devices harder at the cost of slower re-expansion.
+    pub rejoin_quarantine: u32,
 }
 
 impl Default for HealthConfig {
@@ -44,6 +73,7 @@ impl Default for HealthConfig {
             interval: SimDuration::from_micros(200),
             suspicion_threshold: 2,
             probe_stream: 3,
+            rejoin_quarantine: 3,
         }
     }
 }
@@ -57,6 +87,17 @@ impl HealthConfig {
         )
     }
 
+    /// Worst-case delay between a confirmed device coming back and the
+    /// monitor reporting its *first* rejoin:
+    /// `interval × (rejoin_quarantine + 1)`. Every completed rejoin doubles
+    /// the quarantine for that device (flap damping), so later rejoins take
+    /// proportionally longer — see [`HealthMonitor::required_streak`].
+    pub fn rejoin_bound(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.interval.as_nanos().saturating_mul(self.rejoin_quarantine as u64 + 1),
+        )
+    }
+
     /// Validates the parameters.
     pub fn validate(&self) -> Result<(), String> {
         if self.interval == SimDuration::ZERO {
@@ -64,6 +105,9 @@ impl HealthConfig {
         }
         if self.suspicion_threshold == 0 {
             return Err("suspicion threshold must be >= 1".into());
+        }
+        if self.rejoin_quarantine == 0 {
+            return Err("rejoin quarantine must be >= 1".into());
         }
         Ok(())
     }
@@ -77,14 +121,36 @@ const TICK: u64 = 1 << 48;
 /// wrapping sequence number below.
 const ACK_DEVICE_SHIFT: u64 = 24;
 const SEQ_MASK: u64 = (1 << ACK_DEVICE_SHIFT) - 1;
+/// Cap on the flap-damping doublings: `rejoin_quarantine << 16` ticks is
+/// effectively permanent at any sane interval while keeping the arithmetic
+/// overflow-free.
+const PENALTY_SHIFT_CAP: u32 = 16;
+
+/// Devices whose status changed on one wake: confirmed lost, or confirmed
+/// back after the rejoin quarantine.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HealthEvents {
+    /// Devices newly confirmed lost.
+    pub lost: Vec<DeviceId>,
+    /// Devices that answered probes through the full quarantine and are
+    /// monitored as healthy again.
+    pub rejoined: Vec<DeviceId>,
+}
+
+impl HealthEvents {
+    /// True when the wake changed no device's status.
+    pub fn is_empty(&self) -> bool {
+        self.lost.is_empty() && self.rejoined.is_empty()
+    }
+}
 
 /// Missed-deadline watchdog over a set of devices.
 ///
 /// Host code embeds one in a [`Driver`](liger_gpu_sim::Driver): call
 /// [`start`](Self::start) from the driver's start hook and route every wake
 /// whose token the monitor [`owns`](Self::owns) (plus any wake, harmlessly)
-/// through [`on_wake`](Self::on_wake); the return value lists devices
-/// confirmed lost by that wake.
+/// through [`on_wake`](Self::on_wake); the returned [`HealthEvents`] lists
+/// devices confirmed lost or rejoined by that wake.
 #[derive(Debug)]
 pub struct HealthMonitor {
     config: HealthConfig,
@@ -95,6 +161,21 @@ pub struct HealthMonitor {
     /// Consecutive ticks with unanswered probes, per device.
     suspicion: Vec<u32>,
     confirmed: Vec<bool>,
+    /// Consecutive ticks a *confirmed* device answered its probe — the
+    /// rejoin quarantine progress.
+    healthy_streak: Vec<u32>,
+    /// Completed rejoins per device. Each one doubles the streak the next
+    /// rejoin must hold (route-flap damping), so a device that oscillates
+    /// between confirmed-lost and rejoined — e.g. probes starved behind a
+    /// saturated hardware queue rather than a real outage — re-expands
+    /// exponentially more rarely instead of livelocking the runner in a
+    /// lose/rejoin/replan cycle.
+    rejoin_penalty: Vec<u32>,
+    /// Times a confirmed device answered probes and then went silent again
+    /// before completing the quarantine.
+    flaps: u64,
+    /// Rejoins reported so far.
+    rejoins: u64,
     seq: u64,
     stopped: bool,
 }
@@ -113,6 +194,10 @@ impl HealthMonitor {
             pending: vec![0; n],
             suspicion: vec![0; n],
             confirmed: vec![false; n],
+            healthy_streak: vec![0; n],
+            rejoin_penalty: vec![0; n],
+            flaps: 0,
+            rejoins: 0,
             seq: 0,
             stopped: false,
         }
@@ -136,6 +221,45 @@ impl HealthMonitor {
     /// Whether the monitor has confirmed `device` as lost.
     pub fn is_confirmed(&self, device: DeviceId) -> bool {
         self.index(device).map(|i| self.confirmed[i]).unwrap_or(false)
+    }
+
+    /// Times a confirmed device answered probes and then went silent again
+    /// before completing the rejoin quarantine (damped oscillations).
+    pub fn flaps(&self) -> u64 {
+        self.flaps
+    }
+
+    /// Rejoins reported so far (quarantines completed).
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins
+    }
+
+    /// The healthy streak `device`'s next rejoin must hold:
+    /// `rejoin_quarantine` doubled once per prior rejoin (damping).
+    pub fn required_streak(&self, device: DeviceId) -> u32 {
+        self.index(device)
+            .map(|i| self.required_streak_at(i))
+            .unwrap_or(self.config.rejoin_quarantine)
+    }
+
+    fn required_streak_at(&self, i: usize) -> u32 {
+        let shift = self.rejoin_penalty[i].min(PENALTY_SHIFT_CAP);
+        self.config.rejoin_quarantine.saturating_mul(1u32 << shift)
+    }
+
+    /// Resets all suspicion state for a recovered device: it is monitored
+    /// as healthy again from the next tick, and its next rejoin quarantine
+    /// doubles (flap damping). Called internally when a quarantine
+    /// completes; exposed for drivers that confirm a rejoin through an
+    /// out-of-band channel.
+    pub fn on_rejoin(&mut self, device: DeviceId) {
+        if let Some(i) = self.index(device) {
+            self.confirmed[i] = false;
+            self.suspicion[i] = 0;
+            self.healthy_streak[i] = 0;
+            self.pending[i] = 0;
+            self.rejoin_penalty[i] = self.rejoin_penalty[i].saturating_add(1);
+        }
     }
 
     /// Stops probing; the armed watchdog tick is left to fire and expire.
@@ -170,11 +294,12 @@ impl HealthMonitor {
     }
 
     /// Processes one wake. Probe acknowledgements clear suspicion; watchdog
-    /// ticks raise it for silent devices, send the next probes, and re-arm.
-    /// Returns the devices newly confirmed lost by this wake (usually
-    /// empty, at most all monitored devices).
-    pub fn on_wake(&mut self, wake: &Wake, sim: &mut Simulation) -> Vec<DeviceId> {
-        let mut newly = Vec::new();
+    /// ticks raise it for silent devices, advance the rejoin quarantine of
+    /// confirmed devices that answered, send the next probes, and re-arm.
+    /// Returns the devices whose status changed on this wake (usually
+    /// none).
+    pub fn on_wake(&mut self, wake: &Wake, sim: &mut Simulation) -> HealthEvents {
+        let mut events = HealthEvents::default();
         match *wake {
             Wake::EventFired { token, .. } if self.owns(token) => {
                 let i = ((token & !NAMESPACE_MASK) >> ACK_DEVICE_SHIFT) as usize;
@@ -184,10 +309,33 @@ impl HealthMonitor {
             }
             Wake::Timer { token } if token == self.base | TICK => {
                 if self.stopped {
-                    return newly;
+                    return events;
                 }
                 for i in 0..self.devices.len() {
                     if self.confirmed[i] {
+                        // Rejoin watch: an answered probe advances the
+                        // quarantine; a silent tick after partial progress
+                        // is a damped flap.
+                        if self.pending[i] == 0 {
+                            self.healthy_streak[i] += 1;
+                        } else {
+                            if self.healthy_streak[i] > 0 {
+                                self.flaps += 1;
+                            }
+                            self.healthy_streak[i] = 0;
+                        }
+                        if self.healthy_streak[i] >= self.required_streak_at(i) {
+                            self.on_rejoin(self.devices[i]);
+                            self.rejoins += 1;
+                            events.rejoined.push(self.devices[i]);
+                            self.send_probe(i, sim);
+                            continue;
+                        }
+                        // Probes to a dead device are swallowed, never
+                        // acknowledged — clear the backlog before each
+                        // probe so one answered probe reads as pending 0.
+                        self.pending[i] = 0;
+                        self.send_probe(i, sim);
                         continue;
                     }
                     if self.pending[i] > 0 {
@@ -197,18 +345,21 @@ impl HealthMonitor {
                     }
                     if self.suspicion[i] >= self.config.suspicion_threshold {
                         self.confirmed[i] = true;
-                        newly.push(self.devices[i]);
+                        self.healthy_streak[i] = 0;
+                        events.lost.push(self.devices[i]);
+                        // Keep probing: a transient outage ends with the
+                        // device answering again (see module docs).
+                        self.pending[i] = 0;
+                        self.send_probe(i, sim);
                     } else {
                         self.send_probe(i, sim);
                     }
                 }
-                if !self.confirmed.iter().all(|&c| c) {
-                    self.arm(sim);
-                }
+                self.arm(sim);
             }
             _ => {}
         }
-        newly
+        events
     }
 }
 
@@ -218,10 +369,11 @@ mod tests {
     use liger_gpu_sim::{DeviceSpec, Driver, FaultSpec, HostSpec, SimTime};
 
     /// Drives a monitor alone on a sim until `deadline`, logging
-    /// confirmations with their instants.
+    /// confirmations and rejoins with their instants.
     struct Watch {
         monitor: HealthMonitor,
         confirmed: Vec<(DeviceId, SimTime)>,
+        rejoined: Vec<(DeviceId, SimTime)>,
         deadline: SimTime,
     }
 
@@ -230,8 +382,12 @@ mod tests {
             self.monitor.start(sim);
         }
         fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
-            for d in self.monitor.on_wake(&wake, sim) {
+            let events = self.monitor.on_wake(&wake, sim);
+            for d in events.lost {
                 self.confirmed.push((d, sim.now()));
+            }
+            for d in events.rejoined {
+                self.rejoined.push((d, sim.now()));
             }
             if sim.now() >= self.deadline {
                 self.monitor.stop();
@@ -253,6 +409,7 @@ mod tests {
         Watch {
             monitor: HealthMonitor::new(config, devices, 1 << 62),
             confirmed: Vec::new(),
+            rejoined: Vec::new(),
             deadline: SimTime::from_millis(10),
         }
     }
@@ -287,13 +444,112 @@ mod tests {
     }
 
     #[test]
+    fn a_transient_outage_is_reported_rejoined_within_the_bound() {
+        let config = HealthConfig::default();
+        let death = SimTime::from_micros(700);
+        let back = SimTime::from_micros(2_000);
+        let mut w = watch(2, config);
+        sim(2, FaultSpec::new(1).device_outage(DeviceId(1), death, back)).run_to_completion(&mut w);
+        assert_eq!(w.confirmed.len(), 1, "the outage is confirmed as a loss");
+        assert_eq!(w.confirmed[0].0, DeviceId(1));
+        assert_eq!(w.rejoined.len(), 1, "and later confirmed back");
+        let (d, at) = w.rejoined[0];
+        assert_eq!(d, DeviceId(1));
+        assert!(at > back, "cannot confirm a rejoin before the device is back");
+        assert!(
+            at.saturating_since(back) <= config.rejoin_bound(),
+            "rejoin confirmation took {}, bound is {}",
+            at.saturating_since(back),
+            config.rejoin_bound()
+        );
+        assert!(!w.monitor.is_confirmed(DeviceId(1)), "monitored as healthy again");
+        assert_eq!(w.monitor.rejoins(), 1);
+        assert_eq!(w.monitor.flaps(), 0, "a clean rejoin is not a flap");
+    }
+
+    #[test]
+    fn a_flapping_device_is_damped_not_reported() {
+        // Quarantine of 3 ticks (600us at the default 200us interval); the
+        // device keeps oscillating with 400us-long healthy gaps, so it can
+        // never answer 3 consecutive ticks — every oscillation must be
+        // counted as a flap and no rejoin may surface.
+        let config = HealthConfig::default();
+        let mut f = FaultSpec::new(1);
+        // Oscillate past the 10ms watch deadline so the device never gets a
+        // quiet tail long enough to legitimately rejoin.
+        for k in 0..11u64 {
+            let start = 500 + k * 1_000;
+            f = f.device_outage(
+                DeviceId(1),
+                SimTime::from_micros(start),
+                SimTime::from_micros(start + 600),
+            );
+        }
+        let mut w = watch(2, config);
+        sim(2, f).run_to_completion(&mut w);
+        assert_eq!(w.confirmed.len(), 1, "confirmed lost once, on the first window");
+        assert!(w.rejoined.is_empty(), "flapping never completes the quarantine");
+        assert!(w.monitor.is_confirmed(DeviceId(1)));
+        assert!(w.monitor.flaps() >= 2, "oscillations are counted, got {}", w.monitor.flaps());
+        assert_eq!(w.monitor.rejoins(), 0);
+    }
+
+    #[test]
+    fn a_second_rejoin_needs_a_doubled_quarantine() {
+        // Two clean outage windows: the first rejoin completes at the base
+        // quarantine, which doubles the requirement, so the second rejoin
+        // takes longer than the (first-rejoin) bound — and each completed
+        // rejoin doubles the requirement again.
+        let config = HealthConfig::default();
+        let f = FaultSpec::new(1)
+            .device_outage(DeviceId(1), SimTime::from_micros(700), SimTime::from_micros(2_000))
+            .device_outage(DeviceId(1), SimTime::from_micros(4_000), SimTime::from_micros(5_000));
+        let mut w = watch(2, config);
+        sim(2, f).run_to_completion(&mut w);
+        assert_eq!(w.confirmed.len(), 2, "each window is confirmed as a loss");
+        assert_eq!(w.rejoined.len(), 2, "and each ends in a rejoin");
+        let first = w.rejoined[0].1.saturating_since(SimTime::from_micros(2_000));
+        let second = w.rejoined[1].1.saturating_since(SimTime::from_micros(5_000));
+        assert!(first <= config.rejoin_bound());
+        assert!(
+            second > config.rejoin_bound(),
+            "damped second rejoin took only {second}, bound is {}",
+            config.rejoin_bound()
+        );
+        assert_eq!(
+            w.monitor.required_streak(DeviceId(1)),
+            config.rejoin_quarantine * 4,
+            "two completed rejoins double the quarantine twice"
+        );
+    }
+
+    #[test]
+    fn on_rejoin_resets_suspicion_out_of_band() {
+        let mut m = HealthMonitor::new(HealthConfig::default(), vec![DeviceId(0)], 1 << 62);
+        m.confirmed[0] = true;
+        m.suspicion[0] = 5;
+        m.pending[0] = 3;
+        m.healthy_streak[0] = 1;
+        m.on_rejoin(DeviceId(0));
+        assert!(!m.is_confirmed(DeviceId(0)));
+        assert_eq!(m.suspicion(DeviceId(0)), 0);
+        m.on_rejoin(DeviceId(7)); // unknown devices are ignored
+    }
+
+    #[test]
     fn detection_bound_formula() {
         let c = HealthConfig {
             interval: SimDuration::from_micros(100),
             suspicion_threshold: 3,
-            probe_stream: 3,
+            ..HealthConfig::default()
         };
         assert_eq!(c.detection_bound(), SimDuration::from_micros(400));
+        let q = HealthConfig {
+            interval: SimDuration::from_micros(100),
+            rejoin_quarantine: 4,
+            ..HealthConfig::default()
+        };
+        assert_eq!(q.rejoin_bound(), SimDuration::from_micros(500));
     }
 
     #[test]
@@ -303,6 +559,7 @@ mod tests {
             .validate()
             .is_err());
         assert!(HealthConfig { suspicion_threshold: 0, ..Default::default() }.validate().is_err());
+        assert!(HealthConfig { rejoin_quarantine: 0, ..Default::default() }.validate().is_err());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use generation::{
     serve_generations, serve_generations_on, GenerationJob, GenerationMetrics, GenerationResult,
     GenerationRunner,
 };
-pub use health::{HealthConfig, HealthMonitor};
+pub use health::{HealthConfig, HealthEvents, HealthMonitor};
 pub use metrics::{
     BatchingCounters, FaultCounters, PrefixCounters, RecoveryCounters, ServingMetrics, SpecCounters,
 };

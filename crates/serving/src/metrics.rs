@@ -48,6 +48,13 @@ pub struct RecoveryCounters {
     pub shed: Vec<ShedRecord>,
     /// Phase-transition log: `(phase label, instant)` per transition.
     pub timeline: Vec<(&'static str, SimTime)>,
+    /// Partial recoveries the watchdog damped: a suspect device answered
+    /// probes again but fell silent before clearing quarantine.
+    pub flaps: u64,
+    /// Watchdog-confirmed rejoins (full quarantine of healthy probes).
+    pub rejoins: u64,
+    /// Completed re-expansions back onto a rejoined device.
+    pub re_expansions: u64,
 }
 
 impl RecoveryCounters {
@@ -398,7 +405,10 @@ impl liger_gpu_sim::ToJson for RecoveryCounters {
             .field("drain_time_ns", &self.drain_time)
             .field("replan_time_ns", &self.replan_time)
             .field("recompute_tokens", &self.recompute_tokens)
-            .field("shed_requests", &self.shed_requests());
+            .field("shed_requests", &self.shed_requests())
+            .field("flaps", &self.flaps)
+            .field("rejoins", &self.rejoins)
+            .field("re_expansions", &self.re_expansions);
         obj.end();
     }
 }
@@ -519,12 +529,18 @@ mod tests {
             reason: crate::admission::ShedReason::QueueDepth,
         });
         m.recovery_mut().timeline.push(("draining", SimTime::from_micros(3)));
+        m.recovery_mut().flaps = 3;
+        m.recovery_mut().rejoins = 2;
+        m.recovery_mut().re_expansions = 1;
         assert_eq!(m.recovery().shed_requests(), 1);
         assert_eq!(m.recovery_timeline(), &[("draining", SimTime::from_micros(3))]);
         use liger_gpu_sim::ToJson;
         let json = m.to_json();
         assert!(json.contains("\"losses\":1"));
         assert!(json.contains("\"shed_requests\":1"));
+        assert!(json.contains("\"flaps\":3"));
+        assert!(json.contains("\"rejoins\":2"));
+        assert!(json.contains("\"re_expansions\":1"));
     }
 
     #[test]

@@ -34,11 +34,11 @@ use liger_gpu_sim::{
     CoreSelect, DeviceId, Driver, HostId, KernelSpec, SimDuration, SimTime, Simulation, StreamId,
     Wake,
 };
-use liger_model::{kv_recovery_plan, CostModel, ModelConfig, RecoveryPolicy};
+use liger_model::{kv_recovery_plan, CostModel, LayerOp, ModelConfig, RecoveryPolicy};
 
-use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
 use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
-use crate::health::{HealthConfig, HealthMonitor};
+use crate::health::{HealthConfig, HealthEvents, HealthMonitor};
 use crate::metrics::ServingMetrics;
 use crate::request::{Completion, Request};
 
@@ -51,6 +51,10 @@ const DRAIN_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 56);
 
 /// KV-recovery completion token.
 const RECOVERED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 55);
+
+/// Re-expansion completion token (the rejoined device is warm and the KV
+/// migrate/recompute work has drained).
+const EXPANDED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 53);
 
 /// Engine streams the drain barrier covers (the Liger engine launches on
 /// streams 0 and 1; probes ride elsewhere).
@@ -88,6 +92,9 @@ pub enum RecoveryPhase {
     Recovering,
     /// Serving again on reduced capacity.
     Degraded,
+    /// A quarantined device rejoined; the engine has replanned onto the
+    /// wider set and the warmup + KV migrate/recompute work is running.
+    Expanding,
 }
 
 impl RecoveryPhase {
@@ -98,8 +105,17 @@ impl RecoveryPhase {
             RecoveryPhase::Draining => "draining",
             RecoveryPhase::Recovering => "recovering",
             RecoveryPhase::Degraded => "degraded",
+            RecoveryPhase::Expanding => "expanding",
         }
     }
+}
+
+/// A watchdog-confirmed status change queued behind an in-progress
+/// recovery or expansion, in confirmation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PendingChange {
+    Loss(DeviceId),
+    Rejoin(DeviceId),
 }
 
 /// Serving driver with health monitoring, drain-and-replan device-loss
@@ -124,15 +140,27 @@ pub struct RecoveryRunner<'a, E: InferenceEngine + ?Sized> {
     deferred: VecDeque<u64>,
     /// Cancelled in-flight ids whose KV must be recovered.
     lost: Vec<u64>,
-    /// Losses confirmed while a recovery was already in progress.
-    pending_losses: VecDeque<DeviceId>,
+    /// Status changes confirmed while a recovery or expansion was already
+    /// in progress, replayed strictly in confirmation order. Stale entries
+    /// are never dropped: even if a lost device has since rejoined, the
+    /// engine's in-flight work died with it and must still be replanned.
+    pending_changes: VecDeque<PendingChange>,
     /// Oracle death instants from [`Wake::DeviceDown`], for the
     /// detection-latency metric only.
     ground_truth: Vec<(DeviceId, SimTime)>,
     survivors: Vec<DeviceId>,
+    /// The serving world: devices the engine is currently planned over.
+    /// Distinct from `Simulation::alive_devices` — a device whose outage
+    /// window closed is sim-alive while it still sits in rejoin quarantine,
+    /// and joins this set only on a watchdog-confirmed rejoin.
+    world: Vec<DeviceId>,
     drain_pending: usize,
     drain_started: SimTime,
     recover_started: SimTime,
+    expand_started: SimTime,
+    /// World size at start; reaching it again on expansion restores
+    /// [`RecoveryPhase::Normal`].
+    full_world: usize,
 }
 
 impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
@@ -161,23 +189,37 @@ impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
             done,
             deferred: VecDeque::new(),
             lost: Vec::new(),
-            pending_losses: VecDeque::new(),
+            pending_changes: VecDeque::new(),
             ground_truth: Vec::new(),
             survivors: Vec::new(),
+            world: Vec::new(),
             drain_pending: 0,
             drain_started: SimTime::ZERO,
             recover_started: SimTime::ZERO,
+            expand_started: SimTime::ZERO,
+            full_world: 0,
         }
     }
 
     /// The collected metrics (complete once the simulation has stopped).
-    pub fn into_metrics(self) -> ServingMetrics {
+    pub fn into_metrics(mut self) -> ServingMetrics {
+        if let Some(m) = &self.monitor {
+            let rec = self.metrics.recovery_mut();
+            rec.flaps = m.flaps();
+            rec.rejoins = m.rejoins();
+        }
         self.metrics
     }
 
     /// Current state-machine phase.
     pub fn phase(&self) -> RecoveryPhase {
         self.phase
+    }
+
+    /// Live view of the metrics accumulated so far (health-monitor counters
+    /// are only folded in by [`into_metrics`](Self::into_metrics)).
+    pub fn metrics(&self) -> &ServingMetrics {
+        &self.metrics
     }
 
     fn owns_health(&self, token: u64) -> bool {
@@ -200,10 +242,172 @@ impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
         }
         match self.phase {
             RecoveryPhase::Normal | RecoveryPhase::Degraded => self.handle_loss(dead, sim),
-            RecoveryPhase::Draining | RecoveryPhase::Recovering => {
-                self.pending_losses.push_back(dead);
+            RecoveryPhase::Draining | RecoveryPhase::Recovering | RecoveryPhase::Expanding => {
+                self.pending_changes.push_back(PendingChange::Loss(dead));
             }
         }
+    }
+
+    /// A watchdog-confirmed rejoin (the device answered probes through the
+    /// full quarantine): either re-expand now or queue behind the change in
+    /// progress. A device that has already died again is dropped here — the
+    /// watchdog will confirm the fresh loss on its own.
+    fn confirm_rejoin(&mut self, device: DeviceId, sim: &mut Simulation) {
+        match self.phase {
+            RecoveryPhase::Normal | RecoveryPhase::Degraded => {
+                if sim.alive_devices().contains(&device) {
+                    self.handle_rejoin(device, sim);
+                }
+            }
+            RecoveryPhase::Draining | RecoveryPhase::Recovering | RecoveryPhase::Expanding => {
+                self.pending_changes.push_back(PendingChange::Rejoin(device));
+            }
+        }
+    }
+
+    /// Replay the oldest queued status change, skipping rejoins whose
+    /// device has died again in the meantime. Queued losses are never
+    /// skipped: the engine's in-flight work died with the device even if
+    /// it is alive again now.
+    fn pop_pending(&mut self, sim: &mut Simulation) {
+        while let Some(change) = self.pending_changes.pop_front() {
+            match change {
+                PendingChange::Loss(dead) => {
+                    self.handle_loss(dead, sim);
+                    return;
+                }
+                PendingChange::Rejoin(device) => {
+                    if sim.alive_devices().contains(&device) {
+                        self.handle_rejoin(device, sim);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-expansion: the engine replans onto the widened set, the cancelled
+    /// work's KV is either migrated back or recomputed (whichever the cost
+    /// model prices cheaper, per request), and the rejoined device reloads
+    /// its weight shard before anything else lands on it.
+    fn handle_rejoin(&mut self, rejoined: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        if self.world.contains(&rejoined) {
+            return; // duplicate confirmation; already serving
+        }
+        self.set_phase(RecoveryPhase::Expanding, now);
+        self.expand_started = now;
+        // Widen by exactly the confirmed device: other sim-alive devices
+        // may still be in quarantine and join only on their own rejoin.
+        self.world.push(rejoined);
+        self.world.sort_unstable_by_key(|d| d.0);
+        // Plan only over sim-alive members: one may have died again with
+        // its loss not yet confirmed, and work placed on it would vanish.
+        let alive = sim.alive_devices();
+        let devices: Vec<DeviceId> =
+            self.world.iter().copied().filter(|d| alive.contains(d)).collect();
+        let ways = devices.len() as u32;
+        // KV for in-flight work currently lives on the narrower pre-rejoin
+        // placement; those devices hold the copies a migrate would source.
+        let holders = (devices.len() - 1).max(1) as u32;
+        let mut cancelled = self.engine.on_device_rejoin(rejoined, &devices, sim);
+        cancelled.sort_unstable();
+        cancelled.retain(|&id| !self.done[id as usize]);
+        for &id in cancelled.iter().rev() {
+            self.deferred.push_front(id);
+        }
+        // Price each cancelled request's KV both ways and take the cheaper:
+        // migrate the live shards onto the wider placement, or recompute
+        // them there from the prompt.
+        let mut migrate = SimDuration::ZERO;
+        let mut recompute = SimDuration::ZERO;
+        let mut tokens = 0u64;
+        for &id in &cancelled {
+            let shape = self.requests[id as usize].shape;
+            let mig = kv_recovery_plan(
+                self.model,
+                self.cost,
+                RecoveryPolicy::Replicate,
+                ways,
+                holders,
+                shape.batch,
+                shape.phase.kv_len(),
+            );
+            let rec = kv_recovery_plan(
+                self.model,
+                self.cost,
+                RecoveryPolicy::Recompute,
+                ways,
+                ways,
+                shape.batch,
+                shape.phase.kv_len(),
+            );
+            if rec.duration < mig.duration {
+                recompute += rec.duration;
+                tokens += rec.recompute_tokens;
+            } else {
+                migrate += mig.duration;
+            }
+        }
+        self.metrics.recovery_mut().recompute_tokens += tokens;
+        let dev = HostId(rejoined.0);
+        let stream = StreamId::new(rejoined, 0);
+        // Warm the rejoined device first: its weight shard travels over the
+        // interconnect before any KV or serving kernel may land on it.
+        let warm = self
+            .cost
+            .op_time(&LayerOp::P2p { bytes: self.model.weight_bytes() / u64::from(ways.max(1)) });
+        sim.launch(dev, stream, KernelSpec::comm("rejoin-warmup", warm));
+        if migrate > SimDuration::ZERO {
+            sim.launch(dev, stream, KernelSpec::comm("kv-expand-migrate", migrate));
+        }
+        if recompute > SimDuration::ZERO {
+            sim.launch(dev, stream, KernelSpec::compute("kv-expand-recompute", recompute));
+        }
+        let ev = sim.record_event(dev, stream);
+        sim.notify_on_event(ev, dev, EXPANDED_TOKEN);
+    }
+
+    /// The rejoined device is warm: re-admit what was shed for queue depth
+    /// while degraded, resubmit the backlog, and return to full-capacity
+    /// serving (or degraded, if other devices are still out).
+    fn finish_expansion(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        {
+            let done = &self.done;
+            let rec = self.metrics.recovery_mut();
+            rec.replan_time += now.saturating_since(self.expand_started);
+            rec.re_expansions += 1;
+            // Capacity is back: un-shed queue-depth victims and fold them
+            // into the backlog. KV-exhaustion sheds stay final.
+            let mut readmitted = Vec::new();
+            rec.shed.retain(|s| {
+                if s.reason == ShedReason::QueueDepth && done[s.id as usize] {
+                    readmitted.push(s.id);
+                    false
+                } else {
+                    true
+                }
+            });
+            for id in readmitted {
+                self.done[id as usize] = false;
+                self.outstanding += 1;
+                self.deferred.push_back(id);
+            }
+        }
+        // Re-admitted sheds are older than deferred arrivals; restore
+        // arrival order before resubmitting.
+        let mut backlog: Vec<u64> = std::mem::take(&mut self.deferred).into();
+        backlog.sort_unstable();
+        backlog.dedup();
+        let all_back = self.world.len() == self.full_world;
+        self.set_phase(if all_back { RecoveryPhase::Normal } else { RecoveryPhase::Degraded }, now);
+        for id in backlog {
+            if !self.done[id as usize] {
+                self.engine.submit(self.requests[id as usize], sim);
+            }
+        }
+        self.pop_pending(sim);
     }
 
     /// Drain-and-replan: the engine abandons its work and replans over the
@@ -211,10 +415,26 @@ impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
     /// transition to KV recovery.
     fn handle_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
         let now = sim.now();
+        // Only serving-world members can be lost: a device that died again
+        // while quarantining holds no serving state, and condemning the
+        // only member (a false positive under congestion) is unactionable.
+        if !self.world.contains(&dead) {
+            return;
+        }
+        // Survivors must also be sim-alive: a world member that has died
+        // again (its own loss not yet confirmed) cannot host drain-barrier
+        // records — dead devices drop them, and the drain would never
+        // complete. Its confirmation will run its own drain later.
+        let alive = sim.alive_devices();
+        let survivors: Vec<DeviceId> =
+            self.world.iter().copied().filter(|&d| d != dead && alive.contains(&d)).collect();
+        if survivors.is_empty() {
+            return;
+        }
         self.set_phase(RecoveryPhase::Draining, now);
         self.drain_started = now;
-        self.survivors = sim.alive_devices().into_iter().filter(|&d| d != dead).collect::<Vec<_>>();
-        assert!(!self.survivors.is_empty(), "no surviving device to replan onto");
+        self.survivors = survivors;
+        self.world.retain(|&d| d != dead);
         let mut cancelled = self.engine.on_device_loss(dead, &self.survivors, sim);
         cancelled.sort_unstable();
         cancelled.retain(|&id| !self.done[id as usize]);
@@ -307,9 +527,7 @@ impl<'a, E: InferenceEngine + ?Sized> RecoveryRunner<'a, E> {
                 self.engine.submit(self.requests[id as usize], sim);
             }
         }
-        if let Some(dead) = self.pending_losses.pop_front() {
-            self.handle_loss(dead, sim);
-        }
+        self.pop_pending(sim);
     }
 
     fn collect(&mut self, sim: &mut Simulation) {
@@ -339,6 +557,8 @@ impl<E: InferenceEngine + ?Sized> Driver for RecoveryRunner<'_, E> {
             self.requests.len() < (1u64 << 55) as usize,
             "request count overflows the recovery-runner token namespace"
         );
+        self.full_world = sim.alive_devices().len();
+        self.world = sim.alive_devices();
         let mut monitor = HealthMonitor::new(self.config.health, sim.alive_devices(), HEALTH_BASE);
         monitor.start(sim);
         self.monitor = Some(monitor);
@@ -359,12 +579,15 @@ impl<E: InferenceEngine + ?Sized> Driver for RecoveryRunner<'_, E> {
 
     fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
         // The monitor inspects every wake; confirmations come back here.
-        let confirmed = match &mut self.monitor {
+        let events = match &mut self.monitor {
             Some(m) => m.on_wake(&wake, sim),
-            None => Vec::new(),
+            None => HealthEvents::default(),
         };
-        for dead in confirmed {
+        for dead in events.lost {
             self.confirm_loss(dead, sim);
+        }
+        for device in events.rejoined {
+            self.confirm_rejoin(device, sim);
         }
         match wake {
             // Oracle knowledge: logged for the detection-latency metric,
@@ -385,6 +608,11 @@ impl<E: InferenceEngine + ?Sized> Driver for RecoveryRunner<'_, E> {
                     self.finish_recovery(sim);
                 }
             }
+            Wake::EventFired { token, .. } if token == EXPANDED_TOKEN => {
+                if self.phase == RecoveryPhase::Expanding {
+                    self.finish_expansion(sim);
+                }
+            }
             Wake::Timer { token } if token & RUNNER_TOKEN_BASE != 0 => {
                 let id = (token & !RUNNER_TOKEN_BASE) as usize;
                 if let Some(next) = self.requests.get(id + 1) {
@@ -394,8 +622,11 @@ impl<E: InferenceEngine + ?Sized> Driver for RecoveryRunner<'_, E> {
                     RecoveryPhase::Normal | RecoveryPhase::Degraded => {
                         self.engine.submit(self.requests[id], sim);
                     }
-                    // Mid-recovery arrivals wait out the replan.
-                    RecoveryPhase::Draining | RecoveryPhase::Recovering => {
+                    // Mid-recovery and mid-expansion arrivals wait out the
+                    // replan.
+                    RecoveryPhase::Draining
+                    | RecoveryPhase::Recovering
+                    | RecoveryPhase::Expanding => {
                         self.deferred.push_back(id as u64);
                     }
                 }
@@ -513,6 +744,19 @@ mod tests {
             ids.sort_unstable();
             ids
         }
+        fn on_device_rejoin(
+            &mut self,
+            _rejoined: DeviceId,
+            devices: &[DeviceId],
+            _sim: &mut Simulation,
+        ) -> Vec<u64> {
+            self.epoch += 1;
+            self.devices = devices.to_vec();
+            self.next = 0;
+            let mut ids = std::mem::take(&mut self.inflight);
+            ids.sort_unstable();
+            ids
+        }
     }
 
     fn sim(world: usize, faults: FaultSpec) -> Simulation {
@@ -620,5 +864,74 @@ mod tests {
     fn empty_trace_stops_immediately() {
         let m = run(2, FaultSpec::new(1), Vec::new(), RecoveryConfig::default());
         assert_eq!(m.completed(), 0);
+    }
+
+    #[test]
+    fn a_windowed_outage_rejoins_and_re_expands_to_normal() {
+        let faults = FaultSpec::new(1).device_outage(
+            DeviceId(2),
+            SimTime::from_micros(500),
+            SimTime::from_micros(3000),
+        );
+        let m = run(3, faults, trace(40, 150), RecoveryConfig::default());
+        assert_eq!(m.recovery().losses, 1, "the outage is confirmed as a loss");
+        assert_eq!(m.recovery().rejoins, 1, "the rejoin clears quarantine once");
+        assert_eq!(m.recovery().re_expansions, 1, "one re-expansion back to full world");
+        assert_eq!(m.completed(), 40, "nothing is lost across the outage");
+        let labels: Vec<&str> = m.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels, vec!["draining", "recovering", "degraded", "expanding", "normal"]);
+    }
+
+    #[test]
+    fn re_expansion_readmits_queue_depth_shed_requests() {
+        let config = RecoveryConfig {
+            admission: AdmissionConfig { queue_watermark: 1 },
+            ..RecoveryConfig::default()
+        };
+        let faults = FaultSpec::new(1).device_outage(
+            DeviceId(2),
+            SimTime::from_micros(300),
+            SimTime::from_micros(3000),
+        );
+        let m = run(3, faults, trace(60, 100), config);
+        assert_eq!(m.recovery().re_expansions, 1);
+        // The degraded window shed for queue depth, but the rejoin brought
+        // the capacity back: every shed request was re-admitted and ran.
+        assert_eq!(m.recovery().shed_requests(), 0, "queue-depth sheds were re-admitted");
+        assert_eq!(m.completed(), 60);
+    }
+
+    #[test]
+    fn a_flap_shorter_than_quarantine_is_damped() {
+        // Up for only 200us between two outages: one healthy tick, then
+        // silence again — never enough for the 3-tick quarantine.
+        let faults = FaultSpec::new(1)
+            .device_outage(DeviceId(1), SimTime::from_micros(500), SimTime::from_micros(1700))
+            .device_down(DeviceId(1), SimTime::from_micros(1900));
+        let m = run(2, faults, trace(30, 100), RecoveryConfig::default());
+        assert_eq!(m.recovery().losses, 1, "the flap never cleared quarantine");
+        assert_eq!(m.recovery().rejoins, 0);
+        assert_eq!(m.recovery().re_expansions, 0);
+        assert!(m.recovery().flaps >= 1, "the partial recovery is counted as a flap");
+        assert_eq!(m.completed() + m.recovery().shed_requests() as usize, 30);
+    }
+
+    #[test]
+    fn a_second_loss_during_drain_queues_and_both_replans_run() {
+        // Device 2 dies at 500us; device 1 dies at 700us, confirmed while
+        // the first loss is still draining/recovering. The queued loss must
+        // replay afterwards without hanging or double-handling.
+        let faults = FaultSpec::new(1)
+            .device_down(DeviceId(2), SimTime::from_micros(500))
+            .device_down(DeviceId(1), SimTime::from_micros(700));
+        let m = run(3, faults, trace(30, 100), RecoveryConfig::default());
+        assert_eq!(m.recovery().losses, 2, "both losses are confirmed");
+        let labels: Vec<&str> = m.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert_eq!(
+            labels.iter().filter(|&&l| l == "draining").count(),
+            2,
+            "each loss runs its own drain: {labels:?}"
+        );
+        assert_eq!(m.completed() + m.recovery().shed_requests() as usize, 30);
     }
 }

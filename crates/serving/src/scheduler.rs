@@ -39,17 +39,19 @@ use liger_gpu_sim::{
     Wake,
 };
 use liger_kvcache::{BlockPool, BlockPoolConfig, PrefixAdmit};
-use liger_model::{kv_recovery_plan, spec_draft_time, CostModel, ModelConfig, RecoveryPolicy};
+use liger_model::{
+    kv_recovery_plan, spec_draft_time, CostModel, LayerOp, ModelConfig, RecoveryPolicy,
+};
 
 use crate::admission::{AdmissionConfig, AdmissionController, ShedReason, ShedRecord};
 use crate::engine::{InferenceEngine, RUNNER_TOKEN_BASE};
 #[allow(unused_imports)] // doc link
 use crate::generation::serve_generations;
 use crate::generation::{GenerationJob, GenerationMetrics, GenerationResult};
-use crate::health::{HealthConfig, HealthMonitor};
+use crate::health::{HealthConfig, HealthEvents, HealthMonitor};
 use crate::metrics::ServingMetrics;
 use crate::prefix::{block_digests, output_token, SpecDecodeConfig};
-use crate::recovery::RecoveryPhase;
+use crate::recovery::{PendingChange, RecoveryPhase};
 use crate::request::{Completion, Request};
 
 /// Token base handed to the health monitor (bit 63 = runner namespace,
@@ -61,6 +63,10 @@ const DRAIN_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 56);
 
 /// KV-recovery completion token.
 const RECOVERED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 55);
+
+/// Re-expansion completion token (the rejoined device is warm and the KV
+/// migrate/recompute work has drained).
+const EXPANDED_TOKEN: u64 = RUNNER_TOKEN_BASE | (1 << 53);
 
 /// Draft-burst timer namespace (bit 54); the low bits carry the round's
 /// epoch so a timer set before a device loss cannot trigger a stale
@@ -247,12 +253,16 @@ pub struct ContinuousScheduler<'a, E: InferenceEngine + ?Sized> {
     done: Vec<bool>,
 
     /// Recovery state (mirrors `RecoveryRunner`).
-    pending_losses: VecDeque<DeviceId>,
+    pending_changes: VecDeque<PendingChange>,
     ground_truth: Vec<(DeviceId, SimTime)>,
     survivors: Vec<DeviceId>,
     drain_pending: usize,
     drain_started: SimTime,
     recover_started: SimTime,
+    expand_started: SimTime,
+    /// World size at start; reaching it again on expansion restores
+    /// [`RecoveryPhase::Normal`].
+    full_world: usize,
 }
 
 impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
@@ -295,17 +305,24 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
             serving: ServingMetrics::new(),
             outstanding,
             done,
-            pending_losses: VecDeque::new(),
+            pending_changes: VecDeque::new(),
             ground_truth: Vec::new(),
             survivors: Vec::new(),
             drain_pending: 0,
             drain_started: SimTime::ZERO,
             recover_started: SimTime::ZERO,
+            expand_started: SimTime::ZERO,
+            full_world: 0,
         }
     }
 
     /// The collected report (complete once the simulation has stopped).
-    pub fn into_report(self) -> ContinuousReport {
+    pub fn into_report(mut self) -> ContinuousReport {
+        if let Some(m) = &self.monitor {
+            let rec = self.serving.recovery_mut();
+            rec.flaps = m.flaps();
+            rec.rejoins = m.rejoins();
+        }
         ContinuousReport {
             generation: self.generation,
             serving: self.serving,
@@ -747,7 +764,10 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
                 // The full prompt's KV is now resident: publish its block
                 // chain for later arrivals to adopt (single-row only; the
                 // cache holds its own reference on every indexed block).
-                if self.config.prefix_cache {
+                // Mid-replan completions never republish — a chain indexed
+                // before the rejoined device is warm would hand out blocks
+                // with an unfilled shard.
+                if self.config.prefix_cache && self.serving_phase() {
                     let (job, rows) = {
                         let s = &self.states[&id];
                         (s.job, s.job.batch)
@@ -809,10 +829,196 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         }
         match self.phase {
             RecoveryPhase::Normal | RecoveryPhase::Degraded => self.handle_loss(dead, sim),
-            RecoveryPhase::Draining | RecoveryPhase::Recovering => {
-                self.pending_losses.push_back(dead);
+            RecoveryPhase::Draining | RecoveryPhase::Recovering | RecoveryPhase::Expanding => {
+                self.pending_changes.push_back(PendingChange::Loss(dead));
             }
         }
+    }
+
+    /// A watchdog-confirmed rejoin: re-expand now or queue behind the
+    /// change in progress. A device that has already died again is dropped
+    /// here — the watchdog will confirm the fresh loss on its own.
+    fn confirm_rejoin(&mut self, device: DeviceId, sim: &mut Simulation) {
+        match self.phase {
+            RecoveryPhase::Normal | RecoveryPhase::Degraded => {
+                if sim.alive_devices().contains(&device) {
+                    self.handle_rejoin(device, sim);
+                }
+            }
+            RecoveryPhase::Draining | RecoveryPhase::Recovering | RecoveryPhase::Expanding => {
+                self.pending_changes.push_back(PendingChange::Rejoin(device));
+            }
+        }
+    }
+
+    /// Replay the oldest queued status change, skipping rejoins whose
+    /// device has died again in the meantime. Queued losses are never
+    /// skipped: the engine's in-flight work died with the device even if
+    /// it is alive again now.
+    fn pop_pending(&mut self, sim: &mut Simulation) {
+        while let Some(change) = self.pending_changes.pop_front() {
+            match change {
+                PendingChange::Loss(dead) => {
+                    self.handle_loss(dead, sim);
+                    return;
+                }
+                PendingChange::Rejoin(device) => {
+                    if sim.alive_devices().contains(&device) {
+                        self.handle_rejoin(device, sim);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-expansion onto a rejoined device: the engine replans over the
+    /// widened set, the pool resumes sharding across it, running sequences'
+    /// KV is migrated back or recomputed (whichever prices cheaper per
+    /// sequence), and the device reloads its weight shard before anything
+    /// else lands on it. Cached prefix chains are flushed and republish
+    /// only once serving resumes on the warm placement.
+    fn handle_rejoin(&mut self, rejoined: DeviceId, sim: &mut Simulation) {
+        let now = sim.now();
+        if self.pool.devices().contains(&rejoined) {
+            return; // duplicate confirmation; already serving
+        }
+        self.set_phase(RecoveryPhase::Expanding, now);
+        self.expand_started = now;
+        // Widen by exactly the confirmed device: other sim-alive devices
+        // may still be in quarantine and join only on their own rejoin.
+        // Plan only over sim-alive members — one may have died again with
+        // its loss not yet confirmed, and work placed on it would vanish.
+        let alive = sim.alive_devices();
+        let mut devices: Vec<DeviceId> =
+            self.pool.devices().iter().copied().filter(|d| alive.contains(d)).collect();
+        devices.push(rejoined);
+        devices.sort_unstable_by_key(|d| d.0);
+        let ways = devices.len() as u32;
+        let holders = (devices.len() - 1).max(1) as u32;
+        let cancelled = self.engine.on_device_rejoin(rejoined, &devices, sim);
+        // Chains published on the narrower placement have no shard on the
+        // rejoined device; drop the index rather than serve them short.
+        let flushed = self.pool.flush_prefix_cache(sim);
+        self.serving.prefix_mut().flushed_blocks += flushed;
+        // An in-flight speculative round dies with the replan, exactly as
+        // on a loss: roll members back to their verified span and
+        // invalidate the draft timer.
+        if let Some(round) = self.spec_pending.take() {
+            self.spec_epoch += 1;
+            for (id, _) in round.members {
+                if let Some(s) = self.states.get(&id) {
+                    let cached = s.cached_tokens();
+                    let dropped = self.pool.truncate(sim, id, cached);
+                    self.serving.spec_mut().rollback_blocks += dropped;
+                }
+            }
+        }
+        // Now widen the pool: every live block gains a backing page on the
+        // rejoined device, filled by the migrate/recompute work below.
+        self.pool.on_device_rejoin(sim, rejoined);
+        // Cancelled prefills replay from the front of the queue; a
+        // cancelled decode step re-forms once serving resumes.
+        let mut requeue: Vec<u64> = Vec::new();
+        for rid in cancelled {
+            if let Some((id, charged)) = self.prefill_inflight.remove(&rid) {
+                self.prefill_tokens_inflight = self.prefill_tokens_inflight.saturating_sub(charged);
+                self.pool.release(sim, id);
+                requeue.push(id);
+            } else if self.decode_inflight.as_ref().is_some_and(|&(d, _)| d == rid) {
+                self.decode_inflight = None;
+            }
+        }
+        requeue.sort_unstable();
+        for &id in requeue.iter().rev() {
+            self.waiting.push_front(id);
+        }
+        // Price each running sequence's KV both ways and take the cheaper:
+        // migrate the live shards onto the wider placement, or recompute
+        // them there from the prompt.
+        let mut migrate = SimDuration::ZERO;
+        let mut recompute = SimDuration::ZERO;
+        let mut tokens = 0u64;
+        for &id in &self.running {
+            let s = &self.states[&id];
+            let mig = kv_recovery_plan(
+                self.model,
+                self.cost,
+                RecoveryPolicy::Replicate,
+                ways,
+                holders,
+                s.job.batch,
+                s.cached_tokens(),
+            );
+            let rec = kv_recovery_plan(
+                self.model,
+                self.cost,
+                RecoveryPolicy::Recompute,
+                ways,
+                ways,
+                s.job.batch,
+                s.cached_tokens(),
+            );
+            if rec.duration < mig.duration {
+                recompute += rec.duration;
+                tokens += rec.recompute_tokens;
+            } else {
+                migrate += mig.duration;
+            }
+        }
+        self.serving.recovery_mut().recompute_tokens += tokens;
+        let dev = HostId(rejoined.0);
+        let stream = StreamId::new(rejoined, 0);
+        // Warm the rejoined device first: its weight shard travels over
+        // the interconnect before any KV or serving kernel may land on it.
+        let warm = self
+            .cost
+            .op_time(&LayerOp::P2p { bytes: self.model.weight_bytes() / u64::from(ways.max(1)) });
+        sim.launch(dev, stream, KernelSpec::comm("rejoin-warmup", warm));
+        if migrate > SimDuration::ZERO {
+            sim.launch(dev, stream, KernelSpec::comm("kv-expand-migrate", migrate));
+        }
+        if recompute > SimDuration::ZERO {
+            sim.launch(dev, stream, KernelSpec::compute("kv-expand-recompute", recompute));
+        }
+        let ev = sim.record_event(dev, stream);
+        sim.notify_on_event(ev, dev, EXPANDED_TOKEN);
+    }
+
+    /// The rejoined device is warm: re-admit queue-depth shed jobs (the
+    /// capacity that forced them out is back), resume the scheduling loop
+    /// at full (or less-degraded) capacity.
+    fn finish_expansion(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        let mut readmitted = Vec::new();
+        {
+            let done = &self.done;
+            let rec = self.serving.recovery_mut();
+            rec.replan_time += now.saturating_since(self.expand_started);
+            rec.re_expansions += 1;
+            rec.shed.retain(|s| {
+                if s.reason == ShedReason::QueueDepth && done[s.id as usize] {
+                    readmitted.push(s.id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Shed jobs predate everything still waiting (they were shed oldest
+        // first): push to the front in reverse so FCFS order holds.
+        readmitted.sort_unstable();
+        for &id in readmitted.iter().rev() {
+            self.done[id as usize] = false;
+            self.outstanding += 1;
+            let job = self.jobs[id as usize];
+            self.states.insert(id, SeqState { job, first_token: None, steps_done: 0 });
+            self.waiting.push_front(id);
+        }
+        let all_back = self.pool.devices().len() == self.full_world;
+        self.set_phase(if all_back { RecoveryPhase::Normal } else { RecoveryPhase::Degraded }, now);
+        self.pump(sim);
+        self.pop_pending(sim);
     }
 
     /// Drain-and-replan: the engine abandons its work, the pool frees the
@@ -820,10 +1026,36 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
     /// partial KV is gone), and barrier events gate the KV recovery.
     fn handle_loss(&mut self, dead: DeviceId, sim: &mut Simulation) {
         let now = sim.now();
+        // The serving world is the pool's member set, not `alive_devices`:
+        // a device whose outage window closed is sim-alive while it still
+        // sits in rejoin quarantine, and must not re-enter through the loss
+        // path — only a confirmed rejoin widens the world.
+        if !self.pool.devices().contains(&dead) {
+            // The condemned device died again while quarantining; it holds
+            // no serving state, so there is nothing to drain.
+            return;
+        }
+        // Survivors must also be sim-alive: a pool member that has died
+        // again (its own loss not yet confirmed) cannot host drain-barrier
+        // records — dead devices drop them, and the drain would never
+        // complete. Its confirmation will run its own drain later.
+        let alive = sim.alive_devices();
+        let survivors: Vec<DeviceId> = self
+            .pool
+            .devices()
+            .iter()
+            .copied()
+            .filter(|&d| d != dead && alive.contains(&d))
+            .collect();
+        if survivors.is_empty() {
+            // The watchdog condemned the only serving device (a false
+            // positive under congestion). Shrinking onto nothing is
+            // unactionable: keep serving and let the probes recover.
+            return;
+        }
         self.set_phase(RecoveryPhase::Draining, now);
         self.drain_started = now;
-        self.survivors = sim.alive_devices().into_iter().filter(|&d| d != dead).collect::<Vec<_>>();
-        assert!(!self.survivors.is_empty(), "no surviving device to replan onto");
+        self.survivors = survivors;
         let cancelled = self.engine.on_device_loss(dead, &self.survivors, sim);
         // The dead device's shard of every live block is gone.
         self.pool.on_device_loss(sim, dead);
@@ -939,20 +1171,19 @@ impl<'a, E: InferenceEngine + ?Sized> ContinuousScheduler<'a, E> {
         }
         self.serving.recovery_mut().shed.extend(shed);
         self.pump(sim);
-        if let Some(dead) = self.pending_losses.pop_front() {
-            self.handle_loss(dead, sim);
-        }
+        self.pop_pending(sim);
     }
 }
 
 impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
     fn start(&mut self, sim: &mut Simulation) {
         assert!(
-            // Ids must stay clear of the drain/recovered/health/spec-draft
-            // marker bits (the lowest is bit 54).
-            self.jobs.len() < (1u64 << 54) as usize,
+            // Ids must stay clear of the drain/recovered/expanded/health/
+            // spec-draft marker bits (the lowest is bit 53).
+            self.jobs.len() < (1u64 << 53) as usize,
             "job count overflows the scheduler token namespace"
         );
+        self.full_world = sim.alive_devices().len();
         if let Some(health) = self.config.health {
             let mut monitor = HealthMonitor::new(health, sim.alive_devices(), HEALTH_BASE);
             monitor.start(sim);
@@ -973,12 +1204,15 @@ impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
 
     fn on_wake(&mut self, wake: Wake, sim: &mut Simulation) {
         // The monitor inspects every wake; confirmations come back here.
-        let confirmed = match &mut self.monitor {
+        let events = match &mut self.monitor {
             Some(m) => m.on_wake(&wake, sim),
-            None => Vec::new(),
+            None => HealthEvents::default(),
         };
-        for dead in confirmed {
+        for dead in events.lost {
             self.confirm_loss(dead, sim);
+        }
+        for device in events.rejoined {
+            self.confirm_rejoin(device, sim);
         }
         match wake {
             // Oracle knowledge: logged for the detection-latency metric,
@@ -997,6 +1231,11 @@ impl<E: InferenceEngine + ?Sized> Driver for ContinuousScheduler<'_, E> {
             Wake::EventFired { token, .. } if token == RECOVERED_TOKEN => {
                 if self.phase == RecoveryPhase::Recovering {
                     self.finish_recovery(sim);
+                }
+            }
+            Wake::EventFired { token, .. } if token == EXPANDED_TOKEN => {
+                if self.phase == RecoveryPhase::Expanding {
+                    self.finish_expansion(sim);
                 }
             }
             Wake::Timer { token } if token & SPEC_DRAFT_BASE == SPEC_DRAFT_BASE => {
@@ -1141,6 +1380,19 @@ mod tests {
             ids.sort_unstable();
             ids
         }
+        fn on_device_rejoin(
+            &mut self,
+            _rejoined: DeviceId,
+            devices: &[DeviceId],
+            _sim: &mut Simulation,
+        ) -> Vec<u64> {
+            self.epoch += 1;
+            self.devices = devices.to_vec();
+            self.next = 0;
+            let mut ids = std::mem::take(&mut self.inflight);
+            ids.sort_unstable();
+            ids
+        }
     }
 
     fn sim(world: usize, faults: FaultSpec) -> Simulation {
@@ -1277,6 +1529,49 @@ mod tests {
         assert!(labels.starts_with(&["draining"]), "timeline {labels:?}");
         assert!(labels.contains(&"degraded"));
         assert!(rec.detection_latency <= HealthConfig::default().detection_bound());
+    }
+
+    #[test]
+    fn a_windowed_outage_re_expands_and_completes_every_job() {
+        let mut cfg = config(1024, 64);
+        cfg.health = Some(HealthConfig::default());
+        let faults = FaultSpec::new(1).device_outage(
+            DeviceId(1),
+            SimTime::from_micros(100),
+            SimTime::from_micros(3_000),
+        );
+        let jobs = (0..16).map(|i| job(i, 16, 40, 300 * i)).collect();
+        let r = run(2, faults, jobs, cfg);
+        let rec = r.serving.recovery();
+        assert_eq!(rec.losses, 1, "one confirmed loss");
+        assert_eq!(rec.rejoins, 1, "the outage ends in a confirmed rejoin");
+        assert_eq!(rec.re_expansions, 1, "which triggers one re-expansion");
+        assert_eq!(
+            r.generation.completed() + rec.shed_requests() as usize,
+            16,
+            "every job completes or is shed with a reason"
+        );
+        let labels: Vec<&str> = r.serving.recovery_timeline().iter().map(|&(l, _)| l).collect();
+        assert!(labels.contains(&"expanding"), "timeline {labels:?}");
+        assert_eq!(labels.last(), Some(&"normal"), "full world restored: {labels:?}");
+    }
+
+    #[test]
+    fn re_expansion_readmits_queue_depth_shed_jobs() {
+        let mut cfg = config(1024, 64);
+        cfg.health = Some(HealthConfig::default());
+        cfg.admission = AdmissionConfig { queue_watermark: 1 };
+        let faults = FaultSpec::new(1).device_outage(
+            DeviceId(1),
+            SimTime::from_micros(100),
+            SimTime::from_micros(3_000),
+        );
+        let jobs = (0..16).map(|i| job(i, 16, 40, 300 * i)).collect();
+        let r = run(2, faults, jobs, cfg);
+        let rec = r.serving.recovery();
+        assert_eq!(rec.re_expansions, 1);
+        assert_eq!(rec.shed_requests(), 0, "queue-depth sheds were re-admitted");
+        assert_eq!(r.generation.completed(), 16, "and every one of them finished");
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn config(mode: Mode, health: bool) -> SchedulerConfig {
             interval: SimDuration::from_millis(1),
             suspicion_threshold: 3,
             probe_stream: 3,
+            ..HealthConfig::default()
         });
     }
     c

@@ -45,6 +45,7 @@ fn config(policy: RecoveryPolicy, watermark: usize) -> RecoveryConfig {
             interval: SimDuration::from_millis(1),
             suspicion_threshold: 3,
             probe_stream: 3,
+            ..HealthConfig::default()
         },
         policy,
         admission: AdmissionConfig { queue_watermark: watermark },
