@@ -21,6 +21,12 @@ else
     RUSTFLAGS="-D warnings" cargo check --workspace --all-targets -q
 fi
 
+# Docs are part of the API surface: #![warn(missing_docs)] everywhere,
+# and rustdoc warnings (broken intra-doc links, bad code fences) are
+# errors.
+echo "==> cargo doc -q (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
+
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace
 
@@ -110,5 +116,26 @@ cargo run --release -q -p liger-verify --bin liger-verify -- plans
 
 echo "==> liger-verify golden traces"
 cargo run --release -q -p liger-verify --bin liger-verify -- tests/golden/*.json
+
+# Model-checker gate (DESIGN.md §16): DPOR exploration of event
+# interleavings. The adversarial battery must reproduce every expected
+# MC-* verdict (and nothing else); the five ablation launch programs must
+# explore exhaustively with zero diagnostics and a DPOR reduction ratio
+# of at least 2x (typically 40-54x — the canonical run plus every
+# commutable alternative pruned). Also pinned + fresh-seed soundness
+# props: pruned exploration must visit exactly the naive terminal set.
+# --min-ratio applies to the ablation programs only: battery cases such as
+# racy-reprice contain a real (non-commutable) race, so both schedules are
+# explored and a reduction floor would be vacuously unmeetable there.
+echo "==> liger-verify explore (adversarial battery)"
+cargo run --release -q -p liger-verify --bin liger-verify -- \
+    explore battery --bound 512
+echo "==> liger-verify explore (ablation programs, reduction >= 2x)"
+cargo run --release -q -p liger-verify --bin liger-verify -- \
+    explore ablation --bound 512 --min-ratio 2.0
+
+echo "==> model-checker soundness props (pinned + fresh seed)"
+LIGER_PROP_SEED=0xfa0175 cargo test -q -p liger-verify --test mc_props --test known_bad
+cargo test -q -p liger-verify --test mc_props
 
 echo "ci.sh: all checks passed"

@@ -70,6 +70,81 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Output format for rendered diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable indented text.
+    Text,
+    /// One JSON object per diagnostic, newline-delimited (NDJSON). Each
+    /// object carries the subject, the stable rule id, the message, and
+    /// whichever of `device` / `stream` / `offset` are attributable.
+    Json,
+}
+
+/// Renders one subject's diagnostics in the unified format shared by every
+/// `liger-verify` engine (static verifier, trace sanitizer, model
+/// checker). At most `max_diags` entries are emitted (all when `None`);
+/// when the cap truncates, the suppressed count is stated explicitly — in
+/// text as a trailing note, in JSON as a final `{"suppressed": …}` record
+/// — so a capped report can never be mistaken for a complete one.
+pub fn render(
+    subject: &str,
+    diags: &[Diagnostic],
+    format: ReportFormat,
+    max_diags: Option<usize>,
+) -> String {
+    let cap = max_diags.unwrap_or(usize::MAX).max(1);
+    let shown = &diags[..diags.len().min(cap)];
+    let suppressed = diags.len() - shown.len();
+    let mut out = String::new();
+    match format {
+        ReportFormat::Text => {
+            if diags.is_empty() {
+                out.push_str(&format!("ok: {subject}"));
+                return out;
+            }
+            out.push_str(&format!("{} diagnostic(s) in {subject}:", diags.len()));
+            for d in shown {
+                out.push_str(&format!("\n  {d}"));
+            }
+            if suppressed > 0 {
+                out.push_str(&format!("\n  … {suppressed} more suppressed (--max-diags {cap})"));
+            }
+        }
+        ReportFormat::Json => {
+            for (i, d) in shown.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                let mut obj = JsonObject::begin(&mut out);
+                obj.field("subject", &subject).field("rule", &d.rule);
+                obj.field("message", &d.message.as_str());
+                if let Some(dev) = d.device {
+                    obj.field("device", &(dev as u64));
+                }
+                if let Some(s) = d.stream {
+                    obj.field("stream", &(s as u64));
+                }
+                if let Some(o) = d.offset {
+                    obj.field("offset", &(o as u64));
+                }
+                obj.end();
+            }
+            if suppressed > 0 {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                let mut obj = JsonObject::begin(&mut out);
+                obj.field("subject", &subject);
+                obj.field("suppressed", &(suppressed as u64));
+                obj.field("total", &(diags.len() as u64));
+                obj.end();
+            }
+        }
+    }
+    out
+}
+
 impl ToJson for Diagnostic {
     fn write_json(&self, out: &mut String) {
         let mut obj = JsonObject::begin(out);
@@ -97,6 +172,36 @@ mod tests {
         assert_eq!(d.to_string(), "TS-FIFO [device 1 stream 0] at byte 42: out of order");
         let bare = Diagnostic::new("SV-WAIT-CYCLE", "cycle");
         assert_eq!(bare.to_string(), "SV-WAIT-CYCLE: cycle");
+    }
+
+    #[test]
+    fn render_text_caps_and_reports_suppression() {
+        let diags: Vec<Diagnostic> =
+            (0..5).map(|i| Diagnostic::new("TS-FIFO", format!("violation {i}"))).collect();
+        let full = render("t.json", &diags, ReportFormat::Text, None);
+        assert!(full.starts_with("5 diagnostic(s) in t.json:"));
+        assert_eq!(full.lines().count(), 6);
+        let capped = render("t.json", &diags, ReportFormat::Text, Some(2));
+        assert!(capped.contains("violation 1"));
+        assert!(!capped.contains("violation 2"));
+        assert!(capped.contains("… 3 more suppressed (--max-diags 2)"));
+        assert_eq!(render("t.json", &[], ReportFormat::Text, None), "ok: t.json");
+    }
+
+    #[test]
+    fn render_json_is_one_object_per_diagnostic() {
+        let diags =
+            vec![Diagnostic::new("MC-DEADLOCK", "cycle").on_device(1), Diagnostic::new("X", "y")];
+        let out = render("prog", &diags, ReportFormat::Json, None);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"subject\":\"prog\",\"rule\":\"MC-DEADLOCK\",\"message\":\"cycle\",\"device\":1}"
+        );
+        assert!(render("prog", &[], ReportFormat::Json, None).is_empty());
+        let capped = render("prog", &diags, ReportFormat::Json, Some(1));
+        assert!(capped.lines().last().unwrap().contains("\"suppressed\":1"));
     }
 
     #[test]

@@ -20,23 +20,38 @@
 //!   `TS-HAZARD-WAR`, `TS-HAZARD-WAW`) and allocation misuse (`TS-UAF`,
 //!   `TS-DOUBLE-FREE`, `TS-LEAK`).
 //!
-//! Both produce machine-readable [`Diagnostic`]s with stable rule ids and
-//! byte-offset locations into the source JSON. The `liger-verify` binary
-//! runs either engine from the command line:
+//! A third engine sits between them:
+//!
+//! * [`model_checker`] — bounded-exhaustive exploration of event
+//!   *interleavings* with dynamic partial-order reduction: replays a
+//!   program under every reorderable schedule the parallel core's window
+//!   rule (or an unguarded relaxation) admits, and checks every terminal
+//!   state for schedule-dependence (`MC-DETERMINISM`), sanitizer
+//!   violations (`MC-SANITIZE`) and stuck residue (`MC-QUIESCENCE`,
+//!   `MC-DEADLOCK`).
+//!
+//! All three produce machine-readable [`Diagnostic`]s with stable rule ids
+//! and (for parsed traces) byte-offset locations into the source JSON. The
+//! `liger-verify` binary runs any engine from the command line:
 //!
 //! ```text
-//! liger-verify plans          # statically verify the default deployments
-//! liger-verify trace.json …   # sanitize exported Chrome traces
+//! liger-verify plans            # statically verify the default deployments
+//! liger-verify trace.json …     # sanitize exported Chrome traces
+//! liger-verify explore all      # model-check schedule interleavings
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod diag;
+pub mod model_checker;
 pub mod sanitizer;
 pub mod static_verifier;
 
-pub use diag::Diagnostic;
+pub use diag::{render, Diagnostic, ReportFormat};
+pub use model_checker::{
+    adversarial_battery, enumerate_naive, explore, Exploration, McCase, McOp, McProgram,
+};
 pub use sanitizer::{sanitize, sanitize_parsed};
 pub use static_verifier::{
     check_collective_match, check_kv_pool_feasibility, check_memory_feasibility,

@@ -392,3 +392,107 @@ fn unsynchronized_gap_still_fires_latent_hazard() {
     assert_eq!(rules(&diags), vec!["TS-HAZARD-RAW"], "{diags:?}");
     assert!(diags[0].message.contains("no synchronization"), "{}", diags[0].message);
 }
+
+// ------------------------------------------------------------ model checker
+
+use liger_verify::model_checker::{explore, McOp, McProgram};
+
+fn mc_kernel(work_us: u64, tag: u64) -> McOp {
+    McOp::Kernel { work_ns: work_us * 1_000, class: KernelClass::Compute, tag, collective: None }
+}
+
+fn mc_rules(x: &liger_verify::model_checker::Exploration) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> = x.diagnostics.iter().map(|d| d.rule).collect();
+    r.dedup();
+    r
+}
+
+#[test]
+fn order_dependent_reprice_fires_mc_determinism_only_under_exploration() {
+    // The conservative window never realizes the order where gpu0's
+    // completion (which fires the record gating gpu1's second kernel)
+    // arrives while gpu1's long kernel is still running: the record makes
+    // the completion boundary-touching, so the window pins it. Unguarded
+    // exploration swaps the merge order, the gated kernel overlaps the
+    // long one, contention reprices both, and the terminal traces diverge.
+    let mut p = McProgram::new("racy-reprice");
+    p.push(0, 0, mc_kernel(10, 0));
+    p.push(0, 0, McOp::Record { event: 0 });
+    p.push(1, 0, McOp::Wait { event: 0 });
+    p.push(1, 0, mc_kernel(5, 1));
+    p.push(1, 1, mc_kernel(12, 2));
+
+    let guarded = explore(&p, WindowRule::Conservative, 256);
+    assert_eq!(mc_rules(&guarded), Vec::<&str>::new(), "{:?}", guarded.diagnostics);
+    assert_eq!(guarded.terminal_hashes.len(), 1);
+
+    let x = explore(&p, WindowRule::Unguarded, 256);
+    assert_eq!(mc_rules(&x), vec!["MC-DETERMINISM"], "{:?}", x.diagnostics);
+    assert!(x.terminal_hashes.len() > 1);
+    assert!(x.diagnostics[0].message.contains("distinct terminal states"));
+}
+
+#[test]
+fn cross_device_wait_cycle_fires_mc_deadlock() {
+    // gpu0 waits on an event only gpu1 records, and vice versa; both
+    // records sit behind the blocked waits.
+    let mut p = McProgram::new("deadlock-cross");
+    p.push(0, 0, McOp::Wait { event: 1 });
+    p.push(0, 0, mc_kernel(5, 0));
+    p.push(0, 0, McOp::Record { event: 0 });
+    p.push(1, 0, McOp::Wait { event: 0 });
+    p.push(1, 0, mc_kernel(5, 1));
+    p.push(1, 0, McOp::Record { event: 1 });
+    let x = explore(&p, WindowRule::Conservative, 256);
+    assert!(mc_rules(&x).contains(&"MC-DEADLOCK"), "{:?}", x.diagnostics);
+    let d = x.diagnostics.iter().find(|d| d.rule == "MC-DEADLOCK").unwrap();
+    assert!(d.message.contains("cyclic wait"), "{}", d.message);
+}
+
+#[test]
+fn lost_signal_fires_mc_quiescence() {
+    // A wait on an event nothing ever records: not a cycle, just a signal
+    // that can never arrive.
+    let mut p = McProgram::new("lost-signal");
+    p.push(0, 0, McOp::Wait { event: 0 });
+    p.push(0, 0, mc_kernel(5, 0));
+    p.push(1, 0, mc_kernel(7, 1));
+    let x = explore(&p, WindowRule::Conservative, 256);
+    assert!(mc_rules(&x).contains(&"MC-QUIESCENCE"), "{:?}", x.diagnostics);
+    assert!(!mc_rules(&x).contains(&"MC-DEADLOCK"), "{:?}", x.diagnostics);
+    let d = x.diagnostics.iter().find(|d| d.rule == "MC-QUIESCENCE").unwrap();
+    assert!(d.message.contains("lost signal"), "{}", d.message);
+}
+
+#[test]
+fn underfilled_rendezvous_fires_mc_quiescence() {
+    // The collective is declared for 3 members but only 2 lanes ever join:
+    // both arrive, gather forever, and no queued member can complete it.
+    let mut p = McProgram::new("missing-member");
+    for d in 0..2 {
+        p.push(
+            d,
+            0,
+            McOp::Kernel { work_ns: 8_000, class: KernelClass::Comm, tag: 0, collective: Some(0) },
+        );
+    }
+    p.collective_sizes.insert(0, 3);
+    let x = explore(&p, WindowRule::Conservative, 256);
+    assert!(mc_rules(&x).contains(&"MC-QUIESCENCE"), "{:?}", x.diagnostics);
+    assert!(!mc_rules(&x).contains(&"MC-DEADLOCK"), "{:?}", x.diagnostics);
+    let d = x.diagnostics.iter().find(|d| d.rule == "MC-QUIESCENCE").unwrap();
+    assert!(d.message.contains("2 of 3 members"), "{}", d.message);
+}
+
+#[test]
+fn unsynchronized_same_tag_streams_fire_mc_sanitize() {
+    // Two streams of one device write the same memory label with no
+    // ordering edge: every schedule carries the WAW hazard, and the
+    // checker surfaces the sanitizer verdict per terminal state.
+    let mut p = McProgram::new("hazard-overlap");
+    p.push(0, 0, mc_kernel(10, 7));
+    p.push(0, 1, mc_kernel(10, 7));
+    let x = explore(&p, WindowRule::Conservative, 256);
+    assert_eq!(mc_rules(&x), vec!["MC-SANITIZE"], "{:?}", x.diagnostics);
+    assert!(x.diagnostics[0].message.contains("TS-HAZARD-WAW"), "{}", x.diagnostics[0].message);
+}

@@ -1,7 +1,7 @@
 //! Minimal `std::time::Instant` micro-benchmark loop.
 //!
 //! Replaces criterion for the `benches/` binaries. Each benchmark is a
-//! plain binary (`harness = false`) that calls [`bench`] a few times and
+//! plain binary (`harness = false`) that calls [`bench()`] a few times and
 //! prints one line per benchmark: median / mean / min time per iteration.
 //!
 //! Methodology: after a short warm-up, iterations are run in batches sized
@@ -21,7 +21,7 @@ pub use std::hint::black_box;
 
 /// One benchmark's collected timings.
 pub struct Report {
-    /// Benchmark name as passed to [`bench`].
+    /// Benchmark name as passed to [`bench()`].
     pub name: String,
     /// Median time per iteration.
     pub median: Duration,

@@ -33,7 +33,7 @@ use std::collections::BinaryHeap;
 use crate::time::SimTime;
 
 /// One pending event in a lane: payload plus its dispatch key fragment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct LaneEntry<T> {
     /// Scheduled dispatch time.
     pub at: SimTime,
@@ -62,7 +62,7 @@ impl<T> Ord for LaneEntry<T> {
 
 /// A single lane: a min-heap of pending events ordered by
 /// `(time, lane-local sequence)`, with the lane owning its sequence counter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct EventLane<T> {
     heap: BinaryHeap<Reverse<LaneEntry<T>>>,
     seq: u64,
@@ -85,6 +85,19 @@ impl<T> EventLane<T> {
     /// The `(time, seq)` key of the earliest pending event, if any.
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// The earliest pending event's payload, without removing it. The
+    /// explore core uses this to drop superseded (stale) lane heads before
+    /// computing an enabled set, so every choice point is over real events.
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|Reverse(e)| &e.payload)
+    }
+
+    /// Iterates over all pending entries in unspecified order (heap order).
+    /// Used for residue accounting in [`crate::sim::TerminalReport`].
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.heap.iter().map(|Reverse(e)| (e.at, &e.payload))
     }
 
     /// Removes and returns the earliest pending event.

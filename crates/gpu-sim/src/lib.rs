@@ -71,7 +71,10 @@ pub mod time;
 pub mod trace;
 
 pub use contention::ContentionParams;
-pub use cores::{CoreSelect, EventCore, ParallelCore, SequentialCore};
+pub use cores::{
+    ChoicePoint, CoreSelect, EnabledEvent, EventCore, ExploreCore, ParallelCore, SequentialCore,
+    WindowRule,
+};
 pub use device::DeviceSpec;
 pub use faults::{DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError};
 pub use host::HostSpec;
@@ -80,7 +83,10 @@ pub use json::{JsonError, JsonParser, JsonValue, ToJson};
 pub use kernel::{KernelClass, KernelSpec};
 pub use memory::{AllocationId, MemoryTracker, OutOfMemory};
 pub use rng::Rng;
-pub use sim::{Driver, Simulation, SimulationBuilder, Wake};
+pub use sim::{
+    BlockedLane, DispatchFootprint, Driver, LaneBlock, Simulation, SimulationBuilder,
+    TerminalReport, Wake, COLL_FOOTPRINT_BIT,
+};
 pub use stats::{DeviceStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError};
@@ -88,7 +94,10 @@ pub use trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError
 /// Glob-import convenience.
 pub mod prelude {
     pub use crate::contention::ContentionParams;
-    pub use crate::cores::{CoreSelect, EventCore, ParallelCore, SequentialCore};
+    pub use crate::cores::{
+        ChoicePoint, CoreSelect, EnabledEvent, EventCore, ExploreCore, ParallelCore,
+        SequentialCore, WindowRule,
+    };
     pub use crate::device::DeviceSpec;
     pub use crate::faults::{
         DeviceDown, FaultSpec, KernelFaultParams, LaunchSpikeParams, ParseError,
@@ -99,7 +108,10 @@ pub mod prelude {
     pub use crate::kernel::{KernelClass, KernelSpec};
     pub use crate::memory::{AllocationId, MemoryTracker, OutOfMemory};
     pub use crate::rng::Rng;
-    pub use crate::sim::{Driver, Simulation, SimulationBuilder, Wake};
+    pub use crate::sim::{
+        BlockedLane, DispatchFootprint, Driver, LaneBlock, Simulation, SimulationBuilder,
+        TerminalReport, Wake, COLL_FOOTPRINT_BIT,
+    };
     pub use crate::stats::{DeviceStats, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{ParsedChromeTrace, Trace, TraceEvent, TraceMark, TraceParseError};

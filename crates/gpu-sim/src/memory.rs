@@ -56,7 +56,7 @@ struct Allocation {
 /// strictly per device, so a sharded event core whose workers each own one
 /// device never has two shards contending on (or racing to increment) a
 /// shared counter.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MemoryTracker {
     capacities: Vec<u64>,
     in_use: Vec<u64>,

@@ -34,7 +34,7 @@
 //!   simulator in a [`Driver`] implementation, which is woken by timers,
 //!   event callbacks and completed blocking syncs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::device::DeviceSpec;
 use crate::faults::FaultSpec;
@@ -135,7 +135,7 @@ pub trait Driver {
 // ---------------------------------------------------------------------------
 
 /// An operation queued on a device hardware queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum StreamOp {
     Kernel(Box<KernelSpec>, KernelId),
     Record(EventId),
@@ -156,7 +156,7 @@ impl StreamOp {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct QueuedOp {
     pub(crate) op: StreamOp,
     pub(crate) stream: usize,
@@ -181,7 +181,7 @@ pub(crate) enum HeadState {
     Running { slot: usize },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct QueueRt {
     ops: VecDeque<QueuedOp>,
     pub(crate) head: HeadState,
@@ -219,6 +219,22 @@ impl QueueRt {
         self.ops.front()
     }
 
+    /// Number of queued ops.
+    pub(crate) fn ops_len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The queued op at position `i` (0 = front), if any. The explore core
+    /// walks queue continuations through this to compute static footprints.
+    pub(crate) fn op_at(&self, i: usize) -> Option<&QueuedOp> {
+        self.ops.get(i)
+    }
+
+    /// Iterates the queued ops front to back.
+    pub(crate) fn iter_ops(&self) -> impl Iterator<Item = &QueuedOp> {
+        self.ops.iter()
+    }
+
     /// True when any queued op requires coordinator-side processing.
     pub(crate) fn has_boundary_ops(&self) -> bool {
         debug_assert_eq!(
@@ -231,7 +247,7 @@ impl QueueRt {
 }
 
 /// A plain (non-collective) kernel in flight.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct RunSlot {
     pub(crate) kernel: KernelId,
     pub(crate) queue: usize,
@@ -248,7 +264,7 @@ pub(crate) struct RunSlot {
     pub(crate) failing: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct DeviceRt {
     pub(crate) spec: DeviceSpec,
     pub(crate) queues: Vec<QueueRt>,
@@ -491,7 +507,7 @@ pub(crate) enum CollState {
     Aborted,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct CollectiveRt {
     size: usize,
     /// (device, queue) of members that have arrived at their queue heads.
@@ -507,7 +523,7 @@ pub(crate) struct CollectiveRt {
     pub(crate) state: CollState,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum HostOp {
     Enqueue { stream: StreamId, op: StreamOp },
     Sync { event: EventId, token: u64 },
@@ -522,14 +538,14 @@ enum HostState {
     Blocked,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct HostRt {
     pub(crate) spec: HostSpec,
     ops: VecDeque<HostOp>,
     state: HostState,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct EventRt {
     fired_at: Option<SimTime>,
     /// Hardware queues blocked on this event: (device, queue).
@@ -546,7 +562,7 @@ struct EventRt {
 /// touch more than one device — host completions, timers, driver wakes,
 /// collective completions, fault boundaries, device deaths — rides the
 /// global lane and is always dispatched by the coordinator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Pending {
     HostReady {
         host: usize,
@@ -598,6 +614,127 @@ impl Pending {
             }
             _ => None,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch footprints (explore-core instrumentation)
+// ---------------------------------------------------------------------------
+
+/// Tag bit distinguishing collective ids from event ids inside
+/// [`DispatchFootprint::events`]: the two id spaces both start at zero, so
+/// collective coupling is keyed as `COLL_FOOTPRINT_BIT | collective`.
+pub const COLL_FOOTPRINT_BIT: u64 = 1 << 63;
+
+/// The state touched by dispatching one pending event: the footprint the
+/// schedule-space model checker keys its partial-order reduction on.
+///
+/// Two dispatches *commute* when their footprints are disjoint — neither can
+/// observe whether the other ran first. `devices` covers every device whose
+/// runtime state (queues, run slots, contention population, stats) the
+/// dispatch settled, repriced or advanced; `events` covers every CUDA-like
+/// event the dispatch fired, resolved or registered a waiter on; `streams`
+/// and `tags` are reporting metadata at the granularity the sanitizer's
+/// TS-HAZARD rules use (a kernel's tag is its memory label). `global` marks
+/// coupling through host-side state (blocking syncs, driver callbacks),
+/// which conservatively intersects everything.
+///
+/// Footprints are recorded two ways: *dynamically* by the probe armed by
+/// [`crate::cores::ExploreCore`] around each dispatch (hooks in the queue
+/// poll, kernel begin/finish and event trigger paths), and *statically* for
+/// enabled-but-undispatched events by walking the queue continuation the
+/// dispatch would drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchFootprint {
+    /// Host-side coupling: intersects every other footprint.
+    pub global: bool,
+    /// Devices whose runtime state the dispatch touches.
+    pub devices: BTreeSet<usize>,
+    /// `(device, stream)` lanes touched, for reporting.
+    pub streams: BTreeSet<(usize, usize)>,
+    /// Kernel tags (memory labels in the TS-HAZARD sense) touched.
+    pub tags: BTreeSet<u64>,
+    /// CUDA-like events fired, resolved or waited on.
+    pub events: BTreeSet<u64>,
+}
+
+impl DispatchFootprint {
+    /// True when the two footprints share state: the dispatches do not
+    /// commute and their order is a real choice the checker must explore.
+    pub fn intersects(&self, other: &DispatchFootprint) -> bool {
+        self.global
+            || other.global
+            || self.devices.iter().any(|d| other.devices.contains(d))
+            || self.events.iter().any(|e| other.events.contains(e))
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &DispatchFootprint) {
+        self.global |= other.global;
+        self.devices.extend(other.devices.iter().copied());
+        self.streams.extend(other.streams.iter().copied());
+        self.tags.extend(other.tags.iter().copied());
+        self.events.extend(other.events.iter().copied());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Terminal-state report (quiescence / deadlock checking)
+// ---------------------------------------------------------------------------
+
+/// Why a hardware queue is blocked at end of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneBlock {
+    /// The queue head is a `Wait` on this (unfired) event.
+    Event(u64),
+    /// The queue head is a collective member still gathering peers.
+    Collective(u64),
+}
+
+/// One hardware queue blocked at end of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedLane {
+    /// Owning device.
+    pub device: usize,
+    /// Hardware queue index on the device.
+    pub queue: usize,
+    /// Stream of the blocking head op.
+    pub stream: usize,
+    /// What the head is blocked on.
+    pub block: LaneBlock,
+}
+
+/// Snapshot of everything left unfinished when the event loop stopped: the
+/// raw material for the model checker's MC-QUIESCENCE / MC-DEADLOCK rules.
+/// A clean terminal state is [`TerminalReport::is_quiescent`].
+#[derive(Debug, Clone, Default)]
+pub struct TerminalReport {
+    /// Non-stale events still pending in the lanes (0 unless a deadline or
+    /// stop request cut the run short).
+    pub pending_events: usize,
+    /// Ops still sitting in device hardware queues.
+    pub queued_ops: usize,
+    /// Queues blocked on an event or a collective rendezvous.
+    pub blocked_lanes: Vec<BlockedLane>,
+    /// Hosts parked on a blocking sync: `(host, event)`.
+    pub blocked_hosts: Vec<(usize, u64)>,
+    /// `Record` ops still queued (events that could yet fire):
+    /// `(event, device, queue)`.
+    pub held_records: Vec<(u64, usize, usize)>,
+    /// Collective member kernels still queued: `(collective, device, queue)`.
+    pub queued_collective_members: Vec<(u64, usize, usize)>,
+    /// Collectives stuck gathering: `(collective, members_arrived, size)`.
+    pub gathering_collectives: Vec<(u64, usize, usize)>,
+}
+
+impl TerminalReport {
+    /// True when nothing is left pending, queued or blocked: the run drained
+    /// completely.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending_events == 0
+            && self.queued_ops == 0
+            && self.blocked_lanes.is_empty()
+            && self.blocked_hosts.is_empty()
     }
 }
 
@@ -728,6 +865,8 @@ impl SimulationBuilder {
             events_dispatched: 0,
             memory,
             faults: self.faults,
+            probe: None,
+            relaxed_time: false,
         };
         // Every fault-window edge changes rates without a population change;
         // schedule a settle + reprice there so piecewise rates are exact.
@@ -748,6 +887,12 @@ impl SimulationBuilder {
 }
 
 /// The discrete-event multi-GPU simulation.
+///
+/// Cloning a `Simulation` deep-copies every lane, device runtime, host
+/// queue, event table and counter: the clone replays identically under the
+/// same driver and dispatch order. The schedule-space model checker clones
+/// a pristine simulation once per explored schedule.
+#[derive(Clone)]
 pub struct Simulation {
     pub(crate) now: SimTime,
     /// Coordinator lane: hosts, timers, driver wakes, collectives, fault
@@ -772,6 +917,13 @@ pub struct Simulation {
     pub(crate) events_dispatched: u64,
     memory: MemoryTracker,
     pub(crate) faults: FaultSpec,
+    /// Armed by the explore core around a dispatch: records the state the
+    /// dispatch touches. `None` (the default) costs one branch per hook.
+    pub(crate) probe: Option<DispatchFootprint>,
+    /// Set by the explore core's unguarded window rule: out-of-timestamp
+    /// dispatch across interacting lanes is intentional there, so the
+    /// monotone-completion debug assertion is relaxed.
+    pub(crate) relaxed_time: bool,
 }
 
 impl Simulation {
@@ -1025,6 +1177,18 @@ impl Simulation {
         ev
     }
 
+    /// Asks host `host` to record the *pre-created* event `ev` on `stream`.
+    /// Same semantics as [`Simulation::record_event`], but the caller owns
+    /// the event's identity: replay drivers use this to wire a program's
+    /// symbolic event ids to simulator events before any lane runs.
+    ///
+    /// # Panics
+    /// Panics when `ev` was not created by [`Simulation::new_event`].
+    pub fn record_existing_event(&mut self, host: HostId, stream: StreamId, ev: EventId) {
+        assert!((ev.0 as usize) < self.events.len(), "unknown event {ev:?}");
+        self.host_push(host.0, HostOp::Enqueue { stream, op: StreamOp::Record(ev) });
+    }
+
     /// Asks host `host` to make `stream` wait for `ev` (inter-stream
     /// synchronization, `cudaStreamWaitEvent`): operations enqueued on the
     /// stream after this call do not begin until `ev` has fired. No CPU
@@ -1158,6 +1322,105 @@ impl Simulation {
         driver: &mut dyn Driver,
     ) -> SimTime {
         self.run_with_core(core, driver, SimTime::MAX)
+    }
+
+    /// Applies `f` to the armed dispatch-footprint probe, if any.
+    #[inline]
+    fn probe_mark(&mut self, f: impl FnOnce(&mut DispatchFootprint)) {
+        if let Some(p) = self.probe.as_mut() {
+            f(p);
+        }
+    }
+
+    /// A collective's gathered members and expected size (explore-core
+    /// footprints).
+    pub(crate) fn collective_members(&self, ci: usize) -> (&[(usize, usize)], usize) {
+        let c = &self.collectives[ci];
+        (&c.members, c.size)
+    }
+
+    /// Queues currently blocked on event `ev` (explore-core footprints).
+    pub(crate) fn event_queue_waiters(&self, ev: u64) -> &[(usize, usize)] {
+        &self.events[ev as usize].queue_waiters
+    }
+
+    /// True when a host blocking sync or a driver callback is parked on
+    /// `ev`: firing it couples into host-side (global) state.
+    pub(crate) fn event_has_host_interest(&self, ev: u64) -> bool {
+        let e = &self.events[ev as usize];
+        !e.host_waiters.is_empty() || !e.callbacks.is_empty()
+    }
+
+    /// Snapshot of everything unfinished: pending events, queued ops,
+    /// blocked queues/hosts, undelivered records and gathering collectives.
+    /// The model checker derives its MC-QUIESCENCE / MC-DEADLOCK verdicts
+    /// from this after every explored schedule.
+    pub fn terminal_report(&self) -> TerminalReport {
+        let mut r = TerminalReport::default();
+        for (_, p) in self.global_lane.iter() {
+            if !self.entry_is_stale(p) {
+                r.pending_events += 1;
+            }
+        }
+        for lane in &self.device_lanes {
+            for (_, p) in lane.iter() {
+                if !self.entry_is_stale(p) {
+                    r.pending_events += 1;
+                }
+            }
+        }
+        for (d, dev) in self.devices.iter().enumerate() {
+            for (q, queue) in dev.queues.iter().enumerate() {
+                r.queued_ops += queue.ops_len();
+                for (i, qop) in queue.iter_ops().enumerate() {
+                    match &qop.op {
+                        StreamOp::Record(ev) => r.held_records.push((ev.0, d, q)),
+                        StreamOp::Kernel(spec, _) => {
+                            if let Some(cid) = spec.collective {
+                                r.queued_collective_members.push((cid.0, d, q));
+                            }
+                        }
+                        StreamOp::Wait(_) => {}
+                    }
+                    if i == 0 {
+                        match (queue.head, &qop.op) {
+                            (HeadState::WaitingEvent, StreamOp::Wait(ev)) => {
+                                r.blocked_lanes.push(BlockedLane {
+                                    device: d,
+                                    queue: q,
+                                    stream: qop.stream,
+                                    block: LaneBlock::Event(ev.0),
+                                });
+                            }
+                            (HeadState::WaitingPeers, StreamOp::Kernel(spec, _)) => {
+                                if let Some(cid) = spec.collective {
+                                    r.blocked_lanes.push(BlockedLane {
+                                        device: d,
+                                        queue: q,
+                                        stream: qop.stream,
+                                        block: LaneBlock::Collective(cid.0),
+                                    });
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        for (h, host) in self.hosts.iter().enumerate() {
+            if host.state == HostState::Blocked {
+                if let Some(HostOp::Sync { event, .. }) = host.ops.front() {
+                    r.blocked_hosts.push((h, event.0));
+                }
+            }
+        }
+        for (ci, coll) in self.collectives.iter().enumerate() {
+            if coll.state == CollState::Gathering && !coll.members.is_empty() {
+                r.gathering_collectives.push((ci as u64, coll.members.len(), coll.size));
+            }
+        }
+        r
     }
 
     pub(crate) fn drain_wakes(&mut self, driver: &mut dyn Driver) {
@@ -1521,6 +1784,11 @@ impl Simulation {
                 StreamOp::Record(ev) => {
                     let ev = *ev;
                     self.devices[d].queues[q].pop_op();
+                    self.probe_mark(|p| {
+                        p.devices.insert(d);
+                        p.streams.insert((d, stream));
+                        p.events.insert(ev.0);
+                    });
                     if let Some(trace) = &mut self.trace {
                         trace.push_mark(TraceMark::Record {
                             event: ev.0,
@@ -1533,6 +1801,11 @@ impl Simulation {
                 }
                 StreamOp::Wait(ev) => {
                     let ev = *ev;
+                    self.probe_mark(|p| {
+                        p.devices.insert(d);
+                        p.streams.insert((d, stream));
+                        p.events.insert(ev.0);
+                    });
                     if self.events[ev.0 as usize].fired_at.is_some() {
                         self.devices[d].queues[q].pop_op();
                         if let Some(trace) = &mut self.trace {
@@ -1593,6 +1866,15 @@ impl Simulation {
         let blocks = spec.blocks;
         let work = spec.work.as_nanos() as f64;
         let collective = spec.collective;
+        let (stream, tag) = (front.stream, spec.tag);
+        self.probe_mark(|p| {
+            p.devices.insert(d);
+            p.streams.insert((d, stream));
+            p.tags.insert(tag);
+            if let Some(cid) = collective {
+                p.events.insert(COLL_FOOTPRINT_BIT | cid.0);
+            }
+        });
 
         match collective {
             None => {
@@ -1644,6 +1926,11 @@ impl Simulation {
 
     fn start_collective(&mut self, ci: usize, class: KernelClass, blocks: u32) {
         let members: Vec<(usize, usize)> = self.collectives[ci].members.clone();
+        self.probe_mark(|p| {
+            for &(d, _) in &members {
+                p.devices.insert(d);
+            }
+        });
         for &(d, _q) in &members {
             self.settle_device(d);
         }
@@ -1743,7 +2030,7 @@ impl Simulation {
         let (queue, class, blocks, kernel, started_at, failed) = {
             let s = &self.devices[d].run[slot];
             debug_assert!(
-                s.remaining <= 1.0,
+                self.relaxed_time || s.remaining <= 1.0,
                 "kernel completing with {} ns of work left",
                 s.remaining
             );
@@ -1811,6 +2098,11 @@ impl Simulation {
         let now = self.now;
         let ev =
             self.devices[d].finish_head(DeviceId(d), q, kernel, class, started_at, failed, now);
+        self.probe_mark(|p| {
+            p.devices.insert(d);
+            p.streams.insert((d, ev.stream));
+            p.tags.insert(ev.tag);
+        });
         self.kernels_completed += 1;
         if failed {
             self.kernels_failed += 1;
@@ -1836,6 +2128,11 @@ impl Simulation {
         let queue_waiters = std::mem::take(&mut e.queue_waiters);
         let host_waiters = std::mem::take(&mut e.host_waiters);
         let callbacks = std::mem::take(&mut e.callbacks);
+        let host_coupled = !host_waiters.is_empty() || !callbacks.is_empty();
+        self.probe_mark(|p| {
+            p.events.insert(ev.0);
+            p.global |= host_coupled;
+        });
         for (d, q) in queue_waiters {
             if self.devices[d].queues[q].head == HeadState::WaitingEvent {
                 // Re-check: the head wait op must still reference this event.
@@ -1845,6 +2142,10 @@ impl Simulation {
                     if w == ev {
                         self.devices[d].queues[q].pop_op();
                         self.devices[d].queues[q].head = HeadState::Idle;
+                        self.probe_mark(|p| {
+                            p.devices.insert(d);
+                            p.streams.insert((d, stream));
+                        });
                         if let Some(trace) = &mut self.trace {
                             trace.push_mark(TraceMark::Wait {
                                 event: ev.0,

@@ -20,7 +20,7 @@
 //!    surviving copy over the interconnect.
 //! 4. **Shed & resume** — on re-entry to serving the deferred backlog is
 //!    trimmed to the admission watermark (oldest shed first, each with an
-//!    explicit [`ShedReason`](crate::admission::ShedReason)); survivors is
+//!    explicit [`ShedReason`]); survivors is
 //!    the new normal until the next loss.
 //!
 //! Every phase transition is timestamped into
