@@ -107,6 +107,25 @@ cargo run --release -q -p liger-bench --bin ablation_prefix -- --smoke
 echo "==> ablation_chaos --smoke"
 cargo run --release -q -p liger-bench --bin ablation_chaos -- --smoke
 
+# Cluster tier (DESIGN.md §17): replica router and disaggregated
+# prefill/decode must be byte-identical across event cores (every router
+# policy, healthy and degraded NIC), survive a replica-loss storm with
+# every job accounted for, and keep every per-replica / per-node trace
+# sanitizer-clean.
+echo "==> cluster serving tier"
+cargo test -q -p liger-verify --test cluster_props
+
+# Disaggregation ablation gate: under mixed prompt lengths, the
+# prefill/decode split must cut decode p99 vs the colocated
+# continuous-batching arm with both nodes' traces sanitizer-clean and the
+# streamed KV blocks fully accounted. Once on the pinned default seed,
+# once on a fresh one.
+echo "==> ablation_disagg --smoke (pinned seed)"
+cargo run --release -q -p liger-bench --bin ablation_disagg -- --smoke
+DISAGG_SEED=$((RANDOM * 32768 + RANDOM))
+echo "==> ablation_disagg --smoke (fresh seed $DISAGG_SEED)"
+cargo run --release -q -p liger-bench --bin ablation_disagg -- --smoke --seed "$DISAGG_SEED"
+
 # Verification gate: the static plan verifier proves the default
 # deployments deadlock-free and memory-feasible (healthy and one-loss
 # degraded), and the happens-before sanitizer must report zero diagnostics

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 use std::process::ExitCode;
 
+use liger_collectives::ClusterTopology;
 use liger_core::introspect::LaunchProgram;
 use liger_core::{plan_round, FuncVec, LigerConfig, PlanParams, SyncMode};
 use liger_gpu_sim::{DeviceSpec, SimTime, Trace, WindowRule};
@@ -21,8 +22,8 @@ use liger_verify::model_checker::{
     adversarial_battery, explore, Exploration, McProgram, MC_REDUCTION,
 };
 use liger_verify::{
-    check_kv_pool_feasibility, check_prefix_residency, render, sanitize_parsed, verify_deployment,
-    Diagnostic, ReportFormat,
+    check_disagg_feasibility, check_kv_pool_feasibility, check_prefix_residency, render,
+    sanitize_parsed, verify_deployment, Diagnostic, ReportFormat,
 };
 
 const USAGE: &str = "\
@@ -201,6 +202,23 @@ fn run_plans(opts: &Opts) -> ExitCode {
             256,
         );
         diags.extend(check_prefix_residency(cfg, &lc, spec, *world as u32, &shared, shape, 256, 1));
+        // Node-aware plan: the same deployment disaggregated over a
+        // two-node cluster (one prefill node, one decode node, `world`
+        // devices each). Each worker class must fit its node's memory with
+        // its own phase shape (the representative prompt prefill and the
+        // same decode-bound shape the nccl ablation drives), healthy and
+        // degraded.
+        let cluster = ClusterTopology::v100_cluster(2, *world);
+        diags.extend(check_disagg_feasibility(
+            cfg,
+            &lc,
+            spec,
+            &cluster,
+            &pool,
+            BatchShape::prefill(1, 256),
+            BatchShape::decode(4, 128),
+            1,
+        ));
         total += report(&format!("{} on {}x {}", cfg.name, world, spec.name), &diags, opts);
     }
     finish(total, "all default plans verified clean", opts)

@@ -54,6 +54,7 @@ pub use model_checker::{
 };
 pub use sanitizer::{sanitize, sanitize_parsed};
 pub use static_verifier::{
-    check_collective_match, check_kv_pool_feasibility, check_memory_feasibility,
-    check_prefix_residency, check_shard_shapes, check_wait_cycles, verify_deployment,
+    check_collective_match, check_disagg_feasibility, check_kv_pool_feasibility,
+    check_memory_feasibility, check_prefix_residency, check_shard_shapes, check_wait_cycles,
+    verify_deployment,
 };

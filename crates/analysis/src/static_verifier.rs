@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use liger_collectives::ClusterTopology;
 use liger_core::introspect::{LaunchProgram, PlanOp};
 use liger_core::LigerConfig;
 use liger_gpu_sim::DeviceSpec;
@@ -392,6 +393,48 @@ pub fn check_kv_pool_feasibility(
     for survivors in world.saturating_sub(max_losses)..world {
         if survivors >= 1 && check_divisibility_relaxed(cfg, survivors).is_ok() {
             check(survivors, &format!("degraded tp={survivors}"));
+        }
+    }
+    out
+}
+
+/// Checks a disaggregated cluster deployment per worker class: the prefill
+/// node holds prompt KV from admission until each block table finishes
+/// streaming over the NIC, and the decode node holds every shipped table
+/// through its whole decode — both are full pools next to a full weight
+/// shard, so [`check_kv_pool_feasibility`] must hold **independently on
+/// each node**, for that node's phase shape, healthy and on every degraded
+/// survivor count within the fault budget. A sizing that fits colocated
+/// serving can still overflow a disaggregated node (the decode node's pool
+/// fills with long shipped prompts it never prefilled), which is exactly
+/// what this rule catches before anything is simulated.
+#[allow(clippy::too_many_arguments)]
+pub fn check_disagg_feasibility(
+    cfg: &ModelConfig,
+    lc: &LigerConfig,
+    spec: &DeviceSpec,
+    cluster: &ClusterTopology,
+    pool: &BlockPoolConfig,
+    prefill_shape: BatchShape,
+    decode_shape: BatchShape,
+    max_losses: u32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = cluster.validate() {
+        out.push(Diagnostic::new("SV-MEM-CAP", format!("cluster topology invalid: {e}")));
+        return out;
+    }
+    if cluster.nodes < 2 {
+        out.push(Diagnostic::new(
+            "SV-MEM-CAP",
+            "disaggregation needs at least two nodes (one prefill, one decode)",
+        ));
+        return out;
+    }
+    let world = cluster.devices_per_node as u32;
+    for (class, shape) in [("prefill workers", prefill_shape), ("decode workers", decode_shape)] {
+        for d in check_kv_pool_feasibility(cfg, lc, spec, world, pool, shape, max_losses) {
+            out.push(Diagnostic::new(d.rule, format!("{class}: {}", d.message)));
         }
     }
     out

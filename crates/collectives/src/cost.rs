@@ -10,7 +10,7 @@
 use liger_gpu_sim::SimDuration;
 
 use crate::nccl::NcclConfig;
-use crate::topology::Topology;
+use crate::topology::{ClusterTopology, NicLink, Topology};
 
 /// The collective operations the transformer workloads need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +101,52 @@ pub fn decomposed_total_time(
     nccl: &NcclConfig,
 ) -> SimDuration {
     chunk_time(kind, bytes, parts, n, topo, nccl) * parts.max(1) as u64
+}
+
+/// No-load duration of a collective whose `n` ranks live on the flat device
+/// indices `ranks` of `cluster`.
+///
+/// When every rank shares a node this is exactly [`collective_time`] on the
+/// intra-node topology. When ranks span nodes, the ring is hierarchical:
+/// the slowest hop is the NIC, so the achievable bus/p2p bandwidth is the
+/// minimum of the intra-node figure and the NIC bandwidth, and the NIC's
+/// per-transfer latency is paid on top of the intra-node base latency. This
+/// is the standard two-level NCCL tree/ring approximation — good enough for
+/// the cluster tier's purpose of making cross-node collectives visibly more
+/// expensive than intra-node ones.
+pub fn cluster_collective_time(
+    kind: CollectiveKind,
+    bytes: u64,
+    ranks: &[usize],
+    cluster: &ClusterTopology,
+    nccl: &NcclConfig,
+) -> SimDuration {
+    let n = ranks.len();
+    if n <= 1 {
+        return SimDuration::ZERO;
+    }
+    let spans_nodes = ranks.iter().any(|&r| !cluster.same_node(r, ranks[0]));
+    if !spans_nodes {
+        return collective_time(kind, bytes, n, &cluster.intra, nccl);
+    }
+    let intra = &cluster.intra;
+    let effective = Topology {
+        kind: intra.kind,
+        allreduce_bus_bw: intra.allreduce_bus_bw.min(cluster.nic.bandwidth),
+        p2p_bw: intra.p2p_bw.min(cluster.nic.bandwidth),
+        base_latency: intra.base_latency + cluster.nic.latency,
+    };
+    collective_time(kind, bytes, n, &effective, nccl)
+}
+
+/// Wire time of streaming `bytes` of finished KV blocks from a prefill node
+/// to a decode node over the inter-node NIC (disaggregated serving).
+///
+/// A stream is a point-to-point RDMA write, not a collective: it pays the
+/// NIC latency once and the payload at NIC bandwidth, with no NCCL channel
+/// discount (KV shipping bypasses the collective library).
+pub fn kv_stream_time(bytes: u64, nic: &NicLink) -> SimDuration {
+    nic.transfer_time(bytes)
 }
 
 /// Collective kinds serialize as snake_case tags.
@@ -204,6 +250,52 @@ mod tests {
                 "parts={parts}: overhead {overhead}ns vs expected {expect}ns"
             );
         }
+    }
+
+    #[test]
+    fn intra_node_cluster_collective_matches_single_node() {
+        let cluster = ClusterTopology::test_cluster(2, 4);
+        let nccl = NcclConfig::default();
+        let bytes = 1 << 20;
+        let flat = collective_time(CollectiveKind::AllReduce, bytes, 4, &cluster.intra, &nccl);
+        let ranks: Vec<usize> = (0..4).collect();
+        let clustered =
+            cluster_collective_time(CollectiveKind::AllReduce, bytes, &ranks, &cluster, &nccl);
+        assert_eq!(clustered, flat, "co-located ranks must price like one node");
+    }
+
+    #[test]
+    fn cross_node_collective_is_nic_bound() {
+        let cluster = ClusterTopology::test_cluster(2, 4);
+        let nccl = NcclConfig::default();
+        let bytes = 10 << 20;
+        let intra = cluster_collective_time(
+            CollectiveKind::AllReduce,
+            bytes,
+            &[0, 1, 2, 3],
+            &cluster,
+            &nccl,
+        );
+        let spanning = cluster_collective_time(
+            CollectiveKind::AllReduce,
+            bytes,
+            &[0, 1, 4, 5],
+            &cluster,
+            &nccl,
+        );
+        // test NIC is 10x slower than the test node's bus: spanning rings crawl.
+        assert!(
+            spanning > intra * 5,
+            "cross-node ring must be NIC-bound: {spanning:?} vs {intra:?}"
+        );
+    }
+
+    #[test]
+    fn kv_stream_pays_nic_latency_and_bandwidth() {
+        let nic = NicLink::test_nic();
+        // 1 MB at 1 GB/s + 10us = 1010us; independent of NCCL channels.
+        assert_eq!(kv_stream_time(1_000_000, &nic), SimDuration::from_micros(1010));
+        assert!(kv_stream_time(0, &nic) > SimDuration::ZERO, "latency is always paid");
     }
 
     #[test]

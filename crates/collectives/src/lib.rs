@@ -17,7 +17,10 @@ pub mod plan;
 pub mod topology;
 
 pub use algorithm::{auto_choice, collective_time_with, CollectiveAlgorithm};
-pub use cost::{chunk_time, collective_time, decomposed_total_time, CollectiveKind};
+pub use cost::{
+    chunk_time, cluster_collective_time, collective_time, decomposed_total_time, kv_stream_time,
+    CollectiveKind,
+};
 pub use nccl::NcclConfig;
 pub use plan::CollectivePlan;
-pub use topology::{InterconnectKind, Topology};
+pub use topology::{ClusterTopology, InterconnectKind, NicLink, Topology};

@@ -101,6 +101,151 @@ impl Topology {
     }
 }
 
+/// An inter-node NIC link (InfiniBand / RoCE): the fabric that carries
+/// cross-node collectives and streamed KV blocks in the cluster tier.
+///
+/// Unlike the intra-node [`Topology`], a NIC link is point-to-point between
+/// nodes: no ring bus-bandwidth formulation applies, just bandwidth and a
+/// per-transfer latency (RDMA setup + switch traversal), both far worse than
+/// NVLink — which is exactly why disaggregated serving must price them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicLink {
+    /// Achievable bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency (RDMA setup, switch traversal).
+    pub latency: SimDuration,
+}
+
+impl NicLink {
+    /// A 200 Gb/s HDR InfiniBand NIC: ~25 GB/s effective, 5 µs latency.
+    pub fn hdr_200g() -> NicLink {
+        NicLink { bandwidth: 25e9, latency: SimDuration::from_micros(5) }
+    }
+
+    /// A 100 Gb/s EDR NIC: ~12.5 GB/s effective, 8 µs latency.
+    pub fn edr_100g() -> NicLink {
+        NicLink { bandwidth: 12.5e9, latency: SimDuration::from_micros(8) }
+    }
+
+    /// Round-numbers NIC for unit tests: 1 GB/s, 10 µs latency — slow
+    /// enough that tests can tell NIC-priced transfers from NVLink ones.
+    pub fn test_nic() -> NicLink {
+        NicLink { bandwidth: 1e9, latency: SimDuration::from_micros(10) }
+    }
+
+    /// Wire time of one `bytes`-sized transfer over this link.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// The link under a fault slowdown `factor` (≥ 1): bandwidth divides by
+    /// the factor, latency is a protocol constant. Mirrors how `gpu-sim`
+    /// link faults scale collective durations.
+    pub fn degraded(&self, factor: f64) -> NicLink {
+        assert!(factor >= 1.0 && factor.is_finite(), "degrade factor must be >= 1, got {factor}");
+        NicLink { bandwidth: self.bandwidth / factor, latency: self.latency }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.bandwidth.is_finite() && self.bandwidth > 0.0) {
+            return Err("nic bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A cluster of identical nodes: `nodes × devices_per_node` devices, where
+/// devices `[n·k, (n+1)·k)` form node `n` (the same flat numbering the
+/// simulator's `DeviceId` space uses). Intra-node traffic is priced by the
+/// per-node [`Topology`]; anything crossing a node boundary rides the
+/// [`NicLink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTopology {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Devices per node.
+    pub devices_per_node: usize,
+    /// Interconnect inside each node.
+    pub intra: Topology,
+    /// NIC link between any pair of nodes (full bisection assumed).
+    pub nic: NicLink,
+}
+
+impl ClusterTopology {
+    /// A cluster of `nodes` nodes, `devices_per_node` devices each.
+    pub fn new(nodes: usize, devices_per_node: usize, intra: Topology, nic: NicLink) -> Self {
+        ClusterTopology { nodes, devices_per_node, intra, nic }
+    }
+
+    /// V100-NVLink nodes joined by 200 Gb/s HDR NICs.
+    pub fn v100_cluster(nodes: usize, devices_per_node: usize) -> Self {
+        ClusterTopology::new(nodes, devices_per_node, Topology::v100_nvlink(), NicLink::hdr_200g())
+    }
+
+    /// Round-numbers cluster for unit tests.
+    pub fn test_cluster(nodes: usize, devices_per_node: usize) -> Self {
+        ClusterTopology::new(
+            nodes,
+            devices_per_node,
+            Topology::test_topology(),
+            NicLink::test_nic(),
+        )
+    }
+
+    /// Total devices across the cluster.
+    pub fn total_devices(&self) -> usize {
+        self.nodes * self.devices_per_node
+    }
+
+    /// The node a flat device index belongs to.
+    pub fn node_of(&self, device: usize) -> usize {
+        device / self.devices_per_node.max(1)
+    }
+
+    /// Flat device indices of node `node`.
+    pub fn devices_of(&self, node: usize) -> std::ops::Range<usize> {
+        let k = self.devices_per_node;
+        node * k..(node + 1) * k
+    }
+
+    /// Whether two flat device indices share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Validates geometry and both link layers.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.devices_per_node == 0 {
+            return Err("nodes need at least one device".into());
+        }
+        self.intra.validate()?;
+        self.nic.validate()
+    }
+}
+
+impl liger_gpu_sim::ToJson for NicLink {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("bandwidth", &self.bandwidth).field("latency", &self.latency);
+        obj.end();
+    }
+}
+
+impl liger_gpu_sim::ToJson for ClusterTopology {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        obj.field("nodes", &(self.nodes as u64))
+            .field("devices_per_node", &(self.devices_per_node as u64))
+            .field("intra", &self.intra)
+            .field("nic", &self.nic);
+        obj.end();
+    }
+}
+
 impl liger_gpu_sim::ToJson for InterconnectKind {
     fn write_json(&self, out: &mut String) {
         let tag = match self {
@@ -161,6 +306,56 @@ mod tests {
     #[should_panic(expected = "degraded ring")]
     fn degraded_rejects_zero_survivors() {
         Topology::test_topology().degraded(0, 4);
+    }
+
+    #[test]
+    fn nic_transfer_time_hand_check() {
+        // 1 GB/s + 10us latency: 1 MB takes 1ms + 10us.
+        let nic = NicLink::test_nic();
+        assert_eq!(nic.transfer_time(1_000_000), SimDuration::from_micros(1010));
+        assert_eq!(nic.transfer_time(0), nic.latency);
+    }
+
+    #[test]
+    fn nic_degraded_scales_bandwidth_only() {
+        let nic = NicLink::hdr_200g();
+        let d = nic.degraded(2.0);
+        assert!((d.bandwidth - nic.bandwidth / 2.0).abs() < 1.0);
+        assert_eq!(d.latency, nic.latency);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn nic_degraded_rejects_speedups() {
+        NicLink::test_nic().degraded(0.5);
+    }
+
+    #[test]
+    fn cluster_geometry() {
+        let c = ClusterTopology::test_cluster(2, 4);
+        assert_eq!(c.total_devices(), 8);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(3), 0);
+        assert_eq!(c.node_of(4), 1);
+        assert_eq!(c.devices_of(1), 4..8);
+        assert!(c.same_node(1, 3));
+        assert!(!c.same_node(3, 4));
+        c.validate().unwrap();
+        ClusterTopology::v100_cluster(4, 4).validate().unwrap();
+    }
+
+    #[test]
+    fn cluster_validation_rejects_degenerate_geometry() {
+        let mut c = ClusterTopology::test_cluster(2, 4);
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterTopology::test_cluster(2, 4);
+        c.devices_per_node = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterTopology::test_cluster(2, 4);
+        c.nic.bandwidth = f64::NAN;
+        assert!(c.validate().is_err());
     }
 
     #[test]

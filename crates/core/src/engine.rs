@@ -128,6 +128,23 @@ impl LigerEngine {
         world: usize,
         config: LigerConfig,
     ) -> Result<LigerEngine, String> {
+        LigerEngine::new_on(cfg, cost, (0..world).map(DeviceId).collect(), config)
+    }
+
+    /// Creates the engine over an explicit device set — the cluster tier's
+    /// disaggregated mode runs several engines side by side in one
+    /// simulation, each owning one node's devices. The devices need not
+    /// start at 0 but must all exist in the simulation the engine runs on.
+    pub fn new_on(
+        cfg: ModelConfig,
+        cost: CostModel,
+        devices: Vec<DeviceId>,
+        config: LigerConfig,
+    ) -> Result<LigerEngine, String> {
+        let world = devices.len();
+        if world == 0 {
+            return Err("engine needs at least one device".into());
+        }
         check_divisibility(&cfg, world as u32)?;
         config.validate()?;
         let nccl = cost.nccl;
@@ -136,7 +153,7 @@ impl LigerEngine {
             cfg,
             cost,
             config,
-            devices: (0..world).map(DeviceId).collect(),
+            devices,
             nccl,
             waiting: VecDeque::new(),
             processing: VecDeque::new(),
@@ -160,6 +177,11 @@ impl LigerEngine {
     /// Tensor-parallel degree / device count.
     pub fn world(&self) -> usize {
         self.devices.len()
+    }
+
+    /// The devices the engine currently runs on.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
     }
 
     /// Number of scheduling rounds planned so far.

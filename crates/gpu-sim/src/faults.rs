@@ -49,6 +49,15 @@
 //! * **Link flap** ([`FaultSpec::link_flap`]): sugar that expands into
 //!   alternating link-partition windows, modelling a flapping NIC or
 //!   switch port that oscillates between partitioned and healthy.
+//! * **Node-scoped faults** ([`FaultSpec::node_down`],
+//!   [`FaultSpec::node_outage`], [`FaultSpec::nic_link`]): sugar over a
+//!   node geometry (`devices_per_node` consecutive devices per node, the
+//!   same flat numbering the cluster topology uses). A node down/outage
+//!   expands to one device down per member; a NIC-link degradation expands
+//!   to a degraded link on every cross-node device pair, so collectives and
+//!   KV streams spanning the two nodes stretch by the factor. Like
+//!   `link_flap`, the expansion is primitive — `Display` renders the
+//!   expanded forms and the round trip holds by equality.
 
 use crate::ids::{DeviceId, HostId};
 use crate::time::{SimDuration, SimTime};
@@ -294,6 +303,59 @@ impl FaultSpec {
         self
     }
 
+    /// Takes every device of node `node` down permanently at `at` — a
+    /// whole-host loss (kernel panic, power supply, fabric isolation).
+    /// Nodes are `devices_per_node` consecutive devices: node `n` owns
+    /// devices `[n·k, (n+1)·k)`.
+    pub fn node_down(mut self, devices_per_node: usize, node: usize, at: SimTime) -> FaultSpec {
+        for d in Self::node_devices(devices_per_node, node) {
+            self = self.device_down(DeviceId(d), at);
+        }
+        self
+    }
+
+    /// Takes every device of node `node` down over `[from, until)` — a host
+    /// reboot after which the whole node rejoins.
+    pub fn node_outage(
+        mut self,
+        devices_per_node: usize,
+        node: usize,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultSpec {
+        for d in Self::node_devices(devices_per_node, node) {
+            self = self.device_outage(DeviceId(d), from, until);
+        }
+        self
+    }
+
+    /// Degrades the inter-node NIC link between nodes `node_a` and `node_b`
+    /// by `factor` over `[from, until)`: every cross-node device pair gets a
+    /// degraded link, so collectives and KV streams spanning the two nodes
+    /// stretch while intra-node traffic is untouched.
+    pub fn nic_link(
+        mut self,
+        devices_per_node: usize,
+        node_a: usize,
+        node_b: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> FaultSpec {
+        assert!(node_a != node_b, "niclink endpoints must be distinct nodes, got {node_a}");
+        for da in Self::node_devices(devices_per_node, node_a) {
+            for db in Self::node_devices(devices_per_node, node_b) {
+                self = self.degrade_link(DeviceId(da), DeviceId(db), from, until, factor);
+            }
+        }
+        self
+    }
+
+    fn node_devices(devices_per_node: usize, node: usize) -> std::ops::Range<usize> {
+        assert!(devices_per_node >= 1, "node geometry needs at least one device per node");
+        node * devices_per_node..(node + 1) * devices_per_node
+    }
+
     /// The configured device outages (permanent and windowed).
     pub fn device_downs(&self) -> &[DeviceDown] {
         &self.downs
@@ -434,8 +496,15 @@ impl FaultSpec {
     ///   rejoins at `until`); repeat the segment for a flapping device
     /// * `flap:<a>:<b>:<from_ms>:<until_ms>:<period_ms>` — link flap
     ///   (alternating partition windows of length `period`)
+    /// * `nodes=<devices_per_node>` — node geometry for the node-scoped
+    ///   segments that follow it (must precede them)
+    /// * `node-down:<n>:<at_ms>` / `node-down:<n>:<from_ms>..<until_ms>` —
+    ///   whole-node loss or outage (expands to one `down:` per device)
+    /// * `niclink:<a>-<b>:<from_ms>:<until_ms>:<factor>` — inter-node NIC
+    ///   degradation (expands to `link:` on every cross-node device pair)
     ///
-    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5;down:3:40..80`.
+    /// Example: `seed=7;slow:0:10:30:1.5;kfail:0.01:0.5;down:3:40..80` or
+    /// `nodes=4;node-down:1:40..80;niclink:0-1:10:30:8`.
     ///
     /// Errors carry the byte offset of the offending field so a bad
     /// `--faults` flag fails with a pointer into the spec string.
@@ -449,6 +518,10 @@ impl FaultSpec {
             s.parse::<T>().map_err(|_| ParseError::at(off, format!("{what}, got {s:?}")))
         }
         let mut out = FaultSpec::none();
+        // Node geometry for `node-down:` / `niclink:` segments; set by a
+        // preceding `nodes=<k>` segment and never stored on the spec — the
+        // node forms expand to device-granular primitives at parse time.
+        let mut devices_per_node: Option<usize> = None;
         let mut cursor = 0usize;
         for raw in spec.split(';') {
             let seg_start = cursor + (raw.len() - raw.trim_start().len());
@@ -459,6 +532,18 @@ impl FaultSpec {
             }
             if let Some(seed) = seg.strip_prefix("seed=") {
                 out.seed = num::<u64>(seed, seg_start + "seed=".len(), "a u64 seed")?;
+                continue;
+            }
+            if let Some(k) = seg.strip_prefix("nodes=") {
+                let off = seg_start + "nodes=".len();
+                let k = num::<usize>(k, off, "a devices-per-node count")?;
+                if k == 0 {
+                    return Err(ParseError::at(
+                        off,
+                        "a positive devices-per-node count, got \"0\"".to_string(),
+                    ));
+                }
+                devices_per_node = Some(k);
                 continue;
             }
             // Fields paired with their byte offset into `spec`.
@@ -583,12 +668,68 @@ impl FaultSpec {
                         SimDuration::from_millis(period_ms),
                     );
                 }
+                [("node-down", at), node, window] => {
+                    let Some(k) = devices_per_node else {
+                        return Err(ParseError::at(
+                            *at,
+                            format!("nodes=<devices_per_node> before node-scoped faults: {seg:?}"),
+                        ));
+                    };
+                    let n = num::<usize>(node.0, node.1, "a node index")?;
+                    match window.0.split_once("..") {
+                        None => out = out.node_down(k, n, ms(window.0, window.1)?),
+                        Some((from, until)) => {
+                            let from_t = ms(from, window.1)?;
+                            let until_t = ms(until, window.1 + from.len() + 2)?;
+                            if until_t <= from_t {
+                                return Err(ParseError::at(
+                                    window.1,
+                                    format!(
+                                        "a non-empty outage window (start < end), got {:?}",
+                                        window.0
+                                    ),
+                                ));
+                            }
+                            out = out.node_outage(k, n, from_t, until_t);
+                        }
+                    }
+                }
+                [("niclink", at), pair, from, until, factor] => {
+                    let Some(k) = devices_per_node else {
+                        return Err(ParseError::at(
+                            *at,
+                            format!("nodes=<devices_per_node> before node-scoped faults: {seg:?}"),
+                        ));
+                    };
+                    let Some((a, b)) = pair.0.split_once('-') else {
+                        return Err(ParseError::at(
+                            pair.1,
+                            format!("a node pair <a>-<b>, got {:?}", pair.0),
+                        ));
+                    };
+                    let na = num::<usize>(a, pair.1, "a node index")?;
+                    let nb = num::<usize>(b, pair.1 + a.len() + 1, "a node index")?;
+                    if na == nb {
+                        return Err(ParseError::at(
+                            pair.1,
+                            format!("distinct niclink endpoint nodes, got {:?}", pair.0),
+                        ));
+                    }
+                    out = out.nic_link(
+                        k,
+                        na,
+                        nb,
+                        ms(from.0, from.1)?,
+                        ms(until.0, until.1)?,
+                        num::<f64>(factor.0, factor.1, "a stretch factor")?,
+                    );
+                }
                 _ => {
                     return Err(ParseError::at(
                         seg_start,
                         format!(
-                            "a fault segment (seed=/slow/link/part/kfail/spike/down/flap), \
-                             got {seg:?}"
+                            "a fault segment (seed=/nodes=/slow/link/part/kfail/spike/down/\
+                             flap/node-down/niclink), got {seg:?}"
                         ),
                     ))
                 }
@@ -951,6 +1092,81 @@ mod tests {
         assert!(e.expected.contains("positive flap period"), "{e}");
         let e = FaultSpec::parse("down:2:a..b").unwrap_err();
         assert_eq!(e.offset, "down:2:".len());
+    }
+
+    #[test]
+    fn node_down_expands_to_every_member_device() {
+        let f = FaultSpec::new(1).node_down(4, 1, t(40));
+        for d in 4..8 {
+            assert!(f.is_device_down(DeviceId(d), t(40)), "device {d} should be down");
+            assert!(!f.is_device_down(DeviceId(d), t(39)));
+        }
+        assert!(!f.is_device_down(DeviceId(0), SimTime::MAX), "node 0 untouched");
+        let p = FaultSpec::parse("nodes=4;node-down:1:40").unwrap();
+        assert_eq!(p.device_downs(), f.device_downs());
+    }
+
+    #[test]
+    fn node_outage_rejoins_the_whole_node() {
+        let f = FaultSpec::new(1).node_outage(2, 0, t(10), t(20));
+        assert!(f.is_device_down(DeviceId(0), t(15)));
+        assert!(f.is_device_down(DeviceId(1), t(15)));
+        assert!(!f.is_device_down(DeviceId(0), t(20)), "rejoined at the window end");
+        assert!(!f.is_device_down(DeviceId(2), t(15)), "next node untouched");
+        let p = FaultSpec::parse("nodes=2;node-down:0:10..20").unwrap();
+        assert_eq!(p.device_downs(), f.device_downs());
+    }
+
+    #[test]
+    fn nic_link_degrades_every_cross_node_pair() {
+        let f = FaultSpec::new(1).nic_link(2, 0, 1, t(10), t(30), 8.0);
+        // All four cross pairs stretch, both directions.
+        for a in 0..2usize {
+            for b in 2..4usize {
+                assert_eq!(f.link_factor(DeviceId(a), DeviceId(b), t(20)), 8.0);
+                assert_eq!(f.link_factor(DeviceId(b), DeviceId(a), t(20)), 8.0);
+                assert_eq!(f.link_factor(DeviceId(a), DeviceId(b), t(30)), 1.0);
+            }
+        }
+        // Intra-node links are untouched.
+        assert_eq!(f.link_factor(DeviceId(0), DeviceId(1), t(20)), 1.0);
+        assert_eq!(f.link_factor(DeviceId(2), DeviceId(3), t(20)), 1.0);
+        // A collective spanning the nodes pays the NIC stretch.
+        let members = [DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)];
+        assert_eq!(f.collective_link_factor(members.iter().copied(), t(20)), 8.0);
+        let p = FaultSpec::parse("nodes=2;niclink:0-1:10:30:8").unwrap();
+        assert_eq!(p.link_faults(), f.link_faults());
+    }
+
+    #[test]
+    fn node_forms_require_geometry_and_reject_nonsense() {
+        let e = FaultSpec::parse("node-down:0:10").unwrap_err();
+        assert!(e.expected.contains("nodes=<devices_per_node>"), "{e}");
+        let e = FaultSpec::parse("niclink:0-1:10:30:8").unwrap_err();
+        assert!(e.expected.contains("nodes=<devices_per_node>"), "{e}");
+        let e = FaultSpec::parse("nodes=0;node-down:0:10").unwrap_err();
+        assert_eq!(e.offset, "nodes=".len());
+        assert!(e.expected.contains("positive devices-per-node"), "{e}");
+        let e = FaultSpec::parse("nodes=4;niclink:0:10:30:8").unwrap_err();
+        assert!(e.expected.contains("node pair"), "{e}");
+        let e = FaultSpec::parse("nodes=4;niclink:1-1:10:30:8").unwrap_err();
+        assert!(e.expected.contains("distinct niclink endpoint"), "{e}");
+        let e = FaultSpec::parse("nodes=4;niclink:0-x:10:30:8").unwrap_err();
+        assert_eq!(e.offset, "nodes=4;niclink:0-".len());
+        let e = FaultSpec::parse("nodes=4;node-down:0:20..10").unwrap_err();
+        assert!(e.expected.contains("non-empty outage window"), "{e}");
+        assert!(FaultSpec::parse("nodes=x;node-down:0:10").is_err());
+    }
+
+    #[test]
+    fn node_sugar_round_trips_through_display_as_primitives() {
+        let f =
+            FaultSpec::new(5).node_outage(2, 1, t(10), t(20)).nic_link(2, 0, 1, t(5), t(25), 4.0);
+        let rendered = f.to_string();
+        assert!(rendered.contains("down:2:10..20"), "{rendered}");
+        assert!(rendered.contains("link:0:2:5:25:4"), "{rendered}");
+        assert!(!rendered.contains("node-down"), "display renders primitives: {rendered}");
+        assert_eq!(FaultSpec::parse(&rendered).unwrap(), f);
     }
 
     #[test]

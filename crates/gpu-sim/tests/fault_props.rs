@@ -391,6 +391,59 @@ fn display_parse_round_trip() {
     });
 }
 
+/// Node-scoped sugar (`node-down:`, `niclink:` under a `nodes=` geometry)
+/// expands to device-granular primitives at parse/build time, so a
+/// render→parse round trip reconstructs an equal spec — the same contract
+/// `link_flap` established.
+#[test]
+fn node_fault_sugar_round_trips() {
+    check("node_fault_sugar_round_trips", 64, |g| {
+        let dpn = g.usize_in(1, 4); // devices per node in 1..=4
+        let mut spec = FaultSpec::new(g.any_u64());
+        // At most one down/outage per node: the builder rejects
+        // overlapping windows on one device.
+        for node in 0..3usize {
+            if g.usize_in(0, 3) == 0 {
+                let at = g.u64_in(0, 80);
+                if g.bool() {
+                    spec = spec.node_down(dpn, node, SimTime::from_millis(at));
+                } else {
+                    spec = spec.node_outage(
+                        dpn,
+                        node,
+                        SimTime::from_millis(at),
+                        SimTime::from_millis(at + g.u64_in(1, 80)),
+                    );
+                }
+            }
+        }
+        if g.bool() {
+            let a = g.usize_in(0, 3);
+            let b = (a + 1 + g.usize_in(0, 2)) % 3;
+            if a != b {
+                let from = g.u64_in(0, 50);
+                spec = spec.nic_link(
+                    dpn,
+                    a,
+                    b,
+                    SimTime::from_millis(from),
+                    SimTime::from_millis(from + g.u64_in(1, 50)),
+                    g.f64_in(1.0, 16.0),
+                );
+            }
+        }
+        let rendered = spec.to_string();
+        let reparsed = FaultSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered spec {rendered:?} failed to parse: {e}"));
+        assert_eq!(reparsed, spec, "round trip diverged for {rendered:?}");
+        // The grammar's own node forms parse to the same expansion.
+        if spec.is_empty() {
+            return;
+        }
+        assert!(!rendered.contains("node-down"), "display must render primitives");
+    });
+}
+
 /// Malformed outage/flap windows fail with errors naming the problem and
 /// pointing into the spec string.
 #[test]
@@ -402,6 +455,10 @@ fn malformed_windows_are_rejected_with_offsets() {
         ("down:1:10..y", "a millisecond count"),
         ("flap:0:1:5:5:2", "a non-empty flap window"),
         ("flap:0:1:2:8:0", "a positive flap period"),
+        ("node-down:0:10", "nodes=<devices_per_node>"),
+        ("nodes=2;node-down:0:30..30", "a non-empty outage window"),
+        ("nodes=2;niclink:0:1:2:3", "a node pair"),
+        ("nodes=0;node-down:0:10", "a positive devices-per-node count"),
     ];
     for (spec, expect) in cases {
         let err = FaultSpec::parse(spec).unwrap_err();

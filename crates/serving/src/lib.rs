@@ -14,6 +14,8 @@ pub mod admission;
 pub mod analysis;
 pub mod arrival;
 pub mod batcher;
+pub mod cluster;
+pub mod disagg;
 pub mod engine;
 pub mod generation;
 pub mod health;
@@ -31,6 +33,11 @@ pub use batcher::{
     serve_queries, serve_queries_on, serve_queries_with_retry, serve_queries_with_retry_on,
     Batcher, BatcherConfig, PackedBatch, Query, QueryRunner,
 };
+pub use cluster::{
+    route_jobs, serve_cluster, serve_cluster_on, ClusterConfig, ClusterReport, ReplicaSlot,
+    RouterPolicy,
+};
+pub use disagg::{serve_disaggregated, serve_disaggregated_on, DisaggConfig, DisaggReport};
 pub use engine::{InferenceEngine, RUNNER_TOKEN_BASE};
 pub use generation::{
     serve_generations, serve_generations_on, GenerationJob, GenerationMetrics, GenerationResult,
@@ -38,7 +45,8 @@ pub use generation::{
 };
 pub use health::{HealthConfig, HealthEvents, HealthMonitor};
 pub use metrics::{
-    BatchingCounters, FaultCounters, PrefixCounters, RecoveryCounters, ServingMetrics, SpecCounters,
+    BatchingCounters, FaultCounters, MetricsSections, PrefixCounters, RecoveryCounters,
+    ServingMetrics, SpecCounters,
 };
 pub use prefix::{block_digests, output_token, prompt_token, PrefixTag, SpecDecodeConfig};
 pub use recovery::{

@@ -332,6 +332,119 @@ impl ServingMetrics {
     pub fn spec_mut(&mut self) -> &mut SpecCounters {
         &mut self.spec
     }
+
+    /// Folds another run's metrics into this one — the cluster tier's
+    /// aggregate view over per-replica metrics. Completions concatenate
+    /// (remap ids before merging if the runs numbered jobs independently);
+    /// counters add; the detection latency keeps the worst observed.
+    pub fn merge(&mut self, other: &ServingMetrics) {
+        self.completions.extend_from_slice(&other.completions);
+        self.faults.merge(&other.faults);
+        self.recovery.merge(&other.recovery);
+        self.batching.merge(&other.batching);
+        self.prefix.merge(&other.prefix);
+        self.spec.merge(&other.spec);
+    }
+}
+
+impl FaultCounters {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, o: &FaultCounters) {
+        self.retries += o.retries;
+        self.timeouts += o.timeouts;
+        self.kernel_failures += o.kernel_failures;
+        self.requeues += o.requeues;
+        self.degraded_rounds += o.degraded_rounds;
+    }
+}
+
+impl RecoveryCounters {
+    /// Adds another run's counters into this one. Durations sum, the
+    /// detection latency keeps the worst observed, and the shed/timeline
+    /// logs concatenate.
+    pub fn merge(&mut self, o: &RecoveryCounters) {
+        self.losses += o.losses;
+        self.detection_latency = self.detection_latency.max(o.detection_latency);
+        self.drain_time += o.drain_time;
+        self.replan_time += o.replan_time;
+        self.recompute_tokens += o.recompute_tokens;
+        self.shed.extend_from_slice(&o.shed);
+        self.timeline.extend_from_slice(&o.timeline);
+        self.flaps += o.flaps;
+        self.rejoins += o.rejoins;
+        self.re_expansions += o.re_expansions;
+    }
+}
+
+impl BatchingCounters {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, o: &BatchingCounters) {
+        self.batches += o.batches;
+        self.padded_tokens += o.padded_tokens;
+        self.real_tokens += o.real_tokens;
+        self.occupancy_sum += o.occupancy_sum;
+        self.occupancy_samples += o.occupancy_samples;
+        self.preemptions += o.preemptions;
+        self.evicted_blocks += o.evicted_blocks;
+        self.out_of_blocks += o.out_of_blocks;
+    }
+}
+
+impl PrefixCounters {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, o: &PrefixCounters) {
+        self.lookups += o.lookups;
+        self.hits += o.hits;
+        self.cached_tokens += o.cached_tokens;
+        self.novel_tokens += o.novel_tokens;
+        self.published_blocks += o.published_blocks;
+        self.evicted_blocks += o.evicted_blocks;
+        self.flushed_blocks += o.flushed_blocks;
+    }
+}
+
+impl SpecCounters {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, o: &SpecCounters) {
+        self.rounds += o.rounds;
+        self.drafted += o.drafted;
+        self.accepted += o.accepted;
+        self.rejected += o.rejected;
+        self.rollback_blocks += o.rollback_blocks;
+    }
+}
+
+/// Labeled [`ServingMetrics`] sections — an aggregate plus per-replica or
+/// per-node views — rendered through the single `ServingMetrics` ToJson
+/// path so every section carries the identical field set. The cluster and
+/// disaggregated reports emit their JSON through this one helper instead of
+/// copy-pasting counter blocks per section.
+#[derive(Default)]
+pub struct MetricsSections<'a> {
+    sections: Vec<(String, &'a ServingMetrics)>,
+}
+
+impl<'a> MetricsSections<'a> {
+    /// An empty section list.
+    pub fn new() -> Self {
+        MetricsSections { sections: Vec::new() }
+    }
+
+    /// Appends a labeled section; sections render in push order.
+    pub fn push(&mut self, label: impl Into<String>, metrics: &'a ServingMetrics) -> &mut Self {
+        self.sections.push((label.into(), metrics));
+        self
+    }
+}
+
+impl liger_gpu_sim::ToJson for MetricsSections<'_> {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = liger_gpu_sim::json::JsonObject::begin(out);
+        for (label, metrics) in &self.sections {
+            obj.field(label, *metrics);
+        }
+        obj.end();
+    }
 }
 
 /// Metrics serialize as a summary object (latencies in nanoseconds,
